@@ -1,0 +1,25 @@
+//! E1 — time a full simulated registry run at light vs saturating load.
+//! The table itself comes from `cargo run -p wsp-bench --bin harness`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsp_bench::e1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_registry_bottleneck");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for clients in [1usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("sim_run", clients), &clients, |b, &clients| {
+            b.iter(|| {
+                let row = e1::run(black_box(clients), 2, 5, 1, 7);
+                black_box(row.completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 — time full P2P discovery simulations across network sizes.
+//! The success/latency table comes from the harness binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsp_bench::e2;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_discovery_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (groups, label) in [(5usize, 50usize), (20, 200), (50, 500)] {
+        group.bench_with_input(BenchmarkId::new("peers", label), &groups, |b, &groups| {
+            b.iter(|| {
+                let row = e2::run(black_box(groups), 10, 10, 7);
+                assert!(row.success_rate > 0.8);
+                black_box(row.mean_latency_ms)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E3 — time the churn-robustness simulations (both worlds).
+//! The success-rate table comes from the harness binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsp_bench::e3;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_churn_robustness");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("central_70pct", |b| {
+        b.iter(|| black_box(e3::central_success(black_box(0.7), 15, 7)))
+    });
+    group.bench_function("p2p_70pct", |b| {
+        b.iter(|| black_box(e3::p2p_success(black_box(0.7), 15, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E4 — wall-clock comparison of sync vs async fan-out over real HTTP.
+//! Criterion times the whole comparison; the speedup table comes from
+//! the harness binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsp_bench::e4;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_async_vs_sync");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("fanout_4x20ms", |b| {
+        b.iter(|| {
+            let row = e4::run(black_box(4), 20);
+            assert!(row.speedup > 1.5, "{row:?}");
+            black_box(row.speedup)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

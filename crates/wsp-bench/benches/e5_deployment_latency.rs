@@ -1,0 +1,21 @@
+//! E5 — the real cost of the container-less deployment path: launch
+//! host, deploy, first response. The container comparison (virtual
+//! time) is in the harness table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsp_bench::e5;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_deployment_latency");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("lightweight_deploy_to_first_response", |b| {
+        b.iter(|| black_box(e5::lightweight_once()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

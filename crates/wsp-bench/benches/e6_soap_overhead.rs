@@ -1,0 +1,36 @@
+//! E6 — microbenchmarks of the messaging layer: envelope encode/decode
+//! across payload scales, and the advert ⇄ EndpointReference mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wsp_bench::e6;
+use wsp_soap::SoapCodec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_soap_overhead");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for items in [1usize, 10, 100, 1000] {
+        let envelope = e6::addressed_envelope(items);
+        let mut codec = SoapCodec::new();
+        let wire = codec.encode(&envelope);
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", items), &envelope, |b, envelope| {
+            let mut codec = SoapCodec::new();
+            b.iter(|| black_box(codec.encode(black_box(envelope))))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", items), &wire, |b, wire| {
+            let mut codec = SoapCodec::new();
+            b.iter(|| black_box(codec.decode(black_box(wire)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("round_trip", items), &envelope, |b, envelope| {
+            let mut codec = SoapCodec::new();
+            b.iter(|| black_box(e6::round_trip(&mut codec, black_box(envelope))))
+        });
+    }
+    group.bench_function("advert_epr_mapping", |b| b.iter(|| black_box(e6::advert_epr_round_trip())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E7 — end-to-end invoke round trips over the two real transports.
+//! Setup (registry/overlay, deploy, locate) happens once per transport;
+//! the timed body is a single invocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use wsp_core::bindings::{HttpUddiBinding, P2psBinding, P2psConfig};
+use wsp_core::{EventBus, Peer, ServiceQuery};
+use wsp_p2ps::{PeerConfig, PeerId, ThreadNetwork};
+use wsp_uddi::Registry;
+use wsp_wsdl::{OperationDef, ServiceDescriptor, Value, XsdType};
+
+fn descriptor() -> ServiceDescriptor {
+    ServiceDescriptor::new("EchoBench", "urn:bench:echo").operation(
+        OperationDef::new("echo").input("data", XsdType::String).returns(XsdType::String),
+    )
+}
+
+fn handler() -> Arc<dyn wsp_wsdl::ServiceHandler> {
+    Arc::new(|_op: &str, args: &[Value]| Ok(args[0].clone()))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_transport_rtt");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    // HTTP setup.
+    let registry = Registry::new();
+    let http_provider = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+        registry.clone(),
+        EventBus::new(),
+    ));
+    http_provider.server().deploy_and_publish(descriptor(), handler()).unwrap();
+    let http_consumer =
+        Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
+    let http_service =
+        http_consumer.client().locate_one(&ServiceQuery::by_name("EchoBench")).unwrap();
+
+    // P2PS setup.
+    let network = ThreadNetwork::new();
+    let rv = network.spawn(PeerConfig::rendezvous(PeerId(0xBE7C)));
+    let provider_peer = network.spawn(PeerConfig::ordinary(PeerId(0xBE7D)));
+    let consumer_peer = network.spawn(PeerConfig::ordinary(PeerId(0xBE7E)));
+    for p in [&provider_peer, &consumer_peer] {
+        p.add_neighbour(rv.id(), true);
+        rv.add_neighbour(p.id(), false);
+    }
+    let p2ps_provider =
+        Peer::with_binding(&P2psBinding::new(provider_peer, EventBus::new(), P2psConfig::default()));
+    p2ps_provider.server().deploy_and_publish(descriptor(), handler()).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let p2ps_consumer = Peer::with_binding(&P2psBinding::new(
+        consumer_peer,
+        EventBus::new(),
+        P2psConfig { discovery_window: Duration::from_millis(400), ..P2psConfig::default() },
+    ));
+    let p2ps_service =
+        p2ps_consumer.client().locate_one(&ServiceQuery::by_name("EchoBench")).unwrap();
+
+    for payload_bytes in [32usize, 4096] {
+        let payload = Value::string("x".repeat(payload_bytes));
+        group.bench_with_input(
+            BenchmarkId::new("http", payload_bytes),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    black_box(
+                        http_consumer
+                            .client()
+                            .invoke(&http_service, "echo", std::slice::from_ref(payload))
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("p2ps", payload_bytes),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    black_box(
+                        p2ps_consumer
+                            .client()
+                            .invoke(&p2ps_service, "echo", std::slice::from_ref(payload))
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+    drop(rv);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

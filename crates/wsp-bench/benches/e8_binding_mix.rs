@@ -1,0 +1,24 @@
+//! E8 — time the full locate+invoke comparison across binding modes.
+//! The per-mode breakdown table comes from the harness binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsp_bench::e8;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_binding_mix");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("all_three_modes", |b| {
+        b.iter(|| {
+            let rows = e8::run();
+            assert!(rows.iter().all(|r| r.ok));
+            black_box(rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,253 @@
+//! The experiment harness: regenerates every table in `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p wsp-bench --bin harness           # full sweeps
+//! cargo run --release -p wsp-bench --bin harness -- quick  # smaller sweeps
+//! ```
+
+use wsp_bench::common::render_table;
+use wsp_bench::{a1, a2, e1, e2, e3, e4, e5, e6, e7, e8};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let seed = 2005; // the year of the paper
+    println!("WSPeer reproduction harness (seed {seed}, quick={quick})");
+
+    // E1 — registry bottleneck.
+    let rows: Vec<Vec<String>> = if quick {
+        [1, 8, 64].into_iter().map(|c| e1::run(c, 5, 5, 1, seed)).collect::<Vec<_>>()
+    } else {
+        e1::sweep(seed)
+    }
+    .iter()
+    .map(|r| {
+        vec![
+            r.clients.to_string(),
+            r.completed.to_string(),
+            format!("{:.0}", r.throughput_rps),
+            format!("{:.1}", r.mean_ms),
+            format!("{:.1}", r.p99_ms),
+        ]
+    })
+    .collect();
+    println!(
+        "{}",
+        render_table(
+            "E1  central registry bottleneck (5ms service, 1 worker, closed-loop clients)",
+            &["clients", "completed", "throughput rps", "mean ms", "p99 ms"],
+            &rows,
+        )
+    );
+
+    // E2 — P2P discovery scaling.
+    let e2_rows = if quick {
+        vec![e2::run(5, 10, 10, seed), e2::run(20, 10, 10, seed)]
+    } else {
+        e2::sweep(seed)
+    };
+    let rows: Vec<Vec<String>> = e2_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.peers.to_string(),
+                r.groups.to_string(),
+                format!("{:.0}%", r.success_rate * 100.0),
+                format!("{:.0}", r.mean_latency_ms),
+                format!("{:.0}", r.p99_latency_ms),
+                format!("{:.1}", r.msgs_per_peer),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E2  P2P discovery scaling (WAN links, 20 staggered queries)",
+            &["peers", "groups", "success", "mean ms", "p99 ms", "msgs/peer"],
+            &rows,
+        )
+    );
+
+    // E3 — churn robustness.
+    let e3_rows = if quick {
+        vec![e3::run(1.0, 20, seed), e3::run(0.7, 20, seed)]
+    } else {
+        e3::sweep(seed)
+    };
+    let rows: Vec<Vec<String>> = e3_rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.availability * 100.0),
+                format!("{:.0}%", r.central_success * 100.0),
+                format!("{:.0}%", r.p2p_success * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E3  locate success under infrastructure churn",
+            &["node availability", "central registry", "P2P rendezvous mesh"],
+            &rows,
+        )
+    );
+
+    // E4 — async vs sync invocation.
+    let e4_rows = if quick { vec![e4::run(4, 50)] } else { e4::sweep() };
+    let rows: Vec<Vec<String>> = e4_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.services.to_string(),
+                r.service_delay_ms.to_string(),
+                format!("{:.0}", r.sync_total_ms),
+                format!("{:.0}", r.async_total_ms),
+                format!("{:.1}x", r.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E4  sync vs async invocation of slow services (real HTTP, wall clock)",
+            &["services", "delay ms", "sync total ms", "async total ms", "speedup"],
+            &rows,
+        )
+    );
+
+    // E5 — deployment latency.
+    let rows: Vec<Vec<String>> = e5::rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                format!("{:.1}", r.deploy_to_first_response_ms),
+                if r.hot_redeploy { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E5  deploy-to-first-response (container-less vs modelled container)",
+            &["scenario", "ms", "hot redeploy"],
+            &rows,
+        )
+    );
+
+    // E6 — SOAP / WS-Addressing overhead.
+    let rows: Vec<Vec<String>> = e6::rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.items.to_string(),
+                r.wire_bytes.to_string(),
+                r.plain_wire_bytes.to_string(),
+                r.addressing_overhead_bytes.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E6  envelope wire sizes (struct-array payloads)",
+            &["items", "with WS-A bytes", "plain bytes", "WS-A overhead bytes"],
+            &rows,
+        )
+    );
+
+    // E7 — transport round trips.
+    let calls = if quick { 10 } else { 50 };
+    let rows: Vec<Vec<String>> = e7::sweep(calls)
+        .iter()
+        .map(|r| {
+            vec![
+                r.transport.to_string(),
+                r.payload_bytes.to_string(),
+                format!("{:.2}", r.mean_ms),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p99_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E7  invoke round trips, HTTP vs P2PS pipes ({calls} calls, loopback)"),
+            &["transport", "payload B", "mean ms", "p50 ms", "p99 ms"],
+            &rows,
+        )
+    );
+
+    // E8 — binding composition.
+    let rows: Vec<Vec<String>> = e8::run()
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{:.1}", r.locate_ms),
+                format!("{:.2}", r.invoke_ms),
+                if r.ok { "ok" } else { "FAILED" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E8  binding composition: locate+invoke modes",
+            &["mode", "locate ms", "invoke ms", "result"],
+            &rows,
+        )
+    );
+
+    // A1 — discovery knob ablation.
+    let a1_rows = if quick {
+        vec![a1::run(1, 2, seed), a1::run(4, 7, seed)]
+    } else {
+        a1::sweep(seed)
+    };
+    let rows: Vec<Vec<String>> = a1_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.rv_degree.to_string(),
+                r.query_ttl.to_string(),
+                format!("{:.0}%", r.success_rate * 100.0),
+                format!("{:.0}", r.mean_latency_ms),
+                format!("{:.1}", r.msgs_per_peer),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "A1  ablation: rendezvous mesh degree x query TTL (240 peers)",
+            &["rv degree", "query ttl", "success", "mean ms", "msgs/peer"],
+            &rows,
+        )
+    );
+
+    // A2 — soft-state refresh ablation.
+    let a2_rows = if quick {
+        vec![a2::run(None, seed), a2::run(Some(5), seed)]
+    } else {
+        a2::sweep(seed)
+    };
+    let rows: Vec<Vec<String>> = a2_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.refresh_secs.map(|s| format!("{s}s")).unwrap_or_else(|| "never".into()),
+                format!("{:.0}%", r.success_rate * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "A2  ablation: advert refresh interval at 80% rendezvous availability",
+            &["refresh", "locate success"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,26 @@
+//! # wsp-bench
+//!
+//! The experiment harness for the WSPeer reproduction. Each module
+//! implements one experiment from the index in `DESIGN.md` (E1–E8);
+//! the `harness` binary prints every table, and one Criterion bench per
+//! experiment measures its core operation. `EXPERIMENTS.md` records the
+//! observed numbers against the paper's qualitative predictions.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p wsp-bench --bin harness
+//! cargo bench -p wsp-bench
+//! ```
+
+pub mod a1;
+pub mod a2;
+pub mod common;
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;

@@ -1,0 +1,407 @@
+//! The standard implementation (paper Section IV.A, Figure 3): SOAP
+//! over HTTP(G), WSDL served at `endpoint?wsdl`, publish/find through a
+//! UDDI registry, and a container-less HTTP host that is "only launched
+//! once the application has deployed a service".
+
+use crate::components::{Binding, Invoker, ServiceDeployer, ServiceLocator, ServicePublisher};
+use crate::endpoint::{BindingKind, DeployedService, LocatedService};
+use crate::error::WspError;
+use crate::events::{EventBus, ServerMessageEvent, ServerPhase};
+use crate::query::{properties_to_uddi_categories, ServiceQuery};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsp_http::{
+    guard_router, http_call, ConnectionPool, HttpUri, HttpgCredential, Request, Response,
+    TcpServer,
+};
+use wsp_soap::Envelope;
+use wsp_uddi::{BindingTemplate, BusinessService, TModel, UddiClient};
+use wsp_wsdl::{
+    MessageEngine, Port, ServiceDescriptor, ServiceHandler, ServiceProxy, TransportKind, Value,
+    WsdlDocument,
+};
+
+/// Configuration of the standard binding.
+#[derive(Clone)]
+pub struct HttpUddiConfig {
+    /// TCP port of the lightweight host (0 = ephemeral).
+    pub port: u16,
+    /// Business key under which services are published.
+    pub business: String,
+    /// When set, the host requires HTTPG tokens and endpoints use the
+    /// `httpg://` scheme (the Globus-style authenticated transport).
+    pub httpg: Option<HttpgCredential>,
+    /// Reuse TCP connections across invocations (keep-alive pool)
+    /// instead of the paper-era connection-per-call behaviour.
+    pub keep_alive: bool,
+}
+
+impl Default for HttpUddiConfig {
+    fn default() -> Self {
+        HttpUddiConfig { port: 0, business: "wspeer".into(), httpg: None, keep_alive: false }
+    }
+}
+
+struct Shared {
+    config: HttpUddiConfig,
+    uddi: UddiClient,
+    host: Mutex<Option<TcpServer>>,
+    /// service name → UDDI service key (for unpublish).
+    published: RwLock<HashMap<String, String>>,
+    pool: ConnectionPool,
+    events: EventBus,
+}
+
+impl Shared {
+    /// Launch the host lazily — deployment, not construction, starts
+    /// the server (the paper's container-less behaviour).
+    fn ensure_host(&self) -> Result<(String, u16), WspError> {
+        let mut host = self.host.lock();
+        if host.is_none() {
+            let router = wsp_http::Router::new();
+            if let Some(credential) = &self.config.httpg {
+                guard_router(&router, credential.clone());
+            }
+            let server = TcpServer::launch(self.config.port, router)
+                .map_err(|e| WspError::Deploy(format!("cannot launch HTTP host: {e}")))?;
+            *host = Some(server);
+        }
+        let server = host.as_ref().expect("just ensured");
+        Ok(("127.0.0.1".to_owned(), server.port()))
+    }
+
+    fn scheme(&self) -> &'static str {
+        if self.config.httpg.is_some() {
+            "httpg"
+        } else {
+            "http"
+        }
+    }
+
+    fn transport(&self) -> TransportKind {
+        if self.config.httpg.is_some() {
+            TransportKind::Httpg
+        } else {
+            TransportKind::Http
+        }
+    }
+
+    /// Issue an HTTP(G) request to an absolute endpoint URI.
+    fn call(&self, endpoint: &str, mut request: Request) -> Result<Response, WspError> {
+        let uri = HttpUri::parse(endpoint).map_err(|e| WspError::Invoke(e.to_string()))?;
+        if uri.is_httpg() {
+            let credential = self
+                .config
+                .httpg
+                .as_ref()
+                .ok_or_else(|| WspError::NoBindingFor { scheme: "httpg".into() })?;
+            credential.apply(&mut request);
+        }
+        if self.config.keep_alive {
+            self.pool
+                .call(&uri.host, uri.port, request)
+                .map_err(|e| WspError::Invoke(e.to_string()))
+        } else {
+            http_call(&uri.host, uri.port, request).map_err(|e| WspError::Invoke(e.to_string()))
+        }
+    }
+}
+
+/// The HTTP/UDDI binding: plug into a [`crate::Peer`] and the peer
+/// becomes a standard Web service node.
+#[derive(Clone)]
+pub struct HttpUddiBinding {
+    shared: Arc<Shared>,
+}
+
+impl HttpUddiBinding {
+    pub fn new(uddi: UddiClient, events: EventBus, config: HttpUddiConfig) -> Self {
+        HttpUddiBinding {
+            shared: Arc::new(Shared {
+                config,
+                uddi,
+                host: Mutex::new(None),
+                published: RwLock::new(HashMap::new()),
+                pool: ConnectionPool::new(),
+                events,
+            }),
+        }
+    }
+
+    /// Against a registry reachable over HTTP.
+    pub fn with_registry_uri(uri: &str, events: EventBus) -> Self {
+        HttpUddiBinding::new(UddiClient::http(uri), events, HttpUddiConfig::default())
+    }
+
+    /// Against an in-process registry (tests, single-process demos).
+    pub fn with_local_registry(registry: wsp_uddi::Registry, events: EventBus) -> Self {
+        HttpUddiBinding::new(UddiClient::direct(registry), events, HttpUddiConfig::default())
+    }
+
+    /// The host's port, if it has been launched.
+    pub fn host_port(&self) -> Option<u16> {
+        self.shared.host.lock().as_ref().map(|s| s.port())
+    }
+
+    /// Has deployment launched the host yet?
+    pub fn host_running(&self) -> bool {
+        self.shared.host.lock().is_some()
+    }
+}
+
+impl Binding for HttpUddiBinding {
+    fn kind(&self) -> &'static str {
+        "http-uddi"
+    }
+
+    fn locator(&self) -> Arc<dyn ServiceLocator> {
+        Arc::new(UddiLocator { shared: self.shared.clone() })
+    }
+
+    fn invoker(&self) -> Arc<dyn Invoker> {
+        Arc::new(HttpInvoker { shared: self.shared.clone() })
+    }
+
+    fn deployer(&self) -> Arc<dyn ServiceDeployer> {
+        Arc::new(HttpDeployer { shared: self.shared.clone() })
+    }
+
+    fn publisher(&self) -> Arc<dyn ServicePublisher> {
+        Arc::new(UddiPublisher { shared: self.shared.clone() })
+    }
+}
+
+// --- deployer --------------------------------------------------------------
+
+struct HttpDeployer {
+    shared: Arc<Shared>,
+}
+
+impl ServiceDeployer for HttpDeployer {
+    fn deploy(
+        &self,
+        descriptor: ServiceDescriptor,
+        handler: Arc<dyn ServiceHandler>,
+    ) -> Result<DeployedService, WspError> {
+        let (host, port) = self.shared.ensure_host()?;
+        let scheme = self.shared.scheme();
+        let endpoint = format!("{scheme}://{host}:{port}/{}", descriptor.name);
+        let wsdl = WsdlDocument::new(
+            descriptor.clone(),
+            vec![Port {
+                name: format!("{}Port", descriptor.name),
+                transport: self.shared.transport(),
+                location: endpoint.clone(),
+            }],
+        );
+        let wsdl_xml = wsdl.to_xml();
+        let engine = MessageEngine::new(descriptor.clone(), handler);
+        let events = self.shared.events.clone();
+        let service_name = descriptor.name.clone();
+
+        let http_handler: wsp_http::HttpHandler = Arc::new(move |request: &Request| {
+            match request.method {
+                wsp_http::Method::Get => {
+                    // `?wsdl` (and plain GET) serve the description.
+                    Response::ok("text/xml; charset=utf-8", wsdl_xml.clone())
+                }
+                wsp_http::Method::Post => {
+                    let envelope = match Envelope::from_xml(&request.body_str()) {
+                        Ok(envelope) => envelope,
+                        Err(e) => {
+                            let fault = Envelope::fault(e.to_fault());
+                            let mut r = Response::new(500, "Internal Server Error");
+                            r.headers.set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
+                            r.body = fault.to_xml().into_bytes();
+                            return r;
+                        }
+                    };
+                    // The application sees the request before the engine
+                    // (Section III, point 2).
+                    events.fire_server(&ServerMessageEvent {
+                        service: service_name.clone(),
+                        phase: ServerPhase::Inbound,
+                        envelope: envelope.clone(),
+                    });
+                    match engine.process(&envelope) {
+                        Some(response) => {
+                            events.fire_server(&ServerMessageEvent {
+                                service: service_name.clone(),
+                                phase: ServerPhase::Outbound,
+                                envelope: response.clone(),
+                            });
+                            let status = if response.fault_body().is_some() { 500 } else { 200 };
+                            let mut r = Response::new(status, if status == 200 { "OK" } else { "Internal Server Error" });
+                            r.headers.set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
+                            r.body = response.to_xml().into_bytes();
+                            r
+                        }
+                        None => Response::new(202, "Accepted"), // one-way
+                    }
+                }
+                _ => Response::bad_request("SOAP endpoints accept GET (?wsdl) and POST"),
+            }
+        });
+
+        let host_guard = self.shared.host.lock();
+        host_guard
+            .as_ref()
+            .expect("host launched above")
+            .router()
+            .deploy(&descriptor.name, http_handler);
+        Ok(DeployedService { descriptor, endpoints: vec![endpoint], wsdl })
+    }
+
+    fn undeploy(&self, service: &str) -> bool {
+        self.shared
+            .host
+            .lock()
+            .as_ref()
+            .map(|h| h.router().undeploy(service))
+            .unwrap_or(false)
+    }
+
+    fn kind(&self) -> &'static str {
+        "http"
+    }
+}
+
+// --- publisher -------------------------------------------------------------
+
+struct UddiPublisher {
+    shared: Arc<Shared>,
+}
+
+impl ServicePublisher for UddiPublisher {
+    fn publish(&self, service: &DeployedService) -> Result<String, WspError> {
+        let endpoint = service
+            .primary_endpoint()
+            .ok_or_else(|| WspError::Publish("service has no endpoint".into()))?;
+        let tmodel = self
+            .shared
+            .uddi
+            .save_tmodel(
+                &TModel::new("", format!("{} WSDL", service.name()))
+                    .with_overview(format!("{endpoint}?wsdl")),
+            )
+            .map_err(|e| WspError::Publish(e.to_string()))?;
+        let mut record = BusinessService::new("", self.shared.config.business.clone(), service.name())
+            .with_binding(BindingTemplate::new("", endpoint).with_tmodel(tmodel.key));
+        if let Some(doc) = &service.descriptor.documentation {
+            record = record.with_description(doc.clone());
+        }
+        for category in properties_to_uddi_categories(&service.descriptor.properties) {
+            record = record.with_category(category);
+        }
+        let saved =
+            self.shared.uddi.save_service(&record).map_err(|e| WspError::Publish(e.to_string()))?;
+        self.shared.published.write().insert(service.name().to_owned(), saved.key.clone());
+        Ok(saved.key)
+    }
+
+    fn unpublish(&self, service: &str) -> bool {
+        let Some(key) = self.shared.published.write().remove(service) else { return false };
+        self.shared.uddi.delete_service(&key).unwrap_or(false)
+    }
+
+    fn kind(&self) -> &'static str {
+        "uddi"
+    }
+}
+
+// --- locator ---------------------------------------------------------------
+
+struct UddiLocator {
+    shared: Arc<Shared>,
+}
+
+impl ServiceLocator for UddiLocator {
+    fn locate(&self, query: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
+        let records = self
+            .shared
+            .uddi
+            .locate(&query.to_uddi())
+            .map_err(|e| WspError::Locate(e.to_string()))?;
+        let mut found = Vec::new();
+        for record in records {
+            for binding in &record.bindings {
+                // Fetch the WSDL from the provider; providers that have
+                // gone away are skipped, not fatal.
+                let request = Request::get(format!(
+                    "{}?wsdl",
+                    HttpUri::parse(&binding.access_point)
+                        .map(|u| u.target)
+                        .unwrap_or_else(|_| "/".into())
+                ));
+                let Ok(response) = self.shared.call(&binding.access_point, request) else {
+                    continue;
+                };
+                if !response.is_success() {
+                    continue;
+                }
+                let Ok(wsdl) = WsdlDocument::from_xml(&response.body_str()) else { continue };
+                found.push(LocatedService::new(
+                    wsdl,
+                    binding.access_point.clone(),
+                    BindingKind::HttpUddi,
+                ));
+            }
+        }
+        Ok(found)
+    }
+
+    fn kind(&self) -> &'static str {
+        "uddi"
+    }
+}
+
+// --- invoker ---------------------------------------------------------------
+
+struct HttpInvoker {
+    shared: Arc<Shared>,
+}
+
+impl Invoker for HttpInvoker {
+    fn invoke(
+        &self,
+        service: &LocatedService,
+        operation: &str,
+        args: &[Value],
+    ) -> Result<Value, WspError> {
+        let proxy = ServiceProxy::new(service.wsdl.descriptor.clone(), service.endpoint.clone());
+        let envelope = proxy.encode_request(operation, args)?;
+        let target = HttpUri::parse(&service.endpoint)
+            .map(|u| u.target)
+            .unwrap_or_else(|_| "/".into());
+        let request =
+            Request::post(target, wsp_soap::constants::CONTENT_TYPE, envelope.to_xml().into_bytes());
+        let response = self.shared.call(&service.endpoint, request)?;
+        let expects_response = service
+            .wsdl
+            .descriptor
+            .find_operation(operation)
+            .map(|op| op.expects_response())
+            .unwrap_or(true);
+        if !expects_response {
+            return Ok(Value::Null);
+        }
+        if response.status == 202 || (response.is_success() && response.body.is_empty()) {
+            return Ok(Value::Null);
+        }
+        if !response.is_success() && response.status != 500 {
+            return Err(WspError::Invoke(format!("endpoint answered HTTP {}", response.status)));
+        }
+        let envelope = Envelope::from_xml(&response.body_str())
+            .map_err(|e| WspError::Invoke(format!("unparseable response: {e}")))?;
+        Ok(proxy.decode_response(operation, &envelope)?)
+    }
+
+    fn handles(&self, endpoint: &str) -> bool {
+        endpoint.starts_with("http://") || endpoint.starts_with("httpg://")
+    }
+
+    fn kind(&self) -> &'static str {
+        "http"
+    }
+}

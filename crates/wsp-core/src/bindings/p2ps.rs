@@ -1,0 +1,407 @@
+//! The P2PS implementation (paper Section IV.B, Figures 4–6): services
+//! deployed as pipe collections, published as XML adverts, discovered
+//! by rendezvous flooding, and invoked with SOAP over unidirectional
+//! pipes using WS-Addressing `ReplyTo` return pipes.
+//!
+//! One operation = one pipe, matching the paper's
+//! `p2ps://id/echo#echostring` scheme; every service additionally
+//! carries the *definition pipe* from which its WSDL is retrieved.
+
+use crate::components::{Binding, Invoker, ServiceDeployer, ServiceLocator, ServicePublisher};
+use crate::endpoint::{BindingKind, DeployedService, LocatedService};
+use crate::error::WspError;
+use crate::events::{EventBus, ServerMessageEvent, ServerPhase};
+use crate::query::ServiceQuery;
+use crossbeam_channel::{bounded, unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+use wsp_p2ps::{
+    decode_request, encode_response, P2psUri, PipeAdvertisement, RpcCorrelator,
+    ServiceAdvertisement, ThreadPeer, ThreadPeerEvent, DEFINITION_PIPE, P2PS_NS,
+};
+use wsp_soap::Envelope;
+use wsp_wsdl::{MessageEngine, Port, ServiceDescriptor, ServiceHandler, ServiceProxy, TransportKind, Value, WsdlDocument};
+
+/// Timing knobs of the P2PS binding.
+#[derive(Debug, Clone)]
+pub struct P2psConfig {
+    /// How long a locate call collects query hits before returning —
+    /// P2P discovery has no single authoritative answer, so the locator
+    /// gathers what the network returns within this window.
+    pub discovery_window: Duration,
+    /// How long to wait for a response on a return pipe.
+    pub request_timeout: Duration,
+}
+
+impl Default for P2psConfig {
+    fn default() -> Self {
+        P2psConfig {
+            discovery_window: Duration::from_millis(300),
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct Shared {
+    peer: ThreadPeer,
+    config: P2psConfig,
+    events: EventBus,
+    engines: RwLock<HashMap<String, Arc<MessageEngine>>>,
+    wsdls: RwLock<HashMap<String, String>>,
+    published: RwLock<HashMap<String, ServiceAdvertisement>>,
+    correlator: Mutex<RpcCorrelator>,
+    pending_requests: Mutex<HashMap<u64, Sender<Envelope>>>,
+    pending_queries: Mutex<HashMap<u64, Sender<Vec<ServiceAdvertisement>>>>,
+    tokens: AtomicU64,
+}
+
+/// The P2PS binding. Construct with a spawned [`ThreadPeer`]; the
+/// binding runs a demultiplexer thread that routes the peer's events to
+/// hosted services (server side) and outstanding calls (client side).
+#[derive(Clone)]
+pub struct P2psBinding {
+    shared: Arc<Shared>,
+}
+
+impl P2psBinding {
+    pub fn new(peer: ThreadPeer, events: EventBus, config: P2psConfig) -> Self {
+        let shared = Arc::new(Shared {
+            peer,
+            config,
+            events,
+            engines: RwLock::new(HashMap::new()),
+            wsdls: RwLock::new(HashMap::new()),
+            published: RwLock::new(HashMap::new()),
+            correlator: Mutex::new(RpcCorrelator::new()),
+            pending_requests: Mutex::new(HashMap::new()),
+            pending_queries: Mutex::new(HashMap::new()),
+            tokens: AtomicU64::new(1),
+        });
+        let weak = Arc::downgrade(&shared);
+        std::thread::Builder::new()
+            .name(format!("wsp-p2ps-demux-{}", shared.peer.id()))
+            .spawn(move || demux_loop(weak))
+            .expect("spawn demux thread");
+        P2psBinding { shared }
+    }
+
+    /// This peer's logical id.
+    pub fn peer_id(&self) -> wsp_p2ps::PeerId {
+        self.shared.peer.id()
+    }
+
+    /// Wire this peer to a neighbour (its rendezvous, usually).
+    pub fn add_neighbour(&self, peer: wsp_p2ps::PeerId, rendezvous: bool) {
+        self.shared.peer.add_neighbour(peer, rendezvous);
+    }
+}
+
+impl Binding for P2psBinding {
+    fn kind(&self) -> &'static str {
+        "p2ps"
+    }
+
+    fn locator(&self) -> Arc<dyn ServiceLocator> {
+        Arc::new(P2psLocator { shared: self.shared.clone() })
+    }
+
+    fn invoker(&self) -> Arc<dyn Invoker> {
+        Arc::new(P2psInvoker { shared: self.shared.clone() })
+    }
+
+    fn deployer(&self) -> Arc<dyn ServiceDeployer> {
+        Arc::new(P2psDeployer { shared: self.shared.clone() })
+    }
+
+    fn publisher(&self) -> Arc<dyn ServicePublisher> {
+        Arc::new(P2psPublisher { shared: self.shared.clone() })
+    }
+}
+
+// --- demultiplexer ----------------------------------------------------------
+
+fn demux_loop(weak: Weak<Shared>) {
+    loop {
+        let Some(shared) = weak.upgrade() else { return };
+        let event = shared.peer.recv_event(Duration::from_millis(50));
+        match event {
+            Some(ThreadPeerEvent::QueryResult { token, adverts }) => {
+                if let Some(tx) = shared.pending_queries.lock().get(&token) {
+                    let _ = tx.send(adverts);
+                }
+            }
+            Some(ThreadPeerEvent::PipeDelivery { pipe, from: _, payload }) => {
+                if pipe.service.is_some() {
+                    serve_request(&shared, &pipe, &payload);
+                } else {
+                    // A return pipe: correlate with an outstanding call.
+                    let correlated = shared.correlator.lock().accept_response(&payload);
+                    if let Some((token, envelope)) = correlated {
+                        if let Some(tx) = shared.pending_requests.lock().remove(&token) {
+                            let _ = tx.send(envelope);
+                        }
+                    }
+                }
+            }
+            Some(_) | None => {}
+        }
+        drop(shared); // release before blocking again so shutdown works
+    }
+}
+
+/// Server side of Figure 6: answer a request that arrived on one of our
+/// service pipes.
+fn serve_request(shared: &Shared, pipe: &PipeAdvertisement, payload: &str) {
+    let service = pipe.service.clone().expect("checked by caller");
+    let Some(received) = decode_request(payload) else { return };
+
+    let response = if pipe.name == DEFINITION_PIPE {
+        // Serve the WSDL from the definition pipe.
+        shared.wsdls.read().get(&service).map(|xml| {
+            let body = wsp_xml::parse(xml).expect("stored WSDL is well-formed");
+            Envelope::request(body)
+        })
+    } else {
+        let engine = shared.engines.read().get(&service).cloned();
+        match engine {
+            Some(engine) => {
+                shared.events.fire_server(&ServerMessageEvent {
+                    service: service.clone(),
+                    phase: ServerPhase::Inbound,
+                    envelope: received.envelope.clone(),
+                });
+                let response = engine.process(&received.envelope);
+                if let Some(response) = &response {
+                    shared.events.fire_server(&ServerMessageEvent {
+                        service: service.clone(),
+                        phase: ServerPhase::Outbound,
+                        envelope: response.clone(),
+                    });
+                }
+                response
+            }
+            None => Some(Envelope::fault(wsp_soap::Fault::receiver(format!(
+                "service {service:?} is not deployed on this peer"
+            )))),
+        }
+    };
+
+    if let Some(response) = response {
+        if let Some((reply_pipe, wire)) = encode_response(&received, response) {
+            shared.peer.send_pipe(reply_pipe, wire);
+        }
+    }
+}
+
+// --- pipe request/response (Figure 5) ---------------------------------------
+
+fn request_over_pipe(
+    shared: &Shared,
+    target: &PipeAdvertisement,
+    envelope: Envelope,
+) -> Result<Envelope, WspError> {
+    let token = shared.tokens.fetch_add(1, Ordering::Relaxed);
+    // Step 1-2: create a return pipe and its advertisement.
+    let return_pipe = shared.peer.open_pipe(None);
+    let (tx, rx) = bounded(1);
+    shared.pending_requests.lock().insert(token, tx);
+    // Step 3-5: serialise the advert into ReplyTo and send the request.
+    let wire = shared
+        .correlator
+        .lock()
+        .encode_request(token, target, &return_pipe, envelope);
+    shared.peer.send_pipe(target.clone(), wire);
+    // Step 6: await the response on the return pipe.
+    let result = rx.recv_timeout(shared.config.request_timeout);
+    shared.pending_requests.lock().remove(&token);
+    shared.peer.close_pipe(return_pipe);
+    result.map_err(|_| WspError::Timeout {
+        what: "pipe request",
+        millis: shared.config.request_timeout.as_millis() as u64,
+    })
+}
+
+// --- deployer ----------------------------------------------------------------
+
+struct P2psDeployer {
+    shared: Arc<Shared>,
+}
+
+fn advert_for(descriptor: &ServiceDescriptor, peer: wsp_p2ps::PeerId) -> ServiceAdvertisement {
+    let mut advert = ServiceAdvertisement::new(descriptor.name.clone(), peer);
+    for op in &descriptor.operations {
+        advert = advert.with_pipe(op.name.clone());
+    }
+    advert = advert.with_definition_pipe();
+    for (key, value) in &descriptor.properties {
+        advert = advert.with_attribute(key.clone(), value.clone());
+    }
+    advert
+}
+
+impl ServiceDeployer for P2psDeployer {
+    fn deploy(
+        &self,
+        descriptor: ServiceDescriptor,
+        handler: Arc<dyn ServiceHandler>,
+    ) -> Result<DeployedService, WspError> {
+        let advert = advert_for(&descriptor, self.shared.peer.id());
+        let endpoint = advert.uri().address();
+        let wsdl = WsdlDocument::new(
+            descriptor.clone(),
+            vec![Port {
+                name: format!("{}P2psPort", descriptor.name),
+                transport: TransportKind::P2ps,
+                location: endpoint.clone(),
+            }],
+        );
+        self.shared
+            .engines
+            .write()
+            .insert(descriptor.name.clone(), Arc::new(MessageEngine::new(descriptor.clone(), handler)));
+        self.shared.wsdls.write().insert(descriptor.name.clone(), wsdl.to_xml());
+        // Open the pipes locally; announcement is publish's job.
+        self.shared.peer.register(advert);
+        Ok(DeployedService { descriptor, endpoints: vec![endpoint], wsdl })
+    }
+
+    fn undeploy(&self, service: &str) -> bool {
+        let existed = self.shared.engines.write().remove(service).is_some();
+        self.shared.wsdls.write().remove(service);
+        self.shared.peer.unpublish(service);
+        existed
+    }
+
+    fn kind(&self) -> &'static str {
+        "p2ps"
+    }
+}
+
+// --- publisher -----------------------------------------------------------------
+
+struct P2psPublisher {
+    shared: Arc<Shared>,
+}
+
+impl ServicePublisher for P2psPublisher {
+    fn publish(&self, service: &DeployedService) -> Result<String, WspError> {
+        if !self.shared.engines.read().contains_key(service.name()) {
+            return Err(WspError::Publish(format!("{} is not deployed on this peer", service.name())));
+        }
+        let advert = advert_for(&service.descriptor, self.shared.peer.id());
+        let location = advert.uri().address();
+        self.shared.published.write().insert(service.name().to_owned(), advert.clone());
+        self.shared.peer.publish(advert);
+        Ok(location)
+    }
+
+    fn unpublish(&self, service: &str) -> bool {
+        let existed = self.shared.published.write().remove(service).is_some();
+        if existed {
+            self.shared.peer.unpublish(service);
+        }
+        existed
+    }
+
+    fn kind(&self) -> &'static str {
+        "p2ps"
+    }
+}
+
+// --- locator ---------------------------------------------------------------------
+
+struct P2psLocator {
+    shared: Arc<Shared>,
+}
+
+impl ServiceLocator for P2psLocator {
+    fn locate(&self, query: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
+        let token = self.shared.tokens.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.shared.pending_queries.lock().insert(token, tx);
+        self.shared.peer.query(token, query.to_p2ps());
+
+        // Collect hits for the discovery window.
+        let deadline = Instant::now() + self.shared.config.discovery_window;
+        let mut adverts: Vec<ServiceAdvertisement> = Vec::new();
+        while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
+            match rx.recv_timeout(remaining) {
+                Ok(batch) => {
+                    for advert in batch {
+                        if !adverts.iter().any(|a| a.peer == advert.peer && a.name == advert.name) {
+                            adverts.push(advert);
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        self.shared.pending_queries.lock().remove(&token);
+
+        // Retrieve each hit's WSDL through its definition pipe.
+        let mut found = Vec::new();
+        for advert in adverts {
+            let Some(definition_pipe) = advert.definition_pipe() else { continue };
+            let get = Envelope::request(wsp_xml::Element::new(P2PS_NS, "GetDefinition"));
+            let Ok(response) = request_over_pipe(&self.shared, definition_pipe, get) else {
+                continue; // provider vanished mid-discovery
+            };
+            let Some(defs) = response.payload() else { continue };
+            let Ok(wsdl) = WsdlDocument::from_element(defs) else { continue };
+            found.push(LocatedService::new(wsdl, advert.uri().address(), BindingKind::P2ps));
+        }
+        Ok(found)
+    }
+
+    fn kind(&self) -> &'static str {
+        "p2ps"
+    }
+}
+
+// --- invoker ----------------------------------------------------------------------
+
+struct P2psInvoker {
+    shared: Arc<Shared>,
+}
+
+impl Invoker for P2psInvoker {
+    fn invoke(
+        &self,
+        service: &LocatedService,
+        operation: &str,
+        args: &[Value],
+    ) -> Result<Value, WspError> {
+        let uri = P2psUri::parse(&service.endpoint)
+            .map_err(|e| WspError::Invoke(e.to_string()))?;
+        // One pipe per operation: the fragment is the operation name.
+        let target = PipeAdvertisement::new(uri.peer, uri.service.clone(), operation.to_owned());
+        let proxy = ServiceProxy::new(service.wsdl.descriptor.clone(), service.endpoint.clone());
+        let envelope = proxy.encode_request(operation, args)?;
+        let expects_response = service
+            .wsdl
+            .descriptor
+            .find_operation(operation)
+            .map(|op| op.expects_response())
+            .unwrap_or(true);
+        if !expects_response {
+            // One-way: no return pipe, fire and forget.
+            let mut envelope = envelope;
+            envelope.set_addressing(wsp_p2ps::request_headers(&target));
+            self.shared.peer.send_pipe(target, envelope.to_xml());
+            return Ok(Value::Null);
+        }
+        let response = request_over_pipe(&self.shared, &target, envelope)?;
+        Ok(proxy.decode_response(operation, &response)?)
+    }
+
+    fn handles(&self, endpoint: &str) -> bool {
+        endpoint.starts_with("p2ps://")
+    }
+
+    fn kind(&self) -> &'static str {
+        "p2ps"
+    }
+}

@@ -1,0 +1,308 @@
+//! The client side of the interface tree: discovery and invocation.
+
+use crate::components::{Invoker, ServiceLocator};
+use crate::endpoint::LocatedService;
+use crate::error::WspError;
+use crate::events::{ClientMessageEvent, DiscoveryMessageEvent, EventBus};
+use crate::query::{QueryExpr, ServiceQuery};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wsp_wsdl::Value;
+
+/// The `Client` node: owns a pluggable [`ServiceLocator`] and a set of
+/// [`Invoker`]s (one per reachable endpoint scheme), and fires
+/// discovery/client events into the shared bus.
+///
+/// Both synchronous and asynchronous forms are offered; the paper's
+/// position is that WSPeer "allows synchronous discovery and
+/// invocation, \[but\] is essentially an asynchronous, event driven
+/// system".
+pub struct Client {
+    locator: RwLock<Option<Arc<dyn ServiceLocator>>>,
+    invokers: RwLock<Vec<Arc<dyn Invoker>>>,
+    events: EventBus,
+    tokens: AtomicU64,
+}
+
+impl Client {
+    pub fn new(events: EventBus) -> Arc<Client> {
+        Arc::new(Client {
+            locator: RwLock::new(None),
+            invokers: RwLock::new(Vec::new()),
+            events,
+            tokens: AtomicU64::new(1),
+        })
+    }
+
+    /// Plug in (or replace) the locator — e.g. swap the UDDI locator
+    /// for a P2PS one without the application changing.
+    pub fn set_locator(&self, locator: Arc<dyn ServiceLocator>) {
+        *self.locator.write() = Some(locator);
+    }
+
+    /// Add an invoker. Several can coexist; dispatch is by endpoint
+    /// scheme.
+    pub fn add_invoker(&self, invoker: Arc<dyn Invoker>) {
+        self.invokers.write().push(invoker);
+    }
+
+    pub fn locator_kind(&self) -> Option<&'static str> {
+        self.locator.read().as_ref().map(|l| l.kind())
+    }
+
+    fn next_token(&self) -> u64 {
+        self.tokens.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Synchronous discovery. Fires a [`DiscoveryMessageEvent`] as well
+    /// as returning the result.
+    pub fn locate(&self, query: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
+        let token = self.next_token();
+        let locator = self
+            .locator
+            .read()
+            .clone()
+            .ok_or_else(|| WspError::Locate("no ServiceLocator plugged in".into()))?;
+        let result = locator.locate(query);
+        self.events.fire_discovery(&DiscoveryMessageEvent { token, result: result.clone() });
+        result
+    }
+
+    /// Rich discovery (the paper's "more complex queries"): push a sound
+    /// base query down to the binding's native search, then refine the
+    /// results against the full expression using each service's name and
+    /// the discovery properties carried in its WSDL.
+    pub fn locate_where(&self, expr: &QueryExpr) -> Result<Vec<LocatedService>, WspError> {
+        let candidates = self.locate(&expr.base_query())?;
+        Ok(candidates
+            .into_iter()
+            .filter(|s| expr.matches(s.name(), &s.descriptor().properties))
+            .collect())
+    }
+
+    /// Convenience: the first match, or an error.
+    pub fn locate_one(&self, query: &ServiceQuery) -> Result<LocatedService, WspError> {
+        self.locate(query)?
+            .into_iter()
+            .next()
+            .ok_or_else(|| WspError::Locate(format!("no service matches {query:?}")))
+    }
+
+    /// Asynchronous discovery: returns immediately with a token; the
+    /// result arrives as a [`DiscoveryMessageEvent`] with that token.
+    pub fn locate_async(self: &Arc<Self>, query: ServiceQuery) -> u64 {
+        let token = self.next_token();
+        let client = Arc::clone(self);
+        std::thread::spawn(move || {
+            let result = match client.locator.read().clone() {
+                Some(locator) => locator.locate(&query),
+                None => Err(WspError::Locate("no ServiceLocator plugged in".into())),
+            };
+            client.events.fire_discovery(&DiscoveryMessageEvent { token, result });
+        });
+        token
+    }
+
+    fn invoker_for(&self, endpoint: &str) -> Result<Arc<dyn Invoker>, WspError> {
+        self.invokers
+            .read()
+            .iter()
+            .find(|i| i.handles(endpoint))
+            .cloned()
+            .ok_or_else(|| WspError::NoBindingFor {
+                scheme: endpoint.split("://").next().unwrap_or("?").to_owned(),
+            })
+    }
+
+    /// Synchronous invocation: validate, send, await the response.
+    pub fn invoke(
+        &self,
+        service: &LocatedService,
+        operation: &str,
+        args: &[Value],
+    ) -> Result<Value, WspError> {
+        if !service.has_operation(operation) {
+            return Err(WspError::NoSuchOperation {
+                service: service.name().to_owned(),
+                operation: operation.to_owned(),
+            });
+        }
+        let invoker = self.invoker_for(&service.endpoint)?;
+        let token = self.next_token();
+        let result = invoker.invoke(service, operation, args);
+        self.events.fire_client(&ClientMessageEvent {
+            token,
+            service: service.name().to_owned(),
+            operation: operation.to_owned(),
+            result: result.clone(),
+        });
+        result
+    }
+
+    /// Asynchronous invocation: returns a token immediately; completion
+    /// arrives as a [`ClientMessageEvent`]. This is the mode "needed
+    /// within a P2P environment" where nodes are unreliable.
+    pub fn invoke_async(
+        self: &Arc<Self>,
+        service: LocatedService,
+        operation: impl Into<String>,
+        args: Vec<Value>,
+    ) -> u64 {
+        let token = self.next_token();
+        let operation = operation.into();
+        let client = Arc::clone(self);
+        std::thread::spawn(move || {
+            let result = if !service.has_operation(&operation) {
+                Err(WspError::NoSuchOperation {
+                    service: service.name().to_owned(),
+                    operation: operation.clone(),
+                })
+            } else {
+                match client.invoker_for(&service.endpoint) {
+                    Ok(invoker) => invoker.invoke(&service, &operation, &args),
+                    Err(e) => Err(e),
+                }
+            };
+            client.events.fire_client(&ClientMessageEvent {
+                token,
+                service: service.name().to_owned(),
+                operation,
+                result,
+            });
+        });
+        token
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::BindingKind;
+    use crate::events::CollectingListener;
+    use wsp_wsdl::{ServiceDescriptor, WsdlDocument};
+
+    struct FixedLocator(Vec<LocatedService>);
+    impl ServiceLocator for FixedLocator {
+        fn locate(&self, _query: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
+            Ok(self.0.clone())
+        }
+        fn kind(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    struct EchoInvoker;
+    impl Invoker for EchoInvoker {
+        fn invoke(
+            &self,
+            _service: &LocatedService,
+            _operation: &str,
+            args: &[Value],
+        ) -> Result<Value, WspError> {
+            Ok(args.first().cloned().unwrap_or(Value::Null))
+        }
+        fn handles(&self, endpoint: &str) -> bool {
+            endpoint.starts_with("test://")
+        }
+        fn kind(&self) -> &'static str {
+            "test"
+        }
+    }
+
+    fn test_service() -> LocatedService {
+        LocatedService::new(
+            WsdlDocument::new(ServiceDescriptor::echo(), vec![]),
+            "test://somewhere/Echo",
+            BindingKind::HttpUddi,
+        )
+    }
+
+    fn wired_client() -> (Arc<Client>, Arc<CollectingListener>) {
+        let events = EventBus::new();
+        let listener = CollectingListener::new();
+        events.add_listener(listener.clone());
+        let client = Client::new(events);
+        client.set_locator(Arc::new(FixedLocator(vec![test_service()])));
+        client.add_invoker(Arc::new(EchoInvoker));
+        (client, listener)
+    }
+
+    #[test]
+    fn locate_fires_event_and_returns() {
+        let (client, listener) = wired_client();
+        let found = client.locate(&ServiceQuery::by_name("Echo")).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(listener.discoveries.read().len(), 1);
+    }
+
+    #[test]
+    fn locate_without_locator_errors() {
+        let client = Client::new(EventBus::new());
+        assert!(matches!(client.locate(&ServiceQuery::any()), Err(WspError::Locate(_))));
+    }
+
+    #[test]
+    fn invoke_dispatches_by_scheme() {
+        let (client, listener) = wired_client();
+        let service = client.locate_one(&ServiceQuery::by_name("Echo")).unwrap();
+        let out = client.invoke(&service, "echoString", &[Value::string("hello")]).unwrap();
+        assert_eq!(out, Value::string("hello"));
+        assert_eq!(listener.client_messages.read().len(), 1);
+    }
+
+    #[test]
+    fn invoke_unknown_scheme_errors() {
+        let (client, _) = wired_client();
+        let mut service = test_service();
+        service.endpoint = "gopher://old/Echo".into();
+        let err = client.invoke(&service, "echoString", &[Value::string("x")]).unwrap_err();
+        assert!(matches!(err, WspError::NoBindingFor { scheme } if scheme == "gopher"));
+    }
+
+    #[test]
+    fn invoke_unknown_operation_errors() {
+        let (client, _) = wired_client();
+        let service = test_service();
+        let err = client.invoke(&service, "fly", &[]).unwrap_err();
+        assert!(matches!(err, WspError::NoSuchOperation { .. }));
+    }
+
+    #[test]
+    fn async_paths_fire_events() {
+        let (client, listener) = wired_client();
+        let locate_token = client.locate_async(ServiceQuery::by_name("Echo"));
+        let invoke_token =
+            client.invoke_async(test_service(), "echoString", vec![Value::string("async")]);
+        // Poll until both events land (threads).
+        for _ in 0..200 {
+            if listener.discoveries.read().len() == 1 && listener.client_messages.read().len() == 1
+            {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(listener.discoveries.read()[0].token, locate_token);
+        let client_event = &listener.client_messages.read()[0];
+        assert_eq!(client_event.token, invoke_token);
+        assert_eq!(client_event.result.as_ref().unwrap(), &Value::string("async"));
+    }
+
+    #[test]
+    fn replacing_locator_at_runtime() {
+        let (client, _) = wired_client();
+        assert_eq!(client.locator_kind(), Some("fixed"));
+        struct EmptyLocator;
+        impl ServiceLocator for EmptyLocator {
+            fn locate(&self, _q: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
+                Ok(vec![])
+            }
+            fn kind(&self) -> &'static str {
+                "empty"
+            }
+        }
+        client.set_locator(Arc::new(EmptyLocator));
+        assert_eq!(client.locator_kind(), Some("empty"));
+        assert!(client.locate(&ServiceQuery::any()).unwrap().is_empty());
+    }
+}

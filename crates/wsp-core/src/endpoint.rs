@@ -1,0 +1,151 @@
+//! Located and deployed service handles — the WSPeer data structures
+//! applications deal with "not those that are transmitted over the
+//! wire" (Section III).
+
+use wsp_wsdl::{ServiceDescriptor, TransportKind, WsdlDocument};
+
+/// Which family of substrate an endpoint belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BindingKind {
+    /// Standard Web services: SOAP over HTTP(G), UDDI discovery.
+    HttpUddi,
+    /// SOAP over P2PS pipes, advert-based discovery.
+    P2ps,
+}
+
+impl BindingKind {
+    /// The URI scheme of endpoints in this binding.
+    pub fn scheme(self) -> &'static str {
+        match self {
+            BindingKind::HttpUddi => "http",
+            BindingKind::P2ps => "p2ps",
+        }
+    }
+
+    /// Classify an endpoint URI.
+    pub fn of_endpoint(endpoint: &str) -> Option<BindingKind> {
+        if endpoint.starts_with("http://") || endpoint.starts_with("httpg://") {
+            Some(BindingKind::HttpUddi)
+        } else if endpoint.starts_with("p2ps://") {
+            Some(BindingKind::P2ps)
+        } else {
+            None
+        }
+    }
+}
+
+/// A service the locator found: everything a client needs to invoke it.
+///
+/// The application never sees UDDI records or P2PS adverts — only this,
+/// which is how WSPeer keeps the application "protected from the very
+/// diversity it exploits".
+#[derive(Debug, Clone)]
+pub struct LocatedService {
+    /// The service's WSDL description.
+    pub wsdl: WsdlDocument,
+    /// The concrete endpoint chosen for invocation.
+    pub endpoint: String,
+    /// Which binding the endpoint belongs to.
+    pub kind: BindingKind,
+}
+
+impl LocatedService {
+    pub fn new(wsdl: WsdlDocument, endpoint: impl Into<String>, kind: BindingKind) -> Self {
+        LocatedService { wsdl, endpoint: endpoint.into(), kind }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.wsdl.descriptor.name
+    }
+
+    pub fn descriptor(&self) -> &ServiceDescriptor {
+        &self.wsdl.descriptor
+    }
+
+    /// Does the service offer `operation`?
+    pub fn has_operation(&self, operation: &str) -> bool {
+        self.wsdl.descriptor.find_operation(operation).is_some()
+    }
+
+    /// Re-target the same service at a different port from its WSDL
+    /// (e.g. prefer the P2PS port of a dual-homed service).
+    pub fn retarget(&self, transport: TransportKind) -> Option<LocatedService> {
+        let port = self.wsdl.port_for(transport)?;
+        let kind = BindingKind::of_endpoint(&port.location)?;
+        Some(LocatedService { wsdl: self.wsdl.clone(), endpoint: port.location.clone(), kind })
+    }
+}
+
+/// A service this peer has deployed: the handle the application keeps.
+#[derive(Debug, Clone)]
+pub struct DeployedService {
+    pub descriptor: ServiceDescriptor,
+    /// Endpoint URIs now serving the service.
+    pub endpoints: Vec<String>,
+    /// The generated description (what `publish` makes available).
+    pub wsdl: WsdlDocument,
+}
+
+impl DeployedService {
+    pub fn name(&self) -> &str {
+        &self.descriptor.name
+    }
+
+    pub fn primary_endpoint(&self) -> Option<&str> {
+        self.endpoints.first().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_wsdl::Port;
+
+    fn dual_homed() -> LocatedService {
+        let wsdl = WsdlDocument::new(
+            ServiceDescriptor::echo(),
+            vec![
+                Port { name: "H".into(), transport: TransportKind::Http, location: "http://h:1/Echo".into() },
+                Port { name: "P".into(), transport: TransportKind::P2ps, location: "p2ps://00000000000000aa/Echo".into() },
+            ],
+        );
+        LocatedService::new(wsdl, "http://h:1/Echo", BindingKind::HttpUddi)
+    }
+
+    #[test]
+    fn classify_endpoints() {
+        assert_eq!(BindingKind::of_endpoint("http://h/x"), Some(BindingKind::HttpUddi));
+        assert_eq!(BindingKind::of_endpoint("httpg://h/x"), Some(BindingKind::HttpUddi));
+        assert_eq!(BindingKind::of_endpoint("p2ps://00000000000000aa/Echo"), Some(BindingKind::P2ps));
+        assert_eq!(BindingKind::of_endpoint("ftp://h/x"), None);
+    }
+
+    #[test]
+    fn located_service_accessors() {
+        let svc = dual_homed();
+        assert_eq!(svc.name(), "Echo");
+        assert!(svc.has_operation("echoString"));
+        assert!(!svc.has_operation("nope"));
+    }
+
+    #[test]
+    fn retarget_switches_binding() {
+        let svc = dual_homed();
+        let p2ps = svc.retarget(TransportKind::P2ps).unwrap();
+        assert_eq!(p2ps.kind, BindingKind::P2ps);
+        assert!(p2ps.endpoint.starts_with("p2ps://"));
+        assert!(svc.retarget(TransportKind::Httpg).is_none());
+    }
+
+    #[test]
+    fn deployed_service_accessors() {
+        let wsdl = WsdlDocument::new(ServiceDescriptor::echo(), vec![]);
+        let deployed = DeployedService {
+            descriptor: ServiceDescriptor::echo(),
+            endpoints: vec!["http://h:1/Echo".into()],
+            wsdl,
+        };
+        assert_eq!(deployed.name(), "Echo");
+        assert_eq!(deployed.primary_endpoint(), Some("http://h:1/Echo"));
+    }
+}

@@ -1,0 +1,85 @@
+//! The unified error type of the WSPeer API.
+
+use std::fmt;
+use wsp_soap::Fault;
+use wsp_wsdl::ProxyError;
+
+/// Everything that can go wrong across locate / deploy / publish /
+/// invoke, regardless of binding.
+#[derive(Debug, Clone)]
+pub enum WspError {
+    /// Discovery failed (registry unreachable, malformed responses, …).
+    Locate(String),
+    /// Deployment failed (port in use, duplicate service, …).
+    Deploy(String),
+    /// Publication failed.
+    Publish(String),
+    /// Client-side invocation error (validation, transport, decoding).
+    Invoke(String),
+    /// The service answered with a SOAP fault (boxed to keep the enum
+    /// small; faults carry XML detail).
+    Fault(Box<Fault>),
+    /// No response arrived in time (asynchronous interactions with
+    /// unreliable peers time out rather than hang).
+    Timeout { what: &'static str, millis: u64 },
+    /// No plugged-in component can handle the endpoint's URI scheme.
+    NoBindingFor { scheme: String },
+    /// The located service does not offer the requested operation.
+    NoSuchOperation { service: String, operation: String },
+}
+
+impl fmt::Display for WspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WspError::Locate(why) => write!(f, "locate failed: {why}"),
+            WspError::Deploy(why) => write!(f, "deploy failed: {why}"),
+            WspError::Publish(why) => write!(f, "publish failed: {why}"),
+            WspError::Invoke(why) => write!(f, "invoke failed: {why}"),
+            WspError::Fault(fault) => write!(f, "{fault}"),
+            WspError::Timeout { what, millis } => write!(f, "{what} timed out after {millis}ms"),
+            WspError::NoBindingFor { scheme } => {
+                write!(f, "no plugged-in component handles {scheme}:// endpoints")
+            }
+            WspError::NoSuchOperation { service, operation } => {
+                write!(f, "service {service} has no operation {operation:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WspError {}
+
+impl From<ProxyError> for WspError {
+    fn from(e: ProxyError) -> Self {
+        match e {
+            ProxyError::Fault(fault) => WspError::Fault(fault),
+            other => WspError::Invoke(other.to_string()),
+        }
+    }
+}
+
+impl From<Fault> for WspError {
+    fn from(fault: Fault) -> Self {
+        WspError::Fault(Box::new(fault))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        assert!(WspError::Locate("registry down".into()).to_string().contains("registry down"));
+        assert!(WspError::Timeout { what: "invoke", millis: 500 }.to_string().contains("500ms"));
+        assert!(WspError::NoBindingFor { scheme: "p2ps".into() }.to_string().contains("p2ps"));
+    }
+
+    #[test]
+    fn proxy_fault_maps_to_fault_variant() {
+        let err: WspError = ProxyError::from(Fault::receiver("boom")).into();
+        assert!(matches!(err, WspError::Fault(f) if f.reason == "boom"));
+        let err: WspError = ProxyError::NoSuchOperation("x".into()).into();
+        assert!(matches!(err, WspError::Invoke(_)));
+    }
+}

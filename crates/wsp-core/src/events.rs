@@ -1,0 +1,244 @@
+//! The event model: WSPeer is "essentially an asynchronous, event
+//! driven system in which components subscribe to events and are
+//! notified when and if responses are returned" (Section III).
+//!
+//! The five event kinds mirror the paper's `PeerMessageListener`
+//! interface verbatim: discovery, publish, client, server and
+//! deployment messages. Every node of the interface tree fires into the
+//! same [`EventBus`], which propagates to listeners registered at the
+//! `Peer` root.
+
+use crate::endpoint::LocatedService;
+use crate::error::WspError;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use wsp_soap::Envelope;
+use wsp_wsdl::Value;
+
+/// Fired by the `ServiceLocator` when discovery completes or fails.
+#[derive(Debug, Clone)]
+pub struct DiscoveryMessageEvent {
+    /// The application token passed to the locate call.
+    pub token: u64,
+    pub result: Result<Vec<LocatedService>, WspError>,
+}
+
+/// Fired by the `ServicePublisher` after a publish attempt.
+#[derive(Debug, Clone)]
+pub struct PublishMessageEvent {
+    pub service: String,
+    /// Where the description was made available (registry key, advert
+    /// address, …).
+    pub result: Result<String, WspError>,
+}
+
+/// Fired by the `Invocation` machinery when a response (or failure)
+/// comes back for an asynchronous call.
+#[derive(Debug, Clone)]
+pub struct ClientMessageEvent {
+    /// The application token passed to the invoke call.
+    pub token: u64,
+    pub service: String,
+    pub operation: String,
+    pub result: Result<Value, WspError>,
+}
+
+/// Which side of the messaging engine a server message was observed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerPhase {
+    /// The raw request, before the engine processes it — the
+    /// application may handle it directly (Section III, point 2).
+    Inbound,
+    /// The response, after the engine produced it.
+    Outbound,
+}
+
+/// Fired by the `Server` for traffic through hosted services.
+#[derive(Debug, Clone)]
+pub struct ServerMessageEvent {
+    pub service: String,
+    pub phase: ServerPhase,
+    pub envelope: Envelope,
+}
+
+/// Fired by the `ServiceDeployer` when a service is (un)deployed.
+#[derive(Debug, Clone)]
+pub struct DeploymentMessageEvent {
+    pub service: String,
+    /// Endpoint URIs now serving the service; empty on undeploy.
+    pub endpoints: Vec<String>,
+}
+
+/// The paper's five-method listener interface. All methods default to
+/// no-ops so applications implement only what they subscribe to.
+#[allow(unused_variables)]
+pub trait PeerMessageListener: Send + Sync {
+    fn on_discovery(&self, event: &DiscoveryMessageEvent) {}
+    fn on_publish(&self, event: &PublishMessageEvent) {}
+    fn on_client_message(&self, event: &ClientMessageEvent) {}
+    fn on_server_message(&self, event: &ServerMessageEvent) {}
+    fn on_deployment(&self, event: &DeploymentMessageEvent) {}
+}
+
+/// The event fan-out shared by every node in the interface tree.
+/// Cloning shares the listener set (events "propagate upwards to the
+/// root of the interface tree").
+#[derive(Clone, Default)]
+pub struct EventBus {
+    listeners: Arc<RwLock<Vec<Arc<dyn PeerMessageListener>>>>,
+}
+
+impl EventBus {
+    pub fn new() -> Self {
+        EventBus::default()
+    }
+
+    /// Register an application listener.
+    pub fn add_listener(&self, listener: Arc<dyn PeerMessageListener>) {
+        self.listeners.write().push(listener);
+    }
+
+    pub fn listener_count(&self) -> usize {
+        self.listeners.read().len()
+    }
+
+    pub fn fire_discovery(&self, event: &DiscoveryMessageEvent) {
+        for l in self.listeners.read().iter() {
+            l.on_discovery(event);
+        }
+    }
+
+    pub fn fire_publish(&self, event: &PublishMessageEvent) {
+        for l in self.listeners.read().iter() {
+            l.on_publish(event);
+        }
+    }
+
+    pub fn fire_client(&self, event: &ClientMessageEvent) {
+        for l in self.listeners.read().iter() {
+            l.on_client_message(event);
+        }
+    }
+
+    pub fn fire_server(&self, event: &ServerMessageEvent) {
+        for l in self.listeners.read().iter() {
+            l.on_server_message(event);
+        }
+    }
+
+    pub fn fire_deployment(&self, event: &DeploymentMessageEvent) {
+        for l in self.listeners.read().iter() {
+            l.on_deployment(event);
+        }
+    }
+}
+
+/// A listener that records everything — used by tests and examples to
+/// observe the asynchronous flows.
+#[derive(Default)]
+pub struct CollectingListener {
+    pub discoveries: RwLock<Vec<DiscoveryMessageEvent>>,
+    pub publishes: RwLock<Vec<PublishMessageEvent>>,
+    pub client_messages: RwLock<Vec<ClientMessageEvent>>,
+    pub server_messages: RwLock<Vec<ServerMessageEvent>>,
+    pub deployments: RwLock<Vec<DeploymentMessageEvent>>,
+}
+
+impl CollectingListener {
+    pub fn new() -> Arc<Self> {
+        Arc::new(CollectingListener::default())
+    }
+
+    /// Total events observed.
+    pub fn total(&self) -> usize {
+        self.discoveries.read().len()
+            + self.publishes.read().len()
+            + self.client_messages.read().len()
+            + self.server_messages.read().len()
+            + self.deployments.read().len()
+    }
+}
+
+impl PeerMessageListener for CollectingListener {
+    fn on_discovery(&self, event: &DiscoveryMessageEvent) {
+        self.discoveries.write().push(event.clone());
+    }
+
+    fn on_publish(&self, event: &PublishMessageEvent) {
+        self.publishes.write().push(event.clone());
+    }
+
+    fn on_client_message(&self, event: &ClientMessageEvent) {
+        self.client_messages.write().push(event.clone());
+    }
+
+    fn on_server_message(&self, event: &ServerMessageEvent) {
+        self.server_messages.write().push(event.clone());
+    }
+
+    fn on_deployment(&self, event: &DeploymentMessageEvent) {
+        self.deployments.write().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listeners_receive_fired_events() {
+        let bus = EventBus::new();
+        let listener = CollectingListener::new();
+        bus.add_listener(listener.clone());
+        bus.fire_deployment(&DeploymentMessageEvent {
+            service: "Echo".into(),
+            endpoints: vec!["http://h/Echo".into()],
+        });
+        bus.fire_publish(&PublishMessageEvent { service: "Echo".into(), result: Ok("uuid:svc-1".into()) });
+        assert_eq!(listener.deployments.read().len(), 1);
+        assert_eq!(listener.publishes.read().len(), 1);
+        assert_eq!(listener.total(), 2);
+    }
+
+    #[test]
+    fn cloned_bus_shares_listeners() {
+        let bus = EventBus::new();
+        let cloned = bus.clone();
+        let listener = CollectingListener::new();
+        bus.add_listener(listener.clone());
+        assert_eq!(cloned.listener_count(), 1);
+        cloned.fire_discovery(&DiscoveryMessageEvent { token: 1, result: Ok(vec![]) });
+        assert_eq!(listener.discoveries.read().len(), 1);
+    }
+
+    #[test]
+    fn multiple_listeners_all_notified() {
+        let bus = EventBus::new();
+        let a = CollectingListener::new();
+        let b = CollectingListener::new();
+        bus.add_listener(a.clone());
+        bus.add_listener(b.clone());
+        bus.fire_client(&ClientMessageEvent {
+            token: 9,
+            service: "Echo".into(),
+            operation: "echoString".into(),
+            result: Ok(Value::string("hi")),
+        });
+        assert_eq!(a.client_messages.read().len(), 1);
+        assert_eq!(b.client_messages.read().len(), 1);
+    }
+
+    #[test]
+    fn default_listener_methods_are_noops() {
+        struct OnlyDiscovery;
+        impl PeerMessageListener for OnlyDiscovery {}
+        let bus = EventBus::new();
+        bus.add_listener(Arc::new(OnlyDiscovery));
+        // Firing other kinds must not panic.
+        bus.fire_server(&ServerMessageEvent {
+            service: "S".into(),
+            phase: ServerPhase::Inbound,
+            envelope: Envelope::empty(),
+        });
+    }
+}

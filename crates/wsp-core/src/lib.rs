@@ -1,0 +1,68 @@
+//! # wsp-core — WSPeer
+//!
+//! An interface to Web service hosting and invocation, reproducing the
+//! system of Harrison & Taylor, *WSPeer — An Interface to Web Service
+//! Hosting and Invocation* (IPDPS 2005). WSPeer sits between an
+//! application and the network, "acting as both buffer and interpreter"
+//! (Figure 1): the application deploys, publishes, locates and invokes
+//! services against one API while pluggable bindings speak to vastly
+//! different substrates.
+//!
+//! * The **interface tree** (Figure 2): a [`Peer`] owns a [`Client`]
+//!   (with pluggable [`ServiceLocator`] and [`Invoker`] components) and
+//!   a [`Server`] (with pluggable [`ServiceDeployer`] and
+//!   [`ServicePublisher`]). Events from every node propagate to
+//!   listeners at the root via the five-method [`PeerMessageListener`].
+//! * The **standard binding** ([`bindings::HttpUddiBinding`], Figure 3):
+//!   SOAP over HTTP(G), UDDI publish/find, WSDL at `endpoint?wsdl`, and
+//!   a lightweight container-less host launched on first deployment.
+//! * The **P2PS binding** ([`bindings::P2psBinding`], Figure 4): XML
+//!   advertisements, rendezvous discovery, and SOAP over unidirectional
+//!   pipes with WS-Addressing `ReplyTo` return pipes (Figures 5–6).
+//! * **Stateful services** ([`StatefulService`]): any in-memory object
+//!   becomes a standards-compliant service; each operation may map to a
+//!   different object.
+//! * **Workflows** ([`Workflow`]): Triana-style chaining of discovered
+//!   services.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use wsp_core::{bindings::HttpUddiBinding, EventBus, Peer, ServiceQuery};
+//! use wsp_wsdl::{ServiceDescriptor, Value};
+//!
+//! let binding = HttpUddiBinding::with_local_registry(wsp_uddi::Registry::new(), EventBus::new());
+//! let peer = Peer::with_binding(&binding);
+//! peer.server().deploy_and_publish(
+//!     ServiceDescriptor::echo(),
+//!     Arc::new(|_op: &str, args: &[Value]| Ok(args[0].clone())),
+//! ).unwrap();
+//! let svc = peer.client().locate_one(&ServiceQuery::by_name("Echo")).unwrap();
+//! let out = peer.client().invoke(&svc, "echoString", &[Value::string("hi")]).unwrap();
+//! assert_eq!(out, Value::string("hi"));
+//! ```
+
+pub mod bindings;
+pub mod client;
+pub mod components;
+pub mod endpoint;
+pub mod error;
+pub mod events;
+pub mod peer;
+pub mod query;
+pub mod server;
+pub mod state;
+pub mod workflow;
+
+pub use client::Client;
+pub use components::{Binding, Invoker, ServiceDeployer, ServiceLocator, ServicePublisher};
+pub use endpoint::{BindingKind, DeployedService, LocatedService};
+pub use error::WspError;
+pub use events::{
+    ClientMessageEvent, CollectingListener, DeploymentMessageEvent, DiscoveryMessageEvent,
+    EventBus, PeerMessageListener, PublishMessageEvent, ServerMessageEvent, ServerPhase,
+};
+pub use peer::Peer;
+pub use query::{QueryExpr, ServiceQuery};
+pub use server::Server;
+pub use state::StatefulService;
+pub use workflow::{Stage, Workflow, WorkflowRun};

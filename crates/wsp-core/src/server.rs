@@ -1,0 +1,235 @@
+//! The server side of the interface tree: deployment and publication.
+
+use crate::components::{ServiceDeployer, ServicePublisher};
+use crate::endpoint::DeployedService;
+use crate::error::WspError;
+use crate::events::{DeploymentMessageEvent, EventBus, PublishMessageEvent};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsp_wsdl::{ServiceDescriptor, ServiceHandler};
+
+/// The `Server` node: owns pluggable [`ServiceDeployer`] and
+/// [`ServicePublisher`] components and tracks what this peer hosts.
+///
+/// There is no container here: the application deploys descriptors and
+/// handlers at runtime, "in effect allowing the component to become its
+/// own container" (Section III, point 2).
+pub struct Server {
+    deployer: RwLock<Option<Arc<dyn ServiceDeployer>>>,
+    publisher: RwLock<Option<Arc<dyn ServicePublisher>>>,
+    deployed: RwLock<HashMap<String, DeployedService>>,
+    events: EventBus,
+}
+
+impl Server {
+    pub fn new(events: EventBus) -> Arc<Server> {
+        Arc::new(Server {
+            deployer: RwLock::new(None),
+            publisher: RwLock::new(None),
+            deployed: RwLock::new(HashMap::new()),
+            events,
+        })
+    }
+
+    pub fn set_deployer(&self, deployer: Arc<dyn ServiceDeployer>) {
+        *self.deployer.write() = Some(deployer);
+    }
+
+    pub fn set_publisher(&self, publisher: Arc<dyn ServicePublisher>) {
+        *self.publisher.write() = Some(publisher);
+    }
+
+    pub fn deployer_kind(&self) -> Option<&'static str> {
+        self.deployer.read().as_ref().map(|d| d.kind())
+    }
+
+    pub fn publisher_kind(&self) -> Option<&'static str> {
+        self.publisher.read().as_ref().map(|p| p.kind())
+    }
+
+    /// Deploy a service: generate its description, create an
+    /// addressable endpoint, and start answering. Fires a
+    /// [`DeploymentMessageEvent`].
+    pub fn deploy(
+        &self,
+        descriptor: ServiceDescriptor,
+        handler: Arc<dyn ServiceHandler>,
+    ) -> Result<DeployedService, WspError> {
+        let deployer = self
+            .deployer
+            .read()
+            .clone()
+            .ok_or_else(|| WspError::Deploy("no ServiceDeployer plugged in".into()))?;
+        let deployed = deployer.deploy(descriptor, handler)?;
+        self.deployed.write().insert(deployed.name().to_owned(), deployed.clone());
+        self.events.fire_deployment(&DeploymentMessageEvent {
+            service: deployed.name().to_owned(),
+            endpoints: deployed.endpoints.clone(),
+        });
+        Ok(deployed)
+    }
+
+    /// Publish a deployed service's description to the network. Fires a
+    /// [`PublishMessageEvent`].
+    pub fn publish(&self, service: &str) -> Result<String, WspError> {
+        let publisher = self
+            .publisher
+            .read()
+            .clone()
+            .ok_or_else(|| WspError::Publish("no ServicePublisher plugged in".into()))?;
+        let deployed = self
+            .deployed
+            .read()
+            .get(service)
+            .cloned()
+            .ok_or_else(|| WspError::Publish(format!("{service:?} is not deployed")))?;
+        let result = publisher.publish(&deployed);
+        self.events.fire_publish(&PublishMessageEvent {
+            service: service.to_owned(),
+            result: result.clone(),
+        });
+        result
+    }
+
+    /// Deploy then publish in one step — the common path in Figures 3
+    /// and 4.
+    pub fn deploy_and_publish(
+        &self,
+        descriptor: ServiceDescriptor,
+        handler: Arc<dyn ServiceHandler>,
+    ) -> Result<DeployedService, WspError> {
+        let deployed = self.deploy(descriptor, handler)?;
+        self.publish(deployed.name())?;
+        Ok(deployed)
+    }
+
+    /// Take a service down: withdraw the publication and remove the
+    /// endpoint. True if it was deployed. Fires a deployment event with
+    /// no endpoints.
+    pub fn undeploy(&self, service: &str) -> bool {
+        let existed = self.deployed.write().remove(service).is_some();
+        if !existed {
+            return false;
+        }
+        if let Some(publisher) = self.publisher.read().clone() {
+            publisher.unpublish(service);
+        }
+        if let Some(deployer) = self.deployer.read().clone() {
+            deployer.undeploy(service);
+        }
+        self.events
+            .fire_deployment(&DeploymentMessageEvent { service: service.to_owned(), endpoints: vec![] });
+        true
+    }
+
+    /// The services this peer currently hosts.
+    pub fn deployed_services(&self) -> Vec<DeployedService> {
+        self.deployed.read().values().cloned().collect()
+    }
+
+    pub fn deployed_service(&self, name: &str) -> Option<DeployedService> {
+        self.deployed.read().get(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CollectingListener;
+    use wsp_wsdl::{Value, WsdlDocument};
+
+    struct StubDeployer;
+    impl ServiceDeployer for StubDeployer {
+        fn deploy(
+            &self,
+            descriptor: ServiceDescriptor,
+            _handler: Arc<dyn ServiceHandler>,
+        ) -> Result<DeployedService, WspError> {
+            let endpoint = format!("test://here/{}", descriptor.name);
+            let wsdl = WsdlDocument::new(descriptor.clone(), vec![]);
+            Ok(DeployedService { descriptor, endpoints: vec![endpoint], wsdl })
+        }
+        fn undeploy(&self, _service: &str) -> bool {
+            true
+        }
+        fn kind(&self) -> &'static str {
+            "stub"
+        }
+    }
+
+    struct StubPublisher;
+    impl ServicePublisher for StubPublisher {
+        fn publish(&self, service: &DeployedService) -> Result<String, WspError> {
+            Ok(format!("published:{}", service.name()))
+        }
+        fn unpublish(&self, _service: &str) -> bool {
+            true
+        }
+        fn kind(&self) -> &'static str {
+            "stub"
+        }
+    }
+
+    fn echo_handler() -> Arc<dyn ServiceHandler> {
+        Arc::new(|_op: &str, args: &[Value]| Ok(args.first().cloned().unwrap_or(Value::Null)))
+    }
+
+    fn wired_server() -> (Arc<Server>, Arc<CollectingListener>) {
+        let events = EventBus::new();
+        let listener = CollectingListener::new();
+        events.add_listener(listener.clone());
+        let server = Server::new(events);
+        server.set_deployer(Arc::new(StubDeployer));
+        server.set_publisher(Arc::new(StubPublisher));
+        (server, listener)
+    }
+
+    #[test]
+    fn deploy_tracks_and_fires() {
+        let (server, listener) = wired_server();
+        let deployed = server.deploy(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        assert_eq!(deployed.endpoints, vec!["test://here/Echo"]);
+        assert_eq!(server.deployed_services().len(), 1);
+        assert_eq!(listener.deployments.read().len(), 1);
+        assert_eq!(listener.deployments.read()[0].endpoints.len(), 1);
+    }
+
+    #[test]
+    fn publish_requires_prior_deploy() {
+        let (server, listener) = wired_server();
+        assert!(matches!(server.publish("Ghost"), Err(WspError::Publish(_))));
+        server.deploy(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        assert_eq!(server.publish("Echo").unwrap(), "published:Echo");
+        assert_eq!(listener.publishes.read().len(), 1);
+    }
+
+    #[test]
+    fn deploy_and_publish_combined() {
+        let (server, listener) = wired_server();
+        server.deploy_and_publish(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        assert_eq!(listener.deployments.read().len(), 1);
+        assert_eq!(listener.publishes.read().len(), 1);
+    }
+
+    #[test]
+    fn undeploy_cleans_up_and_fires() {
+        let (server, listener) = wired_server();
+        server.deploy(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        assert!(server.undeploy("Echo"));
+        assert!(!server.undeploy("Echo"));
+        assert!(server.deployed_services().is_empty());
+        let deployments = listener.deployments.read();
+        assert_eq!(deployments.len(), 2);
+        assert!(deployments[1].endpoints.is_empty());
+    }
+
+    #[test]
+    fn missing_components_error() {
+        let server = Server::new(EventBus::new());
+        assert!(matches!(
+            server.deploy(ServiceDescriptor::echo(), echo_handler()),
+            Err(WspError::Deploy(_))
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! Stateful-object services (paper Section III, point 3): "allowing an
+//! application to generate and deploy a service which acts as an
+//! interface to a stateful object within the application … each
+//! operation given to the service can map to a different stateful
+//! object in memory."
+//!
+//! The mechanics live in [`wsp_wsdl::OperationRouter`]; this module adds
+//! the ergonomic wrapper that exposes an arbitrary shared object as a
+//! standards-compliant service.
+
+use std::sync::Arc;
+use wsp_soap::Fault;
+use wsp_wsdl::{OperationRouter, ServiceHandler, Value};
+
+/// Expose methods of a shared object `T` as service operations.
+///
+/// Each registered operation captures an `Arc<T>` plus a method
+/// closure, so the service's state *is* the live application object —
+/// no copy, no external container owning it.
+pub struct StatefulService<T: Send + Sync + 'static> {
+    object: Arc<T>,
+    router: OperationRouter,
+}
+
+impl<T: Send + Sync + 'static> StatefulService<T> {
+    /// Wrap an existing application object.
+    pub fn wrapping(object: Arc<T>) -> Self {
+        StatefulService { object, router: OperationRouter::new() }
+    }
+
+    /// Map `operation` to a method of the wrapped object.
+    pub fn operation<F>(mut self, operation: impl Into<String>, method: F) -> Self
+    where
+        F: Fn(&T, &[Value]) -> Result<Value, Fault> + Send + Sync + 'static,
+    {
+        let object = Arc::clone(&self.object);
+        self.router = self.router.route_fn(operation, move |args| method(&object, args));
+        self
+    }
+
+    /// Map `operation` to a *different* object entirely (the paper's
+    /// "each operation can map to a different stateful object").
+    pub fn operation_on<U, F>(mut self, operation: impl Into<String>, other: Arc<U>, method: F) -> Self
+    where
+        U: Send + Sync + 'static,
+        F: Fn(&U, &[Value]) -> Result<Value, Fault> + Send + Sync + 'static,
+    {
+        self.router = self.router.route_fn(operation, move |args| method(&other, args));
+        self
+    }
+
+    /// Finish: the handler to hand to `Server::deploy`.
+    pub fn into_handler(self) -> Arc<dyn ServiceHandler> {
+        Arc::new(self.router)
+    }
+
+    /// The wrapped object (the application keeps using it directly
+    /// while the service exposes it).
+    pub fn object(&self) -> &Arc<T> {
+        &self.object
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// The Cactus-style stateful object: a simulation accumulating
+    /// output frames.
+    struct Simulation {
+        frames: Mutex<Vec<String>>,
+    }
+
+    impl Simulation {
+        fn step(&self) {
+            let mut frames = self.frames.lock();
+            let n = frames.len();
+            frames.push(format!("frame-{n}"));
+        }
+    }
+
+    #[test]
+    fn service_reads_live_object_state() {
+        let sim = Arc::new(Simulation { frames: Mutex::new(Vec::new()) });
+        let handler = StatefulService::wrapping(sim.clone())
+            .operation("frameCount", |s, _args| Ok(Value::Int(s.frames.lock().len() as i64)))
+            .operation("latestFrame", |s, _args| {
+                Ok(s.frames
+                    .lock()
+                    .last()
+                    .map(|f| Value::string(f.clone()))
+                    .unwrap_or(Value::Null))
+            })
+            .into_handler();
+
+        assert_eq!(handler.invoke("frameCount", &[]).unwrap(), Value::Int(0));
+        // The application mutates its own object...
+        sim.step();
+        sim.step();
+        // ...and the service sees it immediately.
+        assert_eq!(handler.invoke("frameCount", &[]).unwrap(), Value::Int(2));
+        assert_eq!(handler.invoke("latestFrame", &[]).unwrap(), Value::string("frame-1"));
+    }
+
+    #[test]
+    fn operations_map_to_different_objects() {
+        let sim = Arc::new(Simulation { frames: Mutex::new(vec!["f0".into()]) });
+        let counter = Arc::new(Mutex::new(0i64));
+        let c = counter.clone();
+        let handler = StatefulService::wrapping(sim)
+            .operation("frames", |s, _| Ok(Value::Int(s.frames.lock().len() as i64)))
+            .operation_on("bump", c, |counter, _| {
+                let mut n = counter.lock();
+                *n += 1;
+                Ok(Value::Int(*n))
+            })
+            .into_handler();
+        assert_eq!(handler.invoke("frames", &[]).unwrap(), Value::Int(1));
+        assert_eq!(handler.invoke("bump", &[]).unwrap(), Value::Int(1));
+        assert_eq!(handler.invoke("bump", &[]).unwrap(), Value::Int(2));
+        assert_eq!(*counter.lock(), 2);
+    }
+
+    #[test]
+    fn unrouted_operation_faults() {
+        let handler = StatefulService::wrapping(Arc::new(())).into_handler();
+        assert!(handler.invoke("anything", &[]).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! HTTP/1.1 wire codec: byte-level encode/parse with `Content-Length`
+//! framing (the only framing the WSPeer stack needs).
+
+use crate::message::{Headers, Method, Request, Response};
+use std::fmt;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// More bytes are needed to complete the message.
+    Incomplete,
+    /// The bytes cannot be an HTTP message.
+    Malformed(&'static str),
+    /// IO failure in the TCP layer.
+    Io(String),
+    /// No route to the requested host/port.
+    Connect(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Incomplete => write!(f, "incomplete HTTP message"),
+            HttpError::Malformed(why) => write!(f, "malformed HTTP message: {why}"),
+            HttpError::Io(why) => write!(f, "HTTP IO error: {why}"),
+            HttpError::Connect(why) => write!(f, "HTTP connect error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Serialise a request, setting `Content-Length`.
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(request.body.len() + 256);
+    out.extend_from_slice(request.method.as_str().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(request.target.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\n");
+    encode_headers(&request.headers, request.body.len(), &mut out);
+    out.extend_from_slice(&request.body);
+    out
+}
+
+/// Serialise a response, setting `Content-Length`.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(response.body.len() + 256);
+    out.extend_from_slice(b"HTTP/1.1 ");
+    out.extend_from_slice(response.status.to_string().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(response.reason.as_bytes());
+    out.extend_from_slice(b"\r\n");
+    encode_headers(&response.headers, response.body.len(), &mut out);
+    out.extend_from_slice(&response.body);
+    out
+}
+
+fn encode_headers(headers: &Headers, body_len: usize, out: &mut Vec<u8>) {
+    let mut wrote_length = false;
+    for (name, value) in headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            wrote_length = true;
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(body_len.to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+            continue;
+        }
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    if !wrote_length {
+        out.extend_from_slice(b"Content-Length: ");
+        out.extend_from_slice(body_len.to_string().as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Parse a complete request from `input`. Returns the request and the
+/// number of bytes consumed.
+pub fn parse_request(input: &[u8]) -> Result<(Request, usize), HttpError> {
+    let (head, body_start) = split_head(input)?;
+    let mut lines = head.split(|&b| b == b'\n').map(trim_cr);
+    let start = lines.next().ok_or(HttpError::Malformed("empty request"))?;
+    let start = std::str::from_utf8(start).map_err(|_| HttpError::Malformed("non-UTF8 start line"))?;
+    let mut parts = start.split(' ');
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or(HttpError::Malformed("unknown method"))?;
+    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?.to_owned();
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let headers = parse_headers(lines)?;
+    let length = content_length(&headers)?;
+    let total = body_start + length;
+    if input.len() < total {
+        return Err(HttpError::Incomplete);
+    }
+    let body = input[body_start..total].to_vec();
+    Ok((Request { method, target, headers, body }, total))
+}
+
+/// Parse a complete response from `input`. Returns the response and the
+/// number of bytes consumed.
+pub fn parse_response(input: &[u8]) -> Result<(Response, usize), HttpError> {
+    let (head, body_start) = split_head(input)?;
+    let mut lines = head.split(|&b| b == b'\n').map(trim_cr);
+    let start = lines.next().ok_or(HttpError::Malformed("empty response"))?;
+    let start = std::str::from_utf8(start).map_err(|_| HttpError::Malformed("non-UTF8 status line"))?;
+    let mut parts = start.splitn(3, ' ');
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(HttpError::Malformed("bad status code"))?;
+    let reason = parts.next().unwrap_or("").to_owned();
+    let headers = parse_headers(lines)?;
+    let length = content_length(&headers)?;
+    let total = body_start + length;
+    if input.len() < total {
+        return Err(HttpError::Incomplete);
+    }
+    let body = input[body_start..total].to_vec();
+    Ok((Response { status, reason, headers, body }, total))
+}
+
+/// Locate the end of the header section. Returns the head slice (without
+/// the blank line) and the offset where the body starts.
+fn split_head(input: &[u8]) -> Result<(&[u8], usize), HttpError> {
+    match find_subsequence(input, b"\r\n\r\n") {
+        Some(pos) => Ok((&input[..pos], pos + 4)),
+        // Tolerate bare-LF peers.
+        None => match find_subsequence(input, b"\n\n") {
+            Some(pos) => Ok((&input[..pos], pos + 2)),
+            None => Err(HttpError::Incomplete),
+        },
+    }
+}
+
+fn parse_headers<'a, I: Iterator<Item = &'a [u8]>>(lines: I) -> Result<Headers, HttpError> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let line = std::str::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF8 header"))?;
+        let (name, value) = line.split_once(':').ok_or(HttpError::Malformed("header without colon"))?;
+        headers.append(name.trim(), value.trim());
+    }
+    Ok(headers)
+}
+
+fn content_length(headers: &Headers) -> Result<usize, HttpError> {
+    match headers.get("content-length") {
+        None => Ok(0),
+        Some(v) => v.trim().parse().map_err(|_| HttpError::Malformed("bad Content-Length")),
+    }
+}
+
+fn trim_cr(line: &[u8]) -> &[u8] {
+    line.strip_suffix(b"\r").unwrap_or(line)
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::post("/Echo", "application/soap+xml; charset=utf-8", "<env/>");
+        let bytes = encode_request(&req);
+        let (parsed, used) = parse_request(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.target, "/Echo");
+        assert_eq!(parsed.body, b"<env/>");
+        assert_eq!(parsed.headers.get("content-length"), Some("6"));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::ok("text/xml", "<ok/>");
+        let bytes = encode_response(&resp);
+        let (parsed, used) = parse_response(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "OK");
+        assert_eq!(parsed.body, b"<ok/>");
+    }
+
+    #[test]
+    fn empty_body_and_no_content_length() {
+        let (req, _) = parse_request(b"GET / HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn bare_lf_tolerated() {
+        let (req, _) = parse_request(b"GET /x HTTP/1.1\nHost: h\n\n").unwrap();
+        assert_eq!(req.target, "/x");
+        assert_eq!(req.headers.get("host"), Some("h"));
+    }
+
+    #[test]
+    fn incomplete_until_full_body() {
+        let req = Request::post("/s", "text/plain", "hello world");
+        let bytes = encode_request(&req);
+        for cut in [10, bytes.len() - 5, bytes.len() - 1] {
+            assert_eq!(parse_request(&bytes[..cut]).unwrap_err(), HttpError::Incomplete, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_not_consumed() {
+        let mut bytes = encode_request(&Request::get("/a"));
+        let len = bytes.len();
+        bytes.extend_from_slice(b"GET /b HTTP/1.1\r\n\r\n");
+        let (first, used) = parse_request(&bytes).unwrap();
+        assert_eq!(first.target, "/a");
+        assert_eq!(used, len);
+        let (second, _) = parse_request(&bytes[used..]).unwrap();
+        assert_eq!(second.target, "/b");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(matches!(parse_request(b"BREW / HTTP/1.1\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse_request(b"GET /\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse_request(b"GET / SPDY/9\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nContent-Length: soap\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(parse_response(b"HTTP/1.1 abc OK\r\n\r\n"), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn content_length_header_rewritten_to_match_body() {
+        let mut req = Request::post("/s", "text/plain", "12345");
+        req.headers.set("Content-Length", "999"); // stale value
+        let bytes = encode_request(&req);
+        let (parsed, _) = parse_request(&bytes).unwrap();
+        assert_eq!(parsed.headers.get("content-length"), Some("5"));
+        assert_eq!(parsed.body, b"12345");
+    }
+
+    #[test]
+    fn binary_body_survives() {
+        let body: Vec<u8> = (0..=255).collect();
+        let mut req = Request::new(Method::Post, "/bin");
+        req.body = body.clone();
+        let (parsed, _) = parse_request(&encode_request(&req)).unwrap();
+        assert_eq!(parsed.body, body);
+    }
+}

@@ -1,0 +1,277 @@
+//! A cost model of the *traditional* container hosting WSPeer rejects.
+//!
+//! Section III, point 2 of the paper contrasts WSPeer's container-less
+//! hosting with "the traditional scenario \[where\] a user deploys a
+//! module into a container and the container manages the requests".
+//! To measure that contrast (experiment E5) we model a
+//! Tomcat/Axis-style container as virtual-time costs: a heavyweight
+//! startup, a per-module deployment cost, and (for the classic
+//! redeploy-requires-restart configuration) a restart on every change,
+//! during which the container answers 503.
+//!
+//! Default constants are of the order reported for 2004-era Tomcat/Axis
+//! deployments (multi-second container start, seconds per WAR deploy);
+//! they are parameters, not measurements — the *shape* (orders of
+//! magnitude above in-process deployment) is what E5 relies on.
+
+use crate::message::{Request, Response};
+use crate::router::Router;
+use std::collections::VecDeque;
+use wsp_simnet::{Context, Dur, Node, NodeEvent, Time};
+
+/// Cost parameters of the modelled container.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContainerModel {
+    /// Cold-start time of the container process (JVM + webapp scan).
+    pub startup: Dur,
+    /// Additional time to deploy one module.
+    pub per_module_deploy: Dur,
+    /// Whether deploying a module requires a full container restart
+    /// (the conservative production configuration of the era).
+    pub restart_on_deploy: bool,
+    /// Per-request service time once running.
+    pub service_time: Dur,
+}
+
+impl Default for ContainerModel {
+    fn default() -> Self {
+        ContainerModel {
+            startup: Dur::secs(8),
+            per_module_deploy: Dur::millis(1500),
+            restart_on_deploy: true,
+            service_time: Dur::millis(5),
+        }
+    }
+}
+
+impl ContainerModel {
+    /// Hot-deploy variant: no restart, but still a heavyweight deploy.
+    pub fn hot_deploy() -> Self {
+        ContainerModel { restart_on_deploy: false, ..ContainerModel::default() }
+    }
+
+    /// Virtual time from "deploy requested" to "service reachable",
+    /// given the number of modules already deployed (restarts rescan
+    /// everything).
+    pub fn time_to_available(&self, existing_modules: usize, container_running: bool) -> Dur {
+        let mut total = Dur::ZERO;
+        let needs_start = !container_running || self.restart_on_deploy;
+        if needs_start {
+            total = total + self.startup;
+            // A restart re-deploys every existing module too.
+            total = total + Dur(self.per_module_deploy.0 * existing_modules as u64);
+        }
+        total + self.per_module_deploy
+    }
+}
+
+/// Container lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ContainerState {
+    Stopped,
+    Starting,
+    Running,
+}
+
+/// A simnet node modelling the traditional container: requests during
+/// startup/restart get 503; deployment transitions through `Starting`
+/// per the cost model. Compare with
+/// [`crate::sim::HttpSimServer`], which is WSPeer's always-available
+/// lightweight host.
+pub struct ContainerSimServer {
+    model: ContainerModel,
+    router: Router,
+    state: ContainerState,
+    deployed_modules: usize,
+    pending: VecDeque<(wsp_simnet::NodeId, Request)>,
+    /// Set once the container reaches `Running` for the first time after
+    /// a deploy — used by experiments to read deploy latency.
+    pub last_available_at: Option<Time>,
+}
+
+/// Timer tags.
+const TAG_STARTED: u64 = 1;
+const TAG_SERVED: u64 = 2;
+
+impl ContainerSimServer {
+    pub fn new(model: ContainerModel, router: Router) -> Self {
+        ContainerSimServer {
+            model,
+            router,
+            state: ContainerState::Stopped,
+            deployed_modules: 0,
+            pending: VecDeque::new(),
+            last_available_at: None,
+        }
+    }
+
+    /// Begin deploying a module (the experiment drives this via an
+    /// injected `Timer` event with [`DEPLOY_TAG`]).
+    fn begin_deploy(&mut self, ctx: &mut Context<'_, String>) {
+        let delay = self
+            .model
+            .time_to_available(self.deployed_modules, self.state == ContainerState::Running);
+        self.deployed_modules += 1;
+        self.state = ContainerState::Starting;
+        ctx.set_timer(delay, TAG_STARTED);
+        ctx.count("container.deploys");
+    }
+}
+
+/// Inject `NodeEvent::Timer { tag: DEPLOY_TAG }` to ask the container to
+/// deploy (from outside the simulation).
+pub const DEPLOY_TAG: u64 = 100;
+
+impl Node<String> for ContainerSimServer {
+    fn handle(&mut self, ctx: &mut Context<'_, String>, event: NodeEvent<String>) {
+        match event {
+            NodeEvent::Timer { tag: DEPLOY_TAG } => self.begin_deploy(ctx),
+            NodeEvent::Timer { tag: TAG_STARTED } => {
+                self.state = ContainerState::Running;
+                self.last_available_at = Some(ctx.now());
+                ctx.count("container.available");
+                // Work queued during startup is now admitted.
+                for _ in 0..self.pending.len() {
+                    ctx.set_timer(self.model.service_time, TAG_SERVED);
+                }
+            }
+            NodeEvent::Timer { tag: TAG_SERVED } => {
+                if let Some((client, request)) = self.pending.pop_front() {
+                    let mut response = self.router.handle(&request);
+                    if let Some(corr) = request.headers.get(crate::sim::CORRELATION_HEADER) {
+                        response.headers.set(crate::sim::CORRELATION_HEADER, corr);
+                    }
+                    ctx.send(
+                        client,
+                        String::from_utf8_lossy(&crate::codec::encode_response(&response)).into_owned(),
+                    );
+                }
+            }
+            NodeEvent::Message { from, msg } => {
+                let Ok((request, _)) = crate::codec::parse_request(msg.as_bytes()) else {
+                    return;
+                };
+                match self.state {
+                    ContainerState::Running => {
+                        self.pending.push_back((from, request));
+                        ctx.set_timer(self.model.service_time, TAG_SERVED);
+                    }
+                    ContainerState::Starting | ContainerState::Stopped => {
+                        ctx.count("container.unavailable_503");
+                        let mut response = Response::unavailable("container starting");
+                        if let Some(corr) = request.headers.get(crate::sim::CORRELATION_HEADER) {
+                            response.headers.set(crate::sim::CORRELATION_HEADER, corr);
+                        }
+                        ctx.send(
+                            from,
+                            String::from_utf8_lossy(&crate::codec::encode_response(&response))
+                                .into_owned(),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimHttpClient;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::Arc;
+    use wsp_simnet::{LinkSpec, NodeId, SimNet};
+
+    #[test]
+    fn cold_deploy_cost_includes_startup() {
+        let m = ContainerModel::default();
+        let cost = m.time_to_available(0, false);
+        assert_eq!(cost, Dur::secs(8) + Dur::millis(1500));
+    }
+
+    #[test]
+    fn restart_on_deploy_redeploys_existing_modules() {
+        let m = ContainerModel::default();
+        let cost = m.time_to_available(3, true);
+        // startup + 3 existing redeploys + the new module.
+        assert_eq!(cost, Dur::secs(8) + Dur::millis(1500 * 4));
+    }
+
+    #[test]
+    fn hot_deploy_skips_restart_when_running() {
+        let m = ContainerModel::hot_deploy();
+        assert_eq!(m.time_to_available(3, true), Dur::millis(1500));
+        // But a cold container must still start.
+        assert_eq!(m.time_to_available(0, false), Dur::secs(8) + Dur::millis(1500));
+    }
+
+    struct Probe {
+        server: NodeId,
+        client: SimHttpClient,
+        responses: Rc<RefCell<Vec<(Time, u16)>>>,
+        fire_at_tags: Vec<(u64, Dur)>,
+    }
+
+    impl Node<String> for Probe {
+        fn handle(&mut self, ctx: &mut Context<'_, String>, event: NodeEvent<String>) {
+            match event {
+                NodeEvent::Start => {
+                    for (tag, delay) in &self.fire_at_tags {
+                        ctx.set_timer(*delay, *tag);
+                    }
+                }
+                NodeEvent::Timer { .. } => {
+                    self.client.send(ctx, self.server, Request::get("/S"));
+                }
+                NodeEvent::Message { msg, .. } => {
+                    if let Some((_c, response)) = self.client.accept(&msg) {
+                        self.responses.borrow_mut().push((ctx.now(), response.status));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn requests_during_startup_get_503_then_succeed() {
+        let mut net: SimNet<String> = SimNet::new(3);
+        net.set_default_link(LinkSpec { latency: Dur::millis(1), jitter: Dur::ZERO, loss: 0.0, per_byte: Dur::ZERO });
+        let router = Router::new();
+        router.deploy("S", Arc::new(|_r: &Request| Response::ok("text/plain", "up")));
+        let server = net.add_node(Box::new(ContainerSimServer::new(ContainerModel::default(), router)));
+        let responses = Rc::new(RefCell::new(Vec::new()));
+        net.add_node(Box::new(Probe {
+            server,
+            client: SimHttpClient::new(),
+            responses: responses.clone(),
+            // one request mid-startup, one well after.
+            fire_at_tags: vec![(1, Dur::secs(2)), (2, Dur::secs(30))],
+        }));
+        // Ask the container to deploy at t=0.
+        net.inject(server, NodeEvent::Timer { tag: DEPLOY_TAG });
+        net.run_to_quiescence();
+        let got = responses.borrow().clone();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, 503, "request during startup must bounce");
+        assert_eq!(got[1].1, 200, "request after startup must succeed");
+        assert_eq!(net.metrics().counter("container.unavailable_503"), 1);
+    }
+
+    #[test]
+    fn availability_time_matches_model() {
+        let mut net: SimNet<String> = SimNet::new(3);
+        let router = Router::new();
+        let model = ContainerModel::default();
+        let server = net.add_node(Box::new(ContainerSimServer::new(model, router)));
+        net.inject(server, NodeEvent::Timer { tag: DEPLOY_TAG });
+        net.run_to_quiescence();
+        assert_eq!(net.metrics().counter("container.available"), 1);
+        // We can't reach into the node, but the metric plus quiescence
+        // time confirm the startup path ran; the exact delay is covered
+        // by the pure model tests above.
+        assert!(net.now() >= Time::secs(9));
+    }
+}

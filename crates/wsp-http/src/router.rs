@@ -1,0 +1,161 @@
+//! The lightweight host's request router.
+//!
+//! Per the paper (Section IV.A) the WSPeer HTTP server is deliberately
+//! minimal: "the server's capabilities are limited to listing available
+//! services and notifying the Server of incoming requests". The router
+//! maps a path to a deployed service handler and serves the listing at
+//! `/`; everything else is the application's business.
+
+use crate::message::{Request, Response};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deployed request handler.
+pub type HttpHandler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// An interceptor consulted before the handler; returning `Some` answers
+/// the request directly. This is the hook that lets the application see
+/// requests "either side of being processed by the underlying messaging
+/// system" (Section III, point 2).
+pub type Interceptor = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
+
+#[derive(Default)]
+struct Routes {
+    services: BTreeMap<String, HttpHandler>,
+    interceptor: Option<Interceptor>,
+}
+
+/// Thread-safe route table shared between the server loop and the
+/// deploying application (services appear and disappear at runtime —
+/// dynamic deployment is a core WSPeer feature).
+#[derive(Clone, Default)]
+pub struct Router {
+    routes: Arc<RwLock<Routes>>,
+}
+
+impl Router {
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Deploy a service at `/name`. Replaces any previous deployment.
+    pub fn deploy(&self, name: &str, handler: HttpHandler) {
+        self.routes.write().services.insert(name.to_owned(), handler);
+    }
+
+    /// Remove a service. Returns true if it was deployed.
+    pub fn undeploy(&self, name: &str) -> bool {
+        self.routes.write().services.remove(name).is_some()
+    }
+
+    /// Install the application's interceptor (or clear it with `None`).
+    pub fn set_interceptor(&self, interceptor: Option<Interceptor>) {
+        self.routes.write().interceptor = interceptor;
+    }
+
+    /// Names of currently deployed services.
+    pub fn service_names(&self) -> Vec<String> {
+        self.routes.read().services.keys().cloned().collect()
+    }
+
+    pub fn service_count(&self) -> usize {
+        self.routes.read().services.len()
+    }
+
+    /// Dispatch one request.
+    pub fn handle(&self, request: &Request) -> Response {
+        // Clone the pieces out so user handlers run without the lock.
+        let (interceptor, handler, listing) = {
+            let routes = self.routes.read();
+            let name = request.path().trim_start_matches('/').to_owned();
+            let handler = routes.services.get(&name).cloned();
+            let listing = if name.is_empty() {
+                Some(routes.services.keys().cloned().collect::<Vec<_>>())
+            } else {
+                None
+            };
+            (routes.interceptor.clone(), handler, listing)
+        };
+        if let Some(interceptor) = interceptor {
+            if let Some(response) = interceptor(request) {
+                return response;
+            }
+        }
+        if let Some(names) = listing {
+            let body = names.join("\n");
+            return Response::ok("text/plain; charset=utf-8", body);
+        }
+        match handler {
+            Some(h) => h(request),
+            None => Response::not_found(request.path()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_handler(tag: &'static str) -> HttpHandler {
+        Arc::new(move |_req: &Request| Response::ok("text/plain", tag))
+    }
+
+    #[test]
+    fn routes_by_path() {
+        let r = Router::new();
+        r.deploy("Echo", ok_handler("echo"));
+        r.deploy("Math", ok_handler("math"));
+        assert_eq!(r.handle(&Request::get("/Echo")).body_str(), "echo");
+        assert_eq!(r.handle(&Request::get("/Math")).body_str(), "math");
+        assert_eq!(r.handle(&Request::get("/Nope")).status, 404);
+    }
+
+    #[test]
+    fn listing_at_root() {
+        let r = Router::new();
+        r.deploy("B", ok_handler("b"));
+        r.deploy("A", ok_handler("a"));
+        let listing = r.handle(&Request::get("/"));
+        assert_eq!(listing.body_str(), "A\nB");
+    }
+
+    #[test]
+    fn undeploy_removes() {
+        let r = Router::new();
+        r.deploy("Echo", ok_handler("echo"));
+        assert!(r.undeploy("Echo"));
+        assert!(!r.undeploy("Echo"));
+        assert_eq!(r.handle(&Request::get("/Echo")).status, 404);
+        assert_eq!(r.service_count(), 0);
+    }
+
+    #[test]
+    fn redeploy_replaces() {
+        let r = Router::new();
+        r.deploy("Echo", ok_handler("v1"));
+        r.deploy("Echo", ok_handler("v2"));
+        assert_eq!(r.handle(&Request::get("/Echo")).body_str(), "v2");
+        assert_eq!(r.service_count(), 1);
+    }
+
+    #[test]
+    fn interceptor_sees_request_first() {
+        let r = Router::new();
+        r.deploy("Echo", ok_handler("handler"));
+        r.set_interceptor(Some(Arc::new(|req: &Request| {
+            (req.query() == Some("intercept")).then(|| Response::ok("text/plain", "intercepted"))
+        })));
+        assert_eq!(r.handle(&Request::get("/Echo?intercept")).body_str(), "intercepted");
+        assert_eq!(r.handle(&Request::get("/Echo")).body_str(), "handler");
+        r.set_interceptor(None);
+        assert_eq!(r.handle(&Request::get("/Echo?intercept")).body_str(), "handler");
+    }
+
+    #[test]
+    fn query_does_not_affect_routing() {
+        let r = Router::new();
+        r.deploy("Echo", ok_handler("echo"));
+        assert_eq!(r.handle(&Request::get("/Echo?wsdl")).body_str(), "echo");
+    }
+}

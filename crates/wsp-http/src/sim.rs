@@ -1,0 +1,299 @@
+//! Simulator driver: HTTP exchanges as simnet messages.
+//!
+//! The wire format is the real byte-level HTTP encoding rendered to a
+//! `String` message, so the simulated path exercises the same codec as
+//! the TCP path. One request/response pair models one short-lived
+//! connection; an `X-Sim-Correlation` header stands in for the
+//! connection identity so a client may keep several requests in flight.
+//!
+//! The server behaviour models *service capacity*: requests queue and
+//! are served by `workers` virtual workers each taking `service_time`.
+//! That queueing is what produces the registry-saturation curve of
+//! experiment E1 — without it a simulated server is infinitely fast and
+//! the client/server bottleneck the paper argues about cannot appear.
+
+use crate::codec::{encode_request, encode_response, parse_request, parse_response};
+use crate::message::{Request, Response};
+use crate::router::Router;
+use std::collections::VecDeque;
+use wsp_simnet::{Context, Dur, Node, NodeEvent, NodeId};
+
+/// Correlation header echoed by the sim server.
+pub const CORRELATION_HEADER: &str = "X-Sim-Correlation";
+
+/// A simulated HTTP server node: a [`Router`] behind a bounded-capacity
+/// work queue.
+pub struct HttpSimServer {
+    router: Router,
+    /// Virtual time to process one request.
+    service_time: Dur,
+    /// Number of requests processed concurrently.
+    workers: u32,
+    /// Requests *waiting* beyond this are answered `503` immediately
+    /// (in-service requests do not count against the limit).
+    queue_limit: usize,
+    queue: VecDeque<(NodeId, Request)>,
+    in_flight: VecDeque<(NodeId, Request)>,
+    busy: u32,
+}
+
+impl HttpSimServer {
+    pub fn new(router: Router, service_time: Dur, workers: u32) -> Self {
+        HttpSimServer {
+            router,
+            service_time,
+            workers: workers.max(1),
+            queue_limit: usize::MAX,
+            queue: VecDeque::new(),
+            in_flight: VecDeque::new(),
+            busy: 0,
+        }
+    }
+
+    pub fn with_queue_limit(mut self, limit: usize) -> Self {
+        self.queue_limit = limit;
+        self
+    }
+
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    fn try_start_work(&mut self, ctx: &mut Context<'_, String>) {
+        while self.busy < self.workers {
+            let Some(work) = self.queue.pop_front() else { break };
+            self.in_flight.push_back(work);
+            self.busy += 1;
+            ctx.set_timer(self.service_time, 0);
+        }
+    }
+
+    fn finish_one(&mut self, ctx: &mut Context<'_, String>) {
+        self.busy = self.busy.saturating_sub(1);
+        if let Some((client, request)) = self.in_flight.pop_front() {
+            let mut response = self.router.handle(&request);
+            if let Some(corr) = request.headers.get(CORRELATION_HEADER) {
+                response.headers.set(CORRELATION_HEADER, corr);
+            }
+            ctx.count("http.served");
+            ctx.send(client, String::from_utf8_lossy(&encode_response(&response)).into_owned());
+        }
+        self.try_start_work(ctx);
+    }
+}
+
+impl Node<String> for HttpSimServer {
+    fn handle(&mut self, ctx: &mut Context<'_, String>, event: NodeEvent<String>) {
+        match event {
+            NodeEvent::Message { from, msg } => {
+                let Ok((request, _)) = parse_request(msg.as_bytes()) else {
+                    ctx.count("http.unparseable");
+                    return;
+                };
+                if self.queue.len() >= self.queue_limit {
+                    ctx.count("http.rejected");
+                    let mut response = Response::unavailable("queue full");
+                    if let Some(corr) = request.headers.get(CORRELATION_HEADER) {
+                        response.headers.set(CORRELATION_HEADER, corr);
+                    }
+                    ctx.send(from, String::from_utf8_lossy(&encode_response(&response)).into_owned());
+                    return;
+                }
+                ctx.count("http.accepted");
+                self.queue.push_back((from, request));
+                self.try_start_work(ctx);
+            }
+            NodeEvent::Timer { .. } => self.finish_one(ctx),
+            NodeEvent::WentDown => {
+                // A crash loses queued and in-flight work.
+                self.queue.clear();
+                self.in_flight.clear();
+                self.busy = 0;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Client-side bookkeeping for request/response matching over simnet.
+///
+/// Embed one of these in a client behaviour: call [`SimHttpClient::send`]
+/// to issue a request and [`SimHttpClient::accept`] on every incoming
+/// message to claim responses.
+#[derive(Debug, Default)]
+pub struct SimHttpClient {
+    next_correlation: u64,
+}
+
+impl SimHttpClient {
+    pub fn new() -> Self {
+        SimHttpClient::default()
+    }
+
+    /// Send `request` to `server`, returning the correlation id that the
+    /// response will carry.
+    pub fn send(&mut self, ctx: &mut Context<'_, String>, server: NodeId, mut request: Request) -> u64 {
+        let correlation = self.next_correlation;
+        self.next_correlation += 1;
+        request.headers.set(CORRELATION_HEADER, correlation.to_string());
+        ctx.send(server, String::from_utf8_lossy(&encode_request(&request)).into_owned());
+        correlation
+    }
+
+    /// Try to interpret an incoming message as an HTTP response; returns
+    /// the correlation id and the parsed response.
+    pub fn accept(&self, msg: &str) -> Option<(u64, Response)> {
+        let (response, _) = parse_response(msg.as_bytes()).ok()?;
+        let correlation = response.headers.get(CORRELATION_HEADER)?.parse().ok()?;
+        Some((correlation, response))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::Arc;
+    use wsp_simnet::{LinkSpec, SimNet, Time};
+
+    fn echo_router() -> Router {
+        let router = Router::new();
+        router.deploy(
+            "Echo",
+            Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone())),
+        );
+        router
+    }
+
+    /// A client that fires `n` requests at `Start` and records response
+    /// arrival times.
+    struct Burst {
+        server: NodeId,
+        n: usize,
+        client: SimHttpClient,
+        responses: Rc<RefCell<Vec<(Time, u16)>>>,
+    }
+
+    impl Node<String> for Burst {
+        fn handle(&mut self, ctx: &mut Context<'_, String>, event: NodeEvent<String>) {
+            match event {
+                NodeEvent::Start => {
+                    for _ in 0..self.n {
+                        self.client.send(ctx, self.server, Request::post("/Echo", "text/plain", "hi"));
+                    }
+                }
+                NodeEvent::Message { msg, .. } => {
+                    if let Some((_corr, response)) = self.client.accept(&msg) {
+                        self.responses.borrow_mut().push((ctx.now(), response.status));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn run_burst(n: usize, workers: u32, queue_limit: usize) -> Vec<(Time, u16)> {
+        let mut net: SimNet<String> = SimNet::new(5);
+        net.set_default_link(LinkSpec { latency: Dur::millis(1), jitter: Dur::ZERO, loss: 0.0, per_byte: Dur::ZERO });
+        let server = net.add_node(Box::new(
+            HttpSimServer::new(echo_router(), Dur::millis(10), workers).with_queue_limit(queue_limit),
+        ));
+        let responses = Rc::new(RefCell::new(Vec::new()));
+        net.add_node(Box::new(Burst {
+            server,
+            n,
+            client: SimHttpClient::new(),
+            responses: responses.clone(),
+        }));
+        net.run_to_quiescence();
+        let out = responses.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let responses = run_burst(1, 1, usize::MAX);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].1, 200);
+        // 1ms there + 10ms service + 1ms back.
+        assert_eq!(responses[0].0, Time::millis(12));
+    }
+
+    #[test]
+    fn queueing_serialises_service_times() {
+        let responses = run_burst(3, 1, usize::MAX);
+        let times: Vec<_> = responses.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![Time::millis(12), Time::millis(22), Time::millis(32)]);
+    }
+
+    #[test]
+    fn more_workers_raise_throughput() {
+        let one = run_burst(4, 1, usize::MAX);
+        let four = run_burst(4, 4, usize::MAX);
+        let last_one = one.iter().map(|(t, _)| *t).max().unwrap();
+        let last_four = four.iter().map(|(t, _)| *t).max().unwrap();
+        assert!(last_four < last_one, "{last_four} !< {last_one}");
+    }
+
+    #[test]
+    fn queue_limit_rejects_with_503() {
+        let responses = run_burst(5, 1, 2);
+        let rejected = responses.iter().filter(|(_, s)| *s == 503).count();
+        let served = responses.iter().filter(|(_, s)| *s == 200).count();
+        // 1 in service + 2 queued = 3 served; the rest bounce.
+        assert_eq!(served, 3);
+        assert_eq!(rejected, 2);
+    }
+
+    #[test]
+    fn correlation_ids_distinguish_responses() {
+        let mut net: SimNet<String> = SimNet::new(7);
+        let server = net.add_node(Box::new(HttpSimServer::new(echo_router(), Dur::millis(1), 1)));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        struct TwoBodies {
+            server: NodeId,
+            client: SimHttpClient,
+            seen: Rc<RefCell<Vec<(u64, String)>>>,
+        }
+        impl Node<String> for TwoBodies {
+            fn handle(&mut self, ctx: &mut Context<'_, String>, event: NodeEvent<String>) {
+                match event {
+                    NodeEvent::Start => {
+                        let a = self.client.send(ctx, self.server, Request::post("/Echo", "text/plain", "first"));
+                        let b = self.client.send(ctx, self.server, Request::post("/Echo", "text/plain", "second"));
+                        assert_ne!(a, b);
+                    }
+                    NodeEvent::Message { msg, .. } => {
+                        if let Some((corr, resp)) = self.client.accept(&msg) {
+                            self.seen.borrow_mut().push((corr, resp.body_str().into_owned()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        net.add_node(Box::new(TwoBodies { server, client: SimHttpClient::new(), seen: seen.clone() }));
+        net.run_to_quiescence();
+        let mut got = seen.borrow().clone();
+        got.sort();
+        assert_eq!(got, vec![(0, "first".into()), (1, "second".into())]);
+    }
+
+    #[test]
+    fn crash_loses_queued_work() {
+        let mut net: SimNet<String> = SimNet::new(9);
+        net.set_default_link(LinkSpec { latency: Dur::millis(1), jitter: Dur::ZERO, loss: 0.0, per_byte: Dur::ZERO });
+        let server = net.add_node(Box::new(HttpSimServer::new(echo_router(), Dur::millis(50), 1)));
+        let responses = Rc::new(RefCell::new(Vec::new()));
+        net.add_node(Box::new(Burst {
+            server,
+            n: 3,
+            client: SimHttpClient::new(),
+            responses: responses.clone(),
+        }));
+        net.schedule_down(server, Time::millis(10));
+        net.run_to_quiescence();
+        assert!(responses.borrow().is_empty(), "crash should lose all queued work");
+    }
+}

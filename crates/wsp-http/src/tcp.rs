@@ -1,0 +1,471 @@
+//! Real-TCP driver: the container-less HTTP server and a blocking
+//! client, over `std::net`.
+//!
+//! Per the paper, the server "is only launched once the application has
+//! deployed a service" — [`TcpServer::launch`] is called lazily by the
+//! WSPeer `Server` node on first deployment, binds an ephemeral port and
+//! serves the shared [`Router`]. One thread per connection,
+//! close-delimited exchanges: deliberately simple, matching the paper's
+//! minimal-host philosophy.
+
+use crate::codec::{encode_request, encode_response, parse_request, parse_response, HttpError};
+use crate::message::{Request, Response};
+use crate::router::Router;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running lightweight HTTP server.
+pub struct TcpServer {
+    addr: SocketAddr,
+    router: Router,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind `127.0.0.1:port` (0 = ephemeral) and start accepting.
+    pub fn launch(port: u16, router: Router) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept_router = router.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("wsp-http-{}", addr.port()))
+            .spawn(move || accept_loop(listener, accept_router, accept_stop))
+            .expect("spawn accept thread");
+        Ok(TcpServer { addr, router, stop, accept_thread: Some(accept_thread) })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Base URI of a service deployed at `/name`.
+    pub fn service_uri(&self, name: &str) -> String {
+        format!("http://127.0.0.1:{}/{}", self.addr.port(), name)
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+fn accept_loop(listener: TcpListener, router: Router, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_router = router.clone();
+                let conn_stop = stop.clone();
+                // Connection threads are detached but observe the stop
+                // flag, so server shutdown closes live connections.
+                // Thread-per-connection is fine at the scales WSPeer
+                // hosts (the paper's host is not a web farm).
+                let _ = std::thread::Builder::new()
+                    .name("wsp-http-conn".into())
+                    .spawn(move || serve_connection(stream, conn_router, conn_stop));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, router: Router, stop: Arc<AtomicBool>) {
+    // Short read timeout so the loop can observe the stop flag between
+    // reads; idle keep-alive connections die with the server.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    // Keep-alive loop: serve requests on this connection until the
+    // client asks to close (or goes away / times out).
+    loop {
+        let (request, used) = loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match parse_request(&buf) {
+                Ok(parsed) => break parsed,
+                Err(HttpError::Incomplete) => {
+                    let mut chunk = [0u8; 4096];
+                    match stream.read(&mut chunk) {
+                        Ok(0) => return, // peer went away
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue; // idle: re-check the stop flag
+                        }
+                        Err(_) => return,
+                    }
+                }
+                Err(_) => {
+                    let _ = stream
+                        .write_all(&encode_response(&Response::bad_request("unparseable request")));
+                    return;
+                }
+            }
+        };
+        buf.drain(..used);
+        let close = request
+            .headers
+            .get("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false);
+        let mut response = router.handle(&request);
+        response
+            .headers
+            .set("Connection", if close { "close" } else { "keep-alive" });
+        if stream.write_all(&encode_response(&response)).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+        if close {
+            return;
+        }
+    }
+}
+
+/// Issue one blocking request to `host:port`. Opens a fresh connection
+/// per call (`Connection: close` semantics).
+pub fn http_call(host: &str, port: u16, mut request: Request) -> Result<Response, HttpError> {
+    request.headers.set("Host", format!("{host}:{port}"));
+    request.headers.set("Connection", "close");
+    let mut stream = TcpStream::connect((host, port))
+        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    stream
+        .write_all(&encode_request(&request))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let mut buf = Vec::with_capacity(4096);
+    loop {
+        match parse_response(&buf) {
+            Ok((response, _)) => return Ok(response),
+            Err(HttpError::Incomplete) => {
+                let mut chunk = [0u8; 4096];
+                match stream.read(&mut chunk) {
+                    Ok(0) => return Err(HttpError::Incomplete),
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e) => return Err(HttpError::Io(e.to_string())),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Issue one request to an absolute `http://` URI.
+pub fn http_call_uri(uri: &str, mut request: Request) -> Result<Response, HttpError> {
+    let parsed = crate::uri::HttpUri::parse(uri)
+        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    if request.target == "/" || request.target.is_empty() {
+        request.target = parsed.target.clone();
+    }
+    http_call(&parsed.host, parsed.port, request)
+}
+
+/// A keep-alive connection pool: reuses TCP connections per authority,
+/// falling back to a fresh connection when a pooled one has gone stale.
+///
+/// This is the transport ablation of experiment E7: per-call connection
+/// setup dominates small-payload HTTP round trips, and pooling removes
+/// it.
+#[derive(Default)]
+pub struct ConnectionPool {
+    idle: parking_lot::Mutex<std::collections::HashMap<String, Vec<TcpStream>>>,
+    max_idle_per_host: usize,
+}
+
+impl ConnectionPool {
+    pub fn new() -> Self {
+        ConnectionPool { idle: Default::default(), max_idle_per_host: 4 }
+    }
+
+    /// Number of idle pooled connections (all hosts).
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().values().map(Vec::len).sum()
+    }
+
+    fn take(&self, authority: &str) -> Option<TcpStream> {
+        self.idle.lock().get_mut(authority).and_then(Vec::pop)
+    }
+
+    fn put(&self, authority: &str, stream: TcpStream) {
+        let mut idle = self.idle.lock();
+        let conns = idle.entry(authority.to_owned()).or_default();
+        if conns.len() < self.max_idle_per_host {
+            conns.push(stream);
+        }
+    }
+
+    /// Issue a request over a pooled (or fresh) keep-alive connection.
+    pub fn call(&self, host: &str, port: u16, mut request: Request) -> Result<Response, HttpError> {
+        request.headers.set("Host", format!("{host}:{port}"));
+        request.headers.set("Connection", "keep-alive");
+        let authority = format!("{host}:{port}");
+        // A pooled connection may have been closed by the server; retry
+        // once on a fresh one.
+        if let Some(stream) = self.take(&authority) {
+            if let Ok(response) = self.exchange(stream, &authority, &request) {
+                return Ok(response);
+            }
+        }
+        let stream = TcpStream::connect((host, port))
+            .map_err(|e| HttpError::Connect(e.to_string()))?;
+        self.exchange(stream, &authority, &request)
+    }
+
+    fn exchange(
+        &self,
+        mut stream: TcpStream,
+        authority: &str,
+        request: &Request,
+    ) -> Result<Response, HttpError> {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        stream
+            .write_all(&encode_request(request))
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        let mut buf = Vec::with_capacity(4096);
+        loop {
+            match parse_response(&buf) {
+                Ok((response, _)) => {
+                    let keep = response
+                        .headers
+                        .get("connection")
+                        .map(|v| v.eq_ignore_ascii_case("keep-alive"))
+                        .unwrap_or(false);
+                    if keep {
+                        self.put(authority, stream);
+                    }
+                    return Ok(response);
+                }
+                Err(HttpError::Incomplete) => {
+                    let mut chunk = [0u8; 4096];
+                    match stream.read(&mut chunk) {
+                        Ok(0) => return Err(HttpError::Incomplete),
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        Err(e) => return Err(HttpError::Io(e.to_string())),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Method;
+
+    fn test_server() -> TcpServer {
+        let router = Router::new();
+        router.deploy(
+            "Echo",
+            Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone())),
+        );
+        TcpServer::launch(0, router).expect("launch server")
+    }
+
+    #[test]
+    fn round_trip_over_loopback() {
+        let server = test_server();
+        let request = Request::post("/Echo", "text/plain", "over the wire");
+        let response = http_call("127.0.0.1", server.port(), request).unwrap();
+        assert!(response.is_success());
+        assert_eq!(response.body_str(), "over the wire");
+        server.shutdown();
+    }
+
+    #[test]
+    fn listing_and_404() {
+        let server = test_server();
+        let listing = http_call("127.0.0.1", server.port(), Request::get("/")).unwrap();
+        assert_eq!(listing.body_str(), "Echo");
+        let missing = http_call("127.0.0.1", server.port(), Request::get("/Nope")).unwrap();
+        assert_eq!(missing.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dynamic_deploy_visible_without_restart() {
+        let server = test_server();
+        server.router().deploy(
+            "Late",
+            Arc::new(|_req: &Request| Response::ok("text/plain", "late!")),
+        );
+        let response = http_call("127.0.0.1", server.port(), Request::get("/Late")).unwrap();
+        assert_eq!(response.body_str(), "late!");
+        server.router().undeploy("Late");
+        let gone = http_call("127.0.0.1", server.port(), Request::get("/Late")).unwrap();
+        assert_eq!(gone.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn call_uri_helper() {
+        let server = test_server();
+        let uri = server.service_uri("Echo");
+        let mut request = Request::new(Method::Post, "/");
+        request.body = b"via uri".to_vec();
+        let response = http_call_uri(&uri, request).unwrap();
+        assert_eq!(response.body_str(), "via uri");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_error_reported() {
+        // Port 1 on loopback is essentially never listening.
+        let err = http_call("127.0.0.1", 1, Request::get("/")).unwrap_err();
+        assert!(matches!(err, HttpError::Connect(_)));
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = test_server();
+        let port = server.port();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body = format!("client-{i}");
+                    let resp =
+                        http_call("127.0.0.1", port, Request::post("/Echo", "text/plain", body.clone()))
+                            .unwrap();
+                    assert_eq!(resp.body_str(), body);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn echo_server() -> TcpServer {
+        let router = Router::new();
+        router.deploy(
+            "Echo",
+            Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone())),
+        );
+        TcpServer::launch(0, router).unwrap()
+    }
+
+    #[test]
+    fn pool_reuses_connections() {
+        let server = echo_server();
+        let pool = ConnectionPool::new();
+        for i in 0..5 {
+            let response = pool
+                .call("127.0.0.1", server.port(), Request::post("/Echo", "text/plain", format!("r{i}")))
+                .unwrap();
+            assert_eq!(response.body_str(), format!("r{i}"));
+        }
+        // After the first call the connection is pooled and reused.
+        assert_eq!(pool.idle_count(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_recovers_from_stale_connection() {
+        let server = echo_server();
+        let pool = ConnectionPool::new();
+        let port = server.port();
+        pool.call("127.0.0.1", port, Request::get("/Echo")).unwrap();
+        assert_eq!(pool.idle_count(), 1);
+        // Restarting the server kills the pooled connection (connection
+        // threads observe the stop flag within their read timeout).
+        server.shutdown();
+        std::thread::sleep(Duration::from_millis(400));
+        let router = Router::new();
+        router.deploy("Echo", Arc::new(|_r: &Request| Response::ok("text/plain", "back")));
+        // Rebind on the same port (may need a few tries on busy CI).
+        let server2 = (0..20)
+            .find_map(|_| {
+                std::thread::sleep(Duration::from_millis(25));
+                TcpServer::launch(port, router.clone()).ok()
+            })
+            .expect("rebind same port");
+        let response = pool.call("127.0.0.1", port, Request::get("/Echo")).unwrap();
+        assert_eq!(response.body_str(), "back");
+        server2.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_and_close_interoperate() {
+        let server = echo_server();
+        // A plain (close) client against the keep-alive server.
+        let response = http_call("127.0.0.1", server.port(), Request::get("/Echo")).unwrap();
+        assert!(response.is_success());
+        assert_eq!(response.headers.get("connection"), Some("close"));
+        // A pooled client sees keep-alive.
+        let pool = ConnectionPool::new();
+        let response = pool.call("127.0.0.1", server.port(), Request::get("/Echo")).unwrap();
+        assert_eq!(response.headers.get("connection"), Some("keep-alive"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_is_shared_across_threads() {
+        let server = echo_server();
+        let pool = Arc::new(ConnectionPool::new());
+        let port = server.port();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for j in 0..10 {
+                        let body = format!("t{i}-{j}");
+                        let r = pool
+                            .call("127.0.0.1", port, Request::post("/Echo", "text/plain", body.clone()))
+                            .unwrap();
+                        assert_eq!(r.body_str(), body);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.idle_count() >= 1 && pool.idle_count() <= 4);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,126 @@
+//! Parsing of `http://` and `httpg://` endpoint URIs.
+
+use std::fmt;
+
+/// A parsed HTTP(G) endpoint URI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpUri {
+    pub scheme: String,
+    pub host: String,
+    pub port: u16,
+    /// Path plus optional query, always starting with `/`.
+    pub target: String,
+}
+
+impl HttpUri {
+    /// Parse an absolute URI. Defaults: port 80 for `http`, 8443 for
+    /// `httpg`; target `/`.
+    pub fn parse(uri: &str) -> Result<HttpUri, UriError> {
+        let (scheme, rest) = uri
+            .split_once("://")
+            .ok_or_else(|| UriError::new(uri, "missing scheme"))?;
+        if scheme != "http" && scheme != "httpg" {
+            return Err(UriError::new(uri, "scheme must be http or httpg"));
+        }
+        let (authority, target) = match rest.find('/') {
+            Some(pos) => (&rest[..pos], &rest[pos..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(UriError::new(uri, "empty host"));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p.parse().map_err(|_| UriError::new(uri, "bad port"))?;
+                (h, port)
+            }
+            None => (authority, if scheme == "httpg" { 8443 } else { 80 }),
+        };
+        if host.is_empty() {
+            return Err(UriError::new(uri, "empty host"));
+        }
+        Ok(HttpUri {
+            scheme: scheme.to_owned(),
+            host: host.to_owned(),
+            port,
+            target: target.to_owned(),
+        })
+    }
+
+    /// The `host:port` authority.
+    pub fn authority(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+
+    /// True if this URI uses the authenticated HTTPG transport.
+    pub fn is_httpg(&self) -> bool {
+        self.scheme == "httpg"
+    }
+}
+
+impl fmt::Display for HttpUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}:{}{}", self.scheme, self.host, self.port, self.target)
+    }
+}
+
+/// A URI that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UriError {
+    pub uri: String,
+    pub reason: &'static str,
+}
+
+impl UriError {
+    fn new(uri: &str, reason: &'static str) -> Self {
+        UriError { uri: uri.to_owned(), reason }
+    }
+}
+
+impl fmt::Display for UriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid URI {:?}: {}", self.uri, self.reason)
+    }
+}
+
+impl std::error::Error for UriError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_uri() {
+        let u = HttpUri::parse("http://10.0.0.1:8080/Echo?wsdl").unwrap();
+        assert_eq!(u.scheme, "http");
+        assert_eq!(u.host, "10.0.0.1");
+        assert_eq!(u.port, 8080);
+        assert_eq!(u.target, "/Echo?wsdl");
+        assert_eq!(u.authority(), "10.0.0.1:8080");
+    }
+
+    #[test]
+    fn defaults() {
+        let u = HttpUri::parse("http://example.org").unwrap();
+        assert_eq!(u.port, 80);
+        assert_eq!(u.target, "/");
+        let g = HttpUri::parse("httpg://grid.example.org/Svc").unwrap();
+        assert_eq!(g.port, 8443);
+        assert!(g.is_httpg());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let u = HttpUri::parse("http://h:99/a/b").unwrap();
+        assert_eq!(HttpUri::parse(&u.to_string()).unwrap(), u);
+    }
+
+    #[test]
+    fn rejects_bad_uris() {
+        assert!(HttpUri::parse("not-a-uri").is_err());
+        assert!(HttpUri::parse("ftp://h/x").is_err());
+        assert!(HttpUri::parse("http://").is_err());
+        assert!(HttpUri::parse("http://h:port/x").is_err());
+        assert!(HttpUri::parse("http://:80/x").is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the HTTP codec: encode→parse is the identity for
+//! any message the API can build, parsing is incremental-safe, and the
+//! parser never panics.
+
+use proptest::prelude::*;
+use wsp_http::{encode_request, encode_response, parse_request, parse_response, Method, Request, Response};
+
+fn token() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,12}"
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    // No CR/LF or leading/trailing blanks (normalised by parsing).
+    "[ -~]{0,24}".prop_map(|s| s.trim().replace(['\r', '\n'], " ").trim().to_owned())
+}
+
+fn method() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method::Get),
+        Just(Method::Post),
+        Just(Method::Head),
+        Just(Method::Put),
+        Just(Method::Delete),
+    ]
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    (
+        method(),
+        "[A-Za-z0-9/_.?=-]{1,24}",
+        proptest::collection::vec((token(), header_value()), 0..5),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(method, path, headers, body)| {
+            let mut r = Request::new(method, format!("/{path}"));
+            for (i, (name, value)) in headers.into_iter().enumerate() {
+                // Unique names: duplicate header *names* are legal HTTP but
+                // the round-trip comparison would need multimap semantics.
+                r.headers.append(format!("{name}-{i}"), value);
+            }
+            r.body = body;
+            r
+        })
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    (
+        100u16..600,
+        "[A-Za-z ]{0,16}",
+        proptest::collection::vec((token(), header_value()), 0..5),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(status, reason, headers, body)| {
+            let mut r = Response::new(status, reason.trim().to_owned());
+            for (i, (name, value)) in headers.into_iter().enumerate() {
+                r.headers.append(format!("{name}-{i}"), value);
+            }
+            r.body = body;
+            r
+        })
+}
+
+/// What a request looks like after one parse round (Content-Length
+/// materialised).
+fn normalise_request(mut r: Request) -> Request {
+    r.headers.set("Content-Length", r.body.len().to_string());
+    r
+}
+
+fn normalise_response(mut r: Response) -> Response {
+    r.headers.set("Content-Length", r.body.len().to_string());
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_round_trip(r in request()) {
+        let bytes = encode_request(&r);
+        let (parsed, used) = parse_request(&bytes).expect("must parse");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(parsed, normalise_request(r));
+    }
+
+    #[test]
+    fn response_round_trip(r in response()) {
+        let bytes = encode_response(&r);
+        let (parsed, used) = parse_response(&bytes).expect("must parse");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(parsed, normalise_response(r));
+    }
+
+    #[test]
+    fn any_prefix_is_incomplete_or_equal(r in request(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_request(&r);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        match parse_request(&bytes[..cut]) {
+            Err(wsp_http::HttpError::Incomplete) => {}
+            Ok((parsed, used)) => {
+                // A prefix can only parse if it contains the whole message.
+                prop_assert_eq!(used, bytes.len());
+                prop_assert_eq!(parsed, normalise_request(r));
+            }
+            Err(other) => prop_assert!(false, "prefix must not be malformed: {other}"),
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = parse_request(&junk);
+        let _ = parse_response(&junk);
+    }
+
+    #[test]
+    fn pipelined_messages_split_correctly(a in request(), b in request()) {
+        let mut bytes = encode_request(&a);
+        bytes.extend_from_slice(&encode_request(&b));
+        let (first, used) = parse_request(&bytes).expect("first parses");
+        prop_assert_eq!(first, normalise_request(a));
+        let (second, used2) = parse_request(&bytes[used..]).expect("second parses");
+        prop_assert_eq!(second, normalise_request(b));
+        prop_assert_eq!(used + used2, bytes.len());
+    }
+}

@@ -1,0 +1,225 @@
+//! XML advertisements: how P2PS exposes pipes and services to the
+//! network.
+//!
+//! A `ServiceAdvertisement` is "simply a collection of named
+//! PipeAdvertisements"; WSPeer's extension adds a *definition pipe* from
+//! which the service's WSDL can be retrieved, plus free-form attributes
+//! enabling attribute-based search (Section IV, reason 1 for choosing
+//! P2PS).
+
+use crate::id::PeerId;
+use crate::uri::P2psUri;
+use wsp_xml::Element;
+
+/// Namespace of P2PS advertisements and protocol messages.
+pub const P2PS_NS: &str = "urn:wspeer:p2ps";
+
+/// Name of the definition pipe WSPeer adds to service adverts.
+pub const DEFINITION_PIPE: &str = "definition";
+
+/// An advertisement for one pipe: a named logical endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PipeAdvertisement {
+    /// The peer hosting the pipe.
+    pub peer: PeerId,
+    /// Name of the service advertisement this pipe belongs to, if any.
+    pub service: Option<String>,
+    /// The pipe's name — unique within its service.
+    pub name: String,
+}
+
+impl PipeAdvertisement {
+    pub fn new(peer: PeerId, service: Option<String>, name: impl Into<String>) -> Self {
+        PipeAdvertisement { peer, service, name: name.into() }
+    }
+
+    /// The `p2ps://` URI identifying this pipe.
+    pub fn uri(&self) -> P2psUri {
+        let mut uri = P2psUri::new(self.peer).with_pipe(self.name.clone());
+        if let Some(s) = &self.service {
+            uri = uri.with_service(s.clone());
+        }
+        uri
+    }
+
+    pub fn to_element(&self) -> Element {
+        let mut e = Element::new(P2PS_NS, "PipeAdvertisement");
+        e.push_element(Element::build(P2PS_NS, "Peer").text(self.peer.to_hex()).finish());
+        if let Some(s) = &self.service {
+            e.push_element(Element::build(P2PS_NS, "Service").text(s.clone()).finish());
+        }
+        e.push_element(Element::build(P2PS_NS, "Name").text(self.name.clone()).finish());
+        e
+    }
+
+    pub fn from_element(e: &Element) -> Option<PipeAdvertisement> {
+        let peer = PeerId::from_hex(e.child_text(P2PS_NS, "Peer")?.trim())?;
+        let service = e.child_text(P2PS_NS, "Service");
+        let name = e.child_text(P2PS_NS, "Name")?;
+        Some(PipeAdvertisement { peer, service, name })
+    }
+}
+
+/// An advertisement for a service: named pipes plus searchable
+/// attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceAdvertisement {
+    pub name: String,
+    pub peer: PeerId,
+    pub pipes: Vec<PipeAdvertisement>,
+    /// Free-form metadata for attribute-based search.
+    pub attributes: Vec<(String, String)>,
+}
+
+impl ServiceAdvertisement {
+    pub fn new(name: impl Into<String>, peer: PeerId) -> Self {
+        ServiceAdvertisement { name: name.into(), peer, pipes: Vec::new(), attributes: Vec::new() }
+    }
+
+    /// Add a pipe named `pipe_name` on this service.
+    pub fn with_pipe(mut self, pipe_name: impl Into<String>) -> Self {
+        let pipe = PipeAdvertisement::new(self.peer, Some(self.name.clone()), pipe_name);
+        self.pipes.push(pipe);
+        self
+    }
+
+    /// Add WSPeer's definition pipe (serves the WSDL document).
+    pub fn with_definition_pipe(self) -> Self {
+        self.with_pipe(DEFINITION_PIPE)
+    }
+
+    pub fn with_attribute(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Look up a pipe by name.
+    pub fn pipe(&self, name: &str) -> Option<&PipeAdvertisement> {
+        self.pipes.iter().find(|p| p.name == name)
+    }
+
+    /// The definition pipe, if the publisher exposed one.
+    pub fn definition_pipe(&self) -> Option<&PipeAdvertisement> {
+        self.pipe(DEFINITION_PIPE)
+    }
+
+    /// Value of a named attribute.
+    pub fn attribute(&self, key: &str) -> Option<&str> {
+        self.attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The service's `p2ps://` address.
+    pub fn uri(&self) -> P2psUri {
+        P2psUri::new(self.peer).with_service(self.name.clone())
+    }
+
+    pub fn to_element(&self) -> Element {
+        let mut e = Element::new(P2PS_NS, "ServiceAdvertisement");
+        e.push_element(Element::build(P2PS_NS, "Name").text(self.name.clone()).finish());
+        e.push_element(Element::build(P2PS_NS, "Peer").text(self.peer.to_hex()).finish());
+        for pipe in &self.pipes {
+            e.push_element(pipe.to_element());
+        }
+        if !self.attributes.is_empty() {
+            let mut attrs = Element::new(P2PS_NS, "Attributes");
+            for (k, v) in &self.attributes {
+                attrs.push_element(
+                    Element::build(P2PS_NS, "Attribute")
+                        .attr_str("name", k.clone())
+                        .text(v.clone())
+                        .finish(),
+                );
+            }
+            e.push_element(attrs);
+        }
+        e
+    }
+
+    pub fn from_element(e: &Element) -> Option<ServiceAdvertisement> {
+        let name = e.child_text(P2PS_NS, "Name")?;
+        let peer = PeerId::from_hex(e.child_text(P2PS_NS, "Peer")?.trim())?;
+        let pipes = e
+            .find_all(P2PS_NS, "PipeAdvertisement")
+            .filter_map(PipeAdvertisement::from_element)
+            .collect();
+        let attributes = e
+            .find(P2PS_NS, "Attributes")
+            .map(|attrs| {
+                attrs
+                    .find_all(P2PS_NS, "Attribute")
+                    .filter_map(|a| {
+                        a.attribute_local("name").map(|n| (n.to_owned(), a.text()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(ServiceAdvertisement { name, peer, pipes, attributes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer() -> PeerId {
+        PeerId(0xfeed_beef_cafe_0001)
+    }
+
+    fn sample() -> ServiceAdvertisement {
+        ServiceAdvertisement::new("Echo", peer())
+            .with_pipe("echoString")
+            .with_definition_pipe()
+            .with_attribute("domain", "testing")
+            .with_attribute("version", "1.0")
+    }
+
+    #[test]
+    fn service_advert_round_trip() {
+        let advert = sample();
+        let xml = advert.to_element().to_xml();
+        let parsed = ServiceAdvertisement::from_element(&wsp_xml::parse(&xml).unwrap()).unwrap();
+        assert_eq!(parsed, advert);
+    }
+
+    #[test]
+    fn pipe_advert_round_trip() {
+        let pipe = PipeAdvertisement::new(peer(), None, "return-7");
+        let parsed = PipeAdvertisement::from_element(&pipe.to_element()).unwrap();
+        assert_eq!(parsed, pipe);
+    }
+
+    #[test]
+    fn pipes_inherit_service_and_peer() {
+        let advert = sample();
+        let echo = advert.pipe("echoString").unwrap();
+        assert_eq!(echo.peer, peer());
+        assert_eq!(echo.service.as_deref(), Some("Echo"));
+        assert_eq!(echo.uri().to_string(), format!("p2ps://{}/Echo#echoString", peer().to_hex()));
+    }
+
+    #[test]
+    fn definition_pipe_present() {
+        let advert = sample();
+        assert_eq!(advert.definition_pipe().unwrap().name, DEFINITION_PIPE);
+        let bare = ServiceAdvertisement::new("NoDef", peer());
+        assert!(bare.definition_pipe().is_none());
+    }
+
+    #[test]
+    fn attributes_lookup() {
+        let advert = sample();
+        assert_eq!(advert.attribute("domain"), Some("testing"));
+        assert_eq!(advert.attribute("missing"), None);
+    }
+
+    #[test]
+    fn from_element_requires_core_fields() {
+        let empty = Element::new(P2PS_NS, "ServiceAdvertisement");
+        assert!(ServiceAdvertisement::from_element(&empty).is_none());
+    }
+
+    #[test]
+    fn service_uri() {
+        assert_eq!(sample().uri().address(), format!("p2ps://{}/Echo", peer().to_hex()));
+    }
+}

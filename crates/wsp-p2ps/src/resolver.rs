@@ -1,0 +1,116 @@
+//! Endpoint resolution: turning logical peer ids into transport
+//! addresses.
+//!
+//! "For a pipe to be created, the actual endpoints of peers need to be
+//! resolved. P2PS uses an EndpointResolver interface to represent a
+//! service that is capable of resolving certain endpoints"
+//! (Section IV.B). Identifiers let multiple transports coexist and let
+//! peers behind NATs participate; the drivers in this crate resolve ids
+//! against their directories, and this module gives embedders the same
+//! abstraction.
+
+use crate::id::PeerId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A service that can resolve certain peer endpoints.
+pub trait EndpointResolver: Send + Sync {
+    /// The transport address of `peer`, if this resolver knows it.
+    fn resolve(&self, peer: PeerId) -> Option<String>;
+
+    /// A short label for diagnostics.
+    fn describe(&self) -> String {
+        "resolver".to_owned()
+    }
+}
+
+/// A static table of peer → address mappings.
+#[derive(Default)]
+pub struct TableResolver {
+    table: RwLock<HashMap<PeerId, String>>,
+}
+
+impl TableResolver {
+    pub fn new() -> Self {
+        TableResolver::default()
+    }
+
+    pub fn register(&self, peer: PeerId, address: impl Into<String>) {
+        self.table.write().insert(peer, address.into());
+    }
+
+    pub fn unregister(&self, peer: PeerId) -> bool {
+        self.table.write().remove(&peer).is_some()
+    }
+}
+
+impl EndpointResolver for TableResolver {
+    fn resolve(&self, peer: PeerId) -> Option<String> {
+        self.table.read().get(&peer).cloned()
+    }
+
+    fn describe(&self) -> String {
+        format!("table({} entries)", self.table.read().len())
+    }
+}
+
+/// Tries several resolvers in order — e.g. a local table first, then a
+/// rendezvous-backed resolver.
+pub struct ChainResolver {
+    chain: Vec<Arc<dyn EndpointResolver>>,
+}
+
+impl ChainResolver {
+    pub fn new(chain: Vec<Arc<dyn EndpointResolver>>) -> Self {
+        ChainResolver { chain }
+    }
+}
+
+impl EndpointResolver for ChainResolver {
+    fn resolve(&self, peer: PeerId) -> Option<String> {
+        self.chain.iter().find_map(|r| r.resolve(peer))
+    }
+
+    fn describe(&self) -> String {
+        format!("chain[{}]", self.chain.iter().map(|r| r.describe()).collect::<Vec<_>>().join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_resolver_basics() {
+        let r = TableResolver::new();
+        r.register(PeerId(1), "sim:node-0");
+        assert_eq!(r.resolve(PeerId(1)).as_deref(), Some("sim:node-0"));
+        assert_eq!(r.resolve(PeerId(2)), None);
+        assert!(r.unregister(PeerId(1)));
+        assert!(!r.unregister(PeerId(1)));
+        assert_eq!(r.resolve(PeerId(1)), None);
+    }
+
+    #[test]
+    fn chain_tries_in_order() {
+        let local = Arc::new(TableResolver::new());
+        let remote = Arc::new(TableResolver::new());
+        local.register(PeerId(1), "local:1");
+        remote.register(PeerId(1), "remote:1");
+        remote.register(PeerId(2), "remote:2");
+        let chain = ChainResolver::new(vec![local, remote]);
+        assert_eq!(chain.resolve(PeerId(1)).as_deref(), Some("local:1"));
+        assert_eq!(chain.resolve(PeerId(2)).as_deref(), Some("remote:2"));
+        assert_eq!(chain.resolve(PeerId(3)), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let r = TableResolver::new();
+        r.register(PeerId(1), "x");
+        assert_eq!(r.describe(), "table(1 entries)");
+        let chain = ChainResolver::new(vec![Arc::new(r)]);
+        assert!(chain.describe().starts_with("chain["));
+    }
+}

@@ -1,0 +1,194 @@
+//! Request/response over unidirectional pipes — the machinery of
+//! Figures 5 and 6.
+//!
+//! A consumer (1) asks P2PS for an input pipe and its advertisement,
+//! (2) adds itself as listener, (3) serialises the advert to a
+//! WS-Addressing `ReplyTo`, (4) sends the SOAP request down the
+//! service's pipe; the provider (5) converts the `ReplyTo` back to a
+//! pipe advertisement, resolves it, and (6) returns the response down
+//! it. Correlation uses `MessageID`/`RelatesTo`.
+
+use crate::addressing::{reply_pipe_of, request_headers, target_pipe_of, with_reply_pipe};
+use crate::advert::PipeAdvertisement;
+use std::collections::HashMap;
+use wsp_soap::{Envelope, MessageHeaders};
+
+/// Consumer-side correlation of responses to outstanding requests.
+#[derive(Debug, Default)]
+pub struct RpcCorrelator {
+    pending: HashMap<String, u64>, // request message id -> app token
+}
+
+impl RpcCorrelator {
+    pub fn new() -> Self {
+        RpcCorrelator::default()
+    }
+
+    /// Build the wire form of a request to `target`, replying to
+    /// `reply_pipe`, and remember it under `token`.
+    pub fn encode_request(
+        &mut self,
+        token: u64,
+        target: &PipeAdvertisement,
+        reply_pipe: &PipeAdvertisement,
+        mut envelope: Envelope,
+    ) -> String {
+        let headers = with_reply_pipe(request_headers(target), reply_pipe);
+        let message_id = headers.message_id.clone().expect("requests carry MessageID");
+        envelope.set_addressing(headers);
+        self.pending.insert(message_id, token);
+        envelope.to_xml()
+    }
+
+    /// Interpret data that arrived on a return pipe: if it is a response
+    /// to one of our requests, yield `(token, envelope)`.
+    pub fn accept_response(&mut self, payload: &str) -> Option<(u64, Envelope)> {
+        let envelope = Envelope::from_xml(payload).ok()?;
+        let relates_to = envelope.addressing()?.relates_to?;
+        let token = self.pending.remove(&relates_to)?;
+        Some((token, envelope))
+    }
+
+    /// Outstanding request count (for timeout sweeps).
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Forget a request (timeout). Returns true if it was pending.
+    pub fn forget(&mut self, message_id: &str) -> bool {
+        self.pending.remove(message_id).is_some()
+    }
+}
+
+/// Provider-side view of one received request.
+#[derive(Debug)]
+pub struct ReceivedRequest {
+    pub envelope: Envelope,
+    /// The local pipe the request addressed.
+    pub target: Option<PipeAdvertisement>,
+    /// Where the response should go (Figure 6, step 4).
+    pub reply_pipe: Option<PipeAdvertisement>,
+}
+
+/// Parse a request arriving on a service input pipe.
+pub fn decode_request(payload: &str) -> Option<ReceivedRequest> {
+    let envelope = Envelope::from_xml(payload).ok()?;
+    let target = target_pipe_of(&envelope);
+    let reply_pipe = reply_pipe_of(&envelope);
+    Some(ReceivedRequest { envelope, target, reply_pipe })
+}
+
+/// Build the wire form of the response to `request`, addressed back
+/// down its reply pipe. Returns `None` for one-way requests (no
+/// `ReplyTo`).
+pub fn encode_response(
+    request: &ReceivedRequest,
+    mut response: Envelope,
+) -> Option<(PipeAdvertisement, String)> {
+    let reply_pipe = request.reply_pipe.clone()?;
+    let request_headers = request.envelope.addressing().unwrap_or_default();
+    let action = format!("{}#response", reply_pipe.uri().address());
+    response.set_addressing(MessageHeaders::response_to(&request_headers, action));
+    Some((reply_pipe, response.to_xml()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::PeerId;
+    use wsp_xml::Element;
+
+    fn service_pipe() -> PipeAdvertisement {
+        PipeAdvertisement::new(PeerId(0xAA), Some("Echo".into()), "in")
+    }
+
+    fn return_pipe() -> PipeAdvertisement {
+        PipeAdvertisement::new(PeerId(0xBB), None, "return-1")
+    }
+
+    fn request_envelope(text: &str) -> Envelope {
+        Envelope::request(Element::build("urn:demo", "echoString").text(text.to_owned()).finish())
+    }
+
+    #[test]
+    fn full_figures_5_6_round_trip() {
+        let mut correlator = RpcCorrelator::new();
+        // Consumer side (Figure 5).
+        let wire = correlator.encode_request(42, &service_pipe(), &return_pipe(), request_envelope("hi"));
+        assert_eq!(correlator.pending(), 1);
+
+        // Provider side (Figure 6).
+        let received = decode_request(&wire).expect("parse request");
+        assert_eq!(received.target.as_ref(), Some(&service_pipe()));
+        assert_eq!(received.reply_pipe.as_ref(), Some(&return_pipe()));
+        assert_eq!(received.envelope.payload().unwrap().text(), "hi");
+
+        let reply = Envelope::request(
+            Element::build("urn:demo", "echoStringResponse").text("hi").finish(),
+        );
+        let (pipe, response_wire) = encode_response(&received, reply).expect("has reply pipe");
+        assert_eq!(pipe, return_pipe());
+
+        // Back at the consumer.
+        let (token, envelope) = correlator.accept_response(&response_wire).expect("correlates");
+        assert_eq!(token, 42);
+        assert_eq!(envelope.payload().unwrap().text(), "hi");
+        assert_eq!(correlator.pending(), 0);
+    }
+
+    #[test]
+    fn uncorrelated_response_ignored() {
+        let mut correlator = RpcCorrelator::new();
+        let mut stray = Envelope::request(Element::new("urn:demo", "r"));
+        stray.set_addressing(MessageHeaders {
+            relates_to: Some("urn:wsp:msg:unknown".into()),
+            ..MessageHeaders::default()
+        });
+        assert!(correlator.accept_response(&stray.to_xml()).is_none());
+    }
+
+    #[test]
+    fn response_without_relates_to_ignored() {
+        let mut correlator = RpcCorrelator::new();
+        let _ = correlator.encode_request(1, &service_pipe(), &return_pipe(), request_envelope("x"));
+        let unrelated = Envelope::request(Element::new("urn:demo", "r")).to_xml();
+        assert!(correlator.accept_response(&unrelated).is_none());
+        assert_eq!(correlator.pending(), 1);
+    }
+
+    #[test]
+    fn one_way_request_has_no_response() {
+        let mut plain = Envelope::request(Element::new("urn:demo", "notify"));
+        plain.set_addressing(request_headers(&service_pipe())); // no ReplyTo
+        let received = decode_request(&plain.to_xml()).unwrap();
+        assert!(encode_response(&received, Envelope::empty()).is_none());
+    }
+
+    #[test]
+    fn forget_times_out_requests() {
+        let mut correlator = RpcCorrelator::new();
+        let wire = correlator.encode_request(9, &service_pipe(), &return_pipe(), request_envelope("x"));
+        let request = Envelope::from_xml(&wire).unwrap();
+        let id = request.addressing().unwrap().message_id.unwrap();
+        assert!(correlator.forget(&id));
+        assert_eq!(correlator.pending(), 0);
+        // A late response no longer correlates.
+        let received = decode_request(&wire).unwrap();
+        let (_, response_wire) = encode_response(&received, Envelope::empty()).unwrap();
+        assert!(correlator.accept_response(&response_wire).is_none());
+    }
+
+    #[test]
+    fn two_outstanding_requests_correlate_independently() {
+        let mut correlator = RpcCorrelator::new();
+        let wire_a = correlator.encode_request(1, &service_pipe(), &return_pipe(), request_envelope("a"));
+        let wire_b = correlator.encode_request(2, &service_pipe(), &return_pipe(), request_envelope("b"));
+        let ra = decode_request(&wire_a).unwrap();
+        let rb = decode_request(&wire_b).unwrap();
+        // Answer b first.
+        let (_, resp_b) = encode_response(&rb, Envelope::empty()).unwrap();
+        let (_, resp_a) = encode_response(&ra, Envelope::empty()).unwrap();
+        assert_eq!(correlator.accept_response(&resp_b).unwrap().0, 2);
+        assert_eq!(correlator.accept_response(&resp_a).unwrap().0, 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Threaded driver: the same [`PeerMachine`] running on real threads and
+//! channels — one peer per thread, messages routed through a shared
+//! directory (the `EndpointResolver` role), the XML wire format on every
+//! hop.
+
+use crate::advert::{PipeAdvertisement, ServiceAdvertisement};
+use crate::id::PeerId;
+use crate::machine::{PeerConfig, PeerMachine, PeerOutput};
+use crate::message::P2psMessage;
+use crate::query::P2psQuery;
+use crossbeam_channel::{bounded, select, unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wsp_simnet::Time;
+
+/// Events surfaced to the embedding application (mirrors
+/// [`crate::sim_driver::PeerEvent`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThreadPeerEvent {
+    QueryResult { token: u64, adverts: Vec<ServiceAdvertisement> },
+    PipeDelivery { pipe: PipeAdvertisement, from: PeerId, payload: String },
+    UnknownPipe { pipe: PipeAdvertisement },
+    Pong { from: PeerId, nonce: u64 },
+}
+
+enum Command {
+    Register(ServiceAdvertisement),
+    Publish(ServiceAdvertisement),
+    Unpublish(String),
+    Query { token: u64, query: P2psQuery, ttl: Option<u8> },
+    OpenPipe { name: Option<String>, reply: Sender<PipeAdvertisement> },
+    ClosePipe(PipeAdvertisement),
+    SendPipe { to: PipeAdvertisement, payload: String },
+    AddNeighbour { peer: PeerId, rendezvous: bool },
+    Shutdown,
+}
+
+type WireMessage = (PeerId, String); // (sender, serialised message)
+
+/// The shared routing fabric for a threaded P2PS network.
+#[derive(Clone, Default)]
+pub struct ThreadNetwork {
+    directory: Arc<RwLock<HashMap<PeerId, Sender<WireMessage>>>>,
+    epoch: Arc<RwLock<Option<Instant>>>,
+}
+
+impl ThreadNetwork {
+    pub fn new() -> Self {
+        ThreadNetwork::default()
+    }
+
+    fn now(&self) -> Time {
+        let mut epoch = self.epoch.write();
+        let start = *epoch.get_or_insert_with(Instant::now);
+        Time::micros(start.elapsed().as_micros() as u64)
+    }
+
+    fn route(&self, to: PeerId, message: WireMessage) -> bool {
+        let directory = self.directory.read();
+        match directory.get(&to) {
+            Some(tx) => tx.send(message).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Spawn a peer thread. The returned [`ThreadPeer`] is the
+    /// application's handle; dropping it shuts the thread down.
+    pub fn spawn(&self, config: PeerConfig) -> ThreadPeer {
+        let id = config.id;
+        let (net_tx, net_rx) = unbounded::<WireMessage>();
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (event_tx, event_rx) = unbounded::<ThreadPeerEvent>();
+        self.directory.write().insert(id, net_tx);
+        let network = self.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("p2ps-{id}"))
+            .spawn(move || peer_loop(config, network, net_rx, cmd_rx, event_tx))
+            .expect("spawn peer thread");
+        ThreadPeer { id, commands: cmd_tx, events: event_rx, join: Some(join), network: self.clone() }
+    }
+}
+
+fn peer_loop(
+    config: PeerConfig,
+    network: ThreadNetwork,
+    net_rx: Receiver<WireMessage>,
+    cmd_rx: Receiver<Command>,
+    event_tx: Sender<ThreadPeerEvent>,
+) {
+    let mut machine = PeerMachine::new(config);
+    let mut tokens: HashMap<u64, u64> = HashMap::new();
+    let refresh_interval = Duration::from_secs(5);
+    let mut next_refresh = Instant::now() + refresh_interval;
+    loop {
+        let outputs: Vec<PeerOutput> = select! {
+            recv(net_rx) -> msg => match msg {
+                Ok((from, wire)) => match P2psMessage::from_xml(&wire) {
+                    Some(message) => machine.on_message(network.now(), from, message),
+                    None => Vec::new(),
+                },
+                Err(_) => return,
+            },
+            recv(cmd_rx) -> cmd => match cmd {
+                Ok(Command::Register(advert)) => { machine.register_local(advert); Vec::new() }
+                Ok(Command::Publish(advert)) => machine.publish(network.now(), advert),
+                Ok(Command::Unpublish(service)) => { machine.unpublish(&service); Vec::new() }
+                Ok(Command::Query { token, query, ttl }) => {
+                    let (id, outputs) = machine.query(network.now(), query, ttl);
+                    tokens.insert(id, token);
+                    outputs
+                }
+                Ok(Command::OpenPipe { name, reply }) => {
+                    let pipe = machine.open_pipe(name);
+                    let _ = reply.send(pipe);
+                    Vec::new()
+                }
+                Ok(Command::ClosePipe(pipe)) => { machine.close_pipe(&pipe); Vec::new() }
+                Ok(Command::SendPipe { to, payload }) => machine.send_pipe_data(to, payload),
+                Ok(Command::AddNeighbour { peer, rendezvous }) => {
+                    machine.add_neighbour(peer, rendezvous);
+                    Vec::new()
+                }
+                Ok(Command::Shutdown) | Err(_) => return,
+            },
+            default(Duration::from_millis(50)) => {
+                if Instant::now() >= next_refresh {
+                    next_refresh = Instant::now() + refresh_interval;
+                    machine.refresh(network.now())
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        for output in outputs {
+            match output {
+                PeerOutput::Send { to, message } => {
+                    let _ = network.route(to, (machine.id(), message.to_xml()));
+                }
+                PeerOutput::QueryResult { id, adverts } => {
+                    let token = tokens.get(&id).copied().unwrap_or(id);
+                    let _ = event_tx.send(ThreadPeerEvent::QueryResult { token, adverts });
+                }
+                PeerOutput::PipeDelivery { pipe, from, payload } => {
+                    let _ = event_tx.send(ThreadPeerEvent::PipeDelivery { pipe, from, payload });
+                }
+                PeerOutput::UnknownPipe { pipe } => {
+                    let _ = event_tx.send(ThreadPeerEvent::UnknownPipe { pipe });
+                }
+                PeerOutput::PongReceived { from, nonce } => {
+                    let _ = event_tx.send(ThreadPeerEvent::Pong { from, nonce });
+                }
+            }
+        }
+    }
+}
+
+/// Application handle for one threaded peer.
+pub struct ThreadPeer {
+    id: PeerId,
+    commands: Sender<Command>,
+    events: Receiver<ThreadPeerEvent>,
+    join: Option<std::thread::JoinHandle<()>>,
+    network: ThreadNetwork,
+}
+
+impl ThreadPeer {
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Register a service locally (deploy) without announcing it.
+    pub fn register(&self, advert: ServiceAdvertisement) {
+        let _ = self.commands.send(Command::Register(advert));
+    }
+
+    pub fn publish(&self, advert: ServiceAdvertisement) {
+        let _ = self.commands.send(Command::Publish(advert));
+    }
+
+    pub fn unpublish(&self, service: &str) {
+        let _ = self.commands.send(Command::Unpublish(service.to_owned()));
+    }
+
+    pub fn query(&self, token: u64, query: P2psQuery) {
+        let _ = self.commands.send(Command::Query { token, query, ttl: None });
+    }
+
+    /// Open a pipe and wait for its advertisement.
+    pub fn open_pipe(&self, name: Option<String>) -> PipeAdvertisement {
+        let (reply_tx, reply_rx) = bounded(1);
+        let _ = self.commands.send(Command::OpenPipe { name, reply: reply_tx });
+        reply_rx.recv().expect("peer thread alive")
+    }
+
+    pub fn close_pipe(&self, pipe: PipeAdvertisement) {
+        let _ = self.commands.send(Command::ClosePipe(pipe));
+    }
+
+    pub fn send_pipe(&self, to: PipeAdvertisement, payload: String) {
+        let _ = self.commands.send(Command::SendPipe { to, payload });
+    }
+
+    pub fn add_neighbour(&self, peer: PeerId, rendezvous: bool) {
+        let _ = self.commands.send(Command::AddNeighbour { peer, rendezvous });
+    }
+
+    /// Block for the next event, up to `timeout`.
+    pub fn recv_event(&self, timeout: Duration) -> Option<ThreadPeerEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking event poll.
+    pub fn try_event(&self) -> Option<ThreadPeerEvent> {
+        self.events.try_recv().ok()
+    }
+}
+
+impl Drop for ThreadPeer {
+    fn drop(&mut self) {
+        self.network.directory.write().remove(&self.id);
+        let _ = self.commands.send(Command::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WAIT: Duration = Duration::from_secs(5);
+
+    fn advert(peer: &ThreadPeer, name: &str) -> ServiceAdvertisement {
+        ServiceAdvertisement::new(name, peer.id()).with_pipe("in")
+    }
+
+    fn wire_up(rv: &ThreadPeer, leaves: &[&ThreadPeer]) {
+        for leaf in leaves {
+            leaf.add_neighbour(rv.id(), true);
+            rv.add_neighbour(leaf.id(), false);
+        }
+    }
+
+    #[test]
+    fn publish_discover_over_threads() {
+        let network = ThreadNetwork::new();
+        let rv = network.spawn(PeerConfig::rendezvous(PeerId(100)));
+        let publisher = network.spawn(PeerConfig::ordinary(PeerId(1)));
+        let seeker = network.spawn(PeerConfig::ordinary(PeerId(2)));
+        wire_up(&rv, &[&publisher, &seeker]);
+
+        publisher.publish(advert(&publisher, "Echo"));
+        // Give the publish a moment to reach the rendezvous cache.
+        std::thread::sleep(Duration::from_millis(100));
+        seeker.query(7, P2psQuery::by_name("Echo"));
+
+        let event = seeker.recv_event(WAIT).expect("query should produce an event");
+        match event {
+            ThreadPeerEvent::QueryResult { token, adverts } => {
+                assert_eq!(token, 7);
+                assert_eq!(adverts[0].peer, publisher.id());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipe_round_trip_over_threads() {
+        let network = ThreadNetwork::new();
+        let provider = network.spawn(PeerConfig::ordinary(PeerId(1)));
+        let consumer = network.spawn(PeerConfig::ordinary(PeerId(2)));
+        // Direct pipes need no rendezvous: the directory resolves ids.
+        provider.publish(advert(&provider, "Echo"));
+        std::thread::sleep(Duration::from_millis(50));
+
+        let target = PipeAdvertisement::new(provider.id(), Some("Echo".into()), "in");
+        consumer.send_pipe(target.clone(), "<ping/>".into());
+        let event = provider.recv_event(WAIT).expect("pipe delivery");
+        match event {
+            ThreadPeerEvent::PipeDelivery { pipe, from, payload } => {
+                assert_eq!(pipe, target);
+                assert_eq!(from, consumer.id());
+                assert_eq!(payload, "<ping/>");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn return_pipe_reply_flow() {
+        // The Figures 5/6 shape over real threads: consumer opens a
+        // return pipe, provider replies down it.
+        let network = ThreadNetwork::new();
+        let provider = network.spawn(PeerConfig::ordinary(PeerId(1)));
+        let consumer = network.spawn(PeerConfig::ordinary(PeerId(2)));
+        provider.publish(advert(&provider, "Echo"));
+        std::thread::sleep(Duration::from_millis(50));
+
+        let return_pipe = consumer.open_pipe(None);
+        let target = PipeAdvertisement::new(provider.id(), Some("Echo".into()), "in");
+        consumer.send_pipe(target, format!("request via {}", return_pipe.name));
+
+        // Provider: receive and answer down the consumer's return pipe.
+        match provider.recv_event(WAIT).expect("request") {
+            ThreadPeerEvent::PipeDelivery { .. } => {
+                provider.send_pipe(return_pipe.clone(), "response".into());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match consumer.recv_event(WAIT).expect("response") {
+            ThreadPeerEvent::PipeDelivery { pipe, payload, .. } => {
+                assert_eq!(pipe, return_pipe);
+                assert_eq!(payload, "response");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn departed_peer_messages_dropped() {
+        let network = ThreadNetwork::new();
+        let a = network.spawn(PeerConfig::ordinary(PeerId(1)));
+        let b = network.spawn(PeerConfig::ordinary(PeerId(2)));
+        let b_id = b.id();
+        drop(b);
+        // Sending to a departed peer does not panic or wedge.
+        a.send_pipe(PipeAdvertisement::new(b_id, None, "p"), "x".into());
+        assert!(a.try_event().is_none());
+    }
+}

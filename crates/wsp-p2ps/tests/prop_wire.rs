@@ -1,0 +1,129 @@
+//! Property tests for the P2PS wire formats: every protocol message,
+//! advert and URI the API can build survives serialisation, and the
+//! advert ⇄ EPR mapping is lossless.
+
+use proptest::prelude::*;
+use wsp_p2ps::{
+    advert_to_epr, epr_to_advert, P2psMessage, P2psQuery, P2psUri, PeerId, PipeAdvertisement,
+    ServiceAdvertisement,
+};
+
+fn peer_id() -> impl Strategy<Value = PeerId> {
+    any::<u64>().prop_map(PeerId)
+}
+
+fn name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_-]{0,10}"
+}
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,24}")
+        .unwrap()
+        .prop_map(|s| s.replace('\r', " ").trim().to_owned())
+        .prop_filter("advert text fields are trimmed tokens", |s| !s.contains('\n'))
+}
+
+fn advert() -> impl Strategy<Value = ServiceAdvertisement> {
+    (
+        name(),
+        peer_id(),
+        proptest::collection::vec(name(), 0..4),
+        proptest::collection::vec((name(), text()), 0..3),
+    )
+        .prop_map(|(svc, peer, pipes, attrs)| {
+            let mut a = ServiceAdvertisement::new(svc, peer);
+            for (i, p) in pipes.into_iter().enumerate() {
+                a = a.with_pipe(format!("{p}{i}"));
+            }
+            for (i, (k, v)) in attrs.into_iter().enumerate() {
+                a = a.with_attribute(format!("{k}{i}"), v);
+            }
+            a
+        })
+}
+
+fn pipe_advert() -> impl Strategy<Value = PipeAdvertisement> {
+    (peer_id(), proptest::option::of(name()), name())
+        .prop_map(|(peer, service, pipe)| PipeAdvertisement::new(peer, service, pipe))
+}
+
+fn query() -> impl Strategy<Value = P2psQuery> {
+    (
+        proptest::option::of(name()),
+        proptest::collection::vec((name(), text()), 0..3),
+    )
+        .prop_map(|(pattern, attrs)| {
+            let mut q = match pattern {
+                Some(p) => P2psQuery::by_name(p),
+                None => P2psQuery::any(),
+            };
+            for (i, (k, v)) in attrs.into_iter().enumerate() {
+                q = q.with_attribute(format!("{k}{i}"), v);
+            }
+            q
+        })
+}
+
+fn message() -> impl Strategy<Value = P2psMessage> {
+    prop_oneof![
+        (advert(), any::<u8>()).prop_map(|(advert, ttl)| P2psMessage::Advertise { advert, ttl }),
+        (any::<u64>(), peer_id(), query(), any::<u8>())
+            .prop_map(|(id, origin, query, ttl)| P2psMessage::Query { id, origin, query, ttl }),
+        (any::<u64>(), peer_id(), proptest::collection::vec(advert(), 0..3))
+            .prop_map(|(id, origin, adverts)| P2psMessage::QueryHit { id, origin, adverts }),
+        (pipe_advert(), "[ -~]{0,64}")
+            .prop_map(|(to, payload)| P2psMessage::PipeData { to, payload }),
+        any::<u64>().prop_map(|nonce| P2psMessage::Ping { nonce }),
+        any::<u64>().prop_map(|nonce| P2psMessage::Pong { nonce }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn messages_round_trip(msg in message()) {
+        let xml = msg.to_xml();
+        let back = P2psMessage::from_xml(&xml).expect("generated wire must parse");
+        prop_assert_eq!(back, msg, "wire: {}", xml);
+    }
+
+    #[test]
+    fn adverts_round_trip(a in advert()) {
+        let xml = a.to_element().to_xml();
+        let parsed = ServiceAdvertisement::from_element(&wsp_xml::parse(&xml).unwrap()).unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn advert_epr_mapping_is_lossless(p in pipe_advert()) {
+        let epr = advert_to_epr(&p);
+        let back = epr_to_advert(&epr).expect("mapping must invert");
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn uris_round_trip(peer in peer_id(),
+                       service in proptest::option::of(name()),
+                       pipe in proptest::option::of(name())) {
+        let mut uri = P2psUri::new(peer);
+        if let Some(s) = service { uri = uri.with_service(s); }
+        if let Some(p) = pipe { uri = uri.with_pipe(p); }
+        let text = uri.action();
+        prop_assert_eq!(P2psUri::parse(&text).unwrap(), uri);
+    }
+
+    #[test]
+    fn parser_never_panics(junk in "[ -~<>/]{0,100}") {
+        let _ = P2psMessage::from_xml(&junk);
+        let _ = P2psUri::parse(&junk);
+    }
+
+    #[test]
+    fn query_matching_is_consistent_across_the_wire(q in query(), a in advert()) {
+        // Matching before and after serialising both sides agrees.
+        let q2 = P2psQuery::from_element(&wsp_xml::parse(&q.to_element().to_xml()).unwrap()).unwrap();
+        let a2 = ServiceAdvertisement::from_element(&wsp_xml::parse(&a.to_element().to_xml()).unwrap()).unwrap();
+        prop_assert_eq!(q.matches(&a), q2.matches(&a2));
+    }
+}

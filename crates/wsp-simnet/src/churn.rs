@@ -1,0 +1,160 @@
+//! Churn models: generating node up/down schedules.
+//!
+//! The paper's core scalability argument (Section II) is about networks
+//! whose nodes are "unreliable" and exhibit "highly transient
+//! connectivity". This module turns that prose into schedules: each node
+//! alternates exponentially-distributed up and down periods, the standard
+//! model for P2P session churn.
+
+use crate::net::SimNet;
+use crate::node::{NodeId, Payload};
+use crate::time::{Dur, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An alternating up/down lifetime model.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnModel {
+    /// Mean session (up) length.
+    pub mean_up: Dur,
+    /// Mean absence (down) length.
+    pub mean_down: Dur,
+}
+
+impl ChurnModel {
+    pub fn new(mean_up: Dur, mean_down: Dur) -> Self {
+        ChurnModel { mean_up, mean_down }
+    }
+
+    /// The long-run fraction of time a node is up.
+    pub fn availability(&self) -> f64 {
+        let up = self.mean_up.as_micros() as f64;
+        let down = self.mean_down.as_micros() as f64;
+        up / (up + down)
+    }
+
+    /// Sample an exponential duration with the given mean.
+    fn sample_exp(mean: Dur, rng: &mut StdRng) -> Dur {
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        Dur((mean.as_micros() as f64 * -u.ln()).round() as u64)
+    }
+
+    /// Generate this node's `(time, up?)` transitions over `[0, horizon]`.
+    /// Nodes start up; the first transition is a failure.
+    pub fn schedule_for(&self, horizon: Time, rng: &mut StdRng) -> Vec<(Time, bool)> {
+        let mut transitions = Vec::new();
+        let mut t = Time::ZERO;
+        let mut up = true;
+        loop {
+            let span = if up {
+                Self::sample_exp(self.mean_up, rng)
+            } else {
+                Self::sample_exp(self.mean_down, rng)
+            };
+            t += span;
+            if t > horizon {
+                break;
+            }
+            up = !up;
+            transitions.push((t, up));
+        }
+        transitions
+    }
+
+    /// Apply churn to `nodes` in `net` over `[0, horizon]`, using a
+    /// dedicated RNG seeded with `seed` so churn is reproducible
+    /// independently of message traffic.
+    pub fn apply<M: Payload>(
+        &self,
+        net: &mut SimNet<M>,
+        nodes: &[NodeId],
+        horizon: Time,
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &node in nodes {
+            for (at, up) in self.schedule_for(horizon, &mut rng) {
+                if up {
+                    net.schedule_up(node, at);
+                } else {
+                    net.schedule_down(node, at);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Context, NodeEvent};
+
+    #[test]
+    fn availability_formula() {
+        let m = ChurnModel::new(Dur::secs(9), Dur::secs(1));
+        assert!((m.availability() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_alternates_and_stays_in_horizon() {
+        let m = ChurnModel::new(Dur::secs(5), Dur::secs(5));
+        let mut rng = StdRng::seed_from_u64(11);
+        let horizon = Time::secs(100);
+        let schedule = m.schedule_for(horizon, &mut rng);
+        assert!(!schedule.is_empty());
+        let mut expect_up = false; // first transition is down
+        for (at, up) in &schedule {
+            assert!(*at <= horizon);
+            assert_eq!(*up, expect_up);
+            expect_up = !expect_up;
+        }
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let m = ChurnModel::new(Dur::secs(2), Dur::secs(1));
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(m.schedule_for(Time::secs(50), &mut a), m.schedule_for(Time::secs(50), &mut b));
+    }
+
+    #[test]
+    fn empirical_availability_close_to_model() {
+        // Average fraction of up time over many nodes approaches the
+        // analytic availability.
+        let m = ChurnModel::new(Dur::secs(6), Dur::secs(4));
+        let mut rng = StdRng::seed_from_u64(17);
+        let horizon = Time::secs(10_000);
+        let mut up_total = 0u64;
+        for _ in 0..32 {
+            let schedule = m.schedule_for(horizon, &mut rng);
+            let mut last = Time::ZERO;
+            let mut up = true;
+            for (at, next_up) in schedule {
+                if up {
+                    up_total += (at - last).as_micros();
+                }
+                last = at;
+                up = next_up;
+            }
+            if up {
+                up_total += (horizon - last).as_micros();
+            }
+        }
+        let frac = up_total as f64 / (32.0 * horizon.as_micros() as f64);
+        assert!((frac - 0.6).abs() < 0.05, "observed availability {frac}");
+    }
+
+    #[test]
+    fn apply_drives_node_transitions() {
+        let mut net: SimNet<String> = SimNet::new(1);
+        let node = net.add_node(Box::new(
+            |_ctx: &mut Context<'_, String>, _e: NodeEvent<String>| {},
+        ));
+        let m = ChurnModel::new(Dur::millis(10), Dur::millis(10));
+        m.apply(&mut net, &[node], Time::secs(1), 99);
+        net.run_to_quiescence();
+        assert!(net.metrics().counter("simnet.node_down") > 0);
+        assert!(net.metrics().counter("simnet.node_up") > 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! # wsp-simnet
+//!
+//! A deterministic discrete-event network simulator — this repo's
+//! substitute for the NS2/AgentJ simulations the WSPeer paper planned
+//! for evaluating "large networks of peers publishing, discovering and
+//! invoking Web services" (Section IV.B, point 3; see `DESIGN.md` for
+//! the substitution note).
+//!
+//! Design points:
+//!
+//! * **Deterministic.** A run is a pure function of `(seed, topology,
+//!   behaviours)`: all jitter, loss and behaviour randomness flows
+//!   through one seeded `StdRng`, and simultaneous events fire in
+//!   schedule order.
+//! * **Sans-IO friendly.** Behaviours implement [`Node`] — a state
+//!   machine fed `(context, event)` — the same machines the threaded
+//!   drivers run against real channels.
+//! * **Experiment-oriented.** Named counters/samples ([`Metrics`]),
+//!   link profiles ([`LinkSpec::lan`]/[`LinkSpec::wan`]), churn
+//!   ([`ChurnModel`]) and overlay generators ([`Topology`]) cover the
+//!   E1–E8 experiment matrix.
+//!
+//! ```
+//! use wsp_simnet::{Context, NodeEvent, SimNet};
+//!
+//! let mut net: SimNet<String> = SimNet::new(42);
+//! let echo = net.add_node(Box::new(|ctx: &mut Context<'_, String>, ev: NodeEvent<String>| {
+//!     if let NodeEvent::Message { from, msg } = ev {
+//!         ctx.send(from, format!("re:{msg}"));
+//!     }
+//! }));
+//! let probe = net.add_node(Box::new(|_ctx: &mut Context<'_, String>, _ev: NodeEvent<String>| {}));
+//! net.transmit_for_test(probe, echo, "hello".into());
+//! net.run_to_quiescence();
+//! assert_eq!(net.metrics().counter("simnet.delivered"), 2);
+//! ```
+
+pub mod churn;
+pub mod link;
+pub mod metrics;
+pub mod net;
+pub mod node;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use churn::ChurnModel;
+pub use link::LinkSpec;
+pub use metrics::{Metrics, Summary};
+pub use net::SimNet;
+pub use node::{Context, Node, NodeEvent, NodeId, Payload, TimerId};
+pub use time::{Dur, Time};
+pub use topology::Topology;
+pub use trace::{Trace, TraceEvent};
+
+impl<M: Payload> SimNet<M> {
+    /// Test/bench helper: send a message between two nodes from outside
+    /// any behaviour (e.g. to kick off a scenario).
+    pub fn transmit_for_test(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.transmit(from, to, msg);
+    }
+}

@@ -1,0 +1,142 @@
+//! Link models: latency, jitter and loss between node pairs.
+
+use crate::time::Dur;
+use rand::Rng;
+
+/// Parameters of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Base one-way latency.
+    pub latency: Dur,
+    /// Additional uniformly distributed latency in `[0, jitter]`.
+    pub jitter: Dur,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub loss: f64,
+    /// Extra delay per payload byte (inverse bandwidth). Zero models an
+    /// uncongested LAN.
+    pub per_byte: Dur,
+}
+
+impl LinkSpec {
+    /// A LAN-ish default: 0.5 ms ± 0.2 ms, lossless.
+    pub fn lan() -> Self {
+        LinkSpec { latency: Dur::micros(500), jitter: Dur::micros(200), loss: 0.0, per_byte: Dur::ZERO }
+    }
+
+    /// A WAN-ish profile: 40 ms ± 20 ms with light loss — the
+    /// "internet-scale P2P" setting used in the discovery experiments.
+    pub fn wan() -> Self {
+        LinkSpec {
+            latency: Dur::millis(40),
+            jitter: Dur::millis(20),
+            loss: 0.01,
+            per_byte: Dur::ZERO,
+        }
+    }
+
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&loss));
+        self.loss = loss;
+        self
+    }
+
+    pub fn with_latency(mut self, latency: Dur) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    pub fn with_jitter(mut self, jitter: Dur) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    pub fn with_per_byte(mut self, per_byte: Dur) -> Self {
+        self.per_byte = per_byte;
+        self
+    }
+
+    /// Sample a delivery delay for a payload of `bytes`, or `None` if the
+    /// message is lost.
+    pub fn sample<R: Rng>(&self, bytes: usize, rng: &mut R) -> Option<Dur> {
+        if self.loss > 0.0 && rng.random::<f64>() < self.loss {
+            return None;
+        }
+        let jitter = if self.jitter.as_micros() == 0 {
+            Dur::ZERO
+        } else {
+            self.jitter.mul_f64(rng.random::<f64>())
+        };
+        let serialisation = Dur(self.per_byte.0.saturating_mul(bytes as u64));
+        Some(self.latency + jitter + serialisation)
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lossless_link_always_delivers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let link = LinkSpec::lan();
+        for _ in 0..100 {
+            assert!(link.sample(100, &mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn delay_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let link = LinkSpec { latency: Dur::millis(10), jitter: Dur::millis(5), loss: 0.0, per_byte: Dur::ZERO };
+        for _ in 0..100 {
+            let d = link.sample(0, &mut rng).unwrap();
+            assert!(d >= Dur::millis(10) && d <= Dur::millis(15), "{d}");
+        }
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let link = LinkSpec::lan().with_loss(0.3);
+        let lost = (0..10_000).filter(|_| link.sample(0, &mut rng).is_none()).count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "observed loss {rate}");
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = LinkSpec::lan().with_loss(1.0);
+        assert!(link.sample(0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn per_byte_delay_scales_with_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = LinkSpec {
+            latency: Dur::ZERO,
+            jitter: Dur::ZERO,
+            loss: 0.0,
+            per_byte: Dur::micros(2),
+        };
+        assert_eq!(link.sample(100, &mut rng).unwrap(), Dur::micros(200));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let link = LinkSpec::wan();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(link.sample(64, &mut a), link.sample(64, &mut b));
+        }
+    }
+}

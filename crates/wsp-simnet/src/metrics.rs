@@ -1,0 +1,160 @@
+//! Experiment metrics: named counters and sample sets with percentile
+//! summaries.
+
+use std::collections::BTreeMap;
+
+/// Counters and samples accumulated during a simulation run.
+///
+/// Keys are `&'static str` so hot-path recording never allocates.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    samples: BTreeMap<&'static str, Vec<u64>>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub fn incr(&mut self, key: &'static str, by: u64) {
+        *self.counters.entry(key).or_insert(0) += by;
+    }
+
+    pub fn record(&mut self, key: &'static str, value: u64) {
+        self.samples.entry(key).or_default().push(value);
+    }
+
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    pub fn samples(&self, key: &str) -> &[u64] {
+        self.samples.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Summary statistics of a sample set, or `None` if empty.
+    pub fn summary(&self, key: &str) -> Option<Summary> {
+        Summary::of(self.samples(key))
+    }
+
+    /// Merge another metrics set into this one (used when aggregating
+    /// over seeds).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.samples {
+            self.samples.entry(k).or_default().extend_from_slice(v);
+        }
+    }
+}
+
+/// Order statistics over one sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Compute from raw samples. Sorts a copy; intended for end-of-run
+    /// reporting, not hot paths.
+    pub fn of(samples: &[u64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        Some(Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: sum as f64 / count as f64,
+            p50: percentile(&sorted, 50.0),
+            p90: percentile(&sorted, 90.0),
+            p99: percentile(&sorted, 99.0),
+        })
+    }
+}
+
+/// Nearest-rank percentile of a pre-sorted slice.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("sent", 2);
+        m.incr("sent", 3);
+        assert_eq!(m.counter("sent"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut m = Metrics::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            m.record("lat", v);
+        }
+        let s = m.summary("lat").unwrap();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 100);
+        assert!((s.mean - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Metrics::new().summary("none").is_none());
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.incr("x", 1);
+        a.record("s", 5);
+        let mut b = Metrics::new();
+        b.incr("x", 2);
+        b.record("s", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.samples("s"), &[5, 7]);
+    }
+
+    #[test]
+    fn counters_iterated_in_key_order() {
+        let mut m = Metrics::new();
+        m.incr("b", 1);
+        m.incr("a", 1);
+        let keys: Vec<_> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Virtual time for the discrete-event simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    pub const ZERO: Time = Time(0);
+
+    pub fn micros(us: u64) -> Time {
+        Time(us)
+    }
+
+    pub fn millis(ms: u64) -> Time {
+        Time(ms * 1_000)
+    }
+
+    pub fn secs(s: u64) -> Time {
+        Time(s * 1_000_000)
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration since an earlier instant (saturating).
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Dur {
+    pub const ZERO: Dur = Dur(0);
+
+    pub fn micros(us: u64) -> Dur {
+        Dur(us)
+    }
+
+    pub fn millis(ms: u64) -> Dur {
+        Dur(ms * 1_000)
+    }
+
+    pub fn secs(s: u64) -> Dur {
+        Dur(s * 1_000_000)
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Scale by a float factor (used for jitter).
+    pub fn mul_f64(self, k: f64) -> Dur {
+        Dur((self.0 as f64 * k).round().max(0.0) as u64)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, d: Dur) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, other: Dur) -> Dur {
+        Dur(self.0 + other.0)
+    }
+}
+
+impl Sub for Time {
+    type Output = Dur;
+    fn sub(self, other: Time) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Time::millis(2), Time::micros(2000));
+        assert_eq!(Time::secs(1).as_micros(), 1_000_000);
+        assert_eq!(Dur::millis(1).as_millis_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::millis(5) + Dur::millis(3);
+        assert_eq!(t, Time::millis(8));
+        assert_eq!(t - Time::millis(5), Dur::millis(3));
+        // Subtraction saturates rather than panicking.
+        assert_eq!(Time::ZERO - Time::millis(1), Dur::ZERO);
+    }
+
+    #[test]
+    fn jitter_scaling() {
+        assert_eq!(Dur::micros(100).mul_f64(0.5), Dur::micros(50));
+        assert_eq!(Dur::micros(100).mul_f64(0.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Time::millis(1).to_string(), "1.000ms");
+        assert_eq!(Dur::micros(1500).to_string(), "1.500ms");
+    }
+}

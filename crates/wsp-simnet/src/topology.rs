@@ -1,0 +1,239 @@
+//! Overlay topology generators for discovery experiments.
+//!
+//! The P2PS layer forms logical groups with rendezvous peers acting as
+//! gateways; these helpers build the common shapes those experiments use
+//! and return adjacency lists the behaviours consult.
+
+use crate::node::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An undirected overlay described as per-node neighbour lists.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    neighbours: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    pub fn with_nodes(n: usize) -> Self {
+        Topology { neighbours: vec![Vec::new(); n] }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.neighbours.len()
+    }
+
+    pub fn neighbours(&self, node: NodeId) -> &[NodeId] {
+        self.neighbours.get(node as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn connect(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        let (ai, bi) = (a as usize, b as usize);
+        if !self.neighbours[ai].contains(&b) {
+            self.neighbours[ai].push(b);
+        }
+        if !self.neighbours[bi].contains(&a) {
+            self.neighbours[bi].push(a);
+        }
+    }
+
+    pub fn are_connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbours(a).contains(&b)
+    }
+
+    /// Every node connected to every other — small LAN groups.
+    pub fn full_mesh(n: usize) -> Topology {
+        let mut t = Topology::with_nodes(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                t.connect(a as NodeId, b as NodeId);
+            }
+        }
+        t
+    }
+
+    /// A star: node 0 is the hub (the client/server shape — UDDI).
+    pub fn star(n: usize) -> Topology {
+        let mut t = Topology::with_nodes(n);
+        for leaf in 1..n {
+            t.connect(0, leaf as NodeId);
+        }
+        t
+    }
+
+    /// A ring — the degenerate P2P overlay, for worst-case flooding.
+    pub fn ring(n: usize) -> Topology {
+        let mut t = Topology::with_nodes(n);
+        for a in 0..n {
+            t.connect(a as NodeId, ((a + 1) % n) as NodeId);
+        }
+        t
+    }
+
+    /// The paper's P2PS shape: peers clustered into groups of
+    /// `group_size` around one rendezvous peer each; rendezvous peers
+    /// form a connected random graph of degree ≈ `rv_degree`.
+    ///
+    /// When there is more than one group, ordinary peers are dual-homed
+    /// to their own rendezvous *and* the next group's — the standard
+    /// P2P practice of keeping several gateway connections, which is
+    /// what gives discovery its churn resilience.
+    ///
+    /// Returns the topology and the list of rendezvous node ids
+    /// (one per group; node ids are assigned group by group, rendezvous
+    /// first).
+    pub fn rendezvous_groups(
+        groups: usize,
+        group_size: usize,
+        rv_degree: usize,
+        rng: &mut StdRng,
+    ) -> (Topology, Vec<NodeId>) {
+        assert!(group_size >= 1, "a group needs at least its rendezvous peer");
+        let n = groups * group_size;
+        let mut t = Topology::with_nodes(n);
+        let mut rendezvous = Vec::with_capacity(groups);
+        for g in 0..groups {
+            rendezvous.push((g * group_size) as NodeId);
+        }
+        for g in 0..groups {
+            let base = (g * group_size) as NodeId;
+            for member in 1..group_size {
+                t.connect(base, base + member as NodeId);
+                if groups > 1 {
+                    t.connect(rendezvous[(g + 1) % groups], base + member as NodeId);
+                }
+            }
+        }
+        // Ring between rendezvous peers guarantees connectivity…
+        for i in 0..groups {
+            t.connect(rendezvous[i], rendezvous[(i + 1) % groups]);
+        }
+        // …plus random shortcut edges up to the requested degree.
+        if groups > 2 {
+            for &rv in &rendezvous {
+                while t.neighbours(rv).iter().filter(|p| rendezvous.contains(p)).count()
+                    < rv_degree.min(groups - 1)
+                {
+                    let other = rendezvous[rng.random_range(0..groups)];
+                    if other != rv {
+                        t.connect(rv, other);
+                    }
+                }
+            }
+        }
+        (t, rendezvous)
+    }
+
+    /// Breadth-first hop distance between two nodes, if connected.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[from as usize] = 0;
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            for &next in self.neighbours(cur) {
+                if dist[next as usize] == usize::MAX {
+                    dist[next as usize] = dist[cur as usize] + 1;
+                    if next == to {
+                        return Some(dist[next as usize]);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// True if every node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        (1..n).all(|i| self.hops(0, i as NodeId).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_mesh_degrees() {
+        let t = Topology::full_mesh(5);
+        for n in 0..5 {
+            assert_eq!(t.neighbours(n).len(), 4);
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(6);
+        assert_eq!(t.neighbours(0).len(), 5);
+        for leaf in 1..6 {
+            assert_eq!(t.neighbours(leaf).len(), 1);
+        }
+        assert_eq!(t.hops(1, 2), Some(2)); // leaf → hub → leaf
+    }
+
+    #[test]
+    fn ring_hops() {
+        let t = Topology::ring(8);
+        assert_eq!(t.hops(0, 4), Some(4));
+        assert_eq!(t.hops(0, 7), Some(1));
+    }
+
+    #[test]
+    fn connect_is_idempotent_and_symmetric() {
+        let mut t = Topology::with_nodes(3);
+        t.connect(0, 1);
+        t.connect(0, 1);
+        t.connect(1, 0);
+        assert_eq!(t.neighbours(0).len(), 1);
+        assert!(t.are_connected(1, 0));
+        t.connect(2, 2); // self loops ignored
+        assert!(t.neighbours(2).is_empty());
+    }
+
+    #[test]
+    fn rendezvous_groups_structure() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (t, rvs) = Topology::rendezvous_groups(8, 10, 3, &mut rng);
+        assert_eq!(t.node_count(), 80);
+        assert_eq!(rvs.len(), 8);
+        assert!(t.is_connected());
+        // Ordinary peers are dual-homed: their own rendezvous plus the
+        // next group's.
+        let ordinary = 1 as NodeId; // first member of group 0
+        assert_eq!(t.neighbours(ordinary), &[0, 10]);
+        // Every rendezvous has at least the requested rendezvous degree.
+        for &rv in &rvs {
+            let rv_links = t.neighbours(rv).iter().filter(|p| rvs.contains(p)).count();
+            assert!(rv_links >= 3.min(rvs.len() - 1), "rv {rv} has {rv_links}");
+        }
+    }
+
+    #[test]
+    fn hops_disconnected_is_none() {
+        let t = Topology::with_nodes(2);
+        assert_eq!(t.hops(0, 1), None);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn single_group_is_a_star() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (t, rvs) = Topology::rendezvous_groups(1, 5, 3, &mut rng);
+        assert_eq!(rvs, vec![0]);
+        assert!(t.is_connected());
+        assert_eq!(t.neighbours(0).len(), 4);
+    }
+}

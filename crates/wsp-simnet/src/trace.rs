@@ -1,0 +1,147 @@
+//! Event tracing: an NS2-style record of what happened in a run.
+//!
+//! Tracing is opt-in (a bounded ring buffer) so the hot path stays
+//! allocation-light when it is off. Traces are how you debug a
+//! misbehaving overlay: every delivery, drop and state transition with
+//! its virtual timestamp.
+
+use crate::node::NodeId;
+use crate::time::Time;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    Sent { from: NodeId, to: NodeId, bytes: usize },
+    Delivered { from: NodeId, to: NodeId, bytes: usize },
+    DroppedLoss { from: NodeId, to: NodeId },
+    DroppedDown { to: NodeId },
+    NodeDown(NodeId),
+    NodeUp(NodeId),
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Sent { from, to, bytes } => write!(f, "s {from} -> {to} ({bytes}B)"),
+            TraceEvent::Delivered { from, to, bytes } => write!(f, "r {from} -> {to} ({bytes}B)"),
+            TraceEvent::DroppedLoss { from, to } => write!(f, "d(loss) {from} -> {to}"),
+            TraceEvent::DroppedDown { to } => write!(f, "d(down) -> {to}"),
+            TraceEvent::NodeDown(n) => write!(f, "down {n}"),
+            TraceEvent::NodeUp(n) => write!(f, "up {n}"),
+        }
+    }
+}
+
+/// A bounded ring of `(time, event)` records.
+#[derive(Debug, Default)]
+pub struct Trace {
+    ring: VecDeque<(Time, TraceEvent)>,
+    capacity: usize,
+    /// Total records ever offered (including those that fell off).
+    offered: u64,
+}
+
+impl Trace {
+    /// A trace keeping the most recent `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { ring: VecDeque::with_capacity(capacity.min(4096)), capacity, offered: 0 }
+    }
+
+    pub fn record(&mut self, at: Time, event: TraceEvent) {
+        self.offered += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((at, event));
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &(Time, TraceEvent)> {
+        self.ring.iter()
+    }
+
+    /// Records involving `node` (as sender, receiver or subject).
+    pub fn involving(&self, node: NodeId) -> Vec<&(Time, TraceEvent)> {
+        self.ring
+            .iter()
+            .filter(|(_, e)| match e {
+                TraceEvent::Sent { from, to, .. } | TraceEvent::Delivered { from, to, .. } => {
+                    *from == node || *to == node
+                }
+                TraceEvent::DroppedLoss { from, to } => *from == node || *to == node,
+                TraceEvent::DroppedDown { to } => *to == node,
+                TraceEvent::NodeDown(n) | TraceEvent::NodeUp(n) => *n == node,
+            })
+            .collect()
+    }
+
+    /// Render as NS2-flavoured text lines (`<time> <event>`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (at, event) in &self.ring {
+            out.push_str(&format!("{:.6} {event}\n", at.as_secs_f64()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut trace = Trace::with_capacity(2);
+        trace.record(Time::millis(1), TraceEvent::NodeDown(1));
+        trace.record(Time::millis(2), TraceEvent::NodeUp(1));
+        trace.record(Time::millis(3), TraceEvent::NodeDown(2));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.offered(), 3);
+        let times: Vec<u64> = trace.iter().map(|(t, _)| t.as_micros()).collect();
+        assert_eq!(times, vec![2000, 3000]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_stores_nothing() {
+        let mut trace = Trace::with_capacity(0);
+        trace.record(Time::ZERO, TraceEvent::NodeUp(0));
+        assert!(trace.is_empty());
+        assert_eq!(trace.offered(), 1);
+    }
+
+    #[test]
+    fn involving_filters() {
+        let mut trace = Trace::with_capacity(10);
+        trace.record(Time::ZERO, TraceEvent::Sent { from: 1, to: 2, bytes: 10 });
+        trace.record(Time::ZERO, TraceEvent::Delivered { from: 1, to: 2, bytes: 10 });
+        trace.record(Time::ZERO, TraceEvent::Sent { from: 3, to: 4, bytes: 10 });
+        trace.record(Time::ZERO, TraceEvent::DroppedDown { to: 2 });
+        assert_eq!(trace.involving(2).len(), 3);
+        assert_eq!(trace.involving(4).len(), 1);
+        assert_eq!(trace.involving(9).len(), 0);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut trace = Trace::with_capacity(10);
+        trace.record(Time::millis(1500), TraceEvent::Sent { from: 0, to: 1, bytes: 42 });
+        let text = trace.render();
+        assert_eq!(text, "1.500000 s 0 -> 1 (42B)\n");
+    }
+}

@@ -1,0 +1,297 @@
+//! SOAP envelope: header blocks plus a body carrying a payload or fault.
+
+use crate::addressing::MessageHeaders;
+use crate::codec::{SoapCodec, SoapError};
+use crate::constants::SOAP_ENV_NS;
+use crate::fault::Fault;
+use wsp_xml::{Element, QName};
+
+/// One SOAP header block with its processing attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderBlock {
+    pub element: Element,
+    /// `env:mustUnderstand` — the receiver must fault if it cannot
+    /// process this block.
+    pub must_understand: bool,
+    /// `env:role` — which node on the path the block targets.
+    pub role: Option<String>,
+}
+
+impl HeaderBlock {
+    pub fn new(element: Element) -> Self {
+        HeaderBlock { element, must_understand: false, role: None }
+    }
+
+    pub fn mandatory(element: Element) -> Self {
+        HeaderBlock { element, must_understand: true, role: None }
+    }
+}
+
+/// The body of an envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// An application payload (for RPC: the operation wrapper element).
+    Payload(Element),
+    /// A fault response.
+    Fault(Fault),
+    /// `<env:Body/>` — legal, used for one-way acknowledgements.
+    Empty,
+}
+
+/// A SOAP message: ordered header blocks and a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    headers: Vec<HeaderBlock>,
+    body: Body,
+}
+
+impl Envelope {
+    /// An envelope carrying an application payload.
+    pub fn request(payload: Element) -> Self {
+        Envelope { headers: Vec::new(), body: Body::Payload(payload) }
+    }
+
+    /// An envelope carrying a fault.
+    pub fn fault(fault: Fault) -> Self {
+        Envelope { headers: Vec::new(), body: Body::Fault(fault) }
+    }
+
+    /// An envelope with an empty body.
+    pub fn empty() -> Self {
+        Envelope { headers: Vec::new(), body: Body::Empty }
+    }
+
+    pub fn headers(&self) -> &[HeaderBlock] {
+        &self.headers
+    }
+
+    pub fn body(&self) -> &Body {
+        &self.body
+    }
+
+    /// The payload element, if the body carries one.
+    pub fn payload(&self) -> Option<&Element> {
+        match &self.body {
+            Body::Payload(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The fault, if the body carries one.
+    pub fn fault_body(&self) -> Option<&Fault> {
+        match &self.body {
+            Body::Fault(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Append a header block.
+    pub fn add_header(&mut self, block: HeaderBlock) {
+        self.headers.push(block);
+    }
+
+    /// First header element named `{ns}local`.
+    pub fn find_header(&self, ns: &str, local: &str) -> Option<&HeaderBlock> {
+        self.headers.iter().find(|h| h.element.name().is(ns, local))
+    }
+
+    /// Remove all headers named `{ns}local`, returning how many were cut.
+    pub fn remove_headers(&mut self, ns: &str, local: &str) -> usize {
+        let before = self.headers.len();
+        self.headers.retain(|h| !h.element.name().is(ns, local));
+        before - self.headers.len()
+    }
+
+    /// Replace the WS-Addressing headers with `headers`.
+    pub fn set_addressing(&mut self, headers: MessageHeaders) {
+        self.headers.retain(|h| h.element.name().namespace() != crate::constants::WSA_NS);
+        headers.apply_to(self);
+    }
+
+    /// Extract WS-Addressing headers, if any are present.
+    pub fn addressing(&self) -> Option<MessageHeaders> {
+        MessageHeaders::extract(self)
+    }
+
+    /// Header blocks marked `mustUnderstand` whose expanded names are not
+    /// in `understood`. A conforming node faults if this is non-empty.
+    pub fn not_understood<'a>(&'a self, understood: &'a [QName]) -> Vec<&'a HeaderBlock> {
+        self.headers
+            .iter()
+            .filter(|h| h.must_understand && !understood.contains(h.element.name()))
+            .collect()
+    }
+
+    /// Render as the `env:Envelope` element.
+    pub fn to_element(&self) -> Element {
+        let mut envelope = Element::new(SOAP_ENV_NS, "Envelope");
+        if !self.headers.is_empty() {
+            let mut header = Element::new(SOAP_ENV_NS, "Header");
+            for block in &self.headers {
+                let mut e = block.element.clone();
+                if block.must_understand {
+                    e.set_attribute(QName::new(SOAP_ENV_NS, "mustUnderstand"), "true");
+                }
+                if let Some(role) = &block.role {
+                    e.set_attribute(QName::new(SOAP_ENV_NS, "role"), role.clone());
+                }
+                header.push_element(e);
+            }
+            envelope.push_element(header);
+        }
+        let mut body = Element::new(SOAP_ENV_NS, "Body");
+        match &self.body {
+            Body::Payload(p) => body.push_element(p.clone()),
+            Body::Fault(f) => body.push_element(f.to_element()),
+            Body::Empty => {}
+        }
+        envelope.push_element(body);
+        envelope
+    }
+
+    /// Parse from an `env:Envelope` element.
+    pub fn from_element(root: &Element) -> Result<Envelope, SoapError> {
+        if !root.name().is(SOAP_ENV_NS, "Envelope") {
+            return Err(SoapError::VersionMismatch { found: format!("{:?}", root.name()) });
+        }
+        let mut headers = Vec::new();
+        if let Some(header) = root.find(SOAP_ENV_NS, "Header") {
+            for e in header.child_elements() {
+                let must_understand = matches!(
+                    e.attribute(SOAP_ENV_NS, "mustUnderstand"),
+                    Some("true") | Some("1")
+                );
+                let role = e.attribute(SOAP_ENV_NS, "role").map(str::to_owned);
+                let mut element = e.clone();
+                // The processing attributes live on the block, not in the
+                // application view of the header element.
+                strip_env_attrs(&mut element);
+                headers.push(HeaderBlock { element, must_understand, role });
+            }
+        }
+        let body_elem = root.find(SOAP_ENV_NS, "Body").ok_or(SoapError::MissingBody)?;
+        let body = match body_elem.child_elements().next() {
+            None => Body::Empty,
+            Some(first) => match Fault::from_element(first) {
+                Some(fault) => Body::Fault(fault),
+                None => Body::Payload(first.clone()),
+            },
+        };
+        Ok(Envelope { headers, body })
+    }
+
+    /// Serialise to wire XML using a fresh [`SoapCodec`].
+    pub fn to_xml(&self) -> String {
+        SoapCodec::new().encode(self)
+    }
+
+    /// Parse wire XML.
+    pub fn from_xml(xml: &str) -> Result<Envelope, SoapError> {
+        SoapCodec::new().decode(xml)
+    }
+}
+
+fn strip_env_attrs(element: &mut Element) {
+    let keep: Vec<_> = element
+        .attributes()
+        .iter()
+        .filter(|a| a.name.namespace() != SOAP_ENV_NS)
+        .cloned()
+        .collect();
+    let mut stripped = Element::with_name(element.name().clone());
+    for a in keep {
+        stripped.set_attribute(a.name, a.value);
+    }
+    *stripped.children_mut() = element.children().to_vec();
+    *element = stripped;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> Element {
+        Element::build("urn:demo", "echo").text("hello").finish()
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let env = Envelope::request(payload());
+        let back = Envelope::from_xml(&env.to_xml()).unwrap();
+        assert_eq!(back.payload().unwrap().text(), "hello");
+        assert!(back.headers().is_empty());
+    }
+
+    #[test]
+    fn fault_round_trip() {
+        let env = Envelope::fault(Fault::sender("oops"));
+        let back = Envelope::from_xml(&env.to_xml()).unwrap();
+        let f = back.fault_body().unwrap();
+        assert_eq!(f.reason, "oops");
+        assert!(back.payload().is_none());
+    }
+
+    #[test]
+    fn empty_body_round_trip() {
+        let env = Envelope::empty();
+        let back = Envelope::from_xml(&env.to_xml()).unwrap();
+        assert_eq!(back.body(), &Body::Empty);
+    }
+
+    #[test]
+    fn headers_round_trip_with_attrs() {
+        let mut env = Envelope::request(payload());
+        let mut block = HeaderBlock::mandatory(Element::build("urn:h", "Token").text("t").finish());
+        block.role = Some("urn:some-role".into());
+        env.add_header(block);
+        let back = Envelope::from_xml(&env.to_xml()).unwrap();
+        let h = back.find_header("urn:h", "Token").unwrap();
+        assert!(h.must_understand);
+        assert_eq!(h.role.as_deref(), Some("urn:some-role"));
+        assert_eq!(h.element.text(), "t");
+        // env attributes stripped from the application view
+        assert!(h.element.attributes().is_empty());
+    }
+
+    #[test]
+    fn must_understand_accepts_1() {
+        let xml = format!(
+            r#"<env:Envelope xmlns:env="{ns}"><env:Header><t:H xmlns:t="urn:t" env:mustUnderstand="1"/></env:Header><env:Body/></env:Envelope>"#,
+            ns = SOAP_ENV_NS
+        );
+        let env = Envelope::from_xml(&xml).unwrap();
+        assert!(env.find_header("urn:t", "H").unwrap().must_understand);
+    }
+
+    #[test]
+    fn not_understood_reports_unknown_mandatory_headers() {
+        let mut env = Envelope::request(payload());
+        env.add_header(HeaderBlock::mandatory(Element::new("urn:h", "A")));
+        env.add_header(HeaderBlock::new(Element::new("urn:h", "B"))); // optional
+        let known = [QName::new("urn:h", "B")];
+        let missing = env.not_understood(&known);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].element.name().is("urn:h", "A"));
+    }
+
+    #[test]
+    fn remove_headers_counts() {
+        let mut env = Envelope::request(payload());
+        env.add_header(HeaderBlock::new(Element::new("urn:h", "X")));
+        env.add_header(HeaderBlock::new(Element::new("urn:h", "X")));
+        assert_eq!(env.remove_headers("urn:h", "X"), 2);
+        assert!(env.headers().is_empty());
+    }
+
+    #[test]
+    fn wrong_envelope_namespace_is_version_mismatch() {
+        let xml = r#"<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body/></Envelope>"#;
+        assert!(matches!(Envelope::from_xml(xml), Err(SoapError::VersionMismatch { .. })));
+    }
+
+    #[test]
+    fn missing_body_rejected() {
+        let xml = format!(r#"<env:Envelope xmlns:env="{SOAP_ENV_NS}"/>"#);
+        assert!(matches!(Envelope::from_xml(&xml), Err(SoapError::MissingBody)));
+    }
+}

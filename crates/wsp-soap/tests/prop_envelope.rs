@@ -1,0 +1,114 @@
+//! Property tests: any envelope the API can construct survives the
+//! wire, and the codec never panics on arbitrary input.
+
+use proptest::prelude::*;
+use wsp_soap::{EndpointReference, Envelope, Fault, FaultCode, HeaderBlock, MessageHeaders};
+use wsp_xml::Element;
+
+fn ncname() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_-]{0,10}"
+}
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,32}").unwrap().prop_map(|s| s.replace('\r', " "))
+}
+
+fn uri() -> impl Strategy<Value = String> {
+    (ncname(), ncname()).prop_map(|(a, b)| format!("urn:{a}:{b}"))
+}
+
+fn payload_element() -> impl Strategy<Value = Element> {
+    (uri(), ncname(), proptest::collection::vec((ncname(), text()), 0..4), text()).prop_map(
+        |(ns, local, children, t)| {
+            let mut e = Element::new(ns.clone(), local);
+            for (cname, ctext) in children {
+                e.push_element(Element::build(ns.clone(), cname).text(ctext).finish());
+            }
+            e.push_text(t);
+            e
+        },
+    )
+}
+
+fn epr() -> impl Strategy<Value = EndpointReference> {
+    (uri(), proptest::collection::vec((ncname(), text()), 0..3)).prop_map(|(address, props)| {
+        let mut epr = EndpointReference::new(address);
+        for (name, value) in props {
+            epr = epr
+                .with_property(Element::build("urn:props", name).text(value).finish());
+        }
+        epr
+    })
+}
+
+fn headers() -> impl Strategy<Value = MessageHeaders> {
+    (
+        proptest::option::of(uri()),
+        proptest::option::of(uri()),
+        proptest::option::of(uri()),
+        proptest::option::of(epr()),
+        proptest::option::of(epr()),
+    )
+        .prop_map(|(to, action, relates_to, reply_to, from)| MessageHeaders {
+            to,
+            action,
+            message_id: Some("urn:wsp:msg:prop-test".into()),
+            relates_to,
+            reply_to,
+            fault_to: None,
+            from,
+            destination_properties: Vec::new(),
+        })
+}
+
+fn fault() -> impl Strategy<Value = Fault> {
+    (
+        prop_oneof![
+            Just(FaultCode::Sender),
+            Just(FaultCode::Receiver),
+            Just(FaultCode::MustUnderstand),
+            Just(FaultCode::VersionMismatch),
+            Just(FaultCode::DataEncodingUnknown),
+        ],
+        text().prop_filter("non-empty reason", |t| !t.trim().is_empty()),
+    )
+        .prop_map(|(code, reason)| Fault::new(code, reason.trim().to_owned()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_envelopes_round_trip(payload in payload_element(), hdrs in headers(),
+                                    extra in proptest::collection::vec(payload_element(), 0..3)) {
+        let mut env = Envelope::request(payload);
+        env.set_addressing(hdrs);
+        for e in extra {
+            env.add_header(HeaderBlock::new(e));
+        }
+        let wire = env.to_xml();
+        let back = Envelope::from_xml(&wire).expect("must parse");
+        prop_assert_eq!(back, env, "wire:\n{}", wire);
+    }
+
+    #[test]
+    fn fault_envelopes_round_trip(f in fault()) {
+        let env = Envelope::fault(f);
+        let back = Envelope::from_xml(&env.to_xml()).expect("must parse");
+        prop_assert_eq!(back, env);
+    }
+
+    #[test]
+    fn decoder_never_panics(junk in "[ -~<>/]{0,120}") {
+        let _ = Envelope::from_xml(&junk);
+    }
+
+    #[test]
+    fn epr_mapping_total(e in epr()) {
+        let elem = e.to_element("ReplyTo");
+        let xml = elem.to_xml();
+        let parsed = wsp_xml::parse(&xml).unwrap();
+        let back = EndpointReference::from_element(&parsed).expect("EPR parses");
+        prop_assert_eq!(back, e);
+    }
+}

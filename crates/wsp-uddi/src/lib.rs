@@ -1,0 +1,40 @@
+//! # wsp-uddi
+//!
+//! A UDDI-style registry: the discovery substrate of WSPeer's standard
+//! HTTP implementation (paper Section IV.A). Provides the v2-flavoured
+//! data model (business entities, services, binding templates, tModels),
+//! a thread-safe [`Registry`] store, the two-step SOAP inquiry/publish
+//! [`api`], a [`UddiClient`] over pluggable transports, and hosting glue
+//! to run a registry on the lightweight HTTP server — real TCP or the
+//! simulator.
+//!
+//! The registry is deliberately *centralised*: it is the client/server
+//! discovery mechanism whose bottleneck and single-point-of-failure
+//! behaviour experiments E1 and E3 measure against P2PS discovery.
+//!
+//! ```
+//! use wsp_uddi::{Registry, UddiClient, ServiceQuery, BusinessService, BindingTemplate};
+//!
+//! let registry = Registry::new();
+//! let client = UddiClient::direct(registry);
+//! client.save_service(
+//!     &BusinessService::new("", "biz", "EchoService")
+//!         .with_binding(BindingTemplate::new("", "http://host/Echo")),
+//! ).unwrap();
+//! let hits = client.locate(&ServiceQuery::by_name("Echo%")).unwrap();
+//! assert_eq!(hits[0].bindings[0].access_point, "http://host/Echo");
+//! ```
+
+pub mod api;
+pub mod client;
+pub mod model;
+pub mod query;
+pub mod registry;
+pub mod server;
+
+pub use api::{ServiceInfo, UddiApi};
+pub use client::{direct_transport, http_transport, SoapTransport, UddiClient, UddiError};
+pub use model::{BindingTemplate, BusinessEntity, BusinessService, KeyedReference, TModel, UDDI_NS};
+pub use query::{wildcard_match, ServiceQuery};
+pub use registry::Registry;
+pub use server::{registry_handler, RegistryServer, REGISTRY_PATH};

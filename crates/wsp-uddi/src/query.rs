@@ -1,0 +1,188 @@
+//! Service queries: the UDDI flavour of WSPeer's `ServiceQuery`
+//! abstraction.
+
+use crate::model::{BusinessService, KeyedReference, UDDI_NS};
+use wsp_xml::Element;
+
+/// A `find_service` query: name pattern plus category constraints.
+///
+/// The name pattern supports the UDDI `%` wildcard (match any run of
+/// characters) and is case-insensitive, per `approximateMatch`
+/// semantics. All listed categories must be present on a matching
+/// service.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceQuery {
+    pub name_pattern: Option<String>,
+    pub categories: Vec<KeyedReference>,
+    /// Cap on returned results (UDDI `maxRows`); 0 = unlimited.
+    pub max_rows: usize,
+}
+
+impl ServiceQuery {
+    /// Match services whose name matches `pattern` (`%` wildcards).
+    pub fn by_name(pattern: impl Into<String>) -> Self {
+        ServiceQuery { name_pattern: Some(pattern.into()), ..ServiceQuery::default() }
+    }
+
+    /// Match every service.
+    pub fn all() -> Self {
+        ServiceQuery::default()
+    }
+
+    pub fn with_category(mut self, c: KeyedReference) -> Self {
+        self.categories.push(c);
+        self
+    }
+
+    pub fn with_max_rows(mut self, n: usize) -> Self {
+        self.max_rows = n;
+        self
+    }
+
+    /// Does `service` satisfy this query?
+    pub fn matches(&self, service: &BusinessService) -> bool {
+        if let Some(pattern) = &self.name_pattern {
+            if !wildcard_match(pattern, &service.name) {
+                return false;
+            }
+        }
+        self.categories.iter().all(|wanted| {
+            service.categories.iter().any(|c| {
+                c.tmodel_key == wanted.tmodel_key && c.key_value == wanted.key_value
+            })
+        })
+    }
+
+    /// Serialise as a `find_service` element.
+    pub fn to_element(&self) -> Element {
+        let mut e = Element::new(UDDI_NS, "find_service");
+        if self.max_rows > 0 {
+            e.set_attribute(wsp_xml::QName::local("maxRows"), self.max_rows.to_string());
+        }
+        if let Some(p) = &self.name_pattern {
+            e.push_element(Element::build(UDDI_NS, "name").text(p.clone()).finish());
+        }
+        if !self.categories.is_empty() {
+            let mut bag = Element::new(UDDI_NS, "categoryBag");
+            for c in &self.categories {
+                bag.push_element(c.to_element());
+            }
+            e.push_element(bag);
+        }
+        e
+    }
+
+    /// Parse a `find_service` element.
+    pub fn from_element(e: &Element) -> Option<ServiceQuery> {
+        if !e.name().is(UDDI_NS, "find_service") {
+            return None;
+        }
+        Some(ServiceQuery {
+            name_pattern: e.child_text(UDDI_NS, "name"),
+            categories: e
+                .find(UDDI_NS, "categoryBag")
+                .map(|bag| {
+                    bag.find_all(UDDI_NS, "keyedReference")
+                        .filter_map(KeyedReference::from_element)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            max_rows: e
+                .attribute_local("maxRows")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+        })
+    }
+}
+
+/// Case-insensitive match of `pattern` (with `%` wildcards) against
+/// `text`. Classic two-pointer wildcard algorithm, no backtracking blowup.
+pub fn wildcard_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().flat_map(|c| c.to_lowercase()).collect();
+    let t: Vec<char> = text.chars().flat_map(|c| c.to_lowercase()).collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BindingTemplate;
+
+    fn svc(name: &str, categories: &[(&str, &str)]) -> BusinessService {
+        let mut s = BusinessService::new("k", "b", name)
+            .with_binding(BindingTemplate::new("bk", "http://h/x"));
+        for (tm, val) in categories {
+            s = s.with_category(KeyedReference::new(*tm, "", *val));
+        }
+        s
+    }
+
+    #[test]
+    fn wildcard_semantics() {
+        assert!(wildcard_match("Echo", "echo"));
+        assert!(wildcard_match("%", "anything"));
+        assert!(wildcard_match("Echo%", "EchoService"));
+        assert!(wildcard_match("%Service", "EchoService"));
+        assert!(wildcard_match("E%o%e", "EchoService".trim_end_matches("rvic")));
+        assert!(!wildcard_match("Echo", "EchoService"));
+        assert!(!wildcard_match("Echo%X", "EchoService"));
+        assert!(wildcard_match("", ""));
+        assert!(!wildcard_match("", "x"));
+        assert!(wildcard_match("%%", "x"));
+    }
+
+    #[test]
+    fn name_query_matching() {
+        let q = ServiceQuery::by_name("Echo%");
+        assert!(q.matches(&svc("EchoService", &[])));
+        assert!(!q.matches(&svc("MathService", &[])));
+        assert!(ServiceQuery::all().matches(&svc("Whatever", &[])));
+    }
+
+    #[test]
+    fn category_query_matching() {
+        let q = ServiceQuery::all().with_category(KeyedReference::new("uddi:types", "", "wspeer"));
+        assert!(q.matches(&svc("S", &[("uddi:types", "wspeer")])));
+        assert!(!q.matches(&svc("S", &[("uddi:types", "other")])));
+        assert!(!q.matches(&svc("S", &[])));
+        // All categories required.
+        let q2 = q.with_category(KeyedReference::new("uddi:region", "", "eu"));
+        assert!(!q2.matches(&svc("S", &[("uddi:types", "wspeer")])));
+        assert!(q2.matches(&svc("S", &[("uddi:types", "wspeer"), ("uddi:region", "eu")])));
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = ServiceQuery::by_name("Ech%")
+            .with_category(KeyedReference::new("uddi:types", "kind", "wspeer"))
+            .with_max_rows(5);
+        let xml = q.to_element().to_xml();
+        let parsed = ServiceQuery::from_element(&wsp_xml::parse(&xml).unwrap()).unwrap();
+        assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn from_element_rejects_other_elements() {
+        assert!(ServiceQuery::from_element(&Element::new(UDDI_NS, "find_business")).is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! Escaping and entity expansion for character data and attribute values.
+
+use crate::error::{XmlError, XmlResult};
+
+/// Escape a string for use as element character data.
+///
+/// `<`, `&` and `>` are escaped. `>` is only mandatory inside `]]>` but
+/// escaping it unconditionally is harmless and simpler.
+pub fn escape_text(input: &str, out: &mut String) {
+    for c in input.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+///
+/// In addition to the text escapes, `"` must be escaped, and literal
+/// tab/newline/carriage-return are escaped as character references so that
+/// attribute-value normalisation cannot change them on re-parse.
+pub fn escape_attr(input: &str, out: &mut String) {
+    for c in input.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\t' => out.push_str("&#9;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Convenience wrapper returning a fresh `String` (allocation-per-call;
+/// hot paths should use [`escape_text`] with a reused buffer).
+pub fn escape_text_owned(input: &str) -> String {
+    let mut s = String::with_capacity(input.len());
+    escape_text(input, &mut s);
+    s
+}
+
+/// Expand entity and character references in raw character data.
+///
+/// `base` is the byte offset of `input` within the whole document, used
+/// for error reporting.
+pub fn unescape(input: &str, base: usize) -> XmlResult<String> {
+    // Fast path: nothing to expand.
+    if !input.contains('&') {
+        return Ok(input.to_owned());
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < input.len() {
+        if bytes[i] != b'&' {
+            // Advance over one UTF-8 scalar.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        let semi = input[i + 1..].find(';').map(|p| i + 1 + p).ok_or(XmlError::UnexpectedEof {
+            offset: base + i,
+            expecting: "';' terminating entity reference",
+        })?;
+        let entity = &input[i + 1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ => {
+                let ch = parse_char_ref(entity).ok_or_else(|| XmlError::BadEntity {
+                    offset: base + i,
+                    entity: entity.to_owned(),
+                })?;
+                out.push(ch);
+            }
+        }
+        i = semi + 1;
+    }
+    Ok(out)
+}
+
+fn parse_char_ref(entity: &str) -> Option<char> {
+    let body = entity.strip_prefix('#')?;
+    let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<u32>().ok()?
+    };
+    let ch = char::from_u32(code)?;
+    // XML 1.0 Char production: forbid most C0 controls.
+    if matches!(ch, '\u{9}' | '\u{A}' | '\u{D}') || ch >= '\u{20}' {
+        Some(ch)
+    } else {
+        None
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esc_text(s: &str) -> String {
+        let mut out = String::new();
+        escape_text(s, &mut out);
+        out
+    }
+
+    fn esc_attr(s: &str) -> String {
+        let mut out = String::new();
+        escape_attr(s, &mut out);
+        out
+    }
+
+    #[test]
+    fn text_escapes_markup() {
+        assert_eq!(esc_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn attr_escapes_quotes_and_whitespace() {
+        assert_eq!(esc_attr("\"x\"\n"), "&quot;x&quot;&#10;");
+        assert_eq!(esc_attr("tab\there"), "tab&#9;here");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;&gt;&amp;&apos;&quot;", 0).unwrap(), "<>&'\"");
+    }
+
+    #[test]
+    fn unescape_char_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x43;", 0).unwrap(), "ABC");
+        assert_eq!(unescape("&#x20AC;", 0).unwrap(), "\u{20AC}");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        let err = unescape("x&nope;y", 5).unwrap_err();
+        assert_eq!(err, XmlError::BadEntity { offset: 6, entity: "nope".into() });
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated() {
+        assert!(matches!(unescape("x&amp", 0), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn unescape_rejects_control_char_ref() {
+        assert!(unescape("&#0;", 0).is_err());
+        assert!(unescape("&#x1;", 0).is_err());
+        // But tab/newline/CR refs are fine.
+        assert_eq!(unescape("&#9;", 0).unwrap(), "\t");
+    }
+
+    #[test]
+    fn unescape_passes_multibyte_through() {
+        assert_eq!(unescape("héllo – ok", 0).unwrap(), "héllo – ok");
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let original = "mixed <tags> & \"quotes\" with ünïcode\n";
+        let escaped = esc_text(original);
+        assert_eq!(unescape(&escaped, 0).unwrap(), original);
+    }
+
+    #[test]
+    fn round_trip_attr() {
+        let original = "a\tb\nc\"d<e>&f";
+        let escaped = esc_attr(original);
+        assert_eq!(unescape(&escaped, 0).unwrap(), original);
+    }
+}

@@ -1,0 +1,300 @@
+//! Tree builder: turns tokens into an [`Element`] with namespaces
+//! resolved and entities expanded.
+
+use crate::error::{XmlError, XmlResult};
+use crate::escape::unescape;
+use crate::name::{split_prefixed, NsBinding, NsStack, QName};
+use crate::tokenizer::{Token, Tokenizer};
+use crate::tree::{Element, Node};
+
+/// Maximum element nesting depth accepted by [`parse`]. Deep enough for
+/// any real SOAP/WSDL document, shallow enough to stop stack abuse from
+/// hostile peers.
+pub const MAX_DEPTH: usize = 256;
+
+/// Parse a complete document and return its root element.
+///
+/// * Namespace prefixes are resolved to URIs; the tree stores only
+///   expanded [`QName`]s.
+/// * Entity and character references are expanded in text and attribute
+///   values.
+/// * Whitespace-only text nodes are dropped from elements that also have
+///   element children (pretty-printed input), but preserved in
+///   text-only elements so values survive round trips.
+/// * Comments and processing instructions around the root are discarded;
+///   inside the tree they are preserved.
+pub fn parse(input: &str) -> XmlResult<Element> {
+    let mut tokens = Tokenizer::new(input);
+    let mut ns = NsStack::new();
+    // Stack of (lexical name, element under construction).
+    let mut stack: Vec<(String, Element)> = Vec::new();
+    let mut root: Option<Element> = None;
+
+    while let Some(tok) = tokens.next_token()? {
+        match tok {
+            Token::Declaration { .. } => {}
+            Token::Comment { text, .. } => {
+                if let Some((_, parent)) = stack.last_mut() {
+                    parent.children_mut().push(Node::Comment(text.to_owned()));
+                }
+            }
+            Token::Pi { target, data, .. } => {
+                if let Some((_, parent)) = stack.last_mut() {
+                    parent.children_mut().push(Node::ProcessingInstruction {
+                        target: target.to_owned(),
+                        data: data.to_owned(),
+                    });
+                }
+            }
+            Token::Text { raw, offset } => {
+                let text = unescape(raw, offset)?;
+                match stack.last_mut() {
+                    Some((_, parent)) => parent.children_mut().push(Node::Text(text)),
+                    None => {
+                        if !text.trim().is_empty() {
+                            return Err(XmlError::ContentOutsideRoot { offset });
+                        }
+                    }
+                }
+            }
+            Token::CData { text, offset } => match stack.last_mut() {
+                Some((_, parent)) => parent.children_mut().push(Node::CData(text.to_owned())),
+                None => return Err(XmlError::ContentOutsideRoot { offset }),
+            },
+            Token::StartTag { name, attrs, self_closing, offset } => {
+                if root.is_some() && stack.is_empty() {
+                    return Err(XmlError::ContentOutsideRoot { offset });
+                }
+                if stack.len() >= MAX_DEPTH {
+                    return Err(XmlError::LimitExceeded { what: "nesting depth", limit: MAX_DEPTH });
+                }
+                ns.push_scope();
+                // First pass: namespace declarations open a new scope for
+                // this very element, so collect them before resolving.
+                for (aname, raw_value) in &attrs {
+                    if let Some(binding) = ns_declaration(aname, raw_value, offset)? {
+                        ns.declare(binding);
+                    }
+                }
+                let element = build_element(name, &attrs, &ns, offset)?;
+                if self_closing {
+                    ns.pop_scope();
+                    attach(&mut stack, &mut root, element);
+                } else {
+                    stack.push((name.to_owned(), element));
+                }
+            }
+            Token::EndTag { name, offset } => {
+                let (open_name, mut element) = stack.pop().ok_or(XmlError::ContentOutsideRoot { offset })?;
+                if open_name != name {
+                    return Err(XmlError::MismatchedTag {
+                        offset,
+                        open: open_name,
+                        close: name.to_owned(),
+                    });
+                }
+                strip_layout_whitespace(&mut element);
+                ns.pop_scope();
+                attach(&mut stack, &mut root, element);
+            }
+        }
+    }
+
+    if let Some((open_name, _)) = stack.last() {
+        return Err(XmlError::UnexpectedEof {
+            offset: input.len(),
+            expecting: match open_name.is_empty() {
+                true => "closing tag",
+                false => "closing tag for open element",
+            },
+        });
+    }
+    root.ok_or(XmlError::NoRootElement)
+}
+
+/// If `aname=raw_value` is a namespace declaration, return the binding.
+fn ns_declaration(aname: &str, raw_value: &str, offset: usize) -> XmlResult<Option<NsBinding>> {
+    if aname == "xmlns" {
+        let uri = unescape(raw_value, offset)?;
+        Ok(Some(NsBinding::new("", uri)))
+    } else if let Some(prefix) = aname.strip_prefix("xmlns:") {
+        let uri = unescape(raw_value, offset)?;
+        if prefix.is_empty() || uri.is_empty() {
+            return Err(XmlError::BadName { offset, name: aname.to_owned() });
+        }
+        Ok(Some(NsBinding::new(prefix, uri)))
+    } else {
+        Ok(None)
+    }
+}
+
+fn build_element(
+    lexical: &str,
+    attrs: &[(&str, &str)],
+    ns: &NsStack,
+    offset: usize,
+) -> XmlResult<Element> {
+    let (prefix, local) = split_prefixed(lexical);
+    let uri = ns.resolve(prefix).ok_or_else(|| XmlError::UnboundPrefix {
+        offset,
+        prefix: prefix.to_owned(),
+    })?;
+    let mut element = Element::with_name(QName::new(uri.to_owned(), local.to_owned()));
+    let mut seen: Vec<QName> = Vec::with_capacity(attrs.len());
+    for (aname, raw_value) in attrs {
+        if *aname == "xmlns" || aname.starts_with("xmlns:") {
+            continue; // consumed as a declaration above
+        }
+        let (aprefix, alocal) = split_prefixed(aname);
+        // Per Namespaces-in-XML, unprefixed attributes are in *no*
+        // namespace regardless of the default namespace.
+        let auri = if aprefix.is_empty() {
+            ""
+        } else {
+            ns.resolve(aprefix).ok_or_else(|| XmlError::UnboundPrefix {
+                offset,
+                prefix: aprefix.to_owned(),
+            })?
+        };
+        let qname = QName::new(auri.to_owned(), alocal.to_owned());
+        if seen.contains(&qname) {
+            return Err(XmlError::DuplicateAttribute { offset, name: format!("{qname:?}") });
+        }
+        let value = unescape(raw_value, offset)?;
+        seen.push(qname.clone());
+        element.set_attribute(qname, value);
+    }
+    Ok(element)
+}
+
+fn attach(stack: &mut [(String, Element)], root: &mut Option<Element>, element: Element) {
+    match stack.last_mut() {
+        Some((_, parent)) => parent.push_element(element),
+        None => *root = Some(element),
+    }
+}
+
+/// Drop whitespace-only text nodes from elements that contain element
+/// children — they are indentation, not data.
+fn strip_layout_whitespace(element: &mut Element) {
+    let has_elements = element.children().iter().any(|c| matches!(c, Node::Element(_)));
+    if has_elements {
+        element
+            .children_mut()
+            .retain(|c| !matches!(c, Node::Text(t) if t.trim().is_empty()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_default_namespace() {
+        let e = parse(r#"<a xmlns="urn:d"><b/></a>"#).unwrap();
+        assert!(e.name().is("urn:d", "a"));
+        assert!(e.child_elements().next().unwrap().name().is("urn:d", "b"));
+    }
+
+    #[test]
+    fn resolves_prefixes_with_shadowing() {
+        let e = parse(r#"<p:a xmlns:p="urn:1"><p:b xmlns:p="urn:2"/><p:c/></p:a>"#).unwrap();
+        assert!(e.name().is("urn:1", "a"));
+        let kids: Vec<_> = e.child_elements().collect();
+        assert!(kids[0].name().is("urn:2", "b"));
+        assert!(kids[1].name().is("urn:1", "c"));
+    }
+
+    #[test]
+    fn unprefixed_attribute_has_no_namespace() {
+        let e = parse(r#"<a xmlns="urn:d" x="1"/>"#).unwrap();
+        assert_eq!(e.attribute("", "x"), Some("1"));
+        assert_eq!(e.attribute("urn:d", "x"), None);
+    }
+
+    #[test]
+    fn prefixed_attribute_resolved() {
+        let e = parse(r#"<a xmlns:q="urn:q" q:x="1"/>"#).unwrap();
+        assert_eq!(e.attribute("urn:q", "x"), Some("1"));
+    }
+
+    #[test]
+    fn unbound_prefix_is_error() {
+        assert!(matches!(parse("<q:a/>"), Err(XmlError::UnboundPrefix { .. })));
+        assert!(matches!(parse("<a q:x='1'/>"), Err(XmlError::UnboundPrefix { .. })));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(matches!(parse("<a><b></a></b>"), Err(XmlError::MismatchedTag { .. })));
+    }
+
+    #[test]
+    fn text_around_root_must_be_whitespace() {
+        assert!(parse("  <a/>\n").is_ok());
+        assert!(matches!(parse("x<a/>"), Err(XmlError::ContentOutsideRoot { .. })));
+        assert!(matches!(parse("<a/><b/>"), Err(XmlError::ContentOutsideRoot { .. })));
+    }
+
+    #[test]
+    fn entities_expanded_in_text_and_attrs() {
+        let e = parse(r#"<a x="&lt;&#33;">&amp;ok</a>"#).unwrap();
+        assert_eq!(e.attribute_local("x"), Some("<!"));
+        assert_eq!(e.text(), "&ok");
+    }
+
+    #[test]
+    fn layout_whitespace_stripped_but_data_whitespace_kept() {
+        let e = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(e.children().len(), 1);
+        let t = parse("<a>   </a>").unwrap();
+        assert_eq!(t.text(), "   ");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let e = parse("<a><![CDATA[<not> & parsed]]></a>").unwrap();
+        assert_eq!(e.text(), "<not> & parsed");
+    }
+
+    #[test]
+    fn duplicate_expanded_attribute_rejected() {
+        // Same expanded name via two prefixes.
+        let doc = r#"<a xmlns:p="urn:q" xmlns:r="urn:q" p:x="1" r:x="2"/>"#;
+        assert!(matches!(parse(doc), Err(XmlError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn unclosed_element_is_eof() {
+        assert!(matches!(parse("<a><b></b>"), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn empty_document_has_no_root() {
+        assert!(matches!(parse("   "), Err(XmlError::NoRootElement)));
+        assert!(matches!(parse(""), Err(XmlError::NoRootElement)));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut doc = String::new();
+        for _ in 0..(MAX_DEPTH + 1) {
+            doc.push_str("<a>");
+        }
+        assert!(matches!(parse(&doc), Err(XmlError::LimitExceeded { .. })));
+    }
+
+    #[test]
+    fn comments_and_pis_kept_inside_tree() {
+        let e = parse("<a><!--note--><?do it?></a>").unwrap();
+        assert_eq!(e.children().len(), 2);
+        assert!(matches!(&e.children()[0], Node::Comment(c) if c == "note"));
+        assert!(matches!(&e.children()[1], Node::ProcessingInstruction { target, data } if target == "do" && data == "it"));
+    }
+
+    #[test]
+    fn declaration_and_leading_comment_ignored() {
+        let e = parse("<?xml version=\"1.0\"?><!-- head --><a/>").unwrap();
+        assert!(e.name().is("", "a"));
+    }
+}

@@ -1,0 +1,351 @@
+//! A pull tokenizer over a UTF-8 document.
+//!
+//! The tokenizer is zero-copy: every token borrows slices of the input.
+//! Entity expansion and namespace resolution are the reader's job; this
+//! layer only finds the lexical structure.
+
+use crate::error::{XmlError, XmlResult};
+
+/// One lexical token. `offset` is the byte position of the token start,
+/// for error reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token<'a> {
+    /// `<?xml ... ?>` — contents are not interpreted (documents are
+    /// always UTF-8 `str`s already).
+    Declaration { offset: usize },
+    /// `<name a="v" ...>` or `<name ... />`.
+    StartTag { name: &'a str, attrs: Vec<(&'a str, &'a str)>, self_closing: bool, offset: usize },
+    /// `</name>`.
+    EndTag { name: &'a str, offset: usize },
+    /// Raw character data between tags; entities not yet expanded.
+    Text { raw: &'a str, offset: usize },
+    /// `<![CDATA[ ... ]]>` contents, verbatim.
+    CData { text: &'a str, offset: usize },
+    /// `<!-- ... -->` contents, verbatim.
+    Comment { text: &'a str, offset: usize },
+    /// `<?target data?>`.
+    Pi { target: &'a str, data: &'a str, offset: usize },
+}
+
+/// Iterator-style tokenizer. Call [`Tokenizer::next_token`] until it
+/// returns `Ok(None)`.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0 }
+    }
+
+    /// Current byte position (used by the reader for error offsets).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    pub fn next_token(&mut self) -> XmlResult<Option<Token<'a>>> {
+        if self.pos >= self.input.len() {
+            return Ok(None);
+        }
+        let rest = &self.input[self.pos..];
+        if let Some(stripped) = rest.strip_prefix('<') {
+            if stripped.starts_with("!--") {
+                self.comment()
+            } else if stripped.starts_with("![CDATA[") {
+                self.cdata()
+            } else if stripped.starts_with('?') {
+                self.pi_or_decl()
+            } else if stripped.starts_with('/') {
+                self.end_tag()
+            } else if stripped.starts_with('!') {
+                // DOCTYPE and friends are deliberately unsupported: WSPeer
+                // documents never carry DTDs and external entities are a
+                // security hazard.
+                Err(XmlError::UnexpectedChar {
+                    offset: self.pos + 1,
+                    found: '!',
+                    expecting: "element, comment or CDATA (DTDs unsupported)",
+                })
+            } else {
+                self.start_tag()
+            }
+            .map(Some)
+        } else {
+            self.text().map(Some)
+        }
+    }
+
+    fn text(&mut self) -> XmlResult<Token<'a>> {
+        let offset = self.pos;
+        let rest = &self.input[self.pos..];
+        let end = rest.find('<').unwrap_or(rest.len());
+        self.pos += end;
+        Ok(Token::Text { raw: &rest[..end], offset })
+    }
+
+    fn comment(&mut self) -> XmlResult<Token<'a>> {
+        let offset = self.pos;
+        let body_start = self.pos + 4; // past "<!--"
+        let rest = &self.input[body_start..];
+        let end = rest.find("-->").ok_or(XmlError::UnexpectedEof {
+            offset,
+            expecting: "'-->' terminating comment",
+        })?;
+        self.pos = body_start + end + 3;
+        Ok(Token::Comment { text: &rest[..end], offset })
+    }
+
+    fn cdata(&mut self) -> XmlResult<Token<'a>> {
+        let offset = self.pos;
+        let body_start = self.pos + 9; // past "<![CDATA["
+        let rest = &self.input[body_start..];
+        let end = rest.find("]]>").ok_or(XmlError::UnexpectedEof {
+            offset,
+            expecting: "']]>' terminating CDATA section",
+        })?;
+        self.pos = body_start + end + 3;
+        Ok(Token::CData { text: &rest[..end], offset })
+    }
+
+    fn pi_or_decl(&mut self) -> XmlResult<Token<'a>> {
+        let offset = self.pos;
+        let body_start = self.pos + 2; // past "<?"
+        let rest = &self.input[body_start..];
+        let end = rest.find("?>").ok_or(XmlError::UnexpectedEof {
+            offset,
+            expecting: "'?>' terminating processing instruction",
+        })?;
+        let body = &rest[..end];
+        self.pos = body_start + end + 2;
+        let (target, data) = match body.find(|c: char| c.is_ascii_whitespace()) {
+            Some(ws) => (&body[..ws], body[ws..].trim_start()),
+            None => (body, ""),
+        };
+        if target.eq_ignore_ascii_case("xml") {
+            Ok(Token::Declaration { offset })
+        } else {
+            Ok(Token::Pi { target, data, offset })
+        }
+    }
+
+    fn end_tag(&mut self) -> XmlResult<Token<'a>> {
+        let offset = self.pos;
+        self.pos += 2; // past "</"
+        let name = self.read_name()?;
+        self.skip_ws();
+        self.expect('>')?;
+        Ok(Token::EndTag { name, offset })
+    }
+
+    fn start_tag(&mut self) -> XmlResult<Token<'a>> {
+        let offset = self.pos;
+        self.pos += 1; // past "<"
+        let name = self.read_name()?;
+        let mut attrs: Vec<(&'a str, &'a str)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.pos += 1;
+                    return Ok(Token::StartTag { name, attrs, self_closing: false, offset });
+                }
+                Some('/') => {
+                    self.pos += 1;
+                    self.expect('>')?;
+                    return Ok(Token::StartTag { name, attrs, self_closing: true, offset });
+                }
+                Some(_) => {
+                    let attr_offset = self.pos;
+                    let aname = self.read_name()?;
+                    self.skip_ws();
+                    self.expect('=')?;
+                    self.skip_ws();
+                    let value = self.read_quoted()?;
+                    if attrs.iter().any(|(n, _)| *n == aname) {
+                        return Err(XmlError::DuplicateAttribute {
+                            offset: attr_offset,
+                            name: aname.to_owned(),
+                        });
+                    }
+                    attrs.push((aname, value));
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof { offset: self.pos, expecting: "'>' closing tag" })
+                }
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> XmlResult<&'a str> {
+        let start = self.pos;
+        let rest = &self.input[self.pos..];
+        let len = rest
+            .char_indices()
+            .find(|(_, c)| c.is_ascii_whitespace() || matches!(c, '>' | '/' | '=' | '<'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if len == 0 {
+            return Err(XmlError::BadName {
+                offset: start,
+                name: rest.chars().next().map(String::from).unwrap_or_default(),
+            });
+        }
+        self.pos += len;
+        Ok(&rest[..len])
+    }
+
+    fn read_quoted(&mut self) -> XmlResult<&'a str> {
+        let quote = self.peek().ok_or(XmlError::UnexpectedEof {
+            offset: self.pos,
+            expecting: "quoted attribute value",
+        })?;
+        if quote != '"' && quote != '\'' {
+            return Err(XmlError::UnexpectedChar {
+                offset: self.pos,
+                found: quote,
+                expecting: "'\"' or '\\'' starting attribute value",
+            });
+        }
+        self.pos += 1;
+        let rest = &self.input[self.pos..];
+        let end = rest.find(quote).ok_or(XmlError::UnexpectedEof {
+            offset: self.pos,
+            expecting: "closing attribute quote",
+        })?;
+        let value = &rest[..end];
+        self.pos += end + 1;
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = &self.input[self.pos..];
+        let n = rest.len() - rest.trim_start().len();
+        self.pos += n;
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn expect(&mut self, c: char) -> XmlResult<()> {
+        match self.peek() {
+            Some(found) if found == c => {
+                self.pos += c.len_utf8();
+                Ok(())
+            }
+            Some(found) => Err(XmlError::UnexpectedChar {
+                offset: self.pos,
+                found,
+                expecting: match c {
+                    '>' => "'>'",
+                    '=' => "'='",
+                    _ => "specific delimiter",
+                },
+            }),
+            None => Err(XmlError::UnexpectedEof { offset: self.pos, expecting: "more input" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(input: &str) -> Vec<Token<'_>> {
+        let mut t = Tokenizer::new(input);
+        let mut out = Vec::new();
+        while let Some(tok) = t.next_token().unwrap() {
+            out.push(tok);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = all_tokens("<a>hi</a>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag { name: "a", attrs: vec![], self_closing: false, offset: 0 },
+                Token::Text { raw: "hi", offset: 3 },
+                Token::EndTag { name: "a", offset: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let toks = all_tokens(r#"<a x="1" y='2'/>"#);
+        assert_eq!(
+            toks,
+            vec![Token::StartTag {
+                name: "a",
+                attrs: vec![("x", "1"), ("y", "2")],
+                self_closing: true,
+                offset: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn whitespace_inside_tags_tolerated() {
+        let toks = all_tokens("<a  x = \"1\"  ></a >");
+        assert!(matches!(&toks[0], Token::StartTag { name: "a", attrs, .. } if attrs == &vec![("x", "1")]));
+        assert!(matches!(&toks[1], Token::EndTag { name: "a", .. }));
+    }
+
+    #[test]
+    fn declaration_comment_cdata_pi() {
+        let toks = all_tokens("<?xml version=\"1.0\"?><!--c--><r><![CDATA[<raw>&]]><?go now?></r>");
+        assert!(matches!(toks[0], Token::Declaration { .. }));
+        assert!(matches!(toks[1], Token::Comment { text: "c", .. }));
+        assert!(matches!(toks[3], Token::CData { text: "<raw>&", .. }));
+        assert!(matches!(toks[4], Token::Pi { target: "go", data: "now", .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut t = Tokenizer::new(r#"<a x="1" x="2"/>"#);
+        assert!(matches!(t.next_token(), Err(XmlError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        let mut t = Tokenizer::new("<!-- never ends");
+        assert!(matches!(t.next_token(), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn unterminated_attribute() {
+        let mut t = Tokenizer::new(r#"<a x="1></a>"#);
+        assert!(matches!(t.next_token(), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn doctype_rejected() {
+        let mut t = Tokenizer::new("<!DOCTYPE html><a/>");
+        assert!(matches!(t.next_token(), Err(XmlError::UnexpectedChar { .. })));
+    }
+
+    #[test]
+    fn missing_equals_rejected() {
+        let mut t = Tokenizer::new("<a x\"1\"/>");
+        assert!(matches!(t.next_token(), Err(XmlError::UnexpectedChar { .. })));
+    }
+
+    #[test]
+    fn attribute_value_keeps_raw_entities() {
+        let toks = all_tokens(r#"<a x="&amp;"/>"#);
+        assert!(matches!(&toks[0], Token::StartTag { attrs, .. } if attrs == &vec![("x", "&amp;")]));
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = all_tokens("<aé/>x");
+        match &toks[1] {
+            Token::Text { raw: "x", offset } => assert_eq!(*offset, 6), // 'é' is 2 bytes
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

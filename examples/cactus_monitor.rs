@@ -1,0 +1,162 @@
+//! The SC2004 demonstration (paper Section V): a Cactus-style
+//! simulation solving a hyperbolic PDE by finite differences, with a
+//! Web service *dynamically deployed at runtime* as an interface to the
+//! live simulation object. Frames stream back to the monitoring client
+//! "in real-time as the simulation iterates through its time steps".
+//!
+//! The simulation here is a real 1-D wave equation solved with the
+//! leapfrog scheme; each time step produces a frame (the paper's JPEG
+//! outputs become sampled waveforms).
+//!
+//! ```text
+//! cargo run -p wsp-examples --bin cactus_monitor
+//! ```
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+use wsp_core::{bindings::HttpUddiBinding, EventBus, Peer, ServiceQuery, StatefulService};
+use wsp_uddi::RegistryServer;
+use wsp_wsdl::{OperationDef, ServiceDescriptor, Value, XsdType};
+
+/// The stateful application object: a wave-equation simulation
+/// accumulating output frames as it runs.
+struct CactusSimulation {
+    /// Completed frames: (step, sampled displacement field).
+    frames: Mutex<Vec<(i64, Vec<f64>)>>,
+    /// Current and previous displacement fields.
+    state: Mutex<(Vec<f64>, Vec<f64>)>,
+}
+
+impl CactusSimulation {
+    fn new(points: usize) -> Self {
+        // Initial condition: a raised-cosine pulse in the middle.
+        let u0: Vec<f64> = (0..points)
+            .map(|i| {
+                let x = i as f64 / (points - 1) as f64;
+                if (0.4..=0.6).contains(&x) {
+                    0.5 * (1.0 - ((x - 0.5) * 10.0 * std::f64::consts::PI).cos())
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        CactusSimulation { frames: Mutex::new(Vec::new()), state: Mutex::new((u0.clone(), u0)) }
+    }
+
+    /// One leapfrog step of u_tt = c^2 u_xx with fixed ends.
+    fn step(&self, step_index: i64) {
+        let courant2 = 0.25f64; // (c dt/dx)^2, stable since < 1
+        let mut state = self.state.lock();
+        let (current, previous) = &mut *state;
+        let n = current.len();
+        let mut next = vec![0.0; n];
+        for i in 1..n - 1 {
+            next[i] = 2.0 * current[i] - previous[i]
+                + courant2 * (current[i + 1] - 2.0 * current[i] + current[i - 1]);
+        }
+        *previous = std::mem::replace(current, next);
+        // Sample 8 points as the "visualisation" frame.
+        let samples: Vec<f64> = (0..8).map(|k| current[k * (n - 1) / 7]).collect();
+        self.frames.lock().push((step_index, samples));
+    }
+}
+
+fn monitor_descriptor() -> ServiceDescriptor {
+    ServiceDescriptor::new("CactusMonitor", "urn:wspeer:cactus")
+        .doc("Live interface to a running Cactus simulation")
+        .operation(OperationDef::new("frameCount").returns(XsdType::Int))
+        .operation(
+            OperationDef::new("frame")
+                .input("index", XsdType::Int)
+                .returns(XsdType::Array(Box::new(XsdType::Double))),
+        )
+        .operation(OperationDef::new("latestStep").returns(XsdType::Int))
+}
+
+fn main() {
+    println!("== Cactus monitoring via a dynamically deployed service ==\n");
+    let registry = RegistryServer::launch(0).expect("launch registry");
+
+    // The simulation starts *before* any service exists — it is an
+    // established application environment, exactly the case the paper
+    // says traditional containers handle badly.
+    let simulation = Arc::new(CactusSimulation::new(101));
+    println!("simulation running (1-D wave equation, leapfrog scheme)");
+    for s in 0..5 {
+        simulation.step(s);
+    }
+
+    // Mid-run, expose the live object as a service.
+    let provider =
+        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
+    let handler = StatefulService::wrapping(simulation.clone())
+        .operation("frameCount", |sim, _| Ok(Value::Int(sim.frames.lock().len() as i64)))
+        .operation("latestStep", |sim, _| {
+            Ok(sim.frames.lock().last().map(|(s, _)| Value::Int(*s)).unwrap_or(Value::Null))
+        })
+        .operation("frame", |sim, args| {
+            let index = args[0].as_int().unwrap_or(-1);
+            let frames = sim.frames.lock();
+            frames
+                .get(index as usize)
+                .map(|(_, samples)| {
+                    Value::Array(samples.iter().map(|&v| Value::Double(v)).collect())
+                })
+                .ok_or_else(|| wsp_soap::Fault::sender(format!("no frame {index}")))
+        })
+        .into_handler();
+    provider
+        .server()
+        .deploy_and_publish(monitor_descriptor(), handler)
+        .expect("deploy monitor");
+    println!("CactusMonitor deployed at runtime and published to UDDI\n");
+
+    // Keep stepping in the background — the service reflects it live.
+    let background = {
+        let simulation = simulation.clone();
+        std::thread::spawn(move || {
+            for s in 5..30 {
+                simulation.step(s);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    // The Triana side: find the monitor and poll frames in real time.
+    let triana =
+        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
+    let monitor = triana
+        .client()
+        .locate_one(&ServiceQuery::by_name("CactusMonitor"))
+        .expect("locate monitor");
+
+    let mut seen = 0i64;
+    while seen < 20 {
+        let count = triana
+            .client()
+            .invoke(&monitor, "frameCount", &[])
+            .expect("frameCount")
+            .as_int()
+            .unwrap_or(0);
+        while seen < count {
+            let frame = triana
+                .client()
+                .invoke(&monitor, "frame", &[Value::Int(seen)])
+                .expect("fetch frame");
+            let samples: Vec<String> = frame
+                .as_array()
+                .unwrap_or(&[])
+                .iter()
+                .map(|v| format!("{:+.2}", v.as_double().unwrap_or(0.0)))
+                .collect();
+            println!("frame {seen:>2}: [{}]", samples.join(" "));
+            seen += 1;
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    background.join().expect("simulation thread");
+    registry.shutdown();
+    println!("\nreceived {seen} frames in real time. done.");
+}

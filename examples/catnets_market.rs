@@ -1,0 +1,150 @@
+//! The Catnets scenario (paper Section V): "exploring how economy
+//! driven services interact in a decentralised topology."
+//!
+//! Compute providers publish a `Compute` service into a P2PS overlay
+//! with a *price* attribute. Buyers discover all offers by attribute
+//! search, buy from the cheapest, and providers re-price with demand —
+//! re-publishing their advertisement each round (soft state makes
+//! dynamic metadata natural). Watch the market clear.
+//!
+//! ```text
+//! cargo run -p wsp-examples --bin catnets_market
+//! ```
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+use wsp_core::bindings::{P2psBinding, P2psConfig};
+use wsp_core::{EventBus, Peer, ServiceQuery};
+use wsp_p2ps::{PeerConfig, PeerId, ThreadNetwork};
+use wsp_wsdl::{OperationDef, ServiceDescriptor, Value, XsdType};
+
+struct Provider {
+    name: &'static str,
+    peer: Peer,
+    price: Arc<Mutex<u64>>,
+    sales: Arc<Mutex<u64>>,
+}
+
+fn compute_descriptor(name: &str, price: u64) -> ServiceDescriptor {
+    ServiceDescriptor::new(name, format!("urn:catnets:{name}"))
+        .property("market", "compute")
+        .property("price", price.to_string())
+        .operation(OperationDef::new("work").input("units", XsdType::Int).returns(XsdType::Int))
+}
+
+fn main() {
+    println!("== Catnets-style compute market over P2PS ==\n");
+    let network = ThreadNetwork::new();
+    let rendezvous = network.spawn(PeerConfig::rendezvous(PeerId(0xCA7)));
+
+    // Three providers with different starting prices.
+    let mut providers = Vec::new();
+    for (i, (name, start_price)) in
+        [("AlphaGrid", 12u64), ("BetaCloud", 9), ("GammaHPC", 15)].into_iter().enumerate()
+    {
+        let thread_peer = network.spawn(PeerConfig::ordinary(PeerId(0xCA70 + i as u64 + 1)));
+        thread_peer.add_neighbour(rendezvous.id(), true);
+        rendezvous.add_neighbour(thread_peer.id(), false);
+        let binding = P2psBinding::new(thread_peer, EventBus::new(), P2psConfig::default());
+        let peer = Peer::with_binding(&binding);
+        let price = Arc::new(Mutex::new(start_price));
+        let sales = Arc::new(Mutex::new(0u64));
+        let sales_in_handler = sales.clone();
+        peer.server()
+            .deploy_and_publish(
+                compute_descriptor(name, start_price),
+                Arc::new(move |_op: &str, args: &[Value]| {
+                    *sales_in_handler.lock() += 1;
+                    Ok(Value::Int(args[0].as_int().unwrap_or(0) * 2))
+                }),
+            )
+            .expect("deploy provider");
+        providers.push(Provider { name, peer, price, sales });
+    }
+
+    // One buyer peer.
+    let buyer_thread = network.spawn(PeerConfig::ordinary(PeerId(0xCA7F)));
+    buyer_thread.add_neighbour(rendezvous.id(), true);
+    rendezvous.add_neighbour(buyer_thread.id(), false);
+    let buyer = Peer::with_binding(&P2psBinding::new(
+        buyer_thread,
+        EventBus::new(),
+        P2psConfig { discovery_window: Duration::from_millis(400), ..P2psConfig::default() },
+    ));
+    std::thread::sleep(Duration::from_millis(200));
+
+    for round in 1..=4 {
+        println!("--- round {round} ---");
+        // Discover the market by attribute.
+        let offers = buyer
+            .client()
+            .locate(&ServiceQuery::any().with_property("market", "compute"))
+            .expect("discover market");
+        let mut quoted: Vec<(String, u64, wsp_core::LocatedService)> = offers
+            .into_iter()
+            .filter_map(|s| {
+                let price = s
+                    .descriptor()
+                    .properties
+                    .iter()
+                    .find(|(k, _)| k == "price")?
+                    .1
+                    .parse()
+                    .ok()?;
+                Some((s.name().to_owned(), price, s))
+            })
+            .collect();
+        quoted.sort_by_key(|(_, price, _)| *price);
+        for (name, price, _) in &quoted {
+            println!("  offer: {name:<10} at {price} credits");
+        }
+        let Some((winner, price, service)) = quoted.first() else {
+            println!("  no offers!");
+            continue;
+        };
+        let result = buyer
+            .client()
+            .invoke(service, "work", &[Value::Int(21)])
+            .expect("buy compute");
+        println!("  buyer purchases from {winner} at {price} credits (work(21) = {result:?})");
+
+        // Economic feedback: the winner raises its price, losers cut.
+        for provider in &providers {
+            let mut price = provider.price.lock();
+            if provider.name == winner {
+                *price += 3;
+            } else if *price > 2 {
+                *price -= 2;
+            }
+            let new_price = *price;
+            drop(price);
+            // Republish the advert with the updated price attribute.
+            provider
+                .peer
+                .server()
+                .deploy(compute_descriptor(provider.name, new_price), Arc::new({
+                    let sales = provider.sales.clone();
+                    move |_op: &str, args: &[Value]| {
+                        *sales.lock() += 1;
+                        Ok(Value::Int(args[0].as_int().unwrap_or(0) * 2))
+                    }
+                }))
+                .expect("redeploy with new price");
+            provider.peer.server().publish(provider.name).expect("republish");
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    println!("\nfinal state:");
+    for provider in &providers {
+        println!(
+            "  {:<10} price {:>2} credits, {} sale(s)",
+            provider.name,
+            *provider.price.lock(),
+            *provider.sales.lock()
+        );
+    }
+    drop(rendezvous);
+    println!("\ndone.");
+}

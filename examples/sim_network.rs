@@ -1,0 +1,106 @@
+//! Simulating a large P2P Web-service network — the paper's Section
+//! IV.B point 3: "simulate large networks of peers publishing,
+//! discovering and invoking Web services in a distributed topology"
+//! (the authors planned this with NS2; here it is `wsp-simnet`).
+//!
+//! Builds a 400-peer rendezvous overlay on WAN links, publishes a
+//! service, runs churn, fires queries, and prints discovery metrics
+//! plus an NS2-style trace excerpt.
+//!
+//! ```text
+//! cargo run -p wsp-examples --bin sim_network
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsp_p2ps::{build_overlay, P2psQuery, PeerCommand, PeerEvent, ServiceAdvertisement};
+use wsp_simnet::{ChurnModel, Dur, LinkSpec, SimNet, Time, Topology};
+
+fn main() {
+    let seed = 2005u64;
+    println!("== simulating a 400-peer P2PS overlay (seed {seed}) ==\n");
+
+    let mut net: SimNet<String> = SimNet::new(seed);
+    net.set_default_link(LinkSpec::wan());
+    net.enable_trace(16);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (topology, rendezvous) = Topology::rendezvous_groups(40, 10, 4, &mut rng);
+    println!(
+        "overlay: {} peers in {} groups, {} rendezvous peers, connected: {}",
+        topology.node_count(),
+        rendezvous.len(),
+        rendezvous.len(),
+        topology.is_connected(),
+    );
+    let (_dir, handles) = build_overlay(&mut net, &topology, &rendezvous, Some(Dur::secs(10)));
+
+    // A leaf in group 0 publishes the Echo service.
+    let publisher = &handles[1];
+    let advert = ServiceAdvertisement::new("Echo", publisher.peer())
+        .with_pipe("echoString")
+        .with_definition_pipe()
+        .with_attribute("domain", "sim");
+    publisher.enqueue_at(&mut net, Time::ZERO, PeerCommand::Publish(advert));
+
+    // Rendezvous peers churn: mean 60s sessions, 10s absences (~86%).
+    let churn = ChurnModel::new(Dur::secs(60), Dur::secs(10));
+    println!("churning rendezvous peers at {:.0}% availability\n", churn.availability() * 100.0);
+    churn.apply(&mut net, &rendezvous, Time::secs(120), seed ^ 1);
+
+    // 30 staggered queries from random leaves.
+    let mut asked = Vec::new();
+    for q in 0..30u64 {
+        let slot = loop {
+            let g = rng.random_range(0..40);
+            let m = rng.random_range(1..10);
+            let slot = g * 10 + m;
+            if slot != 1 {
+                break slot;
+            }
+        };
+        let at = Time::secs(5) + Dur::millis(rng.random_range(0..110_000));
+        asked.push((slot, q, at));
+    }
+    asked.sort_by_key(|(_, _, at)| *at);
+    for (slot, token, at) in &asked {
+        handles[*slot].enqueue_at(
+            &mut net,
+            *at,
+            PeerCommand::Query { token: *token, query: P2psQuery::by_name("Echo"), ttl: None },
+        );
+    }
+
+    let end = net.run_until(Time::secs(130));
+    println!("simulation ran to t={end} ({} events dispatched)", net.events_dispatched());
+
+    // Gather results.
+    let mut ok = 0usize;
+    let mut latencies = Vec::new();
+    for (slot, token, at) in &asked {
+        let hit = handles[*slot].events().iter().find_map(|(t, e)| match e {
+            PeerEvent::QueryResult { token: tk, adverts } if tk == token && !adverts.is_empty() => Some(*t),
+            _ => None,
+        });
+        if let Some(t) = hit {
+            ok += 1;
+            latencies.push((t.since(*at)).as_micros());
+        }
+    }
+    latencies.sort_unstable();
+    println!("\ndiscovery: {ok}/30 queries succeeded under churn");
+    if !latencies.is_empty() {
+        println!(
+            "latency:   p50 {:.0} ms, max {:.0} ms",
+            latencies[latencies.len() / 2] as f64 / 1000.0,
+            *latencies.last().unwrap() as f64 / 1000.0
+        );
+    }
+    println!("\nnetwork counters:");
+    for (key, value) in net.metrics().counters() {
+        println!("  {key:32} {value}");
+    }
+    println!("\nNS2-style trace (last {} events):", net.trace().unwrap().len());
+    print!("{}", net.trace().unwrap().render());
+    println!("\ndone.");
+}

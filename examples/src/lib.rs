@@ -1,0 +1,4 @@
+//! Shared nothing: the example binaries (`quickstart`, `p2p_network`,
+//! `triana_workflow`, `cactus_monitor`) are each self-contained; this
+//! library target exists only so the package builds as a workspace
+//! member. See each binary's module docs for what it demonstrates.

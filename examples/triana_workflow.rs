@@ -1,0 +1,97 @@
+//! The Triana scenario (paper Section V): discover Web services and
+//! wire them into a workflow — here a text-processing pipeline whose
+//! stages are three independently deployed services found by UDDI
+//! search, exactly as Triana populates its toolbox.
+//!
+//! ```text
+//! cargo run -p wsp-examples --bin triana_workflow
+//! ```
+
+use std::sync::Arc;
+use wsp_core::{bindings::HttpUddiBinding, EventBus, Peer, ServiceQuery, Stage, Workflow};
+use wsp_uddi::RegistryServer;
+use wsp_wsdl::{OperationDef, ServiceDescriptor, Value, XsdType};
+
+fn tool_descriptor(name: &str) -> ServiceDescriptor {
+    ServiceDescriptor::new(name, format!("urn:triana:{}", name.to_lowercase()))
+        .property("toolbox", "text")
+        .operation(
+            OperationDef::new("apply").input("text", XsdType::String).returns(XsdType::String),
+        )
+}
+
+fn main() {
+    println!("== Triana-style workflow over discovered services ==\n");
+    let registry = RegistryServer::launch(0).expect("launch registry");
+
+    // Three independent providers, each hosting one "tool".
+    let mut providers = Vec::new();
+    let tools: Vec<(&str, Arc<dyn wsp_wsdl::ServiceHandler>)> = vec![
+        (
+            "Tokenizer",
+            Arc::new(|_: &str, args: &[Value]| {
+                let text = args[0].as_str().unwrap_or("");
+                Ok(Value::string(text.split_whitespace().collect::<Vec<_>>().join("|")))
+            }),
+        ),
+        (
+            "Upcase",
+            Arc::new(|_: &str, args: &[Value]| {
+                Ok(Value::string(args[0].as_str().unwrap_or("").to_uppercase()))
+            }),
+        ),
+        (
+            "Bracket",
+            Arc::new(|_: &str, args: &[Value]| {
+                Ok(Value::string(format!("[{}]", args[0].as_str().unwrap_or(""))))
+            }),
+        ),
+    ];
+    for (name, handler) in tools {
+        let peer = Peer::with_binding(&HttpUddiBinding::with_registry_uri(
+            &registry.uri(),
+            EventBus::new(),
+        ));
+        peer.server()
+            .deploy_and_publish(tool_descriptor(name), handler)
+            .unwrap_or_else(|e| panic!("deploy {name}: {e}"));
+        println!("published tool {name}");
+        providers.push(peer); // keep the hosts alive
+    }
+
+    // The Triana side: one peer, browsing the toolbox.
+    let triana =
+        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
+    let toolbox = triana
+        .client()
+        .locate(&ServiceQuery::any().with_property("toolbox", "text"))
+        .expect("browse toolbox");
+    println!("\ntoolbox now shows {} tools:", toolbox.len());
+    for tool in &toolbox {
+        println!("  - {} ({})", tool.name(), tool.endpoint);
+    }
+
+    // "Drag them onto the scratchpad and wire them together":
+    let find = |name: &str| {
+        toolbox
+            .iter()
+            .find(|t| t.name() == name)
+            .unwrap_or_else(|| panic!("{name} not in toolbox"))
+            .clone()
+    };
+    let workflow = Workflow::new()
+        .then(Stage::new(find("Tokenizer"), "apply"))
+        .then(Stage::new(find("Upcase"), "apply"))
+        .then(Stage::new(find("Bracket"), "apply"));
+
+    let input = "web services meet peer to peer";
+    let run = workflow.run(triana.client(), Value::string(input)).expect("run workflow");
+    println!("\ninput : {input:?}");
+    for (i, out) in run.stage_outputs.iter().enumerate() {
+        println!("stage {}: {:?}", i + 1, out);
+    }
+    println!("output: {:?}", run.output);
+
+    registry.shutdown();
+    println!("\ndone.");
+}

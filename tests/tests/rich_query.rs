@@ -1,0 +1,91 @@
+//! Rich (DAML-style) queries over both bindings: the expression is
+//! pushed down as a sound base query and refined client-side against
+//! the properties carried in each service's WSDL.
+
+use std::sync::Arc;
+use std::time::Duration;
+use wsp_core::bindings::HttpUddiBinding;
+use wsp_core::{EventBus, Peer, QueryExpr};
+use wsp_integration_tests::{p2ps_star, p2ps_wspeer};
+use wsp_uddi::Registry;
+use wsp_wsdl::{OperationDef, ServiceDescriptor, ServiceHandler, Value, XsdType};
+
+fn tool(name: &str, domain: &str, tier: &str) -> ServiceDescriptor {
+    ServiceDescriptor::new(name, format!("urn:rq:{name}"))
+        .property("domain", domain)
+        .property("tier", tier)
+        .operation(OperationDef::new("run").input("x", XsdType::Int).returns(XsdType::Int))
+}
+
+fn handler() -> Arc<dyn ServiceHandler> {
+    Arc::new(|_op: &str, args: &[Value]| Ok(args[0].clone()))
+}
+
+/// `(text % gold) OR (media % any-tier)` except the one named Legacy%.
+fn expr() -> QueryExpr {
+    QueryExpr::property("domain", "text")
+        .and(QueryExpr::property("tier", "gold"))
+        .or(QueryExpr::property("domain", "media"))
+        .and(QueryExpr::name("Legacy%").not())
+}
+
+fn expected(names: &[&str]) -> Vec<String> {
+    let mut v: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn rich_query_over_http_uddi() {
+    let registry = Registry::new();
+    let provider = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+        registry.clone(),
+        EventBus::new(),
+    ));
+    for descriptor in [
+        tool("Tokenizer", "text", "gold"),
+        tool("Upcase", "text", "bronze"), // text but not gold: excluded
+        tool("Thumbnailer", "media", "bronze"),
+        tool("LegacyRenderer", "media", "gold"), // excluded by Not(name)
+    ] {
+        provider.server().deploy_and_publish(descriptor, handler()).unwrap();
+    }
+
+    let consumer =
+        Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
+    let mut found: Vec<String> = consumer
+        .client()
+        .locate_where(&expr())
+        .unwrap()
+        .iter()
+        .map(|s| s.name().to_owned())
+        .collect();
+    found.sort();
+    assert_eq!(found, expected(&["Thumbnailer", "Tokenizer"]));
+}
+
+#[test]
+fn rich_query_over_p2ps() {
+    let (_network, _rv, mut peers) = p2ps_star(2);
+    let (provider, _pb) = p2ps_wspeer(peers.pop().unwrap());
+    let (consumer, _cb) = p2ps_wspeer(peers.pop().unwrap());
+    for descriptor in [
+        tool("Tokenizer", "text", "gold"),
+        tool("Upcase", "text", "bronze"),
+        tool("Thumbnailer", "media", "bronze"),
+        tool("LegacyRenderer", "media", "gold"),
+    ] {
+        provider.server().deploy_and_publish(descriptor, handler()).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut found: Vec<String> = consumer
+        .client()
+        .locate_where(&expr())
+        .unwrap()
+        .iter()
+        .map(|s| s.name().to_owned())
+        .collect();
+    found.sort();
+    assert_eq!(found, expected(&["Thumbnailer", "Tokenizer"]));
+}
