@@ -11,12 +11,16 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(5));
     group.warm_up_time(std::time::Duration::from_secs(1));
     for clients in [1usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("sim_run", clients), &clients, |b, &clients| {
-            b.iter(|| {
-                let row = e1::run(black_box(clients), 2, 5, 1, 7);
-                black_box(row.completed)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sim_run", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let row = e1::run(black_box(clients), 2, 5, 1, 7);
+                    black_box(row.completed)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -15,20 +15,30 @@ fn bench(c: &mut Criterion) {
         let mut codec = SoapCodec::new();
         let wire = codec.encode(&envelope);
         group.throughput(Throughput::Bytes(wire.len() as u64));
-        group.bench_with_input(BenchmarkId::new("encode", items), &envelope, |b, envelope| {
-            let mut codec = SoapCodec::new();
-            b.iter(|| black_box(codec.encode(black_box(envelope))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode", items),
+            &envelope,
+            |b, envelope| {
+                let mut codec = SoapCodec::new();
+                b.iter(|| black_box(codec.encode(black_box(envelope))))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("decode", items), &wire, |b, wire| {
             let mut codec = SoapCodec::new();
             b.iter(|| black_box(codec.decode(black_box(wire)).unwrap()))
         });
-        group.bench_with_input(BenchmarkId::new("round_trip", items), &envelope, |b, envelope| {
-            let mut codec = SoapCodec::new();
-            b.iter(|| black_box(e6::round_trip(&mut codec, black_box(envelope))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("round_trip", items),
+            &envelope,
+            |b, envelope| {
+                let mut codec = SoapCodec::new();
+                b.iter(|| black_box(e6::round_trip(&mut codec, black_box(envelope))))
+            },
+        );
     }
-    group.bench_function("advert_epr_mapping", |b| b.iter(|| black_box(e6::advert_epr_round_trip())));
+    group.bench_function("advert_epr_mapping", |b| {
+        b.iter(|| black_box(e6::advert_epr_round_trip()))
+    });
     group.finish();
 }
 

@@ -14,7 +14,9 @@ use wsp_wsdl::{OperationDef, ServiceDescriptor, Value, XsdType};
 
 fn descriptor() -> ServiceDescriptor {
     ServiceDescriptor::new("EchoBench", "urn:bench:echo").operation(
-        OperationDef::new("echo").input("data", XsdType::String).returns(XsdType::String),
+        OperationDef::new("echo")
+            .input("data", XsdType::String)
+            .returns(XsdType::String),
     )
 }
 
@@ -34,11 +36,18 @@ fn bench(c: &mut Criterion) {
         registry.clone(),
         EventBus::new(),
     ));
-    http_provider.server().deploy_and_publish(descriptor(), handler()).unwrap();
-    let http_consumer =
-        Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
-    let http_service =
-        http_consumer.client().locate_one(&ServiceQuery::by_name("EchoBench")).unwrap();
+    http_provider
+        .server()
+        .deploy_and_publish(descriptor(), handler())
+        .unwrap();
+    let http_consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+        registry,
+        EventBus::new(),
+    ));
+    let http_service = http_consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("EchoBench"))
+        .unwrap();
 
     // P2PS setup.
     let network = ThreadNetwork::new();
@@ -49,17 +58,28 @@ fn bench(c: &mut Criterion) {
         p.add_neighbour(rv.id(), true);
         rv.add_neighbour(p.id(), false);
     }
-    let p2ps_provider =
-        Peer::with_binding(&P2psBinding::new(provider_peer, EventBus::new(), P2psConfig::default()));
-    p2ps_provider.server().deploy_and_publish(descriptor(), handler()).unwrap();
+    let p2ps_provider = Peer::with_binding(&P2psBinding::new(
+        provider_peer,
+        EventBus::new(),
+        P2psConfig::default(),
+    ));
+    p2ps_provider
+        .server()
+        .deploy_and_publish(descriptor(), handler())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(150));
     let p2ps_consumer = Peer::with_binding(&P2psBinding::new(
         consumer_peer,
         EventBus::new(),
-        P2psConfig { discovery_window: Duration::from_millis(400), ..P2psConfig::default() },
+        P2psConfig {
+            discovery_window: Duration::from_millis(400),
+            ..P2psConfig::default()
+        },
     ));
-    let p2ps_service =
-        p2ps_consumer.client().locate_one(&ServiceQuery::by_name("EchoBench")).unwrap();
+    let p2ps_service = p2ps_consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("EchoBench"))
+        .unwrap();
 
     for payload_bytes in [32usize, 4096] {
         let payload = Value::string("x".repeat(payload_bytes));

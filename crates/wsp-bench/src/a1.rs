@@ -31,7 +31,8 @@ pub fn run(rv_degree: usize, query_ttl: u8, seed: u64) -> A1Row {
     let mut net: SimNet<String> = SimNet::new(seed);
     net.set_default_link(LinkSpec::wan());
     let mut rng = StdRng::seed_from_u64(seed ^ 0xA1);
-    let (topology, rendezvous) = Topology::rendezvous_groups(groups, group_size, rv_degree, &mut rng);
+    let (topology, rendezvous) =
+        Topology::rendezvous_groups(groups, group_size, rv_degree, &mut rng);
     let peers = topology.node_count();
     let (_dir, handles) = build_overlay(&mut net, &topology, &rendezvous, None);
 
@@ -67,7 +68,9 @@ pub fn run(rv_degree: usize, query_ttl: u8, seed: u64) -> A1Row {
     let mut ok = 0usize;
     for (slot, token, at) in &asked {
         let hit = handles[*slot].events().iter().find_map(|(t, e)| match e {
-            PeerEvent::QueryResult { token: tk, adverts } if tk == token && !adverts.is_empty() => Some(*t),
+            PeerEvent::QueryResult { token: tk, adverts } if tk == token && !adverts.is_empty() => {
+                Some(*t)
+            }
             _ => None,
         });
         if let Some(t) = hit {

@@ -37,7 +37,12 @@ pub fn run(refresh_secs: Option<u64>, seed: u64) -> A2Row {
     publisher.enqueue_at(&mut net, Time::ZERO, PeerCommand::Publish(advert));
 
     // 80% availability: mean 24s up / 6s down.
-    ChurnModel::new(Dur::secs(24), Dur::secs(6)).apply(&mut net, &rendezvous, Time::secs(300), seed ^ 0xA3);
+    ChurnModel::new(Dur::secs(24), Dur::secs(6)).apply(
+        &mut net,
+        &rendezvous,
+        Time::secs(300),
+        seed ^ 0xA3,
+    );
 
     let mut asked = Vec::new();
     for q in 0..queries {
@@ -57,7 +62,11 @@ pub fn run(refresh_secs: Option<u64>, seed: u64) -> A2Row {
         handles[*slot].enqueue_at(
             &mut net,
             *at,
-            PeerCommand::Query { token: *token, query: P2psQuery::by_name("Echo"), ttl: None },
+            PeerCommand::Query {
+                token: *token,
+                query: P2psQuery::by_name("Echo"),
+                ttl: None,
+            },
         );
     }
     net.run_until(Time::secs(310));
@@ -72,7 +81,10 @@ pub fn run(refresh_secs: Option<u64>, seed: u64) -> A2Row {
             ok += 1;
         }
     }
-    A2Row { refresh_secs, success_rate: ok as f64 / queries as f64 }
+    A2Row {
+        refresh_secs,
+        success_rate: ok as f64 / queries as f64,
+    }
 }
 
 /// The published sweep.

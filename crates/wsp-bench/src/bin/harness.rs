@@ -15,7 +15,10 @@ fn main() {
 
     // E1 — registry bottleneck.
     let rows: Vec<Vec<String>> = if quick {
-        [1, 8, 64].into_iter().map(|c| e1::run(c, 5, 5, 1, seed)).collect::<Vec<_>>()
+        [1, 8, 64]
+            .into_iter()
+            .map(|c| e1::run(c, 5, 5, 1, seed))
+            .collect::<Vec<_>>()
     } else {
         e1::sweep(seed)
     }
@@ -34,7 +37,13 @@ fn main() {
         "{}",
         render_table(
             "E1  central registry bottleneck (5ms service, 1 worker, closed-loop clients)",
-            &["clients", "completed", "throughput rps", "mean ms", "p99 ms"],
+            &[
+                "clients",
+                "completed",
+                "throughput rps",
+                "mean ms",
+                "p99 ms"
+            ],
             &rows,
         )
     );
@@ -62,7 +71,14 @@ fn main() {
         "{}",
         render_table(
             "E2  P2P discovery scaling (WAN links, 20 staggered queries)",
-            &["peers", "groups", "success", "mean ms", "p99 ms", "msgs/peer"],
+            &[
+                "peers",
+                "groups",
+                "success",
+                "mean ms",
+                "p99 ms",
+                "msgs/peer"
+            ],
             &rows,
         )
     );
@@ -87,13 +103,21 @@ fn main() {
         "{}",
         render_table(
             "E3  locate success under infrastructure churn",
-            &["node availability", "central registry", "P2P rendezvous mesh"],
+            &[
+                "node availability",
+                "central registry",
+                "P2P rendezvous mesh"
+            ],
             &rows,
         )
     );
 
     // E4 — async vs sync invocation.
-    let e4_rows = if quick { vec![e4::run(4, 50)] } else { e4::sweep() };
+    let e4_rows = if quick {
+        vec![e4::run(4, 50)]
+    } else {
+        e4::sweep()
+    };
     let rows: Vec<Vec<String>> = e4_rows
         .iter()
         .map(|r| {
@@ -103,14 +127,24 @@ fn main() {
                 format!("{:.0}", r.sync_total_ms),
                 format!("{:.0}", r.async_total_ms),
                 format!("{:.1}x", r.speedup),
+                r.dispatcher_workers.to_string(),
+                format!("{}/{}", r.dispatcher_completed, r.dispatcher_submitted),
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            "E4  sync vs async invocation of slow services (real HTTP, wall clock)",
-            &["services", "delay ms", "sync total ms", "async total ms", "speedup"],
+            "E4  sync vs async invocation of slow services (shared dispatch core, wall clock)",
+            &[
+                "services",
+                "delay ms",
+                "sync total ms",
+                "async total ms",
+                "speedup",
+                "workers",
+                "jobs done/subm",
+            ],
             &rows,
         )
     );
@@ -151,7 +185,12 @@ fn main() {
         "{}",
         render_table(
             "E6  envelope wire sizes (struct-array payloads)",
-            &["items", "with WS-A bytes", "plain bytes", "WS-A overhead bytes"],
+            &[
+                "items",
+                "with WS-A bytes",
+                "plain bytes",
+                "WS-A overhead bytes"
+            ],
             &rows,
         )
     );
@@ -237,7 +276,9 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
-                r.refresh_secs.map(|s| format!("{s}s")).unwrap_or_else(|| "never".into()),
+                r.refresh_secs
+                    .map(|s| format!("{s}s"))
+                    .unwrap_or_else(|| "never".into()),
                 format!("{:.0}%", r.success_rate * 100.0),
             ]
         })

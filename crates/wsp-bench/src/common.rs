@@ -60,7 +60,10 @@ mod tests {
         let t = render_table(
             "demo",
             &["a", "long-header"],
-            &[vec!["1".into(), "2".into()], vec!["100".into(), "20000".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "20000".into()],
+            ],
         );
         assert!(t.contains("== demo =="));
         assert!(t.contains("long-header"));

@@ -11,8 +11,8 @@ use crate::common::{mean, percentile_f64};
 use std::cell::RefCell;
 use std::rc::Rc;
 use wsp_http::{HttpSimServer, Request, Router, SimHttpClient};
-use wsp_uddi::registry_handler;
 use wsp_simnet::{Context, Dur, LinkSpec, Node, NodeEvent, NodeId, SimNet, Time};
+use wsp_uddi::registry_handler;
 
 /// One row of the E1 table.
 #[derive(Debug, Clone)]
@@ -55,7 +55,9 @@ impl Node<String> for ClosedLoopClient {
                 if let Some((corr, response)) = self.http.accept(&msg) {
                     if let Some((expected, at)) = self.sent_at {
                         if corr == expected && response.is_success() {
-                            self.latencies.borrow_mut().push((ctx.now() - at).as_micros() as f64 / 1000.0);
+                            self.latencies
+                                .borrow_mut()
+                                .push((ctx.now() - at).as_micros() as f64 / 1000.0);
                         }
                     }
                     if ctx.now() < self.horizon {
@@ -81,15 +83,18 @@ pub fn run(clients: usize, horizon_secs: u64, service_ms: u64, workers: u32, see
     );
     let router = Router::new();
     router.deploy("uddi", registry_handler(registry));
-    let server = net.add_node(Box::new(HttpSimServer::new(router, Dur::millis(service_ms), workers)));
+    let server = net.add_node(Box::new(HttpSimServer::new(
+        router,
+        Dur::millis(service_ms),
+        workers,
+    )));
 
     let horizon = Time::secs(horizon_secs);
     let latencies = Rc::new(RefCell::new(Vec::new()));
-    let query_body = wsp_soap::Envelope::request(
-        wsp_uddi::ServiceQuery::by_name("Echo%").to_element(),
-    )
-    .to_xml()
-    .into_bytes();
+    let query_body =
+        wsp_soap::Envelope::request(wsp_uddi::ServiceQuery::by_name("Echo%").to_element())
+            .to_xml()
+            .into_bytes();
     for _ in 0..clients {
         net.add_node(Box::new(ClosedLoopClient {
             registry: server,
@@ -133,15 +138,24 @@ mod tests {
         // is the bare 5ms + RTT; 64 clients pin throughput at capacity
         // while queueing inflates latency ~clients-fold.
         assert!(light.throughput_rps < 185.0, "{light:?}");
-        assert!(heavy.throughput_rps > 185.0 && heavy.throughput_rps < 215.0, "{heavy:?}");
-        assert!(heavy.mean_ms > light.mean_ms * 10.0, "{light:?} vs {heavy:?}");
+        assert!(
+            heavy.throughput_rps > 185.0 && heavy.throughput_rps < 215.0,
+            "{heavy:?}"
+        );
+        assert!(
+            heavy.mean_ms > light.mean_ms * 10.0,
+            "{light:?} vs {heavy:?}"
+        );
     }
 
     #[test]
     fn more_workers_raise_capacity() {
         let one = run(64, 5, 5, 1, 7);
         let four = run(64, 5, 5, 4, 7);
-        assert!(four.throughput_rps > one.throughput_rps * 2.0, "{one:?} vs {four:?}");
+        assert!(
+            four.throughput_rps > one.throughput_rps * 2.0,
+            "{one:?} vs {four:?}"
+        );
     }
 
     #[test]

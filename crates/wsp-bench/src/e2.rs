@@ -54,7 +54,11 @@ pub fn run(groups: usize, group_size: usize, queries: usize, seed: u64) -> E2Row
         handles[slot].enqueue_at(
             &mut net,
             at,
-            PeerCommand::Query { token: q as u64, query: P2psQuery::by_name("Echo"), ttl: None },
+            PeerCommand::Query {
+                token: q as u64,
+                query: P2psQuery::by_name("Echo"),
+                ttl: None,
+            },
         );
         seekers.push((slot, q as u64, at));
     }
@@ -120,6 +124,9 @@ mod tests {
     fn latency_grows_sublinearly() {
         let small = run(5, 10, 10, 3);
         let large = run(40, 10, 10, 3);
-        assert!(large.mean_latency_ms < small.mean_latency_ms * 4.0, "{small:?} vs {large:?}");
+        assert!(
+            large.mean_latency_ms < small.mean_latency_ms * 4.0,
+            "{small:?} vs {large:?}"
+        );
     }
 }

@@ -14,7 +14,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 use wsp_http::{HttpSimServer, Request, Response, Router, SimHttpClient};
 use wsp_p2ps::{build_overlay, P2psQuery, PeerCommand, PeerEvent, ServiceAdvertisement};
-use wsp_simnet::{ChurnModel, Context, Dur, LinkSpec, Node, NodeEvent, NodeId, SimNet, Time, Topology};
+use wsp_simnet::{
+    ChurnModel, Context, Dur, LinkSpec, Node, NodeEvent, NodeId, SimNet, Time, Topology,
+};
 
 /// One row: availability → success rates in both worlds.
 #[derive(Debug, Clone)]
@@ -75,11 +77,19 @@ pub fn central_success(availability: f64, queries: usize, seed: u64) -> f64 {
     let mut net: SimNet<String> = SimNet::new(seed);
     net.set_default_link(LinkSpec::lan());
     let router = Router::new();
-    router.deploy("uddi", Arc::new(|_r: &Request| Response::ok("text/xml", "<serviceList/>")));
+    router.deploy(
+        "uddi",
+        Arc::new(|_r: &Request| Response::ok("text/xml", "<serviceList/>")),
+    );
     let registry = net.add_node(Box::new(HttpSimServer::new(router, Dur::millis(5), 2)));
 
     if availability < 1.0 {
-        churn_for(availability, Dur::secs(30)).apply(&mut net, &[registry], Time::secs(300), seed ^ 1);
+        churn_for(availability, Dur::secs(30)).apply(
+            &mut net,
+            &[registry],
+            Time::secs(300),
+            seed ^ 1,
+        );
     }
     let outcome = Rc::new(RefCell::new(Vec::new()));
     let mut rng = StdRng::seed_from_u64(seed ^ 2);
@@ -116,7 +126,12 @@ pub fn p2p_success(availability: f64, queries: usize, seed: u64) -> f64 {
     publisher.enqueue_at(&mut net, Time::ZERO, PeerCommand::Publish(advert));
 
     if availability < 1.0 {
-        churn_for(availability, Dur::secs(30)).apply(&mut net, &rendezvous, Time::secs(300), seed ^ 4);
+        churn_for(availability, Dur::secs(30)).apply(
+            &mut net,
+            &rendezvous,
+            Time::secs(300),
+            seed ^ 4,
+        );
     }
 
     let mut asked = Vec::new();
@@ -140,7 +155,11 @@ pub fn p2p_success(availability: f64, queries: usize, seed: u64) -> f64 {
         handles[*slot].enqueue_at(
             &mut net,
             *at,
-            PeerCommand::Query { token: *token, query: P2psQuery::by_name("Echo"), ttl: None },
+            PeerCommand::Query {
+                token: *token,
+                query: P2psQuery::by_name("Echo"),
+                ttl: None,
+            },
         );
     }
     net.run_until(Time::secs(310));
@@ -188,10 +207,21 @@ mod tests {
 
     #[test]
     fn p2p_degrades_more_gracefully_than_central() {
-        let row = run(0.7, 30, 5);
+        // Any single seed is a churn-schedule lottery (a lucky registry
+        // uptime path can score 100%), so compare means over a few seeds.
+        let seeds = [2u64, 3, 4, 5];
+        let mut central = 0.0;
+        let mut p2p = 0.0;
+        for &seed in &seeds {
+            let row = run(0.7, 30, seed);
+            central += row.central_success;
+            p2p += row.p2p_success;
+        }
+        central /= seeds.len() as f64;
+        p2p /= seeds.len() as f64;
         assert!(
-            row.p2p_success > row.central_success + 0.1,
-            "expected P2P to beat central at 70% availability: {row:?}"
+            p2p > central + 0.1,
+            "expected P2P to beat central at 70% availability: central {central:.3} p2p {p2p:.3}"
         );
     }
 

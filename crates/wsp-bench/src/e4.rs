@@ -9,11 +9,17 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wsp_core::bindings::HttpUddiBinding;
-use wsp_core::{ClientMessageEvent, EventBus, Peer, PeerMessageListener, ServiceQuery};
+use wsp_core::{
+    ClientMessageEvent, Dispatcher, DispatcherConfig, EventBus, Peer, PeerMessageListener,
+    ServiceQuery,
+};
 use wsp_uddi::Registry;
 use wsp_wsdl::{OperationDef, ServiceDescriptor, Value, XsdType};
 
-/// Results of one comparison.
+/// Results of one comparison, including the consumer dispatcher's own
+/// counters — the async numbers are produced by the real shared
+/// dispatch core (worker pool + correlation table), not by ad-hoc
+/// threads.
 #[derive(Debug, Clone)]
 pub struct E4Row {
     pub services: usize,
@@ -21,6 +27,14 @@ pub struct E4Row {
     pub sync_total_ms: f64,
     pub async_total_ms: f64,
     pub speedup: f64,
+    /// Pool size of the consumer's dispatcher during the run.
+    pub dispatcher_workers: usize,
+    /// Jobs the consumer's dispatcher accepted (locate + sync + async).
+    pub dispatcher_submitted: u64,
+    /// Jobs completed; equal to submitted after the final flush.
+    pub dispatcher_completed: u64,
+    /// Jobs that panicked — must be zero.
+    pub dispatcher_failed: u64,
 }
 
 struct Completions {
@@ -35,8 +49,11 @@ impl PeerMessageListener for Completions {
 }
 
 fn slow_descriptor(name: &str) -> ServiceDescriptor {
-    ServiceDescriptor::new(name, format!("urn:bench:{name}"))
-        .operation(OperationDef::new("work").input("x", XsdType::Int).returns(XsdType::Int))
+    ServiceDescriptor::new(name, format!("urn:bench:{name}")).operation(
+        OperationDef::new("work")
+            .input("x", XsdType::Int)
+            .returns(XsdType::Int),
+    )
 }
 
 /// Run one comparison: `services` providers each taking
@@ -65,40 +82,71 @@ pub fn run(services: usize, service_delay_ms: u64) -> E4Row {
     }
 
     let events = EventBus::new();
-    let listener = Arc::new(Completions { done: parking_lot::Mutex::new(0) });
+    let listener = Arc::new(Completions {
+        done: parking_lot::Mutex::new(0),
+    });
     events.add_listener(listener.clone());
     let binding = HttpUddiBinding::with_local_registry(registry, events.clone());
-    let consumer = Peer::with_event_bus(events);
+    // Size the pool to the fan-out so the async run can overlap every
+    // call; the sync run uses the very same dispatcher one job at a
+    // time (there is only one pipeline).
+    let dispatcher = Dispatcher::new(DispatcherConfig {
+        workers: services.max(4),
+        queue_capacity: 256,
+    });
+    let consumer = Peer::with_parts(events, dispatcher);
     consumer.attach(&binding);
 
-    let targets = consumer.client().locate(&ServiceQuery::by_name("Slow%")).expect("locate");
+    let targets = consumer
+        .client()
+        .locate(&ServiceQuery::by_name("Slow%"))
+        .expect("locate");
     assert_eq!(targets.len(), services);
 
     // Synchronous: one after another.
     let start = Instant::now();
     for service in &targets {
-        consumer.client().invoke(service, "work", &[Value::Int(1)]).expect("sync invoke");
+        consumer
+            .client()
+            .invoke(service, "work", &[Value::Int(1)])
+            .expect("sync invoke");
     }
     let sync_total_ms = start.elapsed().as_secs_f64() * 1000.0;
 
-    // Asynchronous: all in flight at once, completion via events.
+    // Asynchronous: all in flight at once on the worker pool;
+    // completion via events, flush() as the barrier.
     *listener.done.lock() = 0;
     let start = Instant::now();
-    for service in &targets {
-        consumer.client().invoke_async(service.clone(), "work", vec![Value::Int(1)]);
-    }
-    while *listener.done.lock() < services {
-        std::thread::sleep(Duration::from_millis(2));
-        assert!(start.elapsed() < Duration::from_secs(30), "async run wedged");
-    }
+    let handles: Vec<_> = targets
+        .iter()
+        .map(|service| {
+            consumer
+                .client()
+                .invoke_async(service.clone(), "work", vec![Value::Int(1)])
+        })
+        .collect();
+    consumer.dispatcher().flush();
     let async_total_ms = start.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(
+        *listener.done.lock(),
+        services,
+        "every completion reported via events"
+    );
+    for handle in handles {
+        handle.wait().expect("async invoke");
+    }
 
+    let stats = consumer.dispatcher().stats();
     E4Row {
         services,
         service_delay_ms,
         sync_total_ms,
         async_total_ms,
         speedup: sync_total_ms / async_total_ms,
+        dispatcher_workers: stats.workers,
+        dispatcher_submitted: stats.submitted,
+        dispatcher_completed: stats.completed,
+        dispatcher_failed: stats.failed,
     }
 }
 
@@ -121,5 +169,14 @@ mod tests {
         // conservative 2x to stay robust on loaded CI machines.
         assert!(row.speedup > 2.0, "{row:?}");
         assert!(row.sync_total_ms >= 4.0 * 40.0, "{row:?}");
+        // Every call went through the one dispatcher: 1 locate + 4 sync
+        // + 4 async jobs at minimum, all completed, none panicked.
+        assert!(row.dispatcher_submitted >= 9, "{row:?}");
+        assert_eq!(
+            row.dispatcher_submitted, row.dispatcher_completed,
+            "{row:?}"
+        );
+        assert_eq!(row.dispatcher_failed, 0, "{row:?}");
+        assert_eq!(row.dispatcher_workers, 4, "{row:?}");
     }
 }

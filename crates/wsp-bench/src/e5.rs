@@ -44,11 +44,9 @@ pub fn lightweight_once() -> f64 {
         .expect("deploy");
     // First real request over loopback TCP.
     let endpoint = deployed.primary_endpoint().unwrap().to_owned();
-    let response = wsp_http::http_call_uri(
-        &format!("{endpoint}?wsdl"),
-        wsp_http::Request::get("/"),
-    )
-    .expect("first request");
+    let response =
+        wsp_http::http_call_uri(&format!("{endpoint}?wsdl"), wsp_http::Request::get("/"))
+            .expect("first request");
     assert!(response.is_success());
     started.elapsed().as_secs_f64() * 1000.0
 }
@@ -96,7 +94,9 @@ mod tests {
     #[test]
     fn lightweight_path_is_orders_of_magnitude_faster() {
         let lightweight = lightweight_ms(3);
-        let container_cold = ContainerModel::default().time_to_available(0, false).as_millis_f64();
+        let container_cold = ContainerModel::default()
+            .time_to_available(0, false)
+            .as_millis_f64();
         assert!(
             container_cold > lightweight * 10.0,
             "lightweight {lightweight}ms vs container {container_cold}ms"

@@ -33,8 +33,11 @@ pub fn payload(scale: usize) -> Element {
 pub fn addressed_envelope(scale: usize) -> Envelope {
     let mut env = Envelope::request(payload(scale));
     env.set_addressing(
-        MessageHeaders::request("p2ps://00000000000000aa/Feed", "p2ps://00000000000000aa/Feed#next")
-            .with_reply_to(EndpointReference::new("p2ps://00000000000000bb")),
+        MessageHeaders::request(
+            "p2ps://00000000000000aa/Feed",
+            "p2ps://00000000000000aa/Feed#next",
+        )
+        .with_reply_to(EndpointReference::new("p2ps://00000000000000bb")),
     );
     env
 }
@@ -103,7 +106,10 @@ mod tests {
         let min = overheads.iter().min().unwrap();
         let max = overheads.iter().max().unwrap();
         assert!(max - min < 32, "{overheads:?}");
-        assert!(*min > 200, "addressing headers are nontrivial: {overheads:?}");
+        assert!(
+            *min > 200,
+            "addressing headers are nontrivial: {overheads:?}"
+        );
     }
 
     #[test]

@@ -10,10 +10,10 @@ use crate::common::{mean, percentile_f64};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wsp_core::bindings::{HttpUddiBinding, HttpUddiConfig, P2psBinding, P2psConfig};
-use wsp_uddi::UddiClient;
 use wsp_core::{EventBus, LocatedService, Peer, ServiceQuery};
 use wsp_p2ps::{PeerConfig, PeerId, ThreadNetwork};
 use wsp_uddi::Registry;
+use wsp_uddi::UddiClient;
 use wsp_wsdl::{OperationDef, ServiceDescriptor, Value, XsdType};
 
 /// One transport's latency profile.
@@ -29,7 +29,9 @@ pub struct E7Row {
 
 fn echo_descriptor() -> ServiceDescriptor {
     ServiceDescriptor::new("EchoBench", "urn:bench:echo").operation(
-        OperationDef::new("echo").input("data", XsdType::String).returns(XsdType::String),
+        OperationDef::new("echo")
+            .input("data", XsdType::String)
+            .returns(XsdType::String),
     )
 }
 
@@ -47,7 +49,10 @@ fn measure(
     let payload = Value::string("x".repeat(payload_bytes));
     // Warm-up.
     for _ in 0..3 {
-        consumer.client().invoke(service, "echo", std::slice::from_ref(&payload)).expect("warmup");
+        consumer
+            .client()
+            .invoke(service, "echo", std::slice::from_ref(&payload))
+            .expect("warmup");
     }
     let mut samples = Vec::with_capacity(calls);
     for _ in 0..calls {
@@ -76,10 +81,18 @@ pub fn http_rtt(payload_bytes: usize, calls: usize) -> E7Row {
         registry.clone(),
         EventBus::new(),
     ));
-    provider.server().deploy_and_publish(echo_descriptor(), echo_handler()).expect("deploy");
-    let consumer =
-        Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("EchoBench")).expect("locate");
+    provider
+        .server()
+        .deploy_and_publish(echo_descriptor(), echo_handler())
+        .expect("deploy");
+    let consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+        registry,
+        EventBus::new(),
+    ));
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("EchoBench"))
+        .expect("locate");
     measure(&consumer, &service, payload_bytes, calls, "http")
 }
 
@@ -90,13 +103,22 @@ pub fn http_pooled_rtt(payload_bytes: usize, calls: usize) -> E7Row {
         registry.clone(),
         EventBus::new(),
     ));
-    provider.server().deploy_and_publish(echo_descriptor(), echo_handler()).expect("deploy");
+    provider
+        .server()
+        .deploy_and_publish(echo_descriptor(), echo_handler())
+        .expect("deploy");
     let consumer = Peer::with_binding(&HttpUddiBinding::new(
         UddiClient::direct(registry),
         EventBus::new(),
-        HttpUddiConfig { keep_alive: true, ..HttpUddiConfig::default() },
+        HttpUddiConfig {
+            keep_alive: true,
+            ..HttpUddiConfig::default()
+        },
     ));
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("EchoBench")).expect("locate");
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("EchoBench"))
+        .expect("locate");
     measure(&consumer, &service, payload_bytes, calls, "http+keepalive")
 }
 
@@ -115,15 +137,23 @@ pub fn p2ps_rtt(payload_bytes: usize, calls: usize) -> E7Row {
         EventBus::new(),
         P2psConfig::default(),
     ));
-    provider.server().deploy_and_publish(echo_descriptor(), echo_handler()).expect("deploy");
+    provider
+        .server()
+        .deploy_and_publish(echo_descriptor(), echo_handler())
+        .expect("deploy");
     std::thread::sleep(Duration::from_millis(150));
     let consumer = Peer::with_binding(&P2psBinding::new(
         consumer_peer,
         EventBus::new(),
-        P2psConfig { discovery_window: Duration::from_millis(400), ..P2psConfig::default() },
+        P2psConfig {
+            discovery_window: Duration::from_millis(400),
+            ..P2psConfig::default()
+        },
     ));
-    let service =
-        consumer.client().locate_one(&ServiceQuery::by_name("EchoBench")).expect("locate");
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("EchoBench"))
+        .expect("locate");
     let row = measure(&consumer, &service, payload_bytes, calls, "p2ps");
     drop(rv);
     row

@@ -24,7 +24,9 @@ pub struct E8Row {
 
 fn descriptor() -> ServiceDescriptor {
     ServiceDescriptor::new("MixBench", "urn:bench:mix").operation(
-        OperationDef::new("echo").input("data", XsdType::String).returns(XsdType::String),
+        OperationDef::new("echo")
+            .input("data", XsdType::String)
+            .returns(XsdType::String),
     )
 }
 
@@ -41,12 +43,14 @@ pub fn run() -> Vec<E8Row> {
     }
 
     // P2PS provider.
-    let p2ps_binding =
-        P2psBinding::new(provider_peer, EventBus::new(), P2psConfig::default());
+    let p2ps_binding = P2psBinding::new(provider_peer, EventBus::new(), P2psConfig::default());
     let p2ps_provider = Peer::with_binding(&p2ps_binding);
     let deployed = p2ps_provider
         .server()
-        .deploy_and_publish(descriptor(), Arc::new(|_: &str, args: &[Value]| Ok(args[0].clone())))
+        .deploy_and_publish(
+            descriptor(),
+            Arc::new(|_: &str, args: &[Value]| Ok(args[0].clone())),
+        )
         .expect("deploy p2ps");
     // Same service additionally registered in UDDI with its p2ps://
     // access point (the paper's "P2PS Server could use the UDDI
@@ -68,7 +72,9 @@ pub fn run() -> Vec<E8Row> {
         .server()
         .deploy_and_publish(
             ServiceDescriptor::new("MixBenchHttp", "urn:bench:mix").operation(
-                OperationDef::new("echo").input("data", XsdType::String).returns(XsdType::String),
+                OperationDef::new("echo")
+                    .input("data", XsdType::String)
+                    .returns(XsdType::String),
             ),
             Arc::new(|_: &str, args: &[Value]| Ok(args[0].clone())),
         )
@@ -79,7 +85,10 @@ pub fn run() -> Vec<E8Row> {
     let consumer_binding = P2psBinding::new(
         consumer_peer,
         EventBus::new(),
-        P2psConfig { discovery_window: Duration::from_millis(400), ..P2psConfig::default() },
+        P2psConfig {
+            discovery_window: Duration::from_millis(400),
+            ..P2psConfig::default()
+        },
     );
     let consumer = Peer::with_binding(&consumer_binding);
     let http_binding = HttpUddiBinding::with_local_registry(registry.clone(), EventBus::new());
@@ -92,10 +101,15 @@ pub fn run() -> Vec<E8Row> {
     // Mode 1: pure P2PS — locate by flooding, invoke over pipes.
     {
         let start = Instant::now();
-        let service = consumer.client().locate_one(&ServiceQuery::by_name("MixBench")).expect("p2ps locate");
+        let service = consumer
+            .client()
+            .locate_one(&ServiceQuery::by_name("MixBench"))
+            .expect("p2ps locate");
         let locate_ms = start.elapsed().as_secs_f64() * 1000.0;
         let start = Instant::now();
-        let out = consumer.client().invoke(&service, "echo", std::slice::from_ref(&payload));
+        let out = consumer
+            .client()
+            .invoke(&service, "echo", std::slice::from_ref(&payload));
         rows.push(E8Row {
             mode: "pure p2ps (flood locate, pipe invoke)",
             locate_ms,
@@ -108,12 +122,16 @@ pub fn run() -> Vec<E8Row> {
     // endpoint; invoke over pipes.
     {
         let start = Instant::now();
-        let records = uddi.locate(&ServiceQuery::by_name("MixBench").to_uddi()).expect("uddi locate");
+        let records = uddi
+            .locate(&ServiceQuery::by_name("MixBench").to_uddi())
+            .expect("uddi locate");
         let endpoint = records[0].bindings[0].access_point.clone();
         let service = LocatedService::new(deployed.wsdl.clone(), endpoint, BindingKind::P2ps);
         let locate_ms = start.elapsed().as_secs_f64() * 1000.0;
         let start = Instant::now();
-        let out = consumer.client().invoke(&service, "echo", std::slice::from_ref(&payload));
+        let out = consumer
+            .client()
+            .invoke(&service, "echo", std::slice::from_ref(&payload));
         rows.push(E8Row {
             mode: "mixed (UDDI locate, pipe invoke)",
             locate_ms,
@@ -124,8 +142,10 @@ pub fn run() -> Vec<E8Row> {
 
     // Mode 3: pure HTTP — UDDI locate + HTTP invoke.
     {
-        let http_consumer =
-            Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
+        let http_consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+            registry,
+            EventBus::new(),
+        ));
         let start = Instant::now();
         let service = http_consumer
             .client()
@@ -133,7 +153,9 @@ pub fn run() -> Vec<E8Row> {
             .expect("http locate");
         let locate_ms = start.elapsed().as_secs_f64() * 1000.0;
         let start = Instant::now();
-        let out = http_consumer.client().invoke(&service, "echo", std::slice::from_ref(&payload));
+        let out = http_consumer
+            .client()
+            .invoke(&service, "echo", std::slice::from_ref(&payload));
         rows.push(E8Row {
             mode: "pure http (UDDI locate, HTTP invoke)",
             locate_ms,
@@ -162,7 +184,10 @@ mod tests {
     #[test]
     fn mixed_locate_beats_flood_locate() {
         let rows = run();
-        let pure_p2ps = rows.iter().find(|r| r.mode.starts_with("pure p2ps")).unwrap();
+        let pure_p2ps = rows
+            .iter()
+            .find(|r| r.mode.starts_with("pure p2ps"))
+            .unwrap();
         let mixed = rows.iter().find(|r| r.mode.starts_with("mixed")).unwrap();
         // Flood locate waits out the discovery window; a registry
         // lookup doesn't.

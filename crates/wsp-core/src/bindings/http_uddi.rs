@@ -4,6 +4,7 @@
 //! once the application has deployed a service".
 
 use crate::components::{Binding, Invoker, ServiceDeployer, ServiceLocator, ServicePublisher};
+use crate::dispatch::Dispatcher;
 use crate::endpoint::{BindingKind, DeployedService, LocatedService};
 use crate::error::WspError;
 use crate::events::{EventBus, ServerMessageEvent, ServerPhase};
@@ -12,8 +13,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use wsp_http::{
-    guard_router, http_call, ConnectionPool, HttpUri, HttpgCredential, Request, Response,
-    TcpServer,
+    guard_router, http_call, ConnectionPool, HttpUri, HttpgCredential, Request, Response, TcpServer,
 };
 use wsp_soap::Envelope;
 use wsp_uddi::{BindingTemplate, BusinessService, TModel, UddiClient};
@@ -39,7 +39,12 @@ pub struct HttpUddiConfig {
 
 impl Default for HttpUddiConfig {
     fn default() -> Self {
-        HttpUddiConfig { port: 0, business: "wspeer".into(), httpg: None, keep_alive: false }
+        HttpUddiConfig {
+            port: 0,
+            business: "wspeer".into(),
+            httpg: None,
+            keep_alive: false,
+        }
     }
 }
 
@@ -51,6 +56,9 @@ struct Shared {
     published: RwLock<HashMap<String, String>>,
     pool: ConnectionPool,
     events: EventBus,
+    /// The peer's shared dispatch core, installed by `on_attach`; used
+    /// to fan WSDL retrieval out during discovery.
+    dispatcher: RwLock<Option<Arc<Dispatcher>>>,
 }
 
 impl Shared {
@@ -95,7 +103,9 @@ impl Shared {
                 .config
                 .httpg
                 .as_ref()
-                .ok_or_else(|| WspError::NoBindingFor { scheme: "httpg".into() })?;
+                .ok_or_else(|| WspError::NoBindingFor {
+                    scheme: "httpg".into(),
+                })?;
             credential.apply(&mut request);
         }
         if self.config.keep_alive {
@@ -125,6 +135,7 @@ impl HttpUddiBinding {
                 published: RwLock::new(HashMap::new()),
                 pool: ConnectionPool::new(),
                 events,
+                dispatcher: RwLock::new(None),
             }),
         }
     }
@@ -136,7 +147,11 @@ impl HttpUddiBinding {
 
     /// Against an in-process registry (tests, single-process demos).
     pub fn with_local_registry(registry: wsp_uddi::Registry, events: EventBus) -> Self {
-        HttpUddiBinding::new(UddiClient::direct(registry), events, HttpUddiConfig::default())
+        HttpUddiBinding::new(
+            UddiClient::direct(registry),
+            events,
+            HttpUddiConfig::default(),
+        )
     }
 
     /// The host's port, if it has been launched.
@@ -156,19 +171,31 @@ impl Binding for HttpUddiBinding {
     }
 
     fn locator(&self) -> Arc<dyn ServiceLocator> {
-        Arc::new(UddiLocator { shared: self.shared.clone() })
+        Arc::new(UddiLocator {
+            shared: self.shared.clone(),
+        })
     }
 
     fn invoker(&self) -> Arc<dyn Invoker> {
-        Arc::new(HttpInvoker { shared: self.shared.clone() })
+        Arc::new(HttpInvoker {
+            shared: self.shared.clone(),
+        })
     }
 
     fn deployer(&self) -> Arc<dyn ServiceDeployer> {
-        Arc::new(HttpDeployer { shared: self.shared.clone() })
+        Arc::new(HttpDeployer {
+            shared: self.shared.clone(),
+        })
     }
 
     fn publisher(&self) -> Arc<dyn ServicePublisher> {
-        Arc::new(UddiPublisher { shared: self.shared.clone() })
+        Arc::new(UddiPublisher {
+            shared: self.shared.clone(),
+        })
+    }
+
+    fn on_attach(&self, dispatcher: &Arc<Dispatcher>) {
+        *self.shared.dispatcher.write() = Some(dispatcher.clone());
     }
 }
 
@@ -212,7 +239,8 @@ impl ServiceDeployer for HttpDeployer {
                         Err(e) => {
                             let fault = Envelope::fault(e.to_fault());
                             let mut r = Response::new(500, "Internal Server Error");
-                            r.headers.set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
+                            r.headers
+                                .set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
                             r.body = fault.to_xml().into_bytes();
                             return r;
                         }
@@ -231,9 +259,21 @@ impl ServiceDeployer for HttpDeployer {
                                 phase: ServerPhase::Outbound,
                                 envelope: response.clone(),
                             });
-                            let status = if response.fault_body().is_some() { 500 } else { 200 };
-                            let mut r = Response::new(status, if status == 200 { "OK" } else { "Internal Server Error" });
-                            r.headers.set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
+                            let status = if response.fault_body().is_some() {
+                                500
+                            } else {
+                                200
+                            };
+                            let mut r = Response::new(
+                                status,
+                                if status == 200 {
+                                    "OK"
+                                } else {
+                                    "Internal Server Error"
+                                },
+                            );
+                            r.headers
+                                .set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
                             r.body = response.to_xml().into_bytes();
                             r
                         }
@@ -250,7 +290,11 @@ impl ServiceDeployer for HttpDeployer {
             .expect("host launched above")
             .router()
             .deploy(&descriptor.name, http_handler);
-        Ok(DeployedService { descriptor, endpoints: vec![endpoint], wsdl })
+        Ok(DeployedService {
+            descriptor,
+            endpoints: vec![endpoint],
+            wsdl,
+        })
     }
 
     fn undeploy(&self, service: &str) -> bool {
@@ -286,22 +330,31 @@ impl ServicePublisher for UddiPublisher {
                     .with_overview(format!("{endpoint}?wsdl")),
             )
             .map_err(|e| WspError::Publish(e.to_string()))?;
-        let mut record = BusinessService::new("", self.shared.config.business.clone(), service.name())
-            .with_binding(BindingTemplate::new("", endpoint).with_tmodel(tmodel.key));
+        let mut record =
+            BusinessService::new("", self.shared.config.business.clone(), service.name())
+                .with_binding(BindingTemplate::new("", endpoint).with_tmodel(tmodel.key));
         if let Some(doc) = &service.descriptor.documentation {
             record = record.with_description(doc.clone());
         }
         for category in properties_to_uddi_categories(&service.descriptor.properties) {
             record = record.with_category(category);
         }
-        let saved =
-            self.shared.uddi.save_service(&record).map_err(|e| WspError::Publish(e.to_string()))?;
-        self.shared.published.write().insert(service.name().to_owned(), saved.key.clone());
+        let saved = self
+            .shared
+            .uddi
+            .save_service(&record)
+            .map_err(|e| WspError::Publish(e.to_string()))?;
+        self.shared
+            .published
+            .write()
+            .insert(service.name().to_owned(), saved.key.clone());
         Ok(saved.key)
     }
 
     fn unpublish(&self, service: &str) -> bool {
-        let Some(key) = self.shared.published.write().remove(service) else { return false };
+        let Some(key) = self.shared.published.write().remove(service) else {
+            return false;
+        };
         self.shared.uddi.delete_service(&key).unwrap_or(false)
     }
 
@@ -316,6 +369,27 @@ struct UddiLocator {
     shared: Arc<Shared>,
 }
 
+/// Fetch the WSDL behind one UDDI access point. Providers that have
+/// gone away (or answer garbage) are skipped, not fatal.
+fn fetch_wsdl(shared: &Shared, access_point: &str) -> Option<LocatedService> {
+    let request = Request::get(format!(
+        "{}?wsdl",
+        HttpUri::parse(access_point)
+            .map(|u| u.target)
+            .unwrap_or_else(|_| "/".into())
+    ));
+    let response = shared.call(access_point, request).ok()?;
+    if !response.is_success() {
+        return None;
+    }
+    let wsdl = WsdlDocument::from_xml(&response.body_str()).ok()?;
+    Some(LocatedService::new(
+        wsdl,
+        access_point.to_owned(),
+        BindingKind::HttpUddi,
+    ))
+}
+
 impl ServiceLocator for UddiLocator {
     fn locate(&self, query: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
         let records = self
@@ -323,32 +397,33 @@ impl ServiceLocator for UddiLocator {
             .uddi
             .locate(&query.to_uddi())
             .map_err(|e| WspError::Locate(e.to_string()))?;
-        let mut found = Vec::new();
-        for record in records {
-            for binding in &record.bindings {
-                // Fetch the WSDL from the provider; providers that have
-                // gone away are skipped, not fatal.
-                let request = Request::get(format!(
-                    "{}?wsdl",
-                    HttpUri::parse(&binding.access_point)
-                        .map(|u| u.target)
-                        .unwrap_or_else(|_| "/".into())
-                ));
-                let Ok(response) = self.shared.call(&binding.access_point, request) else {
-                    continue;
-                };
-                if !response.is_success() {
-                    continue;
-                }
-                let Ok(wsdl) = WsdlDocument::from_xml(&response.body_str()) else { continue };
-                found.push(LocatedService::new(
-                    wsdl,
-                    binding.access_point.clone(),
-                    BindingKind::HttpUddi,
-                ));
+        let targets: Vec<String> = records
+            .iter()
+            .flat_map(|record| record.bindings.iter().map(|b| b.access_point.clone()))
+            .collect();
+        // With a peer dispatcher attached, fetch the per-provider WSDLs
+        // in parallel on the pool; collection preserves registry order.
+        let dispatcher = self.shared.dispatcher.read().clone();
+        if let Some(dispatcher) = dispatcher.filter(|_| targets.len() > 1) {
+            let handles: Vec<_> = targets
+                .into_iter()
+                .map(|access_point| {
+                    let shared = self.shared.clone();
+                    dispatcher.submit(move || fetch_wsdl(&shared, &access_point))
+                })
+                .collect();
+            let mut found = Vec::new();
+            // A submit rejected by a shut-down dispatcher just skips
+            // that provider.
+            for handle in handles.into_iter().flatten() {
+                found.extend(handle.wait());
             }
+            return Ok(found);
         }
-        Ok(found)
+        Ok(targets
+            .iter()
+            .filter_map(|access_point| fetch_wsdl(&self.shared, access_point))
+            .collect())
     }
 
     fn kind(&self) -> &'static str {
@@ -374,8 +449,11 @@ impl Invoker for HttpInvoker {
         let target = HttpUri::parse(&service.endpoint)
             .map(|u| u.target)
             .unwrap_or_else(|_| "/".into());
-        let request =
-            Request::post(target, wsp_soap::constants::CONTENT_TYPE, envelope.to_xml().into_bytes());
+        let request = Request::post(
+            target,
+            wsp_soap::constants::CONTENT_TYPE,
+            envelope.to_xml().into_bytes(),
+        );
         let response = self.shared.call(&service.endpoint, request)?;
         let expects_response = service
             .wsdl
@@ -390,7 +468,10 @@ impl Invoker for HttpInvoker {
             return Ok(Value::Null);
         }
         if !response.is_success() && response.status != 500 {
-            return Err(WspError::Invoke(format!("endpoint answered HTTP {}", response.status)));
+            return Err(WspError::Invoke(format!(
+                "endpoint answered HTTP {}",
+                response.status
+            )));
         }
         let envelope = Envelope::from_xml(&response.body_str())
             .map_err(|e| WspError::Invoke(format!("unparseable response: {e}")))?;

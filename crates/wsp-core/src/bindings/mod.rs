@@ -34,16 +34,26 @@ mod tests {
         let listener = CollectingListener::new();
         events.add_listener(listener.clone());
 
-        let provider_binding = HttpUddiBinding::with_local_registry(registry.clone(), events.clone());
+        let provider_binding =
+            HttpUddiBinding::with_local_registry(registry.clone(), events.clone());
         let provider = Peer::new();
         provider.attach(&provider_binding);
         // Container-less: no HTTP server until the first deploy.
         assert!(!provider_binding.host_running());
-        provider.server().deploy_and_publish(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        provider
+            .server()
+            .deploy_and_publish(ServiceDescriptor::echo(), echo_handler())
+            .unwrap();
         assert!(provider_binding.host_running());
 
-        let consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
-        let service = consumer.client().locate_one(&ServiceQuery::by_name("Echo")).unwrap();
+        let consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+            registry,
+            EventBus::new(),
+        ));
+        let service = consumer
+            .client()
+            .locate_one(&ServiceQuery::by_name("Echo"))
+            .unwrap();
         assert_eq!(service.kind, BindingKind::HttpUddi);
         let result = consumer
             .client()
@@ -52,8 +62,12 @@ mod tests {
         assert_eq!(result, Value::string("over http"));
 
         // The provider saw the request either side of the engine.
-        let phases: Vec<ServerPhase> =
-            listener.server_messages.read().iter().map(|e| e.phase).collect();
+        let phases: Vec<ServerPhase> = listener
+            .server_messages
+            .read()
+            .iter()
+            .map(|e| e.phase)
+            .collect();
         assert_eq!(phases, vec![ServerPhase::Inbound, ServerPhase::Outbound]);
     }
 
@@ -69,8 +83,10 @@ mod tests {
         // The rendezvous peer thread must outlive the test: leak it.
         std::mem::forget(rv);
 
-        let provider_binding = P2psBinding::new(provider_peer, EventBus::new(), P2psConfig::default());
-        let consumer_binding = P2psBinding::new(consumer_peer, EventBus::new(), P2psConfig::default());
+        let provider_binding =
+            P2psBinding::new(provider_peer, EventBus::new(), P2psConfig::default());
+        let consumer_binding =
+            P2psBinding::new(consumer_peer, EventBus::new(), P2psConfig::default());
         let provider = Peer::with_binding(&provider_binding);
         let consumer = Peer::with_binding(&consumer_binding);
         (provider, provider_binding, consumer, consumer_binding)
@@ -80,10 +96,16 @@ mod tests {
     #[test]
     fn figure4_p2ps_lifecycle() {
         let (provider, _pb, consumer, _cb) = p2ps_pair();
-        provider.server().deploy_and_publish(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        provider
+            .server()
+            .deploy_and_publish(ServiceDescriptor::echo(), echo_handler())
+            .unwrap();
         std::thread::sleep(Duration::from_millis(150)); // advert propagation
 
-        let service = consumer.client().locate_one(&ServiceQuery::by_name("Echo")).unwrap();
+        let service = consumer
+            .client()
+            .locate_one(&ServiceQuery::by_name("Echo"))
+            .unwrap();
         assert_eq!(service.kind, BindingKind::P2ps);
         assert!(service.endpoint.starts_with("p2ps://"));
         let result = consumer
@@ -110,11 +132,9 @@ mod tests {
         let _ = provider_binding; // host side set up
         let uddi = wsp_uddi::UddiClient::direct(registry.clone());
         uddi.save_service(
-            &wsp_uddi::BusinessService::new("", "wspeer", deployed.name())
-                .with_binding(wsp_uddi::BindingTemplate::new(
-                    "",
-                    deployed.primary_endpoint().unwrap(),
-                )),
+            &wsp_uddi::BusinessService::new("", "wspeer", deployed.name()).with_binding(
+                wsp_uddi::BindingTemplate::new("", deployed.primary_endpoint().unwrap()),
+            ),
         )
         .unwrap();
 
@@ -123,7 +143,9 @@ mod tests {
         // back to... nothing — instead the consumer locates via UDDI
         // *keys* and retargets. Here we check the key mixed-mode path
         // the paper names: locate via UDDI, invoke via P2PS.
-        let records = uddi.locate(&ServiceQuery::by_name("Echo").to_uddi()).unwrap();
+        let records = uddi
+            .locate(&ServiceQuery::by_name("Echo").to_uddi())
+            .unwrap();
         assert_eq!(records.len(), 1);
         let endpoint = records[0].bindings[0].access_point.clone();
         assert!(endpoint.starts_with("p2ps://"));

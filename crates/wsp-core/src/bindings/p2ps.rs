@@ -8,14 +8,15 @@
 //! carries the *definition pipe* from which its WSDL is retrieved.
 
 use crate::components::{Binding, Invoker, ServiceDeployer, ServiceLocator, ServicePublisher};
+use crate::dispatch::{Completer, Dispatcher};
 use crate::endpoint::{BindingKind, DeployedService, LocatedService};
 use crate::error::WspError;
 use crate::events::{EventBus, ServerMessageEvent, ServerPhase};
 use crate::query::ServiceQuery;
-use crossbeam_channel::{bounded, unbounded, Sender};
+use crossbeam_channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 use wsp_p2ps::{
@@ -23,7 +24,10 @@ use wsp_p2ps::{
     ServiceAdvertisement, ThreadPeer, ThreadPeerEvent, DEFINITION_PIPE, P2PS_NS,
 };
 use wsp_soap::Envelope;
-use wsp_wsdl::{MessageEngine, Port, ServiceDescriptor, ServiceHandler, ServiceProxy, TransportKind, Value, WsdlDocument};
+use wsp_wsdl::{
+    MessageEngine, Port, ServiceDescriptor, ServiceHandler, ServiceProxy, TransportKind, Value,
+    WsdlDocument,
+};
 
 /// Timing knobs of the P2PS binding.
 #[derive(Debug, Clone)]
@@ -53,14 +57,53 @@ struct Shared {
     wsdls: RwLock<HashMap<String, String>>,
     published: RwLock<HashMap<String, ServiceAdvertisement>>,
     correlator: Mutex<RpcCorrelator>,
-    pending_requests: Mutex<HashMap<u64, Sender<Envelope>>>,
+    /// Outstanding pipe requests, completed by the demux when the
+    /// correlated response arrives on the return pipe. Tokens come from
+    /// the dispatcher, so they share one space with client calls.
+    pending_requests: Mutex<HashMap<u64, Completer<Envelope>>>,
     pending_queries: Mutex<HashMap<u64, Sender<Vec<ServiceAdvertisement>>>>,
-    tokens: AtomicU64,
+    /// The peer's shared dispatch core, installed by `on_attach`; a
+    /// standalone binding lazily creates a default one.
+    dispatcher: RwLock<Option<Arc<Dispatcher>>>,
+    demux_started: AtomicBool,
+}
+
+impl Shared {
+    /// The dispatcher all binding work runs on: whatever `on_attach`
+    /// installed, else a lazily-created default for standalone use.
+    fn dispatcher_handle(&self) -> Arc<Dispatcher> {
+        if let Some(dispatcher) = self.dispatcher.read().clone() {
+            return dispatcher;
+        }
+        let mut slot = self.dispatcher.write();
+        if let Some(dispatcher) = slot.clone() {
+            return dispatcher;
+        }
+        let dispatcher = Dispatcher::with_defaults();
+        *slot = Some(dispatcher.clone());
+        dispatcher
+    }
+
+    /// Start the demultiplexer driver once, on the dispatcher. Called
+    /// from `on_attach` and lazily from every component entry point so
+    /// a standalone binding still works.
+    fn ensure_demux(self: &Arc<Self>) {
+        if self.demux_started.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let dispatcher = self.dispatcher_handle();
+        let weak = Arc::downgrade(self);
+        dispatcher.spawn_driver(format!("wsp-p2ps-demux-{}", self.peer.id()), move || {
+            demux_loop(weak)
+        });
+    }
 }
 
 /// The P2PS binding. Construct with a spawned [`ThreadPeer`]; the
-/// binding runs a demultiplexer thread that routes the peer's events to
-/// hosted services (server side) and outstanding calls (client side).
+/// binding runs a demultiplexer driver that routes the peer's events to
+/// hosted services (server side, served on the dispatcher's pool) and
+/// outstanding calls (client side, completed through the correlation
+/// table).
 #[derive(Clone)]
 pub struct P2psBinding {
     shared: Arc<Shared>,
@@ -68,24 +111,21 @@ pub struct P2psBinding {
 
 impl P2psBinding {
     pub fn new(peer: ThreadPeer, events: EventBus, config: P2psConfig) -> Self {
-        let shared = Arc::new(Shared {
-            peer,
-            config,
-            events,
-            engines: RwLock::new(HashMap::new()),
-            wsdls: RwLock::new(HashMap::new()),
-            published: RwLock::new(HashMap::new()),
-            correlator: Mutex::new(RpcCorrelator::new()),
-            pending_requests: Mutex::new(HashMap::new()),
-            pending_queries: Mutex::new(HashMap::new()),
-            tokens: AtomicU64::new(1),
-        });
-        let weak = Arc::downgrade(&shared);
-        std::thread::Builder::new()
-            .name(format!("wsp-p2ps-demux-{}", shared.peer.id()))
-            .spawn(move || demux_loop(weak))
-            .expect("spawn demux thread");
-        P2psBinding { shared }
+        P2psBinding {
+            shared: Arc::new(Shared {
+                peer,
+                config,
+                events,
+                engines: RwLock::new(HashMap::new()),
+                wsdls: RwLock::new(HashMap::new()),
+                published: RwLock::new(HashMap::new()),
+                correlator: Mutex::new(RpcCorrelator::new()),
+                pending_requests: Mutex::new(HashMap::new()),
+                pending_queries: Mutex::new(HashMap::new()),
+                dispatcher: RwLock::new(None),
+                demux_started: AtomicBool::new(false),
+            }),
+        }
     }
 
     /// This peer's logical id.
@@ -105,19 +145,34 @@ impl Binding for P2psBinding {
     }
 
     fn locator(&self) -> Arc<dyn ServiceLocator> {
-        Arc::new(P2psLocator { shared: self.shared.clone() })
+        Arc::new(P2psLocator {
+            shared: self.shared.clone(),
+        })
     }
 
     fn invoker(&self) -> Arc<dyn Invoker> {
-        Arc::new(P2psInvoker { shared: self.shared.clone() })
+        Arc::new(P2psInvoker {
+            shared: self.shared.clone(),
+        })
     }
 
     fn deployer(&self) -> Arc<dyn ServiceDeployer> {
-        Arc::new(P2psDeployer { shared: self.shared.clone() })
+        Arc::new(P2psDeployer {
+            shared: self.shared.clone(),
+        })
     }
 
     fn publisher(&self) -> Arc<dyn ServicePublisher> {
-        Arc::new(P2psPublisher { shared: self.shared.clone() })
+        Arc::new(P2psPublisher {
+            shared: self.shared.clone(),
+        })
+    }
+
+    fn on_attach(&self, dispatcher: &Arc<Dispatcher>) {
+        // Adopt the peer's shared dispatcher (replacing any lazily
+        // created default) and start the demux driver on it.
+        *self.shared.dispatcher.write() = Some(dispatcher.clone());
+        self.shared.ensure_demux();
     }
 }
 
@@ -133,15 +188,31 @@ fn demux_loop(weak: Weak<Shared>) {
                     let _ = tx.send(adverts);
                 }
             }
-            Some(ThreadPeerEvent::PipeDelivery { pipe, from: _, payload }) => {
+            Some(ThreadPeerEvent::PipeDelivery {
+                pipe,
+                from: _,
+                payload,
+            }) => {
                 if pipe.service.is_some() {
-                    serve_request(&shared, &pipe, &payload);
+                    // Hosted-service traffic is served on the worker
+                    // pool so the demux never blocks on a handler;
+                    // serve inline only if the dispatcher is gone.
+                    let dispatcher = shared.dispatcher_handle();
+                    let job_shared = shared.clone();
+                    let job_pipe = pipe.clone();
+                    let job_payload = payload.clone();
+                    let submitted = dispatcher
+                        .execute(move || serve_request(&job_shared, &job_pipe, &job_payload));
+                    if submitted.is_err() {
+                        serve_request(&shared, &pipe, &payload);
+                    }
                 } else {
-                    // A return pipe: correlate with an outstanding call.
+                    // A return pipe: correlate with an outstanding call
+                    // and complete its handle.
                     let correlated = shared.correlator.lock().accept_response(&payload);
                     if let Some((token, envelope)) = correlated {
-                        if let Some(tx) = shared.pending_requests.lock().remove(&token) {
-                            let _ = tx.send(envelope);
+                        if let Some(completer) = shared.pending_requests.lock().remove(&token) {
+                            completer.complete(envelope);
                         }
                     }
                 }
@@ -156,7 +227,9 @@ fn demux_loop(weak: Weak<Shared>) {
 /// service pipes.
 fn serve_request(shared: &Shared, pipe: &PipeAdvertisement, payload: &str) {
     let service = pipe.service.clone().expect("checked by caller");
-    let Some(received) = decode_request(payload) else { return };
+    let Some(received) = decode_request(payload) else {
+        return;
+    };
 
     let response = if pipe.name == DEFINITION_PIPE {
         // Serve the WSDL from the definition pipe.
@@ -203,25 +276,35 @@ fn request_over_pipe(
     target: &PipeAdvertisement,
     envelope: Envelope,
 ) -> Result<Envelope, WspError> {
-    let token = shared.tokens.fetch_add(1, Ordering::Relaxed);
+    let dispatcher = shared.dispatcher_handle();
+    let token = dispatcher.next_token();
     // Step 1-2: create a return pipe and its advertisement.
     let return_pipe = shared.peer.open_pipe(None);
-    let (tx, rx) = bounded(1);
-    shared.pending_requests.lock().insert(token, tx);
+    // Register the call in the correlation table; the demux completes
+    // it when the response arrives — no thread parks on the network.
+    let (handle, completer) = dispatcher.register::<Envelope>(token);
+    shared.pending_requests.lock().insert(token, completer);
     // Step 3-5: serialise the advert into ReplyTo and send the request.
     let wire = shared
         .correlator
         .lock()
         .encode_request(token, target, &return_pipe, envelope);
     shared.peer.send_pipe(target.clone(), wire);
-    // Step 6: await the response on the return pipe.
-    let result = rx.recv_timeout(shared.config.request_timeout);
+    // Step 6: await the response (helping the pool while waiting, so a
+    // worker making a nested call still serves incoming requests).
+    let result = handle.wait_timeout(shared.config.request_timeout);
     shared.pending_requests.lock().remove(&token);
     shared.peer.close_pipe(return_pipe);
-    result.map_err(|_| WspError::Timeout {
-        what: "pipe request",
-        millis: shared.config.request_timeout.as_millis() as u64,
-    })
+    match result {
+        Ok(envelope) => Ok(envelope),
+        Err(handle) => {
+            handle.cancel();
+            Err(WspError::Timeout {
+                what: "pipe request",
+                millis: shared.config.request_timeout.as_millis() as u64,
+            })
+        }
+    }
 }
 
 // --- deployer ----------------------------------------------------------------
@@ -248,6 +331,8 @@ impl ServiceDeployer for P2psDeployer {
         descriptor: ServiceDescriptor,
         handler: Arc<dyn ServiceHandler>,
     ) -> Result<DeployedService, WspError> {
+        // Hosting requires the demux to route incoming pipe traffic.
+        self.shared.ensure_demux();
         let advert = advert_for(&descriptor, self.shared.peer.id());
         let endpoint = advert.uri().address();
         let wsdl = WsdlDocument::new(
@@ -258,14 +343,21 @@ impl ServiceDeployer for P2psDeployer {
                 location: endpoint.clone(),
             }],
         );
+        self.shared.engines.write().insert(
+            descriptor.name.clone(),
+            Arc::new(MessageEngine::new(descriptor.clone(), handler)),
+        );
         self.shared
-            .engines
+            .wsdls
             .write()
-            .insert(descriptor.name.clone(), Arc::new(MessageEngine::new(descriptor.clone(), handler)));
-        self.shared.wsdls.write().insert(descriptor.name.clone(), wsdl.to_xml());
+            .insert(descriptor.name.clone(), wsdl.to_xml());
         // Open the pipes locally; announcement is publish's job.
         self.shared.peer.register(advert);
-        Ok(DeployedService { descriptor, endpoints: vec![endpoint], wsdl })
+        Ok(DeployedService {
+            descriptor,
+            endpoints: vec![endpoint],
+            wsdl,
+        })
     }
 
     fn undeploy(&self, service: &str) -> bool {
@@ -289,11 +381,17 @@ struct P2psPublisher {
 impl ServicePublisher for P2psPublisher {
     fn publish(&self, service: &DeployedService) -> Result<String, WspError> {
         if !self.shared.engines.read().contains_key(service.name()) {
-            return Err(WspError::Publish(format!("{} is not deployed on this peer", service.name())));
+            return Err(WspError::Publish(format!(
+                "{} is not deployed on this peer",
+                service.name()
+            )));
         }
         let advert = advert_for(&service.descriptor, self.shared.peer.id());
         let location = advert.uri().address();
-        self.shared.published.write().insert(service.name().to_owned(), advert.clone());
+        self.shared
+            .published
+            .write()
+            .insert(service.name().to_owned(), advert.clone());
         self.shared.peer.publish(advert);
         Ok(location)
     }
@@ -319,7 +417,8 @@ struct P2psLocator {
 
 impl ServiceLocator for P2psLocator {
     fn locate(&self, query: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
-        let token = self.shared.tokens.fetch_add(1, Ordering::Relaxed);
+        self.shared.ensure_demux();
+        let token = self.shared.dispatcher_handle().next_token();
         let (tx, rx) = unbounded();
         self.shared.pending_queries.lock().insert(token, tx);
         self.shared.peer.query(token, query.to_p2ps());
@@ -331,7 +430,10 @@ impl ServiceLocator for P2psLocator {
             match rx.recv_timeout(remaining) {
                 Ok(batch) => {
                     for advert in batch {
-                        if !adverts.iter().any(|a| a.peer == advert.peer && a.name == advert.name) {
+                        if !adverts
+                            .iter()
+                            .any(|a| a.peer == advert.peer && a.name == advert.name)
+                        {
                             adverts.push(advert);
                         }
                     }
@@ -344,14 +446,24 @@ impl ServiceLocator for P2psLocator {
         // Retrieve each hit's WSDL through its definition pipe.
         let mut found = Vec::new();
         for advert in adverts {
-            let Some(definition_pipe) = advert.definition_pipe() else { continue };
+            let Some(definition_pipe) = advert.definition_pipe() else {
+                continue;
+            };
             let get = Envelope::request(wsp_xml::Element::new(P2PS_NS, "GetDefinition"));
             let Ok(response) = request_over_pipe(&self.shared, definition_pipe, get) else {
                 continue; // provider vanished mid-discovery
             };
-            let Some(defs) = response.payload() else { continue };
-            let Ok(wsdl) = WsdlDocument::from_element(defs) else { continue };
-            found.push(LocatedService::new(wsdl, advert.uri().address(), BindingKind::P2ps));
+            let Some(defs) = response.payload() else {
+                continue;
+            };
+            let Ok(wsdl) = WsdlDocument::from_element(defs) else {
+                continue;
+            };
+            found.push(LocatedService::new(
+                wsdl,
+                advert.uri().address(),
+                BindingKind::P2ps,
+            ));
         }
         Ok(found)
     }
@@ -374,8 +486,8 @@ impl Invoker for P2psInvoker {
         operation: &str,
         args: &[Value],
     ) -> Result<Value, WspError> {
-        let uri = P2psUri::parse(&service.endpoint)
-            .map_err(|e| WspError::Invoke(e.to_string()))?;
+        self.shared.ensure_demux();
+        let uri = P2psUri::parse(&service.endpoint).map_err(|e| WspError::Invoke(e.to_string()))?;
         // One pipe per operation: the fragment is the operation name.
         let target = PipeAdvertisement::new(uri.peer, uri.service.clone(), operation.to_owned());
         let proxy = ServiceProxy::new(service.wsdl.descriptor.clone(), service.endpoint.clone());

@@ -1,12 +1,20 @@
 //! The client side of the interface tree: discovery and invocation.
+//!
+//! There is exactly **one** invocation pipeline. Every call — locate or
+//! invoke — is a job submitted to the shared [`Dispatcher`]; the
+//! asynchronous methods return the [`CallHandle`] and the synchronous
+//! methods are `handle.wait()` over the very same submission. The
+//! handle's correlation token is the token carried by the matching
+//! [`DiscoveryMessageEvent`] / [`ClientMessageEvent`], so callers can
+//! pair results delivered through events with the calls they made.
 
 use crate::components::{Invoker, ServiceLocator};
+use crate::dispatch::{CallHandle, Dispatcher};
 use crate::endpoint::LocatedService;
 use crate::error::WspError;
 use crate::events::{ClientMessageEvent, DiscoveryMessageEvent, EventBus};
 use crate::query::{QueryExpr, ServiceQuery};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wsp_wsdl::Value;
 
@@ -17,22 +25,35 @@ use wsp_wsdl::Value;
 /// Both synchronous and asynchronous forms are offered; the paper's
 /// position is that WSPeer "allows synchronous discovery and
 /// invocation, \[but\] is essentially an asynchronous, event driven
-/// system".
+/// system" — here the synchronous forms literally wrap the
+/// asynchronous ones.
 pub struct Client {
     locator: RwLock<Option<Arc<dyn ServiceLocator>>>,
     invokers: RwLock<Vec<Arc<dyn Invoker>>>,
     events: EventBus,
-    tokens: AtomicU64,
+    dispatcher: Arc<Dispatcher>,
 }
 
 impl Client {
+    /// A standalone client with its own default-sized dispatcher.
+    /// Inside a [`crate::Peer`] the dispatcher is shared instead — see
+    /// [`Client::with_dispatcher`].
     pub fn new(events: EventBus) -> Arc<Client> {
+        Client::with_dispatcher(events, Dispatcher::with_defaults())
+    }
+
+    pub fn with_dispatcher(events: EventBus, dispatcher: Arc<Dispatcher>) -> Arc<Client> {
         Arc::new(Client {
             locator: RwLock::new(None),
             invokers: RwLock::new(Vec::new()),
             events,
-            tokens: AtomicU64::new(1),
+            dispatcher,
         })
+    }
+
+    /// The dispatch core this client submits every call to.
+    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
+        &self.dispatcher
     }
 
     /// Plug in (or replace) the locator — e.g. swap the UDDI locator
@@ -51,22 +72,49 @@ impl Client {
         self.locator.read().as_ref().map(|l| l.kind())
     }
 
-    fn next_token(&self) -> u64 {
-        self.tokens.fetch_add(1, Ordering::Relaxed)
+    /// Wrap a submission failure (shut-down dispatcher) as an
+    /// already-failed handle so the async API stays infallible.
+    fn failed_handle<T: Send + 'static>(
+        &self,
+        token: u64,
+        error: WspError,
+    ) -> CallHandle<Result<T, WspError>> {
+        let (handle, completer) = self.dispatcher.register(token);
+        completer.complete(Err(error));
+        handle
     }
 
-    /// Synchronous discovery. Fires a [`DiscoveryMessageEvent`] as well
-    /// as returning the result.
+    /// Asynchronous discovery: submits to the dispatcher and returns a
+    /// [`CallHandle`] immediately. The result also arrives as a
+    /// [`DiscoveryMessageEvent`] carrying the handle's token.
+    pub fn locate_async(
+        &self,
+        query: ServiceQuery,
+    ) -> CallHandle<Result<Vec<LocatedService>, WspError>> {
+        let token = self.dispatcher.next_token();
+        let locator = self.locator.read().clone();
+        let events = self.events.clone();
+        let job = move || {
+            let result = match locator {
+                Some(locator) => locator.locate(&query),
+                None => Err(WspError::Locate("no ServiceLocator plugged in".into())),
+            };
+            events.fire_discovery(&DiscoveryMessageEvent {
+                token,
+                result: result.clone(),
+            });
+            result
+        };
+        match self.dispatcher.submit_with_token(token, job) {
+            Ok(handle) => handle,
+            Err(e) => self.failed_handle(token, e),
+        }
+    }
+
+    /// Synchronous discovery: [`Client::locate_async`] + wait. Fires a
+    /// [`DiscoveryMessageEvent`] as well as returning the result.
     pub fn locate(&self, query: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
-        let token = self.next_token();
-        let locator = self
-            .locator
-            .read()
-            .clone()
-            .ok_or_else(|| WspError::Locate("no ServiceLocator plugged in".into()))?;
-        let result = locator.locate(query);
-        self.events.fire_discovery(&DiscoveryMessageEvent { token, result: result.clone() });
-        result
+        self.locate_async(query.clone()).wait()
     }
 
     /// Rich discovery (the paper's "more complex queries"): push a sound
@@ -89,89 +137,64 @@ impl Client {
             .ok_or_else(|| WspError::Locate(format!("no service matches {query:?}")))
     }
 
-    /// Asynchronous discovery: returns immediately with a token; the
-    /// result arrives as a [`DiscoveryMessageEvent`] with that token.
-    pub fn locate_async(self: &Arc<Self>, query: ServiceQuery) -> u64 {
-        let token = self.next_token();
-        let client = Arc::clone(self);
-        std::thread::spawn(move || {
-            let result = match client.locator.read().clone() {
-                Some(locator) => locator.locate(&query),
-                None => Err(WspError::Locate("no ServiceLocator plugged in".into())),
-            };
-            client.events.fire_discovery(&DiscoveryMessageEvent { token, result });
-        });
-        token
-    }
-
-    fn invoker_for(&self, endpoint: &str) -> Result<Arc<dyn Invoker>, WspError> {
-        self.invokers
-            .read()
-            .iter()
-            .find(|i| i.handles(endpoint))
-            .cloned()
-            .ok_or_else(|| WspError::NoBindingFor {
-                scheme: endpoint.split("://").next().unwrap_or("?").to_owned(),
-            })
-    }
-
-    /// Synchronous invocation: validate, send, await the response.
-    pub fn invoke(
-        &self,
-        service: &LocatedService,
-        operation: &str,
-        args: &[Value],
-    ) -> Result<Value, WspError> {
-        if !service.has_operation(operation) {
-            return Err(WspError::NoSuchOperation {
-                service: service.name().to_owned(),
-                operation: operation.to_owned(),
-            });
-        }
-        let invoker = self.invoker_for(&service.endpoint)?;
-        let token = self.next_token();
-        let result = invoker.invoke(service, operation, args);
-        self.events.fire_client(&ClientMessageEvent {
-            token,
-            service: service.name().to_owned(),
-            operation: operation.to_owned(),
-            result: result.clone(),
-        });
-        result
-    }
-
-    /// Asynchronous invocation: returns a token immediately; completion
-    /// arrives as a [`ClientMessageEvent`]. This is the mode "needed
-    /// within a P2P environment" where nodes are unreliable.
+    /// Asynchronous invocation: submits to the dispatcher and returns a
+    /// [`CallHandle`] immediately. Completion also arrives as a
+    /// [`ClientMessageEvent`] carrying the handle's token. This is the
+    /// mode "needed within a P2P environment" where nodes are
+    /// unreliable.
     pub fn invoke_async(
-        self: &Arc<Self>,
+        &self,
         service: LocatedService,
         operation: impl Into<String>,
         args: Vec<Value>,
-    ) -> u64 {
-        let token = self.next_token();
+    ) -> CallHandle<Result<Value, WspError>> {
+        let token = self.dispatcher.next_token();
         let operation = operation.into();
-        let client = Arc::clone(self);
-        std::thread::spawn(move || {
+        let invokers: Vec<Arc<dyn Invoker>> = self.invokers.read().clone();
+        let events = self.events.clone();
+        let job = move || {
             let result = if !service.has_operation(&operation) {
                 Err(WspError::NoSuchOperation {
                     service: service.name().to_owned(),
                     operation: operation.clone(),
                 })
             } else {
-                match client.invoker_for(&service.endpoint) {
-                    Ok(invoker) => invoker.invoke(&service, &operation, &args),
-                    Err(e) => Err(e),
+                match invokers.iter().find(|i| i.handles(&service.endpoint)) {
+                    Some(invoker) => invoker.invoke(&service, &operation, &args),
+                    None => Err(WspError::NoBindingFor {
+                        scheme: service
+                            .endpoint
+                            .split("://")
+                            .next()
+                            .unwrap_or("?")
+                            .to_owned(),
+                    }),
                 }
             };
-            client.events.fire_client(&ClientMessageEvent {
+            events.fire_client(&ClientMessageEvent {
                 token,
                 service: service.name().to_owned(),
                 operation,
-                result,
+                result: result.clone(),
             });
-        });
-        token
+            result
+        };
+        match self.dispatcher.submit_with_token(token, job) {
+            Ok(handle) => handle,
+            Err(e) => self.failed_handle(token, e),
+        }
+    }
+
+    /// Synchronous invocation: [`Client::invoke_async`] + wait — the
+    /// same validated, event-firing pipeline, not a separate path.
+    pub fn invoke(
+        &self,
+        service: &LocatedService,
+        operation: &str,
+        args: &[Value],
+    ) -> Result<Value, WspError> {
+        self.invoke_async(service.clone(), operation, args.to_vec())
+            .wait()
     }
 }
 
@@ -239,14 +262,19 @@ mod tests {
     #[test]
     fn locate_without_locator_errors() {
         let client = Client::new(EventBus::new());
-        assert!(matches!(client.locate(&ServiceQuery::any()), Err(WspError::Locate(_))));
+        assert!(matches!(
+            client.locate(&ServiceQuery::any()),
+            Err(WspError::Locate(_))
+        ));
     }
 
     #[test]
     fn invoke_dispatches_by_scheme() {
         let (client, listener) = wired_client();
         let service = client.locate_one(&ServiceQuery::by_name("Echo")).unwrap();
-        let out = client.invoke(&service, "echoString", &[Value::string("hello")]).unwrap();
+        let out = client
+            .invoke(&service, "echoString", &[Value::string("hello")])
+            .unwrap();
         assert_eq!(out, Value::string("hello"));
         assert_eq!(listener.client_messages.read().len(), 1);
     }
@@ -256,7 +284,9 @@ mod tests {
         let (client, _) = wired_client();
         let mut service = test_service();
         service.endpoint = "gopher://old/Echo".into();
-        let err = client.invoke(&service, "echoString", &[Value::string("x")]).unwrap_err();
+        let err = client
+            .invoke(&service, "echoString", &[Value::string("x")])
+            .unwrap_err();
         assert!(matches!(err, WspError::NoBindingFor { scheme } if scheme == "gopher"));
     }
 
@@ -271,21 +301,51 @@ mod tests {
     #[test]
     fn async_paths_fire_events() {
         let (client, listener) = wired_client();
-        let locate_token = client.locate_async(ServiceQuery::by_name("Echo"));
-        let invoke_token =
+        let locate_handle = client.locate_async(ServiceQuery::by_name("Echo"));
+        let invoke_handle =
             client.invoke_async(test_service(), "echoString", vec![Value::string("async")]);
-        // Poll until both events land (threads).
-        for _ in 0..200 {
-            if listener.discoveries.read().len() == 1 && listener.client_messages.read().len() == 1
-            {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
-        assert_eq!(listener.discoveries.read()[0].token, locate_token);
-        let client_event = &listener.client_messages.read()[0];
-        assert_eq!(client_event.token, invoke_token);
-        assert_eq!(client_event.result.as_ref().unwrap(), &Value::string("async"));
+        // Deterministic barrier: both jobs (and the events they fire)
+        // complete before flush returns — no poll-and-sleep loop.
+        client.dispatcher().flush();
+        let discovery = listener
+            .discovery_for(locate_handle.token())
+            .expect("discovery event carries the handle's token");
+        assert_eq!(discovery.result.unwrap().len(), 1);
+        let client_event = listener
+            .client_message_for(invoke_handle.token())
+            .expect("client event carries the handle's token");
+        assert_eq!(
+            client_event.result.as_ref().unwrap(),
+            &Value::string("async")
+        );
+        assert_eq!(invoke_handle.wait().unwrap(), Value::string("async"));
+    }
+
+    #[test]
+    fn invoke_returns_correlation_token_to_caller() {
+        let (client, listener) = wired_client();
+        let handle = client.invoke_async(test_service(), "echoString", vec![Value::string("t")]);
+        let token = handle.token();
+        assert_eq!(handle.wait().unwrap(), Value::string("t"));
+        let event = listener
+            .client_message_for(token)
+            .expect("event matched by returned token");
+        assert_eq!(event.operation, "echoString");
+    }
+
+    #[test]
+    fn failed_invocations_complete_handle_and_fire_event() {
+        let (client, listener) = wired_client();
+        let handle = client.invoke_async(test_service(), "fly", vec![]);
+        let token = handle.token();
+        assert!(matches!(
+            handle.wait(),
+            Err(WspError::NoSuchOperation { .. })
+        ));
+        let event = listener
+            .client_message_for(token)
+            .expect("error still fires an event");
+        assert!(event.result.is_err());
     }
 
     #[test]

@@ -78,4 +78,10 @@ pub trait Binding: Send + Sync {
     fn invoker(&self) -> Arc<dyn Invoker>;
     fn deployer(&self) -> Arc<dyn ServiceDeployer>;
     fn publisher(&self) -> Arc<dyn ServicePublisher>;
+
+    /// Called when the binding is plugged into a `Peer`, handing it the
+    /// peer's shared [`crate::dispatch::Dispatcher`]. Bindings that run
+    /// background work (request serving, event pumps) submit it there
+    /// instead of spawning threads of their own. Default: no-op.
+    fn on_attach(&self, _dispatcher: &Arc<crate::dispatch::Dispatcher>) {}
 }

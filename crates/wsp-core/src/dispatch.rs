@@ -1,0 +1,793 @@
+//! The shared dispatch core: one worker pool and one correlation table
+//! behind every invocation pipeline in the tree.
+//!
+//! The paper calls WSPeer "essentially an asynchronous, event driven
+//! system"; this module is the machinery that makes the synchronous
+//! API a thin wrapper over the asynchronous one rather than a separate
+//! code path. A [`Dispatcher`] owns a bounded work queue drained by a
+//! fixed pool of workers. Every call — sync or async, locate or invoke,
+//! HTTP or P2PS — is a job submitted here plus a [`CallHandle`] keyed
+//! by a correlation token; `Client::invoke` is literally
+//! `invoke_call(..).wait()`.
+//!
+//! Two design points keep the pool deadlock-free:
+//!
+//! * **Helping waits.** A thread blocked in [`CallHandle::wait`] (or
+//!   [`Dispatcher::flush`], or a submitter facing a full queue) does
+//!   not just sleep — it pops queued jobs and runs them inline. A
+//!   worker that performs a nested synchronous call therefore makes
+//!   progress even when every pool thread is waiting, and a full
+//!   queue drains through the very threads pushing into it.
+//! * **External completions.** Calls whose result arrives from the
+//!   outside world (a P2PS response pipe, say) register a token and
+//!   get a [`Completer`]; no worker is parked waiting for the network.
+//!
+//! Jobs are panic-isolated: a panicking job poisons its own handle
+//! (the waiter re-panics with the message; `wait_timeout` reports it
+//! as an error) and bumps the `failed` counter, but the worker thread
+//! survives.
+
+use crate::error::WspError;
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Sizing knobs for a [`Dispatcher`].
+#[derive(Debug, Clone)]
+pub struct DispatcherConfig {
+    /// Fixed number of pool threads.
+    pub workers: usize,
+    /// Bounded queue capacity; submitters past this point help drain
+    /// the queue instead of piling work up without limit.
+    pub queue_capacity: usize,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            workers: 4,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a dispatcher's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatcherStats {
+    /// Jobs accepted onto the queue since construction.
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs that panicked (isolated; the worker survived).
+    pub failed: u64,
+    /// Calls cancelled before completion.
+    pub cancelled: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Jobs currently executing (workers and helpers).
+    pub in_flight: usize,
+    /// Correlation-table entries still awaiting a result.
+    pub pending_calls: usize,
+    /// Pool size.
+    pub workers: usize,
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// State of one pending call.
+enum Slot<T> {
+    Pending,
+    Ready(T),
+    Taken,
+    Cancelled,
+    /// The job producing this result panicked; the message survives.
+    Poisoned(String),
+}
+
+struct CallState<T> {
+    slot: Mutex<Slot<T>>,
+    cv: Condvar,
+}
+
+/// Type-erased view of a pending call, for the correlation table.
+trait AnyCall: Send + Sync {
+    /// No longer waiting for a result.
+    fn is_settled(&self) -> bool;
+}
+
+impl<T: Send> AnyCall for CallState<T> {
+    fn is_settled(&self) -> bool {
+        !matches!(*self.slot.lock(), Slot::Pending)
+    }
+}
+
+struct Inner {
+    /// `None` once shutdown has begun; taking it disconnects workers.
+    jobs_tx: Mutex<Option<Sender<Job>>>,
+    jobs_rx: Receiver<Job>,
+    /// The correlation table: token → call awaiting its result.
+    table: Mutex<HashMap<u64, Weak<dyn AnyCall>>>,
+    tokens: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    in_flight: AtomicUsize,
+    /// Queued + running jobs; [`Dispatcher::flush`] waits for zero.
+    jobs_pending: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    workers: usize,
+}
+
+impl Inner {
+    /// Pop one queued job and run it on the calling thread. The heart
+    /// of the helping protocol — workers, waiters and submitters all
+    /// drain the queue through this.
+    fn try_run_one(&self) -> bool {
+        match self.jobs_rx.try_recv() {
+            Ok(job) => {
+                self.run_job(job);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn run_job(&self, job: Job) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        // Backstop isolation for fire-and-forget jobs; call-producing
+        // jobs already poison their own handle before unwinding here.
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        match outcome {
+            Ok(()) => self.completed.fetch_add(1, Ordering::SeqCst),
+            Err(_) => self.failed.fetch_add(1, Ordering::SeqCst),
+        };
+        self.jobs_pending.fetch_sub(1, Ordering::SeqCst);
+        let _idle = self.idle_lock.lock();
+        self.idle_cv.notify_all();
+    }
+
+    fn settle(&self, token: u64) {
+        self.table.lock().remove(&token);
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_owned()
+    }
+}
+
+/// Handle to one pending call, keyed by its correlation token. The
+/// token is the same value carried by the matching
+/// [`crate::events::DiscoveryMessageEvent`] /
+/// [`crate::events::ClientMessageEvent`], so applications can pair
+/// events with the handles they hold.
+pub struct CallHandle<T> {
+    token: u64,
+    state: Arc<CallState<T>>,
+    inner: Arc<Inner>,
+}
+
+impl<T: Send + 'static> CallHandle<T> {
+    /// The correlation token identifying this call in events and in
+    /// the dispatcher's pending-call table.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Has a result arrived (or the call been poisoned)?
+    pub fn is_complete(&self) -> bool {
+        matches!(
+            *self.state.slot.lock(),
+            Slot::Ready(_) | Slot::Taken | Slot::Poisoned(_)
+        )
+    }
+
+    /// Non-blocking snapshot of the result, leaving it in place.
+    pub fn try_poll(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        match &*self.state.slot.lock() {
+            Slot::Ready(value) => Some(value.clone()),
+            _ => None,
+        }
+    }
+
+    /// Block until the result arrives, helping the pool run queued
+    /// jobs in the meantime (so waiting inside a worker cannot
+    /// deadlock the pool). Panics if the producing job panicked.
+    pub fn wait(self) -> T {
+        match self.wait_until(None) {
+            Ok(value) => value,
+            Err(_) => unreachable!("wait_until without deadline cannot time out"),
+        }
+    }
+
+    /// Like [`CallHandle::wait`] but gives up after `timeout`,
+    /// returning the handle back so the caller may keep waiting or
+    /// [`CallHandle::cancel`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<T, CallHandle<T>> {
+        self.wait_until(Some(Instant::now() + timeout))
+    }
+
+    fn wait_until(self, deadline: Option<Instant>) -> Result<T, CallHandle<T>> {
+        loop {
+            {
+                let mut slot = self.state.slot.lock();
+                match std::mem::replace(&mut *slot, Slot::Taken) {
+                    Slot::Ready(value) => {
+                        drop(slot);
+                        self.inner.settle(self.token);
+                        return Ok(value);
+                    }
+                    Slot::Poisoned(message) => {
+                        drop(slot);
+                        self.inner.settle(self.token);
+                        panic!("call {} panicked: {message}", self.token);
+                    }
+                    other => *slot = other,
+                }
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(self);
+            }
+            // Help: run one queued job; only sleep when the queue is
+            // empty, and then only briefly so external completions are
+            // picked up promptly.
+            if !self.inner.try_run_one() {
+                let mut slot = self.state.slot.lock();
+                if matches!(*slot, Slot::Pending) {
+                    self.state.cv.wait_for(&mut slot, Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    /// Abandon the call. A result arriving later is dropped. Returns
+    /// `false` if the call had already completed.
+    pub fn cancel(self) -> bool {
+        let mut slot = self.state.slot.lock();
+        if matches!(*slot, Slot::Pending) {
+            *slot = Slot::Cancelled;
+            drop(slot);
+            self.inner.cancelled.fetch_add(1, Ordering::SeqCst);
+            self.inner.settle(self.token);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for CallHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallHandle")
+            .field("token", &self.token)
+            .finish()
+    }
+}
+
+/// The completion side of an externally-resolved call (see
+/// [`Dispatcher::register`]). Single-shot: completing consumes it.
+pub struct Completer<T> {
+    token: u64,
+    state: Arc<CallState<T>>,
+    inner: Arc<Inner>,
+}
+
+impl<T: Send + 'static> Completer<T> {
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Deliver the result. Returns `false` if the call was cancelled
+    /// or already completed (the value is dropped in that case).
+    pub fn complete(self, value: T) -> bool {
+        let mut slot = self.state.slot.lock();
+        if matches!(*slot, Slot::Pending) {
+            *slot = Slot::Ready(value);
+            self.state.cv.notify_all();
+            drop(slot);
+            self.inner.settle(self.token);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn poison(self, message: String) {
+        let mut slot = self.state.slot.lock();
+        if matches!(*slot, Slot::Pending) {
+            *slot = Slot::Poisoned(message);
+            self.state.cv.notify_all();
+            drop(slot);
+            self.inner.settle(self.token);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Completer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completer")
+            .field("token", &self.token)
+            .finish()
+    }
+}
+
+/// The shared dispatch core; see the module docs. One per [`crate::Peer`],
+/// shared by its `Client`, `Server` and attached bindings.
+pub struct Dispatcher {
+    inner: Arc<Inner>,
+    worker_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Dispatcher {
+    pub fn new(config: DispatcherConfig) -> Arc<Dispatcher> {
+        let workers = config.workers.max(1);
+        let (jobs_tx, jobs_rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let inner = Arc::new(Inner {
+            jobs_tx: Mutex::new(Some(jobs_tx)),
+            jobs_rx,
+            table: Mutex::new(HashMap::new()),
+            tokens: AtomicU64::new(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            jobs_pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            workers,
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let inner = inner.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("wsp-worker-{index}"))
+                .spawn(move || {
+                    while let Ok(job) = inner.jobs_rx.recv() {
+                        inner.run_job(job);
+                    }
+                })
+                .expect("spawn dispatcher worker");
+            handles.push(handle);
+        }
+        Arc::new(Dispatcher {
+            inner,
+            worker_handles: Mutex::new(handles),
+        })
+    }
+
+    pub fn with_defaults() -> Arc<Dispatcher> {
+        Dispatcher::new(DispatcherConfig::default())
+    }
+
+    /// Allocate a correlation token. Tokens are unique per dispatcher
+    /// across locates, invokes and binding-internal requests, so one
+    /// table correlates the whole peer.
+    pub fn next_token(&self) -> u64 {
+        self.inner.tokens.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Submit `f` under a fresh token; its return value completes the
+    /// returned handle.
+    pub fn submit<T, F>(&self, f: F) -> Result<CallHandle<T>, WspError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.submit_with_token(self.next_token(), f)
+    }
+
+    /// Submit `f` under a caller-allocated token (use
+    /// [`Dispatcher::next_token`]), so events fired inside `f` can
+    /// carry the same token the handle exposes.
+    pub fn submit_with_token<T, F>(&self, token: u64, f: F) -> Result<CallHandle<T>, WspError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (handle, completer) = self.register::<T>(token);
+        let job: Job = Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(value) => {
+                completer.complete(value);
+            }
+            Err(payload) => {
+                let message = panic_message(payload);
+                completer.poison(message.clone());
+                // Re-raise so run_job counts the failure; the worker
+                // catches it again and survives.
+                std::panic::panic_any(message);
+            }
+        });
+        match self.enqueue(job, true) {
+            Ok(()) => Ok(handle),
+            Err(e) => {
+                self.inner.settle(token);
+                Err(e)
+            }
+        }
+    }
+
+    /// Fire-and-forget: run `f` on the pool with no handle (server-side
+    /// request serving, event pumping). Panics are isolated and counted.
+    pub fn execute<F>(&self, f: F) -> Result<(), WspError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.enqueue(Box::new(f), true)
+    }
+
+    /// Non-blocking submit: errors instead of helping when the queue is
+    /// full — the backpressure-sensitive entry point.
+    pub fn try_submit<T, F>(&self, f: F) -> Result<CallHandle<T>, WspError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let token = self.next_token();
+        let (handle, completer) = self.register::<T>(token);
+        let job: Job = Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(value) => {
+                completer.complete(value);
+            }
+            Err(payload) => {
+                let message = panic_message(payload);
+                completer.poison(message.clone());
+                std::panic::panic_any(message);
+            }
+        });
+        match self.enqueue(job, false) {
+            Ok(()) => Ok(handle),
+            Err(e) => {
+                self.inner.settle(token);
+                Err(e)
+            }
+        }
+    }
+
+    fn enqueue(&self, mut job: Job, help_when_full: bool) -> Result<(), WspError> {
+        loop {
+            let Some(tx) = self.inner.jobs_tx.lock().clone() else {
+                return Err(WspError::Dispatch("dispatcher is shut down".into()));
+            };
+            self.inner.jobs_pending.fetch_add(1, Ordering::SeqCst);
+            match tx.try_send(job) {
+                Ok(()) => {
+                    self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+                    return Ok(());
+                }
+                Err(TrySendError::Full(returned)) => {
+                    self.inner.jobs_pending.fetch_sub(1, Ordering::SeqCst);
+                    if !help_when_full {
+                        return Err(WspError::Dispatch(format!(
+                            "dispatch queue is full ({} jobs)",
+                            self.inner.jobs_rx.len()
+                        )));
+                    }
+                    // Backpressure: drain one job on this thread, then
+                    // retry. The queue being full guarantees work exists.
+                    job = returned;
+                    if !self.inner.try_run_one() {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.inner.jobs_pending.fetch_sub(1, Ordering::SeqCst);
+                    return Err(WspError::Dispatch("dispatcher is shut down".into()));
+                }
+            }
+        }
+    }
+
+    /// Register an externally-completed call: the result will be
+    /// delivered through the returned [`Completer`] (e.g. by a binding
+    /// when a response arrives off the network), not by a pool job.
+    pub fn register<T: Send + 'static>(&self, token: u64) -> (CallHandle<T>, Completer<T>) {
+        let state = Arc::new(CallState {
+            slot: Mutex::new(Slot::Pending),
+            cv: Condvar::new(),
+        });
+        let erased: Arc<dyn AnyCall> = state.clone();
+        self.inner
+            .table
+            .lock()
+            .insert(token, Arc::downgrade(&erased));
+        (
+            CallHandle {
+                token,
+                state: state.clone(),
+                inner: self.inner.clone(),
+            },
+            Completer {
+                token,
+                state,
+                inner: self.inner.clone(),
+            },
+        )
+    }
+
+    /// Spawn a named long-lived thread (an event pump, a peer driver)
+    /// that is accounted to this dispatcher but scheduled by the OS —
+    /// pump loops must never occupy pool workers.
+    pub fn spawn_driver<F>(&self, name: impl Into<String>, f: F) -> std::thread::JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        std::thread::Builder::new()
+            .name(name.into())
+            .spawn(f)
+            .expect("spawn driver thread")
+    }
+
+    /// Block until every job submitted so far has finished, helping run
+    /// them. The barrier the tests use instead of sleep-and-poll loops.
+    pub fn flush(&self) {
+        loop {
+            if self.inner.jobs_pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if !self.inner.try_run_one() {
+                let mut idle = self.inner.idle_lock.lock();
+                if self.inner.jobs_pending.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                self.inner
+                    .idle_cv
+                    .wait_for(&mut idle, Duration::from_millis(5));
+            }
+        }
+    }
+
+    /// Run one queued job on the calling thread, if any is waiting.
+    pub fn try_run_one(&self) -> bool {
+        self.inner.try_run_one()
+    }
+
+    /// Tokens still awaiting results (the live correlation table).
+    pub fn pending_tokens(&self) -> Vec<u64> {
+        let mut table = self.inner.table.lock();
+        table.retain(|_, weak| weak.upgrade().is_some_and(|call| !call.is_settled()));
+        table.keys().copied().collect()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DispatcherStats {
+        let pending_calls = self.pending_tokens().len();
+        DispatcherStats {
+            submitted: self.inner.submitted.load(Ordering::SeqCst),
+            completed: self.inner.completed.load(Ordering::SeqCst),
+            failed: self.inner.failed.load(Ordering::SeqCst),
+            cancelled: self.inner.cancelled.load(Ordering::SeqCst),
+            queue_depth: self.inner.jobs_rx.len(),
+            in_flight: self.inner.in_flight.load(Ordering::SeqCst),
+            pending_calls,
+            workers: self.inner.workers,
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        // Disconnect the queue; workers drain remaining jobs and exit.
+        self.inner.jobs_tx.lock().take();
+        for handle in self.worker_handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn small() -> Arc<Dispatcher> {
+        Dispatcher::new(DispatcherConfig {
+            workers: 2,
+            queue_capacity: 8,
+        })
+    }
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let d = small();
+        let handle = d.submit(|| 6 * 7).unwrap();
+        let token = handle.token();
+        assert_eq!(handle.wait(), 42);
+        assert!(!d.pending_tokens().contains(&token));
+        let stats = d.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn tokens_are_unique_and_tracked() {
+        let d = small();
+        let gate = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let gate = gate.clone();
+                d.submit(move || while !gate.load(Ordering::SeqCst) {})
+                    .unwrap()
+            })
+            .collect();
+        let mut tokens: Vec<u64> = handles.iter().map(|h| h.token()).collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), 4, "tokens must be unique");
+        let pending = d.pending_tokens();
+        for token in &tokens {
+            assert!(
+                pending.contains(token),
+                "unfinished call {token} must be in the table"
+            );
+        }
+        gate.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.wait();
+        }
+        assert!(d.pending_tokens().is_empty());
+    }
+
+    #[test]
+    fn wait_timeout_returns_handle_then_result() {
+        let d = small();
+        let (handle, completer) = d.register::<u32>(d.next_token());
+        let handle = match handle.wait_timeout(Duration::from_millis(30)) {
+            Err(handle) => handle,
+            Ok(_) => panic!("nothing completed it yet"),
+        };
+        assert!(completer.complete(7));
+        assert_eq!(handle.wait(), 7);
+    }
+
+    #[test]
+    fn cancel_beats_late_completion() {
+        let d = small();
+        let (handle, completer) = d.register::<u32>(d.next_token());
+        assert!(handle.cancel());
+        assert!(!completer.complete(9), "completion after cancel is dropped");
+        assert_eq!(d.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn panicking_job_poisons_only_its_own_handle() {
+        let d = small();
+        let bad = d.submit(|| -> u32 { panic!("deliberate") }).unwrap();
+        let good = d.submit(|| 11u32).unwrap();
+        assert_eq!(good.wait(), 11, "pool survives a panicking job");
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| bad.wait()));
+        assert!(result.is_err(), "waiting on the poisoned call re-panics");
+        assert_eq!(d.stats().failed, 1);
+    }
+
+    #[test]
+    fn nested_sync_call_from_worker_does_not_deadlock() {
+        // Saturate a 1-worker pool with a job that itself submits and
+        // waits — only the helping wait lets this finish.
+        let d = Dispatcher::new(DispatcherConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let inner_d = d.clone();
+        let outer = d
+            .submit(move || {
+                let inner = inner_d.submit(|| 5u32).unwrap();
+                inner.wait() + 1
+            })
+            .unwrap();
+        assert_eq!(outer.wait(), 6);
+    }
+
+    #[test]
+    fn flush_is_a_barrier() {
+        let d = small();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = counter.clone();
+            d.execute(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        d.flush();
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        assert_eq!(d.stats().queue_depth, 0);
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure() {
+        let d = Dispatcher::new(DispatcherConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let gate = Arc::new(AtomicBool::new(false));
+        // One job occupies the worker; fill the queue behind it.
+        let blocker = {
+            let gate = gate.clone();
+            d.submit(move || while !gate.load(Ordering::SeqCst) {})
+                .unwrap()
+        };
+        let mut queued = Vec::new();
+        let mut rejected = 0;
+        for n in 0..10u32 {
+            match d.try_submit(move || n) {
+                Ok(handle) => queued.push(handle),
+                Err(WspError::Dispatch(why)) => {
+                    assert!(why.contains("full"), "unexpected reason: {why}");
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected > 0, "a 2-slot queue cannot absorb 10 jobs");
+        gate.store(true, Ordering::SeqCst);
+        blocker.wait();
+        for handle in queued {
+            handle.wait();
+        }
+    }
+
+    #[test]
+    fn blocking_submit_helps_past_a_full_queue() {
+        let d = Dispatcher::new(DispatcherConfig {
+            workers: 1,
+            queue_capacity: 1,
+        });
+        let gate = Arc::new(AtomicBool::new(false));
+        let blocker = {
+            let gate = gate.clone();
+            d.submit(move || while !gate.load(Ordering::SeqCst) {})
+                .unwrap()
+        };
+        gate.store(true, Ordering::SeqCst);
+        // These submits may find the queue full and must help instead
+        // of deadlocking.
+        let handles: Vec<_> = (0..16).map(|n| d.submit(move || n).unwrap()).collect();
+        blocker.wait();
+        let sum: i32 = handles.into_iter().map(|h| h.wait()).sum();
+        assert_eq!(sum, (0..16).sum::<i32>());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_finishes_queued() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let d = small();
+        for _ in 0..8 {
+            let counter = counter.clone();
+            d.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        drop(d);
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            8,
+            "drop drains the queue before joining"
+        );
+    }
+}

@@ -51,7 +51,11 @@ pub struct LocatedService {
 
 impl LocatedService {
     pub fn new(wsdl: WsdlDocument, endpoint: impl Into<String>, kind: BindingKind) -> Self {
-        LocatedService { wsdl, endpoint: endpoint.into(), kind }
+        LocatedService {
+            wsdl,
+            endpoint: endpoint.into(),
+            kind,
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -72,7 +76,11 @@ impl LocatedService {
     pub fn retarget(&self, transport: TransportKind) -> Option<LocatedService> {
         let port = self.wsdl.port_for(transport)?;
         let kind = BindingKind::of_endpoint(&port.location)?;
-        Some(LocatedService { wsdl: self.wsdl.clone(), endpoint: port.location.clone(), kind })
+        Some(LocatedService {
+            wsdl: self.wsdl.clone(),
+            endpoint: port.location.clone(),
+            kind,
+        })
     }
 }
 
@@ -105,8 +113,16 @@ mod tests {
         let wsdl = WsdlDocument::new(
             ServiceDescriptor::echo(),
             vec![
-                Port { name: "H".into(), transport: TransportKind::Http, location: "http://h:1/Echo".into() },
-                Port { name: "P".into(), transport: TransportKind::P2ps, location: "p2ps://00000000000000aa/Echo".into() },
+                Port {
+                    name: "H".into(),
+                    transport: TransportKind::Http,
+                    location: "http://h:1/Echo".into(),
+                },
+                Port {
+                    name: "P".into(),
+                    transport: TransportKind::P2ps,
+                    location: "p2ps://00000000000000aa/Echo".into(),
+                },
             ],
         );
         LocatedService::new(wsdl, "http://h:1/Echo", BindingKind::HttpUddi)
@@ -114,9 +130,18 @@ mod tests {
 
     #[test]
     fn classify_endpoints() {
-        assert_eq!(BindingKind::of_endpoint("http://h/x"), Some(BindingKind::HttpUddi));
-        assert_eq!(BindingKind::of_endpoint("httpg://h/x"), Some(BindingKind::HttpUddi));
-        assert_eq!(BindingKind::of_endpoint("p2ps://00000000000000aa/Echo"), Some(BindingKind::P2ps));
+        assert_eq!(
+            BindingKind::of_endpoint("http://h/x"),
+            Some(BindingKind::HttpUddi)
+        );
+        assert_eq!(
+            BindingKind::of_endpoint("httpg://h/x"),
+            Some(BindingKind::HttpUddi)
+        );
+        assert_eq!(
+            BindingKind::of_endpoint("p2ps://00000000000000aa/Echo"),
+            Some(BindingKind::P2ps)
+        );
         assert_eq!(BindingKind::of_endpoint("ftp://h/x"), None);
     }
 

@@ -24,6 +24,11 @@ pub enum WspError {
     Timeout { what: &'static str, millis: u64 },
     /// No plugged-in component can handle the endpoint's URI scheme.
     NoBindingFor { scheme: String },
+    /// The dispatch core could not accept or run the call (queue full
+    /// under `try_submit`, dispatcher shut down, …).
+    Dispatch(String),
+    /// The call was cancelled via its `CallHandle` before completing.
+    Cancelled { token: u64 },
     /// The located service does not offer the requested operation.
     NoSuchOperation { service: String, operation: String },
 }
@@ -40,6 +45,8 @@ impl fmt::Display for WspError {
             WspError::NoBindingFor { scheme } => {
                 write!(f, "no plugged-in component handles {scheme}:// endpoints")
             }
+            WspError::Dispatch(why) => write!(f, "dispatch failed: {why}"),
+            WspError::Cancelled { token } => write!(f, "call {token} was cancelled"),
             WspError::NoSuchOperation { service, operation } => {
                 write!(f, "service {service} has no operation {operation:?}")
             }
@@ -70,9 +77,24 @@ mod tests {
 
     #[test]
     fn displays_are_specific() {
-        assert!(WspError::Locate("registry down".into()).to_string().contains("registry down"));
-        assert!(WspError::Timeout { what: "invoke", millis: 500 }.to_string().contains("500ms"));
-        assert!(WspError::NoBindingFor { scheme: "p2ps".into() }.to_string().contains("p2ps"));
+        assert!(WspError::Locate("registry down".into())
+            .to_string()
+            .contains("registry down"));
+        assert!(WspError::Timeout {
+            what: "invoke",
+            millis: 500
+        }
+        .to_string()
+        .contains("500ms"));
+        assert!(WspError::NoBindingFor {
+            scheme: "p2ps".into()
+        }
+        .to_string()
+        .contains("p2ps"));
+        assert!(WspError::Dispatch("queue full".into())
+            .to_string()
+            .contains("queue full"));
+        assert!(WspError::Cancelled { token: 9 }.to_string().contains('9'));
     }
 
     #[test]

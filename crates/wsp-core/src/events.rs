@@ -7,10 +7,24 @@
 //! deployment messages. Every node of the interface tree fires into the
 //! same [`EventBus`], which propagates to listeners registered at the
 //! `Peer` root.
+//!
+//! Delivery is **non-blocking with respect to the listener set**: the
+//! bus snapshots the listeners before invoking any of them, so a
+//! listener may call [`EventBus::add_listener`] (or fire further
+//! events) from inside its callback without deadlocking the bus. Each
+//! listener is panic-isolated — one throwing listener neither kills
+//! the delivering thread nor starves the listeners after it. Buses
+//! default to [`DeliveryMode::Immediate`] (callbacks run on the firing
+//! thread, as the paper's Java listeners do); switching to
+//! [`DeliveryMode::Queued`] defers callbacks until [`EventBus::flush`],
+//! which tests use as a deterministic barrier.
 
 use crate::endpoint::LocatedService;
 use crate::error::WspError;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use wsp_soap::Envelope;
 use wsp_wsdl::Value;
@@ -18,7 +32,8 @@ use wsp_wsdl::Value;
 /// Fired by the `ServiceLocator` when discovery completes or fails.
 #[derive(Debug, Clone)]
 pub struct DiscoveryMessageEvent {
-    /// The application token passed to the locate call.
+    /// The correlation token of the locate call (matches the
+    /// `CallHandle` token for dispatcher-routed locates).
     pub token: u64,
     pub result: Result<Vec<LocatedService>, WspError>,
 }
@@ -36,7 +51,8 @@ pub struct PublishMessageEvent {
 /// comes back for an asynchronous call.
 #[derive(Debug, Clone)]
 pub struct ClientMessageEvent {
-    /// The application token passed to the invoke call.
+    /// The correlation token of the invoke call (matches the
+    /// `CallHandle` token for dispatcher-routed invokes).
     pub token: u64,
     pub service: String,
     pub operation: String,
@@ -80,12 +96,40 @@ pub trait PeerMessageListener: Send + Sync {
     fn on_deployment(&self, event: &DeploymentMessageEvent) {}
 }
 
+/// When listener callbacks run relative to the `fire_*` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Callbacks run on the firing thread, before `fire_*` returns.
+    #[default]
+    Immediate,
+    /// Events accumulate until [`EventBus::flush`] delivers them on
+    /// the flushing thread, in fire order.
+    Queued,
+}
+
+/// One deferred event, any kind.
+enum QueuedEvent {
+    Discovery(DiscoveryMessageEvent),
+    Publish(PublishMessageEvent),
+    Client(ClientMessageEvent),
+    Server(ServerMessageEvent),
+    Deployment(DeploymentMessageEvent),
+}
+
+#[derive(Default)]
+struct BusInner {
+    listeners: RwLock<Vec<Arc<dyn PeerMessageListener>>>,
+    mode: RwLock<DeliveryMode>,
+    queue: Mutex<VecDeque<QueuedEvent>>,
+    listener_panics: AtomicUsize,
+}
+
 /// The event fan-out shared by every node in the interface tree.
 /// Cloning shares the listener set (events "propagate upwards to the
 /// root of the interface tree").
 #[derive(Clone, Default)]
 pub struct EventBus {
-    listeners: Arc<RwLock<Vec<Arc<dyn PeerMessageListener>>>>,
+    inner: Arc<BusInner>,
 }
 
 impl EventBus {
@@ -93,43 +137,90 @@ impl EventBus {
         EventBus::default()
     }
 
-    /// Register an application listener.
+    /// Register an application listener. Safe to call from inside a
+    /// listener callback; the new listener sees subsequent events.
     pub fn add_listener(&self, listener: Arc<dyn PeerMessageListener>) {
-        self.listeners.write().push(listener);
+        self.inner.listeners.write().push(listener);
     }
 
     pub fn listener_count(&self) -> usize {
-        self.listeners.read().len()
+        self.inner.listeners.read().len()
+    }
+
+    /// Choose when callbacks run; takes effect for events fired after
+    /// the call.
+    pub fn set_delivery_mode(&self, mode: DeliveryMode) {
+        *self.inner.mode.write() = mode;
+    }
+
+    pub fn delivery_mode(&self) -> DeliveryMode {
+        *self.inner.mode.read()
+    }
+
+    /// How many listener callbacks have panicked (and been isolated)
+    /// over the bus's lifetime.
+    pub fn listener_panics(&self) -> usize {
+        self.inner.listener_panics.load(Ordering::SeqCst)
+    }
+
+    /// Deliver every queued event (in fire order) on the calling
+    /// thread. Events fired *by listeners* during the flush are
+    /// delivered too, before `flush` returns. No-op in
+    /// [`DeliveryMode::Immediate`].
+    pub fn flush(&self) {
+        loop {
+            let Some(event) = self.inner.queue.lock().pop_front() else {
+                return;
+            };
+            self.deliver(&event);
+        }
+    }
+
+    /// Snapshot the listener set, then invoke each listener outside
+    /// any bus lock, isolating panics. The snapshot is what makes
+    /// re-entrant listeners (firing events or adding listeners from a
+    /// callback) safe.
+    fn deliver(&self, event: &QueuedEvent) {
+        let snapshot: Vec<Arc<dyn PeerMessageListener>> = self.inner.listeners.read().clone();
+        for listener in snapshot {
+            let delivery = catch_unwind(AssertUnwindSafe(|| match event {
+                QueuedEvent::Discovery(e) => listener.on_discovery(e),
+                QueuedEvent::Publish(e) => listener.on_publish(e),
+                QueuedEvent::Client(e) => listener.on_client_message(e),
+                QueuedEvent::Server(e) => listener.on_server_message(e),
+                QueuedEvent::Deployment(e) => listener.on_deployment(e),
+            }));
+            if delivery.is_err() {
+                self.inner.listener_panics.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn fire(&self, event: QueuedEvent) {
+        match self.delivery_mode() {
+            DeliveryMode::Immediate => self.deliver(&event),
+            DeliveryMode::Queued => self.inner.queue.lock().push_back(event),
+        }
     }
 
     pub fn fire_discovery(&self, event: &DiscoveryMessageEvent) {
-        for l in self.listeners.read().iter() {
-            l.on_discovery(event);
-        }
+        self.fire(QueuedEvent::Discovery(event.clone()));
     }
 
     pub fn fire_publish(&self, event: &PublishMessageEvent) {
-        for l in self.listeners.read().iter() {
-            l.on_publish(event);
-        }
+        self.fire(QueuedEvent::Publish(event.clone()));
     }
 
     pub fn fire_client(&self, event: &ClientMessageEvent) {
-        for l in self.listeners.read().iter() {
-            l.on_client_message(event);
-        }
+        self.fire(QueuedEvent::Client(event.clone()));
     }
 
     pub fn fire_server(&self, event: &ServerMessageEvent) {
-        for l in self.listeners.read().iter() {
-            l.on_server_message(event);
-        }
+        self.fire(QueuedEvent::Server(event.clone()));
     }
 
     pub fn fire_deployment(&self, event: &DeploymentMessageEvent) {
-        for l in self.listeners.read().iter() {
-            l.on_deployment(event);
-        }
+        self.fire(QueuedEvent::Deployment(event.clone()));
     }
 }
 
@@ -156,6 +247,24 @@ impl CollectingListener {
             + self.client_messages.read().len()
             + self.server_messages.read().len()
             + self.deployments.read().len()
+    }
+
+    /// The discovery event carrying `token`, if it has arrived.
+    pub fn discovery_for(&self, token: u64) -> Option<DiscoveryMessageEvent> {
+        self.discoveries
+            .read()
+            .iter()
+            .find(|e| e.token == token)
+            .cloned()
+    }
+
+    /// The client-message event carrying `token`, if it has arrived.
+    pub fn client_message_for(&self, token: u64) -> Option<ClientMessageEvent> {
+        self.client_messages
+            .read()
+            .iter()
+            .find(|e| e.token == token)
+            .cloned()
     }
 }
 
@@ -194,7 +303,10 @@ mod tests {
             service: "Echo".into(),
             endpoints: vec!["http://h/Echo".into()],
         });
-        bus.fire_publish(&PublishMessageEvent { service: "Echo".into(), result: Ok("uuid:svc-1".into()) });
+        bus.fire_publish(&PublishMessageEvent {
+            service: "Echo".into(),
+            result: Ok("uuid:svc-1".into()),
+        });
         assert_eq!(listener.deployments.read().len(), 1);
         assert_eq!(listener.publishes.read().len(), 1);
         assert_eq!(listener.total(), 2);
@@ -207,7 +319,10 @@ mod tests {
         let listener = CollectingListener::new();
         bus.add_listener(listener.clone());
         assert_eq!(cloned.listener_count(), 1);
-        cloned.fire_discovery(&DiscoveryMessageEvent { token: 1, result: Ok(vec![]) });
+        cloned.fire_discovery(&DiscoveryMessageEvent {
+            token: 1,
+            result: Ok(vec![]),
+        });
         assert_eq!(listener.discoveries.read().len(), 1);
     }
 
@@ -240,5 +355,120 @@ mod tests {
             phase: ServerPhase::Inbound,
             envelope: Envelope::empty(),
         });
+    }
+
+    fn deployment(service: &str) -> DeploymentMessageEvent {
+        DeploymentMessageEvent {
+            service: service.into(),
+            endpoints: vec![],
+        }
+    }
+
+    #[test]
+    fn reentrant_listener_can_add_listeners_and_fire_events() {
+        // Before the snapshot rework this deadlocked: delivery held the
+        // listener read lock while the callback needed the write lock.
+        struct Reentrant {
+            bus: EventBus,
+            seen: CollectingListener,
+        }
+        impl PeerMessageListener for Reentrant {
+            fn on_deployment(&self, event: &DeploymentMessageEvent) {
+                self.seen.on_deployment(event);
+                if event.service == "first" {
+                    self.bus.add_listener(CollectingListener::new());
+                    self.bus.fire_publish(&PublishMessageEvent {
+                        service: event.service.clone(),
+                        result: Ok("nested".into()),
+                    });
+                }
+            }
+            fn on_publish(&self, event: &PublishMessageEvent) {
+                self.seen.on_publish(event);
+            }
+        }
+        let bus = EventBus::new();
+        let listener = Arc::new(Reentrant {
+            bus: bus.clone(),
+            seen: CollectingListener::default(),
+        });
+        bus.add_listener(listener.clone());
+        bus.fire_deployment(&deployment("first"));
+        assert_eq!(listener.seen.deployments.read().len(), 1);
+        assert_eq!(
+            listener.seen.publishes.read().len(),
+            1,
+            "nested fire delivered"
+        );
+        assert_eq!(bus.listener_count(), 2, "listener added from a callback");
+    }
+
+    #[test]
+    fn panicking_listener_is_isolated() {
+        struct Bomb;
+        impl PeerMessageListener for Bomb {
+            fn on_deployment(&self, _: &DeploymentMessageEvent) {
+                panic!("listener bug");
+            }
+        }
+        let bus = EventBus::new();
+        let after = CollectingListener::new();
+        bus.add_listener(Arc::new(Bomb));
+        bus.add_listener(after.clone());
+        bus.fire_deployment(&deployment("S"));
+        bus.fire_deployment(&deployment("T"));
+        assert_eq!(
+            after.deployments.read().len(),
+            2,
+            "listeners after the bomb still run"
+        );
+        assert_eq!(bus.listener_panics(), 2);
+    }
+
+    #[test]
+    fn queued_mode_defers_until_flush() {
+        let bus = EventBus::new();
+        let listener = CollectingListener::new();
+        bus.add_listener(listener.clone());
+        bus.set_delivery_mode(DeliveryMode::Queued);
+        bus.fire_deployment(&deployment("A"));
+        bus.fire_deployment(&deployment("B"));
+        assert_eq!(listener.total(), 0, "nothing delivered before flush");
+        bus.flush();
+        let services: Vec<String> = listener
+            .deployments
+            .read()
+            .iter()
+            .map(|e| e.service.clone())
+            .collect();
+        assert_eq!(services, ["A", "B"], "flush delivers in fire order");
+        bus.flush();
+        assert_eq!(listener.total(), 2, "flush is idempotent when drained");
+    }
+
+    #[test]
+    fn flush_delivers_events_fired_during_flush() {
+        struct Chain {
+            bus: EventBus,
+        }
+        impl PeerMessageListener for Chain {
+            fn on_deployment(&self, event: &DeploymentMessageEvent) {
+                if event.service == "first" {
+                    self.bus.fire_deployment(&deployment("second"));
+                }
+            }
+        }
+        let bus = EventBus::new();
+        let seen = CollectingListener::new();
+        bus.add_listener(Arc::new(Chain { bus: bus.clone() }));
+        bus.add_listener(seen.clone());
+        bus.set_delivery_mode(DeliveryMode::Queued);
+        bus.fire_deployment(&deployment("first"));
+        bus.flush();
+        assert_eq!(
+            seen.deployments.read().len(),
+            2,
+            "cascade drained in one flush"
+        );
     }
 }

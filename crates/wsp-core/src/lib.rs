@@ -24,6 +24,41 @@
 //!   different object.
 //! * **Workflows** ([`Workflow`]): Triana-style chaining of discovered
 //!   services.
+//! * The **dispatch core** ([`Dispatcher`]): every peer owns one
+//!   bounded-queue worker pool plus a token → pending-call correlation
+//!   table, shared by its client, server and bindings. Sync and async
+//!   invocation are a single pipeline — [`Client::invoke`] is
+//!   `invoke_async(..).wait()`.
+//!
+//! ## Asynchrony: `CallHandle` and event delivery
+//!
+//! `invoke_async`/`locate_async` return a [`CallHandle`] whose
+//! [`token`](CallHandle::token) matches the `token` field of the
+//! [`ClientMessageEvent`]/[`DiscoveryMessageEvent`] fired on
+//! completion, so listener callbacks correlate with in-flight calls.
+//! Handle semantics:
+//!
+//! * [`wait`](CallHandle::wait) blocks for the result; while blocked
+//!   the thread *helps* — it runs queued jobs inline, so nested sync
+//!   calls from inside a pool worker cannot deadlock the pool.
+//! * [`wait_timeout`](CallHandle::wait_timeout) returns `Err(handle)`
+//!   on timeout so the caller can keep waiting or
+//!   [`cancel`](CallHandle::cancel); a cancelled call drops any late
+//!   completion. [`try_poll`](CallHandle::try_poll) never blocks.
+//! * A panicking job poisons only its own handle (the waiter re-panics
+//!   with the job's message); worker threads always survive.
+//!
+//! [`EventBus`] delivery never holds locks while running listeners:
+//! the listener list is snapshotted first, so re-entrant listeners may
+//! add listeners or fire further events, and each callback runs under
+//! `catch_unwind` (panics are counted via
+//! [`EventBus::listener_panics`], not propagated). Delivery is
+//! [`DeliveryMode::Immediate`] by default — callbacks run on whichever
+//! thread fires the event, typically a pool worker — or
+//! [`DeliveryMode::Queued`], which defers all callbacks to an explicit
+//! [`EventBus::flush`], a deterministic barrier for tests and batch
+//! consumers. [`Dispatcher::flush`] is the matching barrier for job
+//! completion itself.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -44,6 +79,7 @@
 pub mod bindings;
 pub mod client;
 pub mod components;
+pub mod dispatch;
 pub mod endpoint;
 pub mod error;
 pub mod events;
@@ -55,11 +91,13 @@ pub mod workflow;
 
 pub use client::Client;
 pub use components::{Binding, Invoker, ServiceDeployer, ServiceLocator, ServicePublisher};
+pub use dispatch::{CallHandle, Completer, Dispatcher, DispatcherConfig, DispatcherStats};
 pub use endpoint::{BindingKind, DeployedService, LocatedService};
 pub use error::WspError;
 pub use events::{
-    ClientMessageEvent, CollectingListener, DeploymentMessageEvent, DiscoveryMessageEvent,
-    EventBus, PeerMessageListener, PublishMessageEvent, ServerMessageEvent, ServerPhase,
+    ClientMessageEvent, CollectingListener, DeliveryMode, DeploymentMessageEvent,
+    DiscoveryMessageEvent, EventBus, PeerMessageListener, PublishMessageEvent, ServerMessageEvent,
+    ServerPhase,
 };
 pub use peer::Peer;
 pub use query::{QueryExpr, ServiceQuery};

@@ -20,7 +20,10 @@ pub struct ServiceQuery {
 impl ServiceQuery {
     /// The simplest query: by service name.
     pub fn by_name(pattern: impl Into<String>) -> Self {
-        ServiceQuery { name_pattern: Some(pattern.into()), ..ServiceQuery::default() }
+        ServiceQuery {
+            name_pattern: Some(pattern.into()),
+            ..ServiceQuery::default()
+        }
     }
 
     /// Match anything (browse).
@@ -100,8 +103,8 @@ mod tests {
         let uddi_query = q.to_uddi();
         let categories = properties_to_uddi_categories(&q.properties);
         // A service published with these categories matches the query.
-        let service = wsp_uddi::BusinessService::new("k", "b", "S")
-            .with_category(categories[0].clone());
+        let service =
+            wsp_uddi::BusinessService::new("k", "b", "S").with_category(categories[0].clone());
         assert!(uddi_query.matches(&service));
         // And a differently-valued property does not.
         let other = wsp_uddi::BusinessService::new("k", "b", "S").with_category(
@@ -207,9 +210,7 @@ impl QueryExpr {
         let mut base = ServiceQuery::any();
         match self {
             QueryExpr::Name(pattern) => base.name_pattern = Some(pattern.clone()),
-            QueryExpr::Property(key, value) => {
-                base.properties.push((key.clone(), value.clone()))
-            }
+            QueryExpr::Property(key, value) => base.properties.push((key.clone(), value.clone())),
             QueryExpr::And(xs) => {
                 for x in xs {
                     match x {
@@ -234,7 +235,10 @@ mod expr_tests {
     use super::*;
 
     fn props(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]

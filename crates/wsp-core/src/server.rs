@@ -1,6 +1,7 @@
 //! The server side of the interface tree: deployment and publication.
 
 use crate::components::{ServiceDeployer, ServicePublisher};
+use crate::dispatch::Dispatcher;
 use crate::endpoint::DeployedService;
 use crate::error::WspError;
 use crate::events::{DeploymentMessageEvent, EventBus, PublishMessageEvent};
@@ -20,16 +21,31 @@ pub struct Server {
     publisher: RwLock<Option<Arc<dyn ServicePublisher>>>,
     deployed: RwLock<HashMap<String, DeployedService>>,
     events: EventBus,
+    dispatcher: Arc<Dispatcher>,
 }
 
 impl Server {
+    /// A standalone server with its own default-sized dispatcher.
+    /// Inside a [`crate::Peer`] the dispatcher is shared instead — see
+    /// [`Server::with_dispatcher`].
     pub fn new(events: EventBus) -> Arc<Server> {
+        Server::with_dispatcher(events, Dispatcher::with_defaults())
+    }
+
+    pub fn with_dispatcher(events: EventBus, dispatcher: Arc<Dispatcher>) -> Arc<Server> {
         Arc::new(Server {
             deployer: RwLock::new(None),
             publisher: RwLock::new(None),
             deployed: RwLock::new(HashMap::new()),
             events,
+            dispatcher,
         })
+    }
+
+    /// The dispatch core shared with the rest of the peer's tree;
+    /// deployed request handling submitted by bindings runs here.
+    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
+        &self.dispatcher
     }
 
     pub fn set_deployer(&self, deployer: Arc<dyn ServiceDeployer>) {
@@ -62,7 +78,9 @@ impl Server {
             .clone()
             .ok_or_else(|| WspError::Deploy("no ServiceDeployer plugged in".into()))?;
         let deployed = deployer.deploy(descriptor, handler)?;
-        self.deployed.write().insert(deployed.name().to_owned(), deployed.clone());
+        self.deployed
+            .write()
+            .insert(deployed.name().to_owned(), deployed.clone());
         self.events.fire_deployment(&DeploymentMessageEvent {
             service: deployed.name().to_owned(),
             endpoints: deployed.endpoints.clone(),
@@ -118,8 +136,10 @@ impl Server {
         if let Some(deployer) = self.deployer.read().clone() {
             deployer.undeploy(service);
         }
-        self.events
-            .fire_deployment(&DeploymentMessageEvent { service: service.to_owned(), endpoints: vec![] });
+        self.events.fire_deployment(&DeploymentMessageEvent {
+            service: service.to_owned(),
+            endpoints: vec![],
+        });
         true
     }
 
@@ -148,7 +168,11 @@ mod tests {
         ) -> Result<DeployedService, WspError> {
             let endpoint = format!("test://here/{}", descriptor.name);
             let wsdl = WsdlDocument::new(descriptor.clone(), vec![]);
-            Ok(DeployedService { descriptor, endpoints: vec![endpoint], wsdl })
+            Ok(DeployedService {
+                descriptor,
+                endpoints: vec![endpoint],
+                wsdl,
+            })
         }
         fn undeploy(&self, _service: &str) -> bool {
             true
@@ -188,7 +212,9 @@ mod tests {
     #[test]
     fn deploy_tracks_and_fires() {
         let (server, listener) = wired_server();
-        let deployed = server.deploy(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        let deployed = server
+            .deploy(ServiceDescriptor::echo(), echo_handler())
+            .unwrap();
         assert_eq!(deployed.endpoints, vec!["test://here/Echo"]);
         assert_eq!(server.deployed_services().len(), 1);
         assert_eq!(listener.deployments.read().len(), 1);
@@ -199,7 +225,9 @@ mod tests {
     fn publish_requires_prior_deploy() {
         let (server, listener) = wired_server();
         assert!(matches!(server.publish("Ghost"), Err(WspError::Publish(_))));
-        server.deploy(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        server
+            .deploy(ServiceDescriptor::echo(), echo_handler())
+            .unwrap();
         assert_eq!(server.publish("Echo").unwrap(), "published:Echo");
         assert_eq!(listener.publishes.read().len(), 1);
     }
@@ -207,7 +235,9 @@ mod tests {
     #[test]
     fn deploy_and_publish_combined() {
         let (server, listener) = wired_server();
-        server.deploy_and_publish(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        server
+            .deploy_and_publish(ServiceDescriptor::echo(), echo_handler())
+            .unwrap();
         assert_eq!(listener.deployments.read().len(), 1);
         assert_eq!(listener.publishes.read().len(), 1);
     }
@@ -215,7 +245,9 @@ mod tests {
     #[test]
     fn undeploy_cleans_up_and_fires() {
         let (server, listener) = wired_server();
-        server.deploy(ServiceDescriptor::echo(), echo_handler()).unwrap();
+        server
+            .deploy(ServiceDescriptor::echo(), echo_handler())
+            .unwrap();
         assert!(server.undeploy("Echo"));
         assert!(!server.undeploy("Echo"));
         assert!(server.deployed_services().is_empty());

@@ -25,7 +25,10 @@ pub struct StatefulService<T: Send + Sync + 'static> {
 impl<T: Send + Sync + 'static> StatefulService<T> {
     /// Wrap an existing application object.
     pub fn wrapping(object: Arc<T>) -> Self {
-        StatefulService { object, router: OperationRouter::new() }
+        StatefulService {
+            object,
+            router: OperationRouter::new(),
+        }
     }
 
     /// Map `operation` to a method of the wrapped object.
@@ -34,18 +37,27 @@ impl<T: Send + Sync + 'static> StatefulService<T> {
         F: Fn(&T, &[Value]) -> Result<Value, Fault> + Send + Sync + 'static,
     {
         let object = Arc::clone(&self.object);
-        self.router = self.router.route_fn(operation, move |args| method(&object, args));
+        self.router = self
+            .router
+            .route_fn(operation, move |args| method(&object, args));
         self
     }
 
     /// Map `operation` to a *different* object entirely (the paper's
     /// "each operation can map to a different stateful object").
-    pub fn operation_on<U, F>(mut self, operation: impl Into<String>, other: Arc<U>, method: F) -> Self
+    pub fn operation_on<U, F>(
+        mut self,
+        operation: impl Into<String>,
+        other: Arc<U>,
+        method: F,
+    ) -> Self
     where
         U: Send + Sync + 'static,
         F: Fn(&U, &[Value]) -> Result<Value, Fault> + Send + Sync + 'static,
     {
-        self.router = self.router.route_fn(operation, move |args| method(&other, args));
+        self.router = self
+            .router
+            .route_fn(operation, move |args| method(&other, args));
         self
     }
 
@@ -82,9 +94,13 @@ mod tests {
 
     #[test]
     fn service_reads_live_object_state() {
-        let sim = Arc::new(Simulation { frames: Mutex::new(Vec::new()) });
+        let sim = Arc::new(Simulation {
+            frames: Mutex::new(Vec::new()),
+        });
         let handler = StatefulService::wrapping(sim.clone())
-            .operation("frameCount", |s, _args| Ok(Value::Int(s.frames.lock().len() as i64)))
+            .operation("frameCount", |s, _args| {
+                Ok(Value::Int(s.frames.lock().len() as i64))
+            })
             .operation("latestFrame", |s, _args| {
                 Ok(s.frames
                     .lock()
@@ -100,16 +116,23 @@ mod tests {
         sim.step();
         // ...and the service sees it immediately.
         assert_eq!(handler.invoke("frameCount", &[]).unwrap(), Value::Int(2));
-        assert_eq!(handler.invoke("latestFrame", &[]).unwrap(), Value::string("frame-1"));
+        assert_eq!(
+            handler.invoke("latestFrame", &[]).unwrap(),
+            Value::string("frame-1")
+        );
     }
 
     #[test]
     fn operations_map_to_different_objects() {
-        let sim = Arc::new(Simulation { frames: Mutex::new(vec!["f0".into()]) });
+        let sim = Arc::new(Simulation {
+            frames: Mutex::new(vec!["f0".into()]),
+        });
         let counter = Arc::new(Mutex::new(0i64));
         let c = counter.clone();
         let handler = StatefulService::wrapping(sim)
-            .operation("frames", |s, _| Ok(Value::Int(s.frames.lock().len() as i64)))
+            .operation("frames", |s, _| {
+                Ok(Value::Int(s.frames.lock().len() as i64))
+            })
             .operation_on("bump", c, |counter, _| {
                 let mut n = counter.lock();
                 *n += 1;

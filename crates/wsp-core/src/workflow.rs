@@ -24,7 +24,11 @@ pub struct Stage {
 
 impl Stage {
     pub fn new(service: LocatedService, operation: impl Into<String>) -> Self {
-        Stage { service, operation: operation.into(), extra_args: Vec::new() }
+        Stage {
+            service,
+            operation: operation.into(),
+            extra_args: Vec::new(),
+        }
     }
 
     pub fn with_extra_arg(mut self, value: Value) -> Self {
@@ -99,7 +103,10 @@ impl Workflow {
             };
             stage_outputs.push(current.clone());
         }
-        Ok(WorkflowRun { output: current, stage_outputs })
+        Ok(WorkflowRun {
+            output: current,
+            stage_outputs,
+        })
     }
 }
 
@@ -120,7 +127,10 @@ fn run_fanout(client: &Arc<Client>, stages: &[Stage], input: &Value) -> Result<V
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|_| Err(WspError::Invoke("fan-out worker panicked".into()))))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(WspError::Invoke("fan-out worker panicked".into())))
+            })
             .collect()
     });
     let mut outputs = Vec::with_capacity(results.len());
@@ -179,7 +189,9 @@ mod tests {
 
     fn tool(name: &str) -> LocatedService {
         let descriptor = ServiceDescriptor::new(name, format!("urn:{name}")).operation(
-            OperationDef::new("apply").input("text", XsdType::String).returns(XsdType::String),
+            OperationDef::new("apply")
+                .input("text", XsdType::String)
+                .returns(XsdType::String),
         );
         LocatedService::new(
             WsdlDocument::new(descriptor, vec![]),
@@ -266,7 +278,9 @@ mod tests {
                 _operation: &str,
                 args: &[Value],
             ) -> Result<Value, WspError> {
-                Ok(Value::Int(args[0].as_array().map(|a| a.len()).unwrap_or(0) as i64))
+                Ok(Value::Int(
+                    args[0].as_array().map(|a| a.len()).unwrap_or(0) as i64
+                ))
             }
             fn handles(&self, endpoint: &str) -> bool {
                 endpoint.starts_with("count://")

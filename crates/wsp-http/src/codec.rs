@@ -85,14 +85,20 @@ pub fn parse_request(input: &[u8]) -> Result<(Request, usize), HttpError> {
     let (head, body_start) = split_head(input)?;
     let mut lines = head.split(|&b| b == b'\n').map(trim_cr);
     let start = lines.next().ok_or(HttpError::Malformed("empty request"))?;
-    let start = std::str::from_utf8(start).map_err(|_| HttpError::Malformed("non-UTF8 start line"))?;
+    let start =
+        std::str::from_utf8(start).map_err(|_| HttpError::Malformed("non-UTF8 start line"))?;
     let mut parts = start.split(' ');
     let method = parts
         .next()
         .and_then(Method::parse)
         .ok_or(HttpError::Malformed("unknown method"))?;
-    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?.to_owned();
-    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing target"))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
@@ -103,7 +109,15 @@ pub fn parse_request(input: &[u8]) -> Result<(Request, usize), HttpError> {
         return Err(HttpError::Incomplete);
     }
     let body = input[body_start..total].to_vec();
-    Ok((Request { method, target, headers, body }, total))
+    Ok((
+        Request {
+            method,
+            target,
+            headers,
+            body,
+        },
+        total,
+    ))
 }
 
 /// Parse a complete response from `input`. Returns the response and the
@@ -112,9 +126,12 @@ pub fn parse_response(input: &[u8]) -> Result<(Response, usize), HttpError> {
     let (head, body_start) = split_head(input)?;
     let mut lines = head.split(|&b| b == b'\n').map(trim_cr);
     let start = lines.next().ok_or(HttpError::Malformed("empty response"))?;
-    let start = std::str::from_utf8(start).map_err(|_| HttpError::Malformed("non-UTF8 status line"))?;
+    let start =
+        std::str::from_utf8(start).map_err(|_| HttpError::Malformed("non-UTF8 status line"))?;
     let mut parts = start.splitn(3, ' ');
-    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
@@ -130,7 +147,15 @@ pub fn parse_response(input: &[u8]) -> Result<(Response, usize), HttpError> {
         return Err(HttpError::Incomplete);
     }
     let body = input[body_start..total].to_vec();
-    Ok((Response { status, reason, headers, body }, total))
+    Ok((
+        Response {
+            status,
+            reason,
+            headers,
+            body,
+        },
+        total,
+    ))
 }
 
 /// Locate the end of the header section. Returns the head slice (without
@@ -152,8 +177,11 @@ fn parse_headers<'a, I: Iterator<Item = &'a [u8]>>(lines: I) -> Result<Headers, 
         if line.is_empty() {
             continue;
         }
-        let line = std::str::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF8 header"))?;
-        let (name, value) = line.split_once(':').ok_or(HttpError::Malformed("header without colon"))?;
+        let line =
+            std::str::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF8 header"))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
         headers.append(name.trim(), value.trim());
     }
     Ok(headers)
@@ -162,7 +190,10 @@ fn parse_headers<'a, I: Iterator<Item = &'a [u8]>>(lines: I) -> Result<Headers, 
 fn content_length(headers: &Headers) -> Result<usize, HttpError> {
     match headers.get("content-length") {
         None => Ok(0),
-        Some(v) => v.trim().parse().map_err(|_| HttpError::Malformed("bad Content-Length")),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| HttpError::Malformed("bad Content-Length")),
     }
 }
 
@@ -219,7 +250,11 @@ mod tests {
         let req = Request::post("/s", "text/plain", "hello world");
         let bytes = encode_request(&req);
         for cut in [10, bytes.len() - 5, bytes.len() - 1] {
-            assert_eq!(parse_request(&bytes[..cut]).unwrap_err(), HttpError::Incomplete, "cut {cut}");
+            assert_eq!(
+                parse_request(&bytes[..cut]).unwrap_err(),
+                HttpError::Incomplete,
+                "cut {cut}"
+            );
         }
     }
 
@@ -237,9 +272,18 @@ mod tests {
 
     #[test]
     fn malformed_inputs_rejected() {
-        assert!(matches!(parse_request(b"BREW / HTTP/1.1\r\n\r\n"), Err(HttpError::Malformed(_))));
-        assert!(matches!(parse_request(b"GET /\r\n\r\n"), Err(HttpError::Malformed(_))));
-        assert!(matches!(parse_request(b"GET / SPDY/9\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse_request(b"BREW / HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET /\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
         assert!(matches!(
             parse_request(b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n"),
             Err(HttpError::Malformed(_))
@@ -248,7 +292,10 @@ mod tests {
             parse_request(b"GET / HTTP/1.1\r\nContent-Length: soap\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
-        assert!(matches!(parse_response(b"HTTP/1.1 abc OK\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse_response(b"HTTP/1.1 abc OK\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl Default for ContainerModel {
 impl ContainerModel {
     /// Hot-deploy variant: no restart, but still a heavyweight deploy.
     pub fn hot_deploy() -> Self {
-        ContainerModel { restart_on_deploy: false, ..ContainerModel::default() }
+        ContainerModel {
+            restart_on_deploy: false,
+            ..ContainerModel::default()
+        }
     }
 
     /// Virtual time from "deploy requested" to "service reachable",
@@ -143,7 +146,8 @@ impl Node<String> for ContainerSimServer {
                     }
                     ctx.send(
                         client,
-                        String::from_utf8_lossy(&crate::codec::encode_response(&response)).into_owned(),
+                        String::from_utf8_lossy(&crate::codec::encode_response(&response))
+                            .into_owned(),
                     );
                 }
             }
@@ -204,7 +208,10 @@ mod tests {
         let m = ContainerModel::hot_deploy();
         assert_eq!(m.time_to_available(3, true), Dur::millis(1500));
         // But a cold container must still start.
-        assert_eq!(m.time_to_available(0, false), Dur::secs(8) + Dur::millis(1500));
+        assert_eq!(
+            m.time_to_available(0, false),
+            Dur::secs(8) + Dur::millis(1500)
+        );
     }
 
     struct Probe {
@@ -227,7 +234,9 @@ mod tests {
                 }
                 NodeEvent::Message { msg, .. } => {
                     if let Some((_c, response)) = self.client.accept(&msg) {
-                        self.responses.borrow_mut().push((ctx.now(), response.status));
+                        self.responses
+                            .borrow_mut()
+                            .push((ctx.now(), response.status));
                     }
                 }
                 _ => {}
@@ -238,10 +247,21 @@ mod tests {
     #[test]
     fn requests_during_startup_get_503_then_succeed() {
         let mut net: SimNet<String> = SimNet::new(3);
-        net.set_default_link(LinkSpec { latency: Dur::millis(1), jitter: Dur::ZERO, loss: 0.0, per_byte: Dur::ZERO });
+        net.set_default_link(LinkSpec {
+            latency: Dur::millis(1),
+            jitter: Dur::ZERO,
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        });
         let router = Router::new();
-        router.deploy("S", Arc::new(|_r: &Request| Response::ok("text/plain", "up")));
-        let server = net.add_node(Box::new(ContainerSimServer::new(ContainerModel::default(), router)));
+        router.deploy(
+            "S",
+            Arc::new(|_r: &Request| Response::ok("text/plain", "up")),
+        );
+        let server = net.add_node(Box::new(ContainerSimServer::new(
+            ContainerModel::default(),
+            router,
+        )));
         let responses = Rc::new(RefCell::new(Vec::new()));
         net.add_node(Box::new(Probe {
             server,

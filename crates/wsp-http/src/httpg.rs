@@ -25,12 +25,19 @@ pub struct HttpgCredential {
 
 impl HttpgCredential {
     pub fn new(secret: impl Into<String>, subject: impl Into<String>) -> Self {
-        HttpgCredential { secret: secret.into(), subject: subject.into() }
+        HttpgCredential {
+            secret: secret.into(),
+            subject: subject.into(),
+        }
     }
 
     /// Compute the request token for a target path.
     pub fn token_for(&self, target: &str) -> String {
-        format!("HTTPG subject={} mac={:016x}", self.subject, keyed_hash(&self.secret, &self.subject, target))
+        format!(
+            "HTTPG subject={} mac={:016x}",
+            self.subject,
+            keyed_hash(&self.secret, &self.subject, target)
+        )
     }
 
     /// Stamp a request with this credential.
@@ -42,7 +49,10 @@ impl HttpgCredential {
     /// Verify a request against this domain's secret. Returns the
     /// asserted subject on success.
     pub fn verify(&self, request: &Request) -> Result<String, HttpgError> {
-        let header = request.headers.get(AUTH_HEADER).ok_or(HttpgError::MissingToken)?;
+        let header = request
+            .headers
+            .get(AUTH_HEADER)
+            .ok_or(HttpgError::MissingToken)?;
         let rest = header.strip_prefix("HTTPG ").ok_or(HttpgError::NotHttpg)?;
         let mut subject = None;
         let mut mac = None;
@@ -107,7 +117,13 @@ pub fn guard_router(router: &Router, credential: HttpgCredential) {
 /// module docs.
 fn keyed_hash(secret: &str, subject: &str, target: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for chunk in [secret.as_bytes(), b"\0", subject.as_bytes(), b"\0", target.as_bytes()] {
+    for chunk in [
+        secret.as_bytes(),
+        b"\0",
+        subject.as_bytes(),
+        b"\0",
+        target.as_bytes(),
+    ] {
         for &b in chunk {
             hash ^= u64::from(b);
             hash = hash.wrapping_mul(0x1000_0000_01b3);
@@ -133,7 +149,10 @@ mod tests {
 
     #[test]
     fn missing_token_rejected() {
-        assert_eq!(cred().verify(&Request::get("/x")), Err(HttpgError::MissingToken));
+        assert_eq!(
+            cred().verify(&Request::get("/x")),
+            Err(HttpgError::MissingToken)
+        );
     }
 
     #[test]
@@ -155,7 +174,11 @@ mod tests {
     fn tampered_subject_rejected() {
         let mut request = Request::get("/Cactus");
         cred().apply(&mut request);
-        let token = request.headers.get(AUTH_HEADER).unwrap().replace("triana", "mallory");
+        let token = request
+            .headers
+            .get(AUTH_HEADER)
+            .unwrap()
+            .replace("triana", "mallory");
         request.headers.set(AUTH_HEADER, token);
         assert_eq!(cred().verify(&request), Err(HttpgError::BadToken));
     }
@@ -182,7 +205,10 @@ mod tests {
     #[test]
     fn guard_router_protects_everything_but_still_routes() {
         let router = Router::new();
-        router.deploy("S", Arc::new(|_r: &Request| Response::ok("text/plain", "ok")));
+        router.deploy(
+            "S",
+            Arc::new(|_r: &Request| Response::ok("text/plain", "ok")),
+        );
         guard_router(&router, cred());
         assert_eq!(router.handle(&Request::get("/S")).status, 401);
         let mut authed = Request::get("/S");

@@ -98,7 +98,12 @@ pub struct Request {
 
 impl Request {
     pub fn new(method: Method, target: impl Into<String>) -> Self {
-        Request { method, target: target.into(), headers: Headers::new(), body: Vec::new() }
+        Request {
+            method,
+            target: target.into(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
     }
 
     /// A GET for `target`.
@@ -140,7 +145,12 @@ pub struct Response {
 
 impl Response {
     pub fn new(status: u16, reason: impl Into<String>) -> Self {
-        Response { status, reason: reason.into(), headers: Headers::new(), body: Vec::new() }
+        Response {
+            status,
+            reason: reason.into(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
     }
 
     /// 200 with a typed text body.
@@ -202,7 +212,13 @@ mod tests {
 
     #[test]
     fn method_round_trip() {
-        for m in [Method::Get, Method::Post, Method::Head, Method::Put, Method::Delete] {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Head,
+            Method::Put,
+            Method::Delete,
+        ] {
             assert_eq!(Method::parse(m.as_str()), Some(m));
         }
         assert_eq!(Method::parse("BREW"), None);

@@ -41,7 +41,10 @@ impl Router {
 
     /// Deploy a service at `/name`. Replaces any previous deployment.
     pub fn deploy(&self, name: &str, handler: HttpHandler) {
-        self.routes.write().services.insert(name.to_owned(), handler);
+        self.routes
+            .write()
+            .services
+            .insert(name.to_owned(), handler);
     }
 
     /// Remove a service. Returns true if it was deployed.
@@ -146,10 +149,16 @@ mod tests {
         r.set_interceptor(Some(Arc::new(|req: &Request| {
             (req.query() == Some("intercept")).then(|| Response::ok("text/plain", "intercepted"))
         })));
-        assert_eq!(r.handle(&Request::get("/Echo?intercept")).body_str(), "intercepted");
+        assert_eq!(
+            r.handle(&Request::get("/Echo?intercept")).body_str(),
+            "intercepted"
+        );
         assert_eq!(r.handle(&Request::get("/Echo")).body_str(), "handler");
         r.set_interceptor(None);
-        assert_eq!(r.handle(&Request::get("/Echo?intercept")).body_str(), "handler");
+        assert_eq!(
+            r.handle(&Request::get("/Echo?intercept")).body_str(),
+            "handler"
+        );
     }
 
     #[test]

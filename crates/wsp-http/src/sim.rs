@@ -61,7 +61,9 @@ impl HttpSimServer {
 
     fn try_start_work(&mut self, ctx: &mut Context<'_, String>) {
         while self.busy < self.workers {
-            let Some(work) = self.queue.pop_front() else { break };
+            let Some(work) = self.queue.pop_front() else {
+                break;
+            };
             self.in_flight.push_back(work);
             self.busy += 1;
             ctx.set_timer(self.service_time, 0);
@@ -76,7 +78,10 @@ impl HttpSimServer {
                 response.headers.set(CORRELATION_HEADER, corr);
             }
             ctx.count("http.served");
-            ctx.send(client, String::from_utf8_lossy(&encode_response(&response)).into_owned());
+            ctx.send(
+                client,
+                String::from_utf8_lossy(&encode_response(&response)).into_owned(),
+            );
         }
         self.try_start_work(ctx);
     }
@@ -96,7 +101,10 @@ impl Node<String> for HttpSimServer {
                     if let Some(corr) = request.headers.get(CORRELATION_HEADER) {
                         response.headers.set(CORRELATION_HEADER, corr);
                     }
-                    ctx.send(from, String::from_utf8_lossy(&encode_response(&response)).into_owned());
+                    ctx.send(
+                        from,
+                        String::from_utf8_lossy(&encode_response(&response)).into_owned(),
+                    );
                     return;
                 }
                 ctx.count("http.accepted");
@@ -132,11 +140,21 @@ impl SimHttpClient {
 
     /// Send `request` to `server`, returning the correlation id that the
     /// response will carry.
-    pub fn send(&mut self, ctx: &mut Context<'_, String>, server: NodeId, mut request: Request) -> u64 {
+    pub fn send(
+        &mut self,
+        ctx: &mut Context<'_, String>,
+        server: NodeId,
+        mut request: Request,
+    ) -> u64 {
         let correlation = self.next_correlation;
         self.next_correlation += 1;
-        request.headers.set(CORRELATION_HEADER, correlation.to_string());
-        ctx.send(server, String::from_utf8_lossy(&encode_request(&request)).into_owned());
+        request
+            .headers
+            .set(CORRELATION_HEADER, correlation.to_string());
+        ctx.send(
+            server,
+            String::from_utf8_lossy(&encode_request(&request)).into_owned(),
+        );
         correlation
     }
 
@@ -180,12 +198,18 @@ mod tests {
             match event {
                 NodeEvent::Start => {
                     for _ in 0..self.n {
-                        self.client.send(ctx, self.server, Request::post("/Echo", "text/plain", "hi"));
+                        self.client.send(
+                            ctx,
+                            self.server,
+                            Request::post("/Echo", "text/plain", "hi"),
+                        );
                     }
                 }
                 NodeEvent::Message { msg, .. } => {
                     if let Some((_corr, response)) = self.client.accept(&msg) {
-                        self.responses.borrow_mut().push((ctx.now(), response.status));
+                        self.responses
+                            .borrow_mut()
+                            .push((ctx.now(), response.status));
                     }
                 }
                 _ => {}
@@ -195,9 +219,15 @@ mod tests {
 
     fn run_burst(n: usize, workers: u32, queue_limit: usize) -> Vec<(Time, u16)> {
         let mut net: SimNet<String> = SimNet::new(5);
-        net.set_default_link(LinkSpec { latency: Dur::millis(1), jitter: Dur::ZERO, loss: 0.0, per_byte: Dur::ZERO });
+        net.set_default_link(LinkSpec {
+            latency: Dur::millis(1),
+            jitter: Dur::ZERO,
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        });
         let server = net.add_node(Box::new(
-            HttpSimServer::new(echo_router(), Dur::millis(10), workers).with_queue_limit(queue_limit),
+            HttpSimServer::new(echo_router(), Dur::millis(10), workers)
+                .with_queue_limit(queue_limit),
         ));
         let responses = Rc::new(RefCell::new(Vec::new()));
         net.add_node(Box::new(Burst {
@@ -224,7 +254,10 @@ mod tests {
     fn queueing_serialises_service_times() {
         let responses = run_burst(3, 1, usize::MAX);
         let times: Vec<_> = responses.iter().map(|(t, _)| *t).collect();
-        assert_eq!(times, vec![Time::millis(12), Time::millis(22), Time::millis(32)]);
+        assert_eq!(
+            times,
+            vec![Time::millis(12), Time::millis(22), Time::millis(32)]
+        );
     }
 
     #[test]
@@ -249,7 +282,11 @@ mod tests {
     #[test]
     fn correlation_ids_distinguish_responses() {
         let mut net: SimNet<String> = SimNet::new(7);
-        let server = net.add_node(Box::new(HttpSimServer::new(echo_router(), Dur::millis(1), 1)));
+        let server = net.add_node(Box::new(HttpSimServer::new(
+            echo_router(),
+            Dur::millis(1),
+            1,
+        )));
         let seen = Rc::new(RefCell::new(Vec::new()));
         struct TwoBodies {
             server: NodeId,
@@ -260,20 +297,34 @@ mod tests {
             fn handle(&mut self, ctx: &mut Context<'_, String>, event: NodeEvent<String>) {
                 match event {
                     NodeEvent::Start => {
-                        let a = self.client.send(ctx, self.server, Request::post("/Echo", "text/plain", "first"));
-                        let b = self.client.send(ctx, self.server, Request::post("/Echo", "text/plain", "second"));
+                        let a = self.client.send(
+                            ctx,
+                            self.server,
+                            Request::post("/Echo", "text/plain", "first"),
+                        );
+                        let b = self.client.send(
+                            ctx,
+                            self.server,
+                            Request::post("/Echo", "text/plain", "second"),
+                        );
                         assert_ne!(a, b);
                     }
                     NodeEvent::Message { msg, .. } => {
                         if let Some((corr, resp)) = self.client.accept(&msg) {
-                            self.seen.borrow_mut().push((corr, resp.body_str().into_owned()));
+                            self.seen
+                                .borrow_mut()
+                                .push((corr, resp.body_str().into_owned()));
                         }
                     }
                     _ => {}
                 }
             }
         }
-        net.add_node(Box::new(TwoBodies { server, client: SimHttpClient::new(), seen: seen.clone() }));
+        net.add_node(Box::new(TwoBodies {
+            server,
+            client: SimHttpClient::new(),
+            seen: seen.clone(),
+        }));
         net.run_to_quiescence();
         let mut got = seen.borrow().clone();
         got.sort();
@@ -283,8 +334,17 @@ mod tests {
     #[test]
     fn crash_loses_queued_work() {
         let mut net: SimNet<String> = SimNet::new(9);
-        net.set_default_link(LinkSpec { latency: Dur::millis(1), jitter: Dur::ZERO, loss: 0.0, per_byte: Dur::ZERO });
-        let server = net.add_node(Box::new(HttpSimServer::new(echo_router(), Dur::millis(50), 1)));
+        net.set_default_link(LinkSpec {
+            latency: Dur::millis(1),
+            jitter: Dur::ZERO,
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        });
+        let server = net.add_node(Box::new(HttpSimServer::new(
+            echo_router(),
+            Dur::millis(50),
+            1,
+        )));
         let responses = Rc::new(RefCell::new(Vec::new()));
         net.add_node(Box::new(Burst {
             server,
@@ -294,6 +354,9 @@ mod tests {
         }));
         net.schedule_down(server, Time::millis(10));
         net.run_to_quiescence();
-        assert!(responses.borrow().is_empty(), "crash should lose all queued work");
+        assert!(
+            responses.borrow().is_empty(),
+            "crash should lose all queued work"
+        );
     }
 }

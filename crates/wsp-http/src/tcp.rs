@@ -39,7 +39,12 @@ impl TcpServer {
             .name(format!("wsp-http-{}", addr.port()))
             .spawn(move || accept_loop(listener, accept_router, accept_stop))
             .expect("spawn accept thread");
-        Ok(TcpServer { addr, router, stop, accept_thread: Some(accept_thread) })
+        Ok(TcpServer {
+            addr,
+            router,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     pub fn addr(&self) -> SocketAddr {
@@ -129,8 +134,9 @@ fn serve_connection(mut stream: TcpStream, router: Router, stop: Arc<AtomicBool>
                     }
                 }
                 Err(_) => {
-                    let _ = stream
-                        .write_all(&encode_response(&Response::bad_request("unparseable request")));
+                    let _ = stream.write_all(&encode_response(&Response::bad_request(
+                        "unparseable request",
+                    )));
                     return;
                 }
             }
@@ -160,8 +166,8 @@ fn serve_connection(mut stream: TcpStream, router: Router, stop: Arc<AtomicBool>
 pub fn http_call(host: &str, port: u16, mut request: Request) -> Result<Response, HttpError> {
     request.headers.set("Host", format!("{host}:{port}"));
     request.headers.set("Connection", "close");
-    let mut stream = TcpStream::connect((host, port))
-        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    let mut stream =
+        TcpStream::connect((host, port)).map_err(|e| HttpError::Connect(e.to_string()))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| HttpError::Io(e.to_string()))?;
@@ -187,8 +193,7 @@ pub fn http_call(host: &str, port: u16, mut request: Request) -> Result<Response
 
 /// Issue one request to an absolute `http://` URI.
 pub fn http_call_uri(uri: &str, mut request: Request) -> Result<Response, HttpError> {
-    let parsed = crate::uri::HttpUri::parse(uri)
-        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    let parsed = crate::uri::HttpUri::parse(uri).map_err(|e| HttpError::Connect(e.to_string()))?;
     if request.target == "/" || request.target.is_empty() {
         request.target = parsed.target.clone();
     }
@@ -209,7 +214,10 @@ pub struct ConnectionPool {
 
 impl ConnectionPool {
     pub fn new() -> Self {
-        ConnectionPool { idle: Default::default(), max_idle_per_host: 4 }
+        ConnectionPool {
+            idle: Default::default(),
+            max_idle_per_host: 4,
+        }
     }
 
     /// Number of idle pooled connections (all hosts).
@@ -241,8 +249,8 @@ impl ConnectionPool {
                 return Ok(response);
             }
         }
-        let stream = TcpStream::connect((host, port))
-            .map_err(|e| HttpError::Connect(e.to_string()))?;
+        let stream =
+            TcpStream::connect((host, port)).map_err(|e| HttpError::Connect(e.to_string()))?;
         self.exchange(stream, &authority, &request)
     }
 
@@ -361,9 +369,12 @@ mod tests {
             .map(|i| {
                 std::thread::spawn(move || {
                     let body = format!("client-{i}");
-                    let resp =
-                        http_call("127.0.0.1", port, Request::post("/Echo", "text/plain", body.clone()))
-                            .unwrap();
+                    let resp = http_call(
+                        "127.0.0.1",
+                        port,
+                        Request::post("/Echo", "text/plain", body.clone()),
+                    )
+                    .unwrap();
                     assert_eq!(resp.body_str(), body);
                 })
             })
@@ -395,7 +406,11 @@ mod pool_tests {
         let pool = ConnectionPool::new();
         for i in 0..5 {
             let response = pool
-                .call("127.0.0.1", server.port(), Request::post("/Echo", "text/plain", format!("r{i}")))
+                .call(
+                    "127.0.0.1",
+                    server.port(),
+                    Request::post("/Echo", "text/plain", format!("r{i}")),
+                )
                 .unwrap();
             assert_eq!(response.body_str(), format!("r{i}"));
         }
@@ -416,7 +431,10 @@ mod pool_tests {
         server.shutdown();
         std::thread::sleep(Duration::from_millis(400));
         let router = Router::new();
-        router.deploy("Echo", Arc::new(|_r: &Request| Response::ok("text/plain", "back")));
+        router.deploy(
+            "Echo",
+            Arc::new(|_r: &Request| Response::ok("text/plain", "back")),
+        );
         // Rebind on the same port (may need a few tries on busy CI).
         let server2 = (0..20)
             .find_map(|_| {
@@ -438,7 +456,9 @@ mod pool_tests {
         assert_eq!(response.headers.get("connection"), Some("close"));
         // A pooled client sees keep-alive.
         let pool = ConnectionPool::new();
-        let response = pool.call("127.0.0.1", server.port(), Request::get("/Echo")).unwrap();
+        let response = pool
+            .call("127.0.0.1", server.port(), Request::get("/Echo"))
+            .unwrap();
         assert_eq!(response.headers.get("connection"), Some("keep-alive"));
         server.shutdown();
     }
@@ -455,7 +475,11 @@ mod pool_tests {
                     for j in 0..10 {
                         let body = format!("t{i}-{j}");
                         let r = pool
-                            .call("127.0.0.1", port, Request::post("/Echo", "text/plain", body.clone()))
+                            .call(
+                                "127.0.0.1",
+                                port,
+                                Request::post("/Echo", "text/plain", body.clone()),
+                            )
                             .unwrap();
                         assert_eq!(r.body_str(), body);
                     }

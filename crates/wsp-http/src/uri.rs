@@ -60,7 +60,11 @@ impl HttpUri {
 
 impl fmt::Display for HttpUri {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}://{}:{}{}", self.scheme, self.host, self.port, self.target)
+        write!(
+            f,
+            "{}://{}:{}{}",
+            self.scheme, self.host, self.port, self.target
+        )
     }
 }
 
@@ -73,7 +77,10 @@ pub struct UriError {
 
 impl UriError {
     fn new(uri: &str, reason: &'static str) -> Self {
-        UriError { uri: uri.to_owned(), reason }
+        UriError {
+            uri: uri.to_owned(),
+            reason,
+        }
     }
 }
 

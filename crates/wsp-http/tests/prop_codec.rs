@@ -3,7 +3,9 @@
 //! parser never panics.
 
 use proptest::prelude::*;
-use wsp_http::{encode_request, encode_response, parse_request, parse_response, Method, Request, Response};
+use wsp_http::{
+    encode_request, encode_response, parse_request, parse_response, Method, Request, Response,
+};
 
 fn token() -> impl Strategy<Value = String> {
     "[A-Za-z][A-Za-z0-9-]{0,12}"

@@ -18,7 +18,9 @@ use wsp_xml::Element;
 pub fn advert_to_epr(advert: &PipeAdvertisement) -> EndpointReference {
     let address = advert.uri().address();
     EndpointReference::new(address).with_property(
-        Element::build(P2PS_NS, "PipeName").text(advert.name.clone()).finish(),
+        Element::build(P2PS_NS, "PipeName")
+            .text(advert.name.clone())
+            .finish(),
     )
 }
 
@@ -32,7 +34,11 @@ pub fn epr_to_advert(epr: &EndpointReference) -> Option<PipeAdvertisement> {
         .find(|p| p.name().is(P2PS_NS, "PipeName"))
         .map(Element::text)
         .or(uri.pipe.clone())?;
-    Some(PipeAdvertisement { peer: uri.peer, service: uri.service, name: pipe_name })
+    Some(PipeAdvertisement {
+        peer: uri.peer,
+        service: uri.service,
+        name: pipe_name,
+    })
 }
 
 /// Build the WS-Addressing headers for a SOAP invocation *of* the pipe
@@ -75,7 +81,11 @@ pub fn target_pipe_of(request: &Envelope) -> Option<PipeAdvertisement> {
         .and_then(|a| P2psUri::parse(a).ok())
         .and_then(|u| u.pipe);
     let name = from_property.or(from_action)?;
-    Some(PipeAdvertisement { peer: uri.peer, service: uri.service, name })
+    Some(PipeAdvertisement {
+        peer: uri.peer,
+        service: uri.service,
+        name,
+    })
 }
 
 #[cfg(test)]
@@ -114,7 +124,10 @@ mod tests {
     fn request_headers_follow_rule_3() {
         let headers = request_headers(&service_pipe());
         assert_eq!(headers.to.as_deref(), Some("p2ps://0000000000001234/Echo"));
-        assert_eq!(headers.action.as_deref(), Some("p2ps://0000000000001234/Echo#echoString"));
+        assert_eq!(
+            headers.action.as_deref(),
+            Some("p2ps://0000000000001234/Echo#echoString")
+        );
         // Reference properties copied into the header set.
         assert_eq!(headers.destination_properties.len(), 1);
     }

@@ -30,7 +30,11 @@ pub struct PipeAdvertisement {
 
 impl PipeAdvertisement {
     pub fn new(peer: PeerId, service: Option<String>, name: impl Into<String>) -> Self {
-        PipeAdvertisement { peer, service, name: name.into() }
+        PipeAdvertisement {
+            peer,
+            service,
+            name: name.into(),
+        }
     }
 
     /// The `p2ps://` URI identifying this pipe.
@@ -44,11 +48,19 @@ impl PipeAdvertisement {
 
     pub fn to_element(&self) -> Element {
         let mut e = Element::new(P2PS_NS, "PipeAdvertisement");
-        e.push_element(Element::build(P2PS_NS, "Peer").text(self.peer.to_hex()).finish());
+        e.push_element(
+            Element::build(P2PS_NS, "Peer")
+                .text(self.peer.to_hex())
+                .finish(),
+        );
         if let Some(s) = &self.service {
             e.push_element(Element::build(P2PS_NS, "Service").text(s.clone()).finish());
         }
-        e.push_element(Element::build(P2PS_NS, "Name").text(self.name.clone()).finish());
+        e.push_element(
+            Element::build(P2PS_NS, "Name")
+                .text(self.name.clone())
+                .finish(),
+        );
         e
     }
 
@@ -56,7 +68,11 @@ impl PipeAdvertisement {
         let peer = PeerId::from_hex(e.child_text(P2PS_NS, "Peer")?.trim())?;
         let service = e.child_text(P2PS_NS, "Service");
         let name = e.child_text(P2PS_NS, "Name")?;
-        Some(PipeAdvertisement { peer, service, name })
+        Some(PipeAdvertisement {
+            peer,
+            service,
+            name,
+        })
     }
 }
 
@@ -73,7 +89,12 @@ pub struct ServiceAdvertisement {
 
 impl ServiceAdvertisement {
     pub fn new(name: impl Into<String>, peer: PeerId) -> Self {
-        ServiceAdvertisement { name: name.into(), peer, pipes: Vec::new(), attributes: Vec::new() }
+        ServiceAdvertisement {
+            name: name.into(),
+            peer,
+            pipes: Vec::new(),
+            attributes: Vec::new(),
+        }
     }
 
     /// Add a pipe named `pipe_name` on this service.
@@ -105,7 +126,10 @@ impl ServiceAdvertisement {
 
     /// Value of a named attribute.
     pub fn attribute(&self, key: &str) -> Option<&str> {
-        self.attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The service's `p2ps://` address.
@@ -115,8 +139,16 @@ impl ServiceAdvertisement {
 
     pub fn to_element(&self) -> Element {
         let mut e = Element::new(P2PS_NS, "ServiceAdvertisement");
-        e.push_element(Element::build(P2PS_NS, "Name").text(self.name.clone()).finish());
-        e.push_element(Element::build(P2PS_NS, "Peer").text(self.peer.to_hex()).finish());
+        e.push_element(
+            Element::build(P2PS_NS, "Name")
+                .text(self.name.clone())
+                .finish(),
+        );
+        e.push_element(
+            Element::build(P2PS_NS, "Peer")
+                .text(self.peer.to_hex())
+                .finish(),
+        );
         for pipe in &self.pipes {
             e.push_element(pipe.to_element());
         }
@@ -147,13 +179,16 @@ impl ServiceAdvertisement {
             .map(|attrs| {
                 attrs
                     .find_all(P2PS_NS, "Attribute")
-                    .filter_map(|a| {
-                        a.attribute_local("name").map(|n| (n.to_owned(), a.text()))
-                    })
+                    .filter_map(|a| a.attribute_local("name").map(|n| (n.to_owned(), a.text())))
                     .collect()
             })
             .unwrap_or_default();
-        Some(ServiceAdvertisement { name, peer, pipes, attributes })
+        Some(ServiceAdvertisement {
+            name,
+            peer,
+            pipes,
+            attributes,
+        })
     }
 }
 
@@ -194,7 +229,10 @@ mod tests {
         let echo = advert.pipe("echoString").unwrap();
         assert_eq!(echo.peer, peer());
         assert_eq!(echo.service.as_deref(), Some("Echo"));
-        assert_eq!(echo.uri().to_string(), format!("p2ps://{}/Echo#echoString", peer().to_hex()));
+        assert_eq!(
+            echo.uri().to_string(),
+            format!("p2ps://{}/Echo#echoString", peer().to_hex())
+        );
     }
 
     #[test]
@@ -220,6 +258,9 @@ mod tests {
 
     #[test]
     fn service_uri() {
-        assert_eq!(sample().uri().address(), format!("p2ps://{}/Echo", peer().to_hex()));
+        assert_eq!(
+            sample().uri().address(),
+            format!("p2ps://{}/Echo", peer().to_hex())
+        );
     }
 }

@@ -30,11 +30,17 @@ impl AdvertCache {
     /// An unbounded cache (rendezvous peers); bound it for ordinary
     /// peers with [`AdvertCache::with_capacity`].
     pub fn new() -> Self {
-        AdvertCache { entries: Vec::new(), capacity: usize::MAX }
+        AdvertCache {
+            entries: Vec::new(),
+            capacity: usize::MAX,
+        }
     }
 
     pub fn with_capacity(capacity: usize) -> Self {
-        AdvertCache { entries: Vec::new(), capacity }
+        AdvertCache {
+            entries: Vec::new(),
+            capacity,
+        }
     }
 
     /// Insert or refresh an advert. Replaces an entry for the same
@@ -72,7 +78,8 @@ impl AdvertCache {
 
     /// Drop entries expired at `now`.
     pub fn sweep(&mut self, now: Time) {
-        self.entries.retain(|e| e.expires.map(|t| t > now).unwrap_or(true));
+        self.entries
+            .retain(|e| e.expires.map(|t| t > now).unwrap_or(true));
     }
 
     /// All live adverts matching `query`.
@@ -163,7 +170,10 @@ mod tests {
             .map(|a| a.name)
             .collect();
         assert_eq!(cache.len(), 2);
-        assert!(names.contains(&"B".to_owned()) && names.contains(&"C".to_owned()), "{names:?}");
+        assert!(
+            names.contains(&"B".to_owned()) && names.contains(&"C".to_owned()),
+            "{names:?}"
+        );
     }
 
     #[test]

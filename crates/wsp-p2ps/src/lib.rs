@@ -33,7 +33,9 @@ pub mod sim_driver;
 pub mod thread_driver;
 pub mod uri;
 
-pub use addressing::{advert_to_epr, epr_to_advert, reply_pipe_of, request_headers, target_pipe_of, with_reply_pipe};
+pub use addressing::{
+    advert_to_epr, epr_to_advert, reply_pipe_of, request_headers, target_pipe_of, with_reply_pipe,
+};
 pub use advert::{PipeAdvertisement, ServiceAdvertisement, DEFINITION_PIPE, P2PS_NS};
 pub use cache::AdvertCache;
 pub use id::PeerId;
@@ -42,6 +44,9 @@ pub use message::P2psMessage;
 pub use query::P2psQuery;
 pub use resolver::{ChainResolver, EndpointResolver, TableResolver};
 pub use rpc::{decode_request, encode_response, ReceivedRequest, RpcCorrelator};
-pub use sim_driver::{add_peer, build_overlay, peer_id_for, Directory, P2psHandle, P2psSimNode, PeerCommand, PeerEvent, WAKE_TAG};
+pub use sim_driver::{
+    add_peer, build_overlay, peer_id_for, Directory, P2psHandle, P2psSimNode, PeerCommand,
+    PeerEvent, WAKE_TAG,
+};
 pub use thread_driver::{ThreadNetwork, ThreadPeer, ThreadPeerEvent};
 pub use uri::{P2psUri, P2psUriError};

@@ -33,11 +33,20 @@ pub struct PeerConfig {
 
 impl PeerConfig {
     pub fn ordinary(id: PeerId) -> Self {
-        PeerConfig { id, rendezvous: false, advert_ttl: Dur::secs(60), query_ttl: 7, advertise_ttl: 7 }
+        PeerConfig {
+            id,
+            rendezvous: false,
+            advert_ttl: Dur::secs(60),
+            query_ttl: 7,
+            advertise_ttl: 7,
+        }
     }
 
     pub fn rendezvous(id: PeerId) -> Self {
-        PeerConfig { rendezvous: true, ..PeerConfig::ordinary(id) }
+        PeerConfig {
+            rendezvous: true,
+            ..PeerConfig::ordinary(id)
+        }
     }
 }
 
@@ -48,9 +57,16 @@ pub enum PeerOutput {
     /// the peer id to a transport address — the `EndpointResolver` role).
     Send { to: PeerId, message: P2psMessage },
     /// A query this peer originated produced (more) results.
-    QueryResult { id: u64, adverts: Vec<ServiceAdvertisement> },
+    QueryResult {
+        id: u64,
+        adverts: Vec<ServiceAdvertisement>,
+    },
     /// Data arrived on a local pipe.
-    PipeDelivery { pipe: PipeAdvertisement, from: PeerId, payload: String },
+    PipeDelivery {
+        pipe: PipeAdvertisement,
+        from: PeerId,
+        payload: String,
+    },
     /// Data arrived for a pipe this peer does not have.
     UnknownPipe { pipe: PipeAdvertisement },
     /// A pong came back (liveness probing).
@@ -136,7 +152,8 @@ impl PeerMachine {
     pub fn register_local(&mut self, advert: ServiceAdvertisement) {
         debug_assert_eq!(advert.peer, self.config.id, "register own adverts only");
         for pipe in &advert.pipes {
-            self.local_pipes.insert((pipe.service.clone(), pipe.name.clone()));
+            self.local_pipes
+                .insert((pipe.service.clone(), pipe.name.clone()));
         }
         self.cache.insert(advert.clone(), None);
         self.own_adverts.retain(|a| a.name != advert.name);
@@ -155,14 +172,18 @@ impl PeerMachine {
     pub fn unpublish(&mut self, service: &str) {
         self.cache.remove_from(self.config.id, service);
         self.own_adverts.retain(|a| a.name != service);
-        self.local_pipes.retain(|(s, _)| s.as_deref() != Some(service));
+        self.local_pipes
+            .retain(|(s, _)| s.as_deref() != Some(service));
     }
 
     /// Re-broadcast own adverts (periodic soft-state refresh, and the
     /// recovery action after churn).
     pub fn refresh(&mut self, _now: Time) -> Vec<PeerOutput> {
         let adverts = self.own_adverts.clone();
-        adverts.iter().flat_map(|a| self.broadcast_advert(a)).collect()
+        adverts
+            .iter()
+            .flat_map(|a| self.broadcast_advert(a))
+            .collect()
     }
 
     fn broadcast_advert(&mut self, advert: &ServiceAdvertisement) -> Vec<PeerOutput> {
@@ -171,7 +192,10 @@ impl PeerMachine {
             .iter()
             .map(|&to| PeerOutput::Send {
                 to,
-                message: P2psMessage::Advertise { advert: advert.clone(), ttl },
+                message: P2psMessage::Advertise {
+                    advert: advert.clone(),
+                    ttl,
+                },
             })
             .collect()
     }
@@ -194,9 +218,17 @@ impl PeerMachine {
             outputs.push(PeerOutput::QueryResult { id, adverts: local });
         }
         let ttl = ttl.unwrap_or(self.config.query_ttl);
-        let message = P2psMessage::Query { id, origin: self.config.id, query, ttl };
+        let message = P2psMessage::Query {
+            id,
+            origin: self.config.id,
+            query,
+            ttl,
+        };
         for &to in &self.neighbours {
-            outputs.push(PeerOutput::Send { to, message: message.clone() });
+            outputs.push(PeerOutput::Send {
+                to,
+                message: message.clone(),
+            });
         }
         (id, outputs)
     }
@@ -215,12 +247,14 @@ impl PeerMachine {
 
     /// Close a local pipe.
     pub fn close_pipe(&mut self, pipe: &PipeAdvertisement) -> bool {
-        self.local_pipes.remove(&(pipe.service.clone(), pipe.name.clone()))
+        self.local_pipes
+            .remove(&(pipe.service.clone(), pipe.name.clone()))
     }
 
     /// True if the pipe is open locally.
     pub fn has_pipe(&self, pipe: &PipeAdvertisement) -> bool {
-        self.local_pipes.contains(&(pipe.service.clone(), pipe.name.clone()))
+        self.local_pipes
+            .contains(&(pipe.service.clone(), pipe.name.clone()))
     }
 
     /// Send data down a (possibly remote) pipe.
@@ -229,12 +263,18 @@ impl PeerMachine {
             // Loopback delivery.
             return self.deliver_pipe_data(self.config.id, to, payload);
         }
-        vec![PeerOutput::Send { to: to.peer, message: P2psMessage::PipeData { to, payload } }]
+        vec![PeerOutput::Send {
+            to: to.peer,
+            message: P2psMessage::PipeData { to, payload },
+        }]
     }
 
     /// Probe a peer's liveness.
     pub fn ping(&mut self, to: PeerId, nonce: u64) -> Vec<PeerOutput> {
-        vec![PeerOutput::Send { to, message: P2psMessage::Ping { nonce } }]
+        vec![PeerOutput::Send {
+            to,
+            message: P2psMessage::Ping { nonce },
+        }]
     }
 
     // --- network input ----------------------------------------------------
@@ -243,15 +283,23 @@ impl PeerMachine {
     pub fn on_message(&mut self, now: Time, from: PeerId, message: P2psMessage) -> Vec<PeerOutput> {
         match message {
             P2psMessage::Advertise { advert, ttl } => self.on_advertise(now, from, advert, ttl),
-            P2psMessage::Query { id, origin, query, ttl } => {
-                self.on_query(now, from, id, origin, query, ttl)
-            }
-            P2psMessage::QueryHit { id, origin, adverts } => {
-                self.on_query_hit(now, id, origin, adverts)
-            }
+            P2psMessage::Query {
+                id,
+                origin,
+                query,
+                ttl,
+            } => self.on_query(now, from, id, origin, query, ttl),
+            P2psMessage::QueryHit {
+                id,
+                origin,
+                adverts,
+            } => self.on_query_hit(now, id, origin, adverts),
             P2psMessage::PipeData { to, payload } => self.on_pipe_data(from, to, payload),
             P2psMessage::Ping { nonce } => {
-                vec![PeerOutput::Send { to: from, message: P2psMessage::Pong { nonce } }]
+                vec![PeerOutput::Send {
+                    to: from,
+                    message: P2psMessage::Pong { nonce },
+                }]
             }
             P2psMessage::Pong { nonce } => vec![PeerOutput::PongReceived { from, nonce }],
         }
@@ -267,7 +315,8 @@ impl PeerMachine {
         if advert.peer == self.config.id {
             return Vec::new(); // our own advert echoed back
         }
-        self.cache.insert(advert.clone(), Some(now + self.config.advert_ttl));
+        self.cache
+            .insert(advert.clone(), Some(now + self.config.advert_ttl));
         if !self.config.rendezvous || ttl == 0 {
             return Vec::new();
         }
@@ -287,7 +336,10 @@ impl PeerMachine {
             .filter(|&&to| to != from && to != advert.peer)
             .map(|&to| PeerOutput::Send {
                 to,
-                message: P2psMessage::Advertise { advert: advert.clone(), ttl: ttl - 1 },
+                message: P2psMessage::Advertise {
+                    advert: advert.clone(),
+                    ttl: ttl - 1,
+                },
             })
             .collect()
     }
@@ -311,14 +363,26 @@ impl PeerMachine {
             // Hits travel hop-by-hop back along the reverse path.
             outputs.push(PeerOutput::Send {
                 to: from,
-                message: P2psMessage::QueryHit { id, origin, adverts: hits },
+                message: P2psMessage::QueryHit {
+                    id,
+                    origin,
+                    adverts: hits,
+                },
             });
         }
         if self.config.rendezvous && ttl > 0 {
-            let message = P2psMessage::Query { id, origin, query, ttl: ttl - 1 };
+            let message = P2psMessage::Query {
+                id,
+                origin,
+                query,
+                ttl: ttl - 1,
+            };
             for &to in &self.rendezvous_neighbours {
                 if to != from && to != origin {
-                    outputs.push(PeerOutput::Send { to, message: message.clone() });
+                    outputs.push(PeerOutput::Send {
+                        to,
+                        message: message.clone(),
+                    });
                 }
             }
         }
@@ -335,7 +399,8 @@ impl PeerMachine {
         if self.own_queries.contains(&id) {
             // Ours: cache what we learned and report up.
             for advert in &adverts {
-                self.cache.insert(advert.clone(), Some(now + self.config.advert_ttl));
+                self.cache
+                    .insert(advert.clone(), Some(now + self.config.advert_ttl));
             }
             return vec![PeerOutput::QueryResult { id, adverts }];
         }
@@ -343,7 +408,11 @@ impl PeerMachine {
         match self.seen_queries.get(&id) {
             Some(&prev) if prev != self.config.id => vec![PeerOutput::Send {
                 to: prev,
-                message: P2psMessage::QueryHit { id, origin, adverts },
+                message: P2psMessage::QueryHit {
+                    id,
+                    origin,
+                    adverts,
+                },
             }],
             _ => Vec::new(), // path forgotten: drop (soft state)
         }
@@ -360,7 +429,10 @@ impl PeerMachine {
         } else {
             // Acting as a relay (the EndpointResolver found us on the
             // path); forward towards the owner.
-            vec![PeerOutput::Send { to: to.peer, message: P2psMessage::PipeData { to, payload } }]
+            vec![PeerOutput::Send {
+                to: to.peer,
+                message: P2psMessage::PipeData { to, payload },
+            }]
         }
     }
 
@@ -371,7 +443,11 @@ impl PeerMachine {
         payload: String,
     ) -> Vec<PeerOutput> {
         if self.has_pipe(&to) {
-            vec![PeerOutput::PipeDelivery { pipe: to, from, payload }]
+            vec![PeerOutput::PipeDelivery {
+                pipe: to,
+                from,
+                payload,
+            }]
         } else {
             vec![PeerOutput::UnknownPipe { pipe: to }]
         }
@@ -394,7 +470,9 @@ mod tests {
     use super::*;
 
     fn advert(peer: PeerId, name: &str) -> ServiceAdvertisement {
-        ServiceAdvertisement::new(name, peer).with_pipe("in").with_definition_pipe()
+        ServiceAdvertisement::new(name, peer)
+            .with_pipe("in")
+            .with_definition_pipe()
     }
 
     fn sends(outputs: &[PeerOutput]) -> Vec<(PeerId, &P2psMessage)> {
@@ -414,7 +492,11 @@ mod tests {
         peer.add_neighbour(PeerId(11), false);
         let outputs = peer.publish(Time::ZERO, advert(PeerId(1), "Echo"));
         assert_eq!(sends(&outputs).len(), 2);
-        assert!(peer.has_pipe(&PipeAdvertisement::new(PeerId(1), Some("Echo".into()), "in")));
+        assert!(peer.has_pipe(&PipeAdvertisement::new(
+            PeerId(1),
+            Some("Echo".into()),
+            "in"
+        )));
     }
 
     #[test]
@@ -434,18 +516,31 @@ mod tests {
         rv.add_neighbour(PeerId(101), true); // other rendezvous
         rv.add_neighbour(PeerId(102), true);
         // A leaf published through us earlier.
-        let outputs =
-            rv.on_message(Time::ZERO, PeerId(1), P2psMessage::Advertise { advert: advert(PeerId(1), "Echo"), ttl: 3 });
+        let outputs = rv.on_message(
+            Time::ZERO,
+            PeerId(1),
+            P2psMessage::Advertise {
+                advert: advert(PeerId(1), "Echo"),
+                ttl: 3,
+            },
+        );
         // Advert propagated to the other rendezvous only.
         let fw = sends(&outputs);
         assert_eq!(fw.len(), 2);
-        assert!(fw.iter().all(|(to, _)| *to == PeerId(101) || *to == PeerId(102)));
+        assert!(fw
+            .iter()
+            .all(|(to, _)| *to == PeerId(101) || *to == PeerId(102)));
 
         // A query arrives from rendezvous 101.
         let outputs = rv.on_message(
             Time::millis(1),
             PeerId(101),
-            P2psMessage::Query { id: 9, origin: PeerId(50), query: P2psQuery::by_name("Echo"), ttl: 2 },
+            P2psMessage::Query {
+                id: 9,
+                origin: PeerId(50),
+                query: P2psQuery::by_name("Echo"),
+                ttl: 2,
+            },
         );
         let replies = sends(&outputs);
         // Hit back to 101 (reverse path), query forwarded to 102 only.
@@ -462,7 +557,12 @@ mod tests {
     fn query_flood_deduplicated() {
         let mut rv = PeerMachine::new(PeerConfig::rendezvous(PeerId(100)));
         rv.add_neighbour(PeerId(101), true);
-        let q = P2psMessage::Query { id: 9, origin: PeerId(50), query: P2psQuery::any(), ttl: 5 };
+        let q = P2psMessage::Query {
+            id: 9,
+            origin: PeerId(50),
+            query: P2psQuery::any(),
+            ttl: 5,
+        };
         let first = rv.on_message(Time::ZERO, PeerId(101), q.clone());
         let second = rv.on_message(Time::ZERO, PeerId(101), q);
         assert!(second.is_empty());
@@ -476,9 +576,16 @@ mod tests {
         let outputs = rv.on_message(
             Time::ZERO,
             PeerId(102),
-            P2psMessage::Query { id: 9, origin: PeerId(50), query: P2psQuery::any(), ttl: 0 },
+            P2psMessage::Query {
+                id: 9,
+                origin: PeerId(50),
+                query: P2psQuery::any(),
+                ttl: 0,
+            },
         );
-        assert!(sends(&outputs).iter().all(|(_, m)| !matches!(m, P2psMessage::Query { .. })));
+        assert!(sends(&outputs)
+            .iter()
+            .all(|(_, m)| !matches!(m, P2psMessage::Query { .. })));
     }
 
     #[test]
@@ -489,7 +596,12 @@ mod tests {
         let outputs = leaf.on_message(
             Time::ZERO,
             PeerId(100),
-            P2psMessage::Query { id: 9, origin: PeerId(50), query: P2psQuery::any(), ttl: 5 },
+            P2psMessage::Query {
+                id: 9,
+                origin: PeerId(50),
+                query: P2psQuery::any(),
+                ttl: 5,
+            },
         );
         assert!(outputs.is_empty()); // empty cache, no propagation
     }
@@ -528,12 +640,20 @@ mod tests {
         let outputs = peer.on_message(
             Time::millis(5),
             PeerId(100),
-            P2psMessage::QueryHit { id, origin: PeerId(1), adverts: vec![advert(PeerId(9), "Echo")] },
+            P2psMessage::QueryHit {
+                id,
+                origin: PeerId(1),
+                adverts: vec![advert(PeerId(9), "Echo")],
+            },
         );
-        assert!(outputs.iter().any(|o| matches!(o, PeerOutput::QueryResult { .. })));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, PeerOutput::QueryResult { .. })));
         // Second identical query answered from cache without the network.
         let (_id2, outputs) = peer.query(Time::millis(10), P2psQuery::by_name("Echo"), None);
-        assert!(outputs.iter().any(|o| matches!(o, PeerOutput::QueryResult { adverts, .. } if adverts.len() == 1)));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, PeerOutput::QueryResult { adverts, .. } if adverts.len() == 1)));
     }
 
     #[test]
@@ -544,17 +664,27 @@ mod tests {
         let outputs = peer.on_message(
             Time::ZERO,
             PeerId(2),
-            P2psMessage::PipeData { to: pipe.clone(), payload: "data".into() },
+            P2psMessage::PipeData {
+                to: pipe.clone(),
+                payload: "data".into(),
+            },
         );
         assert_eq!(
             outputs,
-            vec![PeerOutput::PipeDelivery { pipe, from: PeerId(2), payload: "data".into() }]
+            vec![PeerOutput::PipeDelivery {
+                pipe,
+                from: PeerId(2),
+                payload: "data".into()
+            }]
         );
         let ghost = PipeAdvertisement::new(PeerId(1), None, "ghost");
         let outputs = peer.on_message(
             Time::ZERO,
             PeerId(2),
-            P2psMessage::PipeData { to: ghost.clone(), payload: "data".into() },
+            P2psMessage::PipeData {
+                to: ghost.clone(),
+                payload: "data".into(),
+            },
         );
         assert_eq!(outputs, vec![PeerOutput::UnknownPipe { pipe: ghost }]);
     }
@@ -566,9 +696,21 @@ mod tests {
         let outputs = peer.on_message(
             Time::ZERO,
             PeerId(2),
-            P2psMessage::PipeData { to: remote.clone(), payload: "x".into() },
+            P2psMessage::PipeData {
+                to: remote.clone(),
+                payload: "x".into(),
+            },
         );
-        assert_eq!(sends(&outputs), vec![(PeerId(9), &P2psMessage::PipeData { to: remote, payload: "x".into() })]);
+        assert_eq!(
+            sends(&outputs),
+            vec![(
+                PeerId(9),
+                &P2psMessage::PipeData {
+                    to: remote,
+                    payload: "x".into()
+                }
+            )]
+        );
     }
 
     #[test]
@@ -596,10 +738,16 @@ mod tests {
         peer.add_neighbour(PeerId(100), true);
         peer.publish(Time::ZERO, advert(PeerId(1), "Echo"));
         peer.unpublish("Echo");
-        assert!(!peer.has_pipe(&PipeAdvertisement::new(PeerId(1), Some("Echo".into()), "in")));
+        assert!(!peer.has_pipe(&PipeAdvertisement::new(
+            PeerId(1),
+            Some("Echo".into()),
+            "in"
+        )));
         assert!(peer.refresh(Time::ZERO).is_empty());
         let (_, outputs) = peer.query(Time::millis(1), P2psQuery::by_name("Echo"), None);
-        assert!(!outputs.iter().any(|o| matches!(o, PeerOutput::QueryResult { .. })));
+        assert!(!outputs
+            .iter()
+            .any(|o| matches!(o, PeerOutput::QueryResult { .. })));
     }
 
     #[test]
@@ -617,13 +765,20 @@ mod tests {
         peer.on_message(
             Time::ZERO,
             PeerId(100),
-            P2psMessage::Advertise { advert: advert(PeerId(9), "Echo"), ttl: 0 },
+            P2psMessage::Advertise {
+                advert: advert(PeerId(9), "Echo"),
+                ttl: 0,
+            },
         );
         let (_, outputs) = peer.query(Time::secs(30), P2psQuery::by_name("Echo"), None);
-        assert!(outputs.iter().any(|o| matches!(o, PeerOutput::QueryResult { .. })));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, PeerOutput::QueryResult { .. })));
         // After the advert TTL (60s) the entry is gone.
         let (_, outputs) = peer.query(Time::secs(120), P2psQuery::by_name("Echo"), None);
-        assert!(!outputs.iter().any(|o| matches!(o, PeerOutput::QueryResult { .. })));
+        assert!(!outputs
+            .iter()
+            .any(|o| matches!(o, PeerOutput::QueryResult { .. })));
     }
 
     #[test]
@@ -635,7 +790,13 @@ mod tests {
             vec![(PeerId(2), &P2psMessage::Pong { nonce: 5 })]
         );
         let outputs = peer.on_message(Time::ZERO, PeerId(2), P2psMessage::Pong { nonce: 5 });
-        assert_eq!(outputs, vec![PeerOutput::PongReceived { from: PeerId(2), nonce: 5 }]);
+        assert_eq!(
+            outputs,
+            vec![PeerOutput::PongReceived {
+                from: PeerId(2),
+                nonce: 5
+            }]
+        );
     }
 
     #[test]
@@ -658,7 +819,10 @@ mod tests {
         let mut inflight: Vec<(PeerId, PeerId, P2psMessage)> = vec![(
             PeerId(9),
             PeerId(1),
-            P2psMessage::Advertise { advert: advert(PeerId(9), "Echo"), ttl: 10 },
+            P2psMessage::Advertise {
+                advert: advert(PeerId(9), "Echo"),
+                ttl: 10,
+            },
         )];
         let mut hops = 0;
         while let Some((from, to, msg)) = inflight.pop() {

@@ -11,16 +11,35 @@ use wsp_xml::Element;
 #[derive(Debug, Clone, PartialEq)]
 pub enum P2psMessage {
     /// Push an advertisement into the network (publish).
-    Advertise { advert: ServiceAdvertisement, ttl: u8 },
+    Advertise {
+        advert: ServiceAdvertisement,
+        ttl: u8,
+    },
     /// Flooded discovery query.
-    Query { id: u64, origin: PeerId, query: P2psQuery, ttl: u8 },
+    Query {
+        id: u64,
+        origin: PeerId,
+        query: P2psQuery,
+        ttl: u8,
+    },
     /// Hits travelling back along the query's reverse path.
-    QueryHit { id: u64, origin: PeerId, adverts: Vec<ServiceAdvertisement> },
+    QueryHit {
+        id: u64,
+        origin: PeerId,
+        adverts: Vec<ServiceAdvertisement>,
+    },
     /// Data sent down a pipe (a SOAP envelope, WSDL text, …).
-    PipeData { to: PipeAdvertisement, payload: String },
+    PipeData {
+        to: PipeAdvertisement,
+        payload: String,
+    },
     /// Liveness probe between neighbours (used by churn experiments).
-    Ping { nonce: u64 },
-    Pong { nonce: u64 },
+    Ping {
+        nonce: u64,
+    },
+    Pong {
+        nonce: u64,
+    },
 }
 
 impl P2psMessage {
@@ -35,13 +54,22 @@ impl P2psMessage {
                 .attr_str("ttl", ttl.to_string())
                 .child(advert.to_element())
                 .finish(),
-            P2psMessage::Query { id, origin, query, ttl } => Element::build(P2PS_NS, "QueryMsg")
+            P2psMessage::Query {
+                id,
+                origin,
+                query,
+                ttl,
+            } => Element::build(P2PS_NS, "QueryMsg")
                 .attr_str("id", id.to_string())
                 .attr_str("origin", origin.to_hex())
                 .attr_str("ttl", ttl.to_string())
                 .child(query.to_element())
                 .finish(),
-            P2psMessage::QueryHit { id, origin, adverts } => {
+            P2psMessage::QueryHit {
+                id,
+                origin,
+                adverts,
+            } => {
                 let mut e = Element::new(P2PS_NS, "QueryHit");
                 e.set_attribute(wsp_xml::QName::local("id"), id.to_string());
                 e.set_attribute(wsp_xml::QName::local("origin"), origin.to_hex());
@@ -52,14 +80,18 @@ impl P2psMessage {
             }
             P2psMessage::PipeData { to, payload } => Element::build(P2PS_NS, "PipeData")
                 .child(to.to_element())
-                .child(Element::build(P2PS_NS, "Payload").text(payload.clone()).finish())
+                .child(
+                    Element::build(P2PS_NS, "Payload")
+                        .text(payload.clone())
+                        .finish(),
+                )
                 .finish(),
-            P2psMessage::Ping { nonce } => {
-                Element::build(P2PS_NS, "Ping").attr_str("nonce", nonce.to_string()).finish()
-            }
-            P2psMessage::Pong { nonce } => {
-                Element::build(P2PS_NS, "Pong").attr_str("nonce", nonce.to_string()).finish()
-            }
+            P2psMessage::Ping { nonce } => Element::build(P2PS_NS, "Ping")
+                .attr_str("nonce", nonce.to_string())
+                .finish(),
+            P2psMessage::Pong { nonce } => Element::build(P2PS_NS, "Pong")
+                .attr_str("nonce", nonce.to_string())
+                .finish(),
         }
     }
 
@@ -98,8 +130,12 @@ impl P2psMessage {
                 to: PipeAdvertisement::from_element(e.find(P2PS_NS, "PipeAdvertisement")?)?,
                 payload: e.child_text(P2PS_NS, "Payload").unwrap_or_default(),
             }),
-            "Ping" => Some(P2psMessage::Ping { nonce: e.attribute_local("nonce")?.parse().ok()? }),
-            "Pong" => Some(P2psMessage::Pong { nonce: e.attribute_local("nonce")?.parse().ok()? }),
+            "Ping" => Some(P2psMessage::Ping {
+                nonce: e.attribute_local("nonce")?.parse().ok()?,
+            }),
+            "Pong" => Some(P2psMessage::Pong {
+                nonce: e.attribute_local("nonce")?.parse().ok()?,
+            }),
             _ => None,
         }
     }
@@ -111,7 +147,11 @@ impl P2psMessage {
             P2psMessage::Advertise { advert, .. } => 120 + advert_size(advert),
             P2psMessage::Query { query, .. } => {
                 160 + query.name_pattern.as_deref().map(str::len).unwrap_or(0)
-                    + query.attributes.iter().map(|(k, v)| k.len() + v.len() + 40).sum::<usize>()
+                    + query
+                        .attributes
+                        .iter()
+                        .map(|(k, v)| k.len() + v.len() + 40)
+                        .sum::<usize>()
             }
             P2psMessage::QueryHit { adverts, .. } => {
                 120 + adverts.iter().map(advert_size).sum::<usize>()
@@ -125,7 +165,10 @@ impl P2psMessage {
 fn advert_size(a: &ServiceAdvertisement) -> usize {
     80 + a.name.len()
         + a.pipes.iter().map(|p| 90 + p.name.len()).sum::<usize>()
-        + a.attributes.iter().map(|(k, v)| k.len() + v.len() + 40).sum::<usize>()
+        + a.attributes
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 40)
+            .sum::<usize>()
 }
 
 impl wsp_simnet::Payload for P2psMessage {
@@ -148,14 +191,21 @@ mod tests {
     #[test]
     fn all_variants_round_trip() {
         let messages = vec![
-            P2psMessage::Advertise { advert: advert(), ttl: 3 },
+            P2psMessage::Advertise {
+                advert: advert(),
+                ttl: 3,
+            },
             P2psMessage::Query {
                 id: 42,
                 origin: PeerId(0x99),
                 query: P2psQuery::by_name("Echo%").with_attribute("domain", "demo"),
                 ttl: 5,
             },
-            P2psMessage::QueryHit { id: 42, origin: PeerId(0x99), adverts: vec![advert(), advert()] },
+            P2psMessage::QueryHit {
+                id: 42,
+                origin: PeerId(0x99),
+                adverts: vec![advert(), advert()],
+            },
             P2psMessage::PipeData {
                 to: PipeAdvertisement::new(PeerId(0xabc), Some("Echo".into()), "echoString"),
                 payload: "<env>soap here &amp; escaped</env>".into(),
@@ -175,7 +225,9 @@ mod tests {
         // The payload is a SOAP envelope — full of angle brackets that
         // must survive being nested as character data.
         let inner = wsp_soap::Envelope::request(
-            Element::build("urn:x", "op").text("déjà <vu> & more").finish(),
+            Element::build("urn:x", "op")
+                .text("déjà <vu> & more")
+                .finish(),
         )
         .to_xml();
         let msg = P2psMessage::PipeData {
@@ -214,6 +266,9 @@ mod tests {
         // The estimate is within 2x of the real serialised size.
         let actual = small.to_xml().len();
         let estimate = small.approx_wire_size();
-        assert!(estimate >= actual / 2 && estimate <= actual * 2, "{estimate} vs {actual}");
+        assert!(
+            estimate >= actual / 2 && estimate <= actual * 2,
+            "{estimate} vs {actual}"
+        );
     }
 }

@@ -20,7 +20,10 @@ pub struct P2psQuery {
 
 impl P2psQuery {
     pub fn by_name(pattern: impl Into<String>) -> Self {
-        P2psQuery { name_pattern: Some(pattern.into()), attributes: Vec::new() }
+        P2psQuery {
+            name_pattern: Some(pattern.into()),
+            attributes: Vec::new(),
+        }
     }
 
     pub fn any() -> Self {
@@ -123,9 +126,15 @@ mod tests {
 
     #[test]
     fn attribute_matching() {
-        assert!(P2psQuery::any().with_attribute("domain", "demo").matches(&advert()));
-        assert!(!P2psQuery::any().with_attribute("domain", "prod").matches(&advert()));
-        assert!(!P2psQuery::any().with_attribute("missing", "x").matches(&advert()));
+        assert!(P2psQuery::any()
+            .with_attribute("domain", "demo")
+            .matches(&advert()));
+        assert!(!P2psQuery::any()
+            .with_attribute("domain", "prod")
+            .matches(&advert()));
+        assert!(!P2psQuery::any()
+            .with_attribute("missing", "x")
+            .matches(&advert()));
         assert!(P2psQuery::any()
             .with_attribute("domain", "demo")
             .with_attribute("version", "2")

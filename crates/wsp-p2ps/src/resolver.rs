@@ -73,7 +73,14 @@ impl EndpointResolver for ChainResolver {
     }
 
     fn describe(&self) -> String {
-        format!("chain[{}]", self.chain.iter().map(|r| r.describe()).collect::<Vec<_>>().join(", "))
+        format!(
+            "chain[{}]",
+            self.chain
+                .iter()
+                .map(|r| r.describe())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
     }
 }
 

@@ -34,7 +34,10 @@ impl RpcCorrelator {
         mut envelope: Envelope,
     ) -> String {
         let headers = with_reply_pipe(request_headers(target), reply_pipe);
-        let message_id = headers.message_id.clone().expect("requests carry MessageID");
+        let message_id = headers
+            .message_id
+            .clone()
+            .expect("requests carry MessageID");
         envelope.set_addressing(headers);
         self.pending.insert(message_id, token);
         envelope.to_xml()
@@ -75,7 +78,11 @@ pub fn decode_request(payload: &str) -> Option<ReceivedRequest> {
     let envelope = Envelope::from_xml(payload).ok()?;
     let target = target_pipe_of(&envelope);
     let reply_pipe = reply_pipe_of(&envelope);
-    Some(ReceivedRequest { envelope, target, reply_pipe })
+    Some(ReceivedRequest {
+        envelope,
+        target,
+        reply_pipe,
+    })
 }
 
 /// Build the wire form of the response to `request`, addressed back
@@ -107,14 +114,19 @@ mod tests {
     }
 
     fn request_envelope(text: &str) -> Envelope {
-        Envelope::request(Element::build("urn:demo", "echoString").text(text.to_owned()).finish())
+        Envelope::request(
+            Element::build("urn:demo", "echoString")
+                .text(text.to_owned())
+                .finish(),
+        )
     }
 
     #[test]
     fn full_figures_5_6_round_trip() {
         let mut correlator = RpcCorrelator::new();
         // Consumer side (Figure 5).
-        let wire = correlator.encode_request(42, &service_pipe(), &return_pipe(), request_envelope("hi"));
+        let wire =
+            correlator.encode_request(42, &service_pipe(), &return_pipe(), request_envelope("hi"));
         assert_eq!(correlator.pending(), 1);
 
         // Provider side (Figure 6).
@@ -124,13 +136,17 @@ mod tests {
         assert_eq!(received.envelope.payload().unwrap().text(), "hi");
 
         let reply = Envelope::request(
-            Element::build("urn:demo", "echoStringResponse").text("hi").finish(),
+            Element::build("urn:demo", "echoStringResponse")
+                .text("hi")
+                .finish(),
         );
         let (pipe, response_wire) = encode_response(&received, reply).expect("has reply pipe");
         assert_eq!(pipe, return_pipe());
 
         // Back at the consumer.
-        let (token, envelope) = correlator.accept_response(&response_wire).expect("correlates");
+        let (token, envelope) = correlator
+            .accept_response(&response_wire)
+            .expect("correlates");
         assert_eq!(token, 42);
         assert_eq!(envelope.payload().unwrap().text(), "hi");
         assert_eq!(correlator.pending(), 0);
@@ -150,7 +166,8 @@ mod tests {
     #[test]
     fn response_without_relates_to_ignored() {
         let mut correlator = RpcCorrelator::new();
-        let _ = correlator.encode_request(1, &service_pipe(), &return_pipe(), request_envelope("x"));
+        let _ =
+            correlator.encode_request(1, &service_pipe(), &return_pipe(), request_envelope("x"));
         let unrelated = Envelope::request(Element::new("urn:demo", "r")).to_xml();
         assert!(correlator.accept_response(&unrelated).is_none());
         assert_eq!(correlator.pending(), 1);
@@ -167,7 +184,8 @@ mod tests {
     #[test]
     fn forget_times_out_requests() {
         let mut correlator = RpcCorrelator::new();
-        let wire = correlator.encode_request(9, &service_pipe(), &return_pipe(), request_envelope("x"));
+        let wire =
+            correlator.encode_request(9, &service_pipe(), &return_pipe(), request_envelope("x"));
         let request = Envelope::from_xml(&wire).unwrap();
         let id = request.addressing().unwrap().message_id.unwrap();
         assert!(correlator.forget(&id));
@@ -181,8 +199,10 @@ mod tests {
     #[test]
     fn two_outstanding_requests_correlate_independently() {
         let mut correlator = RpcCorrelator::new();
-        let wire_a = correlator.encode_request(1, &service_pipe(), &return_pipe(), request_envelope("a"));
-        let wire_b = correlator.encode_request(2, &service_pipe(), &return_pipe(), request_envelope("b"));
+        let wire_a =
+            correlator.encode_request(1, &service_pipe(), &return_pipe(), request_envelope("a"));
+        let wire_b =
+            correlator.encode_request(2, &service_pipe(), &return_pipe(), request_envelope("b"));
         let ra = decode_request(&wire_a).unwrap();
         let rb = decode_request(&wire_b).unwrap();
         // Answer b first.

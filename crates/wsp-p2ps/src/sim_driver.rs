@@ -21,19 +21,43 @@ const REFRESH_TAG: u64 = 0xB002;
 pub enum PeerCommand {
     Publish(ServiceAdvertisement),
     Unpublish(String),
-    Query { token: u64, query: P2psQuery, ttl: Option<u8> },
-    OpenPipe { name: String },
-    SendPipe { to: PipeAdvertisement, payload: String },
-    Ping { to: PeerId, nonce: u64 },
+    Query {
+        token: u64,
+        query: P2psQuery,
+        ttl: Option<u8>,
+    },
+    OpenPipe {
+        name: String,
+    },
+    SendPipe {
+        to: PipeAdvertisement,
+        payload: String,
+    },
+    Ping {
+        to: PeerId,
+        nonce: u64,
+    },
 }
 
 /// Application-visible events surfaced by a simulated peer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PeerEvent {
-    QueryResult { token: u64, adverts: Vec<ServiceAdvertisement> },
-    PipeDelivery { pipe: PipeAdvertisement, from: PeerId, payload: String },
-    UnknownPipe { pipe: PipeAdvertisement },
-    Pong { from: PeerId, nonce: u64 },
+    QueryResult {
+        token: u64,
+        adverts: Vec<ServiceAdvertisement>,
+    },
+    PipeDelivery {
+        pipe: PipeAdvertisement,
+        from: PeerId,
+        payload: String,
+    },
+    UnknownPipe {
+        pipe: PipeAdvertisement,
+    },
+    Pong {
+        from: PeerId,
+        nonce: u64,
+    },
 }
 
 /// The peer-id ⇄ node-id directory — the simulation's
@@ -170,18 +194,31 @@ impl P2psSimNode {
                         .borrow_mut()
                         .push((ctx.now(), PeerEvent::QueryResult { token, adverts }));
                 }
-                PeerOutput::PipeDelivery { pipe, from, payload } => {
+                PeerOutput::PipeDelivery {
+                    pipe,
+                    from,
+                    payload,
+                } => {
                     ctx.count("p2ps.pipe_deliveries");
-                    self.events
-                        .borrow_mut()
-                        .push((ctx.now(), PeerEvent::PipeDelivery { pipe, from, payload }));
+                    self.events.borrow_mut().push((
+                        ctx.now(),
+                        PeerEvent::PipeDelivery {
+                            pipe,
+                            from,
+                            payload,
+                        },
+                    ));
                 }
                 PeerOutput::UnknownPipe { pipe } => {
                     ctx.count("p2ps.unknown_pipe");
-                    self.events.borrow_mut().push((ctx.now(), PeerEvent::UnknownPipe { pipe }));
+                    self.events
+                        .borrow_mut()
+                        .push((ctx.now(), PeerEvent::UnknownPipe { pipe }));
                 }
                 PeerOutput::PongReceived { from, nonce } => {
-                    self.events.borrow_mut().push((ctx.now(), PeerEvent::Pong { from, nonce }));
+                    self.events
+                        .borrow_mut()
+                        .push((ctx.now(), PeerEvent::Pong { from, nonce }));
                 }
             }
         }
@@ -192,7 +229,9 @@ impl P2psSimNode {
     /// are not executed early.
     fn process_next_command(&mut self, ctx: &mut Context<'_, String>) {
         {
-            let Some(command) = self.commands.borrow_mut().pop_front() else { return };
+            let Some(command) = self.commands.borrow_mut().pop_front() else {
+                return;
+            };
             let now = ctx.now();
             let outputs = match command {
                 PeerCommand::Publish(advert) => self.machine.publish(now, advert),
@@ -310,7 +349,8 @@ pub fn build_overlay(
     for (slot, node) in nodes.iter_mut().enumerate() {
         for &neighbour in topology.neighbours(slot as NodeId) {
             let is_rv = rendezvous.contains(&neighbour);
-            node.machine_mut().add_neighbour(peer_id_for(neighbour as usize), is_rv);
+            node.machine_mut()
+                .add_neighbour(peer_id_for(neighbour as usize), is_rv);
         }
     }
     for (slot, node) in nodes.into_iter().enumerate() {
@@ -345,11 +385,19 @@ mod tests {
 
         let publisher = &handles[1];
         let seeker = &handles[2];
-        publisher.enqueue_at(&mut net, Time::ZERO, PeerCommand::Publish(advert_for(publisher, "Echo")));
+        publisher.enqueue_at(
+            &mut net,
+            Time::ZERO,
+            PeerCommand::Publish(advert_for(publisher, "Echo")),
+        );
         seeker.enqueue_at(
             &mut net,
             Time::millis(100),
-            PeerCommand::Query { token: 77, query: P2psQuery::by_name("Echo"), ttl: None },
+            PeerCommand::Query {
+                token: 77,
+                query: P2psQuery::by_name("Echo"),
+                ttl: None,
+            },
         );
         net.run_to_quiescence();
 
@@ -357,7 +405,9 @@ mod tests {
         let hit = events
             .iter()
             .find_map(|(_, e)| match e {
-                PeerEvent::QueryResult { token: 77, adverts } if !adverts.is_empty() => Some(adverts.clone()),
+                PeerEvent::QueryResult { token: 77, adverts } if !adverts.is_empty() => {
+                    Some(adverts.clone())
+                }
                 _ => None,
             })
             .expect("seeker should discover Echo");
@@ -377,18 +427,25 @@ mod tests {
         // Publisher is a leaf in group 0; seeker is a leaf in group 3.
         let publisher = &handles[1];
         let seeker = &handles[16];
-        publisher.enqueue_at(&mut net, Time::ZERO, PeerCommand::Publish(advert_for(publisher, "Cactus")));
+        publisher.enqueue_at(
+            &mut net,
+            Time::ZERO,
+            PeerCommand::Publish(advert_for(publisher, "Cactus")),
+        );
         seeker.enqueue_at(
             &mut net,
             Time::millis(500),
-            PeerCommand::Query { token: 1, query: P2psQuery::by_name("Cactus"), ttl: None },
+            PeerCommand::Query {
+                token: 1,
+                query: P2psQuery::by_name("Cactus"),
+                ttl: None,
+            },
         );
         net.run_to_quiescence();
 
-        let found = seeker
-            .take_events()
-            .iter()
-            .any(|(_, e)| matches!(e, PeerEvent::QueryResult { adverts, .. } if !adverts.is_empty()));
+        let found = seeker.take_events().iter().any(
+            |(_, e)| matches!(e, PeerEvent::QueryResult { adverts, .. } if !adverts.is_empty()),
+        );
         assert!(found, "cross-group discovery failed");
     }
 
@@ -401,12 +458,19 @@ mod tests {
 
         let provider = &handles[1];
         let consumer = &handles[2];
-        provider.enqueue_at(&mut net, Time::ZERO, PeerCommand::Publish(advert_for(provider, "Echo")));
+        provider.enqueue_at(
+            &mut net,
+            Time::ZERO,
+            PeerCommand::Publish(advert_for(provider, "Echo")),
+        );
         let target = PipeAdvertisement::new(provider.peer(), Some("Echo".into()), "in");
         consumer.enqueue_at(
             &mut net,
             Time::millis(10),
-            PeerCommand::SendPipe { to: target.clone(), payload: "<hello/>".into() },
+            PeerCommand::SendPipe {
+                to: target.clone(),
+                payload: "<hello/>".into(),
+            },
         );
         net.run_to_quiescence();
 
@@ -414,7 +478,9 @@ mod tests {
         let delivery = events
             .iter()
             .find_map(|(_, e)| match e {
-                PeerEvent::PipeDelivery { pipe, payload, .. } => Some((pipe.clone(), payload.clone())),
+                PeerEvent::PipeDelivery { pipe, payload, .. } => {
+                    Some((pipe.clone(), payload.clone()))
+                }
                 _ => None,
             })
             .expect("provider should receive pipe data");
@@ -429,7 +495,14 @@ mod tests {
         let a = add_peer(&mut net, &directory, PeerConfig::ordinary(PeerId(1)), None);
         let b = add_peer(&mut net, &directory, PeerConfig::ordinary(PeerId(2)), None);
         let ghost = PipeAdvertisement::new(b.peer(), None, "ghost");
-        a.enqueue_at(&mut net, Time::ZERO, PeerCommand::SendPipe { to: ghost.clone(), payload: "x".into() });
+        a.enqueue_at(
+            &mut net,
+            Time::ZERO,
+            PeerCommand::SendPipe {
+                to: ghost.clone(),
+                payload: "x".into(),
+            },
+        );
         net.run_to_quiescence();
         let events = b.take_events();
         assert_eq!(events.len(), 1);
@@ -441,12 +514,15 @@ mod tests {
         let mut net: SimNet<String> = SimNet::new(15);
         let mut rng = StdRng::seed_from_u64(4);
         let (topology, rendezvous) = Topology::rendezvous_groups(1, 3, 1, &mut rng);
-        let (_dir, handles) =
-            build_overlay(&mut net, &topology, &rendezvous, Some(Dur::secs(10)));
+        let (_dir, handles) = build_overlay(&mut net, &topology, &rendezvous, Some(Dur::secs(10)));
 
         let publisher = &handles[1];
         let seeker = &handles[2];
-        publisher.enqueue_at(&mut net, Time::ZERO, PeerCommand::Publish(advert_for(publisher, "Echo")));
+        publisher.enqueue_at(
+            &mut net,
+            Time::ZERO,
+            PeerCommand::Publish(advert_for(publisher, "Echo")),
+        );
         // The rendezvous (node 0) crashes and comes back; its cache
         // survives in this model, but even with a cleared network the
         // publisher's periodic refresh would repopulate it.
@@ -455,13 +531,16 @@ mod tests {
         seeker.enqueue_at(
             &mut net,
             Time::secs(25), // after at least one refresh cycle
-            PeerCommand::Query { token: 5, query: P2psQuery::by_name("Echo"), ttl: None },
+            PeerCommand::Query {
+                token: 5,
+                query: P2psQuery::by_name("Echo"),
+                ttl: None,
+            },
         );
         net.run_until(Time::secs(30));
-        let found = seeker
-            .take_events()
-            .iter()
-            .any(|(_, e)| matches!(e, PeerEvent::QueryResult { adverts, .. } if !adverts.is_empty()));
+        let found = seeker.take_events().iter().any(
+            |(_, e)| matches!(e, PeerEvent::QueryResult { adverts, .. } if !adverts.is_empty()),
+        );
         assert!(found);
     }
 
@@ -471,7 +550,14 @@ mod tests {
         let directory = Directory::new();
         let a = add_peer(&mut net, &directory, PeerConfig::ordinary(PeerId(1)), None);
         let b = add_peer(&mut net, &directory, PeerConfig::ordinary(PeerId(2)), None);
-        a.enqueue_at(&mut net, Time::ZERO, PeerCommand::Ping { to: b.peer(), nonce: 99 });
+        a.enqueue_at(
+            &mut net,
+            Time::ZERO,
+            PeerCommand::Ping {
+                to: b.peer(),
+                nonce: 99,
+            },
+        );
         net.run_to_quiescence();
         assert!(a
             .take_events()

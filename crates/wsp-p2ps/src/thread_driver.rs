@@ -8,47 +8,95 @@ use crate::id::PeerId;
 use crate::machine::{PeerConfig, PeerMachine, PeerOutput};
 use crate::message::P2psMessage;
 use crate::query::P2psQuery;
-use crossbeam_channel::{bounded, select, unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wsp_simnet::Time;
 
+/// Hook for provisioning peer-driver threads. The default spawns a
+/// plain named OS thread; embedders (notably wsp-core's dispatcher)
+/// can install their own so driver threads are accounted for and
+/// joined alongside the rest of the runtime's workers.
+pub type DriverSpawn =
+    Arc<dyn Fn(String, Box<dyn FnOnce() + Send>) -> std::thread::JoinHandle<()> + Send + Sync>;
+
 /// Events surfaced to the embedding application (mirrors
 /// [`crate::sim_driver::PeerEvent`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ThreadPeerEvent {
-    QueryResult { token: u64, adverts: Vec<ServiceAdvertisement> },
-    PipeDelivery { pipe: PipeAdvertisement, from: PeerId, payload: String },
-    UnknownPipe { pipe: PipeAdvertisement },
-    Pong { from: PeerId, nonce: u64 },
+    QueryResult {
+        token: u64,
+        adverts: Vec<ServiceAdvertisement>,
+    },
+    PipeDelivery {
+        pipe: PipeAdvertisement,
+        from: PeerId,
+        payload: String,
+    },
+    UnknownPipe {
+        pipe: PipeAdvertisement,
+    },
+    Pong {
+        from: PeerId,
+        nonce: u64,
+    },
 }
 
 enum Command {
     Register(ServiceAdvertisement),
     Publish(ServiceAdvertisement),
     Unpublish(String),
-    Query { token: u64, query: P2psQuery, ttl: Option<u8> },
-    OpenPipe { name: Option<String>, reply: Sender<PipeAdvertisement> },
+    Query {
+        token: u64,
+        query: P2psQuery,
+        ttl: Option<u8>,
+    },
+    OpenPipe {
+        name: Option<String>,
+        reply: Sender<PipeAdvertisement>,
+    },
     ClosePipe(PipeAdvertisement),
-    SendPipe { to: PipeAdvertisement, payload: String },
-    AddNeighbour { peer: PeerId, rendezvous: bool },
+    SendPipe {
+        to: PipeAdvertisement,
+        payload: String,
+    },
+    AddNeighbour {
+        peer: PeerId,
+        rendezvous: bool,
+    },
     Shutdown,
 }
 
 type WireMessage = (PeerId, String); // (sender, serialised message)
 
+/// Everything a peer thread reacts to, multiplexed onto one channel so
+/// the loop is a single blocking receive: wire traffic from other
+/// peers and commands from the application handle arrive in order,
+/// and the periodic refresh rides on the receive timeout.
+enum Input {
+    Wire(WireMessage),
+    Cmd(Command),
+}
+
 /// The shared routing fabric for a threaded P2PS network.
 #[derive(Clone, Default)]
 pub struct ThreadNetwork {
-    directory: Arc<RwLock<HashMap<PeerId, Sender<WireMessage>>>>,
+    directory: Arc<RwLock<HashMap<PeerId, Sender<Input>>>>,
     epoch: Arc<RwLock<Option<Instant>>>,
+    spawner: Arc<RwLock<Option<DriverSpawn>>>,
 }
 
 impl ThreadNetwork {
     pub fn new() -> Self {
         ThreadNetwork::default()
+    }
+
+    /// Install a custom thread-provisioning hook used by subsequent
+    /// [`ThreadNetwork::spawn`] calls (see [`DriverSpawn`]).
+    pub fn set_spawner(&self, spawner: DriverSpawn) {
+        *self.spawner.write() = Some(spawner);
     }
 
     fn now(&self) -> Time {
@@ -60,7 +108,7 @@ impl ThreadNetwork {
     fn route(&self, to: PeerId, message: WireMessage) -> bool {
         let directory = self.directory.read();
         match directory.get(&to) {
-            Some(tx) => tx.send(message).is_ok(),
+            Some(tx) => tx.send(Input::Wire(message)).is_ok(),
             None => false,
         }
     }
@@ -69,24 +117,33 @@ impl ThreadNetwork {
     /// application's handle; dropping it shuts the thread down.
     pub fn spawn(&self, config: PeerConfig) -> ThreadPeer {
         let id = config.id;
-        let (net_tx, net_rx) = unbounded::<WireMessage>();
-        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (input_tx, input_rx) = unbounded::<Input>();
         let (event_tx, event_rx) = unbounded::<ThreadPeerEvent>();
-        self.directory.write().insert(id, net_tx);
+        self.directory.write().insert(id, input_tx.clone());
         let network = self.clone();
-        let join = std::thread::Builder::new()
-            .name(format!("p2ps-{id}"))
-            .spawn(move || peer_loop(config, network, net_rx, cmd_rx, event_tx))
-            .expect("spawn peer thread");
-        ThreadPeer { id, commands: cmd_tx, events: event_rx, join: Some(join), network: self.clone() }
+        let name = format!("p2ps-{id}");
+        let body = move || peer_loop(config, network, input_rx, event_tx);
+        let join = match self.spawner.read().as_ref() {
+            Some(spawn) => spawn(name, Box::new(body)),
+            None => std::thread::Builder::new()
+                .name(name)
+                .spawn(body)
+                .expect("spawn peer thread"),
+        };
+        ThreadPeer {
+            id,
+            commands: input_tx,
+            events: event_rx,
+            join: Some(join),
+            network: self.clone(),
+        }
     }
 }
 
 fn peer_loop(
     config: PeerConfig,
     network: ThreadNetwork,
-    net_rx: Receiver<WireMessage>,
-    cmd_rx: Receiver<Command>,
+    input_rx: Receiver<Input>,
     event_tx: Sender<ThreadPeerEvent>,
 ) {
     let mut machine = PeerMachine::new(config);
@@ -94,37 +151,43 @@ fn peer_loop(
     let refresh_interval = Duration::from_secs(5);
     let mut next_refresh = Instant::now() + refresh_interval;
     loop {
-        let outputs: Vec<PeerOutput> = select! {
-            recv(net_rx) -> msg => match msg {
-                Ok((from, wire)) => match P2psMessage::from_xml(&wire) {
-                    Some(message) => machine.on_message(network.now(), from, message),
-                    None => Vec::new(),
-                },
-                Err(_) => return,
+        let outputs: Vec<PeerOutput> = match input_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Input::Wire((from, wire))) => match P2psMessage::from_xml(&wire) {
+                Some(message) => machine.on_message(network.now(), from, message),
+                None => Vec::new(),
             },
-            recv(cmd_rx) -> cmd => match cmd {
-                Ok(Command::Register(advert)) => { machine.register_local(advert); Vec::new() }
-                Ok(Command::Publish(advert)) => machine.publish(network.now(), advert),
-                Ok(Command::Unpublish(service)) => { machine.unpublish(&service); Vec::new() }
-                Ok(Command::Query { token, query, ttl }) => {
+            Ok(Input::Cmd(cmd)) => match cmd {
+                Command::Register(advert) => {
+                    machine.register_local(advert);
+                    Vec::new()
+                }
+                Command::Publish(advert) => machine.publish(network.now(), advert),
+                Command::Unpublish(service) => {
+                    machine.unpublish(&service);
+                    Vec::new()
+                }
+                Command::Query { token, query, ttl } => {
                     let (id, outputs) = machine.query(network.now(), query, ttl);
                     tokens.insert(id, token);
                     outputs
                 }
-                Ok(Command::OpenPipe { name, reply }) => {
+                Command::OpenPipe { name, reply } => {
                     let pipe = machine.open_pipe(name);
                     let _ = reply.send(pipe);
                     Vec::new()
                 }
-                Ok(Command::ClosePipe(pipe)) => { machine.close_pipe(&pipe); Vec::new() }
-                Ok(Command::SendPipe { to, payload }) => machine.send_pipe_data(to, payload),
-                Ok(Command::AddNeighbour { peer, rendezvous }) => {
+                Command::ClosePipe(pipe) => {
+                    machine.close_pipe(&pipe);
+                    Vec::new()
+                }
+                Command::SendPipe { to, payload } => machine.send_pipe_data(to, payload),
+                Command::AddNeighbour { peer, rendezvous } => {
                     machine.add_neighbour(peer, rendezvous);
                     Vec::new()
                 }
-                Ok(Command::Shutdown) | Err(_) => return,
+                Command::Shutdown => return,
             },
-            default(Duration::from_millis(50)) => {
+            Err(RecvTimeoutError::Timeout) => {
                 if Instant::now() >= next_refresh {
                     next_refresh = Instant::now() + refresh_interval;
                     machine.refresh(network.now())
@@ -132,6 +195,7 @@ fn peer_loop(
                     Vec::new()
                 }
             }
+            Err(RecvTimeoutError::Disconnected) => return,
         };
         for output in outputs {
             match output {
@@ -142,8 +206,16 @@ fn peer_loop(
                     let token = tokens.get(&id).copied().unwrap_or(id);
                     let _ = event_tx.send(ThreadPeerEvent::QueryResult { token, adverts });
                 }
-                PeerOutput::PipeDelivery { pipe, from, payload } => {
-                    let _ = event_tx.send(ThreadPeerEvent::PipeDelivery { pipe, from, payload });
+                PeerOutput::PipeDelivery {
+                    pipe,
+                    from,
+                    payload,
+                } => {
+                    let _ = event_tx.send(ThreadPeerEvent::PipeDelivery {
+                        pipe,
+                        from,
+                        payload,
+                    });
                 }
                 PeerOutput::UnknownPipe { pipe } => {
                     let _ = event_tx.send(ThreadPeerEvent::UnknownPipe { pipe });
@@ -159,7 +231,7 @@ fn peer_loop(
 /// Application handle for one threaded peer.
 pub struct ThreadPeer {
     id: PeerId,
-    commands: Sender<Command>,
+    commands: Sender<Input>,
     events: Receiver<ThreadPeerEvent>,
     join: Option<std::thread::JoinHandle<()>>,
     network: ThreadNetwork,
@@ -172,38 +244,51 @@ impl ThreadPeer {
 
     /// Register a service locally (deploy) without announcing it.
     pub fn register(&self, advert: ServiceAdvertisement) {
-        let _ = self.commands.send(Command::Register(advert));
+        let _ = self.commands.send(Input::Cmd(Command::Register(advert)));
     }
 
     pub fn publish(&self, advert: ServiceAdvertisement) {
-        let _ = self.commands.send(Command::Publish(advert));
+        let _ = self.commands.send(Input::Cmd(Command::Publish(advert)));
     }
 
     pub fn unpublish(&self, service: &str) {
-        let _ = self.commands.send(Command::Unpublish(service.to_owned()));
+        let _ = self
+            .commands
+            .send(Input::Cmd(Command::Unpublish(service.to_owned())));
     }
 
     pub fn query(&self, token: u64, query: P2psQuery) {
-        let _ = self.commands.send(Command::Query { token, query, ttl: None });
+        let _ = self.commands.send(Input::Cmd(Command::Query {
+            token,
+            query,
+            ttl: None,
+        }));
     }
 
     /// Open a pipe and wait for its advertisement.
     pub fn open_pipe(&self, name: Option<String>) -> PipeAdvertisement {
         let (reply_tx, reply_rx) = bounded(1);
-        let _ = self.commands.send(Command::OpenPipe { name, reply: reply_tx });
+        let _ = self.commands.send(Input::Cmd(Command::OpenPipe {
+            name,
+            reply: reply_tx,
+        }));
         reply_rx.recv().expect("peer thread alive")
     }
 
     pub fn close_pipe(&self, pipe: PipeAdvertisement) {
-        let _ = self.commands.send(Command::ClosePipe(pipe));
+        let _ = self.commands.send(Input::Cmd(Command::ClosePipe(pipe)));
     }
 
     pub fn send_pipe(&self, to: PipeAdvertisement, payload: String) {
-        let _ = self.commands.send(Command::SendPipe { to, payload });
+        let _ = self
+            .commands
+            .send(Input::Cmd(Command::SendPipe { to, payload }));
     }
 
     pub fn add_neighbour(&self, peer: PeerId, rendezvous: bool) {
-        let _ = self.commands.send(Command::AddNeighbour { peer, rendezvous });
+        let _ = self
+            .commands
+            .send(Input::Cmd(Command::AddNeighbour { peer, rendezvous }));
     }
 
     /// Block for the next event, up to `timeout`.
@@ -220,7 +305,7 @@ impl ThreadPeer {
 impl Drop for ThreadPeer {
     fn drop(&mut self) {
         self.network.directory.write().remove(&self.id);
-        let _ = self.commands.send(Command::Shutdown);
+        let _ = self.commands.send(Input::Cmd(Command::Shutdown));
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
@@ -257,7 +342,9 @@ mod tests {
         std::thread::sleep(Duration::from_millis(100));
         seeker.query(7, P2psQuery::by_name("Echo"));
 
-        let event = seeker.recv_event(WAIT).expect("query should produce an event");
+        let event = seeker
+            .recv_event(WAIT)
+            .expect("query should produce an event");
         match event {
             ThreadPeerEvent::QueryResult { token, adverts } => {
                 assert_eq!(token, 7);
@@ -280,7 +367,11 @@ mod tests {
         consumer.send_pipe(target.clone(), "<ping/>".into());
         let event = provider.recv_event(WAIT).expect("pipe delivery");
         match event {
-            ThreadPeerEvent::PipeDelivery { pipe, from, payload } => {
+            ThreadPeerEvent::PipeDelivery {
+                pipe,
+                from,
+                payload,
+            } => {
                 assert_eq!(pipe, target);
                 assert_eq!(from, consumer.id());
                 assert_eq!(payload, "<ping/>");

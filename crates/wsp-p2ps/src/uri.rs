@@ -29,7 +29,11 @@ pub struct P2psUri {
 
 impl P2psUri {
     pub fn new(peer: PeerId) -> Self {
-        P2psUri { peer, service: None, pipe: None }
+        P2psUri {
+            peer,
+            service: None,
+            pipe: None,
+        }
     }
 
     pub fn with_service(mut self, service: impl Into<String>) -> Self {
@@ -59,7 +63,11 @@ impl P2psUri {
             .ok_or_else(|| P2psUriError::new(uri, "host component is not a peer id"))?;
         let service = path.filter(|p| !p.is_empty()).map(str::to_owned);
         let pipe = fragment.filter(|f| !f.is_empty()).map(str::to_owned);
-        Ok(P2psUri { peer, service, pipe })
+        Ok(P2psUri {
+            peer,
+            service,
+            pipe,
+        })
     }
 
     /// The address form without the fragment — what goes in
@@ -96,7 +104,10 @@ pub struct P2psUriError {
 
 impl P2psUriError {
     fn new(uri: &str, reason: &'static str) -> Self {
-        P2psUriError { uri: uri.to_owned(), reason }
+        P2psUriError {
+            uri: uri.to_owned(),
+            reason,
+        }
     }
 }
 
@@ -118,7 +129,9 @@ mod tests {
 
     #[test]
     fn full_uri_round_trip() {
-        let uri = P2psUri::new(peer()).with_service("Echo").with_pipe("echoString");
+        let uri = P2psUri::new(peer())
+            .with_service("Echo")
+            .with_pipe("echoString");
         let text = uri.to_string();
         assert_eq!(text, "p2ps://0123456789abcdef/Echo#echoString");
         assert_eq!(P2psUri::parse(&text).unwrap(), uri);

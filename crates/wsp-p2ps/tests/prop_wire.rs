@@ -20,7 +20,9 @@ fn text() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[ -~]{0,24}")
         .unwrap()
         .prop_map(|s| s.replace('\r', " ").trim().to_owned())
-        .prop_filter("advert text fields are trimmed tokens", |s| !s.contains('\n'))
+        .prop_filter("advert text fields are trimmed tokens", |s| {
+            !s.contains('\n')
+        })
 }
 
 fn advert() -> impl Strategy<Value = ServiceAdvertisement> {
@@ -67,10 +69,24 @@ fn query() -> impl Strategy<Value = P2psQuery> {
 fn message() -> impl Strategy<Value = P2psMessage> {
     prop_oneof![
         (advert(), any::<u8>()).prop_map(|(advert, ttl)| P2psMessage::Advertise { advert, ttl }),
-        (any::<u64>(), peer_id(), query(), any::<u8>())
-            .prop_map(|(id, origin, query, ttl)| P2psMessage::Query { id, origin, query, ttl }),
-        (any::<u64>(), peer_id(), proptest::collection::vec(advert(), 0..3))
-            .prop_map(|(id, origin, adverts)| P2psMessage::QueryHit { id, origin, adverts }),
+        (any::<u64>(), peer_id(), query(), any::<u8>()).prop_map(|(id, origin, query, ttl)| {
+            P2psMessage::Query {
+                id,
+                origin,
+                query,
+                ttl,
+            }
+        }),
+        (
+            any::<u64>(),
+            peer_id(),
+            proptest::collection::vec(advert(), 0..3)
+        )
+            .prop_map(|(id, origin, adverts)| P2psMessage::QueryHit {
+                id,
+                origin,
+                adverts
+            }),
         (pipe_advert(), "[ -~]{0,64}")
             .prop_map(|(to, payload)| P2psMessage::PipeData { to, payload }),
         any::<u64>().prop_map(|nonce| P2psMessage::Ping { nonce }),

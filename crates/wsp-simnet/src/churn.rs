@@ -115,7 +115,10 @@ mod tests {
         let m = ChurnModel::new(Dur::secs(2), Dur::secs(1));
         let mut a = StdRng::seed_from_u64(3);
         let mut b = StdRng::seed_from_u64(3);
-        assert_eq!(m.schedule_for(Time::secs(50), &mut a), m.schedule_for(Time::secs(50), &mut b));
+        assert_eq!(
+            m.schedule_for(Time::secs(50), &mut a),
+            m.schedule_for(Time::secs(50), &mut b)
+        );
     }
 
     #[test]

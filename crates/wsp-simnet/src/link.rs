@@ -20,7 +20,12 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// A LAN-ish default: 0.5 ms ± 0.2 ms, lossless.
     pub fn lan() -> Self {
-        LinkSpec { latency: Dur::micros(500), jitter: Dur::micros(200), loss: 0.0, per_byte: Dur::ZERO }
+        LinkSpec {
+            latency: Dur::micros(500),
+            jitter: Dur::micros(200),
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        }
     }
 
     /// A WAN-ish profile: 40 ms ± 20 ms with light loss — the
@@ -95,7 +100,12 @@ mod tests {
     #[test]
     fn delay_within_bounds() {
         let mut rng = StdRng::seed_from_u64(7);
-        let link = LinkSpec { latency: Dur::millis(10), jitter: Dur::millis(5), loss: 0.0, per_byte: Dur::ZERO };
+        let link = LinkSpec {
+            latency: Dur::millis(10),
+            jitter: Dur::millis(5),
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        };
         for _ in 0..100 {
             let d = link.sample(0, &mut rng).unwrap();
             assert!(d >= Dur::millis(10) && d <= Dur::millis(15), "{d}");
@@ -106,7 +116,9 @@ mod tests {
     fn lossy_link_drops_roughly_at_rate() {
         let mut rng = StdRng::seed_from_u64(42);
         let link = LinkSpec::lan().with_loss(0.3);
-        let lost = (0..10_000).filter(|_| link.sample(0, &mut rng).is_none()).count();
+        let lost = (0..10_000)
+            .filter(|_| link.sample(0, &mut rng).is_none())
+            .count();
         let rate = lost as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.03, "observed loss {rate}");
     }

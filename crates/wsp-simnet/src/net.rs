@@ -121,7 +121,10 @@ impl<M: Payload> SimNet<M> {
 
     /// The link spec in effect for `from → to`.
     pub fn link(&self, from: NodeId, to: NodeId) -> LinkSpec {
-        self.links.get(&(from, to)).copied().unwrap_or(self.default_link)
+        self.links
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
     }
 
     /// Cap the total number of dispatched events (runaway guard).
@@ -132,8 +135,17 @@ impl<M: Payload> SimNet<M> {
     /// Add a node; its `Start` event fires at the current time.
     pub fn add_node(&mut self, behaviour: Box<dyn Node<M>>) -> NodeId {
         let id = self.nodes.len() as NodeId;
-        self.nodes.push(NodeSlot { behaviour: Some(behaviour), up: true });
-        self.schedule(self.time, EventKind::Dispatch { node: id, event: NodeEvent::Start });
+        self.nodes.push(NodeSlot {
+            behaviour: Some(behaviour),
+            up: true,
+        });
+        self.schedule(
+            self.time,
+            EventKind::Dispatch {
+                node: id,
+                event: NodeEvent::Start,
+            },
+        );
         id
     }
 
@@ -198,9 +210,9 @@ impl<M: Payload> SimNet<M> {
             }
             self.step();
         }
-        self.time = self.time.max(deadline.min(
-            self.queue.peek().map(|s| s.at).unwrap_or(deadline),
-        ));
+        self.time = self
+            .time
+            .max(deadline.min(self.queue.peek().map(|s| s.at).unwrap_or(deadline)));
         self.time
     }
 
@@ -220,7 +232,9 @@ impl<M: Payload> SimNet<M> {
 
     /// Process one event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
-        let Some(scheduled) = self.queue.pop() else { return false };
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
         debug_assert!(scheduled.at >= self.time, "time went backwards");
         self.time = scheduled.at;
         self.events_dispatched += 1;
@@ -259,11 +273,21 @@ impl<M: Payload> SimNet<M> {
         }
         let spec = self.link(from, to);
         let size = msg.wire_size();
-        self.trace_event(TraceEvent::Sent { from, to, bytes: size });
+        self.trace_event(TraceEvent::Sent {
+            from,
+            to,
+            bytes: size,
+        });
         match spec.sample(size, &mut self.rng) {
             Some(delay) => {
                 let at = self.time + delay;
-                self.schedule(at, EventKind::Dispatch { node: to, event: NodeEvent::Message { from, msg } });
+                self.schedule(
+                    at,
+                    EventKind::Dispatch {
+                        node: to,
+                        event: NodeEvent::Message { from, msg },
+                    },
+                );
             }
             None => {
                 self.metrics.incr("simnet.dropped_loss", 1);
@@ -297,7 +321,9 @@ impl<M: Payload> SimNet<M> {
     }
 
     fn dispatch(&mut self, node: NodeId, event: NodeEvent<M>) {
-        let Some(slot) = self.nodes.get(node as usize) else { return };
+        let Some(slot) = self.nodes.get(node as usize) else {
+            return;
+        };
         // Down nodes receive nothing (messages and timers are lost), the
         // exception being the WentDown notification itself.
         if !slot.up && !matches!(event, NodeEvent::WentUp) {
@@ -310,7 +336,11 @@ impl<M: Payload> SimNet<M> {
         if let NodeEvent::Message { from, ref msg } = event {
             self.metrics.incr("simnet.delivered", 1);
             let bytes = msg.wire_size();
-            self.trace_event(TraceEvent::Delivered { from, to: node, bytes });
+            self.trace_event(TraceEvent::Delivered {
+                from,
+                to: node,
+                bytes,
+            });
         }
         let Some(mut behaviour) = self.nodes[node as usize].behaviour.take() else {
             // Re-entrant dispatch cannot happen in a single-threaded DES;
@@ -351,7 +381,13 @@ mod tests {
 
     fn logger(echo: bool) -> (Box<Logger>, EventLog) {
         let log = Rc::new(RefCell::new(Vec::new()));
-        (Box::new(Logger { log: log.clone(), echo }), log)
+        (
+            Box::new(Logger {
+                log: log.clone(),
+                echo,
+            }),
+            log,
+        )
     }
 
     #[test]
@@ -373,7 +409,10 @@ mod tests {
         let b_id = net.add_node(b);
         net.inject(
             a_id,
-            NodeEvent::Message { from: a_id, msg: "kick".into() },
+            NodeEvent::Message {
+                from: a_id,
+                msg: "kick".into(),
+            },
         );
         // a isn't an echoer; send from a to b directly via a behaviourless path:
         net.transmit(a_id, b_id, "ping".into());
@@ -392,7 +431,12 @@ mod tests {
     #[test]
     fn latency_advances_clock() {
         let mut net: SimNet<String> = SimNet::new(1);
-        net.set_default_link(LinkSpec { latency: Dur::millis(10), jitter: Dur::ZERO, loss: 0.0, per_byte: Dur::ZERO });
+        net.set_default_link(LinkSpec {
+            latency: Dur::millis(10),
+            jitter: Dur::ZERO,
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        });
         let (a, _la) = logger(false);
         let (b, lb) = logger(false);
         let a_id = net.add_node(a);
@@ -440,7 +484,12 @@ mod tests {
         net.run_to_quiescence();
         net.schedule_down(a_id, Time::millis(1));
         // Message scheduled to arrive while down.
-        net.set_default_link(LinkSpec { latency: Dur::millis(5), jitter: Dur::ZERO, loss: 0.0, per_byte: Dur::ZERO });
+        net.set_default_link(LinkSpec {
+            latency: Dur::millis(5),
+            jitter: Dur::ZERO,
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        });
         net.transmit(a_id, a_id, "self".into());
         net.schedule_up(a_id, Time::millis(10));
         net.run_to_quiescence();
@@ -473,7 +522,9 @@ mod tests {
         }
         let fired = Rc::new(RefCell::new(Vec::new()));
         let mut net: SimNet<String> = SimNet::new(1);
-        net.add_node(Box::new(TimerNode { fired: fired.clone() }));
+        net.add_node(Box::new(TimerNode {
+            fired: fired.clone(),
+        }));
         net.run_to_quiescence();
         assert_eq!(*fired.borrow(), vec![1, 3]);
     }
@@ -495,9 +546,11 @@ mod tests {
     fn event_budget_stops_runaway() {
         // A behaviour that reschedules itself forever.
         let mut net: SimNet<String> = SimNet::new(1);
-        net.add_node(Box::new(|ctx: &mut Context<'_, String>, _event: NodeEvent<String>| {
-            ctx.set_timer(Dur::millis(1), 0);
-        }));
+        net.add_node(Box::new(
+            |ctx: &mut Context<'_, String>, _event: NodeEvent<String>| {
+                ctx.set_timer(Dur::millis(1), 0);
+            },
+        ));
         net.set_event_budget(100);
         net.run_to_quiescence();
         assert!(net.events_dispatched() <= 100);
@@ -508,9 +561,11 @@ mod tests {
         let seen = Rc::new(RefCell::new(0u32));
         let s = seen.clone();
         let mut net: SimNet<String> = SimNet::new(1);
-        net.add_node(Box::new(move |_ctx: &mut Context<'_, String>, _e: NodeEvent<String>| {
-            *s.borrow_mut() += 1;
-        }));
+        net.add_node(Box::new(
+            move |_ctx: &mut Context<'_, String>, _e: NodeEvent<String>| {
+                *s.borrow_mut() += 1;
+            },
+        ));
         net.run_to_quiescence();
         assert_eq!(*seen.borrow(), 1);
     }
@@ -519,7 +574,12 @@ mod tests {
     fn trace_records_lifecycle() {
         let mut net: SimNet<String> = SimNet::new(4);
         net.enable_trace(100);
-        net.set_default_link(LinkSpec { latency: Dur::millis(1), jitter: Dur::ZERO, loss: 0.0, per_byte: Dur::ZERO });
+        net.set_default_link(LinkSpec {
+            latency: Dur::millis(1),
+            jitter: Dur::ZERO,
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        });
         let (a, _la) = logger(false);
         let (b, _lb) = logger(false);
         let a_id = net.add_node(a);
@@ -533,11 +593,17 @@ mod tests {
         net.run_to_quiescence();
         let trace = net.trace().unwrap();
         let kinds: Vec<&TraceEvent> = trace.iter().map(|(_, e)| e).collect();
-        assert!(kinds.iter().any(|e| matches!(e, TraceEvent::Sent { from: 0, to: 1, .. })));
-        assert!(kinds.iter().any(|e| matches!(e, TraceEvent::Delivered { from: 0, to: 1, .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Sent { from: 0, to: 1, .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Delivered { from: 0, to: 1, .. })));
         assert!(kinds.iter().any(|e| matches!(e, TraceEvent::NodeDown(1))));
         assert!(kinds.iter().any(|e| matches!(e, TraceEvent::NodeUp(1))));
-        assert!(kinds.iter().any(|e| matches!(e, TraceEvent::DroppedDown { to: 1 })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DroppedDown { to: 1 })));
         assert!(!trace.render().is_empty());
     }
 

@@ -16,7 +16,9 @@ pub struct Topology {
 
 impl Topology {
     pub fn with_nodes(n: usize) -> Self {
-        Topology { neighbours: vec![Vec::new(); n] }
+        Topology {
+            neighbours: vec![Vec::new(); n],
+        }
     }
 
     pub fn node_count(&self) -> usize {
@@ -24,7 +26,10 @@ impl Topology {
     }
 
     pub fn neighbours(&self, node: NodeId) -> &[NodeId] {
-        self.neighbours.get(node as usize).map(Vec::as_slice).unwrap_or(&[])
+        self.neighbours
+            .get(node as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     pub fn connect(&mut self, a: NodeId, b: NodeId) {
@@ -91,7 +96,10 @@ impl Topology {
         rv_degree: usize,
         rng: &mut StdRng,
     ) -> (Topology, Vec<NodeId>) {
-        assert!(group_size >= 1, "a group needs at least its rendezvous peer");
+        assert!(
+            group_size >= 1,
+            "a group needs at least its rendezvous peer"
+        );
         let n = groups * group_size;
         let mut t = Topology::with_nodes(n);
         let mut rendezvous = Vec::with_capacity(groups);
@@ -114,7 +122,11 @@ impl Topology {
         // …plus random shortcut edges up to the requested degree.
         if groups > 2 {
             for &rv in &rendezvous {
-                while t.neighbours(rv).iter().filter(|p| rendezvous.contains(p)).count()
+                while t
+                    .neighbours(rv)
+                    .iter()
+                    .filter(|p| rendezvous.contains(p))
+                    .count()
                     < rv_degree.min(groups - 1)
                 {
                     let other = rendezvous[rng.random_range(0..groups)];

@@ -13,10 +13,23 @@ use std::fmt;
 /// One trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
-    Sent { from: NodeId, to: NodeId, bytes: usize },
-    Delivered { from: NodeId, to: NodeId, bytes: usize },
-    DroppedLoss { from: NodeId, to: NodeId },
-    DroppedDown { to: NodeId },
+    Sent {
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    },
+    Delivered {
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    },
+    DroppedLoss {
+        from: NodeId,
+        to: NodeId,
+    },
+    DroppedDown {
+        to: NodeId,
+    },
     NodeDown(NodeId),
     NodeUp(NodeId),
 }
@@ -46,7 +59,11 @@ pub struct Trace {
 impl Trace {
     /// A trace keeping the most recent `capacity` records.
     pub fn with_capacity(capacity: usize) -> Self {
-        Trace { ring: VecDeque::with_capacity(capacity.min(4096)), capacity, offered: 0 }
+        Trace {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            offered: 0,
+        }
     }
 
     pub fn record(&mut self, at: Time, event: TraceEvent) {
@@ -128,9 +145,30 @@ mod tests {
     #[test]
     fn involving_filters() {
         let mut trace = Trace::with_capacity(10);
-        trace.record(Time::ZERO, TraceEvent::Sent { from: 1, to: 2, bytes: 10 });
-        trace.record(Time::ZERO, TraceEvent::Delivered { from: 1, to: 2, bytes: 10 });
-        trace.record(Time::ZERO, TraceEvent::Sent { from: 3, to: 4, bytes: 10 });
+        trace.record(
+            Time::ZERO,
+            TraceEvent::Sent {
+                from: 1,
+                to: 2,
+                bytes: 10,
+            },
+        );
+        trace.record(
+            Time::ZERO,
+            TraceEvent::Delivered {
+                from: 1,
+                to: 2,
+                bytes: 10,
+            },
+        );
+        trace.record(
+            Time::ZERO,
+            TraceEvent::Sent {
+                from: 3,
+                to: 4,
+                bytes: 10,
+            },
+        );
         trace.record(Time::ZERO, TraceEvent::DroppedDown { to: 2 });
         assert_eq!(trace.involving(2).len(), 3);
         assert_eq!(trace.involving(4).len(), 1);
@@ -140,7 +178,14 @@ mod tests {
     #[test]
     fn render_is_line_per_event() {
         let mut trace = Trace::with_capacity(10);
-        trace.record(Time::millis(1500), TraceEvent::Sent { from: 0, to: 1, bytes: 42 });
+        trace.record(
+            Time::millis(1500),
+            TraceEvent::Sent {
+                from: 0,
+                to: 1,
+                bytes: 42,
+            },
+        );
         let text = trace.render();
         assert_eq!(text, "1.500000 s 0 -> 1 (42B)\n");
     }

@@ -25,7 +25,10 @@ pub struct EndpointReference {
 
 impl EndpointReference {
     pub fn new(address: impl Into<String>) -> Self {
-        EndpointReference { address: address.into(), reference_properties: Vec::new() }
+        EndpointReference {
+            address: address.into(),
+            reference_properties: Vec::new(),
+        }
     }
 
     pub fn with_property(mut self, property: Element) -> Self {
@@ -37,7 +40,11 @@ impl EndpointReference {
     /// `wsa:ReplyTo`.
     pub fn to_element(&self, local: &'static str) -> Element {
         let mut e = Element::new(WSA_NS, local);
-        e.push_element(Element::build(WSA_NS, "Address").text(self.address.clone()).finish());
+        e.push_element(
+            Element::build(WSA_NS, "Address")
+                .text(self.address.clone())
+                .finish(),
+        );
         if !self.reference_properties.is_empty() {
             let mut props = Element::new(WSA_NS, "ReferenceProperties");
             for p in &self.reference_properties {
@@ -55,7 +62,10 @@ impl EndpointReference {
             .find(WSA_NS, "ReferenceProperties")
             .map(|props| props.child_elements().cloned().collect())
             .unwrap_or_default();
-        Some(EndpointReference { address, reference_properties })
+        Some(EndpointReference {
+            address,
+            reference_properties,
+        })
     }
 }
 
@@ -179,7 +189,9 @@ impl MessageHeaders {
     /// is present at all.
     pub fn extract(envelope: &Envelope) -> Option<MessageHeaders> {
         let text = |local: &str| -> Option<String> {
-            envelope.find_header(WSA_NS, local).map(|h| h.element.text().trim().to_owned())
+            envelope
+                .find_header(WSA_NS, local)
+                .map(|h| h.element.text().trim().to_owned())
         };
         let epr = |local: &str| -> Option<EndpointReference> {
             envelope
@@ -240,8 +252,11 @@ mod tests {
 
     #[test]
     fn epr_round_trip_with_properties() {
-        let epr = EndpointReference::new("p2ps://abcd/Echo")
-            .with_property(Element::build("urn:p2ps", "PipeName").text("echoString").finish());
+        let epr = EndpointReference::new("p2ps://abcd/Echo").with_property(
+            Element::build("urn:p2ps", "PipeName")
+                .text("echoString")
+                .finish(),
+        );
         let elem = epr.to_element("ReplyTo");
         let back = EndpointReference::from_element(&elem).unwrap();
         assert_eq!(back, epr);
@@ -275,7 +290,11 @@ mod tests {
         env.set_addressing(MessageHeaders::request("urn:to", "urn:action"));
         assert!(env.find_header(WSA_NS, "To").unwrap().must_understand);
         assert!(env.find_header(WSA_NS, "Action").unwrap().must_understand);
-        assert!(!env.find_header(WSA_NS, "MessageID").unwrap().must_understand);
+        assert!(
+            !env.find_header(WSA_NS, "MessageID")
+                .unwrap()
+                .must_understand
+        );
     }
 
     #[test]
@@ -292,10 +311,10 @@ mod tests {
 
     #[test]
     fn response_correlates_with_request() {
-        let req = MessageHeaders::request("urn:svc", "urn:op")
-            .with_reply_to(EndpointReference::new("urn:return-pipe").with_property(
-                Element::build("urn:p2ps", "PipeName").text("resp").finish(),
-            ));
+        let req = MessageHeaders::request("urn:svc", "urn:op").with_reply_to(
+            EndpointReference::new("urn:return-pipe")
+                .with_property(Element::build("urn:p2ps", "PipeName").text("resp").finish()),
+        );
         let resp = MessageHeaders::response_to(&req, "urn:op:response");
         assert_eq!(resp.relates_to, req.message_id);
         assert_eq!(resp.to.as_deref(), Some("urn:return-pipe"));

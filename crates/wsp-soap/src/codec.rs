@@ -70,7 +70,9 @@ impl SoapCodec {
         let config = WriterConfig::wire()
             .prefer(SOAP_ENV_NS, "env")
             .prefer(WSA_NS, "wsa");
-        SoapCodec { writer: Writer::new(config) }
+        SoapCodec {
+            writer: Writer::new(config),
+        }
     }
 
     /// Serialise an envelope to wire XML (with XML declaration).
@@ -119,9 +121,8 @@ mod tests {
     fn codec_is_reusable() {
         let mut codec = SoapCodec::new();
         for i in 0..3 {
-            let env = Envelope::request(
-                Element::build("urn:x", "op").text(format!("{i}")).finish(),
-            );
+            let env =
+                Envelope::request(Element::build("urn:x", "op").text(format!("{i}")).finish());
             let xml = codec.encode(&env);
             let back = codec.decode(&xml).unwrap();
             assert_eq!(back.payload().unwrap().text(), format!("{i}"));
@@ -131,6 +132,8 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(SoapError::MissingBody.to_string().contains("Body"));
-        assert!(SoapError::VersionMismatch { found: "x".into() }.to_string().contains("SOAP 1.2"));
+        assert!(SoapError::VersionMismatch { found: "x".into() }
+            .to_string()
+            .contains("SOAP 1.2"));
     }
 }

@@ -9,8 +9,7 @@ pub const WSA_NS: &str = "http://schemas.xmlsoap.org/ws/2004/03/addressing";
 /// The WS-Addressing anonymous address: "reply over the same connection".
 /// Used by the HTTP binding; the P2PS binding always supplies an explicit
 /// `ReplyTo` pipe instead (the whole point of Figures 5 and 6).
-pub const WSA_ANONYMOUS: &str =
-    "http://schemas.xmlsoap.org/ws/2004/03/addressing/role/anonymous";
+pub const WSA_ANONYMOUS: &str = "http://schemas.xmlsoap.org/ws/2004/03/addressing/role/anonymous";
 
 /// SOAP 1.2 "ultimate receiver" role (the default when no role is given).
 pub const ROLE_ULTIMATE_RECEIVER: &str =

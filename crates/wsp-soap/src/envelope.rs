@@ -19,11 +19,19 @@ pub struct HeaderBlock {
 
 impl HeaderBlock {
     pub fn new(element: Element) -> Self {
-        HeaderBlock { element, must_understand: false, role: None }
+        HeaderBlock {
+            element,
+            must_understand: false,
+            role: None,
+        }
     }
 
     pub fn mandatory(element: Element) -> Self {
-        HeaderBlock { element, must_understand: true, role: None }
+        HeaderBlock {
+            element,
+            must_understand: true,
+            role: None,
+        }
     }
 }
 
@@ -48,17 +56,26 @@ pub struct Envelope {
 impl Envelope {
     /// An envelope carrying an application payload.
     pub fn request(payload: Element) -> Self {
-        Envelope { headers: Vec::new(), body: Body::Payload(payload) }
+        Envelope {
+            headers: Vec::new(),
+            body: Body::Payload(payload),
+        }
     }
 
     /// An envelope carrying a fault.
     pub fn fault(fault: Fault) -> Self {
-        Envelope { headers: Vec::new(), body: Body::Fault(fault) }
+        Envelope {
+            headers: Vec::new(),
+            body: Body::Fault(fault),
+        }
     }
 
     /// An envelope with an empty body.
     pub fn empty() -> Self {
-        Envelope { headers: Vec::new(), body: Body::Empty }
+        Envelope {
+            headers: Vec::new(),
+            body: Body::Empty,
+        }
     }
 
     pub fn headers(&self) -> &[HeaderBlock] {
@@ -104,7 +121,8 @@ impl Envelope {
 
     /// Replace the WS-Addressing headers with `headers`.
     pub fn set_addressing(&mut self, headers: MessageHeaders) {
-        self.headers.retain(|h| h.element.name().namespace() != crate::constants::WSA_NS);
+        self.headers
+            .retain(|h| h.element.name().namespace() != crate::constants::WSA_NS);
         headers.apply_to(self);
     }
 
@@ -152,7 +170,9 @@ impl Envelope {
     /// Parse from an `env:Envelope` element.
     pub fn from_element(root: &Element) -> Result<Envelope, SoapError> {
         if !root.name().is(SOAP_ENV_NS, "Envelope") {
-            return Err(SoapError::VersionMismatch { found: format!("{:?}", root.name()) });
+            return Err(SoapError::VersionMismatch {
+                found: format!("{:?}", root.name()),
+            });
         }
         let mut headers = Vec::new();
         if let Some(header) = root.find(SOAP_ENV_NS, "Header") {
@@ -166,10 +186,16 @@ impl Envelope {
                 // The processing attributes live on the block, not in the
                 // application view of the header element.
                 strip_env_attrs(&mut element);
-                headers.push(HeaderBlock { element, must_understand, role });
+                headers.push(HeaderBlock {
+                    element,
+                    must_understand,
+                    role,
+                });
             }
         }
-        let body_elem = root.find(SOAP_ENV_NS, "Body").ok_or(SoapError::MissingBody)?;
+        let body_elem = root
+            .find(SOAP_ENV_NS, "Body")
+            .ok_or(SoapError::MissingBody)?;
         let body = match body_elem.child_elements().next() {
             None => Body::Empty,
             Some(first) => match Fault::from_element(first) {
@@ -285,13 +311,20 @@ mod tests {
 
     #[test]
     fn wrong_envelope_namespace_is_version_mismatch() {
-        let xml = r#"<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body/></Envelope>"#;
-        assert!(matches!(Envelope::from_xml(xml), Err(SoapError::VersionMismatch { .. })));
+        let xml =
+            r#"<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body/></Envelope>"#;
+        assert!(matches!(
+            Envelope::from_xml(xml),
+            Err(SoapError::VersionMismatch { .. })
+        ));
     }
 
     #[test]
     fn missing_body_rejected() {
         let xml = format!(r#"<env:Envelope xmlns:env="{SOAP_ENV_NS}"/>"#);
-        assert!(matches!(Envelope::from_xml(&xml), Err(SoapError::MissingBody)));
+        assert!(matches!(
+            Envelope::from_xml(&xml),
+            Err(SoapError::MissingBody)
+        ));
     }
 }

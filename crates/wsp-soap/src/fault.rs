@@ -63,7 +63,12 @@ pub struct Fault {
 
 impl Fault {
     pub fn new(code: FaultCode, reason: impl Into<String>) -> Self {
-        Fault { code, subcode: None, reason: reason.into(), detail: None }
+        Fault {
+            code,
+            subcode: None,
+            reason: reason.into(),
+            detail: None,
+        }
     }
 
     /// Shorthand for a `Sender` fault.
@@ -156,7 +161,12 @@ impl Fault {
             .cloned()
             .map(Box::new);
 
-        Some(Fault { code, subcode, reason, detail })
+        Some(Fault {
+            code,
+            subcode,
+            reason,
+            detail,
+        })
     }
 }
 
@@ -199,7 +209,10 @@ mod tests {
         let back = Fault::from_element(&elem).unwrap();
         assert_eq!(back.code, FaultCode::Sender);
         assert_eq!(back.reason, "bad request");
-        assert_eq!(back.subcode.as_ref().unwrap().local_name(), "NoSuchOperation");
+        assert_eq!(
+            back.subcode.as_ref().unwrap().local_name(),
+            "NoSuchOperation"
+        );
         assert_eq!(back.detail.as_ref().unwrap().text(), "missing");
     }
 

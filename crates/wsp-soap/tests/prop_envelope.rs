@@ -10,7 +10,9 @@ fn ncname() -> impl Strategy<Value = String> {
 }
 
 fn text() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~]{0,32}").unwrap().prop_map(|s| s.replace('\r', " "))
+    proptest::string::string_regex("[ -~]{0,32}")
+        .unwrap()
+        .prop_map(|s| s.replace('\r', " "))
 }
 
 fn uri() -> impl Strategy<Value = String> {
@@ -18,24 +20,27 @@ fn uri() -> impl Strategy<Value = String> {
 }
 
 fn payload_element() -> impl Strategy<Value = Element> {
-    (uri(), ncname(), proptest::collection::vec((ncname(), text()), 0..4), text()).prop_map(
-        |(ns, local, children, t)| {
+    (
+        uri(),
+        ncname(),
+        proptest::collection::vec((ncname(), text()), 0..4),
+        text(),
+    )
+        .prop_map(|(ns, local, children, t)| {
             let mut e = Element::new(ns.clone(), local);
             for (cname, ctext) in children {
                 e.push_element(Element::build(ns.clone(), cname).text(ctext).finish());
             }
             e.push_text(t);
             e
-        },
-    )
+        })
 }
 
 fn epr() -> impl Strategy<Value = EndpointReference> {
     (uri(), proptest::collection::vec((ncname(), text()), 0..3)).prop_map(|(address, props)| {
         let mut epr = EndpointReference::new(address);
         for (name, value) in props {
-            epr = epr
-                .with_property(Element::build("urn:props", name).text(value).finish());
+            epr = epr.with_property(Element::build("urn:props", name).text(value).finish());
         }
         epr
     })

@@ -24,7 +24,11 @@ impl ServiceInfo {
         let mut e = Element::new(UDDI_NS, "serviceInfo");
         e.set_attribute(QName::local("serviceKey"), self.key.clone());
         e.set_attribute(QName::local("businessKey"), self.business_key.clone());
-        e.push_element(Element::build(UDDI_NS, "name").text(self.name.clone()).finish());
+        e.push_element(
+            Element::build(UDDI_NS, "name")
+                .text(self.name.clone())
+                .finish(),
+        );
         e
     }
 
@@ -81,27 +85,39 @@ impl UddiApi {
         let mut infos = Element::new(UDDI_NS, "serviceInfos");
         for s in &hits {
             infos.push_element(
-                ServiceInfo { key: s.key.clone(), name: s.name.clone(), business_key: s.business_key.clone() }
-                    .to_element(),
+                ServiceInfo {
+                    key: s.key.clone(),
+                    name: s.name.clone(),
+                    business_key: s.business_key.clone(),
+                }
+                .to_element(),
             );
         }
         Ok(Element::build(UDDI_NS, "serviceList").child(infos).finish())
     }
 
     fn find_business(&self, payload: &Element) -> Result<Element, Fault> {
-        let pattern = payload.child_text(UDDI_NS, "name").unwrap_or_else(|| "%".to_owned());
+        let pattern = payload
+            .child_text(UDDI_NS, "name")
+            .unwrap_or_else(|| "%".to_owned());
         let mut infos = Element::new(UDDI_NS, "businessInfos");
         for key in self.registry.business_keys() {
             if let Some(biz) = self.registry.get_business(&key) {
                 if crate::query::wildcard_match(&pattern, &biz.name) {
                     let mut info = Element::new(UDDI_NS, "businessInfo");
                     info.set_attribute(wsp_xml::QName::local("businessKey"), biz.key.clone());
-                    info.push_element(Element::build(UDDI_NS, "name").text(biz.name.clone()).finish());
+                    info.push_element(
+                        Element::build(UDDI_NS, "name")
+                            .text(biz.name.clone())
+                            .finish(),
+                    );
                     infos.push_element(info);
                 }
             }
         }
-        Ok(Element::build(UDDI_NS, "businessList").child(infos).finish())
+        Ok(Element::build(UDDI_NS, "businessList")
+            .child(infos)
+            .finish())
     }
 
     fn get_service_detail(&self, payload: &Element) -> Result<Element, Fault> {
@@ -140,8 +156,8 @@ impl UddiApi {
     fn save_tmodel(&self, payload: &Element) -> Result<Element, Fault> {
         let mut detail = Element::new(UDDI_NS, "tModelDetail");
         for tm_elem in payload.find_all(UDDI_NS, "tModel") {
-            let tm = TModel::from_element(tm_elem)
-                .ok_or_else(|| Fault::sender("malformed tModel"))?;
+            let tm =
+                TModel::from_element(tm_elem).ok_or_else(|| Fault::sender("malformed tModel"))?;
             detail.push_element(self.registry.save_tmodel(tm).to_element());
         }
         Ok(detail)
@@ -207,10 +223,18 @@ mod tests {
         assert_eq!(infos[0].key, key);
 
         let mut get = Element::new(UDDI_NS, "get_serviceDetail");
-        get.push_element(Element::build(UDDI_NS, "serviceKey").text(key.clone()).finish());
+        get.push_element(
+            Element::build(UDDI_NS, "serviceKey")
+                .text(key.clone())
+                .finish(),
+        );
         let detail = api.process(&request(get));
         let svc = BusinessService::from_element(
-            detail.payload().unwrap().find(UDDI_NS, "businessService").unwrap(),
+            detail
+                .payload()
+                .unwrap()
+                .find(UDDI_NS, "businessService")
+                .unwrap(),
         )
         .unwrap();
         assert_eq!(svc.name, "EchoService");
@@ -224,7 +248,11 @@ mod tests {
         save.push_element(BusinessService::new("", "biz", "New").to_element());
         let response = api.process(&request(save));
         let svc = BusinessService::from_element(
-            response.payload().unwrap().find(UDDI_NS, "businessService").unwrap(),
+            response
+                .payload()
+                .unwrap()
+                .find(UDDI_NS, "businessService")
+                .unwrap(),
         )
         .unwrap();
         assert!(svc.key.starts_with("uuid:svc-"));
@@ -235,7 +263,11 @@ mod tests {
     fn unknown_service_key_faults() {
         let (api, _) = api_with_service();
         let mut get = Element::new(UDDI_NS, "get_serviceDetail");
-        get.push_element(Element::build(UDDI_NS, "serviceKey").text("uuid:nope").finish());
+        get.push_element(
+            Element::build(UDDI_NS, "serviceKey")
+                .text("uuid:nope")
+                .finish(),
+        );
         let response = api.process(&request(get));
         assert!(response.fault_body().unwrap().reason.contains("uuid:nope"));
     }
@@ -257,12 +289,21 @@ mod tests {
     fn tmodel_save_and_get() {
         let api = UddiApi::new(Registry::new());
         let mut save = Element::new(UDDI_NS, "save_tModel");
-        save.push_element(TModel::new("", "Echo WSDL").with_overview("http://h/Echo?wsdl").to_element());
+        save.push_element(
+            TModel::new("", "Echo WSDL")
+                .with_overview("http://h/Echo?wsdl")
+                .to_element(),
+        );
         let saved = api.process(&request(save));
-        let tm = TModel::from_element(saved.payload().unwrap().find(UDDI_NS, "tModel").unwrap()).unwrap();
+        let tm = TModel::from_element(saved.payload().unwrap().find(UDDI_NS, "tModel").unwrap())
+            .unwrap();
 
         let mut get = Element::new(UDDI_NS, "get_tModelDetail");
-        get.push_element(Element::build(UDDI_NS, "tModelKey").text(tm.key.clone()).finish());
+        get.push_element(
+            Element::build(UDDI_NS, "tModelKey")
+                .text(tm.key.clone())
+                .finish(),
+        );
         let got = api.process(&request(get));
         let fetched =
             TModel::from_element(got.payload().unwrap().find(UDDI_NS, "tModel").unwrap()).unwrap();
@@ -274,7 +315,11 @@ mod tests {
         let (api, key) = api_with_service();
         let mut del = Element::new(UDDI_NS, "delete_service");
         del.push_element(Element::build(UDDI_NS, "serviceKey").text(key).finish());
-        del.push_element(Element::build(UDDI_NS, "serviceKey").text("uuid:ghost").finish());
+        del.push_element(
+            Element::build(UDDI_NS, "serviceKey")
+                .text("uuid:ghost")
+                .finish(),
+        );
         let response = api.process(&request(del));
         let report = response.payload().unwrap();
         assert_eq!(report.attribute_local("deleted"), Some("1"));

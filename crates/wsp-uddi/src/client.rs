@@ -75,14 +75,21 @@ impl UddiClient {
         let infos = list
             .find(UDDI_NS, "serviceInfos")
             .ok_or_else(|| UddiError::Malformed("serviceList lacks serviceInfos".into()))?;
-        Ok(infos.find_all(UDDI_NS, "serviceInfo").filter_map(ServiceInfo::from_element).collect())
+        Ok(infos
+            .find_all(UDDI_NS, "serviceInfo")
+            .filter_map(ServiceInfo::from_element)
+            .collect())
     }
 
     /// `get_serviceDetail`: full records for the given keys.
     pub fn get_service_details(&self, keys: &[String]) -> Result<Vec<BusinessService>, UddiError> {
         let mut get = Element::new(UDDI_NS, "get_serviceDetail");
         for key in keys {
-            get.push_element(Element::build(UDDI_NS, "serviceKey").text(key.clone()).finish());
+            get.push_element(
+                Element::build(UDDI_NS, "serviceKey")
+                    .text(key.clone())
+                    .finish(),
+            );
         }
         let detail = self.call(get)?;
         Ok(detail
@@ -120,7 +127,11 @@ impl UddiClient {
     /// matches `pattern` (`%` wildcards).
     pub fn find_businesses(&self, pattern: &str) -> Result<Vec<(String, String)>, UddiError> {
         let mut find = Element::new(UDDI_NS, "find_business");
-        find.push_element(Element::build(UDDI_NS, "name").text(pattern.to_owned()).finish());
+        find.push_element(
+            Element::build(UDDI_NS, "name")
+                .text(pattern.to_owned())
+                .finish(),
+        );
         let list = self.call(find)?;
         let infos = list
             .find(UDDI_NS, "businessInfos")
@@ -160,7 +171,11 @@ impl UddiClient {
     /// `get_tModelDetail` for a single key.
     pub fn get_tmodel(&self, key: &str) -> Result<TModel, UddiError> {
         let mut get = Element::new(UDDI_NS, "get_tModelDetail");
-        get.push_element(Element::build(UDDI_NS, "tModelKey").text(key.to_owned()).finish());
+        get.push_element(
+            Element::build(UDDI_NS, "tModelKey")
+                .text(key.to_owned())
+                .finish(),
+        );
         let detail = self.call(get)?;
         detail
             .find(UDDI_NS, "tModel")
@@ -171,7 +186,11 @@ impl UddiClient {
     /// `delete_service` for a single key. Returns whether it existed.
     pub fn delete_service(&self, key: &str) -> Result<bool, UddiError> {
         let mut del = Element::new(UDDI_NS, "delete_service");
-        del.push_element(Element::build(UDDI_NS, "serviceKey").text(key.to_owned()).finish());
+        del.push_element(
+            Element::build(UDDI_NS, "serviceKey")
+                .text(key.to_owned())
+                .finish(),
+        );
         let report = self.call(del)?;
         Ok(report.attribute_local("deleted") == Some("1"))
     }
@@ -190,8 +209,7 @@ pub fn http_transport(uri: String) -> SoapTransport {
         let body = request.to_xml();
         let http_request =
             wsp_http::Request::post("/", wsp_soap::constants::CONTENT_TYPE, body.into_bytes());
-        let response =
-            wsp_http::http_call_uri(&uri, http_request).map_err(|e| e.to_string())?;
+        let response = wsp_http::http_call_uri(&uri, http_request).map_err(|e| e.to_string())?;
         if !response.is_success() && response.status != 500 {
             // 500 carries SOAP faults; anything else is transport-level.
             return Err(format!("registry answered HTTP {}", response.status));
@@ -226,7 +244,10 @@ mod tests {
     #[test]
     fn locate_no_match_is_empty() {
         let (client, _) = client_with_data();
-        assert!(client.locate(&ServiceQuery::by_name("Nope%")).unwrap().is_empty());
+        assert!(client
+            .locate(&ServiceQuery::by_name("Nope%"))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -284,7 +305,9 @@ mod business_tests {
         cardiff.description = Some("School of Computer Science".into());
         let saved = client.save_business(&cardiff).unwrap();
         assert!(saved.key.starts_with("uuid:biz-"));
-        client.save_business(&BusinessEntity::new("", "LSU CCT")).unwrap();
+        client
+            .save_business(&BusinessEntity::new("", "LSU CCT"))
+            .unwrap();
 
         let all = client.find_businesses("%").unwrap();
         assert_eq!(all.len(), 2);
@@ -298,7 +321,9 @@ mod business_tests {
     fn business_flow_over_http() {
         let server = crate::server::RegistryServer::launch(0).unwrap();
         let client = UddiClient::http(server.uri());
-        client.save_business(&BusinessEntity::new("", "Cardiff University")).unwrap();
+        client
+            .save_business(&BusinessEntity::new("", "Cardiff University"))
+            .unwrap();
         let found = client.find_businesses("cardiff%").unwrap();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].1, "Cardiff University");

@@ -34,7 +34,9 @@ pub mod server;
 
 pub use api::{ServiceInfo, UddiApi};
 pub use client::{direct_transport, http_transport, SoapTransport, UddiClient, UddiError};
-pub use model::{BindingTemplate, BusinessEntity, BusinessService, KeyedReference, TModel, UDDI_NS};
+pub use model::{
+    BindingTemplate, BusinessEntity, BusinessService, KeyedReference, TModel, UDDI_NS,
+};
 pub use query::{wildcard_match, ServiceQuery};
 pub use registry::Registry;
 pub use server::{registry_handler, RegistryServer, REGISTRY_PATH};

@@ -62,7 +62,11 @@ pub struct BindingTemplate {
 
 impl BindingTemplate {
     pub fn new(key: impl Into<String>, access_point: impl Into<String>) -> Self {
-        BindingTemplate { key: key.into(), access_point: access_point.into(), tmodel_keys: Vec::new() }
+        BindingTemplate {
+            key: key.into(),
+            access_point: access_point.into(),
+            tmodel_keys: Vec::new(),
+        }
     }
 
     pub fn with_tmodel(mut self, key: impl Into<String>) -> Self {
@@ -104,7 +108,11 @@ impl BindingTemplate {
                     .collect()
             })
             .unwrap_or_default();
-        Some(BindingTemplate { key, access_point, tmodel_keys })
+        Some(BindingTemplate {
+            key,
+            access_point,
+            tmodel_keys,
+        })
     }
 }
 
@@ -164,9 +172,17 @@ impl BusinessService {
         let mut e = Element::new(UDDI_NS, "businessService");
         e.set_attribute(QName::local("serviceKey"), self.key.clone());
         e.set_attribute(QName::local("businessKey"), self.business_key.clone());
-        e.push_element(Element::build(UDDI_NS, "name").text(self.name.clone()).finish());
+        e.push_element(
+            Element::build(UDDI_NS, "name")
+                .text(self.name.clone())
+                .finish(),
+        );
         if let Some(d) = &self.description {
-            e.push_element(Element::build(UDDI_NS, "description").text(d.clone()).finish());
+            e.push_element(
+                Element::build(UDDI_NS, "description")
+                    .text(d.clone())
+                    .finish(),
+            );
         }
         if !self.bindings.is_empty() {
             let mut bts = Element::new(UDDI_NS, "bindingTemplates");
@@ -206,7 +222,14 @@ impl BusinessService {
                     .collect()
             })
             .unwrap_or_default();
-        Some(BusinessService { key, business_key, name, description, categories, bindings })
+        Some(BusinessService {
+            key,
+            business_key,
+            name,
+            description,
+            categories,
+            bindings,
+        })
     }
 }
 
@@ -220,15 +243,27 @@ pub struct BusinessEntity {
 
 impl BusinessEntity {
     pub fn new(key: impl Into<String>, name: impl Into<String>) -> Self {
-        BusinessEntity { key: key.into(), name: name.into(), description: None }
+        BusinessEntity {
+            key: key.into(),
+            name: name.into(),
+            description: None,
+        }
     }
 
     pub fn to_element(&self) -> Element {
         let mut e = Element::new(UDDI_NS, "businessEntity");
         e.set_attribute(QName::local("businessKey"), self.key.clone());
-        e.push_element(Element::build(UDDI_NS, "name").text(self.name.clone()).finish());
+        e.push_element(
+            Element::build(UDDI_NS, "name")
+                .text(self.name.clone())
+                .finish(),
+        );
         if let Some(d) = &self.description {
-            e.push_element(Element::build(UDDI_NS, "description").text(d.clone()).finish());
+            e.push_element(
+                Element::build(UDDI_NS, "description")
+                    .text(d.clone())
+                    .finish(),
+            );
         }
         e
     }
@@ -253,7 +288,11 @@ pub struct TModel {
 
 impl TModel {
     pub fn new(key: impl Into<String>, name: impl Into<String>) -> Self {
-        TModel { key: key.into(), name: name.into(), overview_url: None }
+        TModel {
+            key: key.into(),
+            name: name.into(),
+            overview_url: None,
+        }
     }
 
     pub fn with_overview(mut self, url: impl Into<String>) -> Self {
@@ -264,11 +303,19 @@ impl TModel {
     pub fn to_element(&self) -> Element {
         let mut e = Element::new(UDDI_NS, "tModel");
         e.set_attribute(QName::local("tModelKey"), self.key.clone());
-        e.push_element(Element::build(UDDI_NS, "name").text(self.name.clone()).finish());
+        e.push_element(
+            Element::build(UDDI_NS, "name")
+                .text(self.name.clone())
+                .finish(),
+        );
         if let Some(url) = &self.overview_url {
             e.push_element(
                 Element::build(UDDI_NS, "overviewDoc")
-                    .child(Element::build(UDDI_NS, "overviewURL").text(url.clone()).finish())
+                    .child(
+                        Element::build(UDDI_NS, "overviewURL")
+                            .text(url.clone())
+                            .finish(),
+                    )
                     .finish(),
             );
         }
@@ -335,12 +382,16 @@ mod tests {
     fn binding_url_types() {
         let http = BindingTemplate::new("b", "http://h/x").to_element();
         assert_eq!(
-            http.find(UDDI_NS, "accessPoint").unwrap().attribute_local("URLType"),
+            http.find(UDDI_NS, "accessPoint")
+                .unwrap()
+                .attribute_local("URLType"),
             Some("http")
         );
         let p2ps = BindingTemplate::new("b", "p2ps://peer/Svc").to_element();
         assert_eq!(
-            p2ps.find(UDDI_NS, "accessPoint").unwrap().attribute_local("URLType"),
+            p2ps.find(UDDI_NS, "accessPoint")
+                .unwrap()
+                .attribute_local("URLType"),
             Some("other")
         );
     }

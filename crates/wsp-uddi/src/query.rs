@@ -21,7 +21,10 @@ pub struct ServiceQuery {
 impl ServiceQuery {
     /// Match services whose name matches `pattern` (`%` wildcards).
     pub fn by_name(pattern: impl Into<String>) -> Self {
-        ServiceQuery { name_pattern: Some(pattern.into()), ..ServiceQuery::default() }
+        ServiceQuery {
+            name_pattern: Some(pattern.into()),
+            ..ServiceQuery::default()
+        }
     }
 
     /// Match every service.
@@ -47,9 +50,10 @@ impl ServiceQuery {
             }
         }
         self.categories.iter().all(|wanted| {
-            service.categories.iter().any(|c| {
-                c.tmodel_key == wanted.tmodel_key && c.key_value == wanted.key_value
-            })
+            service
+                .categories
+                .iter()
+                .any(|c| c.tmodel_key == wanted.tmodel_key && c.key_value == wanted.key_value)
         })
     }
 
@@ -143,7 +147,10 @@ mod tests {
         assert!(wildcard_match("%", "anything"));
         assert!(wildcard_match("Echo%", "EchoService"));
         assert!(wildcard_match("%Service", "EchoService"));
-        assert!(wildcard_match("E%o%e", "EchoService".trim_end_matches("rvic")));
+        assert!(wildcard_match(
+            "E%o%e",
+            "EchoService".trim_end_matches("rvic")
+        ));
         assert!(!wildcard_match("Echo", "EchoService"));
         assert!(!wildcard_match("Echo%X", "EchoService"));
         assert!(wildcard_match("", ""));
@@ -168,7 +175,10 @@ mod tests {
         // All categories required.
         let q2 = q.with_category(KeyedReference::new("uddi:region", "", "eu"));
         assert!(!q2.matches(&svc("S", &[("uddi:types", "wspeer")])));
-        assert!(q2.matches(&svc("S", &[("uddi:types", "wspeer"), ("uddi:region", "eu")])));
+        assert!(q2.matches(&svc(
+            "S",
+            &[("uddi:types", "wspeer"), ("uddi:region", "eu")]
+        )));
     }
 
     #[test]

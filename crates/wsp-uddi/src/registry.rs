@@ -41,7 +41,10 @@ impl Registry {
         if business.key.is_empty() {
             business.key = self.generate_key("biz");
         }
-        self.inner.businesses.write().insert(business.key.clone(), business.clone());
+        self.inner
+            .businesses
+            .write()
+            .insert(business.key.clone(), business.clone());
         business
     }
 
@@ -55,7 +58,10 @@ impl Registry {
                 binding.key = self.generate_key("bind");
             }
         }
-        self.inner.services.write().insert(service.key.clone(), service.clone());
+        self.inner
+            .services
+            .write()
+            .insert(service.key.clone(), service.clone());
         service
     }
 
@@ -64,7 +70,10 @@ impl Registry {
         if tmodel.key.is_empty() {
             tmodel.key = self.generate_key("tm");
         }
-        self.inner.tmodels.write().insert(tmodel.key.clone(), tmodel.clone());
+        self.inner
+            .tmodels
+            .write()
+            .insert(tmodel.key.clone(), tmodel.clone());
         tmodel
     }
 
@@ -78,8 +87,11 @@ impl Registry {
     /// Run a `find_service` query.
     pub fn find_services(&self, query: &ServiceQuery) -> Vec<BusinessService> {
         let services = self.inner.services.read();
-        let mut out: Vec<BusinessService> =
-            services.values().filter(|s| query.matches(s)).cloned().collect();
+        let mut out: Vec<BusinessService> = services
+            .values()
+            .filter(|s| query.matches(s))
+            .cloned()
+            .collect();
         if query.max_rows > 0 {
             out.truncate(query.max_rows);
         }
@@ -151,16 +163,21 @@ mod tests {
     fn find_by_name_and_category() {
         let r = Registry::new();
         r.save_service(
-            BusinessService::new("", "b", "EchoService")
-                .with_category(KeyedReference::new("uddi:types", "", "wspeer")),
+            BusinessService::new("", "b", "EchoService").with_category(KeyedReference::new(
+                "uddi:types",
+                "",
+                "wspeer",
+            )),
         );
         r.save_service(BusinessService::new("", "b", "MathService"));
         let hits = r.find_services(&ServiceQuery::by_name("Echo%"));
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].name, "EchoService");
-        let by_cat = r.find_services(
-            &ServiceQuery::all().with_category(KeyedReference::new("uddi:types", "", "wspeer")),
-        );
+        let by_cat = r.find_services(&ServiceQuery::all().with_category(KeyedReference::new(
+            "uddi:types",
+            "",
+            "wspeer",
+        )));
         assert_eq!(by_cat.len(), 1);
         assert_eq!(r.find_services(&ServiceQuery::all()).len(), 2);
     }
@@ -171,7 +188,10 @@ mod tests {
         for i in 0..10 {
             r.save_service(BusinessService::new("", "b", format!("S{i}")));
         }
-        assert_eq!(r.find_services(&ServiceQuery::all().with_max_rows(3)).len(), 3);
+        assert_eq!(
+            r.find_services(&ServiceQuery::all().with_max_rows(3)).len(),
+            3
+        );
     }
 
     #[test]
@@ -189,7 +209,10 @@ mod tests {
         let biz = r.save_business(BusinessEntity::new("", "Cardiff"));
         let tm = r.save_tmodel(TModel::new("", "Echo WSDL").with_overview("http://h/Echo?wsdl"));
         assert_eq!(r.get_business(&biz.key).unwrap().name, "Cardiff");
-        assert_eq!(r.get_tmodel(&tm.key).unwrap().overview_url.as_deref(), Some("http://h/Echo?wsdl"));
+        assert_eq!(
+            r.get_tmodel(&tm.key).unwrap().overview_url.as_deref(),
+            Some("http://h/Echo?wsdl")
+        );
         assert_eq!(r.business_count(), 1);
         assert_eq!(r.tmodel_count(), 1);
     }

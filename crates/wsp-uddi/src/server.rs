@@ -30,7 +30,8 @@ pub fn registry_handler(registry: Registry) -> HttpHandler {
         } else {
             Response::ok(wsp_soap::constants::CONTENT_TYPE, body)
         };
-        http.headers.set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
+        http.headers
+            .set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
         http
     })
 }
@@ -116,7 +117,9 @@ mod tests {
         // The embedding application can use the registry object directly
         // while remote clients use HTTP — same store.
         let server = RegistryServer::launch(0).unwrap();
-        server.registry.save_service(BusinessService::new("", "b", "Local"));
+        server
+            .registry
+            .save_service(BusinessService::new("", "b", "Local"));
         let client = UddiClient::http(server.uri());
         assert_eq!(client.find_services(&ServiceQuery::all()).unwrap().len(), 1);
         server.shutdown();

@@ -21,7 +21,10 @@ pub struct MessageEngine {
 
 impl MessageEngine {
     pub fn new(descriptor: ServiceDescriptor, handler: Arc<dyn ServiceHandler>) -> Self {
-        MessageEngine { descriptor, handler }
+        MessageEngine {
+            descriptor,
+            handler,
+        }
     }
 
     pub fn descriptor(&self) -> &ServiceDescriptor {
@@ -60,15 +63,19 @@ impl MessageEngine {
         };
         let op_name = payload.name().local_name().to_owned();
         let Some(op) = self.descriptor.find_operation(&op_name) else {
-            let fault = Fault::sender(format!("service {} has no operation {op_name:?}", self.descriptor.name))
-                .with_subcode(QName::new("urn:wspeer:faults", "NoSuchOperation"));
+            let fault = Fault::sender(format!(
+                "service {} has no operation {op_name:?}",
+                self.descriptor.name
+            ))
+            .with_subcode(QName::new("urn:wspeer:faults", "NoSuchOperation"));
             return Some(respond(Err(fault), self.fault_action()));
         };
 
         // Decode arguments in declaration order.
         let mut args = Vec::with_capacity(op.inputs.len());
         for param in &op.inputs {
-            match payload.find(self.descriptor.namespace.as_str(), &param.name)
+            match payload
+                .find(self.descriptor.namespace.as_str(), &param.name)
                 .or_else(|| payload.find_local(&param.name))
             {
                 Some(el) => match Value::decode(el, &param.ty) {
@@ -99,8 +106,7 @@ impl MessageEngine {
             .action_uri(&self.descriptor.namespace, &format!("{op_name}Response"));
         let body = result.map(|value| {
             let ns = self.descriptor.namespace.as_str();
-            let mut wrapper =
-                wsp_xml::Element::new(ns.to_owned(), format!("{op_name}Response"));
+            let mut wrapper = wsp_xml::Element::new(ns.to_owned(), format!("{op_name}Response"));
             wrapper.push_element(value_element(ns, "return", &value));
             Envelope::request(wrapper)
         });
@@ -108,10 +114,18 @@ impl MessageEngine {
     }
 
     fn understood_headers(&self) -> Vec<QName> {
-        ["To", "Action", "MessageID", "RelatesTo", "ReplyTo", "FaultTo", "From"]
-            .iter()
-            .map(|l| QName::new(constants::WSA_NS, l.to_string()))
-            .collect()
+        [
+            "To",
+            "Action",
+            "MessageID",
+            "RelatesTo",
+            "ReplyTo",
+            "FaultTo",
+            "From",
+        ]
+        .iter()
+        .map(|l| QName::new(constants::WSA_NS, l.to_string()))
+        .collect()
     }
 
     fn fault_action(&self) -> String {
@@ -131,9 +145,7 @@ mod tests {
     fn echo_engine() -> MessageEngine {
         MessageEngine::new(
             ServiceDescriptor::echo(),
-            Arc::new(|_op: &str, args: &[Value]| -> Result<Value, Fault> {
-                Ok(args[0].clone())
-            }),
+            Arc::new(|_op: &str, args: &[Value]| -> Result<Value, Fault> { Ok(args[0].clone()) }),
         )
     }
 
@@ -144,7 +156,9 @@ mod tests {
     #[test]
     fn full_request_response_cycle() {
         let engine = echo_engine();
-        let request = proxy().encode_request("echoString", &[Value::string("ping")]).unwrap();
+        let request = proxy()
+            .encode_request("echoString", &[Value::string("ping")])
+            .unwrap();
         let response = engine.process(&request).unwrap();
         let value = proxy().decode_response("echoString", &response).unwrap();
         assert_eq!(value, Value::string("ping"));
@@ -153,7 +167,9 @@ mod tests {
     #[test]
     fn response_correlates_to_request_id() {
         let engine = echo_engine();
-        let request = proxy().encode_request("echoString", &[Value::string("x")]).unwrap();
+        let request = proxy()
+            .encode_request("echoString", &[Value::string("x")])
+            .unwrap();
         let req_id = request.addressing().unwrap().message_id;
         let response = engine.process(&request).unwrap();
         assert_eq!(response.addressing().unwrap().relates_to, req_id);
@@ -166,7 +182,10 @@ mod tests {
         let response = engine.process(&Envelope::request(payload)).unwrap();
         let fault = response.fault_body().unwrap();
         assert_eq!(fault.code, FaultCode::Sender);
-        assert_eq!(fault.subcode.as_ref().unwrap().local_name(), "NoSuchOperation");
+        assert_eq!(
+            fault.subcode.as_ref().unwrap().local_name(),
+            "NoSuchOperation"
+        );
     }
 
     #[test]
@@ -181,7 +200,9 @@ mod tests {
     #[test]
     fn badly_typed_argument_faults() {
         let descriptor = ServiceDescriptor::new("Math", "urn:math").operation(
-            OperationDef::new("square").input("n", XsdType::Int).returns(XsdType::Int),
+            OperationDef::new("square")
+                .input("n", XsdType::Int)
+                .returns(XsdType::Int),
         );
         let engine = MessageEngine::new(
             descriptor.clone(),
@@ -191,7 +212,11 @@ mod tests {
             }),
         );
         let mut payload = Element::new("urn:math", "square");
-        payload.push_element(Element::build("urn:math", "n").text("not-a-number").finish());
+        payload.push_element(
+            Element::build("urn:math", "n")
+                .text("not-a-number")
+                .finish(),
+        );
         let response = engine.process(&Envelope::request(payload)).unwrap();
         assert!(response.fault_body().unwrap().reason.contains("n"));
     }
@@ -211,7 +236,9 @@ mod tests {
                 Err(Fault::receiver("backend down"))
             }),
         );
-        let request = proxy().encode_request("echoString", &[Value::string("x")]).unwrap();
+        let request = proxy()
+            .encode_request("echoString", &[Value::string("x")])
+            .unwrap();
         let response = engine.process(&request).unwrap();
         assert_eq!(response.fault_body().unwrap().reason, "backend down");
     }
@@ -219,16 +246,26 @@ mod tests {
     #[test]
     fn unknown_mandatory_header_faults() {
         let engine = echo_engine();
-        let mut request = proxy().encode_request("echoString", &[Value::string("x")]).unwrap();
-        request.add_header(HeaderBlock::mandatory(Element::new("urn:strange", "Security")));
+        let mut request = proxy()
+            .encode_request("echoString", &[Value::string("x")])
+            .unwrap();
+        request.add_header(HeaderBlock::mandatory(Element::new(
+            "urn:strange",
+            "Security",
+        )));
         let response = engine.process(&request).unwrap();
-        assert_eq!(response.fault_body().unwrap().code, FaultCode::MustUnderstand);
+        assert_eq!(
+            response.fault_body().unwrap().code,
+            FaultCode::MustUnderstand
+        );
     }
 
     #[test]
     fn optional_mystery_header_ignored() {
         let engine = echo_engine();
-        let mut request = proxy().encode_request("echoString", &[Value::string("x")]).unwrap();
+        let mut request = proxy()
+            .encode_request("echoString", &[Value::string("x")])
+            .unwrap();
         request.add_header(HeaderBlock::new(Element::new("urn:strange", "Trace")));
         let response = engine.process(&request).unwrap();
         assert!(response.fault_body().is_none());
@@ -236,14 +273,19 @@ mod tests {
 
     #[test]
     fn one_way_operation_returns_none() {
-        let descriptor = ServiceDescriptor::new("Log", "urn:log")
-            .operation(OperationDef::new("record").input("line", XsdType::String).one_way());
+        let descriptor = ServiceDescriptor::new("Log", "urn:log").operation(
+            OperationDef::new("record")
+                .input("line", XsdType::String)
+                .one_way(),
+        );
         let engine = MessageEngine::new(
             descriptor.clone(),
             Arc::new(|_: &str, _: &[Value]| -> Result<Value, Fault> { Ok(Value::Null) }),
         );
         let proxy = ServiceProxy::new(descriptor, "urn:log-endpoint");
-        let request = proxy.encode_request("record", &[Value::string("hello")]).unwrap();
+        let request = proxy
+            .encode_request("record", &[Value::string("hello")])
+            .unwrap();
         assert!(engine.process(&request).is_none());
     }
 
@@ -264,7 +306,9 @@ mod tests {
             }),
         );
         let proxy = ServiceProxy::new(descriptor, "urn:e");
-        let request = proxy.encode_request("greet", &[Value::string("ian")]).unwrap();
+        let request = proxy
+            .encode_request("greet", &[Value::string("ian")])
+            .unwrap();
         let response = engine.process(&request).unwrap();
         assert_eq!(
             proxy.decode_response("greet", &response).unwrap(),

@@ -104,7 +104,9 @@ impl WsdlDocument {
 
         if let Some(doc) = &d.documentation {
             defs.push_element(
-                Element::build(WSDL_NS, "documentation").text(doc.clone()).finish(),
+                Element::build(WSDL_NS, "documentation")
+                    .text(doc.clone())
+                    .finish(),
             );
         }
 
@@ -149,7 +151,11 @@ impl WsdlDocument {
             let mut o = Element::new(WSDL_NS, "operation");
             o.set_attribute(QName::local("name"), op.name.clone());
             if let Some(doc) = &op.documentation {
-                o.push_element(Element::build(WSDL_NS, "documentation").text(doc.clone()).finish());
+                o.push_element(
+                    Element::build(WSDL_NS, "documentation")
+                        .text(doc.clone())
+                        .finish(),
+                );
             }
             let mut input = Element::new(WSDL_NS, "input");
             input.set_attribute(QName::local("message"), format!("tns:{}Request", op.name));
@@ -186,7 +192,10 @@ impl WsdlDocument {
         for port in &self.ports {
             let mut p = Element::new(WSDL_NS, "port");
             p.set_attribute(QName::local("name"), port.name.clone());
-            p.set_attribute(QName::local("binding"), format!("tns:{}", binding_name(&d.name, port.transport)));
+            p.set_attribute(
+                QName::local("binding"),
+                format!("tns:{}", binding_name(&d.name, port.transport)),
+            );
             let mut addr = Element::new(WSDL_SOAP_NS, "address");
             addr.set_attribute(QName::local("location"), port.location.clone());
             p.push_element(addr);
@@ -208,7 +217,9 @@ impl WsdlDocument {
     /// Parse a `wsdl:definitions` element.
     pub fn from_element(root: &Element) -> Result<WsdlDocument, WsdlError> {
         if !root.name().is(WSDL_NS, "definitions") {
-            return Err(WsdlError::NotWsdl { found: format!("{:?}", root.name()) });
+            return Err(WsdlError::NotWsdl {
+                found: format!("{:?}", root.name()),
+            });
         }
         let namespace = root
             .attribute_local("targetNamespace")
@@ -237,16 +248,24 @@ impl WsdlDocument {
         // messages: name -> params
         let mut messages: Vec<(String, Vec<Param>)> = Vec::new();
         for m in root.find_all(WSDL_NS, "message") {
-            let Some(mname) = m.attribute_local("name") else { continue };
+            let Some(mname) = m.attribute_local("name") else {
+                continue;
+            };
             let mut params = Vec::new();
             for part in m.find_all(WSDL_NS, "part") {
-                let Some(pname) = part.attribute_local("name") else { continue };
+                let Some(pname) = part.attribute_local("name") else {
+                    continue;
+                };
                 let ty = part
                     .attribute_local("type")
                     .map(XsdType::from_type_ref)
                     .unwrap_or(XsdType::AnyType);
                 let optional = part.attribute_local("minOccurs") == Some("0");
-                params.push(Param { name: pname.to_owned(), ty, optional });
+                params.push(Param {
+                    name: pname.to_owned(),
+                    ty,
+                    optional,
+                });
             }
             messages.push((mname.to_owned(), params));
         }
@@ -264,7 +283,9 @@ impl WsdlDocument {
             .ok_or(WsdlError::Missing("portType"))?;
         let mut operations = Vec::new();
         for o in port_type.find_all(WSDL_NS, "operation") {
-            let Some(oname) = o.attribute_local("name") else { continue };
+            let Some(oname) = o.attribute_local("name") else {
+                continue;
+            };
             let inputs = o
                 .find(WSDL_NS, "input")
                 .and_then(|i| i.attribute_local("message"))
@@ -276,13 +297,20 @@ impl WsdlDocument {
                 .map(&lookup)
                 .and_then(|params| params.into_iter().next());
             let documentation = o.find(WSDL_NS, "documentation").map(Element::text);
-            operations.push(OperationDef { name: oname.to_owned(), inputs, output, documentation });
+            operations.push(OperationDef {
+                name: oname.to_owned(),
+                inputs,
+                output,
+                documentation,
+            });
         }
 
         // bindings: name -> transport
         let mut bindings: Vec<(String, TransportKind)> = Vec::new();
         for b in root.find_all(WSDL_NS, "binding") {
-            let Some(bname) = b.attribute_local("name") else { continue };
+            let Some(bname) = b.attribute_local("name") else {
+                continue;
+            };
             let transport = b
                 .find(WSDL_SOAP_NS, "binding")
                 .and_then(|sb| sb.attribute_local("transport"))
@@ -294,7 +322,9 @@ impl WsdlDocument {
         let mut ports = Vec::new();
         if let Some(service) = root.find(WSDL_NS, "service") {
             for p in service.find_all(WSDL_NS, "port") {
-                let Some(pname) = p.attribute_local("name") else { continue };
+                let Some(pname) = p.attribute_local("name") else {
+                    continue;
+                };
                 let Some(location) = p
                     .find(WSDL_SOAP_NS, "address")
                     .and_then(|a| a.attribute_local("location"))
@@ -306,12 +336,22 @@ impl WsdlDocument {
                     .map(|b| b.rsplit(':').next().unwrap_or(b).to_owned())
                     .and_then(|b| bindings.iter().find(|(n, _)| *n == b).map(|(_, t)| *t))
                     .unwrap_or(TransportKind::Http);
-                ports.push(Port { name: pname.to_owned(), transport, location: location.to_owned() });
+                ports.push(Port {
+                    name: pname.to_owned(),
+                    transport,
+                    location: location.to_owned(),
+                });
             }
         }
 
-        let descriptor =
-            ServiceDescriptor { name, namespace, operations, schema, documentation, properties };
+        let descriptor = ServiceDescriptor {
+            name,
+            namespace,
+            operations,
+            schema,
+            documentation,
+            properties,
+        };
         Ok(WsdlDocument { descriptor, ports })
     }
 
@@ -361,7 +401,9 @@ impl fmt::Display for WsdlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WsdlError::Xml(e) => write!(f, "WSDL is not well-formed: {e}"),
-            WsdlError::NotWsdl { found } => write!(f, "root element {found} is not wsdl:definitions"),
+            WsdlError::NotWsdl { found } => {
+                write!(f, "root element {found} is not wsdl:definitions")
+            }
             WsdlError::Missing(what) => write!(f, "WSDL lacks required {what}"),
         }
     }
@@ -435,7 +477,10 @@ mod tests {
     #[test]
     fn port_for_selects_transport() {
         let doc = sample_doc();
-        assert_eq!(doc.port_for(TransportKind::P2ps).unwrap().location, "p2ps://feed1234/Cactus");
+        assert_eq!(
+            doc.port_for(TransportKind::P2ps).unwrap().location,
+            "p2ps://feed1234/Cactus"
+        );
         assert!(doc.port_for(TransportKind::Httpg).is_none());
     }
 
@@ -449,7 +494,11 @@ mod tests {
 
     #[test]
     fn transport_uris_round_trip() {
-        for t in [TransportKind::Http, TransportKind::Httpg, TransportKind::P2ps] {
+        for t in [
+            TransportKind::Http,
+            TransportKind::Httpg,
+            TransportKind::P2ps,
+        ] {
             assert_eq!(TransportKind::from_uri(t.uri()), Some(t));
         }
         assert_eq!(TransportKind::from_uri("urn:other"), None);
@@ -457,14 +506,23 @@ mod tests {
 
     #[test]
     fn rejects_non_wsdl_documents() {
-        assert!(matches!(WsdlDocument::from_xml("<a/>"), Err(WsdlError::NotWsdl { .. })));
-        assert!(matches!(WsdlDocument::from_xml("<<<"), Err(WsdlError::Xml(_))));
+        assert!(matches!(
+            WsdlDocument::from_xml("<a/>"),
+            Err(WsdlError::NotWsdl { .. })
+        ));
+        assert!(matches!(
+            WsdlDocument::from_xml("<<<"),
+            Err(WsdlError::Xml(_))
+        ));
     }
 
     #[test]
     fn missing_target_namespace_rejected() {
         let xml = format!(r#"<d:definitions xmlns:d="{WSDL_NS}"/>"#);
-        assert!(matches!(WsdlDocument::from_xml(&xml), Err(WsdlError::Missing("targetNamespace"))));
+        assert!(matches!(
+            WsdlDocument::from_xml(&xml),
+            Err(WsdlError::Missing("targetNamespace"))
+        ));
     }
 
     #[test]

@@ -21,9 +21,17 @@ pub enum ProxyError {
     /// The contract has no such operation.
     NoSuchOperation(String),
     /// Wrong number of arguments.
-    ArityMismatch { operation: String, expected: usize, got: usize },
+    ArityMismatch {
+        operation: String,
+        expected: usize,
+        got: usize,
+    },
     /// An argument does not conform to the declared parameter type.
-    TypeMismatch { operation: String, param: String, expected: String },
+    TypeMismatch {
+        operation: String,
+        param: String,
+        expected: String,
+    },
     /// The service answered with a fault (boxed: faults carry XML detail
     /// and would otherwise dominate the enum's size).
     Fault(Box<Fault>),
@@ -35,10 +43,18 @@ impl fmt::Display for ProxyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProxyError::NoSuchOperation(op) => write!(f, "no operation {op:?} in contract"),
-            ProxyError::ArityMismatch { operation, expected, got } => {
+            ProxyError::ArityMismatch {
+                operation,
+                expected,
+                got,
+            } => {
                 write!(f, "{operation}: expected {expected} argument(s), got {got}")
             }
-            ProxyError::TypeMismatch { operation, param, expected } => {
+            ProxyError::TypeMismatch {
+                operation,
+                param,
+                expected,
+            } => {
                 write!(f, "{operation}: argument {param:?} must be {expected}")
             }
             ProxyError::Fault(fault) => write!(f, "{fault}"),
@@ -66,7 +82,10 @@ pub struct ServiceProxy {
 impl ServiceProxy {
     /// Build from a local descriptor and an endpoint address.
     pub fn new(descriptor: ServiceDescriptor, endpoint: impl Into<String>) -> Self {
-        ServiceProxy { descriptor, endpoint: endpoint.into() }
+        ServiceProxy {
+            descriptor,
+            endpoint: endpoint.into(),
+        }
     }
 
     /// Build from WSDL, using the location of the first port (or of the
@@ -77,7 +96,10 @@ impl ServiceProxy {
             None => document.ports.first(),
         }
         .ok_or_else(|| ProxyError::BadResponse("WSDL defines no usable port".to_owned()))?;
-        Ok(ServiceProxy::new(document.descriptor.clone(), port.location.clone()))
+        Ok(ServiceProxy::new(
+            document.descriptor.clone(),
+            port.location.clone(),
+        ))
     }
 
     pub fn descriptor(&self) -> &ServiceDescriptor {
@@ -137,7 +159,11 @@ impl ServiceProxy {
     /// Decode the response to `operation`: a fault becomes
     /// [`ProxyError::Fault`]; a result is decoded against the declared
     /// output type (resolving complex types through the service schema).
-    pub fn decode_response(&self, operation: &str, response: &Envelope) -> Result<Value, ProxyError> {
+    pub fn decode_response(
+        &self,
+        operation: &str,
+        response: &Envelope,
+    ) -> Result<Value, ProxyError> {
         if let Some(fault) = response.fault_body() {
             return Err(ProxyError::Fault(Box::new(fault.clone())));
         }
@@ -179,7 +205,9 @@ mod tests {
 
     #[test]
     fn encode_sets_addressing() {
-        let env = echo_proxy().encode_request("echoString", &[Value::string("x")]).unwrap();
+        let env = echo_proxy()
+            .encode_request("echoString", &[Value::string("x")])
+            .unwrap();
         let wsa = env.addressing().unwrap();
         assert_eq!(wsa.to.as_deref(), Some("http://h:1/Echo"));
         assert_eq!(wsa.action.as_deref(), Some("http://h:1/Echo#echoString"));
@@ -195,7 +223,14 @@ mod tests {
     #[test]
     fn arity_checked() {
         let err = echo_proxy().encode_request("echoString", &[]).unwrap_err();
-        assert!(matches!(err, ProxyError::ArityMismatch { expected: 1, got: 0, .. }));
+        assert!(matches!(
+            err,
+            ProxyError::ArityMismatch {
+                expected: 1,
+                got: 0,
+                ..
+            }
+        ));
         let err = echo_proxy()
             .encode_request("echoString", &[Value::string("a"), Value::string("b")])
             .unwrap_err();
@@ -204,21 +239,27 @@ mod tests {
 
     #[test]
     fn types_checked() {
-        let err = echo_proxy().encode_request("echoString", &[Value::Int(3)]).unwrap_err();
+        let err = echo_proxy()
+            .encode_request("echoString", &[Value::Int(3)])
+            .unwrap_err();
         assert!(matches!(err, ProxyError::TypeMismatch { .. }));
     }
 
     #[test]
     fn fault_response_surfaces_as_error() {
         let response = Envelope::fault(Fault::receiver("kaput"));
-        let err = echo_proxy().decode_response("echoString", &response).unwrap_err();
+        let err = echo_proxy()
+            .decode_response("echoString", &response)
+            .unwrap_err();
         assert!(matches!(err, ProxyError::Fault(f) if f.reason == "kaput"));
     }
 
     #[test]
     fn wrong_wrapper_rejected() {
         let response = Envelope::request(Element::new("urn:wspeer:echo", "otherResponse"));
-        let err = echo_proxy().decode_response("echoString", &response).unwrap_err();
+        let err = echo_proxy()
+            .decode_response("echoString", &response)
+            .unwrap_err();
         assert!(matches!(err, ProxyError::BadResponse(_)));
     }
 
@@ -256,12 +297,26 @@ mod tests {
         let doc = WsdlDocument::new(
             ServiceDescriptor::echo(),
             vec![
-                Port { name: "A".into(), transport: TransportKind::Http, location: "http://a/Echo".into() },
-                Port { name: "B".into(), transport: TransportKind::P2ps, location: "p2ps://b/Echo".into() },
+                Port {
+                    name: "A".into(),
+                    transport: TransportKind::Http,
+                    location: "http://a/Echo".into(),
+                },
+                Port {
+                    name: "B".into(),
+                    transport: TransportKind::P2ps,
+                    location: "p2ps://b/Echo".into(),
+                },
             ],
         );
-        assert_eq!(ServiceProxy::from_wsdl(&doc, None).unwrap().endpoint(), "http://a/Echo");
-        assert_eq!(ServiceProxy::from_wsdl(&doc, Some("B")).unwrap().endpoint(), "p2ps://b/Echo");
+        assert_eq!(
+            ServiceProxy::from_wsdl(&doc, None).unwrap().endpoint(),
+            "http://a/Echo"
+        );
+        assert_eq!(
+            ServiceProxy::from_wsdl(&doc, Some("B")).unwrap().endpoint(),
+            "p2ps://b/Echo"
+        );
         assert!(ServiceProxy::from_wsdl(&doc, Some("C")).is_err());
     }
 
@@ -269,9 +324,14 @@ mod tests {
     fn round_trip_through_wire_xml() {
         // Proxy-encoded envelope survives serialisation before reaching
         // the engine (as it does over a real transport).
-        let env = echo_proxy().encode_request("echoString", &[Value::string("déjà <vu>")]).unwrap();
+        let env = echo_proxy()
+            .encode_request("echoString", &[Value::string("déjà <vu>")])
+            .unwrap();
         let wire = env.to_xml();
         let back = Envelope::from_xml(&wire).unwrap();
-        assert_eq!(back.payload().unwrap().find_local("text").unwrap().text(), "déjà <vu>");
+        assert_eq!(
+            back.payload().unwrap().find_local("text").unwrap().text(),
+            "déjà <vu>"
+        );
     }
 }

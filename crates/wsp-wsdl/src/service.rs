@@ -24,11 +24,19 @@ pub struct Param {
 
 impl Param {
     pub fn new(name: impl Into<String>, ty: XsdType) -> Self {
-        Param { name: name.into(), ty, optional: false }
+        Param {
+            name: name.into(),
+            ty,
+            optional: false,
+        }
     }
 
     pub fn optional(name: impl Into<String>, ty: XsdType) -> Self {
-        Param { name: name.into(), ty, optional: true }
+        Param {
+            name: name.into(),
+            ty,
+            optional: true,
+        }
     }
 }
 
@@ -44,7 +52,12 @@ pub struct OperationDef {
 
 impl OperationDef {
     pub fn new(name: impl Into<String>) -> Self {
-        OperationDef { name: name.into(), inputs: Vec::new(), output: None, documentation: None }
+        OperationDef {
+            name: name.into(),
+            inputs: Vec::new(),
+            output: None,
+            documentation: None,
+        }
     }
 
     pub fn input(mut self, name: impl Into<String>, ty: XsdType) -> Self {
@@ -218,7 +231,9 @@ impl ServiceHandler for OperationRouter {
     fn invoke(&self, operation: &str, args: &[Value]) -> Result<Value, Fault> {
         match self.routes.get(operation).or(self.fallback.as_ref()) {
             Some(h) => h.invoke(operation, args),
-            None => Err(Fault::sender(format!("no handler for operation {operation:?}"))),
+            None => Err(Fault::sender(format!(
+                "no handler for operation {operation:?}"
+            ))),
         }
     }
 }
@@ -272,7 +287,10 @@ mod tests {
                 Ok(Value::string(format!("fallback:{op}")))
             },
         ));
-        assert_eq!(router.invoke("x", &[]).unwrap(), Value::string("fallback:x"));
+        assert_eq!(
+            router.invoke("x", &[]).unwrap(),
+            Value::string("fallback:x")
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl Value {
             Value::String(_) => XsdType::String,
             Value::Bytes(_) => XsdType::Base64Binary,
             Value::Array(items) => XsdType::Array(Box::new(
-                items.first().map(Value::natural_type).unwrap_or(XsdType::AnyType),
+                items
+                    .first()
+                    .map(Value::natural_type)
+                    .unwrap_or(XsdType::AnyType),
             )),
             Value::Struct(_) => XsdType::AnyType,
         }
@@ -140,19 +143,36 @@ impl Value {
             XsdType::Boolean => match text {
                 "true" | "1" => Ok(Value::Bool(true)),
                 "false" | "0" => Ok(Value::Bool(false)),
-                other => Err(ValueError::BadLexical { ty: "boolean", text: other.to_owned() }),
+                other => Err(ValueError::BadLexical {
+                    ty: "boolean",
+                    text: other.to_owned(),
+                }),
             },
-            XsdType::Int | XsdType::Long => text
-                .parse::<i64>()
-                .map(Value::Int)
-                .map_err(|_| ValueError::BadLexical { ty: "integer", text: text.to_owned() }),
-            XsdType::Double => parse_double(text)
-                .map(Value::Double)
-                .ok_or_else(|| ValueError::BadLexical { ty: "double", text: text.to_owned() }),
+            XsdType::Int | XsdType::Long => {
+                text.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| ValueError::BadLexical {
+                        ty: "integer",
+                        text: text.to_owned(),
+                    })
+            }
+            XsdType::Double => {
+                parse_double(text)
+                    .map(Value::Double)
+                    .ok_or_else(|| ValueError::BadLexical {
+                        ty: "double",
+                        text: text.to_owned(),
+                    })
+            }
             XsdType::String => Ok(Value::String(element.text())),
-            XsdType::Base64Binary => base64::decode(text)
-                .map(Value::Bytes)
-                .ok_or_else(|| ValueError::BadLexical { ty: "base64Binary", text: text.to_owned() }),
+            XsdType::Base64Binary => {
+                base64::decode(text)
+                    .map(Value::Bytes)
+                    .ok_or_else(|| ValueError::BadLexical {
+                        ty: "base64Binary",
+                        text: text.to_owned(),
+                    })
+            }
             XsdType::Array(item_ty) => {
                 let mut items = Vec::new();
                 for child in element.child_elements() {
@@ -210,10 +230,13 @@ impl Value {
             Value::Double(_) => 16,
             Value::String(s) => s.len(),
             Value::Bytes(b) => b.len() * 4 / 3,
-            Value::Array(items) => items.iter().map(Value::approx_size).sum::<usize>() + items.len() * 13,
-            Value::Struct(fields) => {
-                fields.iter().map(|(n, v)| n.len() * 2 + 5 + v.approx_size()).sum()
+            Value::Array(items) => {
+                items.iter().map(Value::approx_size).sum::<usize>() + items.len() * 13
             }
+            Value::Struct(fields) => fields
+                .iter()
+                .map(|(n, v)| n.len() * 2 + 5 + v.approx_size())
+                .sum(),
         }
     }
 }
@@ -224,7 +247,11 @@ fn format_double(d: f64) -> String {
     if d.is_nan() {
         "NaN".to_owned()
     } else if d.is_infinite() {
-        if d > 0.0 { "INF".to_owned() } else { "-INF".to_owned() }
+        if d > 0.0 {
+            "INF".to_owned()
+        } else {
+            "-INF".to_owned()
+        }
     } else {
         // Rust's Display for f64 is shortest-round-trip, which is valid
         // XSD lexical form.
@@ -342,9 +369,15 @@ mod tests {
 
     #[test]
     fn simple_round_trips() {
-        assert_eq!(round_trip(&Value::Bool(true), &XsdType::Boolean), Value::Bool(true));
+        assert_eq!(
+            round_trip(&Value::Bool(true), &XsdType::Boolean),
+            Value::Bool(true)
+        );
         assert_eq!(round_trip(&Value::Int(-42), &XsdType::Int), Value::Int(-42));
-        assert_eq!(round_trip(&Value::Double(2.5), &XsdType::Double), Value::Double(2.5));
+        assert_eq!(
+            round_trip(&Value::Double(2.5), &XsdType::Double),
+            Value::Double(2.5)
+        );
         assert_eq!(
             round_trip(&Value::string("hi <x>"), &XsdType::String),
             Value::string("hi <x>")
@@ -420,9 +453,15 @@ mod tests {
     #[test]
     fn boolean_accepts_numeric_forms() {
         let e = wsp_xml::parse("<v>1</v>").unwrap();
-        assert_eq!(Value::decode(&e, &XsdType::Boolean).unwrap(), Value::Bool(true));
+        assert_eq!(
+            Value::decode(&e, &XsdType::Boolean).unwrap(),
+            Value::Bool(true)
+        );
         let e = wsp_xml::parse("<v>0</v>").unwrap();
-        assert_eq!(Value::decode(&e, &XsdType::Boolean).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Value::decode(&e, &XsdType::Boolean).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -432,8 +471,9 @@ mod tests {
         assert!(!Value::Double(1.0).conforms_to(&XsdType::Int));
         assert!(Value::Null.conforms_to(&XsdType::String));
         assert!(Value::string("x").conforms_to(&XsdType::AnyType));
-        assert!(Value::Array(vec![Value::Int(1)])
-            .conforms_to(&XsdType::Array(Box::new(XsdType::Int))));
+        assert!(
+            Value::Array(vec![Value::Int(1)]).conforms_to(&XsdType::Array(Box::new(XsdType::Int)))
+        );
         assert!(!Value::Array(vec![Value::string("x")])
             .conforms_to(&XsdType::Array(Box::new(XsdType::Int))));
     }
@@ -500,8 +540,14 @@ mod decode_typed_tests {
         let batch = Value::Struct(vec![(
             "frames".into(),
             Value::Array(vec![
-                Value::Struct(vec![("step".into(), Value::Int(1)), ("label".into(), Value::string("a"))]),
-                Value::Struct(vec![("step".into(), Value::Int(2)), ("label".into(), Value::string("b"))]),
+                Value::Struct(vec![
+                    ("step".into(), Value::Int(1)),
+                    ("label".into(), Value::string("a")),
+                ]),
+                Value::Struct(vec![
+                    ("step".into(), Value::Int(2)),
+                    ("label".into(), Value::string("b")),
+                ]),
             ]),
         )]);
         let e = value_element("urn:t", "b", &batch);

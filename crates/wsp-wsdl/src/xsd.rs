@@ -92,11 +92,19 @@ pub struct FieldDef {
 
 impl FieldDef {
     pub fn new(name: impl Into<String>, ty: XsdType) -> Self {
-        FieldDef { name: name.into(), ty, optional: false }
+        FieldDef {
+            name: name.into(),
+            ty,
+            optional: false,
+        }
     }
 
     pub fn optional(name: impl Into<String>, ty: XsdType) -> Self {
-        FieldDef { name: name.into(), ty, optional: true }
+        FieldDef {
+            name: name.into(),
+            ty,
+            optional: true,
+        }
     }
 }
 
@@ -135,7 +143,10 @@ impl Schema {
     /// Render as an `xsd:schema` element for embedding in WSDL `types`.
     pub fn to_element(&self, target_ns: &str) -> Element {
         let mut schema = Element::new(XSD_NS, "schema");
-        schema.set_attribute(wsp_xml::QName::local("targetNamespace"), target_ns.to_owned());
+        schema.set_attribute(
+            wsp_xml::QName::local("targetNamespace"),
+            target_ns.to_owned(),
+        );
         for (name, ty) in &self.types {
             let mut seq = Element::new(XSD_NS, "sequence");
             for field in &ty.fields {
@@ -163,17 +174,25 @@ impl Schema {
     pub fn from_element(element: &Element) -> Schema {
         let mut schema = Schema::new();
         for complex in element.find_all(XSD_NS, "complexType") {
-            let Some(name) = complex.attribute_local("name") else { continue };
+            let Some(name) = complex.attribute_local("name") else {
+                continue;
+            };
             let mut fields = Vec::new();
             if let Some(seq) = complex.find(XSD_NS, "sequence") {
                 for el in seq.find_all(XSD_NS, "element") {
-                    let Some(fname) = el.attribute_local("name") else { continue };
+                    let Some(fname) = el.attribute_local("name") else {
+                        continue;
+                    };
                     let ty = el
                         .attribute_local("type")
                         .map(XsdType::from_type_ref)
                         .unwrap_or(XsdType::AnyType);
                     let optional = el.attribute_local("minOccurs") == Some("0");
-                    fields.push(FieldDef { name: fname.to_owned(), ty, optional });
+                    fields.push(FieldDef {
+                        name: fname.to_owned(),
+                        ty,
+                        optional,
+                    });
                 }
             }
             schema.define(name.to_owned(), ComplexType::new(fields));

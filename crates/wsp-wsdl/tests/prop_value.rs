@@ -30,9 +30,8 @@ fn simple_typed() -> impl Strategy<Value = (XsdType, Value)> {
 fn typed_value() -> impl Strategy<Value = (XsdType, Value)> {
     prop_oneof![
         simple_typed(),
-        (simple_typed(), 0usize..5).prop_map(|((ty, v), n)| {
-            (XsdType::Array(Box::new(ty)), Value::Array(vec![v; n]))
-        }),
+        (simple_typed(), 0usize..5)
+            .prop_map(|((ty, v), n)| { (XsdType::Array(Box::new(ty)), Value::Array(vec![v; n])) }),
     ]
 }
 

@@ -13,11 +13,22 @@ pub type XmlResult<T> = Result<T, XmlError>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XmlError {
     /// Input ended in the middle of a construct.
-    UnexpectedEof { offset: usize, expecting: &'static str },
+    UnexpectedEof {
+        offset: usize,
+        expecting: &'static str,
+    },
     /// A character that may not appear at this position.
-    UnexpectedChar { offset: usize, found: char, expecting: &'static str },
+    UnexpectedChar {
+        offset: usize,
+        found: char,
+        expecting: &'static str,
+    },
     /// `</b>` closing an element opened as `<a>`.
-    MismatchedTag { offset: usize, open: String, close: String },
+    MismatchedTag {
+        offset: usize,
+        open: String,
+        close: String,
+    },
     /// Text or a close tag appearing before any open tag, or content after
     /// the document element closed.
     ContentOutsideRoot { offset: usize },
@@ -63,13 +74,30 @@ impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XmlError::UnexpectedEof { offset, expecting } => {
-                write!(f, "unexpected end of input at byte {offset}, expecting {expecting}")
+                write!(
+                    f,
+                    "unexpected end of input at byte {offset}, expecting {expecting}"
+                )
             }
-            XmlError::UnexpectedChar { offset, found, expecting } => {
-                write!(f, "unexpected character {found:?} at byte {offset}, expecting {expecting}")
+            XmlError::UnexpectedChar {
+                offset,
+                found,
+                expecting,
+            } => {
+                write!(
+                    f,
+                    "unexpected character {found:?} at byte {offset}, expecting {expecting}"
+                )
             }
-            XmlError::MismatchedTag { offset, open, close } => {
-                write!(f, "mismatched tags at byte {offset}: <{open}> closed by </{close}>")
+            XmlError::MismatchedTag {
+                offset,
+                open,
+                close,
+            } => {
+                write!(
+                    f,
+                    "mismatched tags at byte {offset}: <{open}> closed by </{close}>"
+                )
             }
             XmlError::ContentOutsideRoot { offset } => {
                 write!(f, "content outside the document element at byte {offset}")
@@ -79,7 +107,10 @@ impl fmt::Display for XmlError {
                 write!(f, "unknown entity &{entity}; at byte {offset}")
             }
             XmlError::UnboundPrefix { offset, prefix } => {
-                write!(f, "prefix {prefix:?} is not bound to a namespace at byte {offset}")
+                write!(
+                    f,
+                    "prefix {prefix:?} is not bound to a namespace at byte {offset}"
+                )
             }
             XmlError::DuplicateAttribute { offset, name } => {
                 write!(f, "duplicate attribute {name:?} at byte {offset}")
@@ -103,7 +134,11 @@ mod tests {
 
     #[test]
     fn display_mentions_offset() {
-        let e = XmlError::UnexpectedChar { offset: 7, found: '<', expecting: "attribute name" };
+        let e = XmlError::UnexpectedChar {
+            offset: 7,
+            found: '<',
+            expecting: "attribute name",
+        };
         let s = e.to_string();
         assert!(s.contains("byte 7"), "{s}");
         assert_eq!(e.offset(), Some(7));
@@ -111,13 +146,18 @@ mod tests {
 
     #[test]
     fn writer_errors_have_no_offset() {
-        let e = XmlError::Unwritable { reason: "xmlns rebind".into() };
+        let e = XmlError::Unwritable {
+            reason: "xmlns rebind".into(),
+        };
         assert_eq!(e.offset(), None);
     }
 
     #[test]
     fn limit_error_display() {
-        let e = XmlError::LimitExceeded { what: "nesting depth", limit: 128 };
+        let e = XmlError::LimitExceeded {
+            what: "nesting depth",
+            limit: 128,
+        };
         assert!(e.to_string().contains("nesting depth"));
     }
 }

@@ -65,10 +65,13 @@ pub fn unescape(input: &str, base: usize) -> XmlResult<String> {
             i += ch_len;
             continue;
         }
-        let semi = input[i + 1..].find(';').map(|p| i + 1 + p).ok_or(XmlError::UnexpectedEof {
-            offset: base + i,
-            expecting: "';' terminating entity reference",
-        })?;
+        let semi = input[i + 1..]
+            .find(';')
+            .map(|p| i + 1 + p)
+            .ok_or(XmlError::UnexpectedEof {
+                offset: base + i,
+                expecting: "';' terminating entity reference",
+            })?;
         let entity = &input[i + 1..semi];
         match entity {
             "lt" => out.push('<'),
@@ -155,12 +158,21 @@ mod tests {
     #[test]
     fn unescape_rejects_unknown_entity() {
         let err = unescape("x&nope;y", 5).unwrap_err();
-        assert_eq!(err, XmlError::BadEntity { offset: 6, entity: "nope".into() });
+        assert_eq!(
+            err,
+            XmlError::BadEntity {
+                offset: 6,
+                entity: "nope".into()
+            }
+        );
     }
 
     #[test]
     fn unescape_rejects_unterminated() {
-        assert!(matches!(unescape("x&amp", 0), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            unescape("x&amp", 0),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod tree;
 pub mod writer;
 
 pub use error::{XmlError, XmlResult};
-pub use name::{QName, NsBinding, XMLNS_NS, XML_NS};
+pub use name::{NsBinding, QName, XMLNS_NS, XML_NS};
 pub use reader::parse;
 pub use tokenizer::{Token, Tokenizer};
 pub use tree::{Attribute, Element, ElementBuilder, Node};

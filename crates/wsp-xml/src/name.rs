@@ -22,13 +22,22 @@ pub struct QName {
 
 impl QName {
     /// A name in the given namespace. Pass `""` for no namespace.
-    pub fn new(namespace: impl Into<Cow<'static, str>>, local: impl Into<Cow<'static, str>>) -> Self {
-        QName { namespace: namespace.into(), local: local.into() }
+    pub fn new(
+        namespace: impl Into<Cow<'static, str>>,
+        local: impl Into<Cow<'static, str>>,
+    ) -> Self {
+        QName {
+            namespace: namespace.into(),
+            local: local.into(),
+        }
     }
 
     /// A name in no namespace.
     pub fn local(local: impl Into<Cow<'static, str>>) -> Self {
-        QName { namespace: Cow::Borrowed(""), local: local.into() }
+        QName {
+            namespace: Cow::Borrowed(""),
+            local: local.into(),
+        }
     }
 
     /// The namespace URI, `""` when the name is in no namespace.
@@ -74,7 +83,10 @@ pub struct NsBinding {
 
 impl NsBinding {
     pub fn new(prefix: impl Into<String>, uri: impl Into<String>) -> Self {
-        NsBinding { prefix: prefix.into(), uri: uri.into() }
+        NsBinding {
+            prefix: prefix.into(),
+            uri: uri.into(),
+        }
     }
 }
 

@@ -61,12 +61,20 @@ pub fn parse(input: &str) -> XmlResult<Element> {
                 Some((_, parent)) => parent.children_mut().push(Node::CData(text.to_owned())),
                 None => return Err(XmlError::ContentOutsideRoot { offset }),
             },
-            Token::StartTag { name, attrs, self_closing, offset } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+                offset,
+            } => {
                 if root.is_some() && stack.is_empty() {
                     return Err(XmlError::ContentOutsideRoot { offset });
                 }
                 if stack.len() >= MAX_DEPTH {
-                    return Err(XmlError::LimitExceeded { what: "nesting depth", limit: MAX_DEPTH });
+                    return Err(XmlError::LimitExceeded {
+                        what: "nesting depth",
+                        limit: MAX_DEPTH,
+                    });
                 }
                 ns.push_scope();
                 // First pass: namespace declarations open a new scope for
@@ -85,7 +93,8 @@ pub fn parse(input: &str) -> XmlResult<Element> {
                 }
             }
             Token::EndTag { name, offset } => {
-                let (open_name, mut element) = stack.pop().ok_or(XmlError::ContentOutsideRoot { offset })?;
+                let (open_name, mut element) =
+                    stack.pop().ok_or(XmlError::ContentOutsideRoot { offset })?;
                 if open_name != name {
                     return Err(XmlError::MismatchedTag {
                         offset,
@@ -120,7 +129,10 @@ fn ns_declaration(aname: &str, raw_value: &str, offset: usize) -> XmlResult<Opti
     } else if let Some(prefix) = aname.strip_prefix("xmlns:") {
         let uri = unescape(raw_value, offset)?;
         if prefix.is_empty() || uri.is_empty() {
-            return Err(XmlError::BadName { offset, name: aname.to_owned() });
+            return Err(XmlError::BadName {
+                offset,
+                name: aname.to_owned(),
+            });
         }
         Ok(Some(NsBinding::new(prefix, uri)))
     } else {
@@ -158,7 +170,10 @@ fn build_element(
         };
         let qname = QName::new(auri.to_owned(), alocal.to_owned());
         if seen.contains(&qname) {
-            return Err(XmlError::DuplicateAttribute { offset, name: format!("{qname:?}") });
+            return Err(XmlError::DuplicateAttribute {
+                offset,
+                name: format!("{qname:?}"),
+            });
         }
         let value = unescape(raw_value, offset)?;
         seen.push(qname.clone());
@@ -177,7 +192,10 @@ fn attach(stack: &mut [(String, Element)], root: &mut Option<Element>, element: 
 /// Drop whitespace-only text nodes from elements that contain element
 /// children — they are indentation, not data.
 fn strip_layout_whitespace(element: &mut Element) {
-    let has_elements = element.children().iter().any(|c| matches!(c, Node::Element(_)));
+    let has_elements = element
+        .children()
+        .iter()
+        .any(|c| matches!(c, Node::Element(_)));
     if has_elements {
         element
             .children_mut()
@@ -220,20 +238,35 @@ mod tests {
 
     #[test]
     fn unbound_prefix_is_error() {
-        assert!(matches!(parse("<q:a/>"), Err(XmlError::UnboundPrefix { .. })));
-        assert!(matches!(parse("<a q:x='1'/>"), Err(XmlError::UnboundPrefix { .. })));
+        assert!(matches!(
+            parse("<q:a/>"),
+            Err(XmlError::UnboundPrefix { .. })
+        ));
+        assert!(matches!(
+            parse("<a q:x='1'/>"),
+            Err(XmlError::UnboundPrefix { .. })
+        ));
     }
 
     #[test]
     fn mismatched_tags_rejected() {
-        assert!(matches!(parse("<a><b></a></b>"), Err(XmlError::MismatchedTag { .. })));
+        assert!(matches!(
+            parse("<a><b></a></b>"),
+            Err(XmlError::MismatchedTag { .. })
+        ));
     }
 
     #[test]
     fn text_around_root_must_be_whitespace() {
         assert!(parse("  <a/>\n").is_ok());
-        assert!(matches!(parse("x<a/>"), Err(XmlError::ContentOutsideRoot { .. })));
-        assert!(matches!(parse("<a/><b/>"), Err(XmlError::ContentOutsideRoot { .. })));
+        assert!(matches!(
+            parse("x<a/>"),
+            Err(XmlError::ContentOutsideRoot { .. })
+        ));
+        assert!(matches!(
+            parse("<a/><b/>"),
+            Err(XmlError::ContentOutsideRoot { .. })
+        ));
     }
 
     #[test]
@@ -261,12 +294,18 @@ mod tests {
     fn duplicate_expanded_attribute_rejected() {
         // Same expanded name via two prefixes.
         let doc = r#"<a xmlns:p="urn:q" xmlns:r="urn:q" p:x="1" r:x="2"/>"#;
-        assert!(matches!(parse(doc), Err(XmlError::DuplicateAttribute { .. })));
+        assert!(matches!(
+            parse(doc),
+            Err(XmlError::DuplicateAttribute { .. })
+        ));
     }
 
     #[test]
     fn unclosed_element_is_eof() {
-        assert!(matches!(parse("<a><b></b>"), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            parse("<a><b></b>"),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
@@ -289,7 +328,9 @@ mod tests {
         let e = parse("<a><!--note--><?do it?></a>").unwrap();
         assert_eq!(e.children().len(), 2);
         assert!(matches!(&e.children()[0], Node::Comment(c) if c == "note"));
-        assert!(matches!(&e.children()[1], Node::ProcessingInstruction { target, data } if target == "do" && data == "it"));
+        assert!(
+            matches!(&e.children()[1], Node::ProcessingInstruction { target, data } if target == "do" && data == "it")
+        );
     }
 
     #[test]

@@ -14,7 +14,12 @@ pub enum Token<'a> {
     /// always UTF-8 `str`s already).
     Declaration { offset: usize },
     /// `<name a="v" ...>` or `<name ... />`.
-    StartTag { name: &'a str, attrs: Vec<(&'a str, &'a str)>, self_closing: bool, offset: usize },
+    StartTag {
+        name: &'a str,
+        attrs: Vec<(&'a str, &'a str)>,
+        self_closing: bool,
+        offset: usize,
+    },
     /// `</name>`.
     EndTag { name: &'a str, offset: usize },
     /// Raw character data between tags; entities not yet expanded.
@@ -24,7 +29,11 @@ pub enum Token<'a> {
     /// `<!-- ... -->` contents, verbatim.
     Comment { text: &'a str, offset: usize },
     /// `<?target data?>`.
-    Pi { target: &'a str, data: &'a str, offset: usize },
+    Pi {
+        target: &'a str,
+        data: &'a str,
+        offset: usize,
+    },
 }
 
 /// Iterator-style tokenizer. Call [`Tokenizer::next_token`] until it
@@ -81,7 +90,10 @@ impl<'a> Tokenizer<'a> {
         let rest = &self.input[self.pos..];
         let end = rest.find('<').unwrap_or(rest.len());
         self.pos += end;
-        Ok(Token::Text { raw: &rest[..end], offset })
+        Ok(Token::Text {
+            raw: &rest[..end],
+            offset,
+        })
     }
 
     fn comment(&mut self) -> XmlResult<Token<'a>> {
@@ -93,7 +105,10 @@ impl<'a> Tokenizer<'a> {
             expecting: "'-->' terminating comment",
         })?;
         self.pos = body_start + end + 3;
-        Ok(Token::Comment { text: &rest[..end], offset })
+        Ok(Token::Comment {
+            text: &rest[..end],
+            offset,
+        })
     }
 
     fn cdata(&mut self) -> XmlResult<Token<'a>> {
@@ -105,7 +120,10 @@ impl<'a> Tokenizer<'a> {
             expecting: "']]>' terminating CDATA section",
         })?;
         self.pos = body_start + end + 3;
-        Ok(Token::CData { text: &rest[..end], offset })
+        Ok(Token::CData {
+            text: &rest[..end],
+            offset,
+        })
     }
 
     fn pi_or_decl(&mut self) -> XmlResult<Token<'a>> {
@@ -125,7 +143,11 @@ impl<'a> Tokenizer<'a> {
         if target.eq_ignore_ascii_case("xml") {
             Ok(Token::Declaration { offset })
         } else {
-            Ok(Token::Pi { target, data, offset })
+            Ok(Token::Pi {
+                target,
+                data,
+                offset,
+            })
         }
     }
 
@@ -148,12 +170,22 @@ impl<'a> Tokenizer<'a> {
             match self.peek() {
                 Some('>') => {
                     self.pos += 1;
-                    return Ok(Token::StartTag { name, attrs, self_closing: false, offset });
+                    return Ok(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing: false,
+                        offset,
+                    });
                 }
                 Some('/') => {
                     self.pos += 1;
                     self.expect('>')?;
-                    return Ok(Token::StartTag { name, attrs, self_closing: true, offset });
+                    return Ok(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing: true,
+                        offset,
+                    });
                 }
                 Some(_) => {
                     let attr_offset = self.pos;
@@ -171,7 +203,10 @@ impl<'a> Tokenizer<'a> {
                     attrs.push((aname, value));
                 }
                 None => {
-                    return Err(XmlError::UnexpectedEof { offset: self.pos, expecting: "'>' closing tag" })
+                    return Err(XmlError::UnexpectedEof {
+                        offset: self.pos,
+                        expecting: "'>' closing tag",
+                    })
                 }
             }
         }
@@ -243,7 +278,10 @@ impl<'a> Tokenizer<'a> {
                     _ => "specific delimiter",
                 },
             }),
-            None => Err(XmlError::UnexpectedEof { offset: self.pos, expecting: "more input" }),
+            None => Err(XmlError::UnexpectedEof {
+                offset: self.pos,
+                expecting: "more input",
+            }),
         }
     }
 }
@@ -267,9 +305,20 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                Token::StartTag { name: "a", attrs: vec![], self_closing: false, offset: 0 },
-                Token::Text { raw: "hi", offset: 3 },
-                Token::EndTag { name: "a", offset: 5 },
+                Token::StartTag {
+                    name: "a",
+                    attrs: vec![],
+                    self_closing: false,
+                    offset: 0
+                },
+                Token::Text {
+                    raw: "hi",
+                    offset: 3
+                },
+                Token::EndTag {
+                    name: "a",
+                    offset: 5
+                },
             ]
         );
     }
@@ -291,7 +340,9 @@ mod tests {
     #[test]
     fn whitespace_inside_tags_tolerated() {
         let toks = all_tokens("<a  x = \"1\"  ></a >");
-        assert!(matches!(&toks[0], Token::StartTag { name: "a", attrs, .. } if attrs == &vec![("x", "1")]));
+        assert!(
+            matches!(&toks[0], Token::StartTag { name: "a", attrs, .. } if attrs == &vec![("x", "1")])
+        );
         assert!(matches!(&toks[1], Token::EndTag { name: "a", .. }));
     }
 
@@ -301,43 +352,67 @@ mod tests {
         assert!(matches!(toks[0], Token::Declaration { .. }));
         assert!(matches!(toks[1], Token::Comment { text: "c", .. }));
         assert!(matches!(toks[3], Token::CData { text: "<raw>&", .. }));
-        assert!(matches!(toks[4], Token::Pi { target: "go", data: "now", .. }));
+        assert!(matches!(
+            toks[4],
+            Token::Pi {
+                target: "go",
+                data: "now",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn duplicate_attribute_rejected() {
         let mut t = Tokenizer::new(r#"<a x="1" x="2"/>"#);
-        assert!(matches!(t.next_token(), Err(XmlError::DuplicateAttribute { .. })));
+        assert!(matches!(
+            t.next_token(),
+            Err(XmlError::DuplicateAttribute { .. })
+        ));
     }
 
     #[test]
     fn unterminated_comment() {
         let mut t = Tokenizer::new("<!-- never ends");
-        assert!(matches!(t.next_token(), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            t.next_token(),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
     fn unterminated_attribute() {
         let mut t = Tokenizer::new(r#"<a x="1></a>"#);
-        assert!(matches!(t.next_token(), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            t.next_token(),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
     fn doctype_rejected() {
         let mut t = Tokenizer::new("<!DOCTYPE html><a/>");
-        assert!(matches!(t.next_token(), Err(XmlError::UnexpectedChar { .. })));
+        assert!(matches!(
+            t.next_token(),
+            Err(XmlError::UnexpectedChar { .. })
+        ));
     }
 
     #[test]
     fn missing_equals_rejected() {
         let mut t = Tokenizer::new("<a x\"1\"/>");
-        assert!(matches!(t.next_token(), Err(XmlError::UnexpectedChar { .. })));
+        assert!(matches!(
+            t.next_token(),
+            Err(XmlError::UnexpectedChar { .. })
+        ));
     }
 
     #[test]
     fn attribute_value_keeps_raw_entities() {
         let toks = all_tokens(r#"<a x="&amp;"/>"#);
-        assert!(matches!(&toks[0], Token::StartTag { attrs, .. } if attrs == &vec![("x", "&amp;")]));
+        assert!(
+            matches!(&toks[0], Token::StartTag { attrs, .. } if attrs == &vec![("x", "&amp;")])
+        );
     }
 
     #[test]

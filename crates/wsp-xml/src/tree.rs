@@ -12,7 +12,10 @@ pub struct Attribute {
 
 impl Attribute {
     pub fn new(name: QName, value: impl Into<String>) -> Self {
-        Attribute { name, value: value.into() }
+        Attribute {
+            name,
+            value: value.into(),
+        }
     }
 }
 
@@ -25,7 +28,10 @@ pub enum Node {
     /// A CDATA section; serialised back as CDATA.
     CData(String),
     Comment(String),
-    ProcessingInstruction { target: String, data: String },
+    ProcessingInstruction {
+        target: String,
+        data: String,
+    },
 }
 
 impl Node {
@@ -53,13 +59,24 @@ pub struct Element {
 
 impl Element {
     /// Create an empty element named `{namespace}local`.
-    pub fn new(namespace: impl Into<std::borrow::Cow<'static, str>>, local: impl Into<std::borrow::Cow<'static, str>>) -> Self {
-        Element { name: QName::new(namespace, local), attributes: Vec::new(), children: Vec::new() }
+    pub fn new(
+        namespace: impl Into<std::borrow::Cow<'static, str>>,
+        local: impl Into<std::borrow::Cow<'static, str>>,
+    ) -> Self {
+        Element {
+            name: QName::new(namespace, local),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Create an empty element with an already-built name.
     pub fn with_name(name: QName) -> Self {
-        Element { name, attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name,
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Start a fluent builder; finish with [`ElementBuilder::finish`].
@@ -67,7 +84,9 @@ impl Element {
         namespace: impl Into<std::borrow::Cow<'static, str>>,
         local: impl Into<std::borrow::Cow<'static, str>>,
     ) -> ElementBuilder {
-        ElementBuilder { element: Element::new(namespace, local) }
+        ElementBuilder {
+            element: Element::new(namespace, local),
+        }
     }
 
     pub fn name(&self) -> &QName {
@@ -135,7 +154,11 @@ impl Element {
     }
 
     /// All child elements named `{ns}local`.
-    pub fn find_all<'a>(&'a self, ns: &'a str, local: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+    pub fn find_all<'a>(
+        &'a self,
+        ns: &'a str,
+        local: &'a str,
+    ) -> impl Iterator<Item = &'a Element> + 'a {
         self.child_elements().filter(move |e| e.name.is(ns, local))
     }
 
@@ -178,7 +201,10 @@ impl Element {
 
     /// Total number of element nodes in this subtree, including self.
     pub fn subtree_size(&self) -> usize {
-        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
     }
 
     /// Serialise with the default writer configuration (compact, with an

@@ -22,19 +22,30 @@ pub struct WriterConfig {
 
 impl Default for WriterConfig {
     fn default() -> Self {
-        WriterConfig { declaration: false, pretty: false, indent: "  ", preferred_prefixes: Vec::new() }
+        WriterConfig {
+            declaration: false,
+            pretty: false,
+            indent: "  ",
+            preferred_prefixes: Vec::new(),
+        }
     }
 }
 
 impl WriterConfig {
     /// Compact output with an XML declaration — the on-the-wire format.
     pub fn wire() -> Self {
-        WriterConfig { declaration: true, ..WriterConfig::default() }
+        WriterConfig {
+            declaration: true,
+            ..WriterConfig::default()
+        }
     }
 
     /// Two-space indented output for humans.
     pub fn pretty() -> Self {
-        WriterConfig { pretty: true, ..WriterConfig::default() }
+        WriterConfig {
+            pretty: true,
+            ..WriterConfig::default()
+        }
     }
 
     /// Register a preferred prefix for a namespace.
@@ -55,7 +66,12 @@ pub struct Writer {
 
 impl Writer {
     pub fn new(config: WriterConfig) -> Self {
-        Writer { config, ns: NsStack::new(), out: String::new(), generated: 0 }
+        Writer {
+            config,
+            ns: NsStack::new(),
+            out: String::new(),
+            generated: 0,
+        }
     }
 
     /// Serialise `root` to a string.
@@ -63,7 +79,8 @@ impl Writer {
         self.out.clear();
         self.generated = 0;
         if self.config.declaration {
-            self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            self.out
+                .push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
             if self.config.pretty {
                 self.out.push('\n');
             }
@@ -83,7 +100,11 @@ impl Writer {
         // Attribute prefixes may add further declarations.
         let mut attr_strs: Vec<(String, &str)> = Vec::with_capacity(element.attributes().len());
         for attr in element.attributes() {
-            let name = self.qualify_attr(attr.name.namespace(), attr.name.local_name(), &mut declarations);
+            let name = self.qualify_attr(
+                attr.name.namespace(),
+                attr.name.local_name(),
+                &mut declarations,
+            );
             attr_strs.push((name, &attr.value));
         }
 
@@ -244,8 +265,8 @@ impl Writer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reader::parse;
     use crate::name::QName;
+    use crate::reader::parse;
 
     #[test]
     fn no_namespace_stays_plain() {
@@ -265,12 +286,17 @@ mod tests {
             .child(Element::new("urn:soap", "Body"))
             .finish();
         let xml = Writer::new(WriterConfig::default().prefer("urn:soap", "soap")).write(&e);
-        assert_eq!(xml, r#"<soap:Envelope xmlns:soap="urn:soap"><soap:Body/></soap:Envelope>"#);
+        assert_eq!(
+            xml,
+            r#"<soap:Envelope xmlns:soap="urn:soap"><soap:Body/></soap:Envelope>"#
+        );
     }
 
     #[test]
     fn child_reuses_parent_prefix() {
-        let e = Element::build("urn:x", "a").child(Element::new("urn:x", "b")).finish();
+        let e = Element::build("urn:x", "a")
+            .child(Element::new("urn:x", "b"))
+            .finish();
         let xml = e.to_xml();
         assert_eq!(xml.matches("xmlns").count(), 1, "{xml}");
     }
@@ -300,7 +326,9 @@ mod tests {
     fn attribute_never_uses_default_namespace() {
         // Even when the element's namespace matches the attribute's, the
         // attribute must get an explicit prefix if qualified.
-        let e = Element::build("urn:x", "a").attr(QName::new("urn:x", "k"), "v").finish();
+        let e = Element::build("urn:x", "a")
+            .attr(QName::new("urn:x", "k"), "v")
+            .finish();
         let xml = e.to_xml();
         let parsed = parse(&xml).unwrap();
         assert_eq!(parsed.attribute("urn:x", "k"), Some("v"));
@@ -308,7 +336,9 @@ mod tests {
 
     #[test]
     fn no_namespace_child_inside_default_namespace() {
-        let e = Element::build("urn:x", "a").child(Element::new("", "plain")).finish();
+        let e = Element::build("urn:x", "a")
+            .child(Element::new("", "plain"))
+            .finish();
         let parsed = parse(&e.to_xml()).unwrap();
         let child = parsed.child_elements().next().unwrap();
         assert!(child.name().is("", "plain"), "{:?}", child.name());
@@ -353,8 +383,10 @@ mod tests {
     fn comments_and_pis_round_trip() {
         let mut e = Element::new("", "a");
         e.children_mut().push(Node::Comment("note".into()));
-        e.children_mut()
-            .push(Node::ProcessingInstruction { target: "t".into(), data: "d".into() });
+        e.children_mut().push(Node::ProcessingInstruction {
+            target: "t".into(),
+            data: "d".into(),
+        });
         let parsed = parse(&e.to_xml()).unwrap();
         assert_eq!(parsed.children(), e.children());
     }

@@ -53,15 +53,18 @@ fn leaf() -> impl Strategy<Value = Element> {
 
 fn tree() -> impl Strategy<Value = Element> {
     leaf().prop_recursive(4, 32, 4, |inner| {
-        (namespace(), ncname(), proptest::collection::vec(inner, 0..4)).prop_map(
-            |(ns, local, children)| {
+        (
+            namespace(),
+            ncname(),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(ns, local, children)| {
                 let mut e = Element::new(ns, local);
                 for c in children {
                     e.push_element(c);
                 }
                 e
-            },
-        )
+            })
     })
 }
 

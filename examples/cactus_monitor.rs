@@ -41,7 +41,10 @@ impl CactusSimulation {
                 }
             })
             .collect();
-        CactusSimulation { frames: Mutex::new(Vec::new()), state: Mutex::new((u0.clone(), u0)) }
+        CactusSimulation {
+            frames: Mutex::new(Vec::new()),
+            state: Mutex::new((u0.clone(), u0)),
+        }
     }
 
     /// One leapfrog step of u_tt = c^2 u_xx with fixed ends.
@@ -88,12 +91,21 @@ fn main() {
     }
 
     // Mid-run, expose the live object as a service.
-    let provider =
-        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
+    let provider = Peer::with_binding(&HttpUddiBinding::with_registry_uri(
+        &registry.uri(),
+        EventBus::new(),
+    ));
     let handler = StatefulService::wrapping(simulation.clone())
-        .operation("frameCount", |sim, _| Ok(Value::Int(sim.frames.lock().len() as i64)))
+        .operation("frameCount", |sim, _| {
+            Ok(Value::Int(sim.frames.lock().len() as i64))
+        })
         .operation("latestStep", |sim, _| {
-            Ok(sim.frames.lock().last().map(|(s, _)| Value::Int(*s)).unwrap_or(Value::Null))
+            Ok(sim
+                .frames
+                .lock()
+                .last()
+                .map(|(s, _)| Value::Int(*s))
+                .unwrap_or(Value::Null))
         })
         .operation("frame", |sim, args| {
             let index = args[0].as_int().unwrap_or(-1);
@@ -124,8 +136,10 @@ fn main() {
     };
 
     // The Triana side: find the monitor and poll frames in real time.
-    let triana =
-        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
+    let triana = Peer::with_binding(&HttpUddiBinding::with_registry_uri(
+        &registry.uri(),
+        EventBus::new(),
+    ));
     let monitor = triana
         .client()
         .locate_one(&ServiceQuery::by_name("CactusMonitor"))

@@ -30,7 +30,11 @@ fn compute_descriptor(name: &str, price: u64) -> ServiceDescriptor {
     ServiceDescriptor::new(name, format!("urn:catnets:{name}"))
         .property("market", "compute")
         .property("price", price.to_string())
-        .operation(OperationDef::new("work").input("units", XsdType::Int).returns(XsdType::Int))
+        .operation(
+            OperationDef::new("work")
+                .input("units", XsdType::Int)
+                .returns(XsdType::Int),
+        )
 }
 
 fn main() {
@@ -40,8 +44,9 @@ fn main() {
 
     // Three providers with different starting prices.
     let mut providers = Vec::new();
-    for (i, (name, start_price)) in
-        [("AlphaGrid", 12u64), ("BetaCloud", 9), ("GammaHPC", 15)].into_iter().enumerate()
+    for (i, (name, start_price)) in [("AlphaGrid", 12u64), ("BetaCloud", 9), ("GammaHPC", 15)]
+        .into_iter()
+        .enumerate()
     {
         let thread_peer = network.spawn(PeerConfig::ordinary(PeerId(0xCA70 + i as u64 + 1)));
         thread_peer.add_neighbour(rendezvous.id(), true);
@@ -60,7 +65,12 @@ fn main() {
                 }),
             )
             .expect("deploy provider");
-        providers.push(Provider { name, peer, price, sales });
+        providers.push(Provider {
+            name,
+            peer,
+            price,
+            sales,
+        });
     }
 
     // One buyer peer.
@@ -70,7 +80,10 @@ fn main() {
     let buyer = Peer::with_binding(&P2psBinding::new(
         buyer_thread,
         EventBus::new(),
-        P2psConfig { discovery_window: Duration::from_millis(400), ..P2psConfig::default() },
+        P2psConfig {
+            discovery_window: Duration::from_millis(400),
+            ..P2psConfig::default()
+        },
     ));
     std::thread::sleep(Duration::from_millis(200));
 
@@ -123,15 +136,22 @@ fn main() {
             provider
                 .peer
                 .server()
-                .deploy(compute_descriptor(provider.name, new_price), Arc::new({
-                    let sales = provider.sales.clone();
-                    move |_op: &str, args: &[Value]| {
-                        *sales.lock() += 1;
-                        Ok(Value::Int(args[0].as_int().unwrap_or(0) * 2))
-                    }
-                }))
+                .deploy(
+                    compute_descriptor(provider.name, new_price),
+                    Arc::new({
+                        let sales = provider.sales.clone();
+                        move |_op: &str, args: &[Value]| {
+                            *sales.lock() += 1;
+                            Ok(Value::Int(args[0].as_int().unwrap_or(0) * 2))
+                        }
+                    }),
+                )
                 .expect("redeploy with new price");
-            provider.peer.server().publish(provider.name).expect("republish");
+            provider
+                .peer
+                .server()
+                .publish(provider.name)
+                .expect("republish");
         }
         std::thread::sleep(Duration::from_millis(250));
     }

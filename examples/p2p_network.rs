@@ -58,19 +58,24 @@ fn main() {
         .deploy_and_publish(
             math_descriptor("Adder", "arithmetic"),
             Arc::new(|_op: &str, args: &[Value]| {
-                Ok(Value::Double(args[0].as_double().unwrap() + args[1].as_double().unwrap()))
+                Ok(Value::Double(
+                    args[0].as_double().unwrap() + args[1].as_double().unwrap(),
+                ))
             }),
         )
         .expect("deploy Adder");
 
-    let multiplier_binding = P2psBinding::new(multiplier_peer, EventBus::new(), P2psConfig::default());
+    let multiplier_binding =
+        P2psBinding::new(multiplier_peer, EventBus::new(), P2psConfig::default());
     let multiplier = Peer::with_binding(&multiplier_binding);
     multiplier
         .server()
         .deploy_and_publish(
             math_descriptor("Multiplier", "arithmetic"),
             Arc::new(|_op: &str, args: &[Value]| {
-                Ok(Value::Double(args[0].as_double().unwrap() * args[1].as_double().unwrap()))
+                Ok(Value::Double(
+                    args[0].as_double().unwrap() * args[1].as_double().unwrap(),
+                ))
             }),
         )
         .expect("deploy Multiplier");
@@ -82,7 +87,10 @@ fn main() {
     let consumer = Peer::with_binding(&P2psBinding::new(
         consumer_peer,
         EventBus::new(),
-        P2psConfig { discovery_window: Duration::from_millis(500), ..P2psConfig::default() },
+        P2psConfig {
+            discovery_window: Duration::from_millis(500),
+            ..P2psConfig::default()
+        },
     ));
 
     // Attribute-based discovery: the reason the paper chose P2PS over

@@ -25,7 +25,11 @@ struct Narrator;
 impl PeerMessageListener for Narrator {
     fn on_discovery(&self, event: &DiscoveryMessageEvent) {
         match &event.result {
-            Ok(services) => println!("  [event] discovery #{}: {} service(s)", event.token, services.len()),
+            Ok(services) => println!(
+                "  [event] discovery #{}: {} service(s)",
+                event.token,
+                services.len()
+            ),
             Err(e) => println!("  [event] discovery #{} failed: {e}", event.token),
         }
     }
@@ -51,7 +55,10 @@ fn main() {
     // --- provider ---------------------------------------------------------
     let provider_binding = HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new());
     let provider = Peer::with_binding(&provider_binding);
-    assert!(!provider_binding.host_running(), "no container until something is deployed");
+    assert!(
+        !provider_binding.host_running(),
+        "no container until something is deployed"
+    );
 
     let deployed = provider
         .server()
@@ -68,8 +75,10 @@ fn main() {
     );
 
     // --- consumer ---------------------------------------------------------
-    let consumer =
-        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
+    let consumer = Peer::with_binding(&HttpUddiBinding::with_registry_uri(
+        &registry.uri(),
+        EventBus::new(),
+    ));
     consumer.add_listener(Arc::new(Narrator));
 
     println!("\nconsumer locating services named 'Echo%' ...");
@@ -78,7 +87,10 @@ fn main() {
         .locate_one(&ServiceQuery::by_name("Echo%"))
         .expect("locate Echo");
     println!("found {} at {}", service.name(), service.endpoint);
-    println!("WSDL advertises {} operation(s)", service.wsdl.descriptor.operations.len());
+    println!(
+        "WSDL advertises {} operation(s)",
+        service.wsdl.descriptor.operations.len()
+    );
 
     // Synchronous invocation.
     let reply = consumer
@@ -87,14 +99,21 @@ fn main() {
         .expect("invoke");
     println!("\nsync  invoke echoString(\"hello, 2005\") -> {reply:?}");
 
-    // Asynchronous invocation: returns a token; the listener reports.
-    let token = consumer.client().invoke_async(
+    // Asynchronous invocation: returns a correlation handle; the
+    // listener reports the event with the same token, and flush() is a
+    // deterministic barrier (no sleep-and-hope).
+    let handle = consumer.client().invoke_async(
         service.clone(),
         "echoString",
         vec![Value::string("fire and collect later")],
     );
-    println!("async invoke dispatched, token #{token}");
-    std::thread::sleep(std::time::Duration::from_millis(300));
+    println!("async invoke dispatched, token #{}", handle.token());
+    consumer.dispatcher().flush();
+    let stats = consumer.dispatcher().stats();
+    println!(
+        "dispatcher: {} submitted, {} completed, {} in flight",
+        stats.submitted, stats.completed, stats.in_flight
+    );
 
     registry.shutdown();
     println!("\ndone.");

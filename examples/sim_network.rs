@@ -45,15 +45,18 @@ fn main() {
 
     // Rendezvous peers churn: mean 60s sessions, 10s absences (~86%).
     let churn = ChurnModel::new(Dur::secs(60), Dur::secs(10));
-    println!("churning rendezvous peers at {:.0}% availability\n", churn.availability() * 100.0);
+    println!(
+        "churning rendezvous peers at {:.0}% availability\n",
+        churn.availability() * 100.0
+    );
     churn.apply(&mut net, &rendezvous, Time::secs(120), seed ^ 1);
 
     // 30 staggered queries from random leaves.
     let mut asked = Vec::new();
     for q in 0..30u64 {
         let slot = loop {
-            let g = rng.random_range(0..40);
-            let m = rng.random_range(1..10);
+            let g: usize = rng.random_range(0..40);
+            let m: usize = rng.random_range(1..10);
             let slot = g * 10 + m;
             if slot != 1 {
                 break slot;
@@ -67,19 +70,30 @@ fn main() {
         handles[*slot].enqueue_at(
             &mut net,
             *at,
-            PeerCommand::Query { token: *token, query: P2psQuery::by_name("Echo"), ttl: None },
+            PeerCommand::Query {
+                token: *token,
+                query: P2psQuery::by_name("Echo"),
+                ttl: None,
+            },
         );
     }
 
     let end = net.run_until(Time::secs(130));
-    println!("simulation ran to t={end} ({} events dispatched)", net.events_dispatched());
+    println!(
+        "simulation ran to t={end} ({} events dispatched)",
+        net.events_dispatched()
+    );
 
     // Gather results.
     let mut ok = 0usize;
     let mut latencies = Vec::new();
     for (slot, token, at) in &asked {
         let hit = handles[*slot].events().iter().find_map(|(t, e)| match e {
-            PeerEvent::QueryResult { token: tk, adverts } if tk == token && !adverts.is_empty() => Some(*t),
+            PeerEvent::QueryResult { token: tk, adverts }
+                if *tk == *token && !adverts.is_empty() =>
+            {
+                Some(*t)
+            }
             _ => None,
         });
         if let Some(t) = hit {
@@ -100,7 +114,10 @@ fn main() {
     for (key, value) in net.metrics().counters() {
         println!("  {key:32} {value}");
     }
-    println!("\nNS2-style trace (last {} events):", net.trace().unwrap().len());
+    println!(
+        "\nNS2-style trace (last {} events):",
+        net.trace().unwrap().len()
+    );
     print!("{}", net.trace().unwrap().render());
     println!("\ndone.");
 }

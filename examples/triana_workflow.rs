@@ -16,7 +16,9 @@ fn tool_descriptor(name: &str) -> ServiceDescriptor {
     ServiceDescriptor::new(name, format!("urn:triana:{}", name.to_lowercase()))
         .property("toolbox", "text")
         .operation(
-            OperationDef::new("apply").input("text", XsdType::String).returns(XsdType::String),
+            OperationDef::new("apply")
+                .input("text", XsdType::String)
+                .returns(XsdType::String),
         )
 }
 
@@ -31,7 +33,9 @@ fn main() {
             "Tokenizer",
             Arc::new(|_: &str, args: &[Value]| {
                 let text = args[0].as_str().unwrap_or("");
-                Ok(Value::string(text.split_whitespace().collect::<Vec<_>>().join("|")))
+                Ok(Value::string(
+                    text.split_whitespace().collect::<Vec<_>>().join("|"),
+                ))
             }),
         ),
         (
@@ -43,7 +47,10 @@ fn main() {
         (
             "Bracket",
             Arc::new(|_: &str, args: &[Value]| {
-                Ok(Value::string(format!("[{}]", args[0].as_str().unwrap_or(""))))
+                Ok(Value::string(format!(
+                    "[{}]",
+                    args[0].as_str().unwrap_or("")
+                )))
             }),
         ),
     ];
@@ -60,8 +67,10 @@ fn main() {
     }
 
     // The Triana side: one peer, browsing the toolbox.
-    let triana =
-        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
+    let triana = Peer::with_binding(&HttpUddiBinding::with_registry_uri(
+        &registry.uri(),
+        EventBus::new(),
+    ));
     let toolbox = triana
         .client()
         .locate(&ServiceQuery::any().with_property("toolbox", "text"))
@@ -85,7 +94,9 @@ fn main() {
         .then(Stage::new(find("Bracket"), "apply"));
 
     let input = "web services meet peer to peer";
-    let run = workflow.run(triana.client(), Value::string(input)).expect("run workflow");
+    let run = workflow
+        .run(triana.client(), Value::string(input))
+        .expect("run workflow");
     println!("\ninput : {input:?}");
     for (i, out) in run.stage_outputs.iter().enumerate() {
         println!("stage {}: {:?}", i + 1, out);

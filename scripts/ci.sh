@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: build, test, format and lint the whole workspace.
+# Run locally before pushing; the workflow runs the same steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -25,13 +25,19 @@ pub fn calc_descriptor() -> ServiceDescriptor {
                 .returns(XsdType::String),
         )
         .operation(OperationDef::new("fail").returns(XsdType::String))
-        .operation(OperationDef::new("log").input("line", XsdType::String).one_way())
+        .operation(
+            OperationDef::new("log")
+                .input("line", XsdType::String)
+                .one_way(),
+        )
 }
 
 /// Handler for [`calc_descriptor`].
 pub fn calc_handler() -> Arc<dyn ServiceHandler> {
     Arc::new(|op: &str, args: &[Value]| match op {
-        "add" => Ok(Value::Double(args[0].as_double().unwrap() + args[1].as_double().unwrap())),
+        "add" => Ok(Value::Double(
+            args[0].as_double().unwrap() + args[1].as_double().unwrap(),
+        )),
         "concat" => {
             let joined: String = args[0]
                 .as_array()

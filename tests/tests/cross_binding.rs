@@ -35,9 +35,14 @@ fn same_code_over_http_uddi() {
         registry.clone(),
         EventBus::new(),
     ));
-    let consumer =
-        Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
-    assert_eq!(application(&provider, &consumer, Duration::ZERO), Value::Double(42.0));
+    let consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+        registry,
+        EventBus::new(),
+    ));
+    assert_eq!(
+        application(&provider, &consumer, Duration::ZERO),
+        Value::Double(42.0)
+    );
 }
 
 #[test]
@@ -65,7 +70,9 @@ fn p2ps_server_with_uddi_publisher() {
     // the paper suggests ("a P2PS Server could use the UDDI conversant
     // ServicePublisher").
     let uddi_binding = HttpUddiBinding::with_local_registry(registry.clone(), EventBus::new());
-    provider.server().set_publisher(wsp_core::Binding::publisher(&uddi_binding));
+    provider
+        .server()
+        .set_publisher(wsp_core::Binding::publisher(&uddi_binding));
 
     let deployed = provider
         .server()
@@ -75,7 +82,9 @@ fn p2ps_server_with_uddi_publisher() {
 
     // The record is in UDDI with a p2ps:// access point.
     let uddi = wsp_uddi::UddiClient::direct(registry);
-    let records = uddi.locate(&ServiceQuery::by_name("Calc").to_uddi()).unwrap();
+    let records = uddi
+        .locate(&ServiceQuery::by_name("Calc").to_uddi())
+        .unwrap();
     assert_eq!(records.len(), 1);
     let endpoint = records[0].bindings[0].access_point.clone();
     assert!(endpoint.starts_with("p2ps://"), "{endpoint}");
@@ -83,11 +92,8 @@ fn p2ps_server_with_uddi_publisher() {
     // A consumer that knows the WSDL (e.g. via the registry's tModel or
     // the definition pipe) can invoke over P2PS.
     std::thread::sleep(Duration::from_millis(100));
-    let service = wsp_core::LocatedService::new(
-        deployed.wsdl.clone(),
-        endpoint,
-        wsp_core::BindingKind::P2ps,
-    );
+    let service =
+        wsp_core::LocatedService::new(deployed.wsdl.clone(), endpoint, wsp_core::BindingKind::P2ps);
     let sum = consumer
         .client()
         .invoke(&service, "add", &[Value::Double(1.0), Value::Double(2.0)])
@@ -108,14 +114,25 @@ fn provider_serves_both_worlds_simultaneously() {
 
     let handler = calc_handler();
     // Same descriptor + handler deployed through both bindings.
-    p2ps_provider.server().deploy_and_publish(calc_descriptor(), handler.clone()).unwrap();
-    http_provider.server().deploy_and_publish(calc_descriptor(), handler).unwrap();
+    p2ps_provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), handler.clone())
+        .unwrap();
+    http_provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), handler)
+        .unwrap();
     std::thread::sleep(Duration::from_millis(200));
 
     // HTTP-side client.
-    let http_consumer =
-        Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
-    let via_http = http_consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    let http_consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+        registry,
+        EventBus::new(),
+    ));
+    let via_http = http_consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     assert_eq!(
         http_consumer
             .client()
@@ -125,7 +142,10 @@ fn provider_serves_both_worlds_simultaneously() {
     );
 
     // P2PS-side client.
-    let via_p2ps = p2ps_consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    let via_p2ps = p2ps_consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     assert_eq!(
         p2ps_consumer
             .client()
@@ -150,23 +170,58 @@ fn shared_stateful_object_across_bindings() {
     ));
 
     let counter = Arc::new(std::sync::atomic::AtomicI64::new(0));
-    let descriptor = wsp_wsdl::ServiceDescriptor::new("Counter", "urn:wspeer:counter").operation(
-        wsp_wsdl::OperationDef::new("bump").returns(wsp_wsdl::XsdType::Int),
-    );
+    let descriptor = wsp_wsdl::ServiceDescriptor::new("Counter", "urn:wspeer:counter")
+        .operation(wsp_wsdl::OperationDef::new("bump").returns(wsp_wsdl::XsdType::Int));
     let handler = StatefulService::wrapping(counter.clone())
-        .operation("bump", |c, _| Ok(Value::Int(c.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1)))
+        .operation("bump", |c, _| {
+            Ok(Value::Int(
+                c.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1,
+            ))
+        })
         .into_handler();
 
-    p2ps_provider.server().deploy_and_publish(descriptor.clone(), handler.clone()).unwrap();
-    http_provider.server().deploy_and_publish(descriptor, handler).unwrap();
+    p2ps_provider
+        .server()
+        .deploy_and_publish(descriptor.clone(), handler.clone())
+        .unwrap();
+    http_provider
+        .server()
+        .deploy_and_publish(descriptor, handler)
+        .unwrap();
     std::thread::sleep(Duration::from_millis(200));
 
-    let http_consumer =
-        Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
-    let via_http = http_consumer.client().locate_one(&ServiceQuery::by_name("Counter")).unwrap();
-    let via_p2ps = p2ps_consumer.client().locate_one(&ServiceQuery::by_name("Counter")).unwrap();
+    let http_consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+        registry,
+        EventBus::new(),
+    ));
+    let via_http = http_consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Counter"))
+        .unwrap();
+    let via_p2ps = p2ps_consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Counter"))
+        .unwrap();
 
-    assert_eq!(http_consumer.client().invoke(&via_http, "bump", &[]).unwrap(), Value::Int(1));
-    assert_eq!(p2ps_consumer.client().invoke(&via_p2ps, "bump", &[]).unwrap(), Value::Int(2));
-    assert_eq!(http_consumer.client().invoke(&via_http, "bump", &[]).unwrap(), Value::Int(3));
+    assert_eq!(
+        http_consumer
+            .client()
+            .invoke(&via_http, "bump", &[])
+            .unwrap(),
+        Value::Int(1)
+    );
+    assert_eq!(
+        p2ps_consumer
+            .client()
+            .invoke(&via_p2ps, "bump", &[])
+            .unwrap(),
+        Value::Int(2)
+    );
+    assert_eq!(
+        http_consumer
+            .client()
+            .invoke(&via_http, "bump", &[])
+            .unwrap(),
+        Value::Int(3)
+    );
 }

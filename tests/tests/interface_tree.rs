@@ -17,13 +17,21 @@ fn fig1_application_sees_only_wspeer_structures() {
         registry.clone(),
         EventBus::new(),
     ));
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
 
-    let consumer =
-        Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
+    let consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+        registry,
+        EventBus::new(),
+    ));
     // The application's whole vocabulary: ServiceQuery in,
     // LocatedService out, Values through.
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     let sum = consumer
         .client()
         .invoke(&service, "add", &[Value::Double(1.5), Value::Double(2.25)])
@@ -35,7 +43,11 @@ fn fig1_application_sees_only_wspeer_structures() {
         .invoke(
             &service,
             "concat",
-            &[Value::Array(vec![Value::string("a"), Value::string("b"), Value::string("c")])],
+            &[Value::Array(vec![
+                Value::string("a"),
+                Value::string("b"),
+                Value::string("c"),
+            ])],
         )
         .unwrap();
     assert_eq!(joined, Value::string("abc"));
@@ -57,15 +69,32 @@ fn fig2_events_propagate_to_root_listener() {
     // The binding and the peer share one bus, so the listener hears
     // every node in the tree.
 
-    peer.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
-    let service = peer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
-    let _ = peer.client().invoke(&service, "add", &[Value::Double(1.0), Value::Double(2.0)]).unwrap();
+    peer.server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
+    let service = peer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
+    let _ = peer
+        .client()
+        .invoke(&service, "add", &[Value::Double(1.0), Value::Double(2.0)])
+        .unwrap();
 
-    assert_eq!(listener.deployments.read().len(), 1, "ServiceDeployer fired");
+    assert_eq!(
+        listener.deployments.read().len(),
+        1,
+        "ServiceDeployer fired"
+    );
     assert_eq!(listener.publishes.read().len(), 1, "ServicePublisher fired");
     assert_eq!(listener.discoveries.read().len(), 1, "ServiceLocator fired");
     assert_eq!(listener.client_messages.read().len(), 1, "Invocation fired");
-    let phases: Vec<ServerPhase> = listener.server_messages.read().iter().map(|e| e.phase).collect();
+    let phases: Vec<ServerPhase> = listener
+        .server_messages
+        .read()
+        .iter()
+        .map(|e| e.phase)
+        .collect();
     assert_eq!(
         phases,
         vec![ServerPhase::Inbound, ServerPhase::Outbound],
@@ -85,13 +114,29 @@ fn components_replaceable_at_runtime() {
 
     // Publish Calc only into registry B.
     let provider = Peer::with_binding(&binding_b);
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
 
     let consumer = Peer::with_binding(&binding_a);
-    assert!(consumer.client().locate(&ServiceQuery::by_name("Calc")).unwrap().is_empty());
+    assert!(consumer
+        .client()
+        .locate(&ServiceQuery::by_name("Calc"))
+        .unwrap()
+        .is_empty());
     // Swap in B's locator: now the same application finds it.
-    consumer.client().set_locator(wsp_core::Binding::locator(&binding_b));
-    assert_eq!(consumer.client().locate(&ServiceQuery::by_name("Calc")).unwrap().len(), 1);
+    consumer
+        .client()
+        .set_locator(wsp_core::Binding::locator(&binding_b));
+    assert_eq!(
+        consumer
+            .client()
+            .locate(&ServiceQuery::by_name("Calc"))
+            .unwrap()
+            .len(),
+        1
+    );
 }
 
 /// The server-side interceptor: the application may answer requests
@@ -102,7 +147,10 @@ fn application_intercepts_before_engine() {
     let registry = Registry::new();
     let binding = HttpUddiBinding::with_local_registry(registry.clone(), EventBus::new());
     let provider = Peer::with_binding(&binding);
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
 
     // Reach under the hood: install an application-level interceptor on
     // the lightweight host.
@@ -112,7 +160,11 @@ fn application_intercepts_before_engine() {
     // The router is reachable through a fresh request — use wsp-http
     // directly to show the interception point exists at the HTTP layer.
     let response = wsp_http::http_call("127.0.0.1", port, wsp_http::Request::get("/")).unwrap();
-    assert_eq!(response.body_str(), "Calc", "host lists deployed services at /");
+    assert_eq!(
+        response.body_str(),
+        "Calc",
+        "host lists deployed services at /"
+    );
     let _ = seen;
     let _ = marker;
 }

@@ -12,19 +12,29 @@ use wsp_wsdl::Value;
 
 fn networked_pair() -> (RegistryServer, Peer, Peer) {
     let registry = RegistryServer::launch(0).unwrap();
-    let provider =
-        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
-    let consumer =
-        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
+    let provider = Peer::with_binding(&HttpUddiBinding::with_registry_uri(
+        &registry.uri(),
+        EventBus::new(),
+    ));
+    let consumer = Peer::with_binding(&HttpUddiBinding::with_registry_uri(
+        &registry.uri(),
+        EventBus::new(),
+    ));
     (registry, provider, consumer)
 }
 
 #[test]
 fn full_lifecycle_over_network_registry() {
     let (registry, provider, consumer) = networked_pair();
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
 
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     assert!(service.endpoint.starts_with("http://127.0.0.1:"));
     // The WSDL fetched over the wire carries the full contract.
     assert_eq!(service.wsdl.descriptor.operations.len(), 4);
@@ -40,8 +50,14 @@ fn full_lifecycle_over_network_registry() {
 #[test]
 fn service_fault_crosses_the_wire() {
     let (registry, provider, consumer) = networked_pair();
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     let err = consumer.client().invoke(&service, "fail", &[]).unwrap_err();
     match err {
         WspError::Fault(fault) => assert_eq!(fault.reason, "deliberate failure"),
@@ -53,9 +69,18 @@ fn service_fault_crosses_the_wire() {
 #[test]
 fn one_way_operation_returns_immediately() {
     let (registry, provider, consumer) = networked_pair();
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
-    let out = consumer.client().invoke(&service, "log", &[Value::string("note")]).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
+    let out = consumer
+        .client()
+        .invoke(&service, "log", &[Value::string("note")])
+        .unwrap();
     assert_eq!(out, Value::Null);
     registry.shutdown();
 }
@@ -63,12 +88,22 @@ fn one_way_operation_returns_immediately() {
 #[test]
 fn undeploy_yields_404_and_unpublish_removes_record() {
     let (registry, provider, consumer) = networked_pair();
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
 
     assert!(provider.server().undeploy("Calc"));
     // Registry record is gone: fresh discovery finds nothing.
-    assert!(consumer.client().locate(&ServiceQuery::by_name("Calc")).unwrap().is_empty());
+    assert!(consumer
+        .client()
+        .locate(&ServiceQuery::by_name("Calc"))
+        .unwrap()
+        .is_empty());
     // And the old endpoint no longer answers.
     let err = consumer
         .client()
@@ -81,10 +116,19 @@ fn undeploy_yields_404_and_unpublish_removes_record() {
 #[test]
 fn redeploy_at_runtime_updates_behaviour() {
     let (registry, provider, consumer) = networked_pair();
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     assert_eq!(
-        consumer.client().invoke(&service, "add", &[Value::Double(1.0), Value::Double(1.0)]).unwrap(),
+        consumer
+            .client()
+            .invoke(&service, "add", &[Value::Double(1.0), Value::Double(1.0)])
+            .unwrap(),
         Value::Double(2.0)
     );
     // Hot-swap the implementation (no restart — the container-less
@@ -97,7 +141,10 @@ fn redeploy_at_runtime_updates_behaviour() {
         )
         .unwrap();
     assert_eq!(
-        consumer.client().invoke(&service, "add", &[Value::Double(1.0), Value::Double(1.0)]).unwrap(),
+        consumer
+            .client()
+            .invoke(&service, "add", &[Value::Double(1.0), Value::Double(1.0)])
+            .unwrap(),
         Value::Double(-1.0)
     );
     registry.shutdown();
@@ -106,7 +153,10 @@ fn redeploy_at_runtime_updates_behaviour() {
 #[test]
 fn discovery_by_property_category() {
     let (registry, provider, consumer) = networked_pair();
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
     let hits = consumer
         .client()
         .locate(&ServiceQuery::any().with_property("suite", "integration"))
@@ -128,10 +178,16 @@ fn httpg_transport_requires_credentials() {
     let provider_binding = HttpUddiBinding::new(
         UddiClient::http(registry.uri()),
         EventBus::new(),
-        HttpUddiConfig { httpg: Some(credential.clone()), ..HttpUddiConfig::default() },
+        HttpUddiConfig {
+            httpg: Some(credential.clone()),
+            ..HttpUddiConfig::default()
+        },
     );
     let provider = Peer::with_binding(&provider_binding);
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
     let deployed = provider.server().deployed_service("Calc").unwrap();
     assert!(deployed.primary_endpoint().unwrap().starts_with("httpg://"));
 
@@ -139,11 +195,19 @@ fn httpg_transport_requires_credentials() {
     let good = Peer::with_binding(&HttpUddiBinding::new(
         UddiClient::http(registry.uri()),
         EventBus::new(),
-        HttpUddiConfig { httpg: Some(credential), ..HttpUddiConfig::default() },
+        HttpUddiConfig {
+            httpg: Some(credential),
+            ..HttpUddiConfig::default()
+        },
     ));
-    let service = good.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
-    let sum =
-        good.client().invoke(&service, "add", &[Value::Double(2.0), Value::Double(3.0)]).unwrap();
+    let service = good
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
+    let sum = good
+        .client()
+        .invoke(&service, "add", &[Value::Double(2.0), Value::Double(3.0)])
+        .unwrap();
     assert_eq!(sum, Value::Double(5.0));
 
     // A consumer with the wrong credential is rejected at the transport.
@@ -156,9 +220,15 @@ fn httpg_transport_requires_credentials() {
         },
     ));
     // Discovery already fails: the WSDL fetch is guarded too.
-    assert!(bad.client().locate(&ServiceQuery::by_name("Calc")).unwrap().is_empty());
+    assert!(bad
+        .client()
+        .locate(&ServiceQuery::by_name("Calc"))
+        .unwrap()
+        .is_empty());
     // Direct invocation with a stale LocatedService fails as well.
-    let err = bad.client().invoke(&service, "add", &[Value::Double(1.0), Value::Double(1.0)]);
+    let err = bad
+        .client()
+        .invoke(&service, "add", &[Value::Double(1.0), Value::Double(1.0)]);
     assert!(err.is_err());
     registry.shutdown();
 }
@@ -171,12 +241,20 @@ fn two_providers_same_name_both_located() {
             &registry.uri(),
             EventBus::new(),
         ));
-        provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+        provider
+            .server()
+            .deploy_and_publish(calc_descriptor(), calc_handler())
+            .unwrap();
         std::mem::forget(provider); // keep hosts alive for the assertion
     }
-    let consumer =
-        Peer::with_binding(&HttpUddiBinding::with_registry_uri(&registry.uri(), EventBus::new()));
-    let hits = consumer.client().locate(&ServiceQuery::by_name("Calc")).unwrap();
+    let consumer = Peer::with_binding(&HttpUddiBinding::with_registry_uri(
+        &registry.uri(),
+        EventBus::new(),
+    ));
+    let hits = consumer
+        .client()
+        .locate(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     assert_eq!(hits.len(), 2);
     let endpoints: std::collections::HashSet<_> = hits.iter().map(|h| h.endpoint.clone()).collect();
     assert_eq!(endpoints.len(), 2, "distinct providers");

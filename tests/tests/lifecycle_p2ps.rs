@@ -15,10 +15,16 @@ fn full_lifecycle_over_pipes() {
     let (provider, _pb) = p2ps_wspeer(provider_thread);
     let (consumer, _cb) = p2ps_wspeer(consumer_thread);
 
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(150));
 
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     assert!(service.endpoint.starts_with("p2ps://"));
     // WSDL came through the definition pipe with the full contract.
     assert_eq!(service.wsdl.descriptor.operations.len(), 4);
@@ -35,12 +41,21 @@ fn fault_travels_back_down_return_pipe() {
     let (_network, _rv, mut peers) = p2ps_star(2);
     let (provider, _pb) = p2ps_wspeer(peers.pop().unwrap());
     let (consumer, _cb) = p2ps_wspeer(peers.pop().unwrap());
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(150));
 
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     let err = consumer.client().invoke(&service, "fail", &[]).unwrap_err();
-    assert!(matches!(&err, WspError::Fault(f) if f.reason == "deliberate failure"), "{err:?}");
+    assert!(
+        matches!(&err, WspError::Fault(f) if f.reason == "deliberate failure"),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -48,12 +63,21 @@ fn one_way_is_fire_and_forget() {
     let (_network, _rv, mut peers) = p2ps_star(2);
     let (provider, _pb) = p2ps_wspeer(peers.pop().unwrap());
     let (consumer, _cb) = p2ps_wspeer(peers.pop().unwrap());
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(150));
 
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     let started = std::time::Instant::now();
-    let out = consumer.client().invoke(&service, "log", &[Value::string("note")]).unwrap();
+    let out = consumer
+        .client()
+        .invoke(&service, "log", &[Value::string("note")])
+        .unwrap();
     assert_eq!(out, Value::Null);
     // No return pipe wait: far below the request timeout.
     assert!(started.elapsed() < Duration::from_secs(1));
@@ -64,7 +88,10 @@ fn attribute_discovery_over_pipes() {
     let (_network, _rv, mut peers) = p2ps_star(2);
     let (provider, _pb) = p2ps_wspeer(peers.pop().unwrap());
     let (consumer, _cb) = p2ps_wspeer(peers.pop().unwrap());
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(150));
 
     let hit = consumer
@@ -85,10 +112,16 @@ fn departed_provider_times_out_not_hangs() {
     let (consumer, _cb) = p2ps_wspeer(peers.pop().unwrap());
     let provider_thread = peers.pop().unwrap();
     let (provider, _pb) = p2ps_wspeer(provider_thread);
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(150));
 
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
     // The provider (and its peer thread) leaves the network. The
     // binding's demultiplexer shuts down asynchronously; give it a
     // moment to disappear from the directory.
@@ -102,7 +135,10 @@ fn departed_provider_times_out_not_hangs() {
         .invoke(&service, "add", &[Value::Double(1.0), Value::Double(1.0)])
         .unwrap_err();
     assert!(matches!(err, WspError::Timeout { .. }), "{err:?}");
-    assert!(started.elapsed() >= Duration::from_secs(2), "waited out the timeout");
+    assert!(
+        started.elapsed() >= Duration::from_secs(2),
+        "waited out the timeout"
+    );
 }
 
 #[test]
@@ -110,16 +146,30 @@ fn unpublished_service_ages_out_of_discovery() {
     let (_network, _rv, mut peers) = p2ps_star(2);
     let (provider, _pb) = p2ps_wspeer(peers.pop().unwrap());
     let (consumer, _cb) = p2ps_wspeer(peers.pop().unwrap());
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(150));
-    assert_eq!(consumer.client().locate(&ServiceQuery::by_name("Calc")).unwrap().len(), 1);
+    assert_eq!(
+        consumer
+            .client()
+            .locate(&ServiceQuery::by_name("Calc"))
+            .unwrap()
+            .len(),
+        1
+    );
 
     provider.server().undeploy("Calc");
     // The rendezvous cache still holds the advert (soft state), but the
     // provider no longer serves the definition pipe, so the locate
     // returns nothing usable.
     let found = wait_until(Duration::from_secs(3), || {
-        consumer.client().locate(&ServiceQuery::by_name("Calc")).unwrap().is_empty()
+        consumer
+            .client()
+            .locate(&ServiceQuery::by_name("Calc"))
+            .unwrap()
+            .is_empty()
     });
     assert!(found, "undeployed service should stop being locatable");
 }
@@ -129,13 +179,20 @@ fn concurrent_invocations_multiplex_one_peer() {
     let (_network, _rv, mut peers) = p2ps_star(2);
     let (provider, _pb) = p2ps_wspeer(peers.pop().unwrap());
     let (consumer, _cb) = p2ps_wspeer(peers.pop().unwrap());
-    provider.server().deploy_and_publish(calc_descriptor(), calc_handler()).unwrap();
+    provider
+        .server()
+        .deploy_and_publish(calc_descriptor(), calc_handler())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(150));
-    let service = consumer.client().locate_one(&ServiceQuery::by_name("Calc")).unwrap();
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("Calc"))
+        .unwrap();
 
     // Several async invocations in flight at once over one peer; each
-    // gets its own return pipe and correlates independently.
-    let tokens: Vec<u64> = (0..6)
+    // gets its own return pipe and correlates independently through
+    // the dispatcher's table.
+    let handles: Vec<_> = (0..6)
         .map(|i| {
             consumer.client().invoke_async(
                 service.clone(),
@@ -144,17 +201,16 @@ fn concurrent_invocations_multiplex_one_peer() {
             )
         })
         .collect();
-    let listener = wsp_core::CollectingListener::new();
-    // Listener added after dispatch would miss events; instead poll by
-    // re-invoking synchronously to prove the channel still works, then
-    // check each async result via its own sync twin.
-    drop(listener);
-    for i in 0..6 {
-        let sum = consumer
-            .client()
-            .invoke(&service, "add", &[Value::Double(i as f64), Value::Double(100.0)])
-            .unwrap();
+    let mut tokens: Vec<u64> = handles.iter().map(|h| h.token()).collect();
+    tokens.sort_unstable();
+    tokens.dedup();
+    assert_eq!(
+        tokens.len(),
+        6,
+        "each in-flight call has a distinct correlation token"
+    );
+    for (i, handle) in handles.into_iter().enumerate() {
+        let sum = handle.wait().unwrap();
         assert_eq!(sum, Value::Double(100.0 + i as f64));
     }
-    assert_eq!(tokens.len(), 6);
 }

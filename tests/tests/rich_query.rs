@@ -14,7 +14,11 @@ fn tool(name: &str, domain: &str, tier: &str) -> ServiceDescriptor {
     ServiceDescriptor::new(name, format!("urn:rq:{name}"))
         .property("domain", domain)
         .property("tier", tier)
-        .operation(OperationDef::new("run").input("x", XsdType::Int).returns(XsdType::Int))
+        .operation(
+            OperationDef::new("run")
+                .input("x", XsdType::Int)
+                .returns(XsdType::Int),
+        )
 }
 
 fn handler() -> Arc<dyn ServiceHandler> {
@@ -48,11 +52,16 @@ fn rich_query_over_http_uddi() {
         tool("Thumbnailer", "media", "bronze"),
         tool("LegacyRenderer", "media", "gold"), // excluded by Not(name)
     ] {
-        provider.server().deploy_and_publish(descriptor, handler()).unwrap();
+        provider
+            .server()
+            .deploy_and_publish(descriptor, handler())
+            .unwrap();
     }
 
-    let consumer =
-        Peer::with_binding(&HttpUddiBinding::with_local_registry(registry, EventBus::new()));
+    let consumer = Peer::with_binding(&HttpUddiBinding::with_local_registry(
+        registry,
+        EventBus::new(),
+    ));
     let mut found: Vec<String> = consumer
         .client()
         .locate_where(&expr())
@@ -75,7 +84,10 @@ fn rich_query_over_p2ps() {
         tool("Thumbnailer", "media", "bronze"),
         tool("LegacyRenderer", "media", "gold"),
     ] {
-        provider.server().deploy_and_publish(descriptor, handler()).unwrap();
+        provider
+            .server()
+            .deploy_and_publish(descriptor, handler())
+            .unwrap();
     }
     std::thread::sleep(Duration::from_millis(200));
 

@@ -34,18 +34,28 @@ fn discovery_succeeds_across_200_peer_overlay() {
         handles[seeker_slot].enqueue_at(
             &mut net,
             Time::secs(2),
-            PeerCommand::Query { token: seeker_slot as u64, query: P2psQuery::by_name("Echo"), ttl: None },
+            PeerCommand::Query {
+                token: seeker_slot as u64,
+                query: P2psQuery::by_name("Echo"),
+                ttl: None,
+            },
         );
     }
     net.run_until(Time::secs(20));
 
     for seeker_slot in [55, 105, 155, 195] {
-        assert!(found(&handles[seeker_slot]), "seeker {seeker_slot} failed to discover");
+        assert!(
+            found(&handles[seeker_slot]),
+            "seeker {seeker_slot} failed to discover"
+        );
     }
     // Per-node load stays modest: total messages bounded well below
     // n^2 flooding.
     let sent = net.metrics().counter("simnet.sent");
-    assert!(sent < 6_000, "P2P discovery should not flood: {sent} messages");
+    assert!(
+        sent < 6_000,
+        "P2P discovery should not flood: {sent} messages"
+    );
 }
 
 #[test]
@@ -70,7 +80,11 @@ fn p2p_discovery_survives_rendezvous_churn() {
         seeker.enqueue_at(
             &mut net,
             Time::secs(10 + i * 10),
-            PeerCommand::Query { token: i, query: P2psQuery::by_name("Echo"), ttl: None },
+            PeerCommand::Query {
+                token: i,
+                query: P2psQuery::by_name("Echo"),
+                ttl: None,
+            },
         );
     }
     net.run_until(Time::secs(130));
@@ -100,7 +114,10 @@ fn central_registry_saturates_single_worker() {
 
     // Registry modelled as 5ms service time, single worker.
     let router = Router::new();
-    router.deploy("uddi", Arc::new(|_r: &Request| Response::ok("text/xml", "<serviceList/>")));
+    router.deploy(
+        "uddi",
+        Arc::new(|_r: &Request| Response::ok("text/xml", "<serviceList/>")),
+    );
     let mut net: SimNet<String> = SimNet::new(3);
     net.set_default_link(LinkSpec {
         latency: Dur::millis(1),
@@ -129,7 +146,9 @@ fn central_registry_saturates_single_worker() {
                 NodeEvent::Message { msg, .. } => {
                     if let Some((corr, _resp)) = self.client.accept(&msg) {
                         if let Some(at) = self.sent_at.remove(&corr) {
-                            self.latencies.borrow_mut().push((ctx.now() - at).as_micros());
+                            self.latencies
+                                .borrow_mut()
+                                .push((ctx.now() - at).as_micros());
                         }
                     }
                 }
@@ -140,7 +159,10 @@ fn central_registry_saturates_single_worker() {
 
     let run = |clients: usize, seed: u64| -> f64 {
         let router = Router::new();
-        router.deploy("uddi", Arc::new(|_r: &Request| Response::ok("text/xml", "<serviceList/>")));
+        router.deploy(
+            "uddi",
+            Arc::new(|_r: &Request| Response::ok("text/xml", "<serviceList/>")),
+        );
         let mut net: SimNet<String> = SimNet::new(seed);
         net.set_default_link(LinkSpec {
             latency: Dur::millis(1),

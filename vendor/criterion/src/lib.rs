@@ -1,0 +1,237 @@
+//! In-tree shim for the `criterion` API surface this workspace uses:
+//! groups, `bench_function` / `bench_with_input`, per-group sample
+//! size and timing knobs, byte throughput, and the
+//! `criterion_group!` / `criterion_main!` entry points.
+//!
+//! The build environment has no access to crates.io, so this is a
+//! deliberately small wall-clock runner: it reports mean / min / max
+//! per benchmark (plus MiB/s when a throughput is set) with no
+//! statistical analysis, HTML reports, or baseline comparison. Good
+//! enough to spot order-of-magnitude regressions, which is all the
+//! wsp-bench experiments need; the paper-facing tables come from the
+//! `harness` binary, not from these benches.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; create groups from it.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark name plus a parameter, e.g. `encode/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        self.report(&id.id, &bencher.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("  {}/{id}: no samples collected", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if !mean.is_zero() => {
+                let mib_s = bytes as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  {mib_s:.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {}/{id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples){rate}",
+            self.name,
+            samples.len(),
+        );
+    }
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up until the configured time elapses (at least once).
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+        }
+        // Collect up to sample_size samples, capped by measurement_time
+        // so slow routines don't stall the whole suite.
+        let measure_end = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= measure_end {
+                break;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 6)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_collects_samples() {
+        // The macro-generated runner must execute without panicking.
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("encode", 64).id, "encode/64");
+    }
+}

@@ -1,0 +1,378 @@
+//! In-tree shim for the `crossbeam-channel` API surface this workspace
+//! uses: multi-producer multi-consumer bounded/unbounded channels with
+//! blocking, timed and non-blocking send/receive.
+//!
+//! The build environment has no access to crates.io, so the channel is
+//! implemented over `std::sync` primitives: a `Mutex<VecDeque>` with
+//! two condition variables (not-empty for receivers, not-full for
+//! senders on bounded channels). Disconnection follows crossbeam
+//! semantics: receivers drain remaining messages after the last sender
+//! drops; senders fail once the last receiver drops.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(value) | TrySendError::Disconnected(value) => value,
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv`]: the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Create a bounded channel holding at most `capacity` messages.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    // Rendezvous (capacity 0) channels are not needed by this
+    // workspace; treat them as capacity 1 to keep send/recv simple.
+    channel(Some(capacity.max(1)))
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half; cloneable (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Block until the message is enqueued (or fail if all receivers
+    /// are gone).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.lock();
+        loop {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.capacity {
+                Some(capacity) if queue.len() >= capacity => {
+                    queue = self
+                        .shared
+                        .not_full
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+                _ => break,
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut queue = self.shared.lock();
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(capacity) = self.shared.capacity {
+            if queue.len() >= capacity {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender: wake receivers so they observe disconnection.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+/// The receiving half; cloneable (multi-consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives (or fail once the channel is empty
+    /// and all senders are gone).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.lock();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            queue = self
+                .shared
+                .not_empty
+                .wait_timeout(queue, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Block up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.lock();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _result) = self
+                .shared
+                .not_empty
+                .wait_timeout(queue, remaining.min(Duration::from_millis(50)))
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = guard;
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.lock();
+        if let Some(value) = queue.pop_front() {
+            drop(queue);
+            self.shared.not_full.notify_one();
+            return Ok(value);
+        }
+        if self.shared.senders.load(Ordering::SeqCst) == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last receiver: wake senders so they observe disconnection.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_try_send_fills_up() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn drop_of_senders_disconnects_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+
+    #[test]
+    fn drop_of_receivers_fails_send() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (tx, rx) = unbounded::<u32>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        drop(tx);
+    }
+
+    #[test]
+    fn multi_consumer_work_sharing() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let a = std::thread::spawn(move || {
+            let mut n = 0;
+            while rx.recv().is_ok() {
+                n += 1;
+            }
+            n
+        });
+        let b = std::thread::spawn(move || {
+            let mut n = 0;
+            while rx2.recv().is_ok() {
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(a.join().unwrap() + b.join().unwrap(), 100);
+    }
+
+    #[test]
+    fn blocking_send_resumes_when_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        sender.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+}

@@ -1,0 +1,826 @@
+//! In-tree shim for the `proptest` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides a miniature property-testing harness: deterministic
+//! per-test RNG, composable [`Strategy`] values (maps, filters,
+//! tuples, collections, regex-shaped strings, recursion, unions) and
+//! the `proptest!` / `prop_assert*` macros. There is no shrinking —
+//! failures report the generated value via the assertion message —
+//! but generation is seeded from the test name, so failures reproduce
+//! exactly on re-run.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Run-time configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator seeded from the test path, so every run
+    /// of a given test sees the same value stream (reproducible
+    /// failures without persisted regression files).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> TestRng {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            name.hash(&mut hasher);
+            TestRng {
+                state: hasher.finish() | 1,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            // SplitMix64: tiny, full-period, and plenty for test data.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// `true` roughly `num` times in `denom`.
+        pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+            self.below(denom) < num
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no shrinking: `generate` produces one
+/// value per call and test macros report failures with the plain
+/// assertion message.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard values failing `pred` (panics if the predicate rejects
+    /// essentially everything).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Build recursive structures: each of `depth` layers chooses
+    /// between the base strategy and one application of `recurse` to
+    /// the layer below. `desired_size`/`expected_branch_size` are
+    /// accepted for API compatibility but not used.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            strat = Union::new(vec![base.clone(), recurse(strat).boxed()]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy { .. }")
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let candidate = self.inner.generate(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.arms.len() as u64) as usize;
+        self.arms[index].generate(rng)
+    }
+}
+
+/// Values with a canonical "any value of this type" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // Bias towards boundary values, which find edge bugs
+                // far more often than uniform sampling does.
+                if rng.chance(1, 8) {
+                    match rng.below(4) {
+                        0 => 0 as $ty,
+                        1 => 1 as $ty,
+                        2 => <$ty>::MIN,
+                        _ => <$ty>::MAX,
+                    }
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        if rng.chance(1, 8) {
+            [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+                f64::MIN_POSITIVE,
+            ][rng.below(8) as usize]
+        } else {
+            // Any bit pattern: exercises subnormals, NaN payloads, the lot.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + offset) as $ty
+            }
+        })*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A `&'static str` is itself a strategy: a regex (subset) describing
+/// the strings to generate, as in real proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::compile(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "collection::vec needs a non-empty size range"
+        );
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.chance(1, 4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+
+    /// Error from [`string_regex`] on unsupported or malformed patterns.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Strings matching a regex subset: literals, `[...]` classes with
+    /// ranges and escapes, and the quantifiers `{n}`, `{m,n}`, `?`,
+    /// `*`, `+`. Enough for every pattern in this workspace; anything
+    /// else is a parse error, not silent misgeneration.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        compile(pattern)
+    }
+
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    struct Piece {
+        /// Inclusive codepoint ranges the piece may draw from.
+        ranges: Vec<(u32, u32)>,
+        min: u32,
+        max: u32,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+                let total: u64 = piece
+                    .ranges
+                    .iter()
+                    .map(|(lo, hi)| (hi - lo + 1) as u64)
+                    .sum();
+                for _ in 0..count {
+                    let mut index = rng.below(total);
+                    for &(lo, hi) in &piece.ranges {
+                        let size = (hi - lo + 1) as u64;
+                        if index < size {
+                            out.push(
+                                char::from_u32(lo + index as u32).expect("ranges hold valid chars"),
+                            );
+                            break;
+                        }
+                        index -= size;
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    pub(super) fn compile(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '[' => {
+                    let (ranges, next) = parse_class(&chars, i + 1)
+                        .ok_or_else(|| Error(format!("unterminated class in {pattern:?}")))?;
+                    i = next;
+                    ranges
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?;
+                    i += 2;
+                    let c = unescape(c);
+                    vec![(c as u32, c as u32)]
+                }
+                '.' => {
+                    i += 1;
+                    vec![(' ' as u32, '~' as u32)]
+                }
+                c if "()|^$*+?{}".contains(c) => {
+                    return Err(Error(format!(
+                        "unsupported regex construct {c:?} in {pattern:?}"
+                    )));
+                }
+                c => {
+                    i += 1;
+                    vec![(c as u32, c as u32)]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern)?;
+            pieces.push(Piece { ranges, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    /// Parse a `[...]` body starting just past the `[`; returns the
+    /// codepoint ranges and the index just past the closing `]`.
+    fn parse_class(chars: &[char], mut i: usize) -> Option<(Vec<(u32, u32)>, usize)> {
+        let mut ranges = Vec::new();
+        while i < chars.len() {
+            match chars[i] {
+                ']' => {
+                    if ranges.is_empty() {
+                        return None;
+                    }
+                    return Some((ranges, i + 1));
+                }
+                c => {
+                    let lo = if c == '\\' {
+                        i += 1;
+                        unescape(*chars.get(i)?)
+                    } else {
+                        c
+                    };
+                    // `a-z` is a range unless the `-` is last in the class.
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let mut j = i + 2;
+                        let hi = if chars[j] == '\\' {
+                            j += 1;
+                            unescape(*chars.get(j)?)
+                        } else {
+                            chars[j]
+                        };
+                        if (hi as u32) < (lo as u32) {
+                            return None;
+                        }
+                        ranges.push((lo as u32, hi as u32));
+                        i = j + 1;
+                    } else {
+                        ranges.push((lo as u32, lo as u32));
+                        i += 1;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> Result<(u32, u32), Error> {
+        match chars.get(*i) {
+            Some('?') => {
+                *i += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                *i += 1;
+                Ok((0, 8))
+            }
+            Some('+') => {
+                *i += 1;
+                Ok((1, 8))
+            }
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error(format!("unterminated quantifier in {pattern:?}")))?
+                    + *i;
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                let parse = |s: &str| {
+                    s.parse::<u32>()
+                        .map_err(|_| Error(format!("bad quantifier bound {s:?} in {pattern:?}")))
+                };
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    None => {
+                        let n = parse(&body)?;
+                        (n, n)
+                    }
+                };
+                if max < min {
+                    return Err(Error(format!(
+                        "inverted quantifier {{{body}}} in {pattern:?}"
+                    )));
+                }
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($config:expr)] $($rest:tt)* } => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    { ($config:expr) } => {};
+    { ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    } => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// No shrinking in this shim, so these are plain assertions; the
+/// deterministic per-test seed makes failures reproducible.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Skip the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_shapes_are_respected() {
+        let mut rng = TestRng::for_test("regex_shapes");
+        let ncname = crate::string::string_regex("[A-Za-z_][A-Za-z0-9_.-]{0,8}").unwrap();
+        for _ in 0..200 {
+            let s = ncname.generate(&mut rng);
+            assert!((1..=9).contains(&s.chars().count()), "bad length: {s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(
+                first.is_ascii_alphabetic() || first == '_',
+                "bad start: {s:?}"
+            );
+        }
+        let printable = crate::string::string_regex("[ -~éü€\n\t]{1,24}").unwrap();
+        for _ in 0..200 {
+            let s = printable.generate(&mut rng);
+            assert!(!s.is_empty() && s.chars().count() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || "éü€\n\t".contains(c)));
+        }
+    }
+
+    #[test]
+    fn unsupported_regex_is_an_error_not_garbage() {
+        assert!(crate::string::string_regex("(a|b)+").is_err());
+        assert!(crate::string::string_regex("[unterminated").is_err());
+    }
+
+    #[test]
+    fn composite_strategies_generate() {
+        let mut rng = TestRng::for_test("composite");
+        let strat = (
+            any::<u64>(),
+            crate::option::of(Just(7u8)),
+            crate::collection::vec(0usize..5, 1..4),
+        )
+            .prop_map(|(n, opt, v)| (n, opt, v.len()));
+        let mut saw_none = false;
+        for _ in 0..100 {
+            let (_, opt, len) = strat.generate(&mut rng);
+            assert!((1..4).contains(&len));
+            saw_none |= opt.is_none();
+        }
+        assert!(saw_none, "option::of should sometimes produce None");
+    }
+
+    #[test]
+    fn union_and_filter_compose() {
+        let mut rng = TestRng::for_test("union_filter");
+        let strat = prop_oneof![Just(1u32), (2u32..100).prop_filter("even", |n| n % 2 == 0),];
+        let mut ones = 0;
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || v % 2 == 0);
+            ones += u32::from(v == 1);
+        }
+        assert!(ones > 10, "union arms should both fire (got {ones} ones)");
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = TestRng::for_test("recursion");
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 32, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        for _ in 0..50 {
+            assert!(depth(&strat.generate(&mut rng)) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn the_macro_itself_works(n in 0u32..10, s in "[a-z]{1,3}") {
+            prop_assume!(n != 3);
+            prop_assert!(n < 10);
+            prop_assert_ne!(n, 3);
+            prop_assert_eq!(s.len(), s.chars().count(), "ascii only: {}", s);
+        }
+    }
+}
