@@ -1,0 +1,23 @@
+//! E9 — time the goodput-under-loss simulations (both policies).
+//! The goodput table comes from the harness binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsp_bench::e9;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_loss_goodput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("single_20pct", |b| {
+        b.iter(|| black_box(e9::run(black_box(0.2), false, 15, 7)))
+    });
+    group.bench_function("retry_20pct", |b| {
+        b.iter(|| black_box(e9::run(black_box(0.2), true, 15, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! ```
 
 use wsp_bench::common::render_table;
-use wsp_bench::{a1, a2, e1, e2, e3, e4, e5, e6, e7, e8};
+use wsp_bench::{a1, a2, e1, e2, e3, e4, e5, e6, e7, e8, e9};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
@@ -235,6 +235,39 @@ fn main() {
         render_table(
             "E8  binding composition: locate+invoke modes",
             &["mode", "locate ms", "invoke ms", "result"],
+            &rows,
+        )
+    );
+
+    // E9 — goodput under loss, with and without retry.
+    let e9_rows = if quick {
+        vec![e9::run(0.2, false, 15, seed), e9::run(0.2, true, 15, seed)]
+    } else {
+        e9::sweep(40, seed)
+    };
+    let rows: Vec<Vec<String>> = e9_rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.loss * 100.0),
+                if r.retry { "retry" } else { "single" }.to_string(),
+                format!("{}/{}", r.completed, r.offered),
+                r.wire_attempts.to_string(),
+                format!("{:.1}", r.goodput_cps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E9  goodput vs link loss, single-attempt vs retry schedule",
+            &[
+                "loss",
+                "policy",
+                "completed",
+                "wire attempts",
+                "goodput c/s"
+            ],
             &rows,
         )
     );

@@ -1,7 +1,7 @@
 //! # wsp-bench
 //!
 //! The experiment harness for the WSPeer reproduction. Each module
-//! implements one experiment from the index in `DESIGN.md` (E1–E8);
+//! implements one experiment from the index in `DESIGN.md` (E1–E9);
 //! the `harness` binary prints every table, and one Criterion bench per
 //! experiment measures its core operation. `EXPERIMENTS.md` records the
 //! observed numbers against the paper's qualitative predictions.
@@ -24,3 +24,4 @@ pub mod e5;
 pub mod e6;
 pub mod e7;
 pub mod e8;
+pub mod e9;

@@ -108,12 +108,14 @@ impl Shared {
                 })?;
             credential.apply(&mut request);
         }
+        // Wire-level failures are `Transport`: the resilience layer may
+        // retry them or fail over, unlike semantic `Invoke` errors.
         if self.config.keep_alive {
             self.pool
                 .call(&uri.host, uri.port, request)
-                .map_err(|e| WspError::Invoke(e.to_string()))
+                .map_err(|e| WspError::Transport(e.to_string()))
         } else {
-            http_call(&uri.host, uri.port, request).map_err(|e| WspError::Invoke(e.to_string()))
+            http_call(&uri.host, uri.port, request).map_err(|e| WspError::Transport(e.to_string()))
         }
     }
 }
@@ -468,10 +470,14 @@ impl Invoker for HttpInvoker {
             return Ok(Value::Null);
         }
         if !response.is_success() && response.status != 500 {
-            return Err(WspError::Invoke(format!(
-                "endpoint answered HTTP {}",
-                response.status
-            )));
+            let why = format!("endpoint answered HTTP {}", response.status);
+            // 5xx (other than SOAP's fault-bearing 500) means the server
+            // side broke — transient, worth a retry. 4xx is our fault.
+            return Err(if response.status >= 500 {
+                WspError::Transport(why)
+            } else {
+                WspError::Invoke(why)
+            });
         }
         let envelope = Envelope::from_xml(&response.body_str())
             .map_err(|e| WspError::Invoke(format!("unparseable response: {e}")))?;

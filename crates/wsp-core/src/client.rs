@@ -12,10 +12,17 @@ use crate::components::{Invoker, ServiceLocator};
 use crate::dispatch::{CallHandle, Dispatcher};
 use crate::endpoint::LocatedService;
 use crate::error::WspError;
-use crate::events::{ClientMessageEvent, DiscoveryMessageEvent, EventBus};
+use crate::events::{
+    ClientMessageEvent, DiscoveryMessageEvent, EventBus, ResilienceAction, ResilienceMessageEvent,
+};
+use crate::health::{Admission, EndpointHealth};
 use crate::query::{QueryExpr, ServiceQuery};
+use crate::resilience::ResiliencePolicy;
 use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use wsp_wsdl::Value;
 
 /// The `Client` node: owns a pluggable [`ServiceLocator`] and a set of
@@ -32,6 +39,12 @@ pub struct Client {
     invokers: RwLock<Vec<Arc<dyn Invoker>>>,
     events: EventBus,
     dispatcher: Arc<Dispatcher>,
+    /// Default per-call policy; [`ResiliencePolicy::none`] preserves
+    /// the legacy single-attempt behaviour.
+    policy: RwLock<ResiliencePolicy>,
+    /// Per-endpoint circuit breakers, shared across all this client's
+    /// calls (and visible via [`crate::Peer::health`]).
+    health: Arc<EndpointHealth>,
 }
 
 impl Client {
@@ -48,12 +61,31 @@ impl Client {
             invokers: RwLock::new(Vec::new()),
             events,
             dispatcher,
+            policy: RwLock::new(ResiliencePolicy::none()),
+            health: Arc::new(EndpointHealth::default()),
         })
     }
 
     /// The dispatch core this client submits every call to.
     pub fn dispatcher(&self) -> &Arc<Dispatcher> {
         &self.dispatcher
+    }
+
+    /// The per-endpoint health registry consulted before each attempt.
+    pub fn health(&self) -> &Arc<EndpointHealth> {
+        &self.health
+    }
+
+    /// Install the default [`ResiliencePolicy`] applied by
+    /// [`Client::invoke`]/[`Client::invoke_async`]. Calls already
+    /// submitted keep the policy they captured.
+    pub fn set_resilience_policy(&self, policy: ResiliencePolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// The current default policy.
+    pub fn resilience_policy(&self) -> ResiliencePolicy {
+        self.policy.read().clone()
     }
 
     /// Plug in (or replace) the locator — e.g. swap the UDDI locator
@@ -141,36 +173,50 @@ impl Client {
     /// [`CallHandle`] immediately. Completion also arrives as a
     /// [`ClientMessageEvent`] carrying the handle's token. This is the
     /// mode "needed within a P2P environment" where nodes are
-    /// unreliable.
+    /// unreliable. Applies the client's default [`ResiliencePolicy`].
     pub fn invoke_async(
         &self,
         service: LocatedService,
         operation: impl Into<String>,
         args: Vec<Value>,
     ) -> CallHandle<Result<Value, WspError>> {
+        self.invoke_async_with_policy(service, operation, args, self.resilience_policy())
+    }
+
+    /// Asynchronous invocation under an explicit per-call policy: the
+    /// job retries transient failures with jittered exponential
+    /// backoff, consults the endpoint's circuit breaker before every
+    /// attempt, fails over to the next matching endpoint via the
+    /// locator, and stops at the policy's deadline. Degradation is
+    /// surfaced as [`ResilienceMessageEvent`]s carrying the handle's
+    /// token.
+    pub fn invoke_async_with_policy(
+        &self,
+        service: LocatedService,
+        operation: impl Into<String>,
+        args: Vec<Value>,
+        policy: ResiliencePolicy,
+    ) -> CallHandle<Result<Value, WspError>> {
         let token = self.dispatcher.next_token();
         let operation = operation.into();
         let invokers: Vec<Arc<dyn Invoker>> = self.invokers.read().clone();
+        let locator = self.locator.read().clone();
         let events = self.events.clone();
+        let health = self.health.clone();
+        // The deadline clock starts at submission, so queueing time
+        // counts against the call's budget.
+        let deadline = policy.deadline.map(|d| Instant::now() + d);
         let job = move || {
-            let result = if !service.has_operation(&operation) {
-                Err(WspError::NoSuchOperation {
-                    service: service.name().to_owned(),
-                    operation: operation.clone(),
-                })
-            } else {
-                match invokers.iter().find(|i| i.handles(&service.endpoint)) {
-                    Some(invoker) => invoker.invoke(&service, &operation, &args),
-                    None => Err(WspError::NoBindingFor {
-                        scheme: service
-                            .endpoint
-                            .split("://")
-                            .next()
-                            .unwrap_or("?")
-                            .to_owned(),
-                    }),
-                }
+            let attempts = ResilientAttempts {
+                policy: &policy,
+                health: &health,
+                invokers: &invokers,
+                locator: locator.as_ref(),
+                events: &events,
+                token,
+                deadline,
             };
+            let result = attempts.run(service.clone(), &operation, &args);
             events.fire_client(&ClientMessageEvent {
                 token,
                 service: service.name().to_owned(),
@@ -195,6 +241,185 @@ impl Client {
     ) -> Result<Value, WspError> {
         self.invoke_async(service.clone(), operation, args.to_vec())
             .wait()
+    }
+
+    /// Synchronous invocation under an explicit per-call policy.
+    pub fn invoke_with_policy(
+        &self,
+        service: &LocatedService,
+        operation: &str,
+        args: &[Value],
+        policy: ResiliencePolicy,
+    ) -> Result<Value, WspError> {
+        self.invoke_async_with_policy(service.clone(), operation, args.to_vec(), policy)
+            .wait()
+    }
+}
+
+/// The retry/failover loop one invoke job runs through. Borrowed
+/// context keeps the dispatched closure small.
+struct ResilientAttempts<'a> {
+    policy: &'a ResiliencePolicy,
+    health: &'a EndpointHealth,
+    invokers: &'a [Arc<dyn Invoker>],
+    locator: Option<&'a Arc<dyn ServiceLocator>>,
+    events: &'a EventBus,
+    token: u64,
+    deadline: Option<Instant>,
+}
+
+impl ResilientAttempts<'_> {
+    fn fire(&self, service: &LocatedService, action: ResilienceAction) {
+        self.events.fire_resilience(&ResilienceMessageEvent {
+            token: self.token,
+            service: service.name().to_owned(),
+            endpoint: service.endpoint.clone(),
+            action,
+        });
+    }
+
+    /// One transport attempt against the current endpoint, gated by its
+    /// circuit breaker.
+    fn attempt(
+        &self,
+        service: &LocatedService,
+        operation: &str,
+        args: &[Value],
+    ) -> Result<Value, WspError> {
+        let breaker = self.health.breaker(&service.endpoint);
+        let admission = breaker.try_acquire(Instant::now());
+        if admission == Admission::Rejected {
+            return Err(WspError::CircuitOpen {
+                endpoint: service.endpoint.clone(),
+            });
+        }
+        if admission == Admission::Probe {
+            self.fire(service, ResilienceAction::BreakerProbe);
+        }
+        let result = match self.invokers.iter().find(|i| i.handles(&service.endpoint)) {
+            Some(invoker) => invoker.invoke(service, operation, args),
+            None => Err(WspError::NoBindingFor {
+                scheme: service
+                    .endpoint
+                    .split("://")
+                    .next()
+                    .unwrap_or("?")
+                    .to_owned(),
+            }),
+        };
+        match &result {
+            Ok(_) => {
+                if breaker.on_success(Instant::now()) {
+                    self.fire(service, ResilienceAction::BreakerRecovered);
+                }
+            }
+            Err(e) if e.counts_against_endpoint() => {
+                if breaker.on_failure(Instant::now()) {
+                    self.fire(service, ResilienceAction::BreakerTripped);
+                }
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// On a retryable failure, re-resolve through the locator and pick
+    /// the next matching endpoint not yet tried and not circuit-open.
+    fn failover_target(
+        &self,
+        service: &LocatedService,
+        operation: &str,
+        tried: &[String],
+    ) -> Option<LocatedService> {
+        let locator = self.locator?;
+        let candidates = locator
+            .locate(&ServiceQuery::by_name(service.name()))
+            .ok()?;
+        let now = Instant::now();
+        candidates.into_iter().find(|c| {
+            c.endpoint != service.endpoint
+                && !tried.contains(&c.endpoint)
+                && c.has_operation(operation)
+                && self.invokers.iter().any(|i| i.handles(&c.endpoint))
+                && self.health.is_admitting(&c.endpoint, now)
+        })
+    }
+
+    fn run(
+        &self,
+        mut service: LocatedService,
+        operation: &str,
+        args: &[Value],
+    ) -> Result<Value, WspError> {
+        if !service.has_operation(operation) {
+            return Err(WspError::NoSuchOperation {
+                service: service.name().to_owned(),
+                operation: operation.to_owned(),
+            });
+        }
+        // Jitter is deterministic per (policy seed, call token), so a
+        // rerun of the same call sequence reproduces its delays.
+        let mut rng = StdRng::seed_from_u64(self.policy.jitter_seed ^ self.token);
+        let mut tried: Vec<String> = Vec::new();
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let error = match self.attempt(&service, operation, args) {
+                Ok(value) => return Ok(value),
+                Err(e) => e,
+            };
+            let will_retry = self.policy.is_retryable(&error) && attempt < self.policy.max_attempts;
+            self.fire(
+                &service,
+                ResilienceAction::AttemptFailed {
+                    attempt,
+                    error: error.to_string(),
+                    will_retry,
+                },
+            );
+            if !will_retry {
+                return Err(error);
+            }
+            if !tried.contains(&service.endpoint) {
+                tried.push(service.endpoint.clone());
+            }
+            if let Some(next) = self.failover_target(&service, operation, &tried) {
+                self.fire(
+                    &service,
+                    ResilienceAction::FailedOver {
+                        to: next.endpoint.clone(),
+                    },
+                );
+                service = next;
+            }
+            let delay = self
+                .policy
+                .backoff_before(attempt + 1)
+                .map(|d| self.policy.jittered(d, &mut rng))
+                .unwrap_or(Duration::ZERO);
+            if let Some(deadline) = self.deadline {
+                if Instant::now() + delay >= deadline {
+                    self.fire(
+                        &service,
+                        ResilienceAction::DeadlineExceeded {
+                            after_attempts: attempt,
+                        },
+                    );
+                    let millis = self
+                        .policy
+                        .deadline
+                        .map(|d| d.as_millis() as u64)
+                        .unwrap_or(0);
+                    return Err(WspError::Timeout {
+                        what: "call deadline",
+                        millis,
+                    });
+                }
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
     }
 }
 
@@ -346,6 +571,263 @@ mod tests {
             .client_message_for(token)
             .expect("error still fires an event");
         assert!(event.result.is_err());
+    }
+
+    /// Fails with a transport error for the first `failures` calls,
+    /// then echoes. Counts invocations.
+    struct FlakyInvoker {
+        failures: u32,
+        calls: std::sync::atomic::AtomicU32,
+    }
+    impl FlakyInvoker {
+        fn new(failures: u32) -> Self {
+            FlakyInvoker {
+                failures,
+                calls: std::sync::atomic::AtomicU32::new(0),
+            }
+        }
+    }
+    impl Invoker for FlakyInvoker {
+        fn invoke(
+            &self,
+            _service: &LocatedService,
+            _operation: &str,
+            args: &[Value],
+        ) -> Result<Value, WspError> {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n < self.failures {
+                Err(WspError::Transport("connection reset".into()))
+            } else {
+                Ok(args.first().cloned().unwrap_or(Value::Null))
+            }
+        }
+        fn handles(&self, endpoint: &str) -> bool {
+            endpoint.starts_with("test://")
+        }
+        fn kind(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    fn service_at(endpoint: &str) -> LocatedService {
+        LocatedService::new(
+            WsdlDocument::new(ServiceDescriptor::echo(), vec![]),
+            endpoint,
+            BindingKind::HttpUddi,
+        )
+    }
+
+    /// A fast-retrying policy: no real sleeps, no deadline.
+    fn instant_policy(max_attempts: u32) -> ResiliencePolicy {
+        ResiliencePolicy::retrying(max_attempts).with_backoff(Duration::ZERO, 1.0, Duration::ZERO)
+    }
+
+    #[test]
+    fn retry_policy_recovers_from_transient_failures() {
+        let events = EventBus::new();
+        let listener = CollectingListener::new();
+        events.add_listener(listener.clone());
+        let client = Client::new(events);
+        let flaky = Arc::new(FlakyInvoker::new(2));
+        client.add_invoker(flaky.clone());
+        let handle = client.invoke_async_with_policy(
+            test_service(),
+            "echoString",
+            vec![Value::string("again")],
+            instant_policy(5),
+        );
+        let token = handle.token();
+        assert_eq!(handle.wait().unwrap(), Value::string("again"));
+        assert_eq!(flaky.calls.load(std::sync::atomic::Ordering::SeqCst), 3);
+        client.dispatcher().flush();
+        let seen = listener.resilience_for(token);
+        assert_eq!(seen.len(), 2, "one event per failed attempt");
+        for (i, event) in seen.iter().enumerate() {
+            assert!(matches!(
+                &event.action,
+                ResilienceAction::AttemptFailed { attempt, will_retry: true, .. }
+                    if *attempt == (i + 1) as u32
+            ));
+        }
+    }
+
+    #[test]
+    fn default_policy_keeps_single_attempt_semantics() {
+        let events = EventBus::new();
+        let client = Client::new(events);
+        let flaky = Arc::new(FlakyInvoker::new(1));
+        client.add_invoker(flaky.clone());
+        let err = client
+            .invoke(&test_service(), "echoString", &[Value::string("x")])
+            .unwrap_err();
+        assert!(matches!(err, WspError::Transport(_)));
+        assert_eq!(flaky.calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        struct BadArgInvoker;
+        impl Invoker for BadArgInvoker {
+            fn invoke(
+                &self,
+                _service: &LocatedService,
+                _operation: &str,
+                _args: &[Value],
+            ) -> Result<Value, WspError> {
+                Err(WspError::Invoke("malformed argument".into()))
+            }
+            fn handles(&self, endpoint: &str) -> bool {
+                endpoint.starts_with("test://")
+            }
+            fn kind(&self) -> &'static str {
+                "bad"
+            }
+        }
+        let events = EventBus::new();
+        let listener = CollectingListener::new();
+        events.add_listener(listener.clone());
+        let client = Client::new(events);
+        client.add_invoker(Arc::new(BadArgInvoker));
+        let handle = client.invoke_async_with_policy(
+            test_service(),
+            "echoString",
+            vec![],
+            instant_policy(5),
+        );
+        let token = handle.token();
+        assert!(matches!(handle.wait(), Err(WspError::Invoke(_))));
+        client.dispatcher().flush();
+        let seen = listener.resilience_for(token);
+        assert_eq!(seen.len(), 1);
+        assert!(matches!(
+            &seen[0].action,
+            ResilienceAction::AttemptFailed {
+                will_retry: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn consecutive_failures_trip_the_breaker() {
+        // One endpoint, no failover targets: the breaker's threshold
+        // (3) trips mid-call and the final attempt is rejected at the
+        // breaker, not on the wire.
+        let events = EventBus::new();
+        let listener = CollectingListener::new();
+        events.add_listener(listener.clone());
+        let client = Client::new(events);
+        let flaky = Arc::new(FlakyInvoker::new(u32::MAX));
+        client.add_invoker(flaky.clone());
+        let handle = client.invoke_async_with_policy(
+            test_service(),
+            "echoString",
+            vec![Value::string("x")],
+            instant_policy(4),
+        );
+        let token = handle.token();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, WspError::CircuitOpen { .. }));
+        assert_eq!(
+            flaky.calls.load(std::sync::atomic::Ordering::SeqCst),
+            3,
+            "fourth attempt never reached the wire"
+        );
+        client.dispatcher().flush();
+        let actions = listener.resilience_for(token);
+        assert!(actions
+            .iter()
+            .any(|e| matches!(e.action, ResilienceAction::BreakerTripped)));
+    }
+
+    #[test]
+    fn retryable_failure_fails_over_to_next_endpoint() {
+        // Endpoint A always fails at the transport; endpoint B echoes.
+        // The locator advertises both, so attempt 2 lands on B.
+        struct SplitInvoker;
+        impl Invoker for SplitInvoker {
+            fn invoke(
+                &self,
+                service: &LocatedService,
+                _operation: &str,
+                args: &[Value],
+            ) -> Result<Value, WspError> {
+                if service.endpoint.contains("primary") {
+                    Err(WspError::Transport("unreachable".into()))
+                } else {
+                    Ok(args.first().cloned().unwrap_or(Value::Null))
+                }
+            }
+            fn handles(&self, endpoint: &str) -> bool {
+                endpoint.starts_with("test://")
+            }
+            fn kind(&self) -> &'static str {
+                "split"
+            }
+        }
+        let events = EventBus::new();
+        let listener = CollectingListener::new();
+        events.add_listener(listener.clone());
+        let client = Client::new(events);
+        client.add_invoker(Arc::new(SplitInvoker));
+        let primary = service_at("test://primary/Echo");
+        let backup = service_at("test://backup/Echo");
+        client.set_locator(Arc::new(FixedLocator(vec![primary.clone(), backup])));
+        let handle = client.invoke_async_with_policy(
+            primary,
+            "echoString",
+            vec![Value::string("over")],
+            instant_policy(3),
+        );
+        let token = handle.token();
+        assert_eq!(handle.wait().unwrap(), Value::string("over"));
+        client.dispatcher().flush();
+        let actions = listener.resilience_for(token);
+        assert!(
+            actions.iter().any(|e| matches!(
+                &e.action,
+                ResilienceAction::FailedOver { to } if to == "test://backup/Echo"
+            )),
+            "failover event names the new endpoint: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_bounds_the_retry_loop() {
+        let events = EventBus::new();
+        let listener = CollectingListener::new();
+        events.add_listener(listener.clone());
+        let client = Client::new(events);
+        client.add_invoker(Arc::new(FlakyInvoker::new(u32::MAX)));
+        // Backoff (20ms per retry) blows through a 30ms deadline well
+        // before the attempt budget is spent.
+        let policy = ResiliencePolicy::retrying(50)
+            .with_backoff(Duration::from_millis(20), 1.0, Duration::from_millis(20))
+            .with_jitter(0.0)
+            .with_deadline(Duration::from_millis(30));
+        let handle = client.invoke_async_with_policy(
+            test_service(),
+            "echoString",
+            vec![Value::string("x")],
+            policy,
+        );
+        let token = handle.token();
+        let err = handle.wait().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WspError::Timeout {
+                    what: "call deadline",
+                    millis: 30
+                }
+            ),
+            "got {err:?}"
+        );
+        client.dispatcher().flush();
+        let actions = listener.resilience_for(token);
+        assert!(actions
+            .iter()
+            .any(|e| matches!(e.action, ResilienceAction::DeadlineExceeded { .. })));
     }
 
     #[test]

@@ -255,6 +255,40 @@ impl<T: Send + 'static> CallHandle<T> {
         }
     }
 
+    /// Deadline-bounded wait that does NOT help run queued jobs: the
+    /// waiter only parks on the completion condvar, so even if the
+    /// awaited job itself is slow the deadline is honoured. Must be
+    /// called from an application thread, not a pool worker (a worker
+    /// parked here is one worker fewer to run the job it waits for).
+    fn wait_until_passive(self, deadline: Instant) -> Result<T, CallHandle<T>> {
+        loop {
+            {
+                let mut slot = self.state.slot.lock();
+                match std::mem::replace(&mut *slot, Slot::Taken) {
+                    Slot::Ready(value) => {
+                        drop(slot);
+                        self.inner.settle(self.token);
+                        return Ok(value);
+                    }
+                    Slot::Poisoned(message) => {
+                        drop(slot);
+                        self.inner.settle(self.token);
+                        panic!("call {} panicked: {message}", self.token);
+                    }
+                    other => *slot = other,
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    drop(slot);
+                    return Err(self);
+                }
+                if matches!(*slot, Slot::Pending) {
+                    self.state.cv.wait_for(&mut slot, deadline - now);
+                }
+            }
+        }
+    }
+
     /// Abandon the call. A result arriving later is dropped. Returns
     /// `false` if the call had already completed.
     pub fn cancel(self) -> bool {
@@ -267,6 +301,33 @@ impl<T: Send + 'static> CallHandle<T> {
             true
         } else {
             false
+        }
+    }
+}
+
+impl<T: Send + 'static> CallHandle<Result<T, WspError>> {
+    /// Deadline-bounded wait for a fallible call: the never-hang form.
+    /// On timeout the call is cancelled (a late result is dropped) and
+    /// a classified [`WspError::Timeout`] comes back instead of the
+    /// handle — callers waiting on unreliable peers get an error they
+    /// can retry or report, not a stranded thread. The fault-injection
+    /// suite uses this as its watchdog.
+    ///
+    /// Unlike [`CallHandle::wait_timeout`] this wait does not help run
+    /// queued jobs — helping could pull the slow job being watched onto
+    /// this very thread and blow the deadline. Call it from application
+    /// threads, not from inside a pool worker.
+    pub fn wait_within(self, timeout: Duration) -> Result<T, WspError> {
+        let millis = timeout.as_millis() as u64;
+        match self.wait_until_passive(Instant::now() + timeout) {
+            Ok(result) => result,
+            Err(handle) => {
+                handle.cancel();
+                Err(WspError::Timeout {
+                    what: "call deadline",
+                    millis,
+                })
+            }
         }
     }
 }
@@ -661,6 +722,22 @@ mod tests {
         };
         assert!(completer.complete(7));
         assert_eq!(handle.wait(), 7);
+    }
+
+    #[test]
+    fn wait_within_times_out_with_classified_error_and_cancels() {
+        let d = small();
+        let (handle, completer) = d.register::<Result<u32, WspError>>(d.next_token());
+        let err = handle
+            .wait_within(Duration::from_millis(20))
+            .expect_err("nothing will complete this call");
+        assert!(matches!(err, WspError::Timeout { millis: 20, .. }));
+        // The timed-out call was cancelled: a late completion is dropped.
+        assert!(!completer.complete(Ok(5)));
+        assert_eq!(d.stats().cancelled, 1);
+        // And a call that does complete comes back as its own result.
+        let ok = d.submit(|| Ok::<u32, WspError>(3)).unwrap();
+        assert_eq!(ok.wait_within(Duration::from_secs(5)).unwrap(), 3);
     }
 
     #[test]

@@ -14,8 +14,18 @@ pub enum WspError {
     Deploy(String),
     /// Publication failed.
     Publish(String),
-    /// Client-side invocation error (validation, transport, decoding).
+    /// Client-side invocation error (validation, decoding, semantic
+    /// misuse). Permanent for retry purposes — see
+    /// [`WspError::Transport`] for the transient counterpart.
     Invoke(String),
+    /// Transport-level failure (connection refused, reset, endpoint
+    /// unreachable, 5xx overload). Classified transient: a retry —
+    /// possibly against a failed-over endpoint — can plausibly succeed.
+    Transport(String),
+    /// The per-endpoint circuit breaker is open: recent consecutive
+    /// failures made the endpoint not worth an attempt until the
+    /// cooldown elapses (see `wsp_core::health`).
+    CircuitOpen { endpoint: String },
     /// The service answered with a SOAP fault (boxed to keep the enum
     /// small; faults carry XML detail).
     Fault(Box<Fault>),
@@ -40,6 +50,10 @@ impl fmt::Display for WspError {
             WspError::Deploy(why) => write!(f, "deploy failed: {why}"),
             WspError::Publish(why) => write!(f, "publish failed: {why}"),
             WspError::Invoke(why) => write!(f, "invoke failed: {why}"),
+            WspError::Transport(why) => write!(f, "transport failed: {why}"),
+            WspError::CircuitOpen { endpoint } => {
+                write!(f, "circuit open for {endpoint} (cooling down)")
+            }
             WspError::Fault(fault) => write!(f, "{fault}"),
             WspError::Timeout { what, millis } => write!(f, "{what} timed out after {millis}ms"),
             WspError::NoBindingFor { scheme } => {
@@ -95,6 +109,14 @@ mod tests {
             .to_string()
             .contains("queue full"));
         assert!(WspError::Cancelled { token: 9 }.to_string().contains('9'));
+        assert!(WspError::Transport("connection reset".into())
+            .to_string()
+            .contains("connection reset"));
+        assert!(WspError::CircuitOpen {
+            endpoint: "http://h:1/Echo".into()
+        }
+        .to_string()
+        .contains("http://h:1/Echo"));
     }
 
     #[test]

@@ -85,6 +85,46 @@ pub struct DeploymentMessageEvent {
     pub endpoints: Vec<String>,
 }
 
+/// What a resilience event reports (see [`ResilienceMessageEvent`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilienceAction {
+    /// One transport attempt failed; `will_retry` says whether the
+    /// policy grants another.
+    AttemptFailed {
+        attempt: u32,
+        error: String,
+        will_retry: bool,
+    },
+    /// A retryable failure re-resolved via the locator and the next
+    /// attempt targets `to` instead of the event's `endpoint`.
+    FailedOver { to: String },
+    /// The endpoint's circuit breaker tripped (closed → open, or a
+    /// failed half-open probe re-opening).
+    BreakerTripped,
+    /// A half-open probe attempt was admitted against the endpoint.
+    BreakerProbe,
+    /// A successful probe closed the endpoint's breaker.
+    BreakerRecovered,
+    /// The per-call deadline expired; no further attempts.
+    DeadlineExceeded { after_attempts: u32 },
+}
+
+/// Fired by the resilience layer in [`crate::Client`] so applications
+/// observe degradation asynchronously — every failed attempt, breaker
+/// trip/probe/recovery, failover and deadline expiry, correlated to
+/// the invoke call by `token` (Section II's asynchronous interaction
+/// with unreliable peers, applied to failure reporting).
+#[derive(Debug, Clone)]
+pub struct ResilienceMessageEvent {
+    /// The correlation token of the invoke call.
+    pub token: u64,
+    pub service: String,
+    /// The endpoint the action concerns (for `FailedOver`, the one
+    /// being abandoned).
+    pub endpoint: String,
+    pub action: ResilienceAction,
+}
+
 /// The paper's five-method listener interface. All methods default to
 /// no-ops so applications implement only what they subscribe to.
 #[allow(unused_variables)]
@@ -94,6 +134,9 @@ pub trait PeerMessageListener: Send + Sync {
     fn on_client_message(&self, event: &ClientMessageEvent) {}
     fn on_server_message(&self, event: &ServerMessageEvent) {}
     fn on_deployment(&self, event: &DeploymentMessageEvent) {}
+    /// Resilience extension (beyond the paper's five): degradation
+    /// signals from the retry/breaker/failover machinery.
+    fn on_resilience(&self, event: &ResilienceMessageEvent) {}
 }
 
 /// When listener callbacks run relative to the `fire_*` call.
@@ -114,6 +157,7 @@ enum QueuedEvent {
     Client(ClientMessageEvent),
     Server(ServerMessageEvent),
     Deployment(DeploymentMessageEvent),
+    Resilience(ResilienceMessageEvent),
 }
 
 #[derive(Default)]
@@ -189,6 +233,7 @@ impl EventBus {
                 QueuedEvent::Client(e) => listener.on_client_message(e),
                 QueuedEvent::Server(e) => listener.on_server_message(e),
                 QueuedEvent::Deployment(e) => listener.on_deployment(e),
+                QueuedEvent::Resilience(e) => listener.on_resilience(e),
             }));
             if delivery.is_err() {
                 self.inner.listener_panics.fetch_add(1, Ordering::SeqCst);
@@ -222,6 +267,10 @@ impl EventBus {
     pub fn fire_deployment(&self, event: &DeploymentMessageEvent) {
         self.fire(QueuedEvent::Deployment(event.clone()));
     }
+
+    pub fn fire_resilience(&self, event: &ResilienceMessageEvent) {
+        self.fire(QueuedEvent::Resilience(event.clone()));
+    }
 }
 
 /// A listener that records everything — used by tests and examples to
@@ -233,6 +282,7 @@ pub struct CollectingListener {
     pub client_messages: RwLock<Vec<ClientMessageEvent>>,
     pub server_messages: RwLock<Vec<ServerMessageEvent>>,
     pub deployments: RwLock<Vec<DeploymentMessageEvent>>,
+    pub resilience: RwLock<Vec<ResilienceMessageEvent>>,
 }
 
 impl CollectingListener {
@@ -247,6 +297,7 @@ impl CollectingListener {
             + self.client_messages.read().len()
             + self.server_messages.read().len()
             + self.deployments.read().len()
+            + self.resilience.read().len()
     }
 
     /// The discovery event carrying `token`, if it has arrived.
@@ -265,6 +316,16 @@ impl CollectingListener {
             .iter()
             .find(|e| e.token == token)
             .cloned()
+    }
+
+    /// All resilience events for call `token`, in fire order.
+    pub fn resilience_for(&self, token: u64) -> Vec<ResilienceMessageEvent> {
+        self.resilience
+            .read()
+            .iter()
+            .filter(|e| e.token == token)
+            .cloned()
+            .collect()
     }
 }
 
@@ -287,6 +348,10 @@ impl PeerMessageListener for CollectingListener {
 
     fn on_deployment(&self, event: &DeploymentMessageEvent) {
         self.deployments.write().push(event.clone());
+    }
+
+    fn on_resilience(&self, event: &ResilienceMessageEvent) {
+        self.resilience.write().push(event.clone());
     }
 }
 
@@ -341,6 +406,39 @@ mod tests {
         });
         assert_eq!(a.client_messages.read().len(), 1);
         assert_eq!(b.client_messages.read().len(), 1);
+    }
+
+    #[test]
+    fn resilience_events_reach_listeners_in_order() {
+        let bus = EventBus::new();
+        let listener = CollectingListener::new();
+        bus.add_listener(listener.clone());
+        let fire = |action: ResilienceAction| {
+            bus.fire_resilience(&ResilienceMessageEvent {
+                token: 7,
+                service: "Echo".into(),
+                endpoint: "http://a/Echo".into(),
+                action,
+            });
+        };
+        fire(ResilienceAction::AttemptFailed {
+            attempt: 1,
+            error: "transport failed: refused".into(),
+            will_retry: true,
+        });
+        fire(ResilienceAction::BreakerTripped);
+        fire(ResilienceAction::FailedOver {
+            to: "http://b/Echo".into(),
+        });
+        let seen = listener.resilience_for(7);
+        assert_eq!(seen.len(), 3);
+        assert!(matches!(
+            seen[0].action,
+            ResilienceAction::AttemptFailed { attempt: 1, .. }
+        ));
+        assert_eq!(seen[1].action, ResilienceAction::BreakerTripped);
+        assert!(listener.resilience_for(8).is_empty());
+        assert_eq!(listener.total(), 3);
     }
 
     #[test]

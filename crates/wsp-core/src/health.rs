@@ -1,0 +1,349 @@
+//! Per-endpoint health tracking: circuit breakers.
+//!
+//! Invoking an endpoint that has just failed N times in a row mostly
+//! wastes the caller's deadline budget — on the paper's "unreliable"
+//! P2P substrate a gone peer stays gone for a while. Each endpoint
+//! therefore gets a [`CircuitBreaker`] with the classic three states:
+//!
+//! * **Closed** — requests flow; consecutive failures are counted.
+//! * **Open** — after `failure_threshold` consecutive failures the
+//!   breaker rejects immediately (callers see
+//!   [`crate::WspError::CircuitOpen`] and can fail over) until
+//!   `cooldown` elapses.
+//! * **Half-open** — after the cooldown exactly **one** probe call is
+//!   admitted; its success closes the breaker, its failure re-opens it
+//!   for another cooldown. Concurrent callers during the probe are
+//!   rejected, so all callers observe one consistent state.
+//!
+//! All methods take an explicit `now: Instant` so transitions are unit
+//! testable without sleeping.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for the per-endpoint breakers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Outcome of asking the breaker for permission to attempt a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: go ahead.
+    Allowed,
+    /// Half-open: go ahead, and this attempt is *the* probe.
+    Probe,
+    /// Open (or half-open with the probe already taken): do not call.
+    Rejected,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    consecutive_failures: u32,
+    /// Set while open / half-open: when the breaker tripped.
+    opened_at: Option<Instant>,
+    /// A half-open probe has been admitted and has not yet reported.
+    probe_in_flight: bool,
+}
+
+/// One endpoint's circuit breaker. Thread-safe; all transitions happen
+/// under one mutex so concurrent callers observe a consistent state.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+        }
+    }
+
+    /// The state an observer at `now` sees.
+    pub fn state(&self, now: Instant) -> BreakerState {
+        let inner = self.inner.lock();
+        match inner.opened_at {
+            None => BreakerState::Closed,
+            Some(at) if now.duration_since(at) >= self.config.cooldown => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Ask to attempt a call at `now`.
+    pub fn try_acquire(&self, now: Instant) -> Admission {
+        let mut inner = self.inner.lock();
+        match inner.opened_at {
+            None => Admission::Allowed,
+            Some(at) if now.duration_since(at) >= self.config.cooldown => {
+                if inner.probe_in_flight {
+                    Admission::Rejected
+                } else {
+                    inner.probe_in_flight = true;
+                    Admission::Probe
+                }
+            }
+            Some(_) => Admission::Rejected,
+        }
+    }
+
+    /// Report a successful attempt. Returns `true` if this success
+    /// *closed* a tripped breaker (the half-open probe succeeded).
+    pub fn on_success(&self, _now: Instant) -> bool {
+        let mut inner = self.inner.lock();
+        let recovered = inner.opened_at.is_some();
+        inner.opened_at = None;
+        inner.probe_in_flight = false;
+        inner.consecutive_failures = 0;
+        recovered
+    }
+
+    /// Report a failed attempt. Returns `true` if this failure tripped
+    /// the breaker (closed → open, or a failed half-open probe
+    /// re-opening).
+    pub fn on_failure(&self, now: Instant) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.opened_at.is_some() {
+            // A failure while open/half-open (the probe, or a straggler
+            // from before the trip) restarts the cooldown.
+            let was_probe = inner.probe_in_flight;
+            inner.probe_in_flight = false;
+            inner.opened_at = Some(now);
+            return was_probe;
+        }
+        inner.consecutive_failures += 1;
+        if inner.consecutive_failures >= self.config.failure_threshold {
+            inner.opened_at = Some(now);
+            inner.probe_in_flight = false;
+            return true;
+        }
+        false
+    }
+
+    /// Consecutive failures recorded while closed.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.inner.lock().consecutive_failures
+    }
+}
+
+/// The peer's endpoint-health registry: one lazily created breaker per
+/// endpoint URI, shared by every caller that consults it.
+#[derive(Default)]
+pub struct EndpointHealth {
+    config: BreakerConfig,
+    breakers: RwLock<HashMap<String, Arc<CircuitBreaker>>>,
+}
+
+impl EndpointHealth {
+    pub fn new(config: BreakerConfig) -> Self {
+        EndpointHealth {
+            config,
+            breakers: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The breaker for `endpoint`, created closed on first touch.
+    pub fn breaker(&self, endpoint: &str) -> Arc<CircuitBreaker> {
+        if let Some(existing) = self.breakers.read().get(endpoint) {
+            return existing.clone();
+        }
+        let mut map = self.breakers.write();
+        map.entry(endpoint.to_owned())
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(self.config.clone())))
+            .clone()
+    }
+
+    /// Endpoints with a breaker, and the state each is in at `now`.
+    pub fn snapshot(&self, now: Instant) -> Vec<(String, BreakerState)> {
+        let mut all: Vec<(String, BreakerState)> = self
+            .breakers
+            .read()
+            .iter()
+            .map(|(endpoint, breaker)| (endpoint.clone(), breaker.state(now)))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Is `endpoint` currently admitting calls (closed, or half-open
+    /// with the probe slot free)? Does not consume the probe slot.
+    pub fn is_admitting(&self, endpoint: &str, now: Instant) -> bool {
+        match self.breaker(endpoint).state(now) {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => !self.breaker(endpoint).inner.lock().probe_in_flight,
+            BreakerState::Open => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn quick_config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(quick_config());
+        let t0 = Instant::now();
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        assert!(b.on_failure(t0), "third failure trips");
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert_eq!(b.try_acquire(t0), Admission::Rejected);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let b = CircuitBreaker::new(quick_config());
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert!(!b.on_success(t0), "success while closed is not a recovery");
+        assert_eq!(b.consecutive_failures(), 0);
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Closed, "count restarted");
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let b = CircuitBreaker::new(quick_config());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let after_cooldown = t0 + Duration::from_millis(150);
+        assert_eq!(b.state(after_cooldown), BreakerState::HalfOpen);
+        assert_eq!(b.try_acquire(after_cooldown), Admission::Probe);
+        assert!(b.on_success(after_cooldown), "probe success recovers");
+        assert_eq!(b.state(after_cooldown), BreakerState::Closed);
+        assert_eq!(b.try_acquire(after_cooldown), Admission::Allowed);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_for_another_cooldown() {
+        let b = CircuitBreaker::new(quick_config());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let probe_at = t0 + Duration::from_millis(150);
+        assert_eq!(b.try_acquire(probe_at), Admission::Probe);
+        assert!(b.on_failure(probe_at), "failed probe re-trips");
+        assert_eq!(b.state(probe_at), BreakerState::Open);
+        // The new cooldown runs from the failed probe, not the old trip.
+        let mid = probe_at + Duration::from_millis(60);
+        assert_eq!(b.try_acquire(mid), Admission::Rejected);
+        let later = probe_at + Duration::from_millis(120);
+        assert_eq!(b.try_acquire(later), Admission::Probe);
+    }
+
+    #[test]
+    fn only_one_probe_admitted_while_half_open() {
+        let b = CircuitBreaker::new(quick_config());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let probe_at = t0 + Duration::from_millis(150);
+        assert_eq!(b.try_acquire(probe_at), Admission::Probe);
+        assert_eq!(
+            b.try_acquire(probe_at),
+            Admission::Rejected,
+            "second caller during the probe is rejected"
+        );
+    }
+
+    #[test]
+    fn concurrent_callers_observe_consistent_state() {
+        // Many threads hammer a half-open breaker: exactly one gets the
+        // probe, everyone else is rejected — never two probes, never an
+        // Allowed.
+        let b = Arc::new(CircuitBreaker::new(quick_config()));
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let probe_at = t0 + Duration::from_millis(150);
+        let probes = Arc::new(AtomicUsize::new(0));
+        let rejects = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..16)
+            .map(|_| {
+                let b = b.clone();
+                let probes = probes.clone();
+                let rejects = rejects.clone();
+                std::thread::spawn(move || match b.try_acquire(probe_at) {
+                    Admission::Probe => {
+                        probes.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Admission::Rejected => {
+                        rejects.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Admission::Allowed => panic!("half-open breaker must not allow freely"),
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(probes.load(Ordering::SeqCst), 1);
+        assert_eq!(rejects.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn registry_shares_one_breaker_per_endpoint() {
+        let health = EndpointHealth::new(quick_config());
+        let a1 = health.breaker("http://a/S");
+        let a2 = health.breaker("http://a/S");
+        let b = health.breaker("http://b/S");
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert!(!Arc::ptr_eq(&a1, &b));
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            a1.on_failure(t0);
+        }
+        assert_eq!(a2.state(t0), BreakerState::Open, "state is shared");
+        assert!(!health.is_admitting("http://a/S", t0));
+        assert!(health.is_admitting("http://b/S", t0));
+        let snap = health.snapshot(t0);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], ("http://a/S".to_string(), BreakerState::Open));
+    }
+}

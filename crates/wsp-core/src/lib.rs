@@ -83,8 +83,10 @@ pub mod dispatch;
 pub mod endpoint;
 pub mod error;
 pub mod events;
+pub mod health;
 pub mod peer;
 pub mod query;
+pub mod resilience;
 pub mod server;
 pub mod state;
 pub mod workflow;
@@ -96,11 +98,13 @@ pub use endpoint::{BindingKind, DeployedService, LocatedService};
 pub use error::WspError;
 pub use events::{
     ClientMessageEvent, CollectingListener, DeliveryMode, DeploymentMessageEvent,
-    DiscoveryMessageEvent, EventBus, PeerMessageListener, PublishMessageEvent, ServerMessageEvent,
-    ServerPhase,
+    DiscoveryMessageEvent, EventBus, PeerMessageListener, PublishMessageEvent, ResilienceAction,
+    ResilienceMessageEvent, ServerMessageEvent, ServerPhase,
 };
+pub use health::{Admission, BreakerConfig, BreakerState, CircuitBreaker, EndpointHealth};
 pub use peer::Peer;
 pub use query::{QueryExpr, ServiceQuery};
+pub use resilience::{ResiliencePolicy, RetryClass};
 pub use server::Server;
 pub use state::StatefulService;
 pub use workflow::{Stage, Workflow, WorkflowRun};

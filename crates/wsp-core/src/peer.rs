@@ -76,6 +76,12 @@ impl Peer {
         &self.client
     }
 
+    /// The per-endpoint circuit-breaker registry maintained by this
+    /// peer's client (see `wsp_core::health`).
+    pub fn health(&self) -> &Arc<crate::health::EndpointHealth> {
+        self.client.health()
+    }
+
     pub fn server(&self) -> &Arc<Server> {
         &self.server
     }

@@ -1,0 +1,94 @@
+//! Property tests for the backoff schedule: for *any* policy the
+//! pre-jitter delays are monotone non-decreasing, each respects the
+//! cap, the cumulative delay never exceeds the deadline, and jitter
+//! only ever shortens a delay.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use wsp_core::ResiliencePolicy;
+
+fn arb_policy() -> impl Strategy<Value = ResiliencePolicy> {
+    (
+        (
+            1u32..20,    // max_attempts
+            0u64..2_000, // base backoff millis
+            prop_oneof![Just(1.0f64), 1.0f64..4.0],
+            0u64..5_000, // cap millis
+        ),
+        (
+            0.0f64..1.0,                        // jitter
+            any::<u64>(),                       // jitter seed
+            proptest::option::of(1u64..20_000), // deadline millis
+        ),
+    )
+        .prop_map(
+            |((attempts, base, multiplier, cap), (jitter, jitter_seed, deadline))| {
+                let mut policy = ResiliencePolicy::retrying(attempts)
+                    .with_backoff(
+                        Duration::from_millis(base),
+                        multiplier,
+                        Duration::from_millis(cap),
+                    )
+                    .with_jitter(jitter)
+                    .with_jitter_seed(jitter_seed);
+                policy.deadline = deadline.map(Duration::from_millis);
+                policy
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_is_monotone_and_capped(policy in arb_policy()) {
+        let schedule = policy.schedule();
+        prop_assert!(schedule.len() < policy.max_attempts as usize,
+            "at most one delay per retry");
+        for pair in schedule.windows(2) {
+            prop_assert!(pair[0] <= pair[1],
+                "delays must not shrink: {pair:?}");
+        }
+        for delay in &schedule {
+            prop_assert!(*delay <= policy.max_backoff,
+                "delay {delay:?} above cap {:?}", policy.max_backoff);
+        }
+    }
+
+    #[test]
+    fn total_retry_time_respects_deadline(policy in arb_policy()) {
+        let total: Duration = policy.schedule().iter().sum();
+        if let Some(deadline) = policy.deadline {
+            prop_assert!(total <= deadline,
+                "summed delays {total:?} exceed deadline {deadline:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_never_lengthens(policy in arb_policy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for delay in policy.schedule() {
+            let jittered = policy.jittered(delay, &mut rng);
+            prop_assert!(jittered <= delay,
+                "jitter must only shorten: {jittered:?} > {delay:?}");
+            // Full-jitter-down floor: (1 - jitter) of the delay.
+            let floor = delay.as_secs_f64() * (1.0 - policy.jitter);
+            prop_assert!(jittered.as_secs_f64() >= floor - 1e-9,
+                "jitter below its floor");
+        }
+    }
+
+    #[test]
+    fn backoff_before_agrees_with_schedule_prefix(policy in arb_policy()) {
+        // Without a deadline, schedule() is exactly backoff_before for
+        // attempts 2..=max.
+        let mut policy = policy;
+        policy.deadline = None;
+        let schedule = policy.schedule();
+        for (i, delay) in schedule.iter().enumerate() {
+            prop_assert_eq!(Some(*delay), policy.backoff_before(i as u32 + 2));
+        }
+    }
+}

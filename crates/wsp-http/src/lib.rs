@@ -29,6 +29,9 @@ pub use container::{ContainerModel, ContainerSimServer, DEPLOY_TAG};
 pub use httpg::{guard_router, guarded, HttpgCredential, HttpgError};
 pub use message::{Headers, Method, Request, Response};
 pub use router::{HttpHandler, Interceptor, Router};
-pub use sim::{HttpSimServer, SimHttpClient, CORRELATION_HEADER};
+pub use sim::{
+    HttpSimServer, ResilientSimClient, RetrySchedule, SimCallOutcome, SimHttpClient,
+    CORRELATION_HEADER, RETRY_RESEND_TAG, RETRY_TIMEOUT_TAG,
+};
 pub use tcp::{http_call, http_call_uri, ConnectionPool, TcpServer};
 pub use uri::{HttpUri, UriError};

@@ -46,7 +46,7 @@ pub use resolver::{ChainResolver, EndpointResolver, TableResolver};
 pub use rpc::{decode_request, encode_response, ReceivedRequest, RpcCorrelator};
 pub use sim_driver::{
     add_peer, build_overlay, peer_id_for, Directory, P2psHandle, P2psSimNode, PeerCommand,
-    PeerEvent, WAKE_TAG,
+    PeerEvent, RQ_RESEND_TAG, RQ_TIMEOUT_TAG, WAKE_TAG,
 };
 pub use thread_driver::{ThreadNetwork, ThreadPeer, ThreadPeerEvent};
 pub use uri::{P2psUri, P2psUriError};

@@ -9,12 +9,18 @@ use crate::query::P2psQuery;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use wsp_simnet::{Context, Dur, Node, NodeEvent, NodeId, SimNet, Time, Topology};
+use wsp_simnet::{Context, Dur, Node, NodeEvent, NodeId, SimNet, Time, TimerId, Topology};
 
 /// Timer tag that makes a peer drain its command queue.
 pub const WAKE_TAG: u64 = 0xB001;
 /// Timer tag for periodic soft-state refresh.
 const REFRESH_TAG: u64 = 0xB002;
+/// Timer-tag namespace for resilient-query attempt timeouts.
+pub const RQ_TIMEOUT_TAG: u64 = 0xE000_0000_0000_0000;
+/// Timer-tag namespace for resilient-query backed-off re-issues.
+pub const RQ_RESEND_TAG: u64 = 0xF000_0000_0000_0000;
+const RQ_PHASE_MASK: u64 = 0xF000_0000_0000_0000;
+const RQ_ID_MASK: u64 = !RQ_PHASE_MASK;
 
 /// Application commands injected into a simulated peer.
 #[derive(Debug, Clone)]
@@ -25,6 +31,19 @@ pub enum PeerCommand {
         token: u64,
         query: P2psQuery,
         ttl: Option<u8>,
+    },
+    /// A query that re-issues itself until a non-empty result arrives
+    /// or the attempt budget is spent — `backoff` of virtual time
+    /// between attempts, each attempt given `attempt_timeout`. Ends in
+    /// exactly one [`PeerEvent::QueryResult`] (non-empty) or
+    /// [`PeerEvent::QueryFailed`]; never hangs.
+    ResilientQuery {
+        token: u64,
+        query: P2psQuery,
+        ttl: Option<u8>,
+        attempt_timeout: Dur,
+        max_attempts: u32,
+        backoff: Dur,
     },
     OpenPipe {
         name: String,
@@ -45,6 +64,12 @@ pub enum PeerEvent {
     QueryResult {
         token: u64,
         adverts: Vec<ServiceAdvertisement>,
+    },
+    /// A [`PeerCommand::ResilientQuery`] spent its attempt budget
+    /// without a non-empty result.
+    QueryFailed {
+        token: u64,
+        attempts: u32,
     },
     PipeDelivery {
         pipe: PipeAdvertisement,
@@ -134,6 +159,19 @@ impl P2psHandle {
     }
 }
 
+/// One in-flight [`PeerCommand::ResilientQuery`].
+#[derive(Debug)]
+struct ResilientQueryState {
+    token: u64,
+    query: P2psQuery,
+    ttl: Option<u8>,
+    attempt_timeout: Dur,
+    max_attempts: u32,
+    backoff: Dur,
+    attempts: u32,
+    timeout: Option<TimerId>,
+}
+
 /// A simulated P2PS peer node.
 pub struct P2psSimNode {
     machine: PeerMachine,
@@ -142,6 +180,9 @@ pub struct P2psSimNode {
     events: Rc<RefCell<Vec<(Time, PeerEvent)>>>,
     tokens: HashMap<u64, u64>, // query id -> application token
     refresh_every: Option<Dur>,
+    rqueries: HashMap<u64, ResilientQueryState>, // rq id -> state
+    rq_by_token: HashMap<u64, u64>,              // application token -> rq id
+    next_rq: u64,
 }
 
 impl P2psSimNode {
@@ -168,6 +209,9 @@ impl P2psSimNode {
             events,
             tokens: HashMap::new(),
             refresh_every,
+            rqueries: HashMap::new(),
+            rq_by_token: HashMap::new(),
+            next_rq: 0,
         };
         (node, handle)
     }
@@ -189,6 +233,22 @@ impl P2psSimNode {
                 },
                 PeerOutput::QueryResult { id, adverts } => {
                     let token = self.tokens.get(&id).copied().unwrap_or(id);
+                    if let Some(&rq) = self.rq_by_token.get(&token) {
+                        if adverts.is_empty() {
+                            // A "nothing found" answer does not finish a
+                            // resilient query — a later attempt may hit
+                            // a repopulated cache.
+                            ctx.count("p2ps.rq_empty_result");
+                            continue;
+                        }
+                        if let Some(state) = self.rqueries.remove(&rq) {
+                            self.rq_by_token.remove(&state.token);
+                            if let Some(timer) = state.timeout {
+                                ctx.cancel_timer(timer);
+                            }
+                            ctx.count("p2ps.rq_completed");
+                        }
+                    }
                     ctx.count("p2ps.query_results");
                     self.events
                         .borrow_mut()
@@ -245,6 +305,33 @@ impl P2psSimNode {
                     // Re-tag any immediate local-cache result.
                     outputs
                 }
+                PeerCommand::ResilientQuery {
+                    token,
+                    query,
+                    ttl,
+                    attempt_timeout,
+                    max_attempts,
+                    backoff,
+                } => {
+                    let rq = self.next_rq;
+                    self.next_rq += 1;
+                    self.rqueries.insert(
+                        rq,
+                        ResilientQueryState {
+                            token,
+                            query,
+                            ttl,
+                            attempt_timeout,
+                            max_attempts: max_attempts.max(1),
+                            backoff,
+                            attempts: 0,
+                            timeout: None,
+                        },
+                    );
+                    self.rq_by_token.insert(token, rq);
+                    self.issue_rq_attempt(ctx, rq);
+                    Vec::new()
+                }
                 PeerCommand::OpenPipe { name } => {
                     self.machine.open_pipe(Some(name));
                     Vec::new()
@@ -253,6 +340,59 @@ impl P2psSimNode {
                 PeerCommand::Ping { to, nonce } => self.machine.ping(to, nonce),
             };
             self.dispatch(ctx, outputs);
+        }
+    }
+
+    /// Issue (or re-issue) one attempt of a resilient query and arm its
+    /// timeout. The timer is armed *before* dispatching, so a local
+    /// cache hit that completes the query immediately also cancels it.
+    fn issue_rq_attempt(&mut self, ctx: &mut Context<'_, String>, rq: u64) {
+        let (query, ttl, attempt_timeout) = {
+            let Some(state) = self.rqueries.get_mut(&rq) else {
+                return;
+            };
+            state.attempts += 1;
+            (state.query.clone(), state.ttl, state.attempt_timeout)
+        };
+        ctx.count("p2ps.rq_attempt");
+        let now = ctx.now();
+        let (id, outputs) = self.machine.query(now, query, ttl);
+        let state = self.rqueries.get_mut(&rq).expect("state survives query");
+        self.tokens.insert(id, state.token);
+        state.timeout = Some(ctx.set_timer(attempt_timeout, RQ_TIMEOUT_TAG | rq));
+        self.dispatch(ctx, outputs);
+    }
+
+    fn on_rq_timer(&mut self, ctx: &mut Context<'_, String>, tag: u64) {
+        let rq = tag & RQ_ID_MASK;
+        match tag & RQ_PHASE_MASK {
+            RQ_TIMEOUT_TAG => {
+                let (give_up, backoff) = {
+                    let Some(state) = self.rqueries.get_mut(&rq) else {
+                        return;
+                    };
+                    state.timeout = None;
+                    (state.attempts >= state.max_attempts, state.backoff)
+                };
+                if give_up {
+                    let state = self.rqueries.remove(&rq).expect("checked above");
+                    self.rq_by_token.remove(&state.token);
+                    ctx.count("p2ps.rq_failed");
+                    self.events.borrow_mut().push((
+                        ctx.now(),
+                        PeerEvent::QueryFailed {
+                            token: state.token,
+                            attempts: state.attempts,
+                        },
+                    ));
+                } else if backoff == Dur::ZERO {
+                    self.issue_rq_attempt(ctx, rq);
+                } else {
+                    ctx.set_timer(backoff, RQ_RESEND_TAG | rq);
+                }
+            }
+            RQ_RESEND_TAG => self.issue_rq_attempt(ctx, rq),
+            _ => {}
         }
     }
 }
@@ -274,7 +414,7 @@ impl Node<String> for P2psSimNode {
                     ctx.set_timer(every, REFRESH_TAG);
                 }
             }
-            NodeEvent::Timer { .. } => {}
+            NodeEvent::Timer { tag } => self.on_rq_timer(ctx, tag),
             NodeEvent::Message { from, msg } => {
                 let Some(from_peer) = self.directory.peer_of(from) else {
                     ctx.count("p2ps.unknown_sender");
@@ -542,6 +682,144 @@ mod tests {
             |(_, e)| matches!(e, PeerEvent::QueryResult { adverts, .. } if !adverts.is_empty()),
         );
         assert!(found);
+    }
+
+    #[test]
+    fn resilient_query_retries_until_the_service_appears() {
+        // The seeker starts asking *before* the publisher advertises:
+        // early attempts find nothing, a later one hits.
+        let mut net: SimNet<String> = SimNet::new(21);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (topology, rendezvous) = Topology::rendezvous_groups(1, 3, 1, &mut rng);
+        let (_dir, handles) = build_overlay(&mut net, &topology, &rendezvous, None);
+
+        let publisher = &handles[1];
+        let seeker = &handles[2];
+        seeker.enqueue_at(
+            &mut net,
+            Time::ZERO,
+            PeerCommand::ResilientQuery {
+                token: 42,
+                query: P2psQuery::by_name("Echo"),
+                ttl: None,
+                attempt_timeout: Dur::millis(100),
+                max_attempts: 10,
+                backoff: Dur::millis(20),
+            },
+        );
+        publisher.enqueue_at(
+            &mut net,
+            Time::millis(350),
+            PeerCommand::Publish(advert_for(publisher, "Echo")),
+        );
+        net.run_to_quiescence();
+
+        let events = seeker.take_events();
+        let hit = events
+            .iter()
+            .find_map(|(_, e)| match e {
+                PeerEvent::QueryResult { token: 42, adverts } if !adverts.is_empty() => {
+                    Some(adverts.clone())
+                }
+                _ => None,
+            })
+            .expect("a later attempt should discover Echo");
+        assert_eq!(hit[0].peer, publisher.peer());
+        assert!(
+            !events
+                .iter()
+                .any(|(_, e)| matches!(e, PeerEvent::QueryFailed { .. })),
+            "the query succeeded, so it must not also fail"
+        );
+        assert!(
+            net.metrics().counter("p2ps.rq_attempt") >= 2,
+            "publishing at 350ms forces at least one retry"
+        );
+    }
+
+    #[test]
+    fn resilient_query_exhausts_into_query_failed() {
+        let mut net: SimNet<String> = SimNet::new(22);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (topology, rendezvous) = Topology::rendezvous_groups(1, 3, 1, &mut rng);
+        let (_dir, handles) = build_overlay(&mut net, &topology, &rendezvous, None);
+
+        let seeker = &handles[2];
+        seeker.enqueue_at(
+            &mut net,
+            Time::ZERO,
+            PeerCommand::ResilientQuery {
+                token: 9,
+                query: P2psQuery::by_name("Nowhere"),
+                ttl: None,
+                attempt_timeout: Dur::millis(50),
+                max_attempts: 3,
+                backoff: Dur::millis(10),
+            },
+        );
+        net.run_to_quiescence();
+
+        let events = seeker.take_events();
+        assert!(
+            events.iter().any(|(_, e)| matches!(
+                e,
+                PeerEvent::QueryFailed {
+                    token: 9,
+                    attempts: 3
+                }
+            )),
+            "budget spent classifies as failure: {events:?}"
+        );
+        assert!(
+            !events.iter().any(
+                |(_, e)| matches!(e, PeerEvent::QueryResult { adverts, .. } if !adverts.is_empty())
+            ),
+            "nothing to find"
+        );
+    }
+
+    #[test]
+    fn resilient_query_is_reproducible_per_seed() {
+        let run = || {
+            let mut net: SimNet<String> = SimNet::new(23);
+            net.set_default_link(LinkSpec {
+                latency: Dur::millis(5),
+                jitter: Dur::millis(2),
+                loss: 0.3,
+                per_byte: Dur::ZERO,
+            });
+            let mut rng = StdRng::seed_from_u64(7);
+            let (topology, rendezvous) = Topology::rendezvous_groups(1, 4, 1, &mut rng);
+            let (_dir, handles) = build_overlay(&mut net, &topology, &rendezvous, None);
+            let publisher = &handles[1];
+            let seeker = &handles[3];
+            publisher.enqueue_at(
+                &mut net,
+                Time::ZERO,
+                PeerCommand::Publish(advert_for(publisher, "Echo")),
+            );
+            seeker.enqueue_at(
+                &mut net,
+                Time::millis(50),
+                PeerCommand::ResilientQuery {
+                    token: 1,
+                    query: P2psQuery::by_name("Echo"),
+                    ttl: None,
+                    attempt_timeout: Dur::millis(80),
+                    max_attempts: 8,
+                    backoff: Dur::millis(15),
+                },
+            );
+            net.run_to_quiescence();
+            (
+                net.metrics().counter("p2ps.rq_attempt"),
+                seeker.take_events(),
+            )
+        };
+        let (attempts_a, events_a) = run();
+        let (attempts_b, events_b) = run();
+        assert_eq!(attempts_a, attempts_b, "same seed, same attempt count");
+        assert_eq!(events_a, events_b, "same seed, same event sequence");
     }
 
     #[test]

@@ -26,10 +26,15 @@ impl ChurnModel {
         ChurnModel { mean_up, mean_down }
     }
 
-    /// The long-run fraction of time a node is up.
+    /// The long-run fraction of time a node is up. The degenerate model
+    /// with both means zero generates no transitions (see
+    /// [`ChurnModel::schedule_for`]), so its availability is 1.
     pub fn availability(&self) -> f64 {
         let up = self.mean_up.as_micros() as f64;
         let down = self.mean_down.as_micros() as f64;
+        if up + down == 0.0 {
+            return 1.0;
+        }
         up / (up + down)
     }
 
@@ -41,7 +46,17 @@ impl ChurnModel {
 
     /// Generate this node's `(time, up?)` transitions over `[0, horizon]`.
     /// Nodes start up; the first transition is a failure.
+    ///
+    /// Edge cases are well defined: `mean_down == 0` means the node is
+    /// never meaningfully absent, so no transitions are generated (and
+    /// likewise for the both-means-zero model); a zero horizon yields an
+    /// empty schedule; sampled spans that round to zero are bumped to
+    /// 1 µs so transition times are strictly increasing and the loop
+    /// always makes progress.
     pub fn schedule_for(&self, horizon: Time, rng: &mut StdRng) -> Vec<(Time, bool)> {
+        if self.mean_down.as_micros() == 0 {
+            return Vec::new();
+        }
         let mut transitions = Vec::new();
         let mut t = Time::ZERO;
         let mut up = true;
@@ -51,7 +66,7 @@ impl ChurnModel {
             } else {
                 Self::sample_exp(self.mean_down, rng)
             };
-            t += span;
+            t += span.max(Dur::micros(1));
             if t > horizon {
                 break;
             }
@@ -146,6 +161,43 @@ mod tests {
         }
         let frac = up_total as f64 / (32.0 * horizon.as_micros() as f64);
         assert!((frac - 0.6).abs() < 0.05, "observed availability {frac}");
+    }
+
+    #[test]
+    fn zero_horizon_yields_empty_schedule() {
+        let m = ChurnModel::new(Dur::secs(5), Dur::secs(5));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(m.schedule_for(Time::ZERO, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn zero_mean_down_never_transitions() {
+        // A node that is never down generates no schedule at all —
+        // previously this case (and both-means-zero) spun forever.
+        let m = ChurnModel::new(Dur::secs(5), Dur::ZERO);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(m.schedule_for(Time::secs(100), &mut rng).is_empty());
+        let degenerate = ChurnModel::new(Dur::ZERO, Dur::ZERO);
+        assert!(degenerate
+            .schedule_for(Time::secs(100), &mut rng)
+            .is_empty());
+        assert!((degenerate.availability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_mean_up_terminates_with_increasing_times() {
+        // mean_up == 0 flaps hard but must terminate, stay bounded, and
+        // keep transition times strictly increasing (no same-instant
+        // down/up pairs).
+        let m = ChurnModel::new(Dur::ZERO, Dur::millis(1));
+        let mut rng = StdRng::seed_from_u64(5);
+        let horizon = Time::millis(50);
+        let schedule = m.schedule_for(horizon, &mut rng);
+        assert!(!schedule.is_empty());
+        for pair in schedule.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "transitions must be ordered");
+        }
+        assert!(schedule.last().unwrap().0 <= horizon);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod churn;
+pub mod fault;
 pub mod link;
 pub mod metrics;
 pub mod net;
@@ -45,6 +46,7 @@ pub mod topology;
 pub mod trace;
 
 pub use churn::ChurnModel;
+pub use fault::FaultPlan;
 pub use link::LinkSpec;
 pub use metrics::{Metrics, Summary};
 pub use net::SimNet;

@@ -39,9 +39,16 @@ impl LinkSpec {
         }
     }
 
+    /// Set the loss probability. Out-of-range values (including NaN) are
+    /// clamped into `[0, 1]` so release builds behave like debug builds
+    /// instead of silently dropping everything (loss > 1) or nothing
+    /// (loss < 0 paired with a `<` comparison).
     pub fn with_loss(mut self, loss: f64) -> Self {
-        debug_assert!((0.0..=1.0).contains(&loss));
-        self.loss = loss;
+        self.loss = if loss.is_nan() {
+            0.0
+        } else {
+            loss.clamp(0.0, 1.0)
+        };
         self
     }
 
@@ -62,7 +69,15 @@ impl LinkSpec {
 
     /// Sample a delivery delay for a payload of `bytes`, or `None` if the
     /// message is lost.
+    ///
+    /// A fully lossy link (`loss >= 1`, e.g. a blackout window scheduled
+    /// by a [`crate::FaultPlan`]) drops without consuming randomness, so
+    /// a blackout does not perturb the seeded delay sequence of traffic
+    /// on other links.
     pub fn sample<R: Rng>(&self, bytes: usize, rng: &mut R) -> Option<Dur> {
+        if self.loss >= 1.0 {
+            return None;
+        }
         if self.loss > 0.0 && rng.random::<f64>() < self.loss {
             return None;
         }
@@ -128,6 +143,48 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let link = LinkSpec::lan().with_loss(1.0);
         assert!(link.sample(0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn total_loss_consumes_no_randomness() {
+        // A blackout link must not perturb the seeded RNG stream: the
+        // delay sequence sampled afterwards is identical whether or not
+        // blacked-out traffic was sampled in between.
+        let blackout = LinkSpec::lan().with_loss(1.0);
+        let probe = LinkSpec::wan();
+        let mut with = StdRng::seed_from_u64(9);
+        let mut without = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert!(blackout.sample(64, &mut with).is_none());
+        }
+        for _ in 0..50 {
+            assert_eq!(probe.sample(64, &mut with), probe.sample(64, &mut without));
+        }
+    }
+
+    #[test]
+    fn out_of_range_loss_is_clamped() {
+        assert_eq!(LinkSpec::lan().with_loss(1.5).loss, 1.0);
+        assert_eq!(LinkSpec::lan().with_loss(-0.5).loss, 0.0);
+        assert_eq!(LinkSpec::lan().with_loss(f64::NAN).loss, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(LinkSpec::lan().with_loss(7.0).sample(0, &mut rng).is_none());
+        assert!(LinkSpec::lan()
+            .with_loss(-7.0)
+            .sample(0, &mut rng)
+            .is_some());
+    }
+
+    #[test]
+    fn loss_just_below_one_still_samples() {
+        // 0.999… loss goes through the RNG path; over many samples at
+        // least one message should still get through.
+        let mut rng = StdRng::seed_from_u64(3);
+        let link = LinkSpec::lan().with_loss(0.99);
+        let delivered = (0..10_000)
+            .filter(|_| link.sample(0, &mut rng).is_some())
+            .count();
+        assert!(delivered > 0, "0.99 loss is not a blackout");
     }
 
     #[test]

@@ -21,10 +21,26 @@ struct Scheduled<M> {
 }
 
 enum EventKind<M> {
-    Dispatch { node: NodeId, event: NodeEvent<M> },
-    Timer { node: NodeId, id: TimerId, tag: u64 },
+    Dispatch {
+        node: NodeId,
+        event: NodeEvent<M>,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+    },
     SetUp(NodeId),
     SetDown(NodeId),
+    /// Replace the directed link `from → to` at a scheduled time (fault
+    /// windows: blackouts, loss bursts, slow periods).
+    SetLink {
+        from: NodeId,
+        to: NodeId,
+        spec: LinkSpec,
+    },
+    /// Replace the default link at a scheduled time.
+    SetDefaultLink(LinkSpec),
 }
 
 impl<M> PartialEq for Scheduled<M> {
@@ -106,6 +122,11 @@ impl<M: Payload> SimNet<M> {
     /// Replace the link used for pairs with no explicit spec.
     pub fn set_default_link(&mut self, spec: LinkSpec) {
         self.default_link = spec;
+    }
+
+    /// The link used for pairs with no explicit spec.
+    pub fn default_link(&self) -> LinkSpec {
+        self.default_link
     }
 
     /// Set the directed link `from → to`.
@@ -201,6 +222,25 @@ impl<M: Payload> SimNet<M> {
         self.schedule(at, EventKind::SetUp(node));
     }
 
+    /// Replace the directed link `from → to` at `at`. Messages already
+    /// in flight keep the delay they sampled at send time; only traffic
+    /// sent after the change sees the new spec.
+    pub fn schedule_link(&mut self, at: Time, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.schedule(at, EventKind::SetLink { from, to, spec });
+    }
+
+    /// Replace both directions between `a` and `b` at `at`.
+    pub fn schedule_link_sym(&mut self, at: Time, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.schedule_link(at, a, b, spec);
+        self.schedule_link(at, b, a, spec);
+    }
+
+    /// Replace the default link at `at` (affects every pair with no
+    /// explicit spec).
+    pub fn schedule_default_link(&mut self, at: Time, spec: LinkSpec) {
+        self.schedule(at, EventKind::SetDefaultLink(spec));
+    }
+
     /// Run until the queue is empty or `deadline` passes. Returns the
     /// virtual time reached.
     pub fn run_until(&mut self, deadline: Time) -> Time {
@@ -260,6 +300,14 @@ impl<M: Payload> SimNet<M> {
                     self.trace_event(TraceEvent::NodeUp(node));
                     self.dispatch(node, NodeEvent::WentUp);
                 }
+            }
+            EventKind::SetLink { from, to, spec } => {
+                self.links.insert((from, to), spec);
+                self.metrics.incr("simnet.link_change", 1);
+            }
+            EventKind::SetDefaultLink(spec) => {
+                self.default_link = spec;
+                self.metrics.incr("simnet.link_change", 1);
             }
         }
         true
@@ -499,6 +547,85 @@ mod tests {
         assert!(kinds.iter().any(|e| matches!(e, NodeEvent::WentUp)));
         assert!(!kinds.iter().any(|e| matches!(e, NodeEvent::Message { .. })));
         assert_eq!(net.metrics().counter("simnet.dropped_down"), 1);
+    }
+
+    #[test]
+    fn scheduled_link_changes_take_effect_at_their_time() {
+        let mut net: SimNet<String> = SimNet::new(1);
+        net.set_default_link(LinkSpec {
+            latency: Dur::millis(1),
+            jitter: Dur::ZERO,
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        });
+        let (a, _la) = logger(false);
+        let (b, lb) = logger(false);
+        let a_id = net.add_node(a);
+        let b_id = net.add_node(b);
+        // Blackout a→b during [10ms, 20ms), then restore.
+        net.schedule_link(Time::millis(10), a_id, b_id, LinkSpec::lan().with_loss(1.0));
+        net.schedule_link(
+            Time::millis(20),
+            a_id,
+            b_id,
+            LinkSpec {
+                latency: Dur::millis(1),
+                jitter: Dur::ZERO,
+                loss: 0.0,
+                per_byte: Dur::ZERO,
+            },
+        );
+        net.run_until(Time::millis(5));
+        net.transmit(a_id, b_id, "before".into());
+        net.run_until(Time::millis(15));
+        net.transmit(a_id, b_id, "during".into());
+        net.run_until(Time::millis(25));
+        net.transmit(a_id, b_id, "after".into());
+        net.run_to_quiescence();
+        let got: Vec<String> = lb
+            .borrow()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                NodeEvent::Message { msg, .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(got, vec!["before".to_string(), "after".to_string()]);
+        assert_eq!(net.metrics().counter("simnet.dropped_loss"), 1);
+        assert_eq!(net.metrics().counter("simnet.link_change"), 2);
+    }
+
+    #[test]
+    fn scheduled_default_link_change_applies_to_unspecified_pairs() {
+        let mut net: SimNet<String> = SimNet::new(1);
+        net.set_default_link(LinkSpec {
+            latency: Dur::millis(1),
+            jitter: Dur::ZERO,
+            loss: 0.0,
+            per_byte: Dur::ZERO,
+        });
+        let (a, _la) = logger(false);
+        let (b, lb) = logger(false);
+        let a_id = net.add_node(a);
+        let b_id = net.add_node(b);
+        net.schedule_default_link(
+            Time::millis(10),
+            LinkSpec {
+                latency: Dur::millis(50),
+                jitter: Dur::ZERO,
+                loss: 0.0,
+                per_byte: Dur::ZERO,
+            },
+        );
+        net.run_until(Time::millis(12));
+        net.transmit(a_id, b_id, "slow".into());
+        net.run_to_quiescence();
+        let log = lb.borrow();
+        let (at, _) = log
+            .iter()
+            .find(|(_, e)| matches!(e, NodeEvent::Message { .. }))
+            .unwrap();
+        assert_eq!(*at, Time::millis(62));
     }
 
     #[test]

@@ -10,6 +10,16 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# Fault-injection matrix under two fixed seeds: the suite itself checks
+# bit-reproducibility per seed; running a second seed (release, so the
+# threaded watchdog timings are realistic) guards against tuning the
+# resilience layer to one lucky point in seed space.
+echo "==> fault injection matrix (seed 2005, debug)"
+WSP_FAULT_SEED=2005 cargo test -q -p wsp-integration-tests --test fault_injection
+
+echo "==> fault injection matrix (seed 7, release)"
+WSP_FAULT_SEED=7 cargo test -q --release -p wsp-integration-tests --test fault_injection
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
