@@ -6,7 +6,7 @@
 //! ```
 
 use wsp_bench::common::render_table;
-use wsp_bench::{a1, a2, e1, e2, e3, e4, e5, e6, e7, e8, e9};
+use wsp_bench::{a1, a2, e1, e10, e2, e3, e4, e5, e6, e7, e8, e9};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
@@ -322,6 +322,63 @@ fn main() {
             "A2  ablation: advert refresh interval at 80% rendezvous availability",
             &["refresh", "locate success"],
             &rows,
+        )
+    );
+
+    // E10 — telemetry overhead A/B and correlated reconstruction. Runs
+    // last so the enabled-registry half never perturbs other tables.
+    let calls = if quick { 500 } else { 5000 };
+    let e10_rows = e10::overhead(calls);
+    let baseline_p99 = e10_rows[0].p99_us;
+    let rows: Vec<Vec<String>> = e10_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.calls.to_string(),
+                format!("{:.1}", r.mean_us),
+                format!("{:.1}", r.p50_us),
+                format!("{:.1}", r.p99_us),
+                format!("{:+.1}%", (r.p99_us / baseline_p99 - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E10 telemetry overhead: invoke pipeline, registry off vs on ({calls} calls)"),
+            &[
+                "registry",
+                "calls",
+                "mean us",
+                "p50 us",
+                "p99 us",
+                "p99 delta"
+            ],
+            &rows,
+        )
+    );
+    let r = e10::reconstruction();
+    println!(
+        "{}",
+        render_table(
+            "E10 reconstruction from one correlation id (dead endpoint, tripped breaker)",
+            &[
+                "corr id",
+                "spans",
+                "dead attempts",
+                "trips",
+                "in /metrics",
+                "stages"
+            ],
+            &[vec![
+                r.token.to_string(),
+                r.spans.to_string(),
+                r.dead_attempts.to_string(),
+                r.breaker_trips.to_string(),
+                r.in_metrics_text.to_string(),
+                r.stages.join(" -> "),
+            ]],
         )
     );
 }

@@ -9,9 +9,11 @@ use crate::endpoint::{BindingKind, DeployedService, LocatedService};
 use crate::error::WspError;
 use crate::events::{EventBus, ServerMessageEvent, ServerPhase};
 use crate::query::{properties_to_uddi_categories, ServiceQuery};
+use crate::telemetry::{self, CorrelationScope};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Instant;
 use wsp_http::{
     guard_router, http_call, ConnectionPool, HttpUri, HttpgCredential, Request, Response, TcpServer,
 };
@@ -21,6 +23,10 @@ use wsp_wsdl::{
     MessageEngine, Port, ServiceDescriptor, ServiceHandler, ServiceProxy, TransportKind, Value,
     WsdlDocument,
 };
+
+/// Wire header carrying the caller's correlation token; the serving
+/// peer adopts it so client- and server-side spans share one trace id.
+pub const CORRELATION_HEADER: &str = "X-WSP-Correlation";
 
 /// Configuration of the standard binding.
 #[derive(Clone)]
@@ -63,14 +69,18 @@ struct Shared {
 
 impl Shared {
     /// Launch the host lazily — deployment, not construction, starts
-    /// the server (the paper's container-less behaviour).
-    fn ensure_host(&self) -> Result<(String, u16), WspError> {
+    /// the server (the paper's container-less behaviour). The host
+    /// always carries a plain-text `/metrics` route exposing the
+    /// process-wide telemetry registry plus this binding's pool and
+    /// dispatcher gauges.
+    fn ensure_host(self: &Arc<Self>) -> Result<(String, u16), WspError> {
         let mut host = self.host.lock();
         if host.is_none() {
             let router = wsp_http::Router::new();
             if let Some(credential) = &self.config.httpg {
                 guard_router(&router, credential.clone());
             }
+            router.deploy_internal("metrics", metrics_handler(Arc::downgrade(self)));
             let server = TcpServer::launch(self.config.port, router)
                 .map_err(|e| WspError::Deploy(format!("cannot launch HTTP host: {e}")))?;
             *host = Some(server);
@@ -118,6 +128,40 @@ impl Shared {
             http_call(&uri.host, uri.port, request).map_err(|e| WspError::Transport(e.to_string()))
         }
     }
+}
+
+/// The `/metrics` route: the process-wide telemetry registry rendered
+/// as plain text, followed by connection-pool and dispatcher gauges
+/// owned by this binding. Holds only a `Weak` so an undeployed binding
+/// can drop even while its host lingers.
+fn metrics_handler(shared: Weak<Shared>) -> wsp_http::HttpHandler {
+    Arc::new(move |_request: &Request| {
+        let mut extra = String::new();
+        if let Some(shared) = shared.upgrade() {
+            let pool = shared.pool.stats();
+            extra.push_str(&format!("http_pool_hits {}\n", pool.hits));
+            extra.push_str(&format!("http_pool_misses {}\n", pool.misses));
+            extra.push_str(&format!("http_pool_retired {}\n", pool.retired));
+            extra.push_str(&format!("http_pool_retries {}\n", pool.retries));
+            extra.push_str(&format!("http_pool_idle {}\n", shared.pool.idle_count()));
+            let dispatcher = shared.dispatcher.read().clone();
+            if let Some(dispatcher) = dispatcher {
+                let stats = dispatcher.stats();
+                extra.push_str(&format!("dispatch_submitted {}\n", stats.submitted));
+                extra.push_str(&format!("dispatch_completed {}\n", stats.completed));
+                extra.push_str(&format!("dispatch_failed {}\n", stats.failed));
+                extra.push_str(&format!("dispatch_cancelled {}\n", stats.cancelled));
+                extra.push_str(&format!("dispatch_queue_depth {}\n", stats.queue_depth));
+                extra.push_str(&format!("dispatch_in_flight {}\n", stats.in_flight));
+                extra.push_str(&format!("dispatch_pending_calls {}\n", stats.pending_calls));
+                extra.push_str(&format!("dispatch_workers {}\n", stats.workers));
+            }
+        }
+        Response::ok(
+            "text/plain; charset=utf-8",
+            telemetry::render_metrics_with(telemetry::global(), &extra),
+        )
+    })
 }
 
 /// The HTTP/UDDI binding: plug into a [`crate::Peer`] and the peer
@@ -236,9 +280,34 @@ impl ServiceDeployer for HttpDeployer {
                     Response::ok("text/xml; charset=utf-8", wsdl_xml.clone())
                 }
                 wsp_http::Method::Post => {
+                    // Adopt the caller's correlation token (if any) for
+                    // every span and event fired while serving this
+                    // request — one id reconstructs the full round trip.
+                    let correlation = request
+                        .headers
+                        .get(CORRELATION_HEADER)
+                        .and_then(|v| v.trim().parse().ok())
+                        .unwrap_or(0u64);
+                    let _scope = CorrelationScope::enter(correlation);
+                    let registry = telemetry::global();
+                    let serve_started = Instant::now();
+                    if registry.is_enabled() {
+                        registry.span(
+                            correlation,
+                            "server.request",
+                            format_args!("service={service_name}"),
+                        );
+                    }
                     let envelope = match Envelope::from_xml(&request.body_str()) {
                         Ok(envelope) => envelope,
                         Err(e) => {
+                            if registry.is_enabled() {
+                                registry.span(
+                                    correlation,
+                                    "server.fault",
+                                    format_args!("service={service_name} error={e}"),
+                                );
+                            }
                             let fault = Envelope::fault(e.to_fault());
                             let mut r = Response::new(500, "Internal Server Error");
                             r.headers
@@ -277,9 +346,31 @@ impl ServiceDeployer for HttpDeployer {
                             r.headers
                                 .set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
                             r.body = response.to_xml().into_bytes();
+                            if registry.is_enabled() {
+                                registry
+                                    .histogram("server.serve_us")
+                                    .record_micros(serve_started.elapsed());
+                                registry.span(
+                                    correlation,
+                                    "server.response",
+                                    format_args!("service={service_name} status={status}"),
+                                );
+                            }
                             r
                         }
-                        None => Response::new(202, "Accepted"), // one-way
+                        None => {
+                            if registry.is_enabled() {
+                                registry
+                                    .histogram("server.serve_us")
+                                    .record_micros(serve_started.elapsed());
+                                registry.span(
+                                    correlation,
+                                    "server.response",
+                                    format_args!("service={service_name} status=202"),
+                                );
+                            }
+                            Response::new(202, "Accepted") // one-way
+                        }
                     }
                 }
                 _ => Response::bad_request("SOAP endpoints accept GET (?wsdl) and POST"),
@@ -394,6 +485,11 @@ fn fetch_wsdl(shared: &Shared, access_point: &str) -> Option<LocatedService> {
 
 impl ServiceLocator for UddiLocator {
     fn locate(&self, query: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
+        let registry = telemetry::global();
+        let locate_started = Instant::now();
+        if registry.is_enabled() {
+            registry.counter("uddi.locate.queries").incr();
+        }
         let records = self
             .shared
             .uddi
@@ -420,12 +516,23 @@ impl ServiceLocator for UddiLocator {
             for handle in handles.into_iter().flatten() {
                 found.extend(handle.wait());
             }
+            if registry.is_enabled() {
+                registry
+                    .histogram("uddi.locate.rtt_us")
+                    .record_micros(locate_started.elapsed());
+            }
             return Ok(found);
         }
-        Ok(targets
+        let found = targets
             .iter()
             .filter_map(|access_point| fetch_wsdl(&self.shared, access_point))
-            .collect())
+            .collect();
+        if registry.is_enabled() {
+            registry
+                .histogram("uddi.locate.rtt_us")
+                .record_micros(locate_started.elapsed());
+        }
+        Ok(found)
     }
 
     fn kind(&self) -> &'static str {
@@ -451,12 +558,49 @@ impl Invoker for HttpInvoker {
         let target = HttpUri::parse(&service.endpoint)
             .map(|u| u.target)
             .unwrap_or_else(|_| "/".into());
-        let request = Request::post(
+        let mut request = Request::post(
             target,
             wsp_soap::constants::CONTENT_TYPE,
             envelope.to_xml().into_bytes(),
         );
-        let response = self.shared.call(&service.endpoint, request)?;
+        // Thread the caller's correlation token through the wire so the
+        // serving peer's spans line up with ours in one trace.
+        let correlation = telemetry::current_correlation();
+        if correlation != 0 {
+            request
+                .headers
+                .set(CORRELATION_HEADER, correlation.to_string());
+        }
+        let registry = telemetry::global();
+        let started = Instant::now();
+        if registry.is_enabled() {
+            registry.span(
+                correlation,
+                "http.request",
+                format_args!("endpoint={} operation={operation}", service.endpoint),
+            );
+        }
+        let response = match self.shared.call(&service.endpoint, request) {
+            Ok(response) => {
+                if registry.is_enabled() {
+                    registry
+                        .histogram("http.roundtrip_us")
+                        .record_micros(started.elapsed());
+                    registry.span(
+                        correlation,
+                        "http.response",
+                        format_args!("status={}", response.status),
+                    );
+                }
+                response
+            }
+            Err(error) => {
+                if registry.is_enabled() {
+                    registry.span(correlation, "http.error", format_args!("error={error}"));
+                }
+                return Err(error);
+            }
+        };
         let expects_response = service
             .wsdl
             .descriptor

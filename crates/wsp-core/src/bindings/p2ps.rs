@@ -13,6 +13,7 @@ use crate::endpoint::{BindingKind, DeployedService, LocatedService};
 use crate::error::WspError;
 use crate::events::{EventBus, ServerMessageEvent, ServerPhase};
 use crate::query::ServiceQuery;
+use crate::telemetry;
 use crossbeam_channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -278,6 +279,21 @@ fn request_over_pipe(
 ) -> Result<Envelope, WspError> {
     let dispatcher = shared.dispatcher_handle();
     let token = dispatcher.next_token();
+    let registry = telemetry::global();
+    let started = Instant::now();
+    if registry.is_enabled() {
+        // Spans land under the *caller's* correlation (the invoking
+        // job), with the pipe's own correlator token in the detail.
+        registry.span(
+            telemetry::current_correlation(),
+            "p2ps.request",
+            format_args!(
+                "pipe={}#{} rpc_token={token}",
+                target.service.as_deref().unwrap_or(""),
+                target.name
+            ),
+        );
+    }
     // Step 1-2: create a return pipe and its advertisement.
     let return_pipe = shared.peer.open_pipe(None);
     // Register the call in the correlation table; the demux completes
@@ -296,9 +312,28 @@ fn request_over_pipe(
     shared.pending_requests.lock().remove(&token);
     shared.peer.close_pipe(return_pipe);
     match result {
-        Ok(envelope) => Ok(envelope),
+        Ok(envelope) => {
+            if registry.is_enabled() {
+                registry
+                    .histogram("p2ps.roundtrip_us")
+                    .record_micros(started.elapsed());
+                registry.span(
+                    telemetry::current_correlation(),
+                    "p2ps.response",
+                    format_args!("rpc_token={token}"),
+                );
+            }
+            Ok(envelope)
+        }
         Err(handle) => {
             handle.cancel();
+            if registry.is_enabled() {
+                registry.span(
+                    telemetry::current_correlation(),
+                    "p2ps.timeout",
+                    format_args!("rpc_token={token}"),
+                );
+            }
             Err(WspError::Timeout {
                 what: "pipe request",
                 millis: shared.config.request_timeout.as_millis() as u64,
@@ -419,6 +454,16 @@ impl ServiceLocator for P2psLocator {
     fn locate(&self, query: &ServiceQuery) -> Result<Vec<LocatedService>, WspError> {
         self.shared.ensure_demux();
         let token = self.shared.dispatcher_handle().next_token();
+        let registry = telemetry::global();
+        let discovery_started = Instant::now();
+        if registry.is_enabled() {
+            registry.counter("p2ps.discovery.queries").incr();
+            registry.span(
+                telemetry::current_correlation(),
+                "p2ps.discovery",
+                format_args!("query_token={token}"),
+            );
+        }
         let (tx, rx) = unbounded();
         self.shared.pending_queries.lock().insert(token, tx);
         self.shared.peer.query(token, query.to_p2ps());
@@ -464,6 +509,16 @@ impl ServiceLocator for P2psLocator {
                 advert.uri().address(),
                 BindingKind::P2ps,
             ));
+        }
+        if registry.is_enabled() {
+            // Full discovery round trip: flood window plus the WSDL
+            // retrievals over definition pipes.
+            registry
+                .histogram("p2ps.discovery.rtt_us")
+                .record_micros(discovery_started.elapsed());
+            registry
+                .counter("p2ps.discovery.hits")
+                .add(found.len() as u64);
         }
         Ok(found)
     }

@@ -18,6 +18,7 @@ use crate::events::{
 use crate::health::{Admission, EndpointHealth};
 use crate::query::{QueryExpr, ServiceQuery};
 use crate::resilience::ResiliencePolicy;
+use crate::telemetry;
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,6 +46,13 @@ pub struct Client {
     /// Per-endpoint circuit breakers, shared across all this client's
     /// calls (and visible via [`crate::Peer::health`]).
     health: Arc<EndpointHealth>,
+    /// Cached end-to-end invoke latency histogram (covers the whole
+    /// retry/failover loop; no-op while telemetry is disabled).
+    invoke_us: Arc<telemetry::Histogram>,
+    /// Per-endpoint attempt counters, resolved once per endpoint so the
+    /// steady-state attempt path never formats a name or takes the
+    /// registry lock.
+    attempt_counters: Arc<RwLock<std::collections::HashMap<String, Arc<telemetry::Counter>>>>,
 }
 
 impl Client {
@@ -63,6 +71,8 @@ impl Client {
             dispatcher,
             policy: RwLock::new(ResiliencePolicy::none()),
             health: Arc::new(EndpointHealth::default()),
+            invoke_us: telemetry::global().histogram("client.invoke_us"),
+            attempt_counters: Arc::new(RwLock::new(std::collections::HashMap::new())),
         })
     }
 
@@ -127,6 +137,10 @@ impl Client {
         let locator = self.locator.read().clone();
         let events = self.events.clone();
         let job = move || {
+            let registry = telemetry::global();
+            if registry.is_enabled() {
+                registry.span(token, "client.locate", format_args!("query={query:?}"));
+            }
             let result = match locator {
                 Some(locator) => locator.locate(&query),
                 None => Err(WspError::Locate("no ServiceLocator plugged in".into())),
@@ -206,17 +220,32 @@ impl Client {
         // The deadline clock starts at submission, so queueing time
         // counts against the call's budget.
         let deadline = policy.deadline.map(|d| Instant::now() + d);
+        let invoke_us = self.invoke_us.clone();
+        let attempt_counters = self.attempt_counters.clone();
         let job = move || {
+            let registry = telemetry::global();
+            let started = Instant::now();
             let attempts = ResilientAttempts {
                 policy: &policy,
                 health: &health,
                 invokers: &invokers,
                 locator: locator.as_ref(),
                 events: &events,
+                attempt_counters: &attempt_counters,
                 token,
                 deadline,
             };
             let result = attempts.run(service.clone(), &operation, &args);
+            invoke_us.record_micros(started.elapsed());
+            if registry.is_enabled() {
+                if let Err(error) = &result {
+                    registry.span(
+                        token,
+                        "client.error",
+                        format_args!("endpoint={} error={error}", service.endpoint),
+                    );
+                }
+            }
             events.fire_client(&ClientMessageEvent {
                 token,
                 service: service.name().to_owned(),
@@ -264,12 +293,35 @@ struct ResilientAttempts<'a> {
     invokers: &'a [Arc<dyn Invoker>],
     locator: Option<&'a Arc<dyn ServiceLocator>>,
     events: &'a EventBus,
+    attempt_counters: &'a RwLock<std::collections::HashMap<String, Arc<telemetry::Counter>>>,
     token: u64,
     deadline: Option<Instant>,
 }
 
 impl ResilientAttempts<'_> {
     fn fire(&self, service: &LocatedService, action: ResilienceAction) {
+        let registry = telemetry::global();
+        if registry.is_enabled() {
+            let stage = match &action {
+                ResilienceAction::AttemptFailed { .. } => "resilience.attempt_failed",
+                ResilienceAction::FailedOver { .. } => "resilience.failed_over",
+                ResilienceAction::BreakerTripped => "resilience.breaker_tripped",
+                ResilienceAction::BreakerProbe => "resilience.breaker_probe",
+                ResilienceAction::BreakerRecovered => "resilience.breaker_recovered",
+                ResilienceAction::DeadlineExceeded { .. } => "resilience.deadline_exceeded",
+            };
+            match &action {
+                ResilienceAction::BreakerTripped => registry.counter("breaker.trips").incr(),
+                ResilienceAction::BreakerProbe => registry.counter("breaker.probes").incr(),
+                ResilienceAction::BreakerRecovered => registry.counter("breaker.recoveries").incr(),
+                _ => {}
+            }
+            registry.span(
+                self.token,
+                stage,
+                format_args!("endpoint={} action={action:?}", service.endpoint),
+            );
+        }
         self.events.fire_resilience(&ResilienceMessageEvent {
             token: self.token,
             service: service.name().to_owned(),
@@ -286,6 +338,32 @@ impl ResilientAttempts<'_> {
         operation: &str,
         args: &[Value],
     ) -> Result<Value, WspError> {
+        let registry = telemetry::global();
+        if registry.is_enabled() {
+            // Per-endpoint attempt count — every admission request,
+            // including ones the breaker rejects without touching the
+            // wire, so breaker effectiveness is visible. The handle is
+            // cached per endpoint: steady state is a read lock + incr,
+            // no name formatting, no registry lock.
+            let hit = {
+                let cached = self.attempt_counters.read();
+                match cached.get(&service.endpoint) {
+                    Some(counter) => {
+                        counter.incr();
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if !hit {
+                let counter =
+                    registry.counter(format!("client.attempts{{endpoint={}}}", service.endpoint));
+                counter.incr();
+                self.attempt_counters
+                    .write()
+                    .insert(service.endpoint.clone(), counter);
+            }
+        }
         let breaker = self.health.breaker(&service.endpoint);
         let admission = breaker.try_acquire(Instant::now());
         if admission == Admission::Rejected {
@@ -365,7 +443,29 @@ impl ResilientAttempts<'_> {
         loop {
             attempt += 1;
             let error = match self.attempt(&service, operation, args) {
-                Ok(value) => return Ok(value),
+                Ok(value) => {
+                    let registry = telemetry::global();
+                    if registry.is_enabled() {
+                        // One closing span per call instead of a
+                        // start/end pair: at microsecond invoke scale a
+                        // second span per call is a measurable slice of
+                        // the E10 overhead budget, and the resilience
+                        // spans already narrate multi-attempt calls.
+                        // Push-built detail: `core::fmt` dispatch alone
+                        // costs more than the rest of the record.
+                        registry.span_with(self.token, "client.ok", |d| {
+                            d.push("service=")
+                                .push(service.name())
+                                .push(" operation=")
+                                .push(operation)
+                                .push(" endpoint=")
+                                .push(&service.endpoint)
+                                .push(" attempts=")
+                                .push_u64(attempt as u64);
+                        });
+                    }
+                    return Ok(value);
+                }
                 Err(e) => e,
             };
             let will_retry = self.policy.is_retryable(&error) && attempt < self.policy.max_attempts;

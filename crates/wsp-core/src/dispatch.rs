@@ -28,6 +28,7 @@
 //! survives.
 
 use crate::error::WspError;
+use crate::telemetry::{self, CorrelationScope, Histogram};
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -76,7 +77,16 @@ pub struct DispatcherStats {
     pub workers: usize,
 }
 
-type Job = Box<dyn FnOnce() + Send>;
+type BoxedFn = Box<dyn FnOnce() + Send>;
+
+/// One queued unit of work. `enqueued_at` is set at submission while
+/// telemetry is enabled; [`Inner::run_job`] then records queue-wait and
+/// run time against the dispatcher's cached histograms — no extra
+/// closure wrapping on the hot path.
+struct Job {
+    run: BoxedFn,
+    enqueued_at: Option<Instant>,
+}
 
 /// State of one pending call.
 enum Slot<T> {
@@ -111,7 +121,6 @@ struct Inner {
     jobs_rx: Receiver<Job>,
     /// The correlation table: token → call awaiting its result.
     table: Mutex<HashMap<u64, Weak<dyn AnyCall>>>,
-    tokens: AtomicU64,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
@@ -122,7 +131,17 @@ struct Inner {
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
     workers: usize,
+    /// Cached telemetry handles — recording through them is a single
+    /// relaxed load when the global registry is disabled.
+    queue_wait_us: Arc<Histogram>,
+    run_us: Arc<Histogram>,
+    queue_depth: Arc<Histogram>,
 }
+
+/// Correlation tokens are allocated process-wide, not per dispatcher,
+/// so a token doubles as a globally unambiguous correlation id in the
+/// telemetry trace even when several peers share one process.
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 impl Inner {
     /// Pop one queued job and run it on the calling thread. The heart
@@ -140,9 +159,19 @@ impl Inner {
 
     fn run_job(&self, job: Job) {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
+        // One clock read serves as both queue-wait end and run start.
+        let started = job.enqueued_at.map(|enqueued_at| {
+            let now = Instant::now();
+            self.queue_wait_us
+                .record_micros(now.saturating_duration_since(enqueued_at));
+            now
+        });
         // Backstop isolation for fire-and-forget jobs; call-producing
         // jobs already poison their own handle before unwinding here.
-        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let outcome = catch_unwind(AssertUnwindSafe(job.run));
+        if let Some(started) = started {
+            self.run_us.record_micros(started.elapsed());
+        }
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         match outcome {
             Ok(()) => self.completed.fetch_add(1, Ordering::SeqCst),
@@ -402,7 +431,6 @@ impl Dispatcher {
             jobs_tx: Mutex::new(Some(jobs_tx)),
             jobs_rx,
             table: Mutex::new(HashMap::new()),
-            tokens: AtomicU64::new(1),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -412,6 +440,9 @@ impl Dispatcher {
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             workers,
+            queue_wait_us: telemetry::global().histogram("dispatch.queue_wait_us"),
+            run_us: telemetry::global().histogram("dispatch.run_us"),
+            queue_depth: telemetry::global().histogram("dispatch.queue_depth"),
         });
         let mut handles = Vec::with_capacity(workers);
         for index in 0..workers {
@@ -436,11 +467,12 @@ impl Dispatcher {
         Dispatcher::new(DispatcherConfig::default())
     }
 
-    /// Allocate a correlation token. Tokens are unique per dispatcher
+    /// Allocate a correlation token. Tokens are unique process-wide
     /// across locates, invokes and binding-internal requests, so one
-    /// table correlates the whole peer.
+    /// table correlates the whole peer — and the same value serves as
+    /// the unambiguous correlation id in the telemetry trace.
     pub fn next_token(&self) -> u64 {
-        self.inner.tokens.fetch_add(1, Ordering::Relaxed)
+        NEXT_TOKEN.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Submit `f` under a fresh token; its return value completes the
@@ -462,16 +494,21 @@ impl Dispatcher {
         F: FnOnce() -> T + Send + 'static,
     {
         let (handle, completer) = self.register::<T>(token);
-        let job: Job = Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
-            Ok(value) => {
-                completer.complete(value);
-            }
-            Err(payload) => {
-                let message = panic_message(payload);
-                completer.poison(message.clone());
-                // Re-raise so run_job counts the failure; the worker
-                // catches it again and survives.
-                std::panic::panic_any(message);
+        let job: BoxedFn = Box::new(move || {
+            // The token doubles as the correlation id: every span the
+            // job records (directly or via bindings) carries it.
+            let _correlation = CorrelationScope::enter(token);
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(value) => {
+                    completer.complete(value);
+                }
+                Err(payload) => {
+                    let message = panic_message(payload);
+                    completer.poison(message.clone());
+                    // Re-raise so run_job counts the failure; the worker
+                    // catches it again and survives.
+                    std::panic::panic_any(message);
+                }
             }
         });
         match self.enqueue(job, true) {
@@ -485,11 +522,20 @@ impl Dispatcher {
 
     /// Fire-and-forget: run `f` on the pool with no handle (server-side
     /// request serving, event pumping). Panics are isolated and counted.
+    /// The submitter's correlation id (if any) is inherited, so spans
+    /// recorded by fan-out work still name the originating call.
     pub fn execute<F>(&self, f: F) -> Result<(), WspError>
     where
         F: FnOnce() + Send + 'static,
     {
-        self.enqueue(Box::new(f), true)
+        let parent = telemetry::current_correlation();
+        self.enqueue(
+            Box::new(move || {
+                let _correlation = CorrelationScope::enter(parent);
+                f()
+            }),
+            true,
+        )
     }
 
     /// Non-blocking submit: errors instead of helping when the queue is
@@ -501,14 +547,17 @@ impl Dispatcher {
     {
         let token = self.next_token();
         let (handle, completer) = self.register::<T>(token);
-        let job: Job = Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
-            Ok(value) => {
-                completer.complete(value);
-            }
-            Err(payload) => {
-                let message = panic_message(payload);
-                completer.poison(message.clone());
-                std::panic::panic_any(message);
+        let job: BoxedFn = Box::new(move || {
+            let _correlation = CorrelationScope::enter(token);
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(value) => {
+                    completer.complete(value);
+                }
+                Err(payload) => {
+                    let message = panic_message(payload);
+                    completer.poison(message.clone());
+                    std::panic::panic_any(message);
+                }
             }
         });
         match self.enqueue(job, false) {
@@ -520,7 +569,14 @@ impl Dispatcher {
         }
     }
 
-    fn enqueue(&self, mut job: Job, help_when_full: bool) -> Result<(), WspError> {
+    fn enqueue(&self, run: BoxedFn, help_when_full: bool) -> Result<(), WspError> {
+        // Timestamp for queue-wait/run-time measurement only while
+        // telemetry is on: a disabled registry costs nothing but this
+        // one check.
+        let mut job = Job {
+            run,
+            enqueued_at: telemetry::global().is_enabled().then(Instant::now),
+        };
         loop {
             let Some(tx) = self.inner.jobs_tx.lock().clone() else {
                 return Err(WspError::Dispatch("dispatcher is shut down".into()));
@@ -529,6 +585,9 @@ impl Dispatcher {
             match tx.try_send(job) {
                 Ok(()) => {
                     self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+                    self.inner
+                        .queue_depth
+                        .record(self.inner.jobs_rx.len() as u64);
                     return Ok(());
                 }
                 Err(TrySendError::Full(returned)) => {

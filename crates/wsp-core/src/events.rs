@@ -166,6 +166,25 @@ struct BusInner {
     mode: RwLock<DeliveryMode>,
     queue: Mutex<VecDeque<QueuedEvent>>,
     listener_panics: AtomicUsize,
+    /// Threads currently inside [`EventBus::flush`]. A re-entrant flush
+    /// (a listener flushing from inside a queued delivery) must be a
+    /// no-op: the outer flush already drains the queue, and letting the
+    /// inner one run would deliver later events to other listeners
+    /// before they have seen the current one.
+    flushing: Mutex<Vec<std::thread::ThreadId>>,
+}
+
+/// Removes the current thread from the bus's flushing set on drop, so
+/// the marker cannot leak even if delivery unwinds.
+struct FlushGuard<'bus> {
+    inner: &'bus BusInner,
+    me: std::thread::ThreadId,
+}
+
+impl Drop for FlushGuard<'_> {
+    fn drop(&mut self) {
+        self.inner.flushing.lock().retain(|id| *id != self.me);
+    }
 }
 
 /// The event fan-out shared by every node in the interface tree.
@@ -209,9 +228,24 @@ impl EventBus {
 
     /// Deliver every queued event (in fire order) on the calling
     /// thread. Events fired *by listeners* during the flush are
-    /// delivered too, before `flush` returns. No-op in
-    /// [`DeliveryMode::Immediate`].
+    /// delivered too, before `flush` returns. A listener calling
+    /// `flush` from inside a delivery is safe: the re-entrant call
+    /// returns immediately and the outer flush drains the queue, so
+    /// every event is delivered exactly once and in fire order. No-op
+    /// in [`DeliveryMode::Immediate`].
     pub fn flush(&self) {
+        let me = std::thread::current().id();
+        {
+            let mut flushing = self.inner.flushing.lock();
+            if flushing.contains(&me) {
+                return;
+            }
+            flushing.push(me);
+        }
+        let _guard = FlushGuard {
+            inner: &self.inner,
+            me,
+        };
         loop {
             let Some(event) = self.inner.queue.lock().pop_front() else {
                 return;
@@ -542,6 +576,95 @@ mod tests {
         assert_eq!(services, ["A", "B"], "flush delivers in fire order");
         bus.flush();
         assert_eq!(listener.total(), 2, "flush is idempotent when drained");
+    }
+
+    #[test]
+    fn reentrant_flush_neither_deadlocks_nor_reorders() {
+        // A listener that flushes from inside a queued delivery. Before
+        // the re-entrancy guard, the inner flush delivered event B to
+        // every listener while the listener *after* the flusher had not
+        // yet seen event A — observed order [B, A].
+        struct Flusher {
+            bus: EventBus,
+        }
+        impl PeerMessageListener for Flusher {
+            fn on_deployment(&self, _: &DeploymentMessageEvent) {
+                self.bus.flush(); // must be a harmless no-op
+            }
+        }
+        let bus = EventBus::new();
+        let seen = CollectingListener::new();
+        bus.add_listener(Arc::new(Flusher { bus: bus.clone() }));
+        bus.add_listener(seen.clone());
+        bus.set_delivery_mode(DeliveryMode::Queued);
+        bus.fire_deployment(&deployment("A"));
+        bus.fire_deployment(&deployment("B"));
+        bus.flush();
+        let services: Vec<String> = seen
+            .deployments
+            .read()
+            .iter()
+            .map(|e| e.service.clone())
+            .collect();
+        assert_eq!(services, ["A", "B"], "exactly once, in fire order");
+        bus.flush();
+        assert_eq!(seen.total(), 2, "nothing re-delivered or lost");
+    }
+
+    #[test]
+    fn listener_firing_and_flushing_during_flush_loses_nothing() {
+        // The worst case: a listener both fires a new event and calls
+        // flush from inside a delivery. The cascade must arrive exactly
+        // once, after the event that caused it.
+        struct FireAndFlush {
+            bus: EventBus,
+        }
+        impl PeerMessageListener for FireAndFlush {
+            fn on_deployment(&self, event: &DeploymentMessageEvent) {
+                if event.service == "first" {
+                    self.bus.fire_deployment(&deployment("second"));
+                    self.bus.flush();
+                }
+            }
+        }
+        let bus = EventBus::new();
+        let seen = CollectingListener::new();
+        bus.add_listener(Arc::new(FireAndFlush { bus: bus.clone() }));
+        bus.add_listener(seen.clone());
+        bus.set_delivery_mode(DeliveryMode::Queued);
+        bus.fire_deployment(&deployment("first"));
+        bus.flush();
+        let services: Vec<String> = seen
+            .deployments
+            .read()
+            .iter()
+            .map(|e| e.service.clone())
+            .collect();
+        assert_eq!(services, ["first", "second"]);
+    }
+
+    #[test]
+    fn concurrent_flushes_deliver_each_event_once() {
+        // Two threads flushing the same bus race on the queue, not on
+        // delivery: each queued event is popped (and delivered) by
+        // exactly one of them.
+        let bus = EventBus::new();
+        let seen = CollectingListener::new();
+        bus.add_listener(seen.clone());
+        bus.set_delivery_mode(DeliveryMode::Queued);
+        for i in 0..100 {
+            bus.fire_deployment(&deployment(&format!("svc-{i}")));
+        }
+        let flushers: Vec<_> = (0..2)
+            .map(|_| {
+                let bus = bus.clone();
+                std::thread::spawn(move || bus.flush())
+            })
+            .collect();
+        for f in flushers {
+            f.join().unwrap();
+        }
+        assert_eq!(seen.total(), 100);
     }
 
     #[test]

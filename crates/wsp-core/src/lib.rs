@@ -89,6 +89,7 @@ pub mod query;
 pub mod resilience;
 pub mod server;
 pub mod state;
+pub mod telemetry;
 pub mod workflow;
 
 pub use client::Client;
@@ -107,4 +108,8 @@ pub use query::{QueryExpr, ServiceQuery};
 pub use resilience::{ResiliencePolicy, RetryClass};
 pub use server::Server;
 pub use state::StatefulService;
+pub use telemetry::{
+    CorrelationScope, Counter, Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot,
+    TraceEvent,
+};
 pub use workflow::{Stage, Workflow, WorkflowRun};

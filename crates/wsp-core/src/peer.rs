@@ -82,6 +82,14 @@ impl Peer {
         self.client.health()
     }
 
+    /// The process-wide telemetry registry this peer's dispatch core,
+    /// client and bindings record into (see `wsp_core::telemetry`).
+    /// Process-wide because correlation tokens are process-unique: one
+    /// trace reconstructs a call across every peer in the process.
+    pub fn telemetry(&self) -> &'static crate::telemetry::Telemetry {
+        crate::telemetry::global()
+    }
+
     pub fn server(&self) -> &Arc<Server> {
         &self.server
     }

@@ -187,14 +187,30 @@ fn parse_headers<'a, I: Iterator<Item = &'a [u8]>>(lines: I) -> Result<Headers, 
     Ok(headers)
 }
 
+/// Resolve the body length from *every* `Content-Length` header, not
+/// just the first: duplicate conflicting values are the classic
+/// request-smuggling shape (two parsers disagreeing on where the body
+/// ends), so they are rejected outright. Exact duplicates are
+/// tolerated, as proxies sometimes repeat the header verbatim.
 fn content_length(headers: &Headers) -> Result<usize, HttpError> {
-    match headers.get("content-length") {
-        None => Ok(0),
-        Some(v) => v
+    let mut length: Option<usize> = None;
+    for (name, value) in headers.iter() {
+        if !name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let parsed: usize = value
             .trim()
             .parse()
-            .map_err(|_| HttpError::Malformed("bad Content-Length")),
+            .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+        match length {
+            None => length = Some(parsed),
+            Some(existing) if existing == parsed => {}
+            Some(_) => {
+                return Err(HttpError::Malformed("conflicting Content-Length headers"));
+            }
+        }
     }
+    Ok(length.unwrap_or(0))
 }
 
 fn trim_cr(line: &[u8]) -> &[u8] {
@@ -296,6 +312,38 @@ mod tests {
             parse_response(b"HTTP/1.1 abc OK\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_rejected() {
+        // The request-smuggling shape: two parsers picking different
+        // values would disagree on where the body ends.
+        let raw = b"POST /s HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 11\r\n\r\nhello world";
+        assert_eq!(
+            parse_request(raw).unwrap_err(),
+            HttpError::Malformed("conflicting Content-Length headers")
+        );
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nokok";
+        assert_eq!(
+            parse_response(raw).unwrap_err(),
+            HttpError::Malformed("conflicting Content-Length headers")
+        );
+    }
+
+    #[test]
+    fn repeated_identical_content_lengths_tolerated() {
+        let raw = b"POST /s HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let (parsed, _) = parse_request(raw).unwrap();
+        assert_eq!(parsed.body, b"hello");
+    }
+
+    #[test]
+    fn conflicting_content_length_with_garbage_value_rejected() {
+        let raw = b"POST /s HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: soap\r\n\r\nhello";
+        assert_eq!(
+            parse_request(raw).unwrap_err(),
+            HttpError::Malformed("bad Content-Length")
+        );
     }
 
     #[test]

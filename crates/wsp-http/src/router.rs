@@ -23,6 +23,10 @@ pub type Interceptor = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
 #[derive(Default)]
 struct Routes {
     services: BTreeMap<String, HttpHandler>,
+    /// Host utility routes (e.g. `/metrics`): reachable by path but not
+    /// services — the root listing and service counts never include
+    /// them, and a deployed service of the same name shadows them.
+    internal: BTreeMap<String, HttpHandler>,
     interceptor: Option<Interceptor>,
 }
 
@@ -44,6 +48,18 @@ impl Router {
         self.routes
             .write()
             .services
+            .insert(name.to_owned(), handler);
+    }
+
+    /// Register a host utility route at `/name` (e.g. `/metrics`). It
+    /// answers requests like a service but is invisible to the root
+    /// listing, [`Router::service_names`] and [`Router::service_count`]
+    /// — the paper's host lists *available services*, and an
+    /// observability endpoint is not one.
+    pub fn deploy_internal(&self, name: &str, handler: HttpHandler) {
+        self.routes
+            .write()
+            .internal
             .insert(name.to_owned(), handler);
     }
 
@@ -72,7 +88,11 @@ impl Router {
         let (interceptor, handler, listing) = {
             let routes = self.routes.read();
             let name = request.path().trim_start_matches('/').to_owned();
-            let handler = routes.services.get(&name).cloned();
+            let handler = routes
+                .services
+                .get(&name)
+                .or_else(|| routes.internal.get(&name))
+                .cloned();
             let listing = if name.is_empty() {
                 Some(routes.services.keys().cloned().collect::<Vec<_>>())
             } else {
@@ -159,6 +179,21 @@ mod tests {
             r.handle(&Request::get("/Echo?intercept")).body_str(),
             "handler"
         );
+    }
+
+    #[test]
+    fn internal_routes_answer_but_stay_off_the_listing() {
+        let r = Router::new();
+        r.deploy("Echo", ok_handler("echo"));
+        r.deploy_internal("metrics", ok_handler("gauges"));
+        assert_eq!(r.handle(&Request::get("/metrics")).body_str(), "gauges");
+        assert_eq!(r.handle(&Request::get("/")).body_str(), "Echo");
+        assert_eq!(r.service_names(), vec!["Echo".to_owned()]);
+        assert_eq!(r.service_count(), 1);
+        // A service deployed under the same name shadows the utility
+        // route rather than the other way around.
+        r.deploy("metrics", ok_handler("service"));
+        assert_eq!(r.handle(&Request::get("/metrics")).body_str(), "service");
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub use sim_driver::{
     add_peer, build_overlay, peer_id_for, Directory, P2psHandle, P2psSimNode, PeerCommand,
     PeerEvent, RQ_RESEND_TAG, RQ_TIMEOUT_TAG, WAKE_TAG,
 };
-pub use thread_driver::{ThreadNetwork, ThreadPeer, ThreadPeerEvent};
+pub use thread_driver::{ThreadNetwork, ThreadNetworkStats, ThreadPeer, ThreadPeerEvent};
 pub use uri::{P2psUri, P2psUriError};

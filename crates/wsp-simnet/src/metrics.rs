@@ -150,6 +150,69 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut populated = Metrics::new();
+        populated.incr("x", 3);
+        populated.record("s", 5);
+        let before_counters: Vec<_> = populated.counters().collect();
+        let before_samples = populated.samples("s").to_vec();
+
+        // Empty into populated: nothing changes.
+        populated.merge(&Metrics::new());
+        assert_eq!(populated.counters().collect::<Vec<_>>(), before_counters);
+        assert_eq!(populated.samples("s"), before_samples.as_slice());
+
+        // Populated into empty: everything copies.
+        let mut empty = Metrics::new();
+        empty.merge(&populated);
+        assert_eq!(empty.counter("x"), 3);
+        assert_eq!(empty.samples("s"), &[5]);
+        assert!(empty.summary("missing").is_none(), "still no phantom keys");
+    }
+
+    #[test]
+    fn merge_of_two_empties_stays_empty() {
+        let mut a = Metrics::new();
+        a.merge(&Metrics::new());
+        assert_eq!(a.counters().count(), 0);
+        assert!(a.samples("anything").is_empty());
+        assert!(a.summary("anything").is_none());
+    }
+
+    #[test]
+    fn single_sample_summary_is_degenerate() {
+        let mut m = Metrics::new();
+        m.record("one", 42);
+        let s = m.summary("one").unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (42, 42));
+        assert_eq!((s.p50, s.p90, s.p99), (42, 42, 42));
+        assert!((s.mean - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_seed_merge_order_does_not_change_summary() {
+        // Aggregating per-seed runs must be order-insensitive: the
+        // summary sorts, so A.merge(B) and B.merge(A) agree even though
+        // the underlying sample vectors differ in order.
+        let mut seed_a = Metrics::new();
+        for v in [100, 7, 93, 2, 55] {
+            seed_a.record("lat", v);
+        }
+        let mut seed_b = Metrics::new();
+        for v in [60, 1, 88, 42] {
+            seed_b.record("lat", v);
+        }
+        let mut ab = seed_a.clone();
+        ab.merge(&seed_b);
+        let mut ba = seed_b.clone();
+        ba.merge(&seed_a);
+        assert_ne!(ab.samples("lat"), ba.samples("lat"), "orders differ");
+        assert_eq!(ab.summary("lat"), ba.summary("lat"), "summaries agree");
+        assert_eq!(ab.summary("lat").unwrap().count, 9);
+    }
+
+    #[test]
     fn counters_iterated_in_key_order() {
         let mut m = Metrics::new();
         m.incr("b", 1);

@@ -20,6 +20,13 @@ WSP_FAULT_SEED=2005 cargo test -q -p wsp-integration-tests --test fault_injectio
 echo "==> fault injection matrix (seed 7, release)"
 WSP_FAULT_SEED=7 cargo test -q --release -p wsp-integration-tests --test fault_injection
 
+# Telemetry smoke-check: deploys a service on the container-less host,
+# invokes it over real HTTP, and scrapes /metrics — counters,
+# histograms, pool/dispatcher gauges and correlated trace lines must
+# all be present (plus the fault-run reconstruction test).
+echo "==> /metrics smoke check (telemetry integration suite)"
+cargo test -q -p wsp-integration-tests --test telemetry
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
