@@ -6,7 +6,7 @@
 //! ```
 
 use wsp_bench::common::render_table;
-use wsp_bench::{a1, a2, e1, e10, e2, e3, e4, e5, e6, e7, e8, e9};
+use wsp_bench::{a1, a2, e1, e10, e11, e2, e3, e4, e5, e6, e7, e8, e9};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
@@ -321,6 +321,75 @@ fn main() {
         render_table(
             "A2  ablation: advert refresh interval at 80% rendezvous availability",
             &["refresh", "locate success"],
+            &rows,
+        )
+    );
+
+    // E11 — overload protection: goodput A/B, shed turnaround, drain.
+    let calls = if quick { 40 } else { 120 };
+    let rows: Vec<Vec<String>> = e11::goodput_pair(calls, seed)
+        .iter()
+        .map(|r| {
+            vec![
+                if r.shedding {
+                    "bounded queue"
+                } else {
+                    "unbounded"
+                }
+                .to_string(),
+                format!("{}/{}", r.completed, r.offered),
+                r.shed_503s.to_string(),
+                format!("{:.1}", r.goodput_cps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E11 goodput at 4x overload, impatient callers ({calls} calls, 100ms budget)"),
+            &["admission", "completed", "shed 503s", "goodput c/s"],
+            &rows,
+        )
+    );
+    let shed = e11::shed_turnaround(if quick { 30 } else { 200 });
+    println!(
+        "{}",
+        render_table(
+            "E11 shed turnaround over a real socket (rejecting host)",
+            &["probes", "all 503+hint", "p50 ms", "p99 ms"],
+            &[vec![
+                shed.probes.to_string(),
+                shed.all_503.to_string(),
+                format!("{:.2}", shed.p50_ms),
+                format!("{:.2}", shed.p99_ms),
+            ]],
+        )
+    );
+    let rows: Vec<Vec<String>> = e11::drain_rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.in_flight_at_stop.to_string(),
+                format!("{}/4", r.completed),
+                r.drained.to_string(),
+                r.latecomer.to_string(),
+                format!("{:.0}", r.took_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E11 shutdown with 4 slow requests in flight",
+            &[
+                "mode",
+                "in flight",
+                "completed",
+                "drained",
+                "latecomer sees",
+                "stop ms"
+            ],
             &rows,
         )
     );

@@ -1,7 +1,7 @@
 //! # wsp-bench
 //!
 //! The experiment harness for the WSPeer reproduction. Each module
-//! implements one experiment from the index in `DESIGN.md` (E1–E10);
+//! implements one experiment from the index in `DESIGN.md` (E1–E11);
 //! the `harness` binary prints every table, and one Criterion bench per
 //! experiment measures its core operation. `EXPERIMENTS.md` records the
 //! observed numbers against the paper's qualitative predictions.
@@ -18,6 +18,7 @@ pub mod a2;
 pub mod common;
 pub mod e1;
 pub mod e10;
+pub mod e11;
 pub mod e2;
 pub mod e3;
 pub mod e4;

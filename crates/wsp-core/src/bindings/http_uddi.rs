@@ -8,14 +8,16 @@ use crate::dispatch::Dispatcher;
 use crate::endpoint::{BindingKind, DeployedService, LocatedService};
 use crate::error::WspError;
 use crate::events::{EventBus, ServerMessageEvent, ServerPhase};
+use crate::overload::{self, AdmissionController, DeadlineScope, LoadShedPolicy};
 use crate::query::{properties_to_uddi_categories, ServiceQuery};
 use crate::telemetry::{self, CorrelationScope};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::{Arc, Weak};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wsp_http::{
-    guard_router, http_call, ConnectionPool, HttpUri, HttpgCredential, Request, Response, TcpServer,
+    guard_router, http_call_with_timeout, ConnectionPool, HttpUri, HttpgCredential, Request,
+    Response, ServerConfig, TcpServer, DEFAULT_CLIENT_TIMEOUT,
 };
 use wsp_soap::Envelope;
 use wsp_uddi::{BindingTemplate, BusinessService, TModel, UddiClient};
@@ -41,6 +43,12 @@ pub struct HttpUddiConfig {
     /// Reuse TCP connections across invocations (keep-alive pool)
     /// instead of the paper-era connection-per-call behaviour.
     pub keep_alive: bool,
+    /// Admission-control limits for requests served by this host.
+    /// Default is unlimited, the historical behaviour.
+    pub load_shed: LoadShedPolicy,
+    /// Transport tunables for the lightweight host (read deadlines,
+    /// connection cap, drain deadline).
+    pub server: ServerConfig,
 }
 
 impl Default for HttpUddiConfig {
@@ -50,6 +58,8 @@ impl Default for HttpUddiConfig {
             business: "wspeer".into(),
             httpg: None,
             keep_alive: false,
+            load_shed: LoadShedPolicy::default(),
+            server: ServerConfig::default(),
         }
     }
 }
@@ -62,6 +72,10 @@ struct Shared {
     published: RwLock<HashMap<String, String>>,
     pool: ConnectionPool,
     events: EventBus,
+    /// Gate on every POST the host serves: in-flight cap, queue-depth
+    /// cap (against the shared dispatcher's queue), queue-wait
+    /// watermark, and expired-deadline shedding.
+    admission: AdmissionController,
     /// The peer's shared dispatch core, installed by `on_attach`; used
     /// to fan WSDL retrieval out during discovery.
     dispatcher: RwLock<Option<Arc<Dispatcher>>>,
@@ -81,8 +95,9 @@ impl Shared {
                 guard_router(&router, credential.clone());
             }
             router.deploy_internal("metrics", metrics_handler(Arc::downgrade(self)));
-            let server = TcpServer::launch(self.config.port, router)
-                .map_err(|e| WspError::Deploy(format!("cannot launch HTTP host: {e}")))?;
+            let server =
+                TcpServer::launch_with(self.config.port, router, self.config.server.clone())
+                    .map_err(|e| WspError::Deploy(format!("cannot launch HTTP host: {e}")))?;
             *host = Some(server);
         }
         let server = host.as_ref().expect("just ensured");
@@ -105,8 +120,15 @@ impl Shared {
         }
     }
 
-    /// Issue an HTTP(G) request to an absolute endpoint URI.
-    fn call(&self, endpoint: &str, mut request: Request) -> Result<Response, WspError> {
+    /// Issue an HTTP(G) request to an absolute endpoint URI. `timeout`
+    /// caps the read wait below the default 10 s — used by deadline
+    /// propagation so a call never outlives its remaining budget.
+    fn call(
+        &self,
+        endpoint: &str,
+        mut request: Request,
+        timeout: Option<Duration>,
+    ) -> Result<Response, WspError> {
         let uri = HttpUri::parse(endpoint).map_err(|e| WspError::Invoke(e.to_string()))?;
         if uri.is_httpg() {
             let credential = self
@@ -120,12 +142,19 @@ impl Shared {
         }
         // Wire-level failures are `Transport`: the resilience layer may
         // retry them or fail over, unlike semantic `Invoke` errors.
+        // The pooled path keeps its fixed per-exchange timeout (pooled
+        // sockets share their read timeout); one-shot calls honour the
+        // tighter per-call budget.
         if self.config.keep_alive {
             self.pool
                 .call(&uri.host, uri.port, request)
                 .map_err(|e| WspError::Transport(e.to_string()))
         } else {
-            http_call(&uri.host, uri.port, request).map_err(|e| WspError::Transport(e.to_string()))
+            let timeout = timeout
+                .unwrap_or(DEFAULT_CLIENT_TIMEOUT)
+                .min(DEFAULT_CLIENT_TIMEOUT);
+            http_call_with_timeout(&uri.host, uri.port, request, timeout)
+                .map_err(|e| WspError::Transport(e.to_string()))
         }
     }
 }
@@ -144,6 +173,14 @@ fn metrics_handler(shared: Weak<Shared>) -> wsp_http::HttpHandler {
             extra.push_str(&format!("http_pool_retired {}\n", pool.retired));
             extra.push_str(&format!("http_pool_retries {}\n", pool.retries));
             extra.push_str(&format!("http_pool_idle {}\n", shared.pool.idle_count()));
+            extra.push_str(&format!(
+                "admission_in_flight {}\n",
+                shared.admission.in_flight()
+            ));
+            extra.push_str(&format!(
+                "admission_draining {}\n",
+                shared.admission.is_draining() as u8
+            ));
             let dispatcher = shared.dispatcher.read().clone();
             if let Some(dispatcher) = dispatcher {
                 let stats = dispatcher.stats();
@@ -151,6 +188,7 @@ fn metrics_handler(shared: Weak<Shared>) -> wsp_http::HttpHandler {
                 extra.push_str(&format!("dispatch_completed {}\n", stats.completed));
                 extra.push_str(&format!("dispatch_failed {}\n", stats.failed));
                 extra.push_str(&format!("dispatch_cancelled {}\n", stats.cancelled));
+                extra.push_str(&format!("dispatch_shed {}\n", stats.shed));
                 extra.push_str(&format!("dispatch_queue_depth {}\n", stats.queue_depth));
                 extra.push_str(&format!("dispatch_in_flight {}\n", stats.in_flight));
                 extra.push_str(&format!("dispatch_pending_calls {}\n", stats.pending_calls));
@@ -164,6 +202,26 @@ fn metrics_handler(shared: Weak<Shared>) -> wsp_http::HttpHandler {
     })
 }
 
+/// Map an admission-control rejection to the wire: `503` with a
+/// whole-second `Retry-After` (rounded up, HTTP-standard) plus the
+/// millisecond-precision `X-WSP-Retry-After-Ms` the WSPeer client
+/// prefers.
+fn overloaded_response(error: &WspError) -> Response {
+    let mut response = Response::unavailable(&error.to_string());
+    if let WspError::Overloaded {
+        retry_after_ms: Some(ms),
+    } = error
+    {
+        response
+            .headers
+            .set("Retry-After", ms.div_ceil(1000).max(1).to_string());
+        response
+            .headers
+            .set(overload::RETRY_AFTER_MS_HEADER, ms.to_string());
+    }
+    response
+}
+
 /// The HTTP/UDDI binding: plug into a [`crate::Peer`] and the peer
 /// becomes a standard Web service node.
 #[derive(Clone)]
@@ -173,15 +231,17 @@ pub struct HttpUddiBinding {
 
 impl HttpUddiBinding {
     pub fn new(uddi: UddiClient, events: EventBus, config: HttpUddiConfig) -> Self {
+        let admission = AdmissionController::new(config.load_shed.clone());
         HttpUddiBinding {
             shared: Arc::new(Shared {
-                config,
                 uddi,
                 host: Mutex::new(None),
                 published: RwLock::new(HashMap::new()),
                 pool: ConnectionPool::new(),
                 events,
+                admission,
                 dispatcher: RwLock::new(None),
+                config,
             }),
         }
     }
@@ -272,6 +332,9 @@ impl ServiceDeployer for HttpDeployer {
         let engine = MessageEngine::new(descriptor.clone(), handler);
         let events = self.shared.events.clone();
         let service_name = descriptor.name.clone();
+        // `Weak`: the router (inside the host, inside `Shared`) holds
+        // this handler, so a strong `Arc<Shared>` here would be a cycle.
+        let shared = Arc::downgrade(&self.shared);
 
         let http_handler: wsp_http::HttpHandler = Arc::new(move |request: &Request| {
             match request.method {
@@ -298,6 +361,44 @@ impl ServiceDeployer for HttpDeployer {
                             format_args!("service={service_name}"),
                         );
                     }
+                    // Deadline propagation: the wire carries *remaining
+                    // budget* (clock-skew safe); re-anchor it locally.
+                    let deadline = request
+                        .headers
+                        .get(overload::DEADLINE_HEADER)
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .map(overload::deadline_in_ms);
+                    // Admission control: gate on in-flight count, the
+                    // shared dispatcher's queue depth, the queue-wait
+                    // watermark, and an already-expired deadline. The
+                    // permit spans the whole serve (RAII).
+                    let _permit = match shared.upgrade() {
+                        Some(shared) => {
+                            let queue_depth = shared
+                                .dispatcher
+                                .read()
+                                .as_ref()
+                                .map(|d| d.stats().queue_depth)
+                                .unwrap_or(0);
+                            match shared.admission.try_admit(queue_depth, deadline) {
+                                Ok(permit) => Some(permit),
+                                Err(error) => {
+                                    if registry.is_enabled() {
+                                        registry.span(
+                                            correlation,
+                                            "server.shed",
+                                            format_args!("service={service_name} error={error}"),
+                                        );
+                                    }
+                                    return overloaded_response(&error);
+                                }
+                            }
+                        }
+                        None => None, // binding gone; serve best-effort
+                    };
+                    // Anything the handler invokes downstream inherits
+                    // what is left of the caller's budget.
+                    let _deadline = DeadlineScope::enter(deadline);
                     let envelope = match Envelope::from_xml(&request.body_str()) {
                         Ok(envelope) => envelope,
                         Err(e) => {
@@ -471,7 +572,7 @@ fn fetch_wsdl(shared: &Shared, access_point: &str) -> Option<LocatedService> {
             .map(|u| u.target)
             .unwrap_or_else(|_| "/".into())
     ));
-    let response = shared.call(access_point, request).ok()?;
+    let response = shared.call(access_point, request, None).ok()?;
     if !response.is_success() {
         return None;
     }
@@ -571,6 +672,27 @@ impl Invoker for HttpInvoker {
                 .headers
                 .set(CORRELATION_HEADER, correlation.to_string());
         }
+        // Deadline propagation: ship the *remaining* budget and cap the
+        // local read wait at it — a call never outlives its deadline.
+        let mut call_timeout = None;
+        if let Some(deadline) = overload::current_deadline() {
+            match overload::remaining_ms(deadline) {
+                Some(ms) => {
+                    request
+                        .headers
+                        .set(overload::DEADLINE_HEADER, ms.to_string());
+                    call_timeout = Some(Duration::from_millis(ms));
+                }
+                None => {
+                    // Budget already gone: fail locally rather than
+                    // burn the server's time on a doomed request.
+                    return Err(WspError::Timeout {
+                        what: "deadline expired before send",
+                        millis: 0,
+                    });
+                }
+            }
+        }
         let registry = telemetry::global();
         let started = Instant::now();
         if registry.is_enabled() {
@@ -580,7 +702,7 @@ impl Invoker for HttpInvoker {
                 format_args!("endpoint={} operation={operation}", service.endpoint),
             );
         }
-        let response = match self.shared.call(&service.endpoint, request) {
+        let response = match self.shared.call(&service.endpoint, request, call_timeout) {
             Ok(response) => {
                 if registry.is_enabled() {
                     registry
@@ -612,6 +734,25 @@ impl Invoker for HttpInvoker {
         }
         if response.status == 202 || (response.is_success() && response.body.is_empty()) {
             return Ok(Value::Null);
+        }
+        if response.status == 503 {
+            // A shed, not a failure: the server is alive and asked us
+            // to back off. Honour its hint (ms header preferred, the
+            // coarse `Retry-After` seconds as fallback).
+            let hint = response
+                .headers
+                .get(overload::RETRY_AFTER_MS_HEADER)
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .or_else(|| {
+                    response
+                        .headers
+                        .get("Retry-After")
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .map(|secs| secs * 1000)
+                });
+            return Err(WspError::Overloaded {
+                retry_after_ms: hint,
+            });
         }
         if !response.is_success() && response.status != 500 {
             let why = format!("endpoint answered HTTP {}", response.status);

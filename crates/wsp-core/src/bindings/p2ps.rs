@@ -12,6 +12,7 @@ use crate::dispatch::{Completer, Dispatcher};
 use crate::endpoint::{BindingKind, DeployedService, LocatedService};
 use crate::error::WspError;
 use crate::events::{EventBus, ServerMessageEvent, ServerPhase};
+use crate::overload::{self, AdmissionController, DeadlineScope, LoadShedPolicy};
 use crate::query::ServiceQuery;
 use crate::telemetry;
 use crossbeam_channel::{unbounded, Sender};
@@ -21,10 +22,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 use wsp_p2ps::{
-    decode_request, encode_response, P2psUri, PipeAdvertisement, RpcCorrelator,
+    decode_request, encode_response, P2psUri, PipeAdvertisement, ReceivedRequest, RpcCorrelator,
     ServiceAdvertisement, ThreadPeer, ThreadPeerEvent, DEFINITION_PIPE, P2PS_NS,
 };
-use wsp_soap::Envelope;
+use wsp_soap::{Envelope, HeaderBlock};
 use wsp_wsdl::{
     MessageEngine, Port, ServiceDescriptor, ServiceHandler, ServiceProxy, TransportKind, Value,
     WsdlDocument,
@@ -39,6 +40,9 @@ pub struct P2psConfig {
     pub discovery_window: Duration,
     /// How long to wait for a response on a return pipe.
     pub request_timeout: Duration,
+    /// Admission-control limits for requests this peer hosts over
+    /// pipes. Default is unlimited, the historical behaviour.
+    pub load_shed: LoadShedPolicy,
 }
 
 impl Default for P2psConfig {
@@ -46,6 +50,7 @@ impl Default for P2psConfig {
         P2psConfig {
             discovery_window: Duration::from_millis(300),
             request_timeout: Duration::from_secs(5),
+            load_shed: LoadShedPolicy::default(),
         }
     }
 }
@@ -54,6 +59,8 @@ struct Shared {
     peer: ThreadPeer,
     config: P2psConfig,
     events: EventBus,
+    /// Gate on every hosted-service request arriving over a pipe.
+    admission: AdmissionController,
     engines: RwLock<HashMap<String, Arc<MessageEngine>>>,
     wsdls: RwLock<HashMap<String, String>>,
     published: RwLock<HashMap<String, ServiceAdvertisement>>,
@@ -112,11 +119,13 @@ pub struct P2psBinding {
 
 impl P2psBinding {
     pub fn new(peer: ThreadPeer, events: EventBus, config: P2psConfig) -> Self {
+        let admission = AdmissionController::new(config.load_shed.clone());
         P2psBinding {
             shared: Arc::new(Shared {
                 peer,
                 config,
                 events,
+                admission,
                 engines: RwLock::new(HashMap::new()),
                 wsdls: RwLock::new(HashMap::new()),
                 published: RwLock::new(HashMap::new()),
@@ -195,17 +204,14 @@ fn demux_loop(weak: Weak<Shared>) {
                 payload,
             }) => {
                 if pipe.service.is_some() {
-                    // Hosted-service traffic is served on the worker
-                    // pool so the demux never blocks on a handler;
-                    // serve inline only if the dispatcher is gone.
-                    let dispatcher = shared.dispatcher_handle();
-                    let job_shared = shared.clone();
-                    let job_pipe = pipe.clone();
-                    let job_payload = payload.clone();
-                    let submitted = dispatcher
-                        .execute(move || serve_request(&job_shared, &job_pipe, &job_payload));
-                    if submitted.is_err() {
-                        serve_request(&shared, &pipe, &payload);
+                    // Hosted-service traffic passes admission control
+                    // here — before it is queued — then is served on
+                    // the worker pool so the demux never blocks on a
+                    // handler. The demux decodes the request once (it
+                    // already parses return-pipe traffic) so admission
+                    // sees the propagated deadline.
+                    if let Some(received) = decode_request(&payload) {
+                        admit_and_serve(&shared, &pipe, received);
                     }
                 } else {
                     // A return pipe: correlate with an outstanding call
@@ -224,13 +230,71 @@ fn demux_loop(weak: Weak<Shared>) {
     }
 }
 
+/// Read the propagated deadline (remaining milliseconds, re-anchored
+/// locally) from the request's `Deadline` SOAP header, if present.
+fn deadline_from_envelope(envelope: &Envelope) -> Option<std::time::Instant> {
+    let header = envelope.find_header("", overload::DEADLINE_SOAP_HEADER)?;
+    let ms = header.element.text().trim().parse::<u64>().ok()?;
+    Some(overload::deadline_in_ms(ms))
+}
+
+/// Admission-control gate for one hosted-service request: admitted work
+/// runs on the pool under its propagated deadline (expired deadlines
+/// are shed again at dequeue); a shed answers immediately with the
+/// `wsp:overloaded` busy fault and its retry hint.
+fn admit_and_serve(shared: &Arc<Shared>, pipe: &PipeAdvertisement, received: ReceivedRequest) {
+    let dispatcher = shared.dispatcher_handle();
+    let deadline = deadline_from_envelope(&received.envelope);
+    // Definition-pipe reads are exempt: they are cheap metadata, and an
+    // overloaded provider must stay discoverable so consumers back off
+    // against it rather than treating it as departed.
+    if pipe.name == DEFINITION_PIPE {
+        let received = Arc::new(received);
+        let job_shared = shared.clone();
+        let job_pipe = pipe.clone();
+        let job_received = received.clone();
+        let submitted = dispatcher.execute_with_deadline(deadline, move || {
+            serve_request(&job_shared, &job_pipe, &job_received);
+        });
+        if submitted.is_err() {
+            let _deadline = DeadlineScope::enter(deadline);
+            serve_request(shared, pipe, &received);
+        }
+        return;
+    }
+    match shared
+        .admission
+        .try_admit(dispatcher.stats().queue_depth, deadline)
+    {
+        Ok(permit) => {
+            let received = Arc::new(received);
+            let job_shared = shared.clone();
+            let job_pipe = pipe.clone();
+            let job_received = received.clone();
+            let submitted = dispatcher.execute_with_deadline(deadline, move || {
+                let _permit = permit;
+                serve_request(&job_shared, &job_pipe, &job_received);
+            });
+            // Serve inline only if the dispatcher is gone (shut down).
+            if submitted.is_err() {
+                let _deadline = DeadlineScope::enter(deadline);
+                serve_request(shared, pipe, &received);
+            }
+        }
+        Err(_) => {
+            let reason = overload::busy_fault_reason(shared.admission.policy().retry_after);
+            let busy = Envelope::fault(wsp_soap::Fault::receiver(reason));
+            if let Some((reply_pipe, wire)) = encode_response(&received, busy) {
+                shared.peer.send_pipe(reply_pipe, wire);
+            }
+        }
+    }
+}
+
 /// Server side of Figure 6: answer a request that arrived on one of our
 /// service pipes.
-fn serve_request(shared: &Shared, pipe: &PipeAdvertisement, payload: &str) {
+fn serve_request(shared: &Shared, pipe: &PipeAdvertisement, received: &ReceivedRequest) {
     let service = pipe.service.clone().expect("checked by caller");
-    let Some(received) = decode_request(payload) else {
-        return;
-    };
 
     let response = if pipe.name == DEFINITION_PIPE {
         // Serve the WSDL from the definition pipe.
@@ -264,7 +328,7 @@ fn serve_request(shared: &Shared, pipe: &PipeAdvertisement, payload: &str) {
     };
 
     if let Some(response) = response {
-        if let Some((reply_pipe, wire)) = encode_response(&received, response) {
+        if let Some((reply_pipe, wire)) = encode_response(received, response) {
             shared.peer.send_pipe(reply_pipe, wire);
         }
     }
@@ -275,10 +339,31 @@ fn serve_request(shared: &Shared, pipe: &PipeAdvertisement, payload: &str) {
 fn request_over_pipe(
     shared: &Shared,
     target: &PipeAdvertisement,
-    envelope: Envelope,
+    mut envelope: Envelope,
 ) -> Result<Envelope, WspError> {
     let dispatcher = shared.dispatcher_handle();
     let token = dispatcher.next_token();
+    // Deadline propagation: ship the remaining budget as a SOAP header
+    // and cap the response wait at it.
+    let mut request_timeout = shared.config.request_timeout;
+    if let Some(deadline) = overload::current_deadline() {
+        match overload::remaining_ms(deadline) {
+            Some(ms) => {
+                envelope.add_header(HeaderBlock::new(
+                    wsp_xml::Element::build("", overload::DEADLINE_SOAP_HEADER)
+                        .text(ms.to_string())
+                        .finish(),
+                ));
+                request_timeout = request_timeout.min(Duration::from_millis(ms));
+            }
+            None => {
+                return Err(WspError::Timeout {
+                    what: "deadline expired before send",
+                    millis: 0,
+                });
+            }
+        }
+    }
     let registry = telemetry::global();
     let started = Instant::now();
     if registry.is_enabled() {
@@ -308,7 +393,7 @@ fn request_over_pipe(
     shared.peer.send_pipe(target.clone(), wire);
     // Step 6: await the response (helping the pool while waiting, so a
     // worker making a nested call still serves incoming requests).
-    let result = handle.wait_timeout(shared.config.request_timeout);
+    let result = handle.wait_timeout(request_timeout);
     shared.pending_requests.lock().remove(&token);
     shared.peer.close_pipe(return_pipe);
     match result {
@@ -323,6 +408,24 @@ fn request_over_pipe(
                     format_args!("rpc_token={token}"),
                 );
             }
+            // A `wsp:overloaded` receiver fault is a shed, not an
+            // application fault: surface it as `Overloaded` so the
+            // retry loop honours the server's hint without counting
+            // the endpoint as unhealthy.
+            if let Some(fault) = envelope.fault_body() {
+                if let Some(hint) = overload::parse_busy_fault(&fault.reason) {
+                    if registry.is_enabled() {
+                        registry.span(
+                            telemetry::current_correlation(),
+                            "p2ps.shed",
+                            format_args!("rpc_token={token}"),
+                        );
+                    }
+                    return Err(WspError::Overloaded {
+                        retry_after_ms: hint,
+                    });
+                }
+            }
             Ok(envelope)
         }
         Err(handle) => {
@@ -336,7 +439,7 @@ fn request_over_pipe(
             }
             Err(WspError::Timeout {
                 what: "pipe request",
-                millis: shared.config.request_timeout.as_millis() as u64,
+                millis: request_timeout.as_millis() as u64,
             })
         }
     }

@@ -16,6 +16,7 @@ use crate::events::{
     ClientMessageEvent, DiscoveryMessageEvent, EventBus, ResilienceAction, ResilienceMessageEvent,
 };
 use crate::health::{Admission, EndpointHealth};
+use crate::overload::{self, DeadlineScope};
 use crate::query::{QueryExpr, ServiceQuery};
 use crate::resilience::ResiliencePolicy;
 use crate::telemetry;
@@ -375,7 +376,20 @@ impl ResilientAttempts<'_> {
             self.fire(service, ResilienceAction::BreakerProbe);
         }
         let result = match self.invokers.iter().find(|i| i.handles(&service.endpoint)) {
-            Some(invoker) => invoker.invoke(service, operation, args),
+            Some(invoker) => {
+                // Scope the call deadline to the attempt so the
+                // transport can put the remaining budget on the wire
+                // (X-WSP-Deadline / SOAP header). The effective
+                // deadline is the tighter of this call's own deadline
+                // and any inherited one — a handler making a nested
+                // outbound call cannot outlive its caller's budget.
+                let effective = match (self.deadline, overload::current_deadline()) {
+                    (Some(own), Some(inherited)) => Some(own.min(inherited)),
+                    (own, inherited) => own.or(inherited),
+                };
+                let _deadline = DeadlineScope::enter(effective);
+                invoker.invoke(service, operation, args)
+            }
             None => Err(WspError::NoBindingFor {
                 scheme: service
                     .endpoint
@@ -497,6 +511,14 @@ impl ResilientAttempts<'_> {
                 .backoff_before(attempt + 1)
                 .map(|d| self.policy.jittered(d, &mut rng))
                 .unwrap_or(Duration::ZERO);
+            // Transient-with-hint: an overloaded server's Retry-After
+            // is a floor under our own schedule — retrying sooner than
+            // the server asked would feed the very overload it is
+            // shedding.
+            let delay = match error.retry_after_hint() {
+                Some(hint) => delay.max(hint),
+                None => delay,
+            };
             if let Some(deadline) = self.deadline {
                 if Instant::now() + delay >= deadline {
                     self.fire(
@@ -928,6 +950,143 @@ mod tests {
         assert!(actions
             .iter()
             .any(|e| matches!(e.action, ResilienceAction::DeadlineExceeded { .. })));
+    }
+
+    /// Sheds the first `sheds` calls with `Overloaded` (hint attached),
+    /// then echoes.
+    struct SheddingInvoker {
+        sheds: u32,
+        hint_ms: u64,
+        calls: std::sync::atomic::AtomicU32,
+    }
+    impl Invoker for SheddingInvoker {
+        fn invoke(
+            &self,
+            _service: &LocatedService,
+            _operation: &str,
+            args: &[Value],
+        ) -> Result<Value, WspError> {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n < self.sheds {
+                Err(WspError::Overloaded {
+                    retry_after_ms: Some(self.hint_ms),
+                })
+            } else {
+                Ok(args.first().cloned().unwrap_or(Value::Null))
+            }
+        }
+        fn handles(&self, endpoint: &str) -> bool {
+            endpoint.starts_with("test://")
+        }
+        fn kind(&self) -> &'static str {
+            "shedding"
+        }
+    }
+
+    #[test]
+    fn overloaded_is_retried_and_hint_floors_the_backoff() {
+        let client = Client::new(EventBus::new());
+        let invoker = Arc::new(SheddingInvoker {
+            sheds: 1,
+            hint_ms: 60,
+            calls: std::sync::atomic::AtomicU32::new(0),
+        });
+        client.add_invoker(invoker.clone());
+        // Zero own backoff: any observed delay is the server's hint.
+        let started = Instant::now();
+        let out = client
+            .invoke_with_policy(
+                &test_service(),
+                "echoString",
+                &[Value::string("hinted")],
+                instant_policy(3),
+            )
+            .unwrap();
+        assert_eq!(out, Value::string("hinted"));
+        assert_eq!(invoker.calls.load(std::sync::atomic::Ordering::SeqCst), 2);
+        assert!(
+            started.elapsed() >= Duration::from_millis(60),
+            "retry must wait out the server's 60ms hint, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn overload_sheds_do_not_trip_the_breaker() {
+        let events = EventBus::new();
+        let listener = CollectingListener::new();
+        events.add_listener(listener.clone());
+        let client = Client::new(events);
+        client.add_invoker(Arc::new(SheddingInvoker {
+            sheds: 3, // would trip a threshold-3 breaker if sheds counted
+            hint_ms: 0,
+            calls: std::sync::atomic::AtomicU32::new(0),
+        }));
+        let handle = client.invoke_async_with_policy(
+            test_service(),
+            "echoString",
+            vec![Value::string("alive")],
+            instant_policy(5),
+        );
+        let token = handle.token();
+        assert_eq!(
+            handle.wait().unwrap(),
+            Value::string("alive"),
+            "the 4th attempt must reach the wire, not an open breaker"
+        );
+        client.dispatcher().flush();
+        let actions = listener.resilience_for(token);
+        assert!(
+            !actions
+                .iter()
+                .any(|e| matches!(e.action, ResilienceAction::BreakerTripped)),
+            "polite sheds must not blacklist a healthy endpoint: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn attempts_run_inside_a_deadline_scope() {
+        // The transport must be able to read the call's remaining
+        // budget (to serialise it on the wire) via current_deadline().
+        struct DeadlineProbe {
+            seen: Arc<parking_lot::Mutex<Vec<Option<Instant>>>>,
+        }
+        impl Invoker for DeadlineProbe {
+            fn invoke(
+                &self,
+                _service: &LocatedService,
+                _operation: &str,
+                _args: &[Value],
+            ) -> Result<Value, WspError> {
+                self.seen.lock().push(overload::current_deadline());
+                Ok(Value::Null)
+            }
+            fn handles(&self, endpoint: &str) -> bool {
+                endpoint.starts_with("test://")
+            }
+            fn kind(&self) -> &'static str {
+                "probe"
+            }
+        }
+        let client = Client::new(EventBus::new());
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        client.add_invoker(Arc::new(DeadlineProbe { seen: seen.clone() }));
+        client
+            .invoke_with_policy(
+                &test_service(),
+                "echoString",
+                &[],
+                ResiliencePolicy::none().with_deadline(Duration::from_secs(5)),
+            )
+            .unwrap();
+        client.invoke(&test_service(), "echoString", &[]).unwrap();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 2);
+        assert!(
+            seen[0].is_some(),
+            "a policy deadline is visible to the transport"
+        );
+        assert!(seen[1].is_none(), "no deadline, no scope");
     }
 
     #[test]

@@ -28,7 +28,8 @@
 //! survives.
 
 use crate::error::WspError;
-use crate::telemetry::{self, CorrelationScope, Histogram};
+use crate::overload::DeadlineScope;
+use crate::telemetry::{self, CorrelationScope, Counter, Histogram};
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -67,6 +68,9 @@ pub struct DispatcherStats {
     pub failed: u64,
     /// Calls cancelled before completion.
     pub cancelled: u64,
+    /// Jobs shed unrun at dequeue because their propagated deadline had
+    /// already expired (nobody was waiting for the answer).
+    pub shed: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: usize,
     /// Jobs currently executing (workers and helpers).
@@ -86,6 +90,10 @@ type BoxedFn = Box<dyn FnOnce() + Send>;
 struct Job {
     run: BoxedFn,
     enqueued_at: Option<Instant>,
+    /// Shed the job unrun if this has passed by the time it is popped:
+    /// the caller's propagated deadline, checked at dequeue (see
+    /// [`Dispatcher::execute_with_deadline`]).
+    deadline: Option<Instant>,
 }
 
 /// State of one pending call.
@@ -125,6 +133,7 @@ struct Inner {
     completed: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
+    shed: AtomicU64,
     in_flight: AtomicUsize,
     /// Queued + running jobs; [`Dispatcher::flush`] waits for zero.
     jobs_pending: AtomicUsize,
@@ -136,6 +145,7 @@ struct Inner {
     queue_wait_us: Arc<Histogram>,
     run_us: Arc<Histogram>,
     queue_depth: Arc<Histogram>,
+    shed_expired: Arc<Counter>,
 }
 
 /// Correlation tokens are allocated process-wide, not per dispatcher,
@@ -158,6 +168,19 @@ impl Inner {
     }
 
     fn run_job(&self, job: Job) {
+        // Dequeue-time deadline shed: if the caller's budget ran out
+        // while the job sat in the queue, nobody is waiting for the
+        // answer — dropping the closure (releasing any admission permit
+        // it holds) beats computing a response for a hung-up caller.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.shed.fetch_add(1, Ordering::SeqCst);
+            self.shed_expired.incr();
+            drop(job.run);
+            self.jobs_pending.fetch_sub(1, Ordering::SeqCst);
+            let _idle = self.idle_lock.lock();
+            self.idle_cv.notify_all();
+            return;
+        }
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         // One clock read serves as both queue-wait end and run start.
         let started = job.enqueued_at.map(|enqueued_at| {
@@ -435,6 +458,7 @@ impl Dispatcher {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             jobs_pending: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
@@ -443,6 +467,7 @@ impl Dispatcher {
             queue_wait_us: telemetry::global().histogram("dispatch.queue_wait_us"),
             run_us: telemetry::global().histogram("dispatch.run_us"),
             queue_depth: telemetry::global().histogram("dispatch.queue_depth"),
+            shed_expired: telemetry::global().counter("dispatch.shed_expired"),
         });
         let mut handles = Vec::with_capacity(workers);
         for index in 0..workers {
@@ -511,7 +536,7 @@ impl Dispatcher {
                 }
             }
         });
-        match self.enqueue(job, true) {
+        match self.enqueue(job, true, None) {
             Ok(()) => Ok(handle),
             Err(e) => {
                 self.inner.settle(token);
@@ -528,13 +553,28 @@ impl Dispatcher {
     where
         F: FnOnce() + Send + 'static,
     {
+        self.execute_with_deadline(None, f)
+    }
+
+    /// [`Dispatcher::execute`] with a propagated call deadline: if the
+    /// deadline passes while the job is still queued it is shed unrun
+    /// (counted in [`DispatcherStats::shed`] and the
+    /// `dispatch.shed_expired` telemetry counter); if the job does run,
+    /// it runs inside a [`DeadlineScope`] so nested work can see the
+    /// remaining budget. The server-side half of deadline propagation.
+    pub fn execute_with_deadline<F>(&self, deadline: Option<Instant>, f: F) -> Result<(), WspError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
         let parent = telemetry::current_correlation();
         self.enqueue(
             Box::new(move || {
                 let _correlation = CorrelationScope::enter(parent);
+                let _deadline = DeadlineScope::enter(deadline);
                 f()
             }),
             true,
+            deadline,
         )
     }
 
@@ -560,7 +600,7 @@ impl Dispatcher {
                 }
             }
         });
-        match self.enqueue(job, false) {
+        match self.enqueue(job, false, None) {
             Ok(()) => Ok(handle),
             Err(e) => {
                 self.inner.settle(token);
@@ -569,13 +609,19 @@ impl Dispatcher {
         }
     }
 
-    fn enqueue(&self, run: BoxedFn, help_when_full: bool) -> Result<(), WspError> {
+    fn enqueue(
+        &self,
+        run: BoxedFn,
+        help_when_full: bool,
+        deadline: Option<Instant>,
+    ) -> Result<(), WspError> {
         // Timestamp for queue-wait/run-time measurement only while
         // telemetry is on: a disabled registry costs nothing but this
         // one check.
         let mut job = Job {
             run,
             enqueued_at: telemetry::global().is_enabled().then(Instant::now),
+            deadline,
         };
         loop {
             let Some(tx) = self.inner.jobs_tx.lock().clone() else {
@@ -672,6 +718,31 @@ impl Dispatcher {
         }
     }
 
+    /// [`flush`](Dispatcher::flush) with a deadline: block until
+    /// everything submitted so far has finished or `timeout` elapses.
+    /// Returns `true` when the queue drained in time — the building
+    /// block of graceful drain. Unlike `flush` this does NOT help run
+    /// jobs: a job that never finishes must not capture the draining
+    /// thread past its deadline, so the wait stays observational.
+    pub fn flush_within(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.inner.jobs_pending.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let mut idle = self.inner.idle_lock.lock();
+            if self.inner.jobs_pending.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            self.inner
+                .idle_cv
+                .wait_for(&mut idle, remaining.min(Duration::from_millis(5)));
+        }
+    }
+
     /// Run one queued job on the calling thread, if any is waiting.
     pub fn try_run_one(&self) -> bool {
         self.inner.try_run_one()
@@ -692,6 +763,7 @@ impl Dispatcher {
             completed: self.inner.completed.load(Ordering::SeqCst),
             failed: self.inner.failed.load(Ordering::SeqCst),
             cancelled: self.inner.cancelled.load(Ordering::SeqCst),
+            shed: self.inner.shed.load(Ordering::SeqCst),
             queue_depth: self.inner.jobs_rx.len(),
             in_flight: self.inner.in_flight.load(Ordering::SeqCst),
             pending_calls,
@@ -906,6 +978,64 @@ mod tests {
         blocker.wait();
         let sum: i32 = handles.into_iter().map(|h| h.wait()).sum();
         assert_eq!(sum, (0..16).sum::<i32>());
+    }
+
+    #[test]
+    fn expired_deadline_job_is_shed_at_dequeue() {
+        // One worker, pinned by a blocker while a deadline job waits in
+        // the queue past its budget: the handler must never run.
+        let d = Dispatcher::new(DispatcherConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let gate = Arc::new(AtomicBool::new(false));
+        let blocker = {
+            let gate = gate.clone();
+            d.submit(move || while !gate.load(Ordering::SeqCst) {})
+                .unwrap()
+        };
+        let ran = Arc::new(AtomicBool::new(false));
+        let deadline = Instant::now() + Duration::from_millis(20);
+        {
+            let ran = ran.clone();
+            d.execute_with_deadline(Some(deadline), move || {
+                ran.store(true, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // Let the deadline expire while the job is still queued.
+        std::thread::sleep(Duration::from_millis(40));
+        gate.store(true, Ordering::SeqCst);
+        blocker.wait();
+        d.flush();
+        assert!(
+            !ran.load(Ordering::SeqCst),
+            "expired job must be shed, not run"
+        );
+        let stats = d.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.queue_depth, 0, "shed jobs leave the queue");
+    }
+
+    #[test]
+    fn live_deadline_job_runs_inside_a_deadline_scope() {
+        let d = small();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let seen = Arc::new(Mutex::new(None));
+        {
+            let seen = seen.clone();
+            d.execute_with_deadline(Some(deadline), move || {
+                *seen.lock() = Some(crate::overload::current_deadline());
+            })
+            .unwrap();
+        }
+        d.flush();
+        assert_eq!(
+            *seen.lock(),
+            Some(Some(deadline)),
+            "the job observes its propagated deadline"
+        );
+        assert_eq!(d.stats().shed, 0);
     }
 
     #[test]

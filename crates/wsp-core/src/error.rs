@@ -41,6 +41,24 @@ pub enum WspError {
     Cancelled { token: u64 },
     /// The located service does not offer the requested operation.
     NoSuchOperation { service: String, operation: String },
+    /// The server shed the request under admission control (queue or
+    /// in-flight limit reached, or the deadline had already expired on
+    /// arrival). Transient-with-hint: `retry_after_ms` is the server's
+    /// suggested backoff, honoured by the client's retry loop as a
+    /// floor under its own schedule.
+    Overloaded { retry_after_ms: Option<u64> },
+}
+
+impl WspError {
+    /// The server's `Retry-After` hint, if this error carries one.
+    pub fn retry_after_hint(&self) -> Option<std::time::Duration> {
+        match self {
+            WspError::Overloaded {
+                retry_after_ms: Some(ms),
+            } => Some(std::time::Duration::from_millis(*ms)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for WspError {
@@ -64,6 +82,10 @@ impl fmt::Display for WspError {
             WspError::NoSuchOperation { service, operation } => {
                 write!(f, "service {service} has no operation {operation:?}")
             }
+            WspError::Overloaded { retry_after_ms } => match retry_after_ms {
+                Some(ms) => write!(f, "server overloaded, retry after {ms}ms"),
+                None => write!(f, "server overloaded"),
+            },
         }
     }
 }
@@ -117,6 +139,36 @@ mod tests {
         }
         .to_string()
         .contains("http://h:1/Echo"));
+        assert!(WspError::Overloaded {
+            retry_after_ms: Some(250)
+        }
+        .to_string()
+        .contains("250ms"));
+        assert!(WspError::Overloaded {
+            retry_after_ms: None
+        }
+        .to_string()
+        .contains("overloaded"));
+    }
+
+    #[test]
+    fn retry_after_hint_only_on_overloaded_with_hint() {
+        use std::time::Duration;
+        assert_eq!(
+            WspError::Overloaded {
+                retry_after_ms: Some(40)
+            }
+            .retry_after_hint(),
+            Some(Duration::from_millis(40))
+        );
+        assert_eq!(
+            WspError::Overloaded {
+                retry_after_ms: None
+            }
+            .retry_after_hint(),
+            None
+        );
+        assert_eq!(WspError::Transport("reset".into()).retry_after_hint(), None);
     }
 
     #[test]

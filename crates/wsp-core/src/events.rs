@@ -125,6 +125,33 @@ pub struct ResilienceMessageEvent {
     pub action: ResilienceAction,
 }
 
+/// Phase of a host's graceful-drain lifecycle (see
+/// [`LifecycleMessageEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecyclePhase {
+    /// The host stopped accepting new work; in-flight work continues.
+    DrainStarted,
+    /// Every admitted request finished inside the drain deadline.
+    DrainCompleted,
+    /// The drain deadline passed with work still in flight; the host
+    /// stopped anyway (the only path that drops admitted work besides
+    /// an abrupt `shutdown_now`).
+    DrainTimedOut,
+}
+
+/// Fired by hosts and servers as they drain and stop — the
+/// observability half of graceful shutdown, so an application (or an
+/// overload episode's trace) can tell a clean drain from a drop.
+#[derive(Debug, Clone)]
+pub struct LifecycleMessageEvent {
+    /// What is draining: a host address (`http://0.0.0.0:8080`) or a
+    /// service name for per-service undeploy drains.
+    pub subject: String,
+    pub phase: LifecyclePhase,
+    /// Requests still in flight when the phase was entered.
+    pub in_flight: usize,
+}
+
 /// The paper's five-method listener interface. All methods default to
 /// no-ops so applications implement only what they subscribe to.
 #[allow(unused_variables)]
@@ -137,6 +164,9 @@ pub trait PeerMessageListener: Send + Sync {
     /// Resilience extension (beyond the paper's five): degradation
     /// signals from the retry/breaker/failover machinery.
     fn on_resilience(&self, event: &ResilienceMessageEvent) {}
+    /// Lifecycle extension: drain/shutdown progress of hosts and
+    /// services.
+    fn on_lifecycle(&self, event: &LifecycleMessageEvent) {}
 }
 
 /// When listener callbacks run relative to the `fire_*` call.
@@ -158,6 +188,7 @@ enum QueuedEvent {
     Server(ServerMessageEvent),
     Deployment(DeploymentMessageEvent),
     Resilience(ResilienceMessageEvent),
+    Lifecycle(LifecycleMessageEvent),
 }
 
 #[derive(Default)]
@@ -268,6 +299,7 @@ impl EventBus {
                 QueuedEvent::Server(e) => listener.on_server_message(e),
                 QueuedEvent::Deployment(e) => listener.on_deployment(e),
                 QueuedEvent::Resilience(e) => listener.on_resilience(e),
+                QueuedEvent::Lifecycle(e) => listener.on_lifecycle(e),
             }));
             if delivery.is_err() {
                 self.inner.listener_panics.fetch_add(1, Ordering::SeqCst);
@@ -305,6 +337,10 @@ impl EventBus {
     pub fn fire_resilience(&self, event: &ResilienceMessageEvent) {
         self.fire(QueuedEvent::Resilience(event.clone()));
     }
+
+    pub fn fire_lifecycle(&self, event: &LifecycleMessageEvent) {
+        self.fire(QueuedEvent::Lifecycle(event.clone()));
+    }
 }
 
 /// A listener that records everything — used by tests and examples to
@@ -317,6 +353,7 @@ pub struct CollectingListener {
     pub server_messages: RwLock<Vec<ServerMessageEvent>>,
     pub deployments: RwLock<Vec<DeploymentMessageEvent>>,
     pub resilience: RwLock<Vec<ResilienceMessageEvent>>,
+    pub lifecycle: RwLock<Vec<LifecycleMessageEvent>>,
 }
 
 impl CollectingListener {
@@ -332,6 +369,7 @@ impl CollectingListener {
             + self.server_messages.read().len()
             + self.deployments.read().len()
             + self.resilience.read().len()
+            + self.lifecycle.read().len()
     }
 
     /// The discovery event carrying `token`, if it has arrived.
@@ -386,6 +424,10 @@ impl PeerMessageListener for CollectingListener {
 
     fn on_resilience(&self, event: &ResilienceMessageEvent) {
         self.resilience.write().push(event.clone());
+    }
+
+    fn on_lifecycle(&self, event: &LifecycleMessageEvent) {
+        self.lifecycle.write().push(event.clone());
     }
 }
 
@@ -473,6 +515,28 @@ mod tests {
         assert_eq!(seen[1].action, ResilienceAction::BreakerTripped);
         assert!(listener.resilience_for(8).is_empty());
         assert_eq!(listener.total(), 3);
+    }
+
+    #[test]
+    fn lifecycle_events_reach_listeners() {
+        let bus = EventBus::new();
+        let listener = CollectingListener::new();
+        bus.add_listener(listener.clone());
+        bus.fire_lifecycle(&LifecycleMessageEvent {
+            subject: "http://0.0.0.0:9000".into(),
+            phase: LifecyclePhase::DrainStarted,
+            in_flight: 3,
+        });
+        bus.fire_lifecycle(&LifecycleMessageEvent {
+            subject: "http://0.0.0.0:9000".into(),
+            phase: LifecyclePhase::DrainCompleted,
+            in_flight: 0,
+        });
+        let seen = listener.lifecycle.read();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].phase, LifecyclePhase::DrainStarted);
+        assert_eq!(seen[1].phase, LifecyclePhase::DrainCompleted);
+        assert_eq!(listener.total(), 2);
     }
 
     #[test]

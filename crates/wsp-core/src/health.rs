@@ -328,6 +328,45 @@ mod tests {
     }
 
     #[test]
+    fn two_threads_racing_the_half_open_transition_admit_exactly_one_probe() {
+        // The sharpest version of the probe race: two threads released
+        // by a barrier at the same instant, both asking the breaker the
+        // moment it turns half-open. Repeated to give the race a real
+        // chance of interleaving both ways; each round exactly one
+        // thread must win the probe slot.
+        for round in 0..100 {
+            let b = Arc::new(CircuitBreaker::new(quick_config()));
+            let t0 = Instant::now();
+            for _ in 0..3 {
+                b.on_failure(t0);
+            }
+            let probe_at = t0 + Duration::from_millis(150);
+            let barrier = Arc::new(std::sync::Barrier::new(2));
+            let threads: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = b.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        b.try_acquire(probe_at)
+                    })
+                })
+                .collect();
+            let outcomes: Vec<Admission> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+            let probes = outcomes.iter().filter(|a| **a == Admission::Probe).count();
+            let rejects = outcomes
+                .iter()
+                .filter(|a| **a == Admission::Rejected)
+                .count();
+            assert_eq!(
+                probes, 1,
+                "round {round}: exactly one probe, got {outcomes:?}"
+            );
+            assert_eq!(rejects, 1, "round {round}: the loser is rejected");
+        }
+    }
+
+    #[test]
     fn registry_shares_one_breaker_per_endpoint() {
         let health = EndpointHealth::new(quick_config());
         let a1 = health.breaker("http://a/S");

@@ -84,6 +84,7 @@ pub mod endpoint;
 pub mod error;
 pub mod events;
 pub mod health;
+pub mod overload;
 pub mod peer;
 pub mod query;
 pub mod resilience;
@@ -99,10 +100,11 @@ pub use endpoint::{BindingKind, DeployedService, LocatedService};
 pub use error::WspError;
 pub use events::{
     ClientMessageEvent, CollectingListener, DeliveryMode, DeploymentMessageEvent,
-    DiscoveryMessageEvent, EventBus, PeerMessageListener, PublishMessageEvent, ResilienceAction,
-    ResilienceMessageEvent, ServerMessageEvent, ServerPhase,
+    DiscoveryMessageEvent, EventBus, LifecycleMessageEvent, LifecyclePhase, PeerMessageListener,
+    PublishMessageEvent, ResilienceAction, ResilienceMessageEvent, ServerMessageEvent, ServerPhase,
 };
 pub use health::{Admission, BreakerConfig, BreakerState, CircuitBreaker, EndpointHealth};
+pub use overload::{AdmissionController, AdmissionPermit, DeadlineScope, LoadShedPolicy};
 pub use peer::Peer;
 pub use query::{QueryExpr, ServiceQuery};
 pub use resilience::{ResiliencePolicy, RetryClass};

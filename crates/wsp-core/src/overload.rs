@@ -1,0 +1,481 @@
+//! Server-side overload protection: admission control and deadline
+//! propagation.
+//!
+//! The paper's container-less hosting claim (Section IV.A) means the
+//! application *is* the server — there is no container in front of it
+//! to absorb a burst. This module is the host-side half of the
+//! resilience story started by the client retry loop: a
+//! [`LoadShedPolicy`] bounds how much work a peer accepts, an
+//! [`AdmissionController`] enforces it with an O(1) check per request,
+//! and a shed answers *immediately* with [`WspError::Overloaded`] plus
+//! a `Retry-After` hint — so a retry storm backs off instead of
+//! amplifying the overload.
+//!
+//! Deadline propagation is the other half: the client's per-call
+//! deadline crosses the wire as [`DEADLINE_HEADER`] (remaining budget
+//! in milliseconds — a *duration*, not a wall-clock timestamp, so
+//! unsynchronised peer clocks cannot corrupt it), is rehydrated
+//! server-side into a [`DeadlineScope`], and work whose deadline has
+//! already expired is shed at dequeue time — there is no point
+//! computing a response nobody is waiting for.
+
+use crate::error::WspError;
+use crate::telemetry::{self, Counter};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Request header carrying the caller's *remaining* call budget in
+/// milliseconds. Relative (a duration) rather than absolute so clock
+/// skew between peers cannot manufacture or destroy budget.
+pub const DEADLINE_HEADER: &str = "X-WSP-Deadline";
+
+/// Response header carrying the server's retry hint in milliseconds —
+/// finer-grained companion to the standard whole-second `Retry-After`.
+pub const RETRY_AFTER_MS_HEADER: &str = "X-WSP-Retry-After-Ms";
+
+/// Reason prefix of the P2PS busy fault. A receiver fault whose reason
+/// starts with this is a load-shed, not an application error; the
+/// suffix carries the retry hint as `retry-after-ms=<n>`.
+pub const BUSY_FAULT_PREFIX: &str = "wsp:overloaded";
+
+/// SOAP header block (namespace-less local name) carrying the
+/// remaining deadline budget over the P2PS binding.
+pub const DEADLINE_SOAP_HEADER: &str = "Deadline";
+
+/// How often the (comparatively expensive) queue-wait watermark check
+/// re-reads the histogram: every 2^6 = 64 admissions. Between samples
+/// the cached verdict is used, keeping the admission check O(1).
+const WATERMARK_SAMPLE_SHIFT: u64 = 6;
+
+/// What a host is willing to accept before shedding.
+///
+/// The default policy is effectively unlimited — exactly the
+/// pre-overload-protection behaviour, so nothing sheds until a policy
+/// is configured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadShedPolicy {
+    /// Shed when the dispatch queue already holds this many jobs.
+    /// `usize::MAX` disables the check.
+    pub max_queue_depth: usize,
+    /// Shed when this many requests are already in flight (admitted
+    /// and not yet answered). `usize::MAX` disables the check.
+    pub max_in_flight: usize,
+    /// Shed when the p99 dispatch queue wait (from the telemetry
+    /// histograms, sampled periodically) exceeds this — the earliest
+    /// smoke signal of saturation, firing before the queue is full.
+    pub queue_wait_watermark: Option<Duration>,
+    /// The `Retry-After` hint attached to every shed.
+    pub retry_after: Duration,
+}
+
+impl Default for LoadShedPolicy {
+    fn default() -> Self {
+        LoadShedPolicy::unlimited()
+    }
+}
+
+impl LoadShedPolicy {
+    /// Accept everything (the legacy behaviour).
+    pub fn unlimited() -> Self {
+        LoadShedPolicy {
+            max_queue_depth: usize::MAX,
+            max_in_flight: usize::MAX,
+            queue_wait_watermark: None,
+            retry_after: Duration::from_millis(100),
+        }
+    }
+
+    /// A bounded policy: at most `in_flight` concurrent requests and
+    /// `queue_depth` queued jobs, 100 ms retry hint.
+    pub fn bounded(in_flight: usize, queue_depth: usize) -> Self {
+        LoadShedPolicy {
+            max_queue_depth: queue_depth,
+            max_in_flight: in_flight,
+            queue_wait_watermark: None,
+            retry_after: Duration::from_millis(100),
+        }
+    }
+
+    pub fn with_retry_after(mut self, hint: Duration) -> Self {
+        self.retry_after = hint;
+        self
+    }
+
+    pub fn with_queue_wait_watermark(mut self, watermark: Duration) -> Self {
+        self.queue_wait_watermark = Some(watermark);
+        self
+    }
+
+    /// Does this policy ever shed?
+    pub fn is_limiting(&self) -> bool {
+        self.max_queue_depth != usize::MAX
+            || self.max_in_flight != usize::MAX
+            || self.queue_wait_watermark.is_some()
+    }
+}
+
+/// Enforces a [`LoadShedPolicy`] for one host. Cheap to clone (all
+/// state behind one `Arc`); both bindings of a peer may share one
+/// controller so the in-flight cap is per-peer, not per-transport.
+#[derive(Clone)]
+pub struct AdmissionController {
+    inner: Arc<AdmissionInner>,
+}
+
+struct AdmissionInner {
+    policy: LoadShedPolicy,
+    in_flight: AtomicUsize,
+    draining: AtomicBool,
+    admissions: AtomicU64,
+    /// Cached verdict of the periodic watermark sample.
+    over_watermark: AtomicBool,
+    admitted: Arc<Counter>,
+    shed: Arc<Counter>,
+    shed_expired: Arc<Counter>,
+}
+
+impl AdmissionController {
+    pub fn new(policy: LoadShedPolicy) -> Self {
+        let registry = telemetry::global();
+        AdmissionController {
+            inner: Arc::new(AdmissionInner {
+                policy,
+                in_flight: AtomicUsize::new(0),
+                draining: AtomicBool::new(false),
+                admissions: AtomicU64::new(0),
+                over_watermark: AtomicBool::new(false),
+                admitted: registry.counter("admission.admitted"),
+                shed: registry.counter("admission.shed"),
+                shed_expired: registry.counter("admission.shed_expired"),
+            }),
+        }
+    }
+
+    pub fn policy(&self) -> &LoadShedPolicy {
+        &self.inner.policy
+    }
+
+    /// Requests currently admitted and unanswered.
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Enter drain mode: every subsequent admission is refused (with
+    /// the retry hint) while already-admitted work runs to completion.
+    pub fn start_draining(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    pub fn stop_draining(&self) {
+        self.inner.draining.store(false, Ordering::SeqCst);
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    fn overloaded(&self) -> WspError {
+        self.inner.shed.incr();
+        WspError::Overloaded {
+            retry_after_ms: Some(self.inner.policy.retry_after.as_millis() as u64),
+        }
+    }
+
+    /// Admit one request or shed it. `queue_depth` is the host's
+    /// current dispatch-queue depth (pass 0 when not applicable);
+    /// `deadline` is the caller's propagated deadline, shed immediately
+    /// when already expired (the caller has given up — answering
+    /// quickly matters more than answering at all).
+    pub fn try_admit(
+        &self,
+        queue_depth: usize,
+        deadline: Option<Instant>,
+    ) -> Result<AdmissionPermit, WspError> {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                self.inner.shed_expired.incr();
+                return Err(self.overloaded());
+            }
+        }
+        if self.is_draining() {
+            return Err(self.overloaded());
+        }
+        let policy = &self.inner.policy;
+        if queue_depth >= policy.max_queue_depth {
+            return Err(self.overloaded());
+        }
+        if let Some(watermark) = policy.queue_wait_watermark {
+            let n = self.inner.admissions.fetch_add(1, Ordering::Relaxed);
+            if n & ((1 << WATERMARK_SAMPLE_SHIFT) - 1) == 0 {
+                let p99_us = telemetry::global()
+                    .histogram("dispatch.queue_wait_us")
+                    .snapshot()
+                    .p99();
+                let over = Duration::from_micros(p99_us) > watermark;
+                self.inner.over_watermark.store(over, Ordering::Relaxed);
+            }
+            if self.inner.over_watermark.load(Ordering::Relaxed) {
+                return Err(self.overloaded());
+            }
+        }
+        // Optimistic increment; back out when over the cap. Two racing
+        // admissions at the boundary cannot both win: each observes the
+        // other's increment.
+        let prev = self.inner.in_flight.fetch_add(1, Ordering::SeqCst);
+        if prev >= policy.max_in_flight {
+            self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return Err(self.overloaded());
+        }
+        self.inner.admitted.incr();
+        Ok(AdmissionPermit {
+            controller: self.clone(),
+        })
+    }
+
+    /// Block until all admitted work has finished or `deadline` passes.
+    /// Returns the number of requests still in flight (0 on success).
+    pub fn await_idle(&self, deadline: Instant) -> usize {
+        loop {
+            let in_flight = self.in_flight();
+            if in_flight == 0 || Instant::now() >= deadline {
+                return in_flight;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// RAII proof of admission: holds one in-flight slot, released on drop
+/// (success, fault and panic paths alike).
+pub struct AdmissionPermit {
+    controller: AdmissionController,
+}
+
+impl std::fmt::Debug for AdmissionPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPermit")
+            .field("in_flight", &self.controller.in_flight())
+            .finish()
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.controller
+            .inner
+            .in_flight
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// --- deadline propagation ----------------------------------------------------
+
+thread_local! {
+    static CURRENT_DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Scopes a call deadline to the current thread, mirroring
+/// [`crate::telemetry::CorrelationScope`]: the client retry loop enters
+/// one around each attempt so transports can serialise the remaining
+/// budget, and a server enters one around handler execution so nested
+/// outbound calls inherit the caller's budget. Restores the previous
+/// deadline on drop, so scopes nest.
+pub struct DeadlineScope {
+    previous: Option<Instant>,
+}
+
+impl DeadlineScope {
+    pub fn enter(deadline: Option<Instant>) -> DeadlineScope {
+        let previous = CURRENT_DEADLINE.with(|cell| cell.replace(deadline));
+        DeadlineScope { previous }
+    }
+}
+
+impl Drop for DeadlineScope {
+    fn drop(&mut self) {
+        CURRENT_DEADLINE.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// The deadline scoped to the current thread, if any.
+pub fn current_deadline() -> Option<Instant> {
+    CURRENT_DEADLINE.with(|cell| cell.get())
+}
+
+/// Remaining budget of `deadline` in whole milliseconds — what goes on
+/// the wire. `None` when already expired (send nothing; the server
+/// would only shed it, and the local attempt is about to time out
+/// anyway).
+pub fn remaining_ms(deadline: Instant) -> Option<u64> {
+    let now = Instant::now();
+    if now >= deadline {
+        return None;
+    }
+    Some((deadline - now).as_millis().max(1) as u64)
+}
+
+/// Rehydrate a wire budget into a local deadline.
+pub fn deadline_in_ms(ms: u64) -> Instant {
+    Instant::now() + Duration::from_millis(ms)
+}
+
+/// Render the busy-fault reason carried by the P2PS binding.
+pub fn busy_fault_reason(retry_after: Duration) -> String {
+    format!(
+        "{BUSY_FAULT_PREFIX} retry-after-ms={}",
+        retry_after.as_millis()
+    )
+}
+
+/// Parse a fault reason: `Some(hint)` when it is a busy fault.
+pub fn parse_busy_fault(reason: &str) -> Option<Option<u64>> {
+    let rest = reason.strip_prefix(BUSY_FAULT_PREFIX)?;
+    Some(
+        rest.trim()
+            .strip_prefix("retry-after-ms=")
+            .and_then(|ms| ms.trim().parse().ok()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_policy_admits_everything() {
+        let ctl = AdmissionController::new(LoadShedPolicy::unlimited());
+        let mut permits = Vec::new();
+        for depth in 0..100 {
+            permits.push(ctl.try_admit(depth, None).expect("admit"));
+        }
+        assert_eq!(ctl.in_flight(), 100);
+        drop(permits);
+        assert_eq!(ctl.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_and_recovers() {
+        let ctl = AdmissionController::new(LoadShedPolicy::bounded(2, usize::MAX));
+        let a = ctl.try_admit(0, None).expect("first");
+        let _b = ctl.try_admit(0, None).expect("second");
+        let shed = ctl.try_admit(0, None).expect_err("third must shed");
+        assert!(
+            matches!(
+                shed,
+                WspError::Overloaded {
+                    retry_after_ms: Some(100)
+                }
+            ),
+            "{shed:?}"
+        );
+        drop(a);
+        ctl.try_admit(0, None).expect("slot freed by drop");
+    }
+
+    #[test]
+    fn queue_depth_cap_sheds() {
+        let ctl = AdmissionController::new(LoadShedPolicy::bounded(usize::MAX, 4));
+        assert!(ctl.try_admit(3, None).is_ok());
+        assert!(matches!(
+            ctl.try_admit(4, None),
+            Err(WspError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_on_arrival() {
+        let ctl = AdmissionController::new(LoadShedPolicy::unlimited());
+        let expired = Instant::now() - Duration::from_millis(1);
+        assert!(matches!(
+            ctl.try_admit(0, Some(expired)),
+            Err(WspError::Overloaded { .. })
+        ));
+        let live = Instant::now() + Duration::from_secs(5);
+        assert!(ctl.try_admit(0, Some(live)).is_ok());
+    }
+
+    #[test]
+    fn draining_refuses_new_work_but_keeps_permits() {
+        let ctl = AdmissionController::new(LoadShedPolicy::unlimited());
+        let permit = ctl.try_admit(0, None).expect("before drain");
+        ctl.start_draining();
+        assert!(matches!(
+            ctl.try_admit(0, None),
+            Err(WspError::Overloaded { .. })
+        ));
+        assert_eq!(ctl.in_flight(), 1, "in-flight work unaffected by drain");
+        drop(permit);
+        let idle_by = Instant::now() + Duration::from_secs(1);
+        assert_eq!(ctl.await_idle(idle_by), 0);
+        ctl.stop_draining();
+        assert!(ctl.try_admit(0, None).is_ok());
+    }
+
+    #[test]
+    fn concurrent_admissions_never_exceed_the_cap() {
+        let cap = 8;
+        let ctl = AdmissionController::new(LoadShedPolicy::bounded(cap, usize::MAX));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..16)
+            .map(|_| {
+                let ctl = ctl.clone();
+                let peak = peak.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Ok(permit) = ctl.try_admit(0, None) {
+                            let seen = ctl.in_flight();
+                            peak.fetch_max(seen, Ordering::SeqCst);
+                            assert!(seen <= cap, "cap breached: {seen}");
+                            drop(permit);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ctl.in_flight(), 0);
+        assert!(peak.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn deadline_scope_nests_and_restores() {
+        assert_eq!(current_deadline(), None);
+        let outer = Instant::now() + Duration::from_secs(10);
+        {
+            let _outer = DeadlineScope::enter(Some(outer));
+            assert_eq!(current_deadline(), Some(outer));
+            let inner = Instant::now() + Duration::from_secs(1);
+            {
+                let _inner = DeadlineScope::enter(Some(inner));
+                assert_eq!(current_deadline(), Some(inner));
+            }
+            assert_eq!(current_deadline(), Some(outer));
+        }
+        assert_eq!(current_deadline(), None);
+    }
+
+    #[test]
+    fn wire_budget_round_trips() {
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let ms = remaining_ms(deadline).expect("budget remains");
+        assert!(ms > 0 && ms <= 500, "{ms}");
+        let rehydrated = deadline_in_ms(ms);
+        // The rehydrated deadline is within transit slop of the original.
+        let slop = Duration::from_millis(50);
+        assert!(rehydrated <= deadline + slop);
+        let expired = Instant::now() - Duration::from_millis(1);
+        assert_eq!(remaining_ms(expired), None);
+    }
+
+    #[test]
+    fn busy_fault_reason_round_trips() {
+        let reason = busy_fault_reason(Duration::from_millis(250));
+        assert_eq!(parse_busy_fault(&reason), Some(Some(250)));
+        assert_eq!(parse_busy_fault(BUSY_FAULT_PREFIX), Some(None));
+        assert_eq!(parse_busy_fault("service X is not deployed"), None);
+    }
+}

@@ -44,6 +44,7 @@ impl WspError {
             | WspError::Timeout { .. }
             | WspError::Locate(_)
             | WspError::Dispatch(_)
+            | WspError::Overloaded { .. }
             | WspError::CircuitOpen { .. } => RetryClass::Transient,
             WspError::Invoke(_)
             | WspError::Fault(_)
@@ -58,7 +59,10 @@ impl WspError {
     /// Whether this error should trip/count against an endpoint's
     /// circuit breaker. Only failures that say something about the
     /// *endpoint* count — an open circuit (our own rejection) or a
-    /// missing local binding does not.
+    /// missing local binding does not. An [`WspError::Overloaded`]
+    /// shed does not either: the endpoint answered promptly and is
+    /// alive, just busy — tripping the breaker would turn a polite
+    /// load-shed into a blackout of a healthy peer.
     pub fn counts_against_endpoint(&self) -> bool {
         matches!(self, WspError::Transport(_) | WspError::Timeout { .. })
     }
@@ -299,6 +303,14 @@ mod tests {
             WspError::Cancelled { token: 1 }.retry_class(),
             RetryClass::Permanent
         );
+        assert_eq!(
+            WspError::Overloaded {
+                retry_after_ms: Some(100)
+            }
+            .retry_class(),
+            RetryClass::Transient,
+            "a shed request is worth retrying — after the hinted backoff"
+        );
     }
 
     #[test]
@@ -314,5 +326,12 @@ mod tests {
         }
         .counts_against_endpoint());
         assert!(!WspError::Invoke("x".into()).counts_against_endpoint());
+        assert!(
+            !WspError::Overloaded {
+                retry_after_ms: None
+            }
+            .counts_against_endpoint(),
+            "a shed means the endpoint is alive — it must not trip the breaker"
+        );
     }
 }

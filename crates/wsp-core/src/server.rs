@@ -4,10 +4,13 @@ use crate::components::{ServiceDeployer, ServicePublisher};
 use crate::dispatch::Dispatcher;
 use crate::endpoint::DeployedService;
 use crate::error::WspError;
-use crate::events::{DeploymentMessageEvent, EventBus, PublishMessageEvent};
+use crate::events::{
+    DeploymentMessageEvent, EventBus, LifecycleMessageEvent, LifecyclePhase, PublishMessageEvent,
+};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 use wsp_wsdl::{ServiceDescriptor, ServiceHandler};
 
 /// The `Server` node: owns pluggable [`ServiceDeployer`] and
@@ -143,6 +146,41 @@ impl Server {
         true
     }
 
+    /// Drain-mode undeploy: withdraw the publication and the endpoint
+    /// first — no *new* work can arrive — then wait (helping run jobs)
+    /// for everything already submitted to the shared dispatcher to
+    /// finish, up to `drain_deadline`. Nothing admitted is dropped;
+    /// plain [`undeploy`](Server::undeploy) remains the abrupt path.
+    ///
+    /// Fires [`LifecycleMessageEvent`]s around the wait
+    /// (`DrainStarted`, then `DrainCompleted` or `DrainTimedOut`) in
+    /// addition to the usual no-endpoint deployment event. Returns
+    /// `true` when the service existed *and* the dispatcher went idle
+    /// inside the deadline.
+    pub fn undeploy_graceful(&self, service: &str, drain_deadline: Duration) -> bool {
+        if !self.undeploy(service) {
+            return false;
+        }
+        let stats = self.dispatcher.stats();
+        self.events.fire_lifecycle(&LifecycleMessageEvent {
+            subject: service.to_owned(),
+            phase: LifecyclePhase::DrainStarted,
+            in_flight: stats.in_flight + stats.queue_depth,
+        });
+        let drained = self.dispatcher.flush_within(drain_deadline);
+        let remaining = self.dispatcher.stats();
+        self.events.fire_lifecycle(&LifecycleMessageEvent {
+            subject: service.to_owned(),
+            phase: if drained {
+                LifecyclePhase::DrainCompleted
+            } else {
+                LifecyclePhase::DrainTimedOut
+            },
+            in_flight: remaining.in_flight + remaining.queue_depth,
+        });
+        drained
+    }
+
     /// The services this peer currently hosts.
     pub fn deployed_services(&self) -> Vec<DeployedService> {
         self.deployed.read().values().cloned().collect()
@@ -254,6 +292,67 @@ mod tests {
         let deployments = listener.deployments.read();
         assert_eq!(deployments.len(), 2);
         assert!(deployments[1].endpoints.is_empty());
+    }
+
+    #[test]
+    fn graceful_undeploy_drains_and_fires_lifecycle_events() {
+        let (server, listener) = wired_server();
+        server
+            .deploy(ServiceDescriptor::echo(), echo_handler())
+            .unwrap();
+        // Leave some slow work on the dispatcher: drain must outwait it.
+        let ran = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = ran.clone();
+        server
+            .dispatcher()
+            .execute(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            })
+            .unwrap();
+        assert!(server.undeploy_graceful("Echo", Duration::from_secs(5)));
+        assert!(
+            ran.load(std::sync::atomic::Ordering::SeqCst),
+            "queued work finished before drain returned"
+        );
+        let lifecycle = listener.lifecycle.read();
+        assert_eq!(lifecycle.len(), 2);
+        assert_eq!(lifecycle[0].phase, LifecyclePhase::DrainStarted);
+        assert_eq!(lifecycle[1].phase, LifecyclePhase::DrainCompleted);
+        assert_eq!(lifecycle[1].in_flight, 0);
+    }
+
+    #[test]
+    fn graceful_undeploy_times_out_on_stuck_work() {
+        let (server, listener) = wired_server();
+        server
+            .deploy(ServiceDescriptor::echo(), echo_handler())
+            .unwrap();
+        // Work that outlives any reasonable drain deadline.
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let hold = gate.clone();
+        server
+            .dispatcher()
+            .execute(move || {
+                while !hold.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+            .unwrap();
+        assert!(!server.undeploy_graceful("Echo", Duration::from_millis(40)));
+        assert_eq!(
+            listener.lifecycle.read().last().unwrap().phase,
+            LifecyclePhase::DrainTimedOut
+        );
+        gate.store(true, std::sync::atomic::Ordering::SeqCst);
+        server.dispatcher().flush();
+    }
+
+    #[test]
+    fn graceful_undeploy_of_missing_service_is_false() {
+        let (server, listener) = wired_server();
+        assert!(!server.undeploy_graceful("Ghost", Duration::from_millis(10)));
+        assert!(listener.lifecycle.read().is_empty());
     }
 
     #[test]

@@ -33,5 +33,8 @@ pub use sim::{
     HttpSimServer, ResilientSimClient, RetrySchedule, SimCallOutcome, SimHttpClient,
     CORRELATION_HEADER, RETRY_RESEND_TAG, RETRY_TIMEOUT_TAG,
 };
-pub use tcp::{http_call, http_call_uri, ConnectionPool, TcpServer};
+pub use tcp::{
+    http_call, http_call_uri, http_call_with_timeout, ConnectionPool, ServerConfig, TcpServer,
+    DEFAULT_CLIENT_TIMEOUT,
+};
 pub use uri::{HttpUri, UriError};

@@ -189,6 +189,15 @@ impl Response {
         r
     }
 
+    /// 408 — the client took too long to deliver its request (slow-client
+    /// defense: see the staged read deadlines in `tcp::ServerConfig`).
+    pub fn request_timeout(why: &str) -> Self {
+        let mut r = Response::new(408, "Request Timeout");
+        r.headers.set("Content-Type", "text/plain; charset=utf-8");
+        r.body = why.as_bytes().to_vec();
+        r
+    }
+
     /// 503 — used by the container model while (re)starting.
     pub fn unavailable(why: &str) -> Self {
         let mut r = Response::new(503, "Service Unavailable");

@@ -13,37 +13,121 @@ use crate::message::{Request, Response};
 use crate::router::Router;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`TcpServer`]. `Default` reproduces the historical
+/// hard-coded behaviour (flat 10 s read deadlines, 250 ms read poll,
+/// 2 ms accept poll, no connection cap), so `launch` callers see no
+/// change.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Wall-clock budget for a connection to deliver a full request
+    /// *head* (request line + headers), measured from its first byte.
+    /// Breach → `408 Request Timeout` and close.
+    pub header_read_deadline: Duration,
+    /// Additional budget for the body once the head is complete.
+    /// Breach → `408 Request Timeout` and close. Staging the two stops
+    /// a drip-feeding client from holding a thread for the sum of both.
+    pub body_read_deadline: Duration,
+    /// Per-`read(2)` socket timeout: bounds how long a connection
+    /// thread can go without observing the stop/drain flags.
+    pub read_poll: Duration,
+    /// Sleep between polls of the non-blocking listener.
+    pub accept_poll: Duration,
+    /// Cap on concurrently served connections; accepts beyond it get an
+    /// immediate `503` + `Retry-After` and are closed. `None` = no cap.
+    pub max_connections: Option<usize>,
+    /// How long [`TcpServer::shutdown`] waits for in-flight connections
+    /// to finish before cutting off stragglers.
+    pub drain_deadline: Duration,
+    /// `Retry-After` hint attached to connection-cap and drain
+    /// rejections (rounded up to whole seconds on the wire, with the
+    /// exact value in `X-WSP-Retry-After-Ms`).
+    pub retry_after: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            header_read_deadline: Duration::from_secs(10),
+            body_read_deadline: Duration::from_secs(10),
+            read_poll: Duration::from_millis(250),
+            accept_poll: Duration::from_millis(2),
+            max_connections: None,
+            drain_deadline: Duration::from_secs(5),
+            retry_after: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Shared between the handle, the accept loop and connection threads.
+struct ServerState {
+    config: ServerConfig,
+    /// Hard stop: accept loop exits, connection threads bail at the
+    /// next read poll even mid-keep-alive.
+    stop: AtomicBool,
+    /// Graceful drain: new connections are rejected, idle keep-alive
+    /// connections close, requests already being read or handled run to
+    /// completion (their response carries `Connection: close`).
+    draining: AtomicBool,
+    /// Live connection threads (accepted, not yet finished).
+    active: AtomicUsize,
+}
+
+/// Decrements `active` when a connection thread exits, panic included,
+/// so drain accounting can never leak a slot.
+struct ActiveGuard(Arc<ServerState>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A running lightweight HTTP server.
 pub struct TcpServer {
     addr: SocketAddr,
     router: Router,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    state: Arc<ServerState>,
+    accept_thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
 }
 
 impl TcpServer {
-    /// Bind `127.0.0.1:port` (0 = ephemeral) and start accepting.
+    /// Bind `127.0.0.1:port` (0 = ephemeral) and start accepting, with
+    /// default [`ServerConfig`].
     pub fn launch(port: u16, router: Router) -> std::io::Result<TcpServer> {
+        TcpServer::launch_with(port, router, ServerConfig::default())
+    }
+
+    /// Bind and start accepting with explicit tunables.
+    pub fn launch_with(
+        port: u16,
+        router: Router,
+        config: ServerConfig,
+    ) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = stop.clone();
+        let state = Arc::new(ServerState {
+            config,
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+        });
+        let accept_state = state.clone();
         let accept_router = router.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("wsp-http-{}", addr.port()))
-            .spawn(move || accept_loop(listener, accept_router, accept_stop))
+            .spawn(move || accept_loop(listener, accept_router, accept_state))
             .expect("spawn accept thread");
         Ok(TcpServer {
             addr,
             router,
-            stop,
-            accept_thread: Some(accept_thread),
+            state,
+            accept_thread: parking_lot::Mutex::new(Some(accept_thread)),
         })
     }
 
@@ -64,14 +148,50 @@ impl TcpServer {
         format!("http://127.0.0.1:{}/{}", self.addr.port(), name)
     }
 
-    /// Stop accepting and join the accept thread.
-    pub fn shutdown(mut self) {
-        self.stop_now();
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.state.active.load(Ordering::SeqCst)
     }
 
-    fn stop_now(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
+    /// True once [`shutdown`](TcpServer::shutdown) has begun draining.
+    pub fn is_draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop taking new connections (latecomers get a
+    /// canned `503` + `Retry-After`), let requests already admitted run
+    /// to completion with `Connection: close` on their final response,
+    /// and wait up to [`ServerConfig::drain_deadline`] for the active
+    /// count to reach zero. Returns `true` when every connection
+    /// finished inside the deadline; on `false` the stragglers are cut
+    /// off abruptly, exactly as [`shutdown_now`](TcpServer::shutdown_now)
+    /// would.
+    pub fn shutdown(&self) -> bool {
+        self.state.draining.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + self.state.config.drain_deadline;
+        let drained = loop {
+            if self.state.active.load(Ordering::SeqCst) == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        self.stop_accepting();
+        drained
+    }
+
+    /// Abrupt stop: no drain. Live connections are cut off as soon as
+    /// their threads observe the stop flag (within one read poll); this
+    /// is the only path that drops admitted work.
+    pub fn shutdown_now(&self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.lock().take() {
             let _ = handle.join();
         }
     }
@@ -79,56 +199,130 @@ impl TcpServer {
 
 impl Drop for TcpServer {
     fn drop(&mut self) {
-        self.stop_now();
+        self.stop_accepting();
     }
 }
 
-fn accept_loop(listener: TcpListener, router: Router, stop: Arc<AtomicBool>) {
-    while !stop.load(Ordering::SeqCst) {
+/// Tell a client we will not serve it right now: a canned `503` with
+/// `Retry-After`, then close. Written under a short timeout so a slow
+/// reader cannot stall the accept loop.
+fn reject_connection(stream: &mut TcpStream, config: &ServerConfig, why: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut response = Response::unavailable(why);
+    response.headers.set(
+        "Retry-After",
+        config.retry_after.as_secs().max(1).to_string(),
+    );
+    response.headers.set(
+        "X-WSP-Retry-After-Ms",
+        config.retry_after.as_millis().to_string(),
+    );
+    response.headers.set("Connection", "close");
+    let _ = stream.write_all(&encode_response(&response));
+}
+
+fn accept_loop(listener: TcpListener, router: Router, state: Arc<ServerState>) {
+    while !state.stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
+                if state.draining.load(Ordering::SeqCst) {
+                    reject_connection(&mut stream, &state.config, "server draining");
+                    continue;
+                }
+                if let Some(cap) = state.config.max_connections {
+                    if state.active.load(Ordering::SeqCst) >= cap {
+                        reject_connection(&mut stream, &state.config, "connection limit reached");
+                        continue;
+                    }
+                }
+                state.active.fetch_add(1, Ordering::SeqCst);
+                let guard = ActiveGuard(state.clone());
                 let conn_router = router.clone();
-                let conn_stop = stop.clone();
-                // Connection threads are detached but observe the stop
-                // flag, so server shutdown closes live connections.
-                // Thread-per-connection is fine at the scales WSPeer
-                // hosts (the paper's host is not a web farm).
+                // Connection threads are detached but observe the
+                // stop/drain flags, so server shutdown closes live
+                // connections. Thread-per-connection is fine at the
+                // scales WSPeer hosts (the paper's host is not a web
+                // farm), and the `max_connections` cap bounds it.
                 let _ = std::thread::Builder::new()
                     .name("wsp-http-conn".into())
-                    .spawn(move || serve_connection(stream, conn_router, conn_stop));
+                    .spawn(move || {
+                        let _active = guard;
+                        serve_connection(stream, conn_router, &_active.0)
+                    });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+                std::thread::sleep(state.config.accept_poll);
             }
             Err(_) => break,
         }
     }
 }
 
-fn serve_connection(mut stream: TcpStream, router: Router, stop: Arc<AtomicBool>) {
-    // Short read timeout so the loop can observe the stop flag between
-    // reads; idle keep-alive connections die with the server.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+/// Is the request head (`…\r\n\r\n`) fully buffered? Marks the boundary
+/// between the header and body read deadlines.
+fn head_is_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+fn serve_connection(mut stream: TcpStream, router: Router, state: &ServerState) {
+    let config = &state.config;
+    // Short read timeout so the loop can observe the stop/drain flags
+    // between reads; idle keep-alive connections die with the server.
+    let _ = stream.set_read_timeout(Some(config.read_poll));
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
     // Keep-alive loop: serve requests on this connection until the
-    // client asks to close (or goes away / times out).
+    // client asks to close (or goes away / times out / we drain).
     loop {
+        // Staged slow-client deadlines: the clock starts at the first
+        // byte of each request (an idle keep-alive connection is not on
+        // the clock), the head must land within `header_read_deadline`,
+        // and the body gets a separate `body_read_deadline` from the
+        // moment the head completes.
+        let mut started: Option<Instant> = if buf.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        let mut head_done: Option<Instant> = None;
         let (request, used) = loop {
-            if stop.load(Ordering::SeqCst) {
+            if state.stop.load(Ordering::SeqCst) {
                 return;
+            }
+            if started.is_none() && state.draining.load(Ordering::SeqCst) {
+                return; // draining and no request in flight: close now
             }
             match parse_request(&buf) {
                 Ok(parsed) => break parsed,
                 Err(HttpError::Incomplete) => {
+                    if let Some(first_byte) = started {
+                        if head_done.is_none() && head_is_complete(&buf) {
+                            head_done = Some(Instant::now());
+                        }
+                        let (stage_start, budget) = match head_done {
+                            Some(at) => (at, config.body_read_deadline),
+                            None => (first_byte, config.header_read_deadline),
+                        };
+                        if stage_start.elapsed() >= budget {
+                            let _ = stream.write_all(&encode_response(&Response::request_timeout(
+                                "request read deadline exceeded",
+                            )));
+                            return;
+                        }
+                    }
                     let mut chunk = [0u8; 4096];
                     match stream.read(&mut chunk) {
                         Ok(0) => return, // peer went away
-                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        Ok(n) => {
+                            if started.is_none() {
+                                started = Some(Instant::now());
+                            }
+                            buf.extend_from_slice(&chunk[..n]);
+                        }
                         Err(e)
                             if e.kind() == std::io::ErrorKind::WouldBlock
                                 || e.kind() == std::io::ErrorKind::TimedOut =>
                         {
-                            continue; // idle: re-check the stop flag
+                            continue; // idle: re-check the flags
                         }
                         Err(_) => return,
                     }
@@ -142,12 +336,15 @@ fn serve_connection(mut stream: TcpStream, router: Router, stop: Arc<AtomicBool>
             }
         };
         buf.drain(..used);
-        let close = request
+        let client_close = request
             .headers
             .get("connection")
             .map(|v| v.eq_ignore_ascii_case("close"))
             .unwrap_or(false);
         let mut response = router.handle(&request);
+        // Re-check drain *after* handling: a drain that began while this
+        // request ran still closes the connection behind its response.
+        let close = client_close || state.draining.load(Ordering::SeqCst);
         response
             .headers
             .set("Connection", if close { "close" } else { "keep-alive" });
@@ -161,15 +358,31 @@ fn serve_connection(mut stream: TcpStream, router: Router, stop: Arc<AtomicBool>
     }
 }
 
+/// Default client-side read timeout for one-shot calls and pooled
+/// exchanges, matching the historical hard-coded 10 s.
+pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Issue one blocking request to `host:port`. Opens a fresh connection
 /// per call (`Connection: close` semantics).
-pub fn http_call(host: &str, port: u16, mut request: Request) -> Result<Response, HttpError> {
+pub fn http_call(host: &str, port: u16, request: Request) -> Result<Response, HttpError> {
+    http_call_with_timeout(host, port, request, DEFAULT_CLIENT_TIMEOUT)
+}
+
+/// [`http_call`] with an explicit read timeout — callers propagating a
+/// deadline cap the wait at their remaining budget instead of the flat
+/// default.
+pub fn http_call_with_timeout(
+    host: &str,
+    port: u16,
+    mut request: Request,
+    timeout: Duration,
+) -> Result<Response, HttpError> {
     request.headers.set("Host", format!("{host}:{port}"));
     request.headers.set("Connection", "close");
     let mut stream =
         TcpStream::connect((host, port)).map_err(|e| HttpError::Connect(e.to_string()))?;
     stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
+        .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
         .map_err(|e| HttpError::Io(e.to_string()))?;
     stream
         .write_all(&encode_request(&request))
@@ -229,14 +442,20 @@ pub struct PoolStats {
 /// This is the transport ablation of experiment E7: per-call connection
 /// setup dominates small-payload HTTP round trips, and pooling removes
 /// it.
-#[derive(Default)]
 pub struct ConnectionPool {
     idle: parking_lot::Mutex<std::collections::HashMap<String, Vec<TcpStream>>>,
     max_idle_per_host: usize,
+    call_timeout: Duration,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
     retired: std::sync::atomic::AtomicU64,
     retries: std::sync::atomic::AtomicU64,
+}
+
+impl Default for ConnectionPool {
+    fn default() -> Self {
+        ConnectionPool::new()
+    }
 }
 
 /// Has an idle pooled connection died behind our back? A healthy idle
@@ -261,9 +480,20 @@ fn idle_connection_is_dead(stream: &TcpStream) -> bool {
 impl ConnectionPool {
     pub fn new() -> Self {
         ConnectionPool {
+            idle: parking_lot::Mutex::new(std::collections::HashMap::new()),
             max_idle_per_host: 4,
-            ..Default::default()
+            call_timeout: DEFAULT_CLIENT_TIMEOUT,
+            hits: Default::default(),
+            misses: Default::default(),
+            retired: Default::default(),
+            retries: Default::default(),
         }
+    }
+
+    /// Replace the per-exchange read timeout (default 10 s).
+    pub fn with_call_timeout(mut self, timeout: Duration) -> Self {
+        self.call_timeout = timeout.max(Duration::from_millis(1));
+        self
     }
 
     /// Number of idle pooled connections (all hosts).
@@ -338,7 +568,7 @@ impl ConnectionPool {
         request: &Request,
     ) -> Result<Response, HttpError> {
         stream
-            .set_read_timeout(Some(Duration::from_secs(10)))
+            .set_read_timeout(Some(self.call_timeout))
             .map_err(|e| HttpError::Io(e.to_string()))?;
         stream
             .write_all(&encode_request(request))
@@ -438,6 +668,197 @@ mod tests {
         // Port 1 on loopback is essentially never listening.
         let err = http_call("127.0.0.1", 1, Request::get("/")).unwrap_err();
         assert!(matches!(err, HttpError::Connect(_)));
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_retry_after() {
+        // Capacity 1, a handler slow enough to hold the only slot.
+        let router = Router::new();
+        router.deploy(
+            "Slow",
+            Arc::new(|_req: &Request| {
+                std::thread::sleep(Duration::from_millis(300));
+                Response::ok("text/plain", "done")
+            }),
+        );
+        let config = ServerConfig {
+            max_connections: Some(1),
+            retry_after: Duration::from_millis(1500),
+            ..ServerConfig::default()
+        };
+        let server = TcpServer::launch_with(0, router, config).unwrap();
+        let port = server.port();
+        let holder = std::thread::spawn(move || {
+            http_call("127.0.0.1", port, Request::get("/Slow")).unwrap()
+        });
+        // Wait until the slot is taken, then the next accept must shed.
+        while server.active_connections() == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let shed = http_call("127.0.0.1", port, Request::get("/Slow")).unwrap();
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.headers.get("retry-after"), Some("1"));
+        assert_eq!(shed.headers.get("x-wsp-retry-after-ms"), Some("1500"));
+        assert_eq!(shed.headers.get("connection"), Some("close"));
+        assert!(holder.join().unwrap().is_success());
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_drain_finishes_in_flight_and_rejects_new() {
+        let router = Router::new();
+        router.deploy(
+            "Slow",
+            Arc::new(|_req: &Request| {
+                std::thread::sleep(Duration::from_millis(200));
+                Response::ok("text/plain", "finished")
+            }),
+        );
+        let server = TcpServer::launch_with(
+            0,
+            router,
+            ServerConfig {
+                drain_deadline: Duration::from_secs(5),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let port = server.port();
+        let in_flight = std::thread::spawn(move || {
+            http_call("127.0.0.1", port, Request::get("/Slow")).unwrap()
+        });
+        while server.active_connections() == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let drained = server.shutdown();
+        assert!(drained, "in-flight call must finish inside the deadline");
+        // The admitted call completed, and its response closed the
+        // connection because the server was draining behind it.
+        let response = in_flight.join().unwrap();
+        assert_eq!(response.body_str(), "finished");
+        assert_eq!(response.headers.get("connection"), Some("close"));
+        // New connections are refused once the server is gone.
+        assert!(http_call("127.0.0.1", port, Request::get("/Slow")).is_err());
+    }
+
+    #[test]
+    fn drain_rejects_new_connections_with_503() {
+        let router = Router::new();
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let release = gate.clone();
+        router.deploy(
+            "Gate",
+            Arc::new(move |_req: &Request| {
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Response::ok("text/plain", "released")
+            }),
+        );
+        let server = Arc::new(TcpServer::launch(0, router).unwrap());
+        let port = server.port();
+        let in_flight = std::thread::spawn(move || {
+            http_call("127.0.0.1", port, Request::get("/Gate")).unwrap()
+        });
+        while server.active_connections() == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Start the drain from another thread (it blocks until idle).
+        let drainer = {
+            let server = server.clone();
+            std::thread::spawn(move || server.shutdown())
+        };
+        while !server.is_draining() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // While draining, a new connection gets the busy rejection.
+        let rejected = http_call("127.0.0.1", port, Request::get("/Gate")).unwrap();
+        assert_eq!(rejected.status, 503);
+        assert!(rejected.headers.get("retry-after").is_some());
+        gate.store(true, Ordering::SeqCst);
+        assert!(drainer.join().unwrap(), "drain completes once gate opens");
+        assert_eq!(in_flight.join().unwrap().body_str(), "released");
+    }
+
+    #[test]
+    fn slow_client_gets_408_on_header_deadline() {
+        let router = Router::new();
+        router.deploy(
+            "Echo",
+            Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone())),
+        );
+        let config = ServerConfig {
+            header_read_deadline: Duration::from_millis(100),
+            read_poll: Duration::from_millis(10),
+            ..ServerConfig::default()
+        };
+        let server = TcpServer::launch_with(0, router, config).unwrap();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        // Drip half a request line and stall: the head never completes.
+        stream.write_all(b"GET /Ec").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+        }
+        let (response, _) = parse_response(&buf).expect("server answered before closing");
+        assert_eq!(response.status, 408);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_body_gets_408_on_body_deadline() {
+        let router = Router::new();
+        router.deploy(
+            "Echo",
+            Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone())),
+        );
+        let config = ServerConfig {
+            header_read_deadline: Duration::from_secs(5),
+            body_read_deadline: Duration::from_millis(100),
+            read_poll: Duration::from_millis(10),
+            ..ServerConfig::default()
+        };
+        let server = TcpServer::launch_with(0, router, config).unwrap();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        // Complete head promising a body that never arrives in full.
+        stream
+            .write_all(b"POST /Echo HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial")
+            .unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+        }
+        let (response, _) = parse_response(&buf).expect("server answered before closing");
+        assert_eq!(response.status, 408);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_now_cuts_off_without_drain() {
+        let server = test_server();
+        // Idle keep-alive connection pinned open by a pool.
+        let pool = ConnectionPool::new();
+        pool.call("127.0.0.1", server.port(), Request::get("/Echo"))
+            .unwrap();
+        server.shutdown_now();
+        // The server stops accepting immediately.
+        assert!(http_call("127.0.0.1", server.port(), Request::get("/Echo")).is_err());
     }
 
     #[test]

@@ -20,6 +20,18 @@ WSP_FAULT_SEED=2005 cargo test -q -p wsp-integration-tests --test fault_injectio
 echo "==> fault injection matrix (seed 7, release)"
 WSP_FAULT_SEED=7 cargo test -q --release -p wsp-integration-tests --test fault_injection
 
+# Overload smoke: the admission/deadline/drain suite runs over real
+# sockets, then the simulated 4x-overload scenarios (shed-vs-serve
+# split, backoff-beats-hammering, bit-reproducibility) are pinned under
+# the same two fixed seeds as the fault matrix above so a regression in
+# the shedding path cannot hide behind seed luck.
+echo "==> overload smoke (admission control, deadlines, graceful drain)"
+cargo test -q -p wsp-integration-tests --test overload
+
+echo "==> overload matrix (seed 2005 / seed 7)"
+WSP_FAULT_SEED=2005 cargo test -q -p wsp-integration-tests --test fault_injection http_overload
+WSP_FAULT_SEED=7 cargo test -q -p wsp-integration-tests --test fault_injection http_overload
+
 # Telemetry smoke-check: deploys a service on the container-less host,
 # invokes it over real HTTP, and scrapes /metrics — counters,
 # histograms, pool/dispatcher gauges and correlated trace lines must

@@ -40,11 +40,13 @@ fn echo_router() -> Router {
     router
 }
 
-/// Issues `calls` resilient calls, one every 50ms, recording outcomes.
+/// Issues `calls` resilient calls, one every `every`, recording
+/// outcomes.
 struct CallSource {
     server: NodeId,
     client: ResilientSimClient,
     calls: usize,
+    every: Dur,
     started: usize,
     outcomes: Rc<RefCell<Vec<SimCallOutcome>>>,
 }
@@ -63,7 +65,7 @@ impl Node<String> for CallSource {
                     self.started += 1;
                     self.client
                         .begin(ctx, self.server, Request::post("/Echo", "text/plain", "hi"));
-                    ctx.set_timer(Dur::millis(50), NEXT_CALL_TAG);
+                    ctx.set_timer(self.every, NEXT_CALL_TAG);
                 }
                 None
             }
@@ -101,10 +103,44 @@ fn run_http(
         server,
         client: ResilientSimClient::new(schedule),
         calls,
+        every: Dur::millis(50),
         started: 0,
         outcomes: outcomes.clone(),
     }));
     plan(client, server).apply(&mut net);
+    let end = net.run_to_quiescence();
+    let got = outcomes.borrow().clone();
+    (got, end)
+}
+
+/// Run `calls` HTTP calls at 4× the server's capacity: one worker at
+/// 20ms per request (50/s) against an arrival every 5ms (200/s), with
+/// `queue_limit` waiting slots — the overflow bounces as 503.
+fn run_http_overloaded(
+    sim_seed: u64,
+    calls: usize,
+    schedule: RetrySchedule,
+    queue_limit: usize,
+) -> (Vec<SimCallOutcome>, Time) {
+    let mut net: SimNet<String> = SimNet::new(sim_seed);
+    net.set_default_link(LinkSpec {
+        latency: Dur::millis(2),
+        jitter: Dur::millis(1),
+        loss: 0.0,
+        per_byte: Dur::ZERO,
+    });
+    let server = net.add_node(Box::new(
+        HttpSimServer::new(echo_router(), Dur::millis(20), 1).with_queue_limit(queue_limit),
+    ));
+    let outcomes = Rc::new(RefCell::new(Vec::new()));
+    net.add_node(Box::new(CallSource {
+        server,
+        client: ResilientSimClient::new(schedule),
+        calls,
+        every: Dur::millis(5),
+        started: 0,
+        outcomes: outcomes.clone(),
+    }));
     let end = net.run_to_quiescence();
     let got = outcomes.borrow().clone();
     (got, end)
@@ -217,6 +253,72 @@ fn http_fault_runs_are_bit_reproducible() {
     let (outcomes_a, end_a) = run();
     let (outcomes_b, end_b) = run();
     assert_eq!(outcomes_a, outcomes_b, "same seed ⇒ same outcome sequence");
+    assert_eq!(end_a, end_b, "same seed ⇒ same virtual end time");
+}
+
+// --- overload side -----------------------------------------------------------
+
+#[test]
+fn http_overload_sheds_the_overflow_and_serves_the_rest() {
+    // 4× overload, no retries: the server's queue bound turns the
+    // overflow into fast 503 exhaustions while everything it queues is
+    // served — no call hangs and no call is silently dropped.
+    let (outcomes, _) =
+        run_http_overloaded(seed() + 400, 16, RetrySchedule::none(Dur::millis(200)), 2);
+    assert_eq!(outcomes.len(), 16, "every call reaches a terminal outcome");
+    let served = outcomes
+        .iter()
+        .filter(|o| matches!(o, SimCallOutcome::Completed { .. }))
+        .count();
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, SimCallOutcome::Exhausted { attempts: 1, .. }))
+        .count();
+    assert_eq!(served + shed, 16, "terminal outcomes are served or shed");
+    assert!(
+        served >= 3,
+        "the queue's worth of work is served: {outcomes:?}"
+    );
+    assert!(
+        shed >= 3,
+        "a 4× burst against 2 queue slots must shed: {outcomes:?}"
+    );
+}
+
+#[test]
+fn http_overload_backoff_recovers_more_goodput_than_hammering() {
+    // The same burst, retried: spacing retries out (60ms ≈ 3 service
+    // times) rides the queue as it drains and completes more calls than
+    // immediate re-sends into a still-full queue.
+    let completed = |outcomes: &[SimCallOutcome]| {
+        outcomes
+            .iter()
+            .filter(|o| matches!(o, SimCallOutcome::Completed { .. }))
+            .count()
+    };
+    let spaced = RetrySchedule::fixed(Dur::millis(200), Dur::millis(60), 5);
+    let hammer = RetrySchedule::fixed(Dur::millis(200), Dur::millis(1), 5);
+    let (with_backoff, _) = run_http_overloaded(seed() + 410, 16, spaced, 2);
+    let (hammering, _) = run_http_overloaded(seed() + 410, 16, hammer, 2);
+    assert_eq!(with_backoff.len(), 16);
+    assert_eq!(hammering.len(), 16);
+    assert!(
+        completed(&with_backoff) > completed(&hammering),
+        "backing off must beat hammering a full queue: {} vs {}",
+        completed(&with_backoff),
+        completed(&hammering)
+    );
+}
+
+#[test]
+fn http_overload_runs_are_bit_reproducible() {
+    let run = || {
+        let schedule = RetrySchedule::fixed(Dur::millis(200), Dur::millis(60), 4);
+        run_http_overloaded(seed() + 420, 20, schedule, 2)
+    };
+    let (outcomes_a, end_a) = run();
+    let (outcomes_b, end_b) = run();
+    assert_eq!(outcomes_a, outcomes_b, "same seed ⇒ same shed/serve split");
     assert_eq!(end_a, end_b, "same seed ⇒ same virtual end time");
 }
 

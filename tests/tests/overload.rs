@@ -1,0 +1,274 @@
+//! Wire-level overload protection: a burst past capacity is shed with
+//! retry hints while admitted work completes, an expired deadline is
+//! rejected before the handler runs, the P2PS busy fault round-trips
+//! with its hint, and a draining host finishes every request it
+//! admitted while turning new connections away.
+//!
+//! Doubles as the CI overload smoke test (`scripts/ci.sh` runs this
+//! suite under two fixed seeds).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use wsp_core::bindings::{HttpUddiBinding, HttpUddiConfig, P2psBinding, P2psConfig};
+use wsp_core::{EventBus, LoadShedPolicy, Peer, ResiliencePolicy, ServiceQuery, WspError};
+use wsp_http::{http_call, Request, Response, Router, ServerConfig, TcpServer};
+use wsp_integration_tests::{p2ps_star, wait_until};
+use wsp_wsdl::{OperationDef, ServiceDescriptor, ServiceHandler, Value, XsdType};
+
+/// A single-operation service whose handler sleeps, then counts.
+fn nap_descriptor(name: &str) -> ServiceDescriptor {
+    ServiceDescriptor::new(name, "urn:wspeer:test:overload")
+        .operation(OperationDef::new("nap").returns(XsdType::String))
+}
+
+fn nap_handler(naps: Arc<AtomicU32>, length: Duration) -> Arc<dyn ServiceHandler> {
+    Arc::new(move |_op: &str, _args: &[Value]| {
+        std::thread::sleep(length);
+        naps.fetch_add(1, Ordering::SeqCst);
+        Ok(Value::string("rested"))
+    })
+}
+
+fn binding_with_policy(policy: LoadShedPolicy) -> HttpUddiBinding {
+    HttpUddiBinding::new(
+        wsp_uddi::UddiClient::direct(wsp_uddi::Registry::new()),
+        EventBus::new(),
+        HttpUddiConfig {
+            load_shed: policy,
+            ..HttpUddiConfig::default()
+        },
+    )
+}
+
+/// 8 callers against an in-flight budget of 1: the host must shed the
+/// overflow as `Overloaded` (with the server's retry hint attached) in
+/// bounded time, while everything it admits completes successfully —
+/// goodput survives the burst and no caller hangs.
+#[test]
+fn burst_past_capacity_sheds_with_hint_and_serves_the_rest() {
+    let binding = binding_with_policy(LoadShedPolicy::bounded(1, 1024));
+    let peer = Peer::with_binding(&binding);
+    let naps = Arc::new(AtomicU32::new(0));
+    peer.server()
+        .deploy_and_publish(
+            nap_descriptor("BurstNap"),
+            nap_handler(naps.clone(), Duration::from_millis(100)),
+        )
+        .unwrap();
+    let service = peer
+        .client()
+        .locate_one(&ServiceQuery::by_name("BurstNap"))
+        .unwrap();
+
+    const CALLERS: usize = 8;
+    let barrier = Arc::new(Barrier::new(CALLERS));
+    let started = Instant::now();
+    let outcomes: Vec<Result<Value, WspError>> = (0..CALLERS)
+        .map(|_| {
+            let client = peer.client().clone();
+            let service = service.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                // No retries: observe the raw admission decision.
+                client.invoke_with_policy(&service, "nap", &[], ResiliencePolicy::none())
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+    let elapsed = started.elapsed();
+
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            Ok(value) => {
+                assert_eq!(value, Value::string("rested"));
+                served += 1;
+            }
+            Err(WspError::Overloaded { retry_after_ms }) => {
+                // The hint crossed the wire (the policy default, 100 ms).
+                assert_eq!(retry_after_ms, Some(100), "shed carries the server hint");
+                shed += 1;
+            }
+            Err(other) => panic!("expected success or Overloaded, got {other}"),
+        }
+    }
+    assert_eq!(served + shed, CALLERS);
+    assert!(served >= 1, "the first caller through is always admitted");
+    assert!(shed >= 1, "an 8-wide burst against budget 1 must shed");
+    assert_eq!(naps.load(Ordering::SeqCst) as usize, served);
+    // Nothing hung: sheds are immediate and admitted naps serialize at
+    // 100 ms each, far under the transport timeouts.
+    assert!(elapsed < Duration::from_secs(5), "burst took {elapsed:?}");
+}
+
+/// A request whose propagated deadline is already spent is shed at
+/// admission — 503 with both retry-hint headers — and the handler is
+/// never invoked. The same service still serves live-deadline calls.
+#[test]
+fn expired_deadline_is_rejected_before_the_handler_runs() {
+    let binding = binding_with_policy(LoadShedPolicy::unlimited());
+    let peer = Peer::with_binding(&binding);
+    let naps = Arc::new(AtomicU32::new(0));
+    peer.server()
+        .deploy_and_publish(
+            nap_descriptor("DeadlineNap"),
+            nap_handler(naps.clone(), Duration::ZERO),
+        )
+        .unwrap();
+    let port = binding.host_port().expect("deployment launched the host");
+
+    // Zero remaining budget: expired by the time admission samples it.
+    let mut request = Request::post("/DeadlineNap", "text/xml", "<unparsed/>");
+    request.headers.set("X-WSP-Deadline", "0");
+    let response = http_call("127.0.0.1", port, request).unwrap();
+    assert_eq!(response.status, 503);
+    assert_eq!(response.headers.get("Retry-After"), Some("1"));
+    assert_eq!(response.headers.get("X-WSP-Retry-After-Ms"), Some("100"));
+    assert_eq!(naps.load(Ordering::SeqCst), 0, "handler never ran");
+
+    // A live deadline sails through the same admission gate.
+    let service = peer
+        .client()
+        .locate_one(&ServiceQuery::by_name("DeadlineNap"))
+        .unwrap();
+    let value = peer
+        .client()
+        .invoke_with_policy(
+            &service,
+            "nap",
+            &[],
+            ResiliencePolicy::none().with_deadline(Duration::from_secs(5)),
+        )
+        .unwrap();
+    assert_eq!(value, Value::string("rested"));
+    assert_eq!(naps.load(Ordering::SeqCst), 1);
+}
+
+/// Over P2PS the shed takes the form of a SOAP busy fault on the return
+/// pipe; the consumer's invoker decodes it back into `Overloaded` with
+/// the provider's hint instead of a generic fault.
+#[test]
+fn p2ps_overload_surfaces_busy_fault_as_overloaded_with_hint() {
+    let (_network, _rv, mut peers) = p2ps_star(2);
+    let consumer_thread = peers.pop().unwrap();
+    let provider_thread = peers.pop().unwrap();
+    // Queue budget 0: the provider sheds every service request while
+    // discovery and the definition pipe stay un-gated.
+    let provider_binding = P2psBinding::new(
+        provider_thread,
+        EventBus::new(),
+        P2psConfig {
+            discovery_window: Duration::from_millis(400),
+            request_timeout: Duration::from_secs(3),
+            load_shed: LoadShedPolicy::bounded(usize::MAX, 0),
+        },
+    );
+    let provider = Peer::with_binding(&provider_binding);
+    let consumer_binding = P2psBinding::new(
+        consumer_thread,
+        EventBus::new(),
+        P2psConfig {
+            discovery_window: Duration::from_millis(400),
+            request_timeout: Duration::from_secs(3),
+            load_shed: LoadShedPolicy::unlimited(),
+        },
+    );
+    let consumer = Peer::with_binding(&consumer_binding);
+
+    let naps = Arc::new(AtomicU32::new(0));
+    provider
+        .server()
+        .deploy_and_publish(
+            nap_descriptor("BusyNap"),
+            nap_handler(naps.clone(), Duration::ZERO),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let service = consumer
+        .client()
+        .locate_one(&ServiceQuery::by_name("BusyNap"))
+        .unwrap();
+    assert!(service.endpoint.starts_with("p2ps://"));
+
+    let started = Instant::now();
+    let err = consumer
+        .client()
+        .invoke_with_policy(&service, "nap", &[], ResiliencePolicy::none())
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            WspError::Overloaded {
+                retry_after_ms: Some(100)
+            }
+        ),
+        "busy fault decodes to Overloaded with the provider's hint: {err:?}"
+    );
+    // The shed came back on the return pipe, not via the timeout.
+    assert!(started.elapsed() < Duration::from_secs(2));
+    assert_eq!(naps.load(Ordering::SeqCst), 0, "handler never ran");
+}
+
+/// Graceful drain over live sockets: every admitted request finishes
+/// with a full response, connections arriving mid-drain are turned away
+/// with 503 + Retry-After, and `shutdown` reports a complete drain.
+#[test]
+fn draining_host_finishes_admitted_work_and_rejects_new_connections() {
+    let router = Router::new();
+    router.deploy(
+        "Slow",
+        Arc::new(|_request: &Request| {
+            std::thread::sleep(Duration::from_millis(400));
+            Response::ok("text/plain", "done")
+        }),
+    );
+    let server = Arc::new(
+        TcpServer::launch_with(0, router, ServerConfig::default()).expect("ephemeral port"),
+    );
+    let port = server.port();
+
+    const IN_FLIGHT: usize = 3;
+    let workers: Vec<_> = (0..IN_FLIGHT)
+        .map(|_| {
+            std::thread::spawn(move || http_call("127.0.0.1", port, Request::get("/Slow")).unwrap())
+        })
+        .collect();
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            server.active_connections() >= IN_FLIGHT
+        }),
+        "all slow requests are in flight"
+    );
+
+    let drainer = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            (server.shutdown(), started.elapsed())
+        })
+    };
+    assert!(
+        wait_until(Duration::from_secs(1), || server.is_draining()),
+        "drain mode engaged"
+    );
+
+    // A connection arriving mid-drain is refused, with the hint.
+    let turned_away = http_call("127.0.0.1", port, Request::get("/Slow")).unwrap();
+    assert_eq!(turned_away.status, 503);
+    assert!(turned_away.headers.get("Retry-After").is_some());
+
+    for worker in workers {
+        let response = worker.join().unwrap();
+        assert_eq!(response.status, 200, "admitted work ran to completion");
+        assert_eq!(response.body_str(), "done");
+    }
+    let (drained, drain_took) = drainer.join().unwrap();
+    assert!(drained, "in-flight work fit inside the drain deadline");
+    assert!(drain_took < ServerConfig::default().drain_deadline);
+}

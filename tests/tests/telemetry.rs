@@ -300,3 +300,125 @@ fn faulty_invocation_reconstructed_from_correlation_ids() {
         "trace lines for the call present in /metrics output"
     );
 }
+
+// --- concurrent scrape under overload ----------------------------------------
+
+/// Scraper threads render the `/metrics` text and take histogram
+/// snapshots continuously while burst threads hammer an admission
+/// controller past its limits. Every observation must be internally
+/// consistent — counts never move backwards, percentile estimates stay
+/// inside the recorded value range — and the final admitted/shed split
+/// accounts for every attempt. Guards against torn reads in the
+/// lock-free counters and histogram buckets.
+#[test]
+fn metrics_scrape_is_consistent_during_overload_burst() {
+    use std::sync::atomic::AtomicBool;
+    use wsp_core::{AdmissionController, LoadShedPolicy};
+
+    let registry = telemetry::global();
+    registry.set_enabled(true);
+    // Register the admission counters up front so every scrape sees
+    // them, then remember the baseline (other tests share the registry).
+    let admitted_counter = registry.counter("admission.admitted");
+    let shed_counter = registry.counter("admission.shed");
+    let admitted_before = admitted_counter.get();
+    let shed_before = shed_counter.get();
+
+    // Queue cap 8; every 4th attempt reports a deep queue and must be
+    // shed deterministically. In-flight cap 4 with 4 single-permit
+    // threads means the rest are admitted deterministically.
+    let controller = Arc::new(AdmissionController::new(LoadShedPolicy::bounded(4, 8)));
+    let histogram = registry.histogram("overload_scrape_us");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    const BURST_THREADS: usize = 4;
+    const ATTEMPTS_PER_THREAD: usize = 500;
+    let mut workers = Vec::new();
+    for t in 0..BURST_THREADS {
+        let controller = Arc::clone(&controller);
+        let histogram = Arc::clone(&histogram);
+        workers.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(SEED ^ (t as u64 + 11));
+            let mut admitted = 0usize;
+            for attempt in 0..ATTEMPTS_PER_THREAD {
+                let queue_depth = if attempt % 4 == 3 { 64 } else { 0 };
+                match controller.try_admit(queue_depth, None) {
+                    Ok(_permit) => {
+                        admitted += 1;
+                        histogram.record(rng.random_range(1u64..50_000));
+                        std::thread::yield_now();
+                    }
+                    Err(WspError::Overloaded { retry_after_ms }) => {
+                        assert!(retry_after_ms.is_some(), "every shed carries a hint");
+                    }
+                    Err(other) => panic!("unexpected admission error: {other}"),
+                }
+            }
+            admitted
+        }));
+    }
+
+    const SCRAPERS: usize = 3;
+    let mut scrapers = Vec::new();
+    for _ in 0..SCRAPERS {
+        let stop = Arc::clone(&stop);
+        let histogram = Arc::clone(&histogram);
+        scrapers.push(std::thread::spawn(move || {
+            let registry = telemetry::global();
+            let mut last_histogram_count = 0u64;
+            let mut last_admitted = 0u64;
+            let mut scrapes = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                let snapshot = histogram.snapshot();
+                assert!(
+                    snapshot.count >= last_histogram_count,
+                    "histogram count went backwards: {} < {last_histogram_count}",
+                    snapshot.count
+                );
+                last_histogram_count = snapshot.count;
+                if snapshot.count > 0 {
+                    assert!(snapshot.p50() <= snapshot.p99(), "percentiles ordered");
+                    assert!(snapshot.max < 50_000, "max within the recorded range");
+                    assert!(snapshot.sum >= snapshot.count, "every sample is >= 1");
+                    let (_, high) = bucket_bounds(bucket_index(snapshot.max));
+                    assert!(
+                        snapshot.p99() <= high,
+                        "p99 {} above the max bucket {high}",
+                        snapshot.p99()
+                    );
+                }
+                let rendered = telemetry::render_metrics(registry);
+                let admitted_now = rendered
+                    .lines()
+                    .find_map(|line| {
+                        let mut parts = line.split_whitespace();
+                        (parts.next() == Some("admission.admitted"))
+                            .then(|| parts.next())
+                            .flatten()
+                    })
+                    .and_then(|value| value.parse::<u64>().ok())
+                    .expect("admission.admitted rendered on every scrape");
+                assert!(
+                    admitted_now >= last_admitted,
+                    "admitted counter went backwards: {admitted_now} < {last_admitted}"
+                );
+                last_admitted = admitted_now;
+                scrapes += 1;
+            }
+            scrapes
+        }));
+    }
+
+    let locally_admitted: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    stop.store(true, Ordering::SeqCst);
+    for scraper in scrapers {
+        assert!(scraper.join().unwrap() > 0, "scraper observed the burst");
+    }
+
+    let total = BURST_THREADS * ATTEMPTS_PER_THREAD;
+    let deterministic_sheds = total / 4;
+    assert_eq!(locally_admitted, total - deterministic_sheds);
+    assert_eq!(histogram.snapshot().count, locally_admitted as u64);
+    assert!(admitted_counter.get() - admitted_before >= locally_admitted as u64);
+    assert!(shed_counter.get() - shed_before >= deterministic_sheds as u64);
+}
