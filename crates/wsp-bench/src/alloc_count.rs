@@ -1,0 +1,76 @@
+//! A counting global allocator for allocation-per-call measurements.
+//!
+//! The type lives in the library, but only binaries that opt in install
+//! it (`#[global_allocator]` in the harness and in the alloc-guard
+//! integration test). Installing it here would tax every dependent
+//! test run with two atomic bumps per allocation for no benefit.
+//!
+//! Counters are process-global relaxed atomics: cheap enough that the
+//! measured code's own timing is unaffected at the nanosecond scales
+//! E12 cares about, and exact for single-threaded measurement loops.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwarding allocator that counts `alloc` and `realloc` calls.
+pub struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the counters never touch the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that grows is a fresh backing allocation from the
+        // measured code's point of view, so it counts.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Heap allocations (alloc + realloc calls) since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested since process start.
+pub fn bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Whether the counting allocator is actually installed in this
+/// process. Library test binaries use the system allocator, so the
+/// counters stay at zero there; measurement code uses this to report
+/// "not counted" instead of a bogus 0.
+pub fn is_installed() -> bool {
+    let before = allocations();
+    drop(std::hint::black_box(Vec::<u8>::with_capacity(64)));
+    allocations() > before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_installed_in_library_tests() {
+        // The lib test binary does not set #[global_allocator], so the
+        // probe must say so — this is exactly the case `is_installed`
+        // exists to detect.
+        assert!(!is_installed());
+        assert_eq!(allocations(), 0);
+        assert_eq!(bytes(), 0);
+    }
+}

@@ -6,7 +6,13 @@
 //! ```
 
 use wsp_bench::common::render_table;
-use wsp_bench::{a1, a2, e1, e10, e11, e2, e3, e4, e5, e6, e7, e8, e9};
+use wsp_bench::{a1, a2, e1, e10, e11, e12, e2, e3, e4, e5, e6, e7, e8, e9};
+
+// E12's allocations-per-call table needs every heap allocation counted;
+// installing the counter here (and only here) keeps the library and its
+// tests on the plain system allocator.
+#[global_allocator]
+static ALLOC: wsp_bench::alloc_count::CountingAllocator = wsp_bench::alloc_count::CountingAllocator;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
@@ -390,6 +396,79 @@ fn main() {
                 "latecomer sees",
                 "stop ms"
             ],
+            &rows,
+        )
+    );
+
+    // E12 — zero-copy wire path: encode/decode A/B, allocations per
+    // round trip, end-to-end invoke through the fast path.
+    let calls = if quick { 200 } else { 2000 };
+    let rows: Vec<Vec<String>> = e12::latency(calls)
+        .iter()
+        .map(|r| {
+            vec![
+                r.corpus.to_string(),
+                r.mode.to_string(),
+                r.wire_bytes.to_string(),
+                format!("{:.0}", r.encode_mean_ns),
+                format!("{:.0}", r.encode_p50_ns),
+                format!("{:.0}", r.encode_p99_ns),
+                format!("{:.0}", r.decode_mean_ns),
+                format!("{:.0}", r.decode_p50_ns),
+                format!("{:.0}", r.decode_p99_ns),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E12 wire path: legacy vs fast codec, ns per envelope ({calls} calls)"),
+            &[
+                "corpus", "mode", "wire B", "enc mean", "enc p50", "enc p99", "dec mean",
+                "dec p50", "dec p99",
+            ],
+            &rows,
+        )
+    );
+    let alloc_rounds = if quick { 100 } else { 500 };
+    let rows: Vec<Vec<String>> = e12::allocations(alloc_rounds)
+        .iter()
+        .map(|r| {
+            vec![
+                r.corpus.to_string(),
+                if r.counted { "yes" } else { "NO" }.to_string(),
+                format!("{:.1}", r.legacy_allocs),
+                format!("{:.1}", r.fast_allocs),
+                format!("{:.1}x", r.ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E12 allocations per encode+decode round trip ({alloc_rounds} rounds)"),
+            &["corpus", "counted", "legacy", "fast", "reduction"],
+            &rows,
+        )
+    );
+    let calls = if quick { 20 } else { 100 };
+    let rows: Vec<Vec<String>> = e12::invoke_rows(calls)
+        .iter()
+        .map(|r| {
+            vec![
+                r.transport.to_string(),
+                r.payload_bytes.to_string(),
+                format!("{:.2}", r.mean_ms),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p99_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E12 end-to-end invoke through the fast path ({calls} calls, loopback)"),
+            &["transport", "payload B", "mean ms", "p50 ms", "p99 ms"],
             &rows,
         )
     );

@@ -1,100 +1,44 @@
 //! Escaping and entity expansion for character data and attribute values.
-//!
-//! The escapers are scan-ahead: they locate the next byte that needs a
-//! substitution and bulk-copy the clean run before it, instead of
-//! pushing char-by-char. All special bytes are ASCII, so slicing at
-//! their positions always lands on UTF-8 boundaries.
 
-use crate::error::{XmlError, XmlResult};
-use std::borrow::Cow;
+use super::error::{XmlError, XmlResult};
 
-/// Position of the next byte in `bytes[from..]` that text content must
-/// escape (`&`, `<`, `>`).
-#[inline]
-fn next_text_special(bytes: &[u8], from: usize) -> Option<usize> {
-    bytes[from..]
-        .iter()
-        .position(|b| matches!(b, b'&' | b'<' | b'>'))
-        .map(|p| from + p)
-}
-
-/// Position of the next byte in `bytes[from..]` that an attribute value
-/// must escape (text specials plus `"` and literal tab/LF/CR).
-#[inline]
-fn next_attr_special(bytes: &[u8], from: usize) -> Option<usize> {
-    bytes[from..]
-        .iter()
-        .position(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\t' | b'\n' | b'\r'))
-        .map(|p| from + p)
-}
-
-#[inline]
-fn text_replacement(b: u8) -> &'static str {
-    match b {
-        b'<' => "&lt;",
-        b'>' => "&gt;",
-        _ => "&amp;",
-    }
-}
-
-#[inline]
-fn attr_replacement(b: u8) -> &'static str {
-    match b {
-        b'<' => "&lt;",
-        b'>' => "&gt;",
-        b'&' => "&amp;",
-        b'"' => "&quot;",
-        b'\t' => "&#9;",
-        b'\n' => "&#10;",
-        _ => "&#13;",
-    }
-}
-
-/// Escape a string for use as element character data, appending bytes.
+/// Escape a string for use as element character data.
 ///
 /// `<`, `&` and `>` are escaped. `>` is only mandatory inside `]]>` but
 /// escaping it unconditionally is harmless and simpler.
-pub fn escape_text_into(input: &str, out: &mut Vec<u8>) {
-    let bytes = input.as_bytes();
-    let mut i = 0;
-    while let Some(pos) = next_text_special(bytes, i) {
-        out.extend_from_slice(&bytes[i..pos]);
-        out.extend_from_slice(text_replacement(bytes[pos]).as_bytes());
-        i = pos + 1;
+pub fn escape_text(input: &str, out: &mut String) {
+    for c in input.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
     }
-    out.extend_from_slice(&bytes[i..]);
 }
 
-/// Escape a string for use inside a double-quoted attribute value,
-/// appending bytes.
+/// Escape a string for use inside a double-quoted attribute value.
 ///
 /// In addition to the text escapes, `"` must be escaped, and literal
 /// tab/newline/carriage-return are escaped as character references so that
 /// attribute-value normalisation cannot change them on re-parse.
-pub fn escape_attr_into(input: &str, out: &mut Vec<u8>) {
-    let bytes = input.as_bytes();
-    let mut i = 0;
-    while let Some(pos) = next_attr_special(bytes, i) {
-        out.extend_from_slice(&bytes[i..pos]);
-        out.extend_from_slice(attr_replacement(bytes[pos]).as_bytes());
-        i = pos + 1;
-    }
-    out.extend_from_slice(&bytes[i..]);
-}
-
-/// Escape element character data into a `String` (see [`escape_text_into`]).
-pub fn escape_text(input: &str, out: &mut String) {
-    // Escapes only ever insert ASCII, so the buffer stays valid UTF-8.
-    escape_text_into(input, unsafe { out.as_mut_vec() });
-}
-
-/// Escape an attribute value into a `String` (see [`escape_attr_into`]).
 pub fn escape_attr(input: &str, out: &mut String) {
-    escape_attr_into(input, unsafe { out.as_mut_vec() });
+    for c in input.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\t' => out.push_str("&#9;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            c => out.push(c),
+        }
+    }
 }
 
 /// Convenience wrapper returning a fresh `String` (allocation-per-call;
-/// hot paths should use [`escape_text_into`] with a reused buffer).
+/// hot paths should use [`escape_text`] with a reused buffer).
 pub fn escape_text_owned(input: &str) -> String {
     let mut s = String::with_capacity(input.len());
     escape_text(input, &mut s);
@@ -103,29 +47,22 @@ pub fn escape_text_owned(input: &str) -> String {
 
 /// Expand entity and character references in raw character data.
 ///
-/// Borrows the input when there is nothing to expand — the common case
-/// for SOAP payloads — and only allocates when a `&` is present.
 /// `base` is the byte offset of `input` within the whole document, used
 /// for error reporting.
-pub fn unescape(input: &str, base: usize) -> XmlResult<Cow<'_, str>> {
-    // Fast path: nothing to expand, nothing to allocate.
-    let bytes = input.as_bytes();
-    let Some(first) = bytes.iter().position(|&b| b == b'&') else {
-        return Ok(Cow::Borrowed(input));
-    };
+pub fn unescape(input: &str, base: usize) -> XmlResult<String> {
+    // Fast path: nothing to expand.
+    if !input.contains('&') {
+        return Ok(input.to_owned());
+    }
     let mut out = String::with_capacity(input.len());
-    out.push_str(&input[..first]);
-    let mut i = first;
+    let bytes = input.as_bytes();
+    let mut i = 0;
     while i < input.len() {
         if bytes[i] != b'&' {
-            // Bulk-copy the clean run up to the next reference.
-            let run_end = bytes[i..]
-                .iter()
-                .position(|&b| b == b'&')
-                .map(|p| i + p)
-                .unwrap_or(input.len());
-            out.push_str(&input[i..run_end]);
-            i = run_end;
+            // Advance over one UTF-8 scalar.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
             continue;
         }
         let semi = input[i + 1..]
@@ -152,7 +89,7 @@ pub fn unescape(input: &str, base: usize) -> XmlResult<Cow<'_, str>> {
         }
         i = semi + 1;
     }
-    Ok(Cow::Owned(out))
+    Ok(out)
 }
 
 fn parse_char_ref(entity: &str) -> Option<char> {
@@ -168,6 +105,15 @@ fn parse_char_ref(entity: &str) -> Option<char> {
         Some(ch)
     } else {
         None
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
     }
 }
 
@@ -196,27 +142,6 @@ mod tests {
     fn attr_escapes_quotes_and_whitespace() {
         assert_eq!(esc_attr("\"x\"\n"), "&quot;x&quot;&#10;");
         assert_eq!(esc_attr("tab\there"), "tab&#9;here");
-    }
-
-    #[test]
-    fn escape_into_appends_without_clearing() {
-        let mut out = b"prefix ".to_vec();
-        escape_text_into("a<b", &mut out);
-        assert_eq!(out, b"prefix a&lt;b");
-    }
-
-    #[test]
-    fn escape_preserves_multibyte_runs() {
-        assert_eq!(esc_text("héllo<wörld>"), "héllo&lt;wörld&gt;");
-        assert_eq!(esc_attr("\u{20AC}\"\u{20AC}"), "\u{20AC}&quot;\u{20AC}");
-    }
-
-    #[test]
-    fn unescape_borrows_when_clean() {
-        assert!(matches!(
-            unescape("no entities here", 0).unwrap(),
-            Cow::Borrowed(_)
-        ));
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! The complete pre-PR-5 `wsp-xml` stack, vendored verbatim for E12.
+//!
+//! PR 5 rewrote the XML wire path in place (interned names, borrowed
+//! decode, single-pass writer), so the old implementation no longer
+//! exists anywhere in the workspace. E12's A/B comparison needs the old
+//! code to *run*, not just to be remembered, so the entire crate as of
+//! the previous commit is vendored here: owning tokenizer/reader
+//! (`String` per name, per text, per attribute), `Cow<'static, str>`
+//! qualified names (two heap `String`s per `QName` built from parsed
+//! input), and the two-pass writer (per-tag temporaries plus an
+//! `attr_strs` staging vec). The only mechanical change is
+//! `crate::` → `super::` in module paths; no behaviour was altered,
+//! and each module still carries its original unit tests, which run as
+//! part of this crate's suite — proof the vendored copy is the code
+//! that used to ship, not a lossy re-creation.
+//!
+//! Nothing outside `e12` and the integration tests should use this:
+//! it exists to be measured against, and as the reference writer for
+//! the wire-byte-identity tests.
+
+pub mod error;
+pub mod escape;
+pub mod name;
+pub mod reader;
+pub mod tokenizer;
+pub mod tree;
+pub mod writer;

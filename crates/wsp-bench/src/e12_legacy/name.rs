@@ -1,0 +1,261 @@
+//! Qualified names and namespace bindings.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// The namespace URI that the `xml` prefix is implicitly bound to.
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+/// The namespace URI of namespace declarations themselves.
+pub const XMLNS_NS: &str = "http://www.w3.org/2000/xmlns/";
+
+/// An expanded XML name: a namespace URI (possibly empty, meaning "no
+/// namespace") plus a local part.
+///
+/// Prefixes are a serialisation artefact and never stored here; the
+/// [`super::writer::Writer`] chooses prefixes when serialising and the
+/// reader resolves them when parsing.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    namespace: Cow<'static, str>,
+    local: Cow<'static, str>,
+}
+
+impl QName {
+    /// A name in the given namespace. Pass `""` for no namespace.
+    pub fn new(
+        namespace: impl Into<Cow<'static, str>>,
+        local: impl Into<Cow<'static, str>>,
+    ) -> Self {
+        QName {
+            namespace: namespace.into(),
+            local: local.into(),
+        }
+    }
+
+    /// A name in no namespace.
+    pub fn local(local: impl Into<Cow<'static, str>>) -> Self {
+        QName {
+            namespace: Cow::Borrowed(""),
+            local: local.into(),
+        }
+    }
+
+    /// The namespace URI, `""` when the name is in no namespace.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// The local part.
+    pub fn local_name(&self) -> &str {
+        &self.local
+    }
+
+    /// True if this name lives in `ns` with local part `local`.
+    pub fn is(&self, ns: &str, local: &str) -> bool {
+        self.namespace == ns && self.local == local
+    }
+}
+
+impl fmt::Debug for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.namespace.is_empty() {
+            write!(f, "{}", self.local)
+        } else {
+            write!(f, "{{{}}}{}", self.namespace, self.local)
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A single prefix-to-URI binding as found in `xmlns`/`xmlns:p` attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsBinding {
+    /// The bound prefix; empty string for the default namespace.
+    pub prefix: String,
+    /// The namespace URI; empty string un-declares the default namespace.
+    pub uri: String,
+}
+
+impl NsBinding {
+    pub fn new(prefix: impl Into<String>, uri: impl Into<String>) -> Self {
+        NsBinding {
+            prefix: prefix.into(),
+            uri: uri.into(),
+        }
+    }
+}
+
+/// Split a lexical name into `(prefix, local)`. A missing prefix yields
+/// `("", name)`.
+pub fn split_prefixed(name: &str) -> (&str, &str) {
+    match name.split_once(':') {
+        Some((p, l)) => (p, l),
+        None => ("", name),
+    }
+}
+
+/// Check the (slightly simplified) XML `Name` production: names must be
+/// non-empty, start with a letter/underscore, and contain no whitespace,
+/// `<`, `>`, `&`, quotes or further colons.
+pub fn is_valid_ncname(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '\u{B7}'))
+}
+
+/// A lexically scoped stack of namespace bindings used by the reader and
+/// writer. `push_scope`/`pop_scope` bracket each element.
+#[derive(Debug, Default)]
+pub struct NsStack {
+    // (depth, binding) entries; lookup walks backwards so inner scopes win.
+    entries: Vec<(usize, NsBinding)>,
+    depth: usize,
+}
+
+impl NsStack {
+    pub fn new() -> Self {
+        NsStack::default()
+    }
+
+    pub fn push_scope(&mut self) {
+        self.depth += 1;
+    }
+
+    pub fn pop_scope(&mut self) {
+        debug_assert!(self.depth > 0, "pop without matching push");
+        while matches!(self.entries.last(), Some((d, _)) if *d == self.depth) {
+            self.entries.pop();
+        }
+        self.depth -= 1;
+    }
+
+    /// Declare a binding in the current scope.
+    pub fn declare(&mut self, binding: NsBinding) {
+        self.entries.push((self.depth, binding));
+    }
+
+    /// Resolve a prefix to its URI. The empty prefix resolves to the
+    /// default namespace (possibly `""`). The `xml` prefix is always bound.
+    pub fn resolve(&self, prefix: &str) -> Option<&str> {
+        if prefix == "xml" {
+            return Some(XML_NS);
+        }
+        for (_, b) in self.entries.iter().rev() {
+            if b.prefix == prefix {
+                return Some(&b.uri);
+            }
+        }
+        if prefix.is_empty() {
+            Some("") // no default declaration => no namespace
+        } else {
+            None
+        }
+    }
+
+    /// Find an in-scope prefix currently bound to `uri`, preferring the
+    /// innermost binding, and skipping prefixes that were re-bound to
+    /// something else in a closer scope.
+    pub fn prefix_for(&self, uri: &str) -> Option<&str> {
+        for (_, b) in self.entries.iter().rev() {
+            if b.uri == uri && self.resolve(&b.prefix) == Some(uri) {
+                return Some(&b.prefix);
+            }
+        }
+        None
+    }
+
+    /// True if `prefix` is already bound in any live scope.
+    pub fn is_bound(&self, prefix: &str) -> bool {
+        self.entries.iter().any(|(_, b)| b.prefix == prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qname_accessors() {
+        let q = QName::new("urn:x", "op");
+        assert_eq!(q.namespace(), "urn:x");
+        assert_eq!(q.local_name(), "op");
+        assert!(q.is("urn:x", "op"));
+        assert!(!q.is("urn:y", "op"));
+        assert_eq!(format!("{q:?}"), "{urn:x}op");
+    }
+
+    #[test]
+    fn local_qname_debug_has_no_braces() {
+        assert_eq!(format!("{:?}", QName::local("plain")), "plain");
+    }
+
+    #[test]
+    fn split_prefixed_names() {
+        assert_eq!(split_prefixed("soap:Envelope"), ("soap", "Envelope"));
+        assert_eq!(split_prefixed("Envelope"), ("", "Envelope"));
+    }
+
+    #[test]
+    fn ncname_validation() {
+        assert!(is_valid_ncname("Envelope"));
+        assert!(is_valid_ncname("_private-1.2"));
+        assert!(!is_valid_ncname(""));
+        assert!(!is_valid_ncname("1abc"));
+        assert!(!is_valid_ncname("a b"));
+        assert!(!is_valid_ncname("a:b"));
+    }
+
+    #[test]
+    fn ns_stack_scoping() {
+        let mut st = NsStack::new();
+        st.push_scope();
+        st.declare(NsBinding::new("a", "urn:one"));
+        assert_eq!(st.resolve("a"), Some("urn:one"));
+        st.push_scope();
+        st.declare(NsBinding::new("a", "urn:two"));
+        assert_eq!(st.resolve("a"), Some("urn:two"));
+        st.pop_scope();
+        assert_eq!(st.resolve("a"), Some("urn:one"));
+        st.pop_scope();
+        assert_eq!(st.resolve("a"), None);
+    }
+
+    #[test]
+    fn default_namespace_undeclaration() {
+        let mut st = NsStack::new();
+        st.push_scope();
+        st.declare(NsBinding::new("", "urn:default"));
+        assert_eq!(st.resolve(""), Some("urn:default"));
+        st.push_scope();
+        st.declare(NsBinding::new("", ""));
+        assert_eq!(st.resolve(""), Some(""));
+        st.pop_scope();
+        assert_eq!(st.resolve(""), Some("urn:default"));
+    }
+
+    #[test]
+    fn xml_prefix_always_bound() {
+        let st = NsStack::new();
+        assert_eq!(st.resolve("xml"), Some(XML_NS));
+    }
+
+    #[test]
+    fn prefix_for_skips_shadowed_bindings() {
+        let mut st = NsStack::new();
+        st.push_scope();
+        st.declare(NsBinding::new("p", "urn:one"));
+        st.push_scope();
+        st.declare(NsBinding::new("p", "urn:two"));
+        // "p" now means urn:two, so urn:one has no usable prefix.
+        assert_eq!(st.prefix_for("urn:one"), None);
+        assert_eq!(st.prefix_for("urn:two"), Some("p"));
+    }
+}

@@ -1,11 +1,11 @@
 //! Tree builder: turns tokens into an [`Element`] with namespaces
 //! resolved and entities expanded.
 
-use crate::error::{XmlError, XmlResult};
-use crate::escape::unescape;
-use crate::name::{split_prefixed, NameTable, NsBinding, NsStack};
-use crate::tokenizer::{Token, Tokenizer};
-use crate::tree::{Element, Node};
+use super::error::{XmlError, XmlResult};
+use super::escape::unescape;
+use super::name::{split_prefixed, NsBinding, NsStack, QName};
+use super::tokenizer::{Token, Tokenizer};
+use super::tree::{Element, Node};
 
 /// Maximum element nesting depth accepted by [`parse`]. Deep enough for
 /// any real SOAP/WSDL document, shallow enough to stop stack abuse from
@@ -26,10 +26,8 @@ pub const MAX_DEPTH: usize = 256;
 pub fn parse(input: &str) -> XmlResult<Element> {
     let mut tokens = Tokenizer::new(input);
     let mut ns = NsStack::new();
-    let names = NameTable::global();
-    // Stack of (lexical name, element under construction). Open-tag
-    // names borrow the input; nothing is owned until a QName is built.
-    let mut stack: Vec<(&str, Element)> = Vec::new();
+    // Stack of (lexical name, element under construction).
+    let mut stack: Vec<(String, Element)> = Vec::new();
     let mut root: Option<Element> = None;
 
     while let Some(tok) = tokens.next_token()? {
@@ -51,7 +49,7 @@ pub fn parse(input: &str) -> XmlResult<Element> {
             Token::Text { raw, offset } => {
                 let text = unescape(raw, offset)?;
                 match stack.last_mut() {
-                    Some((_, parent)) => parent.children_mut().push(Node::Text(text.into_owned())),
+                    Some((_, parent)) => parent.children_mut().push(Node::Text(text)),
                     None => {
                         if !text.trim().is_empty() {
                             return Err(XmlError::ContentOutsideRoot { offset });
@@ -86,12 +84,12 @@ pub fn parse(input: &str) -> XmlResult<Element> {
                         ns.declare(binding);
                     }
                 }
-                let element = build_element(name, &attrs, &ns, names, offset)?;
+                let element = build_element(name, &attrs, &ns, offset)?;
                 if self_closing {
                     ns.pop_scope();
                     attach(&mut stack, &mut root, element);
                 } else {
-                    stack.push((name, element));
+                    stack.push((name.to_owned(), element));
                 }
             }
             Token::EndTag { name, offset } => {
@@ -100,7 +98,7 @@ pub fn parse(input: &str) -> XmlResult<Element> {
                 if open_name != name {
                     return Err(XmlError::MismatchedTag {
                         offset,
-                        open: open_name.to_owned(),
+                        open: open_name,
                         close: name.to_owned(),
                     });
                 }
@@ -146,7 +144,6 @@ fn build_element(
     lexical: &str,
     attrs: &[(&str, &str)],
     ns: &NsStack,
-    names: &NameTable,
     offset: usize,
 ) -> XmlResult<Element> {
     let (prefix, local) = split_prefixed(lexical);
@@ -154,7 +151,8 @@ fn build_element(
         offset,
         prefix: prefix.to_owned(),
     })?;
-    let mut element = Element::with_name(names.qname(uri, local));
+    let mut element = Element::with_name(QName::new(uri.to_owned(), local.to_owned()));
+    let mut seen: Vec<QName> = Vec::with_capacity(attrs.len());
     for (aname, raw_value) in attrs {
         if *aname == "xmlns" || aname.starts_with("xmlns:") {
             continue; // consumed as a declaration above
@@ -170,24 +168,21 @@ fn build_element(
                 prefix: aprefix.to_owned(),
             })?
         };
-        let qname = names.qname(auri, alocal);
-        // The tokenizer already rejects lexically identical duplicates;
-        // this catches the same *expanded* name via different prefixes.
-        // Comparing against already-built attributes avoids the `seen`
-        // staging vec the old reader kept.
-        if element.attributes().iter().any(|a| a.name == qname) {
+        let qname = QName::new(auri.to_owned(), alocal.to_owned());
+        if seen.contains(&qname) {
             return Err(XmlError::DuplicateAttribute {
                 offset,
                 name: format!("{qname:?}"),
             });
         }
         let value = unescape(raw_value, offset)?;
-        element.set_attribute(qname, value.into_owned());
+        seen.push(qname.clone());
+        element.set_attribute(qname, value);
     }
     Ok(element)
 }
 
-fn attach(stack: &mut [(&str, Element)], root: &mut Option<Element>, element: Element) {
+fn attach(stack: &mut [(String, Element)], root: &mut Option<Element>, element: Element) {
     match stack.last_mut() {
         Some((_, parent)) => parent.push_element(element),
         None => *root = Some(element),

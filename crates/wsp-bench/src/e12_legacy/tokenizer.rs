@@ -4,7 +4,7 @@
 //! Entity expansion and namespace resolution are the reader's job; this
 //! layer only finds the lexical structure.
 
-use crate::error::{XmlError, XmlResult};
+use super::error::{XmlError, XmlResult};
 
 /// One lexical token. `offset` is the byte position of the token start,
 /// for error reporting.
@@ -221,18 +221,9 @@ impl<'a> Tokenizer<'a> {
             .map(|(i, _)| i)
             .unwrap_or(rest.len());
         if len == 0 {
-            // Report the offending char inline — no String for a one-char
-            // diagnostic on a path tests exercise constantly.
-            return Err(match rest.chars().next() {
-                Some(found) => XmlError::UnexpectedChar {
-                    offset: start,
-                    found,
-                    expecting: "name start character",
-                },
-                None => XmlError::UnexpectedEof {
-                    offset: start,
-                    expecting: "name",
-                },
+            return Err(XmlError::BadName {
+                offset: start,
+                name: rest.chars().next().map(String::from).unwrap_or_default(),
             });
         }
         self.pos += len;

@@ -1,7 +1,7 @@
 //! The in-memory XML document model: elements, attributes and child nodes.
 
-use crate::name::QName;
-use crate::writer::{Writer, WriterConfig};
+use super::name::QName;
+use super::writer::{Writer, WriterConfig};
 
 /// An attribute on an element.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,7 +46,7 @@ impl Node {
 
 /// An XML element: an expanded name, attributes and ordered children.
 ///
-/// Prefixes are not stored; see [`crate::writer`] for how they are chosen
+/// Prefixes are not stored; see [`super::writer`] for how they are chosen
 /// on output. Construction goes through [`Element::build`] for the fluent
 /// style used pervasively by the SOAP/WSDL layers, or through the direct
 /// mutators for incremental assembly.
@@ -103,13 +103,6 @@ impl Element {
 
     pub fn children_mut(&mut self) -> &mut Vec<Node> {
         &mut self.children
-    }
-
-    /// Mutable access to the attribute list, for in-place edits that
-    /// would otherwise force a rebuild of the element (e.g. stripping
-    /// envelope-scoped attributes from a parsed header block).
-    pub fn attributes_mut(&mut self) -> &mut Vec<Attribute> {
-        &mut self.attributes
     }
 
     /// Value of the attribute with expanded name `{ns}local`, if present.

@@ -1,0 +1,393 @@
+//! Serialiser: turns an [`Element`] tree back into markup, choosing
+//! namespace prefixes as it goes.
+
+use super::escape::{escape_attr, escape_text};
+use super::name::{NsBinding, NsStack};
+use super::tree::{Element, Node};
+
+/// Configuration for a [`Writer`].
+#[derive(Debug, Clone)]
+pub struct WriterConfig {
+    /// Emit `<?xml version="1.0" encoding="UTF-8"?>` first.
+    pub declaration: bool,
+    /// Indent nested elements (text-bearing elements stay inline so
+    /// significant whitespace is untouched).
+    pub pretty: bool,
+    /// Indentation unit used when `pretty` is set.
+    pub indent: &'static str,
+    /// Preferred prefixes, consulted before generating `ns0`, `ns1`, ...
+    /// Pairs of `(namespace URI, prefix)`.
+    pub preferred_prefixes: Vec<(String, String)>,
+}
+
+impl Default for WriterConfig {
+    fn default() -> Self {
+        WriterConfig {
+            declaration: false,
+            pretty: false,
+            indent: "  ",
+            preferred_prefixes: Vec::new(),
+        }
+    }
+}
+
+impl WriterConfig {
+    /// Compact output with an XML declaration — the on-the-wire format.
+    pub fn wire() -> Self {
+        WriterConfig {
+            declaration: true,
+            ..WriterConfig::default()
+        }
+    }
+
+    /// Two-space indented output for humans.
+    pub fn pretty() -> Self {
+        WriterConfig {
+            pretty: true,
+            ..WriterConfig::default()
+        }
+    }
+
+    /// Register a preferred prefix for a namespace.
+    pub fn prefer(mut self, ns: impl Into<String>, prefix: impl Into<String>) -> Self {
+        self.preferred_prefixes.push((ns.into(), prefix.into()));
+        self
+    }
+}
+
+/// Namespace-aware serialiser. Reusable across documents; the internal
+/// buffer is recycled between [`Writer::write`] calls.
+pub struct Writer {
+    config: WriterConfig,
+    ns: NsStack,
+    out: String,
+    generated: usize,
+}
+
+impl Writer {
+    pub fn new(config: WriterConfig) -> Self {
+        Writer {
+            config,
+            ns: NsStack::new(),
+            out: String::new(),
+            generated: 0,
+        }
+    }
+
+    /// Serialise `root` to a string.
+    pub fn write(&mut self, root: &Element) -> String {
+        self.out.clear();
+        self.generated = 0;
+        if self.config.declaration {
+            self.out
+                .push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            if self.config.pretty {
+                self.out.push('\n');
+            }
+        }
+        self.write_element(root, 0);
+        std::mem::take(&mut self.out)
+    }
+
+    fn write_element(&mut self, element: &Element, depth: usize) {
+        self.ns.push_scope();
+        let mut declarations: Vec<NsBinding> = Vec::new();
+
+        let tag = self.qualify_element(element, &mut declarations);
+        self.out.push('<');
+        self.out.push_str(&tag);
+
+        // Attribute prefixes may add further declarations.
+        let mut attr_strs: Vec<(String, &str)> = Vec::with_capacity(element.attributes().len());
+        for attr in element.attributes() {
+            let name = self.qualify_attr(
+                attr.name.namespace(),
+                attr.name.local_name(),
+                &mut declarations,
+            );
+            attr_strs.push((name, &attr.value));
+        }
+
+        for d in &declarations {
+            self.out.push(' ');
+            if d.prefix.is_empty() {
+                self.out.push_str("xmlns=\"");
+            } else {
+                self.out.push_str("xmlns:");
+                self.out.push_str(&d.prefix);
+                self.out.push_str("=\"");
+            }
+            escape_attr(&d.uri, &mut self.out);
+            self.out.push('"');
+        }
+        for (name, value) in &attr_strs {
+            self.out.push(' ');
+            self.out.push_str(name);
+            self.out.push_str("=\"");
+            escape_attr(value, &mut self.out);
+            self.out.push('"');
+        }
+
+        if element.children().is_empty() {
+            self.out.push_str("/>");
+            self.ns.pop_scope();
+            return;
+        }
+        self.out.push('>');
+
+        let block = self.config.pretty
+            && element
+                .children()
+                .iter()
+                .all(|c| !matches!(c, Node::Text(_) | Node::CData(_)));
+        for child in element.children() {
+            if block {
+                self.newline_indent(depth + 1);
+            }
+            match child {
+                Node::Element(e) => self.write_element(e, depth + 1),
+                Node::Text(t) => escape_text(t, &mut self.out),
+                Node::CData(t) => {
+                    // A "]]>" inside CDATA must be split across sections.
+                    self.out.push_str("<![CDATA[");
+                    self.out.push_str(&t.replace("]]>", "]]]]><![CDATA[>"));
+                    self.out.push_str("]]>");
+                }
+                Node::Comment(t) => {
+                    self.out.push_str("<!--");
+                    self.out.push_str(t);
+                    self.out.push_str("-->");
+                }
+                Node::ProcessingInstruction { target, data } => {
+                    self.out.push_str("<?");
+                    self.out.push_str(target);
+                    if !data.is_empty() {
+                        self.out.push(' ');
+                        self.out.push_str(data);
+                    }
+                    self.out.push_str("?>");
+                }
+            }
+        }
+        if block {
+            self.newline_indent(depth);
+        }
+        self.out.push_str("</");
+        self.out.push_str(&tag);
+        self.out.push('>');
+        self.ns.pop_scope();
+    }
+
+    /// Work out the lexical tag for an element, declaring namespaces as
+    /// needed. Elements prefer the default namespace.
+    fn qualify_element(&mut self, element: &Element, declarations: &mut Vec<NsBinding>) -> String {
+        let ns = element.name().namespace();
+        let local = element.name().local_name();
+        if ns.is_empty() {
+            // Must be in *no* namespace: undeclare any inherited default.
+            if self.ns.resolve("") != Some("") {
+                self.declare(NsBinding::new("", ""), declarations);
+            }
+            return local.to_owned();
+        }
+        if self.ns.resolve("") == Some(ns) {
+            return local.to_owned();
+        }
+        if let Some(prefix) = self.ns.prefix_for(ns).filter(|p| !p.is_empty()) {
+            return format!("{prefix}:{local}");
+        }
+        let prefix = self.pick_prefix(ns);
+        self.declare(NsBinding::new(prefix.clone(), ns.to_owned()), declarations);
+        if prefix.is_empty() {
+            local.to_owned()
+        } else {
+            format!("{prefix}:{local}")
+        }
+    }
+
+    /// Work out the lexical name for an attribute. Qualified attributes
+    /// always need a non-empty prefix.
+    fn qualify_attr(&mut self, ns: &str, local: &str, declarations: &mut Vec<NsBinding>) -> String {
+        if ns.is_empty() {
+            return local.to_owned();
+        }
+        if let Some(prefix) = self.ns.prefix_for(ns).filter(|p| !p.is_empty()) {
+            return format!("{prefix}:{local}");
+        }
+        let mut prefix = self.preferred(ns).unwrap_or_default();
+        if prefix.is_empty() || self.ns.is_bound(&prefix) {
+            prefix = self.generate_prefix();
+        }
+        self.declare(NsBinding::new(prefix.clone(), ns.to_owned()), declarations);
+        format!("{prefix}:{local}")
+    }
+
+    fn pick_prefix(&mut self, ns: &str) -> String {
+        if let Some(p) = self.preferred(ns) {
+            if !self.ns.is_bound(&p) {
+                return p;
+            }
+        }
+        self.generate_prefix()
+    }
+
+    fn preferred(&self, ns: &str) -> Option<String> {
+        self.config
+            .preferred_prefixes
+            .iter()
+            .find(|(u, _)| u == ns)
+            .map(|(_, p)| p.clone())
+    }
+
+    fn generate_prefix(&mut self) -> String {
+        loop {
+            let candidate = format!("ns{}", self.generated);
+            self.generated += 1;
+            if !self.ns.is_bound(&candidate) && candidate != "xml" {
+                return candidate;
+            }
+        }
+    }
+
+    fn declare(&mut self, binding: NsBinding, declarations: &mut Vec<NsBinding>) {
+        self.ns.declare(binding.clone());
+        declarations.push(binding);
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        self.out.push('\n');
+        for _ in 0..depth {
+            self.out.push_str(self.config.indent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::name::QName;
+    use super::super::reader::parse;
+    use super::*;
+
+    #[test]
+    fn no_namespace_stays_plain() {
+        let e = Element::build("", "a").text("x").finish();
+        assert_eq!(e.to_xml(), "<a>x</a>");
+    }
+
+    #[test]
+    fn namespaced_root_gets_generated_prefix() {
+        let e = Element::new("urn:x", "a");
+        assert_eq!(e.to_xml(), r#"<ns0:a xmlns:ns0="urn:x"/>"#);
+    }
+
+    #[test]
+    fn preferred_prefix_used() {
+        let e = Element::build("urn:soap", "Envelope")
+            .child(Element::new("urn:soap", "Body"))
+            .finish();
+        let xml = Writer::new(WriterConfig::default().prefer("urn:soap", "soap")).write(&e);
+        assert_eq!(
+            xml,
+            r#"<soap:Envelope xmlns:soap="urn:soap"><soap:Body/></soap:Envelope>"#
+        );
+    }
+
+    #[test]
+    fn child_reuses_parent_prefix() {
+        let e = Element::build("urn:x", "a")
+            .child(Element::new("urn:x", "b"))
+            .finish();
+        let xml = e.to_xml();
+        assert_eq!(xml.matches("xmlns").count(), 1, "{xml}");
+    }
+
+    #[test]
+    fn sibling_namespaces_get_distinct_prefixes() {
+        let e = Element::build("urn:x", "a")
+            .child(Element::new("urn:y", "b"))
+            .child(Element::new("urn:z", "c"))
+            .finish();
+        let parsed = parse(&e.to_xml()).unwrap();
+        let kids: Vec<_> = parsed.child_elements().collect();
+        assert!(kids[0].name().is("urn:y", "b"));
+        assert!(kids[1].name().is("urn:z", "c"));
+    }
+
+    #[test]
+    fn qualified_attribute_gets_prefix() {
+        let e = Element::build("urn:x", "a")
+            .attr(QName::new("urn:attr", "k"), "v")
+            .finish();
+        let parsed = parse(&e.to_xml()).unwrap();
+        assert_eq!(parsed.attribute("urn:attr", "k"), Some("v"));
+    }
+
+    #[test]
+    fn attribute_never_uses_default_namespace() {
+        // Even when the element's namespace matches the attribute's, the
+        // attribute must get an explicit prefix if qualified.
+        let e = Element::build("urn:x", "a")
+            .attr(QName::new("urn:x", "k"), "v")
+            .finish();
+        let xml = e.to_xml();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed.attribute("urn:x", "k"), Some("v"));
+    }
+
+    #[test]
+    fn no_namespace_child_inside_default_namespace() {
+        let e = Element::build("urn:x", "a")
+            .child(Element::new("", "plain"))
+            .finish();
+        let parsed = parse(&e.to_xml()).unwrap();
+        let child = parsed.child_elements().next().unwrap();
+        assert!(child.name().is("", "plain"), "{:?}", child.name());
+    }
+
+    #[test]
+    fn declaration_emitted_for_wire_config() {
+        let xml = Writer::new(WriterConfig::wire()).write(&Element::new("", "a"));
+        assert!(xml.starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn pretty_indents_element_children_only() {
+        let e = Element::build("", "a")
+            .child(Element::build("", "b").text("t").finish())
+            .finish();
+        let xml = e.to_pretty_xml();
+        assert_eq!(xml, "<a>\n  <b>t</b>\n</a>");
+    }
+
+    #[test]
+    fn cdata_split_protects_terminator() {
+        let mut e = Element::new("", "a");
+        e.children_mut().push(Node::CData("x]]>y".into()));
+        let xml = e.to_xml();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed.text(), "x]]>y");
+    }
+
+    #[test]
+    fn escaping_round_trip_via_writer() {
+        let e = Element::build("", "a")
+            .attr_str("x", "q\"<>&'\nv")
+            .text("<body> & \"text\"")
+            .finish();
+        let parsed = parse(&e.to_xml()).unwrap();
+        assert_eq!(parsed.attribute_local("x"), Some("q\"<>&'\nv"));
+        assert_eq!(parsed.text(), "<body> & \"text\"");
+    }
+
+    #[test]
+    fn comments_and_pis_round_trip() {
+        let mut e = Element::new("", "a");
+        e.children_mut().push(Node::Comment("note".into()));
+        e.children_mut().push(Node::ProcessingInstruction {
+            target: "t".into(),
+            data: "d".into(),
+        });
+        let parsed = parse(&e.to_xml()).unwrap();
+        assert_eq!(parsed.children(), e.children());
+    }
+}

@@ -1,7 +1,7 @@
 //! # wsp-bench
 //!
 //! The experiment harness for the WSPeer reproduction. Each module
-//! implements one experiment from the index in `DESIGN.md` (E1–E11);
+//! implements one experiment from the index in `DESIGN.md` (E1–E12);
 //! the `harness` binary prints every table, and one Criterion bench per
 //! experiment measures its core operation. `EXPERIMENTS.md` records the
 //! observed numbers against the paper's qualitative predictions.
@@ -15,10 +15,13 @@
 
 pub mod a1;
 pub mod a2;
+pub mod alloc_count;
 pub mod common;
 pub mod e1;
 pub mod e10;
 pub mod e11;
+pub mod e12;
+pub mod e12_legacy;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -413,7 +413,7 @@ impl ServiceDeployer for HttpDeployer {
                             let mut r = Response::new(500, "Internal Server Error");
                             r.headers
                                 .set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
-                            r.body = fault.to_xml().into_bytes();
+                            r.body = fault.to_xml_bytes();
                             return r;
                         }
                     };
@@ -446,7 +446,7 @@ impl ServiceDeployer for HttpDeployer {
                             );
                             r.headers
                                 .set("Content-Type", wsp_soap::constants::CONTENT_TYPE);
-                            r.body = response.to_xml().into_bytes();
+                            r.body = response.to_xml_bytes();
                             if registry.is_enabled() {
                                 registry
                                     .histogram("server.serve_us")
@@ -662,7 +662,7 @@ impl Invoker for HttpInvoker {
         let mut request = Request::post(
             target,
             wsp_soap::constants::CONTENT_TYPE,
-            envelope.to_xml().into_bytes(),
+            envelope.to_xml_bytes(),
         );
         // Thread the caller's correlation token through the wire so the
         // serving peer's spans line up with ours in one trace.

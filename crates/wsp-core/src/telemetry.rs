@@ -605,9 +605,17 @@ pub fn render_metrics(registry: &Telemetry) -> String {
 /// [`render_metrics`] with extra `name value\n` lines spliced in before
 /// the trace section — bindings use this to report gauges the registry
 /// does not own (connection-pool counters, dispatcher queue stats).
+/// Wire-path buffer-pool counters are always included, next to the
+/// registry's own numbers, so operators can see envelope-buffer reuse
+/// without any binding-specific plumbing.
 pub fn render_metrics_with(registry: &Telemetry, extra: &str) -> String {
     let mut out = registry.snapshot().render_text();
     out.push_str(extra);
+    let bufs = wsp_xml::BufPool::global().stats();
+    out.push_str(&format!("bufpool_hits {}\n", bufs.hits));
+    out.push_str(&format!("bufpool_misses {}\n", bufs.misses));
+    out.push_str(&format!("bufpool_returns {}\n", bufs.returns));
+    out.push_str(&format!("bufpool_bytes_reused {}\n", bufs.bytes_reused));
     out.push_str(&format!(
         "telemetry_trace_dropped {}\n",
         registry.dropped_spans()
@@ -764,5 +772,28 @@ mod tests {
         assert!(text.contains("requests 3"));
         assert!(text.contains("lat_p50 12"));
         assert!(text.contains("# trace"));
+    }
+
+    #[test]
+    fn render_includes_buffer_pool_counters() {
+        // Exercise the pool so the counters are live, not just present.
+        let pool = wsp_xml::BufPool::global();
+        pool.put(pool.take());
+        let text = render_metrics(&Telemetry::new());
+        for line in [
+            "bufpool_hits ",
+            "bufpool_misses ",
+            "bufpool_returns ",
+            "bufpool_bytes_reused ",
+        ] {
+            assert!(text.contains(line), "missing {line} in:\n{text}");
+        }
+        let returns: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("bufpool_returns "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(returns >= 1);
     }
 }

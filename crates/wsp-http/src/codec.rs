@@ -30,39 +30,55 @@ impl fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// Serialise a request, setting `Content-Length`.
-pub fn encode_request(request: &Request) -> Vec<u8> {
-    let mut out = Vec::with_capacity(request.body.len() + 256);
+/// Serialise a request, setting `Content-Length`, appending to `out`.
+/// The transports call this with a [`wsp_xml::BufPool`] buffer so
+/// steady-state encoding reuses one allocation.
+pub fn encode_request_into(request: &Request, out: &mut Vec<u8>) {
+    out.reserve(request.body.len() + 256);
     out.extend_from_slice(request.method.as_str().as_bytes());
     out.push(b' ');
     out.extend_from_slice(request.target.as_bytes());
     out.extend_from_slice(b" HTTP/1.1\r\n");
-    encode_headers(&request.headers, request.body.len(), &mut out);
+    encode_headers(&request.headers, request.body.len(), out);
     out.extend_from_slice(&request.body);
+}
+
+/// Serialise a request into a fresh buffer (see [`encode_request_into`]).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(request.body.len() + 256);
+    encode_request_into(request, &mut out);
     out
 }
 
-/// Serialise a response, setting `Content-Length`.
-pub fn encode_response(response: &Response) -> Vec<u8> {
-    let mut out = Vec::with_capacity(response.body.len() + 256);
+/// Serialise a response, setting `Content-Length`, appending to `out`.
+pub fn encode_response_into(response: &Response, out: &mut Vec<u8>) {
+    out.reserve(response.body.len() + 256);
     out.extend_from_slice(b"HTTP/1.1 ");
-    out.extend_from_slice(response.status.to_string().as_bytes());
+    let mut status = [0u8; 5];
+    out.extend_from_slice(format_u16(response.status, &mut status));
     out.push(b' ');
     out.extend_from_slice(response.reason.as_bytes());
     out.extend_from_slice(b"\r\n");
-    encode_headers(&response.headers, response.body.len(), &mut out);
+    encode_headers(&response.headers, response.body.len(), out);
     out.extend_from_slice(&response.body);
+}
+
+/// Serialise a response into a fresh buffer (see [`encode_response_into`]).
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(response.body.len() + 256);
+    encode_response_into(response, &mut out);
     out
 }
 
 fn encode_headers(headers: &Headers, body_len: usize, out: &mut Vec<u8>) {
+    let mut digits = [0u8; 20];
     let mut wrote_length = false;
     for (name, value) in headers.iter() {
         if name.eq_ignore_ascii_case("content-length") {
             wrote_length = true;
             out.extend_from_slice(name.as_bytes());
             out.extend_from_slice(b": ");
-            out.extend_from_slice(body_len.to_string().as_bytes());
+            out.extend_from_slice(format_usize(body_len, &mut digits));
             out.extend_from_slice(b"\r\n");
             continue;
         }
@@ -73,10 +89,39 @@ fn encode_headers(headers: &Headers, body_len: usize, out: &mut Vec<u8>) {
     }
     if !wrote_length {
         out.extend_from_slice(b"Content-Length: ");
-        out.extend_from_slice(body_len.to_string().as_bytes());
+        out.extend_from_slice(format_usize(body_len, &mut digits));
         out.extend_from_slice(b"\r\n");
     }
     out.extend_from_slice(b"\r\n");
+}
+
+/// Render a `usize` into `buf` without allocating; returns the digits.
+fn format_usize(mut value: usize, buf: &mut [u8; 20]) -> &[u8] {
+    let mut end = buf.len();
+    loop {
+        end -= 1;
+        buf[end] = b'0' + (value % 10) as u8;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    &buf[end..]
+}
+
+/// Render a `u16` status code into `buf` without allocating.
+fn format_u16(value: u16, buf: &mut [u8; 5]) -> &[u8] {
+    let mut end = buf.len();
+    let mut value = value as usize;
+    loop {
+        end -= 1;
+        buf[end] = b'0' + (value % 10) as u8;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    &buf[end..]
 }
 
 /// Parse a complete request from `input`. Returns the request and the
@@ -224,6 +269,28 @@ fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn integer_formatting_matches_to_string() {
+        let mut d = [0u8; 20];
+        for v in [0usize, 9, 10, 12345, usize::MAX] {
+            assert_eq!(format_usize(v, &mut d), v.to_string().as_bytes());
+        }
+        let mut s = [0u8; 5];
+        for v in [0u16, 200, 404, 65535] {
+            assert_eq!(format_u16(v, &mut s), v.to_string().as_bytes());
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_after_existing_bytes() {
+        let resp = Response::ok("text/xml", "<ok/>");
+        let mut out = b"already-here".to_vec();
+        encode_response_into(&resp, &mut out);
+        assert!(out.starts_with(b"already-here"));
+        let (parsed, _) = parse_response(&out[12..]).unwrap();
+        assert_eq!(parsed.body, b"<ok/>");
+    }
 
     #[test]
     fn request_round_trip() {

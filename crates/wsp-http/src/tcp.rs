@@ -8,7 +8,10 @@
 //! close-delimited exchanges: deliberately simple, matching the paper's
 //! minimal-host philosophy.
 
-use crate::codec::{encode_request, encode_response, parse_request, parse_response, HttpError};
+use crate::codec::{
+    encode_request_into, encode_response, encode_response_into, parse_request, parse_response,
+    HttpError,
+};
 use crate::message::{Request, Response};
 use crate::router::Router;
 use std::io::{Read, Write};
@@ -348,7 +351,16 @@ fn serve_connection(mut stream: TcpStream, router: Router, state: &ServerState) 
         response
             .headers
             .set("Connection", if close { "close" } else { "keep-alive" });
-        if stream.write_all(&encode_response(&response)).is_err() {
+        // Serialise into a pooled buffer, then hand both it and the
+        // response body (often itself pool-born, via the SOAP handlers)
+        // back for the next request on any connection.
+        let pool = wsp_xml::BufPool::global();
+        let mut wire = pool.take();
+        encode_response_into(&response, &mut wire);
+        let wrote = stream.write_all(&wire).is_ok();
+        pool.put(wire);
+        pool.put(std::mem::take(&mut response.body));
+        if !wrote {
             return;
         }
         let _ = stream.flush();
@@ -384,9 +396,13 @@ pub fn http_call_with_timeout(
     stream
         .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
         .map_err(|e| HttpError::Io(e.to_string()))?;
-    stream
-        .write_all(&encode_request(&request))
-        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let pool = wsp_xml::BufPool::global();
+    let mut wire = pool.take();
+    encode_request_into(&request, &mut wire);
+    let wrote = stream.write_all(&wire);
+    pool.put(wire);
+    pool.put(std::mem::take(&mut request.body));
+    wrote.map_err(|e| HttpError::Io(e.to_string()))?;
     let mut buf = Vec::with_capacity(4096);
     loop {
         match parse_response(&buf) {
@@ -570,9 +586,12 @@ impl ConnectionPool {
         stream
             .set_read_timeout(Some(self.call_timeout))
             .map_err(|e| HttpError::Io(e.to_string()))?;
-        stream
-            .write_all(&encode_request(request))
-            .map_err(|e| HttpError::Io(e.to_string()))?;
+        let buf_pool = wsp_xml::BufPool::global();
+        let mut wire = buf_pool.take();
+        encode_request_into(request, &mut wire);
+        let wrote = stream.write_all(&wire);
+        buf_pool.put(wire);
+        wrote.map_err(|e| HttpError::Io(e.to_string()))?;
         let mut buf = Vec::with_capacity(4096);
         loop {
             match parse_response(&buf) {

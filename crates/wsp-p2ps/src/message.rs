@@ -43,9 +43,17 @@ pub enum P2psMessage {
 }
 
 impl P2psMessage {
-    /// Serialise to the wire form.
+    /// Serialise to the wire form. Reuses a per-thread writer and a
+    /// pooled buffer, so steady-state gossip does not allocate fresh
+    /// serialisation state per message.
     pub fn to_xml(&self) -> String {
-        self.to_element().to_xml()
+        thread_local! {
+            static WRITER: std::cell::RefCell<wsp_xml::Writer> =
+                std::cell::RefCell::new(wsp_xml::Writer::new(wsp_xml::WriterConfig::default()));
+        }
+        let mut out = wsp_xml::BufPool::global().take();
+        WRITER.with(|w| w.borrow_mut().write_into(&self.to_element(), &mut out));
+        String::from_utf8(out).expect("writer output is UTF-8")
     }
 
     pub fn to_element(&self) -> Element {

@@ -75,15 +75,32 @@ impl SoapCodec {
         }
     }
 
+    /// Run `f` against a per-thread codec, amortising the writer across
+    /// every encode/decode on this thread. This is the codec behind
+    /// [`Envelope::to_xml`] and friends.
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut SoapCodec) -> R) -> R {
+        thread_local! {
+            static CODEC: std::cell::RefCell<SoapCodec> =
+                std::cell::RefCell::new(SoapCodec::new());
+        }
+        CODEC.with(|c| f(&mut c.borrow_mut()))
+    }
+
     /// Serialise an envelope to wire XML (with XML declaration).
     pub fn encode(&mut self, envelope: &Envelope) -> String {
         self.writer.write(&envelope.to_element())
     }
 
+    /// Serialise an envelope, appending the wire bytes to `out` — the
+    /// allocation-lean path used by the transports with pooled buffers.
+    pub fn encode_into(&mut self, envelope: &Envelope, out: &mut Vec<u8>) {
+        self.writer.write_into(&envelope.to_element(), out);
+    }
+
     /// Parse wire XML into an envelope.
     pub fn decode(&mut self, xml: &str) -> Result<Envelope, SoapError> {
         let root = wsp_xml::parse(xml)?;
-        Envelope::from_element(&root)
+        Envelope::from_root(root)
     }
 }
 

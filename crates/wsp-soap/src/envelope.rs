@@ -167,69 +167,108 @@ impl Envelope {
         envelope
     }
 
-    /// Parse from an `env:Envelope` element.
+    /// Parse from a borrowed `env:Envelope` element.
+    ///
+    /// Clones what it keeps; when the caller is done with the parsed
+    /// tree anyway (the codec decode path), [`Envelope::from_root`]
+    /// takes the tree by value and moves the payload out instead.
     pub fn from_element(root: &Element) -> Result<Envelope, SoapError> {
+        Self::from_root(root.clone())
+    }
+
+    /// Parse from an owned `env:Envelope` element, consuming it.
+    ///
+    /// The payload and header elements are moved out of the tree
+    /// rather than deep-cloned — on the wire path this is the
+    /// difference between one tree allocation per decode and two.
+    pub fn from_root(mut root: Element) -> Result<Envelope, SoapError> {
         if !root.name().is(SOAP_ENV_NS, "Envelope") {
             return Err(SoapError::VersionMismatch {
                 found: format!("{:?}", root.name()),
             });
         }
         let mut headers = Vec::new();
-        if let Some(header) = root.find(SOAP_ENV_NS, "Header") {
-            for e in header.child_elements() {
-                let must_understand = matches!(
-                    e.attribute(SOAP_ENV_NS, "mustUnderstand"),
-                    Some("true") | Some("1")
-                );
-                let role = e.attribute(SOAP_ENV_NS, "role").map(str::to_owned);
-                let mut element = e.clone();
-                // The processing attributes live on the block, not in the
-                // application view of the header element.
-                strip_env_attrs(&mut element);
-                headers.push(HeaderBlock {
-                    element,
-                    must_understand,
-                    role,
+        let mut saw_header = false;
+        let mut body = None;
+        for node in std::mem::take(root.children_mut()) {
+            let wsp_xml::Node::Element(mut child) = node else {
+                continue;
+            };
+            if child.name().is(SOAP_ENV_NS, "Header") && !saw_header {
+                saw_header = true;
+                for hnode in std::mem::take(child.children_mut()) {
+                    let wsp_xml::Node::Element(mut element) = hnode else {
+                        continue;
+                    };
+                    let must_understand = matches!(
+                        element.attribute(SOAP_ENV_NS, "mustUnderstand"),
+                        Some("true") | Some("1")
+                    );
+                    let role = element.attribute(SOAP_ENV_NS, "role").map(str::to_owned);
+                    // The processing attributes live on the block, not in
+                    // the application view of the header element.
+                    strip_env_attrs(&mut element);
+                    headers.push(HeaderBlock {
+                        element,
+                        must_understand,
+                        role,
+                    });
+                }
+            } else if child.name().is(SOAP_ENV_NS, "Body") && body.is_none() {
+                let first =
+                    std::mem::take(child.children_mut())
+                        .into_iter()
+                        .find_map(|n| match n {
+                            wsp_xml::Node::Element(e) => Some(e),
+                            _ => None,
+                        });
+                body = Some(match first {
+                    None => Body::Empty,
+                    Some(first) => match Fault::from_element(&first) {
+                        Some(fault) => Body::Fault(fault),
+                        None => Body::Payload(first),
+                    },
                 });
             }
         }
-        let body_elem = root
-            .find(SOAP_ENV_NS, "Body")
-            .ok_or(SoapError::MissingBody)?;
-        let body = match body_elem.child_elements().next() {
-            None => Body::Empty,
-            Some(first) => match Fault::from_element(first) {
-                Some(fault) => Body::Fault(fault),
-                None => Body::Payload(first.clone()),
-            },
-        };
+        let body = body.ok_or(SoapError::MissingBody)?;
         Ok(Envelope { headers, body })
     }
 
-    /// Serialise to wire XML using a fresh [`SoapCodec`].
+    /// Serialise to wire XML. Uses the thread-local [`SoapCodec`] and a
+    /// pooled buffer; hand the `String`'s bytes back to
+    /// [`wsp_xml::BufPool`] after use to keep the cycle closed.
     pub fn to_xml(&self) -> String {
-        SoapCodec::new().encode(self)
+        let mut out = wsp_xml::BufPool::global().take();
+        self.to_xml_into(&mut out);
+        String::from_utf8(out).expect("writer output is UTF-8")
+    }
+
+    /// Serialise to wire XML, appending to `out` — the zero-fresh-
+    /// allocation path when `out` comes from [`wsp_xml::BufPool`].
+    pub fn to_xml_into(&self, out: &mut Vec<u8>) {
+        SoapCodec::with_thread_local(|codec| codec.encode_into(self, out));
+    }
+
+    /// Serialise to wire XML as bytes in a pooled buffer — what the
+    /// bindings put straight into a transport body, skipping the
+    /// `String` detour of [`Envelope::to_xml`].
+    pub fn to_xml_bytes(&self) -> Vec<u8> {
+        let mut out = wsp_xml::BufPool::global().take();
+        self.to_xml_into(&mut out);
+        out
     }
 
     /// Parse wire XML.
     pub fn from_xml(xml: &str) -> Result<Envelope, SoapError> {
-        SoapCodec::new().decode(xml)
+        SoapCodec::with_thread_local(|codec| codec.decode(xml))
     }
 }
 
 fn strip_env_attrs(element: &mut Element) {
-    let keep: Vec<_> = element
-        .attributes()
-        .iter()
-        .filter(|a| a.name.namespace() != SOAP_ENV_NS)
-        .cloned()
-        .collect();
-    let mut stripped = Element::with_name(element.name().clone());
-    for a in keep {
-        stripped.set_attribute(a.name, a.value);
-    }
-    *stripped.children_mut() = element.children().to_vec();
-    *element = stripped;
+    element
+        .attributes_mut()
+        .retain(|a| a.name.namespace() != SOAP_ENV_NS);
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@
 //! assert_eq!(parsed.text(), "hello");
 //! ```
 
+pub mod bufpool;
 pub mod error;
 pub mod escape;
 pub mod name;
@@ -40,8 +41,9 @@ pub mod tokenizer;
 pub mod tree;
 pub mod writer;
 
+pub use bufpool::{BufPool, PoolStats};
 pub use error::{XmlError, XmlResult};
-pub use name::{NsBinding, QName, XMLNS_NS, XML_NS};
+pub use name::{NameTable, NsBinding, QName, XMLNS_NS, XML_NS};
 pub use reader::parse;
 pub use tokenizer::{Token, Tokenizer};
 pub use tree::{Attribute, Element, ElementBuilder, Node};

@@ -1,23 +1,60 @@
-//! Qualified names and namespace bindings.
+//! Qualified names, namespace bindings, and the name interner.
 
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The namespace URI that the `xml` prefix is implicitly bound to.
 pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
 /// The namespace URI of namespace declarations themselves.
 pub const XMLNS_NS: &str = "http://www.w3.org/2000/xmlns/";
 
+/// Internal storage for one half of a [`QName`].
+///
+/// Names come in exactly two flavours: compile-time vocabulary
+/// (`&'static str`, free to clone) and names discovered while parsing.
+/// Parsed names are `Arc<str>` so that cloning a `QName` — which the
+/// reader and SOAP layers do constantly (attribute dedup, header
+/// extraction, tree clones) — is a refcount bump, not a heap copy.
+#[derive(Clone)]
+enum NameStr {
+    Static(&'static str),
+    Shared(Arc<str>),
+}
+
+impl NameStr {
+    #[inline]
+    fn as_str(&self) -> &str {
+        match self {
+            NameStr::Static(s) => s,
+            NameStr::Shared(s) => s,
+        }
+    }
+}
+
+impl From<Cow<'static, str>> for NameStr {
+    fn from(value: Cow<'static, str>) -> Self {
+        match value {
+            Cow::Borrowed(s) => NameStr::Static(s),
+            Cow::Owned(s) => NameStr::Shared(Arc::from(s)),
+        }
+    }
+}
+
 /// An expanded XML name: a namespace URI (possibly empty, meaning "no
 /// namespace") plus a local part.
 ///
 /// Prefixes are a serialisation artefact and never stored here; the
 /// [`crate::writer::Writer`] chooses prefixes when serialising and the
-/// reader resolves them when parsing.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// reader resolves them when parsing. Clones are cheap (static pointer
+/// or refcount bump) — see [`NameTable`] for how parsed names are
+/// deduplicated.
+#[derive(Clone)]
 pub struct QName {
-    namespace: Cow<'static, str>,
-    local: Cow<'static, str>,
+    namespace: NameStr,
+    local: NameStr,
 }
 
 impl QName {
@@ -27,41 +64,72 @@ impl QName {
         local: impl Into<Cow<'static, str>>,
     ) -> Self {
         QName {
-            namespace: namespace.into(),
-            local: local.into(),
+            namespace: namespace.into().into(),
+            local: local.into().into(),
         }
     }
 
     /// A name in no namespace.
     pub fn local(local: impl Into<Cow<'static, str>>) -> Self {
         QName {
-            namespace: Cow::Borrowed(""),
-            local: local.into(),
+            namespace: NameStr::Static(""),
+            local: local.into().into(),
         }
     }
 
     /// The namespace URI, `""` when the name is in no namespace.
     pub fn namespace(&self) -> &str {
-        &self.namespace
+        self.namespace.as_str()
     }
 
     /// The local part.
     pub fn local_name(&self) -> &str {
-        &self.local
+        self.local.as_str()
     }
 
     /// True if this name lives in `ns` with local part `local`.
     pub fn is(&self, ns: &str, local: &str) -> bool {
-        self.namespace == ns && self.local == local
+        self.namespace.as_str() == ns && self.local.as_str() == local
+    }
+}
+
+impl PartialEq for QName {
+    fn eq(&self, other: &Self) -> bool {
+        self.namespace.as_str() == other.namespace.as_str()
+            && self.local.as_str() == other.local.as_str()
+    }
+}
+
+impl Eq for QName {}
+
+impl Hash for QName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with the derived Cow-based impl this replaced:
+        // hash the string contents, not the representation.
+        self.namespace.as_str().hash(state);
+        self.local.as_str().hash(state);
+    }
+}
+
+impl PartialOrd for QName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.namespace.as_str(), self.local.as_str())
+            .cmp(&(other.namespace.as_str(), other.local.as_str()))
     }
 }
 
 impl fmt::Debug for QName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.namespace.is_empty() {
-            write!(f, "{}", self.local)
+        if self.namespace().is_empty() {
+            write!(f, "{}", self.local_name())
         } else {
-            write!(f, "{{{}}}{}", self.namespace, self.local)
+            write!(f, "{{{}}}{}", self.namespace(), self.local_name())
         }
     }
 }
@@ -69,6 +137,171 @@ impl fmt::Debug for QName {
 impl fmt::Display for QName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
+    }
+}
+
+// --- the interner -----------------------------------------------------------
+
+/// The SOAP/WSA/WSDL/UDDI/P2PS vocabulary is tiny and endlessly
+/// repeated, so the table is seeded with it: interning any of these
+/// strings returns a `&'static str` and never allocates, even on the
+/// very first document a process parses.
+const SEEDED_VOCABULARY: &[&str] = &[
+    // namespace URIs
+    "http://www.w3.org/2003/05/soap-envelope",
+    "http://www.w3.org/2005/08/addressing",
+    "http://schemas.xmlsoap.org/wsdl/",
+    "http://www.w3.org/2001/XMLSchema",
+    XML_NS,
+    XMLNS_NS,
+    // SOAP
+    "Envelope",
+    "Header",
+    "Body",
+    "Fault",
+    "Code",
+    "Subcode",
+    "Value",
+    "Reason",
+    "Text",
+    "Detail",
+    "mustUnderstand",
+    "role",
+    // WS-Addressing
+    "To",
+    "From",
+    "ReplyTo",
+    "FaultTo",
+    "Action",
+    "MessageID",
+    "RelatesTo",
+    "Address",
+    "RelationshipType",
+    // WSDL
+    "definitions",
+    "types",
+    "message",
+    "part",
+    "portType",
+    "operation",
+    "input",
+    "output",
+    "binding",
+    "service",
+    "port",
+    "name",
+    "type",
+    "element",
+    "targetNamespace",
+    "location",
+    "schema",
+    // common attribute/metadata locals
+    "id",
+    "ttl",
+    "origin",
+    "nonce",
+    "lang",
+    "key",
+    "value",
+];
+
+/// Cap on dynamically interned entries: a hostile peer streaming
+/// endless fresh names must not grow the table without bound. Past the
+/// cap, unknown names are still returned (as uncached `Arc`s) — only
+/// the dedup stops.
+const MAX_DYNAMIC_ENTRIES: usize = 4096;
+
+/// A thread-safe string/QName interner.
+///
+/// Lookups hash the *borrowed* string, so a hit performs zero
+/// allocation; misses store one `Arc<str>` that every later hit shares.
+/// [`NameTable::global`] is the instance the reader uses — parse ten
+/// thousand SOAP envelopes and every `Envelope`/`Body`/`To` name in
+/// every tree points at the same few allocations.
+pub struct NameTable {
+    // hash-of-str → entries with that hash (collisions resolved by
+    // comparing contents). Manual bucketing instead of HashMap<String,_>
+    // so lookups never allocate a key.
+    entries: Mutex<NameTableInner>,
+    hasher: std::collections::hash_map::RandomState,
+}
+
+struct NameTableInner {
+    buckets: HashMap<u64, Vec<NameStr>>,
+    len: usize,
+}
+
+impl Default for NameTable {
+    fn default() -> Self {
+        NameTable::new()
+    }
+}
+
+impl NameTable {
+    /// A fresh table pre-seeded with the WS vocabulary.
+    pub fn new() -> NameTable {
+        let table = NameTable {
+            entries: Mutex::new(NameTableInner {
+                buckets: HashMap::with_capacity(SEEDED_VOCABULARY.len() * 2),
+                len: 0,
+            }),
+            hasher: std::collections::hash_map::RandomState::new(),
+        };
+        {
+            let mut inner = table.entries.lock().expect("name table poisoned");
+            for s in SEEDED_VOCABULARY {
+                let hash = table.hash(s);
+                inner
+                    .buckets
+                    .entry(hash)
+                    .or_default()
+                    .push(NameStr::Static(s));
+            }
+        }
+        table
+    }
+
+    /// The process-wide table used by [`crate::parse`].
+    pub fn global() -> &'static NameTable {
+        static GLOBAL: OnceLock<NameTable> = OnceLock::new();
+        GLOBAL.get_or_init(NameTable::new)
+    }
+
+    fn hash(&self, s: &str) -> u64 {
+        self.hasher.hash_one(s)
+    }
+
+    fn intern_str(&self, s: &str) -> NameStr {
+        if s.is_empty() {
+            return NameStr::Static("");
+        }
+        let hash = self.hash(s);
+        let mut inner = self.entries.lock().expect("name table poisoned");
+        if let Some(bucket) = inner.buckets.get(&hash) {
+            if let Some(found) = bucket.iter().find(|e| e.as_str() == s) {
+                return found.clone();
+            }
+        }
+        let fresh = NameStr::Shared(Arc::from(s));
+        if inner.len < MAX_DYNAMIC_ENTRIES {
+            inner.len += 1;
+            inner.buckets.entry(hash).or_default().push(fresh.clone());
+        }
+        fresh
+    }
+
+    /// An interned `{ns}local` name. Hits share storage with every
+    /// previous caller; the seeded vocabulary never allocates at all.
+    pub fn qname(&self, namespace: &str, local: &str) -> QName {
+        QName {
+            namespace: self.intern_str(namespace),
+            local: self.intern_str(local),
+        }
+    }
+
+    /// Number of dynamically interned entries (diagnostics/tests).
+    pub fn dynamic_len(&self) -> usize {
+        self.entries.lock().expect("name table poisoned").len
     }
 }
 
@@ -118,6 +351,10 @@ pub struct NsStack {
     // (depth, binding) entries; lookup walks backwards so inner scopes win.
     entries: Vec<(usize, NsBinding)>,
     depth: usize,
+    // Bindings retired by `pop_scope`, recycled by `declare_ref` so a
+    // long-lived stack (the writer's, the reader's) reaches a steady
+    // state where declaring a namespace allocates nothing.
+    spare: Vec<NsBinding>,
 }
 
 impl NsStack {
@@ -132,7 +369,11 @@ impl NsStack {
     pub fn pop_scope(&mut self) {
         debug_assert!(self.depth > 0, "pop without matching push");
         while matches!(self.entries.last(), Some((d, _)) if *d == self.depth) {
-            self.entries.pop();
+            if let Some((_, binding)) = self.entries.pop() {
+                if self.spare.len() < 32 {
+                    self.spare.push(binding);
+                }
+            }
         }
         self.depth -= 1;
     }
@@ -140,6 +381,22 @@ impl NsStack {
     /// Declare a binding in the current scope.
     pub fn declare(&mut self, binding: NsBinding) {
         self.entries.push((self.depth, binding));
+    }
+
+    /// Declare a binding in the current scope from borrowed parts,
+    /// reusing a retired binding's string capacity when one is spare —
+    /// the allocation-free path for steady-state serialisation.
+    pub fn declare_ref(&mut self, prefix: &str, uri: &str) {
+        match self.spare.pop() {
+            Some(mut binding) => {
+                binding.prefix.clear();
+                binding.prefix.push_str(prefix);
+                binding.uri.clear();
+                binding.uri.push_str(uri);
+                self.entries.push((self.depth, binding));
+            }
+            None => self.declare(NsBinding::new(prefix, uri)),
+        }
     }
 
     /// Resolve a prefix to its URI. The empty prefix resolves to the
@@ -176,6 +433,16 @@ impl NsStack {
     pub fn is_bound(&self, prefix: &str) -> bool {
         self.entries.iter().any(|(_, b)| b.prefix == prefix)
     }
+
+    /// Bindings declared in the innermost open scope, in declaration
+    /// order. The writer emits `xmlns` attributes straight from here,
+    /// so declarations need no separate staging storage.
+    pub fn current_scope_bindings(&self) -> impl Iterator<Item = &NsBinding> {
+        self.entries
+            .iter()
+            .filter(move |(d, _)| *d == self.depth)
+            .map(|(_, b)| b)
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +462,66 @@ mod tests {
     #[test]
     fn local_qname_debug_has_no_braces() {
         assert_eq!(format!("{:?}", QName::local("plain")), "plain");
+    }
+
+    #[test]
+    fn qname_equality_ignores_representation() {
+        let built = QName::new("urn:x", "op");
+        let owned = QName::new("urn:x".to_owned(), "op".to_owned());
+        let interned = NameTable::new().qname("urn:x", "op");
+        assert_eq!(built, owned);
+        assert_eq!(built, interned);
+        use std::collections::hash_map::DefaultHasher;
+        let hash = |q: &QName| {
+            let mut h = DefaultHasher::new();
+            q.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&built), hash(&owned));
+        assert_eq!(hash(&built), hash(&interned));
+    }
+
+    #[test]
+    fn qname_ordering_by_namespace_then_local() {
+        let mut names = [
+            QName::new("urn:b", "a"),
+            QName::new("urn:a", "z"),
+            QName::new("urn:a", "a"),
+        ];
+        names.sort();
+        assert!(names[0].is("urn:a", "a"));
+        assert!(names[1].is("urn:a", "z"));
+        assert!(names[2].is("urn:b", "a"));
+    }
+
+    #[test]
+    fn interner_shares_storage() {
+        let table = NameTable::new();
+        let a = table.qname("urn:dynamic", "op");
+        let before = table.dynamic_len();
+        let b = table.qname("urn:dynamic", "op");
+        assert_eq!(a, b);
+        assert_eq!(table.dynamic_len(), before, "hit added no entries");
+    }
+
+    #[test]
+    fn seeded_vocabulary_interns_without_growth() {
+        let table = NameTable::new();
+        let q = table.qname("http://www.w3.org/2003/05/soap-envelope", "Envelope");
+        assert!(q.is("http://www.w3.org/2003/05/soap-envelope", "Envelope"));
+        assert_eq!(table.dynamic_len(), 0);
+    }
+
+    #[test]
+    fn interner_caps_dynamic_growth() {
+        let table = NameTable::new();
+        for i in 0..(MAX_DYNAMIC_ENTRIES + 50) {
+            let _ = table.qname("", &format!("hostile{i}"));
+        }
+        assert!(table.dynamic_len() <= MAX_DYNAMIC_ENTRIES);
+        // Past the cap, names still come back correct.
+        let q = table.qname("urn:late", "arrival");
+        assert!(q.is("urn:late", "arrival"));
     }
 
     #[test]

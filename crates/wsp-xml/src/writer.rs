@@ -1,9 +1,29 @@
 //! Serialiser: turns an [`Element`] tree back into markup, choosing
 //! namespace prefixes as it goes.
+//!
+//! The writer is single-pass: it serialises directly into a
+//! caller-supplied `Vec<u8>` ([`Writer::write_into`]) with no per-tag
+//! temporary strings. Each element is handled in two phases — first any
+//! namespace declarations it needs are decided (mutating the scope
+//! stack), then the tag, declarations and attributes are emitted via
+//! pure lookups against that stack. The phases agree byte-for-byte with
+//! the old collect-then-join writer; `tests/wire_bytes.rs` pins that
+//! equivalence against a verbatim copy of the old implementation.
 
-use crate::escape::{escape_attr, escape_text};
-use crate::name::{NsBinding, NsStack};
+use crate::escape::{escape_attr_into, escape_text_into};
+use crate::name::NsStack;
 use crate::tree::{Element, Node};
+
+/// The configured prefix for `ns`, borrowed — kept as a free function
+/// so callers can hold the result while mutating the scope stack
+/// (disjoint field borrows).
+fn preferred_of<'a>(config: &'a WriterConfig, ns: &str) -> Option<&'a str> {
+    config
+        .preferred_prefixes
+        .iter()
+        .find(|(u, _)| u == ns)
+        .map(|(_, p)| p.as_str())
+}
 
 /// Configuration for a [`Writer`].
 #[derive(Debug, Clone)]
@@ -55,13 +75,15 @@ impl WriterConfig {
     }
 }
 
-/// Namespace-aware serialiser. Reusable across documents; the internal
-/// buffer is recycled between [`Writer::write`] calls.
+/// Namespace-aware serialiser. Reusable across documents; the scope and
+/// declaration scratch space are recycled between write calls.
 pub struct Writer {
     config: WriterConfig,
     ns: NsStack,
-    out: String,
     generated: usize,
+    // Reused by `generate_prefix` so `nsN` candidates cost no
+    // allocation after the first write.
+    scratch: String,
 }
 
 impl Writer {
@@ -69,71 +91,72 @@ impl Writer {
         Writer {
             config,
             ns: NsStack::new(),
-            out: String::new(),
             generated: 0,
+            scratch: String::new(),
         }
     }
 
     /// Serialise `root` to a string.
     pub fn write(&mut self, root: &Element) -> String {
-        self.out.clear();
-        self.generated = 0;
-        if self.config.declaration {
-            self.out
-                .push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
-            if self.config.pretty {
-                self.out.push('\n');
-            }
-        }
-        self.write_element(root, 0);
-        std::mem::take(&mut self.out)
+        let mut out = Vec::with_capacity(256);
+        self.write_into(root, &mut out);
+        // The writer emits only `str` fragments, so the buffer is UTF-8.
+        String::from_utf8(out).expect("writer output is UTF-8")
     }
 
-    fn write_element(&mut self, element: &Element, depth: usize) {
-        self.ns.push_scope();
-        let mut declarations: Vec<NsBinding> = Vec::new();
-
-        let tag = self.qualify_element(element, &mut declarations);
-        self.out.push('<');
-        self.out.push_str(&tag);
-
-        // Attribute prefixes may add further declarations.
-        let mut attr_strs: Vec<(String, &str)> = Vec::with_capacity(element.attributes().len());
-        for attr in element.attributes() {
-            let name = self.qualify_attr(
-                attr.name.namespace(),
-                attr.name.local_name(),
-                &mut declarations,
-            );
-            attr_strs.push((name, &attr.value));
-        }
-
-        for d in &declarations {
-            self.out.push(' ');
-            if d.prefix.is_empty() {
-                self.out.push_str("xmlns=\"");
-            } else {
-                self.out.push_str("xmlns:");
-                self.out.push_str(&d.prefix);
-                self.out.push_str("=\"");
+    /// Serialise `root`, appending to `out`. The buffer is not cleared,
+    /// so transports can prepend framing before the document.
+    pub fn write_into(&mut self, root: &Element, out: &mut Vec<u8>) {
+        self.generated = 0;
+        if self.config.declaration {
+            out.extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            if self.config.pretty {
+                out.push(b'\n');
             }
-            escape_attr(&d.uri, &mut self.out);
-            self.out.push('"');
         }
-        for (name, value) in &attr_strs {
-            self.out.push(' ');
-            self.out.push_str(name);
-            self.out.push_str("=\"");
-            escape_attr(value, &mut self.out);
-            self.out.push('"');
+        self.write_element(root, 0, out);
+    }
+
+    fn write_element(&mut self, element: &Element, depth: usize, out: &mut Vec<u8>) {
+        self.ns.push_scope();
+
+        // Phase 1: decide declarations (element first, then attributes,
+        // matching the old writer's prefix-generation order). They land
+        // in the scope stack, which doubles as the staging area.
+        self.prepare_element_ns(element);
+        for attr in element.attributes() {
+            self.prepare_attr_ns(attr.name.namespace());
+        }
+
+        // Phase 2: emit. All names are now resolvable by pure lookup.
+        out.push(b'<');
+        self.push_element_tag(element, out);
+        for d in self.ns.current_scope_bindings() {
+            out.push(b' ');
+            if d.prefix.is_empty() {
+                out.extend_from_slice(b"xmlns=\"");
+            } else {
+                out.extend_from_slice(b"xmlns:");
+                out.extend_from_slice(d.prefix.as_bytes());
+                out.extend_from_slice(b"=\"");
+            }
+            escape_attr_into(&d.uri, out);
+            out.push(b'"');
+        }
+        for attr in element.attributes() {
+            out.push(b' ');
+            self.push_attr_name(attr.name.namespace(), attr.name.local_name(), out);
+            out.extend_from_slice(b"=\"");
+            escape_attr_into(&attr.value, out);
+            out.push(b'"');
         }
 
         if element.children().is_empty() {
-            self.out.push_str("/>");
+            out.extend_from_slice(b"/>");
             self.ns.pop_scope();
             return;
         }
-        self.out.push('>');
+        out.push(b'>');
 
         let block = self.config.pretty
             && element
@@ -142,122 +165,144 @@ impl Writer {
                 .all(|c| !matches!(c, Node::Text(_) | Node::CData(_)));
         for child in element.children() {
             if block {
-                self.newline_indent(depth + 1);
+                self.newline_indent(depth + 1, out);
             }
             match child {
-                Node::Element(e) => self.write_element(e, depth + 1),
-                Node::Text(t) => escape_text(t, &mut self.out),
+                Node::Element(e) => self.write_element(e, depth + 1, out),
+                Node::Text(t) => escape_text_into(t, out),
                 Node::CData(t) => {
-                    // A "]]>" inside CDATA must be split across sections.
-                    self.out.push_str("<![CDATA[");
-                    self.out.push_str(&t.replace("]]>", "]]]]><![CDATA[>"));
-                    self.out.push_str("]]>");
+                    // A "]]>" inside CDATA must be split across sections;
+                    // the split-copy only happens when one is present.
+                    out.extend_from_slice(b"<![CDATA[");
+                    for (i, segment) in t.split("]]>").enumerate() {
+                        if i > 0 {
+                            out.extend_from_slice(b"]]]]><![CDATA[>");
+                        }
+                        out.extend_from_slice(segment.as_bytes());
+                    }
+                    out.extend_from_slice(b"]]>");
                 }
                 Node::Comment(t) => {
-                    self.out.push_str("<!--");
-                    self.out.push_str(t);
-                    self.out.push_str("-->");
+                    out.extend_from_slice(b"<!--");
+                    out.extend_from_slice(t.as_bytes());
+                    out.extend_from_slice(b"-->");
                 }
                 Node::ProcessingInstruction { target, data } => {
-                    self.out.push_str("<?");
-                    self.out.push_str(target);
+                    out.extend_from_slice(b"<?");
+                    out.extend_from_slice(target.as_bytes());
                     if !data.is_empty() {
-                        self.out.push(' ');
-                        self.out.push_str(data);
+                        out.push(b' ');
+                        out.extend_from_slice(data.as_bytes());
                     }
-                    self.out.push_str("?>");
+                    out.extend_from_slice(b"?>");
                 }
             }
         }
         if block {
-            self.newline_indent(depth);
+            self.newline_indent(depth, out);
         }
-        self.out.push_str("</");
-        self.out.push_str(&tag);
-        self.out.push('>');
+        out.extend_from_slice(b"</");
+        // The element's scope is still open, so the lookups reproduce
+        // exactly the tag written above.
+        self.push_element_tag(element, out);
+        out.push(b'>');
         self.ns.pop_scope();
     }
 
-    /// Work out the lexical tag for an element, declaring namespaces as
-    /// needed. Elements prefer the default namespace.
-    fn qualify_element(&mut self, element: &Element, declarations: &mut Vec<NsBinding>) -> String {
+    /// Declare whatever namespace the element's tag needs. Elements
+    /// prefer the default namespace. The preferred-prefix path borrows
+    /// both the prefix and the URI (`declare_ref`), so steady-state
+    /// writes of recurring vocabularies allocate nothing here.
+    fn prepare_element_ns(&mut self, element: &Element) {
         let ns = element.name().namespace();
-        let local = element.name().local_name();
         if ns.is_empty() {
             // Must be in *no* namespace: undeclare any inherited default.
             if self.ns.resolve("") != Some("") {
-                self.declare(NsBinding::new("", ""), declarations);
+                self.ns.declare_ref("", "");
             }
-            return local.to_owned();
+            return;
         }
         if self.ns.resolve("") == Some(ns) {
-            return local.to_owned();
+            return;
         }
-        if let Some(prefix) = self.ns.prefix_for(ns).filter(|p| !p.is_empty()) {
-            return format!("{prefix}:{local}");
+        if self.ns.prefix_for(ns).filter(|p| !p.is_empty()).is_some() {
+            return;
         }
-        let prefix = self.pick_prefix(ns);
-        self.declare(NsBinding::new(prefix.clone(), ns.to_owned()), declarations);
-        if prefix.is_empty() {
-            local.to_owned()
-        } else {
-            format!("{prefix}:{local}")
+        match preferred_of(&self.config, ns) {
+            Some(p) if !self.ns.is_bound(p) => self.ns.declare_ref(p, ns),
+            _ => {
+                self.generate_prefix();
+                self.ns.declare_ref(&self.scratch, ns);
+            }
         }
     }
 
-    /// Work out the lexical name for an attribute. Qualified attributes
-    /// always need a non-empty prefix.
-    fn qualify_attr(&mut self, ns: &str, local: &str, declarations: &mut Vec<NsBinding>) -> String {
+    /// Declare whatever namespace a qualified attribute needs. Qualified
+    /// attributes always need a non-empty prefix.
+    fn prepare_attr_ns(&mut self, ns: &str) {
         if ns.is_empty() {
-            return local.to_owned();
+            return;
         }
-        if let Some(prefix) = self.ns.prefix_for(ns).filter(|p| !p.is_empty()) {
-            return format!("{prefix}:{local}");
+        if self.ns.prefix_for(ns).filter(|p| !p.is_empty()).is_some() {
+            return;
         }
-        let mut prefix = self.preferred(ns).unwrap_or_default();
-        if prefix.is_empty() || self.ns.is_bound(&prefix) {
-            prefix = self.generate_prefix();
-        }
-        self.declare(NsBinding::new(prefix.clone(), ns.to_owned()), declarations);
-        format!("{prefix}:{local}")
-    }
-
-    fn pick_prefix(&mut self, ns: &str) -> String {
-        if let Some(p) = self.preferred(ns) {
-            if !self.ns.is_bound(&p) {
-                return p;
+        match preferred_of(&self.config, ns) {
+            Some(p) if !p.is_empty() && !self.ns.is_bound(p) => self.ns.declare_ref(p, ns),
+            _ => {
+                self.generate_prefix();
+                self.ns.declare_ref(&self.scratch, ns);
             }
         }
-        self.generate_prefix()
     }
 
-    fn preferred(&self, ns: &str) -> Option<String> {
-        self.config
-            .preferred_prefixes
-            .iter()
-            .find(|(u, _)| u == ns)
-            .map(|(_, p)| p.clone())
+    /// Emit the element's lexical tag. After the prepare phase the name
+    /// is guaranteed resolvable: either the default namespace matches or
+    /// a non-empty prefix is in scope.
+    fn push_element_tag(&self, element: &Element, out: &mut Vec<u8>) {
+        let ns = element.name().namespace();
+        if !ns.is_empty() && self.ns.resolve("") != Some(ns) {
+            let prefix = self
+                .ns
+                .prefix_for(ns)
+                .filter(|p| !p.is_empty())
+                .expect("element namespace declared in prepare phase");
+            out.extend_from_slice(prefix.as_bytes());
+            out.push(b':');
+        }
+        out.extend_from_slice(element.name().local_name().as_bytes());
     }
 
-    fn generate_prefix(&mut self) -> String {
+    /// Emit an attribute's lexical name (see [`Writer::push_element_tag`]).
+    fn push_attr_name(&self, ns: &str, local: &str, out: &mut Vec<u8>) {
+        if !ns.is_empty() {
+            let prefix = self
+                .ns
+                .prefix_for(ns)
+                .filter(|p| !p.is_empty())
+                .expect("attribute namespace declared in prepare phase");
+            out.extend_from_slice(prefix.as_bytes());
+            out.push(b':');
+        }
+        out.extend_from_slice(local.as_bytes());
+    }
+
+    /// Fill `self.scratch` with the next free `nsN` prefix.
+    fn generate_prefix(&mut self) {
+        use std::fmt::Write as _;
         loop {
-            let candidate = format!("ns{}", self.generated);
+            self.scratch.clear();
+            let _ = write!(self.scratch, "ns{}", self.generated);
             self.generated += 1;
-            if !self.ns.is_bound(&candidate) && candidate != "xml" {
-                return candidate;
+            if !self.ns.is_bound(&self.scratch) && self.scratch != "xml" {
+                return;
             }
         }
     }
 
-    fn declare(&mut self, binding: NsBinding, declarations: &mut Vec<NsBinding>) {
-        self.ns.declare(binding.clone());
-        declarations.push(binding);
-    }
-
-    fn newline_indent(&mut self, depth: usize) {
-        self.out.push('\n');
+    fn newline_indent(&self, depth: usize, out: &mut Vec<u8>) {
+        out.push(b'\n');
         for _ in 0..depth {
-            self.out.push_str(self.config.indent);
+            out.extend_from_slice(self.config.indent.as_bytes());
         }
     }
 }
@@ -364,8 +409,16 @@ mod tests {
         let mut e = Element::new("", "a");
         e.children_mut().push(Node::CData("x]]>y".into()));
         let xml = e.to_xml();
+        assert!(xml.contains("]]]]><![CDATA[>"), "{xml}");
         let parsed = parse(&xml).unwrap();
         assert_eq!(parsed.text(), "x]]>y");
+    }
+
+    #[test]
+    fn cdata_without_terminator_passes_verbatim() {
+        let mut e = Element::new("", "a");
+        e.children_mut().push(Node::CData("plain & <raw>".into()));
+        assert_eq!(e.to_xml(), "<a><![CDATA[plain & <raw>]]></a>");
     }
 
     #[test]
@@ -389,5 +442,25 @@ mod tests {
         });
         let parsed = parse(&e.to_xml()).unwrap();
         assert_eq!(parsed.children(), e.children());
+    }
+
+    #[test]
+    fn write_into_appends_after_existing_bytes() {
+        let mut out = b"HTTP-FRAMING".to_vec();
+        let e = Element::build("", "a").text("x").finish();
+        Writer::new(WriterConfig::default()).write_into(&e, &mut out);
+        assert_eq!(out, b"HTTP-FRAMING<a>x</a>");
+    }
+
+    #[test]
+    fn writer_is_reusable_across_documents() {
+        let mut w = Writer::new(WriterConfig::default().prefer("urn:soap", "soap"));
+        let a = Element::new("urn:soap", "A");
+        let b = Element::new("urn:other", "B");
+        let first = w.write(&a);
+        let second = w.write(&b);
+        let third = w.write(&a);
+        assert_eq!(first, third, "state leaked between writes");
+        assert_eq!(second, r#"<ns0:B xmlns:ns0="urn:other"/>"#);
     }
 }

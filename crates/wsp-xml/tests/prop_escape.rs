@@ -1,0 +1,141 @@
+//! Property tests for the scan-ahead escaper (PR 5).
+//!
+//! The escaper was rewritten from a per-char `match` loop to a
+//! scan-ahead bulk copier; these properties pin the rewrite to the old
+//! behaviour: equivalence with a naive reference implementation,
+//! escape→unescape round trips over hostile inputs (lone `&`, `]]>`,
+//! multi-byte UTF-8 straddling escape boundaries), and the
+//! borrow-when-clean contract of the new `Cow` unescape.
+
+use proptest::prelude::*;
+use std::borrow::Cow;
+use wsp_xml::escape::{escape_attr, escape_text, escape_text_owned, unescape};
+
+/// The pre-PR-5 escaper, kept as the reference: one `match` per char.
+fn naive_escape_text(input: &str) -> String {
+    let mut out = String::new();
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn naive_escape_attr(input: &str) -> String {
+    let mut out = String::new();
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\t' => out.push_str("&#9;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Strings that concentrate the escaper's edge cases: specials back to
+/// back, specials butted against multi-byte sequences, the CDATA
+/// terminator, and a lone `&`.
+fn hostile() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("&".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("\"".to_string()),
+            Just("]]>".to_string()),
+            Just("&amp;".to_string()),
+            Just("é".to_string()),
+            Just("€".to_string()),
+            Just("\u{10348}".to_string()), // 4-byte scalar
+            Just("\t\n\r".to_string()),
+            "[ -~]{0,6}",
+            "[àâæçéèêëîïôùûüÿ€]{1,4}",
+        ],
+        1..8,
+    )
+    .prop_map(|tokens| tokens.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn text_escaper_matches_the_naive_reference(s in hostile()) {
+        let mut fast = String::new();
+        escape_text(&s, &mut fast);
+        prop_assert_eq!(&fast, &naive_escape_text(&s), "input {:?}", s);
+        prop_assert_eq!(escape_text_owned(&s), fast);
+    }
+
+    #[test]
+    fn attr_escaper_matches_the_naive_reference(s in hostile()) {
+        let mut fast = String::new();
+        escape_attr(&s, &mut fast);
+        prop_assert_eq!(fast, naive_escape_attr(&s), "input {:?}", s);
+    }
+
+    #[test]
+    fn text_escape_unescape_round_trips(s in hostile()) {
+        let mut escaped = String::new();
+        escape_text(&s, &mut escaped);
+        let back = unescape(&escaped, 0).expect("escaped text re-parses");
+        prop_assert_eq!(back.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn attr_escape_unescape_round_trips(s in hostile()) {
+        let mut escaped = String::new();
+        escape_attr(&s, &mut escaped);
+        let back = unescape(&escaped, 0).expect("escaped attr re-parses");
+        prop_assert_eq!(back.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn unescape_borrows_exactly_when_no_reference_present(s in hostile()) {
+        match unescape(&s, 0) {
+            Ok(Cow::Borrowed(b)) => {
+                prop_assert!(!s.contains('&'), "borrowed despite & in {:?}", s);
+                prop_assert_eq!(b, s.as_str());
+            }
+            Ok(Cow::Owned(_)) => prop_assert!(s.contains('&'), "copied clean input {:?}", s),
+            // A lone `&` (or a malformed reference) must error, never
+            // pass through silently.
+            Err(_) => prop_assert!(s.contains('&'), "error without & in {:?}", s),
+        }
+    }
+
+    #[test]
+    fn escaped_output_has_no_markup_significant_bytes(s in hostile()) {
+        let mut escaped = String::new();
+        escape_attr(&s, &mut escaped);
+        prop_assert!(!escaped.contains('<'));
+        prop_assert!(!escaped.contains('"'));
+        prop_assert!(!escaped.contains("]]>"));
+        // Every & must begin a well-formed reference (unescape accepts it).
+        prop_assert!(unescape(&escaped, 0).is_ok());
+    }
+
+    #[test]
+    fn document_round_trip_through_writer_and_reader(
+        text in hostile(),
+        attr in hostile(),
+    ) {
+        let element = wsp_xml::Element::build("urn:prop", "t")
+            .attr_str("a", attr.clone())
+            .text(text.clone())
+            .finish();
+        let parsed = wsp_xml::parse(&element.to_xml()).expect("round trip parses");
+        prop_assert_eq!(parsed.text(), text);
+        prop_assert_eq!(parsed.attribute_local("a"), Some(attr.as_str()));
+    }
+}

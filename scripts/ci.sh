@@ -39,6 +39,17 @@ WSP_FAULT_SEED=7 cargo test -q -p wsp-integration-tests --test fault_injection h
 echo "==> /metrics smoke check (telemetry integration suite)"
 cargo test -q -p wsp-integration-tests --test telemetry
 
+# Wire-path guards (PR 5): the single-pass writer must stay
+# byte-identical to the vendored pre-PR-5 writer on every document
+# family, the buffer pool must hold up under concurrency, and the
+# allocation ceilings (counting global allocator, release mode so the
+# numbers match EXPERIMENTS.md §E12) must not regress.
+echo "==> wire-byte identity + pool concurrency"
+cargo test -q -p wsp-integration-tests --test wire_bytes --test bufpool
+
+echo "==> allocation-regression guard (release)"
+cargo test -q --release -p wsp-integration-tests --test alloc_guard
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

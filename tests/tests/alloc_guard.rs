@@ -1,0 +1,110 @@
+//! Allocation-regression guard (tier-2, wired into `scripts/ci.sh`).
+//!
+//! This binary installs the counting global allocator and re-runs
+//! E12's allocation measurement, pinning the two properties PR 5
+//! bought: the fast path stays under a recorded allocations-per-round-
+//! trip ceiling, and it stays at least 2x cheaper than the vendored
+//! pre-PR-5 stack. A future change that quietly re-introduces per-name
+//! or per-buffer churn fails here, not in a benchmark someone has to
+//! remember to read.
+
+use wsp_bench::alloc_count::{self, CountingAllocator};
+use wsp_bench::e12;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Ceilings over the release-mode measurements (55 / 200 / 1463 as of
+/// PR 5) with ~30% headroom for allocator-neutral refactors. If a
+/// change pushes past these, either it regressed the wire path or it
+/// consciously re-priced it — update the numbers only with the
+/// measurement story in EXPERIMENTS.md §E12.
+const CEILINGS: [(&str, f64); 3] = [
+    ("small (0 items)", 90.0),
+    ("medium (10 items)", 280.0),
+    ("large (100 items)", 1900.0),
+];
+
+#[test]
+fn round_trip_allocations_stay_under_ceiling_and_2x_better_than_legacy() {
+    assert!(
+        alloc_count::is_installed(),
+        "counting allocator must be live in this binary"
+    );
+    let rows = e12::allocations(100);
+    assert_eq!(rows.len(), CEILINGS.len());
+    for (row, (name, ceiling)) in rows.iter().zip(CEILINGS) {
+        assert_eq!(row.corpus, name);
+        assert!(row.counted);
+        assert!(
+            row.fast_allocs <= ceiling,
+            "{name}: fast path now allocates {:.1}/round-trip (ceiling {ceiling})",
+            row.fast_allocs
+        );
+        assert!(
+            row.ratio >= 2.0,
+            "{name}: legacy/fast ratio fell to {:.2} ({:.1} vs {:.1})",
+            row.ratio,
+            row.legacy_allocs,
+            row.fast_allocs
+        );
+    }
+}
+
+/// The single-pass writer in its pooled steady state: serialising an
+/// already-built tree into a warm pooled buffer must not allocate at
+/// all — names are interned, escaping streams straight into the
+/// output, and there are no per-tag temporaries left.
+#[test]
+fn warm_single_pass_writer_is_allocation_free() {
+    let (_, envelope) = e12::corpus().swap_remove(1);
+    let root = envelope.to_element();
+    let config = wsp_xml::WriterConfig::wire()
+        .prefer(wsp_soap::SOAP_ENV_NS, "env")
+        .prefer(wsp_soap::WSA_NS, "wsa");
+    let pool = wsp_xml::BufPool::global();
+    let mut writer = wsp_xml::Writer::new(config);
+    for _ in 0..50 {
+        let mut buf = pool.take();
+        buf.clear();
+        writer.write_into(&root, &mut buf);
+        pool.put(buf);
+    }
+    let mut worst = 0u64;
+    for _ in 0..20 {
+        let mut buf = pool.take();
+        buf.clear();
+        let before = alloc_count::allocations();
+        writer.write_into(&root, &mut buf);
+        worst = worst.max(alloc_count::allocations() - before);
+        pool.put(buf);
+    }
+    assert_eq!(worst, 0, "warm single-pass write allocated");
+}
+
+/// The full envelope encode keeps exactly one allocating step: the
+/// `to_element` staging shell (headers and payload cloned into the
+/// `env:Envelope` scaffold). For the small corpus entry that is ~28
+/// allocations; the bound fails if the writer or the pool start
+/// allocating again on top of it.
+#[test]
+fn warm_pooled_envelope_encode_pays_only_the_staging_tree() {
+    let (_, envelope) = e12::corpus().swap_remove(0);
+    let pool = wsp_xml::BufPool::global();
+    for _ in 0..50 {
+        let mut buf = pool.take();
+        buf.clear();
+        envelope.to_xml_into(&mut buf);
+        pool.put(buf);
+    }
+    let mut worst = 0u64;
+    for _ in 0..20 {
+        let mut buf = pool.take();
+        buf.clear();
+        let before = alloc_count::allocations();
+        envelope.to_xml_into(&mut buf);
+        worst = worst.max(alloc_count::allocations() - before);
+        pool.put(buf);
+    }
+    assert!(worst <= 40, "warm pooled encode allocated {worst} times");
+}
