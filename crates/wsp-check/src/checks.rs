@@ -1,0 +1,766 @@
+//! The invariant suite: one bounded configuration per machine, plus
+//! the composed pipeline, each explored exhaustively.
+//!
+//! Every function returns the exploration [`Report`] (state and
+//! transition counts — quoted in `EXPERIMENTS.md` E13) or the first
+//! [`Violation`] with its counterexample trace. [`run_all`] is what
+//! the `wsp-check` binary and the CI stage execute.
+
+use crate::composed::{ComposedEffect, ComposedEvent, ComposedMachine, ComposedState};
+use crate::mutations::{ComposedSkipHalfOpenReset, LeakSlotOnReject, SkipHalfOpenReset};
+use crate::{fault_seed, random_walk, Graph, Report, Violation};
+use wsp_core::machines::admission::{
+    AdmissionEffect, AdmissionEvent, AdmissionMachine, AdmissionState, ShedReason,
+};
+use wsp_core::machines::breaker::{
+    Admit, BreakerEffect, BreakerEvent, BreakerMachine, BreakerState, Phase,
+};
+use wsp_core::machines::correlation::{
+    CallPhase, CorrelationEffect, CorrelationEvent, CorrelationMachine, CorrelationState,
+};
+use wsp_http::drain::{DrainEffect, DrainEvent, DrainMachine, DrainState, Lifecycle};
+use wsp_p2ps::rpc_machine::{RpcEffect, RpcEvent, RpcMachine, RpcState};
+use wsp_simnet::Machine;
+
+/// Explosion guard: these configurations exhaust in well under this.
+const MAX_STATES: usize = 200_000;
+
+// ---------------------------------------------------------------------------
+// Circuit breaker (with an explicit logical clock)
+// ---------------------------------------------------------------------------
+
+/// The breaker's events carry `now`; exploration needs a monotonic
+/// clock, so we pair any breaker-shaped machine with a bounded tick
+/// counter. Generic so the mutation wrappers explore identically.
+pub struct Clocked<M> {
+    pub inner: M,
+    pub max_ticks: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockedState {
+    pub breaker: BreakerState,
+    pub clock: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockedEvent {
+    Tick,
+    Acquire,
+    Success,
+    Failure,
+    ProbeAborted,
+}
+
+impl<M> Machine for Clocked<M>
+where
+    M: Machine<State = BreakerState, Event = BreakerEvent, Effect = BreakerEffect>,
+{
+    type State = ClockedState;
+    type Event = ClockedEvent;
+    type Effect = BreakerEffect;
+
+    fn initial(&self) -> ClockedState {
+        ClockedState {
+            breaker: self.inner.initial(),
+            clock: 0,
+        }
+    }
+
+    fn step(
+        &self,
+        state: &ClockedState,
+        event: &ClockedEvent,
+    ) -> (ClockedState, Vec<BreakerEffect>) {
+        let mut next = *state;
+        let now = state.clock;
+        let effects = match event {
+            ClockedEvent::Tick => {
+                if next.clock < self.max_ticks {
+                    next.clock += 1;
+                }
+                vec![]
+            }
+            ClockedEvent::Acquire => {
+                let (s, e) = self
+                    .inner
+                    .step(&state.breaker, &BreakerEvent::Acquire { now });
+                next.breaker = s;
+                e
+            }
+            ClockedEvent::Success => {
+                let (s, e) = self.inner.step(&state.breaker, &BreakerEvent::Success);
+                next.breaker = s;
+                e
+            }
+            ClockedEvent::Failure => {
+                let (s, e) = self
+                    .inner
+                    .step(&state.breaker, &BreakerEvent::Failure { now });
+                next.breaker = s;
+                e
+            }
+            ClockedEvent::ProbeAborted => {
+                let (s, e) = self
+                    .inner
+                    .step(&state.breaker, &BreakerEvent::ProbeAborted { now });
+                next.breaker = s;
+                e
+            }
+        };
+        (next, effects)
+    }
+}
+
+fn breaker_config() -> BreakerMachine {
+    BreakerMachine {
+        failure_threshold: 2,
+        cooldown: 2,
+    }
+}
+
+fn clocked_events(state: &ClockedState) -> Vec<ClockedEvent> {
+    // Success/Failure are always enabled: a straggler admitted before
+    // the trip may report at any time, which is exactly the hard case.
+    let mut events = vec![
+        ClockedEvent::Acquire,
+        ClockedEvent::Success,
+        ClockedEvent::Failure,
+        ClockedEvent::ProbeAborted,
+    ];
+    if state.clock < 4 {
+        events.push(ClockedEvent::Tick);
+    }
+    events
+}
+
+fn breaker_invariants<M>(graph: &Graph<Clocked<M>>, cfg: &BreakerMachine) -> Result<(), Violation>
+where
+    M: Machine<State = BreakerState, Event = BreakerEvent, Effect = BreakerEffect>,
+{
+    graph.check_edges(
+        "a success while tripped always closes the breaker",
+        |from, event, _effects, to| {
+            !(matches!(event, ClockedEvent::Success)
+                && matches!(from.breaker, BreakerState::Tripped { .. }))
+                || to.breaker == BreakerState::Closed { failures: 0 }
+        },
+    )?;
+    graph.check_edges(
+        "at most one probe in flight: acquire during a probe is rejected",
+        |from, event, effects, _to| {
+            !(matches!(event, ClockedEvent::Acquire)
+                && matches!(
+                    from.breaker,
+                    BreakerState::Tripped {
+                        probe_in_flight: true,
+                        ..
+                    }
+                ))
+                || effects.contains(&BreakerEffect::Admit(Admit::Rejected))
+        },
+    )?;
+    graph.check_edges(
+        "probes are only admitted in the half-open phase",
+        |from, _event, effects, _to| {
+            !effects.contains(&BreakerEffect::Admit(Admit::Probe))
+                || cfg.phase(&from.breaker, from.clock) == Phase::HalfOpen
+        },
+    )?;
+    graph.check_edges(
+        "an aborted probe re-opens for a fresh cooldown",
+        |from, event, _effects, to| {
+            !(matches!(event, ClockedEvent::ProbeAborted)
+                && matches!(
+                    from.breaker,
+                    BreakerState::Tripped {
+                        probe_in_flight: true,
+                        ..
+                    }
+                ))
+                || to.breaker
+                    == BreakerState::Tripped {
+                        since: from.clock,
+                        probe_in_flight: false,
+                    }
+        },
+    )?;
+    graph.check_states(
+        "closed failure count stays below the threshold",
+        |s| match s.breaker {
+            BreakerState::Closed { failures } => failures < cfg.failure_threshold,
+            BreakerState::Tripped { .. } => true,
+        },
+    )?;
+    graph.check_eventually("the breaker can always close again", |s| {
+        s.breaker == BreakerState::Closed { failures: 0 }
+    })
+}
+
+pub fn check_breaker() -> Result<Report, Violation> {
+    let cfg = breaker_config();
+    let graph = Graph::explore(
+        Clocked {
+            inner: cfg.clone(),
+            max_ticks: 4,
+        },
+        clocked_events,
+        MAX_STATES,
+    );
+    breaker_invariants(&graph, &cfg)?;
+    Ok(graph.report("breaker(threshold=2, cooldown=2, ticks<=4)"))
+}
+
+/// The seeded mutation must produce a counterexample — proving the
+/// breaker invariants are load-bearing.
+pub fn breaker_mutation_counterexample() -> Option<Violation> {
+    let cfg = breaker_config();
+    let graph = Graph::explore(
+        Clocked {
+            inner: SkipHalfOpenReset(cfg.clone()),
+            max_ticks: 4,
+        },
+        clocked_events,
+        MAX_STATES,
+    );
+    breaker_invariants(&graph, &cfg).err()
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+fn admission_config() -> AdmissionMachine {
+    AdmissionMachine {
+        max_in_flight: 2,
+        max_queue_depth: 1,
+    }
+}
+
+fn admission_events(state: &AdmissionState) -> Vec<AdmissionEvent> {
+    let mut events = Vec::new();
+    for queue_depth in [0, 1] {
+        for deadline_expired in [false, true] {
+            for over_watermark in [false, true] {
+                events.push(AdmissionEvent::Admit {
+                    queue_depth,
+                    deadline_expired,
+                    over_watermark,
+                });
+            }
+        }
+    }
+    // Release is paired with a held permit (RAII in the shell), so it
+    // is only enabled while something is in flight.
+    if state.in_flight > 0 {
+        events.push(AdmissionEvent::Release);
+    }
+    events.push(AdmissionEvent::BeginDrain);
+    events.push(AdmissionEvent::EndDrain);
+    events
+}
+
+pub fn check_admission() -> Result<Report, Violation> {
+    let cfg = admission_config();
+    let graph = Graph::explore(cfg.clone(), admission_events, MAX_STATES);
+    graph.check_states("permit count never exceeds the cap", |s| {
+        s.in_flight <= cfg.max_in_flight
+    })?;
+    graph.check_edges("permit count never goes negative", |_f, _e, effects, _t| {
+        !effects.contains(&AdmissionEffect::PermitUnderflow)
+    })?;
+    graph.check_edges(
+        "nothing is admitted while draining",
+        |from, _e, effects, _t| !(from.draining && effects.contains(&AdmissionEffect::Admitted)),
+    )?;
+    graph.check_edges(
+        "an expired deadline always sheds as DeadlineExpired",
+        |_from, event, effects, _to| {
+            !matches!(
+                event,
+                AdmissionEvent::Admit {
+                    deadline_expired: true,
+                    ..
+                }
+            ) || effects == [AdmissionEffect::Shed(ShedReason::DeadlineExpired)]
+        },
+    )?;
+    graph.check_edges(
+        "admission implies every shed condition was clear",
+        |from, event, effects, _to| {
+            if !effects.contains(&AdmissionEffect::Admitted) {
+                return true;
+            }
+            match event {
+                AdmissionEvent::Admit {
+                    queue_depth,
+                    deadline_expired,
+                    over_watermark,
+                } => {
+                    !deadline_expired
+                        && !from.draining
+                        && *queue_depth < cfg.max_queue_depth
+                        && !over_watermark
+                        && from.in_flight < cfg.max_in_flight
+                }
+                _ => false,
+            }
+        },
+    )?;
+    graph.check_eventually("in-flight work can always drain to zero", |s| {
+        s.in_flight == 0
+    })?;
+    Ok(graph.report("admission(cap=2, queue=1)"))
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher correlation
+// ---------------------------------------------------------------------------
+
+const TOKENS: [u64; 2] = [0, 1];
+
+fn correlation_events(_state: &CorrelationState) -> Vec<CorrelationEvent> {
+    // The machine is total: every event is meaningful in every state
+    // (late completions, double cancels, takes of unknown tokens).
+    TOKENS
+        .iter()
+        .flat_map(|&t| {
+            [
+                CorrelationEvent::Register(t),
+                CorrelationEvent::Complete(t),
+                CorrelationEvent::Poison(t),
+                CorrelationEvent::Cancel(t),
+                CorrelationEvent::Take(t),
+            ]
+        })
+        .collect()
+}
+
+pub fn check_correlation() -> Result<Report, Violation> {
+    let graph = Graph::explore(CorrelationMachine, correlation_events, MAX_STATES);
+    graph.check_edges(
+        "a value is only delivered to a pending call (no double delivery)",
+        |from, _event, effects, _to| {
+            effects.iter().all(|e| match e {
+                CorrelationEffect::DeliverValue(t) | CorrelationEffect::DeliverPoison(t) => {
+                    from.phase(*t) == Some(CallPhase::Pending)
+                }
+                _ => true,
+            })
+        },
+    )?;
+    graph.check_edges(
+        "a token leaves the correlation table exactly when it stops pending",
+        |from, _event, effects, to| {
+            TOKENS.iter().all(|&t| {
+                let left_table = from.phase(t) == Some(CallPhase::Pending)
+                    && to.phase(t) != Some(CallPhase::Pending);
+                effects.contains(&CorrelationEffect::RemoveEntry(t)) == left_table
+            })
+        },
+    )?;
+    graph.check_edges(
+        "results are yielded from Ready and re-panicked from Poisoned, only",
+        |from, _event, effects, _to| {
+            effects.iter().all(|e| match e {
+                CorrelationEffect::YieldValue(t) => from.phase(*t) == Some(CallPhase::Ready),
+                CorrelationEffect::PanicWaiter(t) => from.phase(*t) == Some(CallPhase::Poisoned),
+                _ => true,
+            })
+        },
+    )?;
+    for &t in &TOKENS {
+        graph.check_eventually(
+            "no lost token: every registered call can still settle and leave",
+            |s| s.phase(t).is_none(),
+        )?;
+    }
+    graph.check_eventually("the whole table can always empty", |s| s.calls.is_empty())?;
+    Ok(graph.report("correlation(tokens=2)"))
+}
+
+// ---------------------------------------------------------------------------
+// HTTP drain lifecycle
+// ---------------------------------------------------------------------------
+
+fn drain_config() -> DrainMachine {
+    DrainMachine {
+        max_connections: Some(2),
+    }
+}
+
+fn drain_events(state: &DrainState) -> Vec<DrainEvent> {
+    let mut events = Vec::new();
+    // Bound accepts so a slot-leaking mutant still yields a finite
+    // graph for the checker to condemn (the genuine machine never
+    // passes `active == 2`).
+    if state.active < 6 {
+        events.push(DrainEvent::Accept);
+    }
+    // Closes are paired with admitted connections (ActiveGuard).
+    if state.active > 0 {
+        events.push(DrainEvent::ConnClosed);
+    }
+    events.push(DrainEvent::BeginDrain);
+    events.push(DrainEvent::Stop);
+    events
+}
+
+fn drain_invariants(
+    graph: &Graph<impl Machine<State = DrainState, Event = DrainEvent, Effect = DrainEffect>>,
+) -> Result<(), Violation> {
+    graph.check_states("active connections never exceed the cap", |s| s.active <= 2)?;
+    graph.check_edges("slot accounting never underflows", |_f, _e, effects, _t| {
+        !effects.contains(&DrainEffect::SlotUnderflow)
+    })?;
+    graph.check_edges(
+        "connections are only served while accepting",
+        |from, _event, effects, _to| {
+            !effects.contains(&DrainEffect::Serve) || from.lifecycle == Lifecycle::Accepting
+        },
+    )?;
+    graph.check_edges(
+        "a rejected connection takes no slot",
+        |from, _event, effects, to| {
+            !(effects.contains(&DrainEffect::RejectAtCapacity)
+                || effects.contains(&DrainEffect::RejectDraining))
+                || to.active == from.active
+        },
+    )?;
+    graph.check_eventually("drain always reaches stopped with zero leaked slots", |s| {
+        s.stopped() && s.active == 0
+    })
+}
+
+pub fn check_drain() -> Result<Report, Violation> {
+    let graph = Graph::explore(drain_config(), drain_events, MAX_STATES);
+    drain_invariants(&graph)?;
+    Ok(graph.report("drain(cap=2)"))
+}
+
+/// The slot-leak mutation must produce a counterexample.
+pub fn drain_mutation_counterexample() -> Option<Violation> {
+    let graph = Graph::explore(LeakSlotOnReject(drain_config()), drain_events, MAX_STATES);
+    drain_invariants(&graph).err()
+}
+
+// ---------------------------------------------------------------------------
+// P2PS reply-pipe routing
+// ---------------------------------------------------------------------------
+
+const PIPES: [u64; 2] = [0, 1];
+
+fn rpc_events(_state: &RpcState) -> Vec<RpcEvent> {
+    let mut events = Vec::new();
+    for &p in &PIPES {
+        events.push(RpcEvent::OpenPipe(p));
+        events.push(RpcEvent::ClosePipe(p));
+    }
+    for &t in &TOKENS {
+        for &p in &PIPES {
+            events.push(RpcEvent::SendRequest {
+                token: t,
+                reply_pipe: p,
+            });
+        }
+        events.push(RpcEvent::ResponseArrived(t));
+        events.push(RpcEvent::Forget(t));
+    }
+    events
+}
+
+pub fn check_rpc() -> Result<Report, Violation> {
+    let graph = Graph::explore(RpcMachine, rpc_events, MAX_STATES);
+    graph.check_states(
+        "every outstanding request's reply pipe is still open",
+        |s| s.pending.values().all(|p| s.open_pipes.contains(p)),
+    )?;
+    graph.check_edges(
+        "no reply is ever routed to a closed pipe",
+        |_from, _event, effects, _to| {
+            !effects
+                .iter()
+                .any(|e| matches!(e, RpcEffect::DropClosedPipe { .. }))
+        },
+    )?;
+    graph.check_edges(
+        "replies are delivered on pipes that are open",
+        |from, _event, effects, _to| {
+            effects.iter().all(|e| match e {
+                RpcEffect::DeliverReply { reply_pipe, .. } => from.open_pipes.contains(reply_pipe),
+                _ => true,
+            })
+        },
+    )?;
+    graph.check_eventually("outstanding requests can always drain", |s| {
+        s.pending.is_empty()
+    })?;
+    Ok(graph.report("rpc(pipes=2, tokens=2)"))
+}
+
+// ---------------------------------------------------------------------------
+// Composed pipeline: breaker × admission × correlation
+// ---------------------------------------------------------------------------
+
+fn composed_events(state: &ComposedState) -> Vec<ComposedEvent> {
+    let mut events = Vec::new();
+    if state.clock < 4 {
+        events.push(ComposedEvent::Tick);
+    }
+    for &t in &TOKENS {
+        let running = state.running.contains_key(&t);
+        if !running && state.calls.phase(t).is_none() {
+            events.push(ComposedEvent::StartCall(t));
+        }
+        if running {
+            events.push(ComposedEvent::Succeed(t));
+            events.push(ComposedEvent::Fail(t));
+            events.push(ComposedEvent::PanicCall(t));
+        }
+        if state.calls.phase(t).is_some() {
+            events.push(ComposedEvent::Take(t));
+            events.push(ComposedEvent::DropHandle(t));
+        }
+    }
+    events
+}
+
+fn composed_invariants(
+    graph: &Graph<
+        impl Machine<State = ComposedState, Event = ComposedEvent, Effect = ComposedEffect>,
+    >,
+) -> Result<(), Violation> {
+    graph.check_states(
+        "the admission permit count equals the number of running calls",
+        |s| s.admission.in_flight == s.running.len() as u64,
+    )?;
+    graph.check_states(
+        "a probe in flight is always carried by a running call (never stranded)",
+        |s| {
+            !matches!(
+                s.breaker,
+                BreakerState::Tripped {
+                    probe_in_flight: true,
+                    ..
+                }
+            ) || s.running.values().any(|&probe| probe)
+        },
+    )?;
+    graph.check_edges(
+        "a successful probe call closes the breaker",
+        |from, event, _effects, to| match event {
+            ComposedEvent::Succeed(t) if from.running.get(t) == Some(&true) => {
+                matches!(to.breaker, BreakerState::Closed { .. })
+            }
+            _ => true,
+        },
+    )?;
+    graph.check_edges("no permit ever underflows", |_f, _e, effects, _t| {
+        !effects.contains(&ComposedEffect::Admission(AdmissionEffect::PermitUnderflow))
+    })?;
+    graph.check_edges(
+        "a started call runs exactly when breaker and admission both said yes",
+        |_from, event, effects, to| match event {
+            ComposedEvent::StartCall(t) => {
+                let turned_away = effects.iter().any(|e| {
+                    matches!(
+                        e,
+                        ComposedEffect::RejectedByBreaker(_) | ComposedEffect::ShedByAdmission(_)
+                    )
+                });
+                to.running.contains_key(t) != turned_away
+            }
+            _ => true,
+        },
+    )?;
+    graph.check_eventually(
+        "all work can always settle: no running calls, empty correlation table",
+        |s| s.running.is_empty() && s.calls.calls.is_empty(),
+    )
+}
+
+pub fn check_composed() -> Result<Report, Violation> {
+    let graph = Graph::explore(ComposedMachine::small(), composed_events, MAX_STATES);
+    composed_invariants(&graph)?;
+    Ok(graph.report("composed breaker×admission×correlation(tokens=2, ticks<=4)"))
+}
+
+/// The half-open-reset mutation seeded into the composed pipeline must
+/// surface through both layers of composition.
+pub fn composed_mutation_counterexample() -> Option<Violation> {
+    let graph = Graph::explore(
+        ComposedSkipHalfOpenReset(ComposedMachine::small()),
+        composed_events,
+        MAX_STATES,
+    );
+    composed_invariants(&graph).err()
+}
+
+/// A long seeded walk over the composed pipeline with a wider clock
+/// than the exhaustive bound — cheap coverage beyond the exhausted
+/// configuration, reproducible under `WSP_FAULT_SEED`.
+pub fn composed_random_walk() -> Result<(), Violation> {
+    let machine = ComposedMachine {
+        max_ticks: u64::MAX,
+        ..ComposedMachine::small()
+    };
+    random_walk(
+        &machine,
+        |state| {
+            let mut events = composed_events(state);
+            events.push(ComposedEvent::Tick);
+            events
+        },
+        50_000,
+        fault_seed(),
+        |from, _event, effects, to| {
+            if to.admission.in_flight != to.running.len() as u64 {
+                return Err("permit count diverged from running calls".into());
+            }
+            if effects.contains(&ComposedEffect::Admission(AdmissionEffect::PermitUnderflow)) {
+                return Err("permit underflow".into());
+            }
+            let _ = from;
+            Ok(())
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Suite
+// ---------------------------------------------------------------------------
+
+/// Run every exhaustive check; first violation wins.
+pub fn run_all() -> Result<Vec<Report>, Violation> {
+    let reports = vec![
+        check_breaker()?,
+        check_admission()?,
+        check_correlation()?,
+        check_drain()?,
+        check_rpc()?,
+        check_composed()?,
+    ];
+    composed_random_walk()?;
+    Ok(reports)
+}
+
+/// DOT dump of a named machine's explored state graph (for docs and
+/// debugging): `breaker`, `admission`, `correlation`, `drain`, `rpc`.
+pub fn dot_for(name: &str) -> Option<String> {
+    match name {
+        "breaker" => Some(
+            Graph::explore(
+                Clocked {
+                    inner: breaker_config(),
+                    max_ticks: 4,
+                },
+                clocked_events,
+                MAX_STATES,
+            )
+            .dot("breaker"),
+        ),
+        "admission" => {
+            Some(Graph::explore(admission_config(), admission_events, MAX_STATES).dot("admission"))
+        }
+        "correlation" => Some(
+            Graph::explore(CorrelationMachine, correlation_events, MAX_STATES).dot("correlation"),
+        ),
+        "drain" => Some(Graph::explore(drain_config(), drain_events, MAX_STATES).dot("drain")),
+        "rpc" => Some(Graph::explore(RpcMachine, rpc_events, MAX_STATES).dot("rpc")),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_configuration_is_clean() {
+        let report = check_breaker().unwrap();
+        assert!(report.states > 10, "{report}");
+    }
+
+    #[test]
+    fn admission_configuration_is_clean() {
+        let report = check_admission().unwrap();
+        assert!(report.states >= 6, "{report}");
+    }
+
+    #[test]
+    fn correlation_configuration_is_clean() {
+        let report = check_correlation().unwrap();
+        assert_eq!(report.states, 16, "two tokens x four phases: {report}");
+    }
+
+    #[test]
+    fn drain_configuration_is_clean() {
+        let report = check_drain().unwrap();
+        assert!(report.states >= 12, "{report}");
+    }
+
+    #[test]
+    fn rpc_configuration_is_clean() {
+        let report = check_rpc().unwrap();
+        assert!(report.states > 10, "{report}");
+    }
+
+    #[test]
+    fn composed_configuration_is_clean() {
+        let report = check_composed().unwrap();
+        assert!(report.states > 100, "{report}");
+    }
+
+    #[test]
+    fn composed_random_walk_is_clean() {
+        composed_random_walk().unwrap();
+    }
+
+    #[test]
+    fn seeded_breaker_mutation_is_caught_with_a_trace() {
+        let violation = breaker_mutation_counterexample()
+            .expect("the skip-half-open-reset mutant must be condemned");
+        assert!(
+            violation.invariant.contains("closes the breaker")
+                || violation.invariant.contains("close again"),
+            "unexpected invariant: {}",
+            violation.invariant
+        );
+        assert!(
+            violation.trace.contains("Tripped"),
+            "trace should reach a tripped breaker:\n{}",
+            violation.trace
+        );
+    }
+
+    #[test]
+    fn seeded_drain_mutation_is_caught_with_a_trace() {
+        let violation =
+            drain_mutation_counterexample().expect("the slot-leak mutant must be condemned");
+        assert!(
+            violation.trace.contains("RejectAtCapacity"),
+            "{}",
+            violation.trace
+        );
+    }
+
+    #[test]
+    fn seeded_composed_mutation_is_caught_with_a_trace() {
+        let violation = composed_mutation_counterexample()
+            .expect("the composed skip-half-open-reset mutant must be condemned");
+        assert!(
+            violation.trace.contains("Succeed"),
+            "trace should include the swallowed success:\n{}",
+            violation.trace
+        );
+    }
+
+    #[test]
+    fn dot_dumps_exist_for_every_machine() {
+        for name in ["breaker", "admission", "correlation", "drain", "rpc"] {
+            let dot = dot_for(name).unwrap();
+            assert!(dot.starts_with(&format!("digraph {name}")), "{name}");
+        }
+        assert!(dot_for("nonsense").is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Deliberately broken machines proving the checker catches real
+//! protocol bugs (mutation testing for the invariant suite).
+//!
+//! Each wrapper delegates to the genuine machine and sabotages one
+//! transition — the kind of bug a hand-rolled implementation actually
+//! grows. The tests in [`crate::checks`] assert that exploration of a
+//! mutant produces a counterexample trace, so a green invariant suite
+//! means the invariants are load-bearing, not vacuous.
+
+use crate::composed::{ComposedEvent, ComposedMachine, ComposedState};
+use wsp_core::machines::breaker::{BreakerEvent, BreakerMachine, BreakerState};
+use wsp_http::drain::{DrainEffect, DrainEvent, DrainMachine, DrainState};
+use wsp_simnet::Machine;
+
+/// Mutation: a successful call while the breaker is tripped does *not*
+/// reset it — the classic "forgot to close on half-open success" bug.
+/// The breaker stays open (with the probe slot stranded) forever.
+#[derive(Debug, Clone)]
+pub struct SkipHalfOpenReset(pub BreakerMachine);
+
+impl Machine for SkipHalfOpenReset {
+    type State = BreakerState;
+    type Event = BreakerEvent;
+    type Effect = <BreakerMachine as Machine>::Effect;
+
+    fn initial(&self) -> BreakerState {
+        self.0.initial()
+    }
+
+    fn step(
+        &self,
+        state: &BreakerState,
+        event: &BreakerEvent,
+    ) -> (BreakerState, Vec<Self::Effect>) {
+        if matches!(state, BreakerState::Tripped { .. }) && matches!(event, BreakerEvent::Success) {
+            // The bug: swallow the success instead of closing.
+            return (*state, vec![]);
+        }
+        self.0.step(state, event)
+    }
+}
+
+/// The same bug injected into the composed pipeline, where it must
+/// surface through two layers of composition.
+#[derive(Debug, Clone)]
+pub struct ComposedSkipHalfOpenReset(pub ComposedMachine);
+
+impl Machine for ComposedSkipHalfOpenReset {
+    type State = ComposedState;
+    type Event = ComposedEvent;
+    type Effect = <ComposedMachine as Machine>::Effect;
+
+    fn initial(&self) -> ComposedState {
+        self.0.initial()
+    }
+
+    fn step(
+        &self,
+        state: &ComposedState,
+        event: &ComposedEvent,
+    ) -> (ComposedState, Vec<Self::Effect>) {
+        if let ComposedEvent::Succeed(t) = event {
+            if matches!(state.breaker, BreakerState::Tripped { .. })
+                && state.running.contains_key(t)
+            {
+                // The bug: deliver the result and release the permit,
+                // but never tell the breaker.
+                let (mut next, effects) = self.0.step(state, event);
+                next.breaker = state.breaker;
+                let effects = effects
+                    .into_iter()
+                    .filter(|e| !matches!(e, crate::composed::ComposedEffect::Breaker(_)))
+                    .collect();
+                return (next, effects);
+            }
+        }
+        self.0.step(state, event)
+    }
+}
+
+/// Mutation: a connection rejected at the capacity cap still counts a
+/// slot — the accounting leak the `ActiveGuard` pairing exists to
+/// prevent. Drain can then never observe zero active connections.
+#[derive(Debug, Clone)]
+pub struct LeakSlotOnReject(pub DrainMachine);
+
+impl Machine for LeakSlotOnReject {
+    type State = DrainState;
+    type Event = DrainEvent;
+    type Effect = DrainEffect;
+
+    fn initial(&self) -> DrainState {
+        self.0.initial()
+    }
+
+    fn step(&self, state: &DrainState, event: &DrainEvent) -> (DrainState, Vec<DrainEffect>) {
+        let (mut next, effects) = self.0.step(state, event);
+        if effects.contains(&DrainEffect::RejectAtCapacity) {
+            // The bug: the reject path forgot it never took a slot.
+            next.active += 1;
+        }
+        (next, effects)
+    }
+}

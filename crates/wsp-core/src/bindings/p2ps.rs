@@ -395,6 +395,10 @@ fn request_over_pipe(
     // worker making a nested call still serves incoming requests).
     let result = handle.wait_timeout(request_timeout);
     shared.pending_requests.lock().remove(&token);
+    // Closing the return pipe abandons any request still correlated to
+    // it: on the timeout path the response never arrived, and without
+    // this the MessageID → token entry leaked forever.
+    shared.correlator.lock().pipe_closed(&return_pipe);
     shared.peer.close_pipe(return_pipe);
     match result {
         Ok(envelope) => {

@@ -15,7 +15,7 @@ use crate::error::WspError;
 use crate::events::{
     ClientMessageEvent, DiscoveryMessageEvent, EventBus, ResilienceAction, ResilienceMessageEvent,
 };
-use crate::health::{Admission, EndpointHealth};
+use crate::health::{Admission, EndpointHealth, ProbeGuard};
 use crate::overload::{self, DeadlineScope};
 use crate::query::{QueryExpr, ServiceQuery};
 use crate::resilience::ResiliencePolicy;
@@ -372,8 +372,15 @@ impl ResilientAttempts<'_> {
                 endpoint: service.endpoint.clone(),
             });
         }
+        // If this attempt is the half-open probe, guard it: a panic in
+        // the invoker (or any path that skips the outcome report below)
+        // must not strand the probe slot — the guard's Drop routes a
+        // ProbeAborted event and the breaker re-opens for a fresh
+        // cooldown.
+        let mut probe_guard = None;
         if admission == Admission::Probe {
             self.fire(service, ResilienceAction::BreakerProbe);
+            probe_guard = Some(ProbeGuard::arm(breaker.clone()));
         }
         let result = match self.invokers.iter().find(|i| i.handles(&service.endpoint)) {
             Some(invoker) => {
@@ -401,15 +408,23 @@ impl ResilientAttempts<'_> {
         };
         match &result {
             Ok(_) => {
+                if let Some(guard) = probe_guard.take() {
+                    guard.disarm();
+                }
                 if breaker.on_success(Instant::now()) {
                     self.fire(service, ResilienceAction::BreakerRecovered);
                 }
             }
             Err(e) if e.counts_against_endpoint() => {
+                if let Some(guard) = probe_guard.take() {
+                    guard.disarm();
+                }
                 if breaker.on_failure(Instant::now()) {
                     self.fire(service, ResilienceAction::BreakerTripped);
                 }
             }
+            // Non-counting errors report no outcome: a still-armed
+            // probe guard drops here and aborts the probe.
             Err(_) => {}
         }
         result
@@ -860,6 +875,70 @@ mod tests {
         assert!(actions
             .iter()
             .any(|e| matches!(e.action, ResilienceAction::BreakerTripped)));
+    }
+
+    #[test]
+    fn panicking_probe_reopens_the_breaker_instead_of_stranding_it() {
+        // Trip the breaker with transport failures, wait out a short
+        // cooldown, then have the half-open probe attempt panic inside
+        // the invoker. The ProbeGuard must route ProbeAborted so the
+        // breaker re-opens with the probe slot free — not stay wedged
+        // with probe_in_flight=true rejecting every future caller.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct TripThenPanicInvoker {
+            calls: AtomicU32,
+        }
+        impl Invoker for TripThenPanicInvoker {
+            fn invoke(
+                &self,
+                _service: &LocatedService,
+                _operation: &str,
+                _args: &[Value],
+            ) -> Result<Value, WspError> {
+                let n = self.calls.fetch_add(1, Ordering::SeqCst);
+                if n < 3 {
+                    Err(WspError::Transport("down".into()))
+                } else {
+                    panic!("probe attempt exploded");
+                }
+            }
+            fn handles(&self, endpoint: &str) -> bool {
+                endpoint.starts_with("test://")
+            }
+            fn kind(&self) -> &'static str {
+                "trip-then-panic"
+            }
+        }
+        let client = Client::new(EventBus::new());
+        client.health().set_config(crate::BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(50),
+        });
+        client.add_invoker(Arc::new(TripThenPanicInvoker {
+            calls: AtomicU32::new(0),
+        }));
+        let service = test_service();
+        // Three failing attempts trip the breaker.
+        let handle = client.invoke_async_with_policy(
+            service.clone(),
+            "echoString",
+            vec![],
+            instant_policy(3),
+        );
+        assert!(handle.wait().is_err());
+        let breaker = client.health().breaker(&service.endpoint);
+        assert_eq!(breaker.state(Instant::now()), crate::BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(60));
+        // The probe attempt panics; the waiter re-panics with it.
+        let handle = client.invoke_async(service.clone(), "echoString", vec![]);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
+        assert!(unwound.is_err(), "poisoned handle re-panics the waiter");
+        // The guard freed the probe slot and re-opened the breaker.
+        assert!(!breaker.probe_in_flight(), "probe slot must not strand");
+        assert_eq!(breaker.state(Instant::now()), crate::BreakerState::Open);
+        // After a fresh cooldown the breaker admits a new probe.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(breaker.try_acquire(Instant::now()), Admission::Probe);
     }
 
     #[test]

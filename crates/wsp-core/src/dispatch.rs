@@ -27,16 +27,31 @@
 //! as an error) and bumps the `failed` counter, but the worker thread
 //! survives.
 
+//! The token lifecycle itself — registered → completed/poisoned/
+//! cancelled → taken — lives in the pure
+//! [`crate::machines::correlation::CorrelationMachine`]; this module is
+//! its runtime shell. Every lifecycle transition steps the machine
+//! under one mutex (the machine state *is* the correlation table);
+//! values and panic messages travel through per-call mailboxes the
+//! effects point at. Lock order is always machine → mailbox, and
+//! waiters re-check their mailbox on a short condvar timeout, so a
+//! missed notify can only delay a wake, never lose one. `wsp-check`
+//! exhaustively explores the machine; the tests here exercise the
+//! shell around it.
+
 use crate::error::WspError;
+use crate::machines::correlation::{
+    CorrelationEffect, CorrelationEvent, CorrelationMachine, CorrelationState,
+};
 use crate::overload::DeadlineScope;
 use crate::telemetry::{self, CorrelationScope, Counter, Histogram};
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wsp_simnet::Machine;
 
 /// Sizing knobs for a [`Dispatcher`].
 #[derive(Debug, Clone)]
@@ -96,39 +111,28 @@ struct Job {
     deadline: Option<Instant>,
 }
 
-/// State of one pending call.
-enum Slot<T> {
-    Pending,
-    Ready(T),
-    Taken,
-    Cancelled,
+/// What a completed (or poisoned) call leaves in its mailbox. The
+/// *authority* on whether mail may be read or written is the
+/// correlation machine; the mailbox is dumb storage plus a condvar.
+enum Mail<T> {
+    Value(T),
     /// The job producing this result panicked; the message survives.
-    Poisoned(String),
+    Poison(String),
 }
 
 struct CallState<T> {
-    slot: Mutex<Slot<T>>,
+    mail: Mutex<Option<Mail<T>>>,
     cv: Condvar,
-}
-
-/// Type-erased view of a pending call, for the correlation table.
-trait AnyCall: Send + Sync {
-    /// No longer waiting for a result.
-    fn is_settled(&self) -> bool;
-}
-
-impl<T: Send> AnyCall for CallState<T> {
-    fn is_settled(&self) -> bool {
-        !matches!(*self.slot.lock(), Slot::Pending)
-    }
 }
 
 struct Inner {
     /// `None` once shutdown has begun; taking it disconnects workers.
     jobs_tx: Mutex<Option<Sender<Job>>>,
     jobs_rx: Receiver<Job>,
-    /// The correlation table: token → call awaiting its result.
-    table: Mutex<HashMap<u64, Weak<dyn AnyCall>>>,
+    machine: CorrelationMachine,
+    /// The correlation table: the pure machine's state, stepped under
+    /// this mutex. Always locked BEFORE any call's mailbox.
+    calls: Mutex<CorrelationState>,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
@@ -205,8 +209,14 @@ impl Inner {
         self.idle_cv.notify_all();
     }
 
-    fn settle(&self, token: u64) {
-        self.table.lock().remove(&token);
+    /// Step the correlation machine under its lock and return the
+    /// effects. Composite operations that must write a mailbox in the
+    /// same critical section lock `calls` themselves instead.
+    fn step_call(&self, event: CorrelationEvent) -> Vec<CorrelationEffect> {
+        let mut calls = self.calls.lock();
+        let (next, effects) = self.machine.step(&calls, &event);
+        *calls = next;
+        effects
     }
 }
 
@@ -240,10 +250,7 @@ impl<T: Send + 'static> CallHandle<T> {
 
     /// Has a result arrived (or the call been poisoned)?
     pub fn is_complete(&self) -> bool {
-        matches!(
-            *self.state.slot.lock(),
-            Slot::Ready(_) | Slot::Taken | Slot::Poisoned(_)
-        )
+        self.state.mail.lock().is_some()
     }
 
     /// Non-blocking snapshot of the result, leaving it in place.
@@ -251,8 +258,8 @@ impl<T: Send + 'static> CallHandle<T> {
     where
         T: Clone,
     {
-        match &*self.state.slot.lock() {
-            Slot::Ready(value) => Some(value.clone()),
+        match &*self.state.mail.lock() {
+            Some(Mail::Value(value)) => Some(value.clone()),
             _ => None,
         }
     }
@@ -274,34 +281,55 @@ impl<T: Send + 'static> CallHandle<T> {
         self.wait_until(Some(Instant::now() + timeout))
     }
 
+    /// Step a `Take` event through the correlation machine. Returns the
+    /// value on `YieldValue`, re-panics the waiter on `PanicWaiter`
+    /// (with every lock released first), and returns `None` while the
+    /// call is still pending. Lock order: machine, then mailbox.
+    fn try_take(&self) -> Option<T> {
+        let mut calls = self.inner.calls.lock();
+        let (next, effects) = self
+            .inner
+            .machine
+            .step(&calls, &CorrelationEvent::Take(self.token));
+        *calls = next;
+        match effects.first() {
+            Some(CorrelationEffect::YieldValue(_)) => {
+                let mail = self.state.mail.lock().take();
+                drop(calls);
+                match mail {
+                    Some(Mail::Value(value)) => Some(value),
+                    _ => unreachable!("machine yielded a value the mailbox never received"),
+                }
+            }
+            Some(CorrelationEffect::PanicWaiter(_)) => {
+                let mail = self.state.mail.lock().take();
+                drop(calls);
+                let message = match mail {
+                    Some(Mail::Poison(message)) => message,
+                    _ => "job panicked".to_owned(),
+                };
+                panic!("call {} panicked: {message}", self.token);
+            }
+            _ => None,
+        }
+    }
+
     fn wait_until(self, deadline: Option<Instant>) -> Result<T, CallHandle<T>> {
         loop {
-            {
-                let mut slot = self.state.slot.lock();
-                match std::mem::replace(&mut *slot, Slot::Taken) {
-                    Slot::Ready(value) => {
-                        drop(slot);
-                        self.inner.settle(self.token);
-                        return Ok(value);
-                    }
-                    Slot::Poisoned(message) => {
-                        drop(slot);
-                        self.inner.settle(self.token);
-                        panic!("call {} panicked: {message}", self.token);
-                    }
-                    other => *slot = other,
-                }
+            if let Some(value) = self.try_take() {
+                return Ok(value);
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 return Err(self);
             }
             // Help: run one queued job; only sleep when the queue is
             // empty, and then only briefly so external completions are
-            // picked up promptly.
+            // picked up promptly (and a notify racing this check is
+            // recovered by the timeout).
             if !self.inner.try_run_one() {
-                let mut slot = self.state.slot.lock();
-                if matches!(*slot, Slot::Pending) {
-                    self.state.cv.wait_for(&mut slot, Duration::from_millis(5));
+                let mut mail = self.state.mail.lock();
+                if mail.is_none() {
+                    self.state.cv.wait_for(&mut mail, Duration::from_millis(5));
                 }
             }
         }
@@ -314,29 +342,16 @@ impl<T: Send + 'static> CallHandle<T> {
     /// parked here is one worker fewer to run the job it waits for).
     fn wait_until_passive(self, deadline: Instant) -> Result<T, CallHandle<T>> {
         loop {
-            {
-                let mut slot = self.state.slot.lock();
-                match std::mem::replace(&mut *slot, Slot::Taken) {
-                    Slot::Ready(value) => {
-                        drop(slot);
-                        self.inner.settle(self.token);
-                        return Ok(value);
-                    }
-                    Slot::Poisoned(message) => {
-                        drop(slot);
-                        self.inner.settle(self.token);
-                        panic!("call {} panicked: {message}", self.token);
-                    }
-                    other => *slot = other,
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    drop(slot);
-                    return Err(self);
-                }
-                if matches!(*slot, Slot::Pending) {
-                    self.state.cv.wait_for(&mut slot, deadline - now);
-                }
+            if let Some(value) = self.try_take() {
+                return Ok(value);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(self);
+            }
+            let mut mail = self.state.mail.lock();
+            if mail.is_none() {
+                self.state.cv.wait_for(&mut mail, deadline - now);
             }
         }
     }
@@ -344,15 +359,33 @@ impl<T: Send + 'static> CallHandle<T> {
     /// Abandon the call. A result arriving later is dropped. Returns
     /// `false` if the call had already completed.
     pub fn cancel(self) -> bool {
-        let mut slot = self.state.slot.lock();
-        if matches!(*slot, Slot::Pending) {
-            *slot = Slot::Cancelled;
-            drop(slot);
+        let effects = self.inner.step_call(CorrelationEvent::Cancel(self.token));
+        let cancelled = effects
+            .iter()
+            .any(|e| matches!(e, CorrelationEffect::CountCancelled(_)));
+        if cancelled {
             self.inner.cancelled.fetch_add(1, Ordering::SeqCst);
-            self.inner.settle(self.token);
-            true
-        } else {
-            false
+        }
+        // Dropping `self` now steps a second Cancel, which the machine
+        // treats as a no-op: the token is already gone.
+        cancelled
+    }
+}
+
+impl<T> Drop for CallHandle<T> {
+    /// Dropping a handle before completion is an eager, explicit
+    /// cancellation: the correlation-table entry is removed NOW — not
+    /// when a late result happens to arrive, not at dispatcher
+    /// teardown. An unclaimed delivered result is discarded the same
+    /// way. After `wait`/`cancel` consumed the call, the machine sees
+    /// an unknown token and this is a no-op.
+    fn drop(&mut self) {
+        let effects = self.inner.step_call(CorrelationEvent::Cancel(self.token));
+        if effects
+            .iter()
+            .any(|e| matches!(e, CorrelationEffect::CountCancelled(_)))
+        {
+            self.inner.cancelled.fetch_add(1, Ordering::SeqCst);
         }
     }
 }
@@ -408,12 +441,22 @@ impl<T: Send + 'static> Completer<T> {
     /// Deliver the result. Returns `false` if the call was cancelled
     /// or already completed (the value is dropped in that case).
     pub fn complete(self, value: T) -> bool {
-        let mut slot = self.state.slot.lock();
-        if matches!(*slot, Slot::Pending) {
-            *slot = Slot::Ready(value);
+        // The mailbox is written while still holding the machine lock,
+        // so a waiter whose Take was answered with YieldValue always
+        // finds its mail.
+        let mut calls = self.inner.calls.lock();
+        let (next, effects) = self
+            .inner
+            .machine
+            .step(&calls, &CorrelationEvent::Complete(self.token));
+        *calls = next;
+        if effects
+            .iter()
+            .any(|e| matches!(e, CorrelationEffect::DeliverValue(_)))
+        {
+            let mut mail = self.state.mail.lock();
+            *mail = Some(Mail::Value(value));
             self.state.cv.notify_all();
-            drop(slot);
-            self.inner.settle(self.token);
             true
         } else {
             false
@@ -421,12 +464,19 @@ impl<T: Send + 'static> Completer<T> {
     }
 
     fn poison(self, message: String) {
-        let mut slot = self.state.slot.lock();
-        if matches!(*slot, Slot::Pending) {
-            *slot = Slot::Poisoned(message);
+        let mut calls = self.inner.calls.lock();
+        let (next, effects) = self
+            .inner
+            .machine
+            .step(&calls, &CorrelationEvent::Poison(self.token));
+        *calls = next;
+        if effects
+            .iter()
+            .any(|e| matches!(e, CorrelationEffect::DeliverPoison(_)))
+        {
+            let mut mail = self.state.mail.lock();
+            *mail = Some(Mail::Poison(message));
             self.state.cv.notify_all();
-            drop(slot);
-            self.inner.settle(self.token);
         }
     }
 }
@@ -453,7 +503,8 @@ impl Dispatcher {
         let inner = Arc::new(Inner {
             jobs_tx: Mutex::new(Some(jobs_tx)),
             jobs_rx,
-            table: Mutex::new(HashMap::new()),
+            machine: CorrelationMachine,
+            calls: Mutex::new(CorrelationMachine.initial()),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -538,10 +589,9 @@ impl Dispatcher {
         });
         match self.enqueue(job, true, None) {
             Ok(()) => Ok(handle),
-            Err(e) => {
-                self.inner.settle(token);
-                Err(e)
-            }
+            // On failure `handle` drops here: its Cancel event removes
+            // the just-registered correlation entry eagerly.
+            Err(e) => Err(e),
         }
     }
 
@@ -602,10 +652,7 @@ impl Dispatcher {
         });
         match self.enqueue(job, false, None) {
             Ok(()) => Ok(handle),
-            Err(e) => {
-                self.inner.settle(token);
-                Err(e)
-            }
+            Err(e) => Err(e),
         }
     }
 
@@ -664,14 +711,10 @@ impl Dispatcher {
     /// when a response arrives off the network), not by a pool job.
     pub fn register<T: Send + 'static>(&self, token: u64) -> (CallHandle<T>, Completer<T>) {
         let state = Arc::new(CallState {
-            slot: Mutex::new(Slot::Pending),
+            mail: Mutex::new(None),
             cv: Condvar::new(),
         });
-        let erased: Arc<dyn AnyCall> = state.clone();
-        self.inner
-            .table
-            .lock()
-            .insert(token, Arc::downgrade(&erased));
+        self.inner.step_call(CorrelationEvent::Register(token));
         (
             CallHandle {
                 token,
@@ -750,9 +793,7 @@ impl Dispatcher {
 
     /// Tokens still awaiting results (the live correlation table).
     pub fn pending_tokens(&self) -> Vec<u64> {
-        let mut table = self.inner.table.lock();
-        table.retain(|_, weak| weak.upgrade().is_some_and(|call| !call.is_settled()));
-        table.keys().copied().collect()
+        self.inner.calls.lock().table_tokens()
     }
 
     /// Counter snapshot.
@@ -878,6 +919,38 @@ mod tests {
         assert!(handle.cancel());
         assert!(!completer.complete(9), "completion after cancel is dropped");
         assert_eq!(d.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn dropping_a_pending_handle_eagerly_removes_its_table_entry() {
+        let d = small();
+        let (handle, completer) = d.register::<u32>(d.next_token());
+        let token = handle.token();
+        assert_eq!(d.pending_tokens(), vec![token]);
+        // Dropping the handle (no wait, no explicit cancel) is an
+        // eager Cancel: the entry leaves the table NOW, and counts as
+        // a cancellation.
+        drop(handle);
+        assert!(
+            d.pending_tokens().is_empty(),
+            "entry must not linger until a late result or teardown"
+        );
+        assert_eq!(d.stats().cancelled, 1);
+        assert_eq!(d.stats().pending_calls, 0);
+        // A late completion is dropped, exactly like an explicit cancel.
+        assert!(!completer.complete(99));
+    }
+
+    #[test]
+    fn dropping_a_completed_but_unclaimed_handle_leaves_no_residue() {
+        let d = small();
+        let (handle, completer) = d.register::<u32>(d.next_token());
+        assert!(completer.complete(5));
+        // Completed, never taken: dropping discards the unclaimed
+        // result without counting a cancellation.
+        drop(handle);
+        assert!(d.pending_tokens().is_empty());
+        assert_eq!(d.stats().cancelled, 0);
     }
 
     #[test]

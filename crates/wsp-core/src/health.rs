@@ -17,11 +17,24 @@
 //!
 //! All methods take an explicit `now: Instant` so transitions are unit
 //! testable without sleeping.
+//!
+//! Every transition decision lives in the pure
+//! [`crate::machines::breaker::BreakerMachine`]; this module is its
+//! runtime shell. The shell converts `Instant`s to logical ticks
+//! (nanoseconds since a per-breaker epoch), feeds events through
+//! [`wsp_simnet::Machine::step`] under one mutex, and translates the
+//! returned effects back into the boolean/`Admission` results the
+//! callers expect. `wsp-check` exhaustively explores the machine; the
+//! tests here exercise the shell around it.
 
+use crate::machines::breaker::{
+    Admit, BreakerEffect, BreakerEvent, BreakerMachine, BreakerState as MachineState, Phase,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wsp_simnet::Machine;
 
 /// Tuning for the per-endpoint breakers.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,98 +73,150 @@ pub enum Admission {
     Rejected,
 }
 
-#[derive(Debug)]
-struct BreakerInner {
-    consecutive_failures: u32,
-    /// Set while open / half-open: when the breaker tripped.
-    opened_at: Option<Instant>,
-    /// A half-open probe has been admitted and has not yet reported.
-    probe_in_flight: bool,
-}
-
-/// One endpoint's circuit breaker. Thread-safe; all transitions happen
-/// under one mutex so concurrent callers observe a consistent state.
+/// One endpoint's circuit breaker: the runtime shell around
+/// [`BreakerMachine`]. Thread-safe; every event steps the machine under
+/// one mutex so concurrent callers observe a consistent state.
 #[derive(Debug)]
 pub struct CircuitBreaker {
-    config: BreakerConfig,
-    inner: Mutex<BreakerInner>,
+    machine: BreakerMachine,
+    /// Wall-clock origin for logical ticks: `Instant`s are converted to
+    /// nanoseconds since this epoch before entering the pure machine.
+    epoch: Instant,
+    state: Mutex<MachineState>,
 }
 
 impl CircuitBreaker {
     pub fn new(config: BreakerConfig) -> Self {
+        let machine = BreakerMachine {
+            failure_threshold: config.failure_threshold,
+            cooldown: config.cooldown.as_nanos() as u64,
+        };
+        let state = Mutex::new(machine.initial());
         CircuitBreaker {
-            config,
-            inner: Mutex::new(BreakerInner {
-                consecutive_failures: 0,
-                opened_at: None,
-                probe_in_flight: false,
-            }),
+            machine,
+            epoch: Instant::now(),
+            state,
         }
+    }
+
+    fn ticks(&self, now: Instant) -> u64 {
+        now.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    fn step(&self, event: BreakerEvent) -> Vec<BreakerEffect> {
+        let mut state = self.state.lock();
+        let (next, effects) = self.machine.step(&state, &event);
+        *state = next;
+        effects
     }
 
     /// The state an observer at `now` sees.
     pub fn state(&self, now: Instant) -> BreakerState {
-        let inner = self.inner.lock();
-        match inner.opened_at {
-            None => BreakerState::Closed,
-            Some(at) if now.duration_since(at) >= self.config.cooldown => BreakerState::HalfOpen,
-            Some(_) => BreakerState::Open,
+        match self.machine.phase(&self.state.lock(), self.ticks(now)) {
+            Phase::Closed => BreakerState::Closed,
+            Phase::Open => BreakerState::Open,
+            Phase::HalfOpen => BreakerState::HalfOpen,
         }
     }
 
     /// Ask to attempt a call at `now`.
     pub fn try_acquire(&self, now: Instant) -> Admission {
-        let mut inner = self.inner.lock();
-        match inner.opened_at {
-            None => Admission::Allowed,
-            Some(at) if now.duration_since(at) >= self.config.cooldown => {
-                if inner.probe_in_flight {
-                    Admission::Rejected
-                } else {
-                    inner.probe_in_flight = true;
-                    Admission::Probe
-                }
-            }
-            Some(_) => Admission::Rejected,
+        let effects = self.step(BreakerEvent::Acquire {
+            now: self.ticks(now),
+        });
+        match effects.first() {
+            Some(BreakerEffect::Admit(Admit::Allowed)) => Admission::Allowed,
+            Some(BreakerEffect::Admit(Admit::Probe)) => Admission::Probe,
+            _ => Admission::Rejected,
         }
     }
 
     /// Report a successful attempt. Returns `true` if this success
     /// *closed* a tripped breaker (the half-open probe succeeded).
     pub fn on_success(&self, _now: Instant) -> bool {
-        let mut inner = self.inner.lock();
-        let recovered = inner.opened_at.is_some();
-        inner.opened_at = None;
-        inner.probe_in_flight = false;
-        inner.consecutive_failures = 0;
-        recovered
+        self.step(BreakerEvent::Success)
+            .contains(&BreakerEffect::Recovered)
     }
 
     /// Report a failed attempt. Returns `true` if this failure tripped
     /// the breaker (closed → open, or a failed half-open probe
     /// re-opening).
     pub fn on_failure(&self, now: Instant) -> bool {
-        let mut inner = self.inner.lock();
-        if inner.opened_at.is_some() {
-            // A failure while open/half-open (the probe, or a straggler
-            // from before the trip) restarts the cooldown.
-            let was_probe = inner.probe_in_flight;
-            inner.probe_in_flight = false;
-            inner.opened_at = Some(now);
-            return was_probe;
-        }
-        inner.consecutive_failures += 1;
-        if inner.consecutive_failures >= self.config.failure_threshold {
-            inner.opened_at = Some(now);
-            inner.probe_in_flight = false;
-            return true;
-        }
-        false
+        self.step(BreakerEvent::Failure {
+            now: self.ticks(now),
+        })
+        .contains(&BreakerEffect::Tripped)
+    }
+
+    /// Report that an admitted half-open probe unwound (panicked)
+    /// without reporting an outcome. Re-opens the breaker for a fresh
+    /// cooldown instead of stranding the probe slot. Returns `true` if
+    /// a probe was actually discarded.
+    pub fn on_probe_aborted(&self, now: Instant) -> bool {
+        self.step(BreakerEvent::ProbeAborted {
+            now: self.ticks(now),
+        })
+        .contains(&BreakerEffect::ProbeDiscarded)
     }
 
     /// Consecutive failures recorded while closed.
     pub fn consecutive_failures(&self) -> u32 {
-        self.inner.lock().consecutive_failures
+        match *self.state.lock() {
+            MachineState::Closed { failures } => failures,
+            MachineState::Tripped { .. } => 0,
+        }
+    }
+
+    /// Is a half-open probe currently admitted and unreported?
+    pub fn probe_in_flight(&self) -> bool {
+        matches!(
+            *self.state.lock(),
+            MachineState::Tripped {
+                probe_in_flight: true,
+                ..
+            }
+        )
+    }
+}
+
+/// RAII guard for an admitted half-open probe.
+///
+/// Armed when the breaker grants [`Admission::Probe`]; if the attempt
+/// unwinds (panics) — or otherwise returns without reporting an
+/// outcome — the guard's `Drop` routes a
+/// [`crate::machines::breaker::BreakerEvent::ProbeAborted`] through the
+/// machine, re-opening the breaker for a fresh cooldown instead of
+/// stranding `probe_in_flight` and rejecting every future caller.
+/// Call [`disarm`](ProbeGuard::disarm) right before reporting
+/// success/failure normally.
+#[must_use = "dropping immediately would abort the probe it guards"]
+pub struct ProbeGuard {
+    breaker: Arc<CircuitBreaker>,
+    armed: bool,
+}
+
+impl ProbeGuard {
+    /// Arm a guard for a probe just admitted by `breaker`.
+    pub fn arm(breaker: Arc<CircuitBreaker>) -> Self {
+        ProbeGuard {
+            breaker,
+            armed: true,
+        }
+    }
+
+    /// The outcome is about to be reported through
+    /// [`CircuitBreaker::on_success`]/[`on_failure`](CircuitBreaker::on_failure):
+    /// the guard stands down.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ProbeGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.breaker.on_probe_aborted(Instant::now());
+        }
     }
 }
 
@@ -159,16 +224,22 @@ impl CircuitBreaker {
 /// endpoint URI, shared by every caller that consults it.
 #[derive(Default)]
 pub struct EndpointHealth {
-    config: BreakerConfig,
+    config: RwLock<BreakerConfig>,
     breakers: RwLock<HashMap<String, Arc<CircuitBreaker>>>,
 }
 
 impl EndpointHealth {
     pub fn new(config: BreakerConfig) -> Self {
         EndpointHealth {
-            config,
+            config: RwLock::new(config),
             breakers: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Replace the config used for breakers created *from now on*.
+    /// Existing breakers keep the config they were built with.
+    pub fn set_config(&self, config: BreakerConfig) {
+        *self.config.write() = config;
     }
 
     /// The breaker for `endpoint`, created closed on first touch.
@@ -176,9 +247,10 @@ impl EndpointHealth {
         if let Some(existing) = self.breakers.read().get(endpoint) {
             return existing.clone();
         }
+        let config = self.config.read().clone();
         let mut map = self.breakers.write();
         map.entry(endpoint.to_owned())
-            .or_insert_with(|| Arc::new(CircuitBreaker::new(self.config.clone())))
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(config)))
             .clone()
     }
 
@@ -199,7 +271,7 @@ impl EndpointHealth {
     pub fn is_admitting(&self, endpoint: &str, now: Instant) -> bool {
         match self.breaker(endpoint).state(now) {
             BreakerState::Closed => true,
-            BreakerState::HalfOpen => !self.breaker(endpoint).inner.lock().probe_in_flight,
+            BreakerState::HalfOpen => !self.breaker(endpoint).probe_in_flight(),
             BreakerState::Open => false,
         }
     }
@@ -364,6 +436,79 @@ mod tests {
             );
             assert_eq!(rejects, 1, "round {round}: the loser is rejected");
         }
+    }
+
+    #[test]
+    fn aborted_probe_reopens_for_a_fresh_cooldown() {
+        let b = CircuitBreaker::new(quick_config());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let probe_at = t0 + Duration::from_millis(150);
+        assert_eq!(b.try_acquire(probe_at), Admission::Probe);
+        assert!(b.probe_in_flight());
+        let abort_at = probe_at + Duration::from_millis(10);
+        assert!(b.on_probe_aborted(abort_at), "a probe was discarded");
+        assert!(!b.probe_in_flight(), "the slot is freed");
+        assert_eq!(b.state(abort_at), BreakerState::Open, "re-opened");
+        // The new cooldown runs from the abort; a fresh probe follows.
+        assert_eq!(
+            b.try_acquire(abort_at + Duration::from_millis(50)),
+            Admission::Rejected
+        );
+        assert_eq!(
+            b.try_acquire(abort_at + Duration::from_millis(120)),
+            Admission::Probe
+        );
+        // Aborting with no probe in flight is a no-op.
+        assert!(b.on_success(abort_at + Duration::from_millis(120)));
+        assert!(!b.on_probe_aborted(abort_at + Duration::from_millis(130)));
+    }
+
+    #[test]
+    fn probe_guard_dropped_by_panic_reopens_the_breaker() {
+        let b = Arc::new(CircuitBreaker::new(quick_config()));
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let probe_at = t0 + Duration::from_millis(150);
+        assert_eq!(b.try_acquire(probe_at), Admission::Probe);
+        let guard = ProbeGuard::arm(b.clone());
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = guard;
+            panic!("probe attempt died");
+        }));
+        assert!(unwound.is_err());
+        assert!(!b.probe_in_flight(), "the unwind freed the probe slot");
+        // Re-opened, and after the fresh cooldown a new probe is
+        // admitted — nobody is locked out forever.
+        let now = Instant::now();
+        assert_eq!(b.state(now), BreakerState::Open);
+        assert_eq!(
+            b.try_acquire(now + Duration::from_millis(150)),
+            Admission::Probe
+        );
+    }
+
+    #[test]
+    fn disarmed_probe_guard_is_inert() {
+        let b = Arc::new(CircuitBreaker::new(quick_config()));
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let probe_at = t0 + Duration::from_millis(150);
+        assert_eq!(b.try_acquire(probe_at), Admission::Probe);
+        let guard = ProbeGuard::arm(b.clone());
+        guard.disarm();
+        assert!(
+            b.probe_in_flight(),
+            "disarm reports nothing; the caller's outcome report does"
+        );
+        assert!(b.on_success(probe_at), "probe success closes normally");
+        assert_eq!(b.state(probe_at), BreakerState::Closed);
     }
 
     #[test]

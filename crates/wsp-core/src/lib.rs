@@ -84,6 +84,7 @@ pub mod endpoint;
 pub mod error;
 pub mod events;
 pub mod health;
+pub mod machines;
 pub mod overload;
 pub mod peer;
 pub mod query;
@@ -103,7 +104,9 @@ pub use events::{
     DiscoveryMessageEvent, EventBus, LifecycleMessageEvent, LifecyclePhase, PeerMessageListener,
     PublishMessageEvent, ResilienceAction, ResilienceMessageEvent, ServerMessageEvent, ServerPhase,
 };
-pub use health::{Admission, BreakerConfig, BreakerState, CircuitBreaker, EndpointHealth};
+pub use health::{
+    Admission, BreakerConfig, BreakerState, CircuitBreaker, EndpointHealth, ProbeGuard,
+};
 pub use overload::{AdmissionController, AdmissionPermit, DeadlineScope, LoadShedPolicy};
 pub use peer::Peer;
 pub use query::{QueryExpr, ServiceQuery};

@@ -1,0 +1,287 @@
+//! Server-side admission control as a pure machine.
+//!
+//! The stored state is deliberately tiny — `{ in_flight, draining }` —
+//! because everything else the runtime check consults (queue depth,
+//! deadline expiry, the p99 watermark verdict) is *observation*, not
+//! protocol state: the shell measures it and ships it inside the
+//! [`AdmissionEvent::Admit`] event. That keeps the transition function
+//! pure while preserving the exact shed-priority order of the runtime:
+//! expired deadline → draining → queue depth → watermark → in-flight
+//! cap.
+//!
+//! Invariants the model checker enforces (`wsp-check`):
+//!
+//! * the permit count never goes negative ([`AdmissionEffect::PermitUnderflow`]
+//!   is never emitted) and never exceeds `max_in_flight`;
+//! * nothing is admitted while draining;
+//! * every `Admitted` is eventually balanced by a `Release` (terminal
+//!   states have `in_flight == 0`).
+
+use wsp_simnet::Machine;
+
+/// Configuration: the caps a host enforces, in machine form. (The
+/// retry-after hint and telemetry counters stay in the shell — they
+/// are presentation, not protocol.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionMachine {
+    /// Shed when this many requests are already in flight.
+    /// `u64::MAX` disables the check.
+    pub max_in_flight: u64,
+    /// Shed when the dispatch queue already holds this many jobs.
+    /// `u64::MAX` disables the check.
+    pub max_queue_depth: u64,
+}
+
+/// Stored admission state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AdmissionState {
+    /// Requests admitted and not yet released.
+    pub in_flight: u64,
+    /// Drain mode: every admission is refused while set.
+    pub draining: bool,
+}
+
+/// What happened in the world. Observations the shell made (queue
+/// depth, deadline expiry, watermark verdict) ride inside the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionEvent {
+    /// One request asks to be admitted.
+    Admit {
+        /// Dispatch-queue depth observed by the shell.
+        queue_depth: u64,
+        /// The caller's propagated deadline had already expired.
+        deadline_expired: bool,
+        /// The sampled p99 queue-wait exceeded the policy watermark.
+        over_watermark: bool,
+    },
+    /// An admitted request finished (permit dropped).
+    Release,
+    /// Enter drain mode.
+    BeginDrain,
+    /// Leave drain mode.
+    EndDrain,
+}
+
+/// Why an admission was refused, in shed-priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The caller's deadline already passed — answer fast, not at all.
+    DeadlineExpired,
+    /// The host is draining.
+    Draining,
+    /// The dispatch queue is at capacity.
+    QueueFull,
+    /// The sampled queue wait is above the watermark.
+    OverWatermark,
+    /// The in-flight cap is reached.
+    InFlightCap,
+}
+
+/// Instructions back to the shell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionEffect {
+    /// Hand the caller a permit (one in-flight slot now held).
+    Admitted,
+    /// Refuse, with the reason (the shell attaches the retry hint and
+    /// bumps the matching counters).
+    Shed(ShedReason),
+    /// A permit was returned.
+    Released,
+    /// A release arrived with nothing in flight — a protocol violation
+    /// surfaced as an effect so the model checker can catch it (the
+    /// runtime's RAII permits make it unreachable; the state saturates
+    /// rather than wrapping).
+    PermitUnderflow,
+}
+
+impl Machine for AdmissionMachine {
+    type State = AdmissionState;
+    type Event = AdmissionEvent;
+    type Effect = AdmissionEffect;
+
+    fn initial(&self) -> AdmissionState {
+        AdmissionState::default()
+    }
+
+    fn step(
+        &self,
+        state: &AdmissionState,
+        event: &AdmissionEvent,
+    ) -> (AdmissionState, Vec<AdmissionEffect>) {
+        use AdmissionEffect::*;
+        let mut next = *state;
+        match *event {
+            AdmissionEvent::Admit {
+                queue_depth,
+                deadline_expired,
+                over_watermark,
+            } => {
+                // Exact runtime shed order.
+                let shed = if deadline_expired {
+                    Some(ShedReason::DeadlineExpired)
+                } else if state.draining {
+                    Some(ShedReason::Draining)
+                } else if queue_depth >= self.max_queue_depth {
+                    Some(ShedReason::QueueFull)
+                } else if over_watermark {
+                    Some(ShedReason::OverWatermark)
+                } else if state.in_flight >= self.max_in_flight {
+                    Some(ShedReason::InFlightCap)
+                } else {
+                    None
+                };
+                match shed {
+                    Some(reason) => (next, vec![Shed(reason)]),
+                    None => {
+                        next.in_flight += 1;
+                        (next, vec![Admitted])
+                    }
+                }
+            }
+            AdmissionEvent::Release => {
+                if state.in_flight == 0 {
+                    return (next, vec![PermitUnderflow]);
+                }
+                next.in_flight -= 1;
+                (next, vec![Released])
+            }
+            AdmissionEvent::BeginDrain => {
+                next.draining = true;
+                (next, vec![])
+            }
+            AdmissionEvent::EndDrain => {
+                next.draining = false;
+                (next, vec![])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_simnet::step_mut;
+
+    fn admit() -> AdmissionEvent {
+        AdmissionEvent::Admit {
+            queue_depth: 0,
+            deadline_expired: false,
+            over_watermark: false,
+        }
+    }
+
+    #[test]
+    fn cap_sheds_and_release_recovers() {
+        let m = AdmissionMachine {
+            max_in_flight: 2,
+            max_queue_depth: u64::MAX,
+        };
+        let mut s = m.initial();
+        assert_eq!(
+            step_mut(&m, &mut s, &admit()),
+            vec![AdmissionEffect::Admitted]
+        );
+        assert_eq!(
+            step_mut(&m, &mut s, &admit()),
+            vec![AdmissionEffect::Admitted]
+        );
+        assert_eq!(
+            step_mut(&m, &mut s, &admit()),
+            vec![AdmissionEffect::Shed(ShedReason::InFlightCap)]
+        );
+        assert_eq!(
+            step_mut(&m, &mut s, &AdmissionEvent::Release),
+            vec![AdmissionEffect::Released]
+        );
+        assert_eq!(
+            step_mut(&m, &mut s, &admit()),
+            vec![AdmissionEffect::Admitted]
+        );
+        assert_eq!(s.in_flight, 2);
+    }
+
+    #[test]
+    fn shed_priority_order_is_stable() {
+        let m = AdmissionMachine {
+            max_in_flight: 0,
+            max_queue_depth: 0,
+        };
+        let mut s = AdmissionState {
+            in_flight: 0,
+            draining: true,
+        };
+        // Expired beats draining beats queue beats watermark beats cap.
+        assert_eq!(
+            step_mut(
+                &m,
+                &mut s,
+                &AdmissionEvent::Admit {
+                    queue_depth: 9,
+                    deadline_expired: true,
+                    over_watermark: true,
+                }
+            ),
+            vec![AdmissionEffect::Shed(ShedReason::DeadlineExpired)]
+        );
+        assert_eq!(
+            step_mut(
+                &m,
+                &mut s,
+                &AdmissionEvent::Admit {
+                    queue_depth: 9,
+                    deadline_expired: false,
+                    over_watermark: true,
+                }
+            ),
+            vec![AdmissionEffect::Shed(ShedReason::Draining)]
+        );
+        s.draining = false;
+        assert_eq!(
+            step_mut(
+                &m,
+                &mut s,
+                &AdmissionEvent::Admit {
+                    queue_depth: 9,
+                    deadline_expired: false,
+                    over_watermark: true,
+                }
+            ),
+            vec![AdmissionEffect::Shed(ShedReason::QueueFull)]
+        );
+    }
+
+    #[test]
+    fn underflow_is_an_effect_not_a_wrap() {
+        let m = AdmissionMachine {
+            max_in_flight: 1,
+            max_queue_depth: u64::MAX,
+        };
+        let mut s = m.initial();
+        assert_eq!(
+            step_mut(&m, &mut s, &AdmissionEvent::Release),
+            vec![AdmissionEffect::PermitUnderflow]
+        );
+        assert_eq!(s.in_flight, 0, "state saturates");
+    }
+
+    #[test]
+    fn drain_refuses_then_end_drain_readmits() {
+        let m = AdmissionMachine {
+            max_in_flight: 8,
+            max_queue_depth: u64::MAX,
+        };
+        let mut s = m.initial();
+        step_mut(&m, &mut s, &admit());
+        step_mut(&m, &mut s, &AdmissionEvent::BeginDrain);
+        assert_eq!(
+            step_mut(&m, &mut s, &admit()),
+            vec![AdmissionEffect::Shed(ShedReason::Draining)]
+        );
+        assert_eq!(s.in_flight, 1, "in-flight work unaffected by drain");
+        step_mut(&m, &mut s, &AdmissionEvent::EndDrain);
+        assert_eq!(
+            step_mut(&m, &mut s, &admit()),
+            vec![AdmissionEffect::Admitted]
+        );
+    }
+}

@@ -19,12 +19,25 @@
 //! already expired is shed at dequeue time — there is no point
 //! computing a response nobody is waiting for.
 
+//! Every admission decision lives in the pure
+//! [`crate::machines::admission::AdmissionMachine`]; this module is its
+//! runtime shell. The shell gathers the *observations* (queue depth,
+//! deadline expiry, the sampled watermark verdict), ships them inside
+//! an [`AdmissionEvent::Admit`], and translates the effects back into
+//! permits, faults and counters. `wsp-check` exhaustively explores the
+//! machine; the tests here exercise the shell around it.
+
 use crate::error::WspError;
+use crate::machines::admission::{
+    AdmissionEffect, AdmissionEvent, AdmissionMachine, AdmissionState, ShedReason,
+};
 use crate::telemetry::{self, Counter};
+use parking_lot::Mutex;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wsp_simnet::Machine;
 
 /// Request header carrying the caller's *remaining* call budget in
 /// milliseconds. Relative (a duration) rather than absolute so clock
@@ -126,8 +139,11 @@ pub struct AdmissionController {
 
 struct AdmissionInner {
     policy: LoadShedPolicy,
-    in_flight: AtomicUsize,
-    draining: AtomicBool,
+    machine: AdmissionMachine,
+    /// All protocol state; every transition steps the machine under
+    /// this mutex, so concurrent admissions serialise and the cap is
+    /// never transiently breached.
+    state: Mutex<AdmissionState>,
     admissions: AtomicU64,
     /// Cached verdict of the periodic watermark sample.
     over_watermark: AtomicBool,
@@ -139,11 +155,16 @@ struct AdmissionInner {
 impl AdmissionController {
     pub fn new(policy: LoadShedPolicy) -> Self {
         let registry = telemetry::global();
+        let machine = AdmissionMachine {
+            max_in_flight: policy.max_in_flight as u64,
+            max_queue_depth: policy.max_queue_depth as u64,
+        };
+        let state = Mutex::new(machine.initial());
         AdmissionController {
             inner: Arc::new(AdmissionInner {
                 policy,
-                in_flight: AtomicUsize::new(0),
-                draining: AtomicBool::new(false),
+                machine,
+                state,
                 admissions: AtomicU64::new(0),
                 over_watermark: AtomicBool::new(false),
                 admitted: registry.counter("admission.admitted"),
@@ -153,27 +174,34 @@ impl AdmissionController {
         }
     }
 
+    fn step(&self, event: AdmissionEvent) -> Vec<AdmissionEffect> {
+        let mut state = self.inner.state.lock();
+        let (next, effects) = self.inner.machine.step(&state, &event);
+        *state = next;
+        effects
+    }
+
     pub fn policy(&self) -> &LoadShedPolicy {
         &self.inner.policy
     }
 
     /// Requests currently admitted and unanswered.
     pub fn in_flight(&self) -> usize {
-        self.inner.in_flight.load(Ordering::SeqCst)
+        self.inner.state.lock().in_flight as usize
     }
 
     /// Enter drain mode: every subsequent admission is refused (with
     /// the retry hint) while already-admitted work runs to completion.
     pub fn start_draining(&self) {
-        self.inner.draining.store(true, Ordering::SeqCst);
+        self.step(AdmissionEvent::BeginDrain);
     }
 
     pub fn stop_draining(&self) {
-        self.inner.draining.store(false, Ordering::SeqCst);
+        self.step(AdmissionEvent::EndDrain);
     }
 
     pub fn is_draining(&self) -> bool {
-        self.inner.draining.load(Ordering::SeqCst)
+        self.inner.state.lock().draining
     }
 
     fn overloaded(&self) -> WspError {
@@ -181,6 +209,25 @@ impl AdmissionController {
         WspError::Overloaded {
             retry_after_ms: Some(self.inner.policy.retry_after.as_millis() as u64),
         }
+    }
+
+    /// The shell's half of the watermark check: sample the p99 queue
+    /// wait every 2^[`WATERMARK_SAMPLE_SHIFT`] admissions, cache the
+    /// verdict, and hand the machine a plain boolean observation.
+    fn observe_watermark(&self) -> bool {
+        let Some(watermark) = self.inner.policy.queue_wait_watermark else {
+            return false;
+        };
+        let n = self.inner.admissions.fetch_add(1, Ordering::Relaxed);
+        if n & ((1 << WATERMARK_SAMPLE_SHIFT) - 1) == 0 {
+            let p99_us = telemetry::global()
+                .histogram("dispatch.queue_wait_us")
+                .snapshot()
+                .p99();
+            let over = Duration::from_micros(p99_us) > watermark;
+            self.inner.over_watermark.store(over, Ordering::Relaxed);
+        }
+        self.inner.over_watermark.load(Ordering::Relaxed)
     }
 
     /// Admit one request or shed it. `queue_depth` is the host's
@@ -193,45 +240,26 @@ impl AdmissionController {
         queue_depth: usize,
         deadline: Option<Instant>,
     ) -> Result<AdmissionPermit, WspError> {
-        if let Some(deadline) = deadline {
-            if Instant::now() >= deadline {
-                self.inner.shed_expired.incr();
-                return Err(self.overloaded());
+        let event = AdmissionEvent::Admit {
+            queue_depth: queue_depth as u64,
+            deadline_expired: deadline.is_some_and(|d| Instant::now() >= d),
+            over_watermark: self.observe_watermark(),
+        };
+        match self.step(event).first() {
+            Some(AdmissionEffect::Admitted) => {
+                self.inner.admitted.incr();
+                Ok(AdmissionPermit {
+                    controller: self.clone(),
+                })
             }
-        }
-        if self.is_draining() {
-            return Err(self.overloaded());
-        }
-        let policy = &self.inner.policy;
-        if queue_depth >= policy.max_queue_depth {
-            return Err(self.overloaded());
-        }
-        if let Some(watermark) = policy.queue_wait_watermark {
-            let n = self.inner.admissions.fetch_add(1, Ordering::Relaxed);
-            if n & ((1 << WATERMARK_SAMPLE_SHIFT) - 1) == 0 {
-                let p99_us = telemetry::global()
-                    .histogram("dispatch.queue_wait_us")
-                    .snapshot()
-                    .p99();
-                let over = Duration::from_micros(p99_us) > watermark;
-                self.inner.over_watermark.store(over, Ordering::Relaxed);
+            Some(AdmissionEffect::Shed(reason)) => {
+                if *reason == ShedReason::DeadlineExpired {
+                    self.inner.shed_expired.incr();
+                }
+                Err(self.overloaded())
             }
-            if self.inner.over_watermark.load(Ordering::Relaxed) {
-                return Err(self.overloaded());
-            }
+            other => unreachable!("Admit event produced {other:?}"),
         }
-        // Optimistic increment; back out when over the cap. Two racing
-        // admissions at the boundary cannot both win: each observes the
-        // other's increment.
-        let prev = self.inner.in_flight.fetch_add(1, Ordering::SeqCst);
-        if prev >= policy.max_in_flight {
-            self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
-            return Err(self.overloaded());
-        }
-        self.inner.admitted.incr();
-        Ok(AdmissionPermit {
-            controller: self.clone(),
-        })
     }
 
     /// Block until all admitted work has finished or `deadline` passes.
@@ -263,10 +291,11 @@ impl std::fmt::Debug for AdmissionPermit {
 
 impl Drop for AdmissionPermit {
     fn drop(&mut self) {
-        self.controller
-            .inner
-            .in_flight
-            .fetch_sub(1, Ordering::SeqCst);
+        let effects = self.controller.step(AdmissionEvent::Release);
+        debug_assert!(
+            !effects.contains(&AdmissionEffect::PermitUnderflow),
+            "permit released with nothing in flight"
+        );
     }
 }
 
@@ -342,6 +371,7 @@ pub fn parse_busy_fault(reason: &str) -> Option<Option<u64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn unlimited_policy_admits_everything() {

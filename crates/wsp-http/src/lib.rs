@@ -17,6 +17,7 @@
 
 pub mod codec;
 pub mod container;
+pub mod drain;
 pub mod httpg;
 pub mod message;
 pub mod router;
@@ -26,6 +27,7 @@ pub mod uri;
 
 pub use codec::{encode_request, encode_response, parse_request, parse_response, HttpError};
 pub use container::{ContainerModel, ContainerSimServer, DEPLOY_TAG};
+pub use drain::{DrainEffect, DrainEvent, DrainMachine, DrainState, Lifecycle};
 pub use httpg::{guard_router, guarded, HttpgCredential, HttpgError};
 pub use message::{Headers, Method, Request, Response};
 pub use router::{HttpHandler, Interceptor, Router};

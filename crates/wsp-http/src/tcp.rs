@@ -12,14 +12,15 @@ use crate::codec::{
     encode_request_into, encode_response, encode_response_into, parse_request, parse_response,
     HttpError,
 };
+use crate::drain::{DrainEffect, DrainEvent, DrainMachine, DrainState};
 use crate::message::{Request, Response};
 use crate::router::Router;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use wsp_simnet::Machine;
 
 /// Tunables for [`TcpServer`]. `Default` reproduces the historical
 /// hard-coded behaviour (flat 10 s read deadlines, 250 ms read poll,
@@ -67,26 +68,55 @@ impl Default for ServerConfig {
 }
 
 /// Shared between the handle, the accept loop and connection threads.
+///
+/// All lifecycle and slot accounting lives in the pure
+/// [`DrainMachine`] ([`crate::drain`]); this shell feeds it events
+/// (accepts, connection exits, drain, stop) and executes the returned
+/// effects. Flag reads (`stopped`, drain latch, active count) are
+/// uncontended `Mutex` peeks on poll paths that tick at millisecond
+/// cadence, so the machine costs nothing observable.
 struct ServerState {
     config: ServerConfig,
-    /// Hard stop: accept loop exits, connection threads bail at the
-    /// next read poll even mid-keep-alive.
-    stop: AtomicBool,
-    /// Graceful drain: new connections are rejected, idle keep-alive
-    /// connections close, requests already being read or handled run to
-    /// completion (their response carries `Connection: close`).
-    draining: AtomicBool,
-    /// Live connection threads (accepted, not yet finished).
-    active: AtomicUsize,
+    machine: DrainMachine,
+    drain: parking_lot::Mutex<DrainState>,
 }
 
-/// Decrements `active` when a connection thread exits, panic included,
-/// so drain accounting can never leak a slot.
+impl ServerState {
+    fn step(&self, event: DrainEvent) -> Vec<DrainEffect> {
+        wsp_simnet::step_mut(&self.machine, &mut self.drain.lock(), &event)
+    }
+
+    /// Hard stop observed: accept loop exits, connection threads bail
+    /// at the next read poll even mid-keep-alive.
+    fn stopped(&self) -> bool {
+        self.drain.lock().stopped()
+    }
+
+    /// Graceful drain observed (latched): new connections are
+    /// rejected, idle keep-alive connections close, requests already
+    /// being read or handled run to completion (their response carries
+    /// `Connection: close`).
+    fn drain_began(&self) -> bool {
+        self.drain.lock().drain_began()
+    }
+
+    /// Live connection threads (accepted, not yet finished).
+    fn active(&self) -> u64 {
+        self.drain.lock().active
+    }
+}
+
+/// Releases the connection's slot when its thread exits, panic
+/// included, so drain accounting can never leak a slot.
 struct ActiveGuard(Arc<ServerState>);
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
-        self.0.active.fetch_sub(1, Ordering::SeqCst);
+        let effects = self.0.step(DrainEvent::ConnClosed);
+        debug_assert!(
+            !effects.contains(&DrainEffect::SlotUnderflow),
+            "connection closed without a held slot"
+        );
     }
 }
 
@@ -114,11 +144,13 @@ impl TcpServer {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let machine = DrainMachine {
+            max_connections: config.max_connections.map(|cap| cap as u64),
+        };
         let state = Arc::new(ServerState {
             config,
-            stop: AtomicBool::new(false),
-            draining: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
+            drain: parking_lot::Mutex::new(machine.initial()),
+            machine,
         });
         let accept_state = state.clone();
         let accept_router = router.clone();
@@ -153,12 +185,12 @@ impl TcpServer {
 
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
-        self.state.active.load(Ordering::SeqCst)
+        self.state.active() as usize
     }
 
     /// True once [`shutdown`](TcpServer::shutdown) has begun draining.
     pub fn is_draining(&self) -> bool {
-        self.state.draining.load(Ordering::SeqCst)
+        self.state.drain_began()
     }
 
     /// Graceful drain: stop taking new connections (latecomers get a
@@ -170,10 +202,10 @@ impl TcpServer {
     /// off abruptly, exactly as [`shutdown_now`](TcpServer::shutdown_now)
     /// would.
     pub fn shutdown(&self) -> bool {
-        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.step(DrainEvent::BeginDrain);
         let deadline = Instant::now() + self.state.config.drain_deadline;
         let drained = loop {
-            if self.state.active.load(Ordering::SeqCst) == 0 {
+            if self.state.active() == 0 {
                 break true;
             }
             if Instant::now() >= deadline {
@@ -193,7 +225,9 @@ impl TcpServer {
     }
 
     fn stop_accepting(&self) {
-        self.state.stop.store(true, Ordering::SeqCst);
+        // StopListening is the join below; a second Stop is a no-op and
+        // returns no effects, so re-entry (shutdown → Drop) is safe.
+        self.state.step(DrainEvent::Stop);
         if let Some(handle) = self.accept_thread.lock().take() {
             let _ = handle.join();
         }
@@ -225,20 +259,24 @@ fn reject_connection(stream: &mut TcpStream, config: &ServerConfig, why: &str) {
 }
 
 fn accept_loop(listener: TcpListener, router: Router, state: Arc<ServerState>) {
-    while !state.stop.load(Ordering::SeqCst) {
+    while !state.stopped() {
         match listener.accept() {
             Ok((mut stream, _peer)) => {
-                if state.draining.load(Ordering::SeqCst) {
-                    reject_connection(&mut stream, &state.config, "server draining");
-                    continue;
-                }
-                if let Some(cap) = state.config.max_connections {
-                    if state.active.load(Ordering::SeqCst) >= cap {
+                // One Accept event: the machine decides admit vs reject
+                // and, on admit, has already counted the slot.
+                match state.step(DrainEvent::Accept).first() {
+                    Some(DrainEffect::Serve) => {}
+                    Some(DrainEffect::RejectDraining) => {
+                        reject_connection(&mut stream, &state.config, "server draining");
+                        continue;
+                    }
+                    Some(DrainEffect::RejectAtCapacity) => {
                         reject_connection(&mut stream, &state.config, "connection limit reached");
                         continue;
                     }
+                    // Stopped while this accept raced the flag: drop it.
+                    _ => continue,
                 }
-                state.active.fetch_add(1, Ordering::SeqCst);
                 let guard = ActiveGuard(state.clone());
                 let conn_router = router.clone();
                 // Connection threads are detached but observe the
@@ -246,6 +284,7 @@ fn accept_loop(listener: TcpListener, router: Router, state: Arc<ServerState>) {
                 // connections. Thread-per-connection is fine at the
                 // scales WSPeer hosts (the paper's host is not a web
                 // farm), and the `max_connections` cap bounds it.
+                // A failed spawn drops the guard, releasing the slot.
                 let _ = std::thread::Builder::new()
                     .name("wsp-http-conn".into())
                     .spawn(move || {
@@ -288,10 +327,10 @@ fn serve_connection(mut stream: TcpStream, router: Router, state: &ServerState) 
         };
         let mut head_done: Option<Instant> = None;
         let (request, used) = loop {
-            if state.stop.load(Ordering::SeqCst) {
+            if state.stopped() {
                 return;
             }
-            if started.is_none() && state.draining.load(Ordering::SeqCst) {
+            if started.is_none() && state.drain_began() {
                 return; // draining and no request in flight: close now
             }
             match parse_request(&buf) {
@@ -347,7 +386,7 @@ fn serve_connection(mut stream: TcpStream, router: Router, state: &ServerState) 
         let mut response = router.handle(&request);
         // Re-check drain *after* handling: a drain that began while this
         // request ran still closes the connection behind its response.
-        let close = client_close || state.draining.load(Ordering::SeqCst);
+        let close = client_close || state.drain_began();
         response
             .headers
             .set("Connection", if close { "close" } else { "keep-alive" });
@@ -626,6 +665,7 @@ impl ConnectionPool {
 mod tests {
     use super::*;
     use crate::message::Method;
+    use std::sync::atomic::Ordering;
 
     fn test_server() -> TcpServer {
         let router = Router::new();

@@ -29,6 +29,7 @@ pub mod message;
 pub mod query;
 pub mod resolver;
 pub mod rpc;
+pub mod rpc_machine;
 pub mod sim_driver;
 pub mod thread_driver;
 pub mod uri;
@@ -44,6 +45,7 @@ pub use message::P2psMessage;
 pub use query::P2psQuery;
 pub use resolver::{ChainResolver, EndpointResolver, TableResolver};
 pub use rpc::{decode_request, encode_response, ReceivedRequest, RpcCorrelator};
+pub use rpc_machine::{RpcEffect, RpcEvent, RpcMachine, RpcState};
 pub use sim_driver::{
     add_peer, build_overlay, peer_id_for, Directory, P2psHandle, P2psSimNode, PeerCommand,
     PeerEvent, RQ_RESEND_TAG, RQ_TIMEOUT_TAG, WAKE_TAG,

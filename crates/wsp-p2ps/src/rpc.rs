@@ -10,18 +10,78 @@
 
 use crate::addressing::{reply_pipe_of, request_headers, target_pipe_of, with_reply_pipe};
 use crate::advert::PipeAdvertisement;
+use crate::rpc_machine::{RpcEffect, RpcEvent, RpcMachine, RpcState};
 use std::collections::HashMap;
+use wsp_simnet::step_mut;
 use wsp_soap::{Envelope, MessageHeaders};
 
 /// Consumer-side correlation of responses to outstanding requests.
+///
+/// A thin shell over the pure [`RpcMachine`]: the machine holds which
+/// return pipes are open and which tokens await a reply on which pipe;
+/// this struct owns only what the wire adds — the `MessageID` ⇄ token
+/// aliasing and the [`PipeAdvertisement`] ⇄ abstract-pipe-id interning
+/// — and executes the machine's effects.
 #[derive(Debug, Default)]
 pub struct RpcCorrelator {
-    pending: HashMap<String, u64>, // request message id -> app token
+    machine: RpcMachine,
+    state: RpcState,
+    token_of_msg: HashMap<String, u64>,
+    msg_of_token: HashMap<u64, String>,
+    /// Open return pipes → their abstract id in the machine. Entries
+    /// leave on [`pipe_closed`](RpcCorrelator::pipe_closed), so the
+    /// map is bounded by the open-pipe count (return-pipe names are
+    /// unique per request and must not accumulate).
+    pipe_ids: HashMap<PipeAdvertisement, u64>,
+    next_pipe_id: u64,
 }
 
 impl RpcCorrelator {
     pub fn new() -> Self {
         RpcCorrelator::default()
+    }
+
+    fn pipe_id(&mut self, pipe: &PipeAdvertisement) -> u64 {
+        if let Some(&id) = self.pipe_ids.get(pipe) {
+            return id;
+        }
+        let id = self.next_pipe_id;
+        self.next_pipe_id += 1;
+        self.pipe_ids.insert(pipe.clone(), id);
+        step_mut(&self.machine, &mut self.state, &RpcEvent::OpenPipe(id));
+        id
+    }
+
+    /// Drop the wire-level aliasing for a settled token.
+    fn purge(&mut self, token: u64) {
+        if let Some(msg) = self.msg_of_token.remove(&token) {
+            self.token_of_msg.remove(&msg);
+        }
+    }
+
+    /// Note that `pipe` is open and listening for replies.
+    /// (`encode_request` opens its reply pipe implicitly; explicit
+    /// calls are only needed to model a pipe with no traffic yet.)
+    pub fn pipe_opened(&mut self, pipe: &PipeAdvertisement) {
+        self.pipe_id(pipe);
+    }
+
+    /// The return pipe was torn down: abandon every request still
+    /// expecting its reply there (their responses can never arrive).
+    /// Returns how many requests were abandoned.
+    pub fn pipe_closed(&mut self, pipe: &PipeAdvertisement) -> usize {
+        let Some(id) = self.pipe_ids.remove(pipe) else {
+            return 0;
+        };
+        let effects = step_mut(&self.machine, &mut self.state, &RpcEvent::ClosePipe(id));
+        let mut abandoned = 0;
+        for effect in effects {
+            if let RpcEffect::AbandonRequest(token) = effect {
+                self.purge(token);
+                abandoned += 1;
+            }
+        }
+        abandoned
     }
 
     /// Build the wire form of a request to `target`, replying to
@@ -39,7 +99,21 @@ impl RpcCorrelator {
             .clone()
             .expect("requests carry MessageID");
         envelope.set_addressing(headers);
-        self.pending.insert(message_id, token);
+        let pipe = self.pipe_id(reply_pipe);
+        let effects = step_mut(
+            &self.machine,
+            &mut self.state,
+            &RpcEvent::SendRequest {
+                token,
+                reply_pipe: pipe,
+            },
+        );
+        debug_assert!(
+            !effects.contains(&RpcEffect::RejectSendNoPipe(token)),
+            "pipe_id just opened the pipe"
+        );
+        self.token_of_msg.insert(message_id.clone(), token);
+        self.msg_of_token.insert(token, message_id);
         envelope.to_xml()
     }
 
@@ -48,18 +122,46 @@ impl RpcCorrelator {
     pub fn accept_response(&mut self, payload: &str) -> Option<(u64, Envelope)> {
         let envelope = Envelope::from_xml(payload).ok()?;
         let relates_to = envelope.addressing()?.relates_to?;
-        let token = self.pending.remove(&relates_to)?;
-        Some((token, envelope))
+        let token = *self.token_of_msg.get(&relates_to)?;
+        let effects = step_mut(
+            &self.machine,
+            &mut self.state,
+            &RpcEvent::ResponseArrived(token),
+        );
+        self.purge(token);
+        match effects.first() {
+            Some(RpcEffect::DeliverReply { .. }) => Some((token, envelope)),
+            // Late response for a token whose pipe already closed (or
+            // that was forgotten): drop it.
+            _ => None,
+        }
     }
 
     /// Outstanding request count (for timeout sweeps).
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.state.pending.len()
     }
 
-    /// Forget a request (timeout). Returns true if it was pending.
+    /// Forget a request by wire message id (timeout). Returns true if
+    /// it was pending.
     pub fn forget(&mut self, message_id: &str) -> bool {
-        self.pending.remove(message_id).is_some()
+        match self.token_of_msg.get(message_id) {
+            Some(&token) => self.forget_token(token),
+            None => false,
+        }
+    }
+
+    /// Forget a request by its app token (timeout). Returns true if it
+    /// was pending.
+    pub fn forget_token(&mut self, token: u64) -> bool {
+        let effects = step_mut(&self.machine, &mut self.state, &RpcEvent::Forget(token));
+        self.purge(token);
+        effects.contains(&RpcEffect::AbandonRequest(token))
+    }
+
+    /// The pure machine state (for bisimulation tests and debugging).
+    pub fn machine_state(&self) -> &RpcState {
+        &self.state
     }
 }
 

@@ -38,6 +38,7 @@
 pub mod churn;
 pub mod fault;
 pub mod link;
+pub mod machine;
 pub mod metrics;
 pub mod net;
 pub mod node;
@@ -48,6 +49,7 @@ pub mod trace;
 pub use churn::ChurnModel;
 pub use fault::FaultPlan;
 pub use link::LinkSpec;
+pub use machine::{step_mut, Machine};
 pub use metrics::{Metrics, Summary};
 pub use net::SimNet;
 pub use node::{Context, Node, NodeEvent, NodeId, Payload, TimerId};

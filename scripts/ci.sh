@@ -50,6 +50,16 @@ cargo test -q -p wsp-integration-tests --test wire_bytes --test bufpool
 echo "==> allocation-regression guard (release)"
 cargo test -q --release -p wsp-integration-tests --test alloc_guard
 
+# Model checking (PR 6): exhaustively explore every pure protocol
+# machine (breaker, admission, correlation, drain, RPC routing) plus
+# the composed breaker×admission×correlation pipeline, checking the
+# invariant suite on every reachable state and transition. Runs in well
+# under a minute; on failure it prints the shortest counterexample
+# trace. The shell↔machine lockstep properties ride in the normal
+# test pass (tests/tests/machine_bisim.rs).
+echo "==> wsp-check (exhaustive state-machine exploration)"
+cargo run -q --release -p wsp-check
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -1,0 +1,389 @@
+//! Bisimulation between the runtime shells and their pure machines.
+//!
+//! Each shell (circuit breaker, admission controller, dispatcher
+//! correlation table, P2PS RPC correlator) claims to be a thin wrapper
+//! around a pure `Machine`: events in, effects out, nothing else. These
+//! properties drive random event sequences through the shell and a
+//! hand-stepped mirror of the machine in lockstep, asserting after
+//! every event that all observable state agrees — return values,
+//! counters, phases, pending tables. Any shortcut the shell takes
+//! around its machine (a cached flag, a forgotten transition, a
+//! time-conversion bug) shows up as divergence.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use wsp_core::dispatch::Dispatcher;
+use wsp_core::health::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+use wsp_core::machines::admission::{AdmissionEffect, AdmissionEvent, AdmissionMachine};
+use wsp_core::machines::breaker::{Admit, BreakerEffect, BreakerEvent, BreakerMachine, Phase};
+use wsp_core::machines::correlation::{CallPhase, CorrelationEvent, CorrelationMachine};
+use wsp_core::overload::{AdmissionController, AdmissionPermit, LoadShedPolicy};
+use wsp_p2ps::rpc::{decode_request, encode_response};
+use wsp_p2ps::{PeerId, PipeAdvertisement, RpcCorrelator};
+use wsp_simnet::{step_mut, Machine};
+use wsp_soap::Envelope;
+use wsp_xml::Element;
+
+// ---------------------------------------------------------------------------
+// Circuit breaker ⇔ BreakerMachine
+// ---------------------------------------------------------------------------
+
+/// Breaker ops: the event plus how far the clock advances first.
+#[derive(Debug, Clone, Copy)]
+enum BreakerOp {
+    Acquire,
+    Success,
+    Failure,
+    ProbeAborted,
+}
+
+fn arb_breaker_ops() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    // (op selector, time advance in ms 0..=30); cooldown is 25 ms so
+    // sequences straddle every phase boundary.
+    proptest::collection::vec((0u8..4, 0u8..31), 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The shell converts `Instant`s to tick offsets from a private
+    /// epoch; the mirror uses offsets from the test's own base. All
+    /// breaker decisions are *differences* of times, so the two frames
+    /// must produce identical observables at every step.
+    #[test]
+    fn circuit_breaker_bisimulates_breaker_machine(ops in arb_breaker_ops()) {
+        let cooldown = Duration::from_millis(25);
+        let shell = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown,
+        });
+        let base = Instant::now();
+        let machine = BreakerMachine {
+            failure_threshold: 2,
+            cooldown: cooldown.as_nanos() as u64,
+        };
+        let mut mirror = machine.initial();
+        let mut elapsed = Duration::ZERO;
+
+        for (op, advance_ms) in ops {
+            elapsed += Duration::from_millis(advance_ms as u64);
+            let now = base + elapsed;
+            let ticks = elapsed.as_nanos() as u64;
+            let op = match op {
+                0 => BreakerOp::Acquire,
+                1 => BreakerOp::Success,
+                2 => BreakerOp::Failure,
+                _ => BreakerOp::ProbeAborted,
+            };
+            match op {
+                BreakerOp::Acquire => {
+                    let got = shell.try_acquire(now);
+                    let effects = step_mut(&machine, &mut mirror, &BreakerEvent::Acquire { now: ticks });
+                    let expected = match effects.first() {
+                        Some(BreakerEffect::Admit(Admit::Allowed)) => Admission::Allowed,
+                        Some(BreakerEffect::Admit(Admit::Probe)) => Admission::Probe,
+                        _ => Admission::Rejected,
+                    };
+                    prop_assert_eq!(got, expected, "acquire at {:?}", elapsed);
+                }
+                BreakerOp::Success => {
+                    let got = shell.on_success(now);
+                    let effects = step_mut(&machine, &mut mirror, &BreakerEvent::Success);
+                    prop_assert_eq!(got, effects.contains(&BreakerEffect::Recovered));
+                }
+                BreakerOp::Failure => {
+                    let got = shell.on_failure(now);
+                    let effects = step_mut(&machine, &mut mirror, &BreakerEvent::Failure { now: ticks });
+                    prop_assert_eq!(got, effects.contains(&BreakerEffect::Tripped));
+                }
+                BreakerOp::ProbeAborted => {
+                    let got = shell.on_probe_aborted(now);
+                    let effects =
+                        step_mut(&machine, &mut mirror, &BreakerEvent::ProbeAborted { now: ticks });
+                    prop_assert_eq!(got, effects.contains(&BreakerEffect::ProbeDiscarded));
+                }
+            }
+            // Observable state agrees after every event.
+            let expected_state = match machine.phase(&mirror, ticks) {
+                Phase::Closed => BreakerState::Closed,
+                Phase::Open => BreakerState::Open,
+                Phase::HalfOpen => BreakerState::HalfOpen,
+            };
+            prop_assert_eq!(shell.state(now), expected_state, "phase after {:?}", op);
+            let expected_failures = match mirror {
+                wsp_core::machines::breaker::BreakerState::Closed { failures } => failures,
+                wsp_core::machines::breaker::BreakerState::Tripped { .. } => 0,
+            };
+            prop_assert_eq!(shell.consecutive_failures(), expected_failures);
+            let expected_probe = matches!(
+                mirror,
+                wsp_core::machines::breaker::BreakerState::Tripped {
+                    probe_in_flight: true,
+                    ..
+                }
+            );
+            prop_assert_eq!(shell.probe_in_flight(), expected_probe);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission controller ⇔ AdmissionMachine
+// ---------------------------------------------------------------------------
+
+fn arb_admission_ops() -> impl Strategy<Value = Vec<(u8, u8, bool)>> {
+    // (op selector, queue depth 0..3, deadline already expired?)
+    proptest::collection::vec((0u8..4, 0u8..3, any::<bool>()), 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn admission_controller_bisimulates_admission_machine(ops in arb_admission_ops()) {
+        let shell = AdmissionController::new(LoadShedPolicy::bounded(2, 1));
+        let machine = AdmissionMachine {
+            max_in_flight: 2,
+            max_queue_depth: 1,
+        };
+        let mut mirror = machine.initial();
+        let mut permits: Vec<AdmissionPermit> = Vec::new();
+
+        for (op, queue_depth, expired) in ops {
+            match op {
+                0 => {
+                    // The policy has no queue-wait watermark, so the
+                    // shell's sampled observation is always false.
+                    let deadline = if expired {
+                        Some(Instant::now())
+                    } else {
+                        Some(Instant::now() + Duration::from_secs(3600))
+                    };
+                    let got = shell.try_admit(queue_depth as usize, deadline);
+                    let effects = step_mut(&machine, &mut mirror, &AdmissionEvent::Admit {
+                        queue_depth: queue_depth as u64,
+                        deadline_expired: expired,
+                        over_watermark: false,
+                    });
+                    prop_assert_eq!(
+                        got.is_ok(),
+                        effects.contains(&AdmissionEffect::Admitted),
+                        "admit(queue={}, expired={})", queue_depth, expired
+                    );
+                    if let Ok(permit) = got {
+                        permits.push(permit);
+                    }
+                }
+                1 => {
+                    // Release = drop a held permit (RAII), mirrored only
+                    // when the shell actually holds one.
+                    if permits.pop().is_some() {
+                        step_mut(&machine, &mut mirror, &AdmissionEvent::Release);
+                    }
+                }
+                2 => {
+                    shell.start_draining();
+                    step_mut(&machine, &mut mirror, &AdmissionEvent::BeginDrain);
+                }
+                _ => {
+                    shell.stop_draining();
+                    step_mut(&machine, &mut mirror, &AdmissionEvent::EndDrain);
+                }
+            }
+            prop_assert_eq!(shell.in_flight() as u64, mirror.in_flight);
+            prop_assert_eq!(shell.is_draining(), mirror.draining);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher correlation table ⇔ CorrelationMachine
+// ---------------------------------------------------------------------------
+
+fn arb_correlation_ops() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    // (op selector, token 0..3)
+    proptest::collection::vec((0u8..4, 0u8..3), 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dispatcher_correlation_bisimulates_correlation_machine(ops in arb_correlation_ops()) {
+        let dispatcher = Dispatcher::with_defaults();
+        let machine = CorrelationMachine;
+        let mut mirror = machine.initial();
+        let mut handles = HashMap::new();
+        let mut completers = HashMap::new();
+
+        for (op, token) in ops {
+            let token = token as u64;
+            match op {
+                0 => {
+                    // Register a fresh token (the shell requires
+                    // uniqueness; the machine's or_insert mirrors it).
+                    if !handles.contains_key(&token)
+                        && !completers.contains_key(&token)
+                        && mirror.phase(token).is_none()
+                    {
+                        let (handle, completer) = dispatcher.register::<u64>(token);
+                        handles.insert(token, handle);
+                        completers.insert(token, completer);
+                        step_mut(&machine, &mut mirror, &CorrelationEvent::Register(token));
+                    }
+                }
+                1 => {
+                    // Complete — possibly late, after cancel/drop.
+                    if let Some(completer) = completers.remove(&token) {
+                        let got = completer.complete(token * 10);
+                        let effects =
+                            step_mut(&machine, &mut mirror, &CorrelationEvent::Complete(token));
+                        let delivered = effects.iter().any(|e| {
+                            matches!(
+                                e,
+                                wsp_core::machines::correlation::CorrelationEffect::DeliverValue(_)
+                            )
+                        });
+                        prop_assert_eq!(got, delivered, "complete({})", token);
+                    }
+                }
+                2 => {
+                    // Explicit cancel.
+                    if let Some(handle) = handles.remove(&token) {
+                        let got = handle.cancel();
+                        let effects =
+                            step_mut(&machine, &mut mirror, &CorrelationEvent::Cancel(token));
+                        let cancelled = effects.iter().any(|e| {
+                            matches!(
+                                e,
+                                wsp_core::machines::correlation::CorrelationEffect::CountCancelled(_)
+                            )
+                        });
+                        prop_assert_eq!(got, cancelled, "cancel({})", token);
+                    }
+                }
+                _ => {
+                    // Dropping the handle is an eager implicit cancel.
+                    if handles.remove(&token).is_some() {
+                        step_mut(&machine, &mut mirror, &CorrelationEvent::Cancel(token));
+                    }
+                }
+            }
+            // The shell's pending table is exactly the machine's.
+            let mut shell_pending = dispatcher.pending_tokens();
+            shell_pending.sort_unstable();
+            prop_assert_eq!(shell_pending, mirror.table_tokens());
+            // A live handle observes completion exactly when the
+            // machine holds a settled, unclaimed call.
+            for (t, handle) in &handles {
+                let settled = matches!(
+                    mirror.phase(*t),
+                    Some(CallPhase::Ready) | Some(CallPhase::Poisoned)
+                );
+                prop_assert_eq!(handle.is_complete(), settled, "is_complete({})", t);
+            }
+        }
+        // Abandon the rest without further assertions: handle drops
+        // step Cancel through the same machine (asserted above).
+        handles.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P2PS RPC correlator ⇔ RpcMachine
+// ---------------------------------------------------------------------------
+
+fn arb_rpc_ops() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    // (op selector, request slot 0..4)
+    proptest::collection::vec((0u8..4, 0u8..4), 0..40)
+}
+
+fn rpc_service_pipe() -> PipeAdvertisement {
+    PipeAdvertisement::new(PeerId(0xAA), Some("Echo".into()), "in")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drives the full wire path — encode a request, decode it
+    /// provider-side, encode the response, accept it consumer-side —
+    /// and checks the correlator's pure state and observable outcomes
+    /// against what the machine semantics dictate.
+    #[test]
+    fn rpc_correlator_bisimulates_rpc_machine(ops in arb_rpc_ops()) {
+        let mut correlator = RpcCorrelator::new();
+        let service = rpc_service_pipe();
+        // One distinct return pipe per request slot, reused across the
+        // sequence to exercise open → close → reopen interning.
+        let return_pipes: Vec<PipeAdvertisement> = (0..4)
+            .map(|i| PipeAdvertisement::new(PeerId(0xBB), None, format!("return-{i}")))
+            .collect();
+        // Expected pending set: slot → wire request (for the response
+        // path); `None` once settled or forgotten.
+        let mut outstanding: Vec<Option<String>> = vec![None; 4];
+
+        for (op, slot) in ops {
+            let slot = slot as usize;
+            let token = slot as u64;
+            match op {
+                0 => {
+                    // Send: one outstanding request per slot at a time
+                    // (tokens are unique in the runtime).
+                    if outstanding[slot].is_none() {
+                        let body = Envelope::request(
+                            Element::build("urn:demo", "echoString")
+                                .text(format!("req-{slot}"))
+                                .finish(),
+                        );
+                        let wire = correlator.encode_request(
+                            token,
+                            &service,
+                            &return_pipes[slot],
+                            body,
+                        );
+                        outstanding[slot] = Some(wire);
+                    }
+                }
+                1 => {
+                    // Response arrives for the slot's request.
+                    if let Some(wire) = outstanding[slot].take() {
+                        let received = decode_request(&wire).unwrap();
+                        let (_, response) =
+                            encode_response(&received, Envelope::empty()).unwrap();
+                        let got = correlator.accept_response(&response);
+                        prop_assert_eq!(got.map(|(t, _)| t), Some(token));
+                        // And a duplicate of the same response no
+                        // longer correlates.
+                        prop_assert!(correlator.accept_response(&response).is_none());
+                    }
+                }
+                2 => {
+                    // Timeout: forget by token.
+                    let was_pending = outstanding[slot].take().is_some();
+                    prop_assert_eq!(correlator.forget_token(token), was_pending);
+                }
+                _ => {
+                    // The slot's return pipe closes; its request (if
+                    // any) is abandoned.
+                    let had = outstanding[slot].take().is_some();
+                    let abandoned = correlator.pipe_closed(&return_pipes[slot]);
+                    prop_assert_eq!(abandoned, usize::from(had));
+                }
+            }
+            // The pure state mirrors the expected pending set, and
+            // every pending token's reply pipe is open.
+            let state = correlator.machine_state();
+            let expected: Vec<u64> = (0..4u64)
+                .filter(|t| outstanding[*t as usize].is_some())
+                .collect();
+            let mut pending: Vec<u64> = state.pending.keys().copied().collect();
+            pending.sort_unstable();
+            prop_assert_eq!(pending, expected);
+            prop_assert_eq!(correlator.pending(), state.pending.len());
+            for pipe in state.pending.values() {
+                prop_assert!(state.open_pipes.contains(pipe), "reply pipe closed");
+            }
+        }
+    }
+}
