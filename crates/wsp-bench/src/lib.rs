@@ -22,6 +22,7 @@ pub mod e10;
 pub mod e11;
 pub mod e12;
 pub mod e12_legacy;
+pub mod e14;
 pub mod e2;
 pub mod e3;
 pub mod e4;

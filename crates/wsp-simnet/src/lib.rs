@@ -19,6 +19,14 @@
 //!   link profiles ([`LinkSpec::lan`]/[`LinkSpec::wan`]), churn
 //!   ([`ChurnModel`]) and overlay generators ([`Topology`]) cover the
 //!   E1–E8 experiment matrix.
+//! * **Two front-ends, one wheel.** Every event — message delivery,
+//!   timer, churn transition, fault window — schedules through the one
+//!   [`EventWheel`]. [`SimNet`] is the boxed-behaviour world (hundreds
+//!   of nodes, rich `Node` trait); [`PeerSim`] is the population-scale
+//!   world (10^5–10^6 lightweight peers driven by pure [`Machine`]
+//!   transitions, with [`TraceDigest`] run fingerprints). See
+//!   `DESIGN.md` §13 for the wheel architecture and determinism
+//!   contract.
 //!
 //! ```
 //! use wsp_simnet::{Context, NodeEvent, SimNet};
@@ -36,26 +44,32 @@
 //! ```
 
 pub mod churn;
+pub mod digest;
 pub mod fault;
 pub mod link;
 pub mod machine;
 pub mod metrics;
 pub mod net;
 pub mod node;
+pub mod peers;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod wheel;
 
 pub use churn::ChurnModel;
+pub use digest::TraceDigest;
 pub use fault::FaultPlan;
 pub use link::LinkSpec;
 pub use machine::{step_mut, Machine};
 pub use metrics::{Metrics, Summary};
 pub use net::SimNet;
 pub use node::{Context, Node, NodeEvent, NodeId, Payload, TimerId};
+pub use peers::{PeerCtx, PeerEvent, PeerModel, PeerMsg, PeerSim};
 pub use time::{Dur, Time};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};
+pub use wheel::{EventKey, EventWheel};
 
 impl<M: Payload> SimNet<M> {
     /// Test/bench helper: send a message between two nodes from outside

@@ -1,24 +1,22 @@
-//! The discrete-event engine: event queue, virtual clock, delivery and
-//! churn.
+//! The boxed-behaviour simulation front-end: delivery, virtual clock
+//! and churn over the shared [`EventWheel`].
+//!
+//! Since the simnet-2.0 refactor the ordering/cancellation/clock logic
+//! lives in [`crate::wheel`]; `SimNet` keeps the node table, link map,
+//! RNG and trace, and schedules everything — messages, timers, churn
+//! transitions, fault windows — through the one wheel. The
+//! population-scale front-end ([`crate::PeerSim`]) shares the same
+//! wheel type, so both worlds inherit identical determinism semantics.
 
 use crate::link::LinkSpec;
 use crate::metrics::Metrics;
 use crate::node::{Context, Node, NodeEvent, NodeId, Payload, TimerId};
 use crate::time::{Dur, Time};
 use crate::trace::{Trace, TraceEvent};
+use crate::wheel::{EventKey, EventWheel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
-
-/// One scheduled occurrence. Ordering is `(at, seq)` so simultaneous
-/// events fire in schedule order — this is what makes runs with the same
-/// seed bit-reproducible.
-struct Scheduled<M> {
-    at: Time,
-    seq: u64,
-    kind: EventKind<M>,
-}
+use std::collections::HashMap;
 
 enum EventKind<M> {
     Dispatch {
@@ -27,7 +25,6 @@ enum EventKind<M> {
     },
     Timer {
         node: NodeId,
-        id: TimerId,
         tag: u64,
     },
     SetUp(NodeId),
@@ -43,24 +40,6 @@ enum EventKind<M> {
     SetDefaultLink(LinkSpec),
 }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 struct NodeSlot<M> {
     behaviour: Option<Box<dyn Node<M>>>,
     up: bool,
@@ -74,14 +53,10 @@ struct NodeSlot<M> {
 /// loss, behaviour decisions) flows through one seeded RNG, so a run is
 /// a pure function of `(seed, topology, behaviours)`.
 pub struct SimNet<M: Payload> {
-    time: Time,
-    seq: u64,
-    queue: BinaryHeap<Scheduled<M>>,
+    wheel: EventWheel<EventKind<M>>,
     nodes: Vec<NodeSlot<M>>,
     default_link: LinkSpec,
     links: HashMap<(NodeId, NodeId), LinkSpec>,
-    cancelled_timers: HashSet<u64>,
-    next_timer: u64,
     rng: StdRng,
     metrics: Metrics,
     /// Hard cap on dispatched events, to catch runaway behaviours.
@@ -93,14 +68,10 @@ pub struct SimNet<M: Payload> {
 impl<M: Payload> SimNet<M> {
     pub fn new(seed: u64) -> Self {
         SimNet {
-            time: Time::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            wheel: EventWheel::new(),
             nodes: Vec::new(),
             default_link: LinkSpec::default(),
             links: HashMap::new(),
-            cancelled_timers: HashSet::new(),
-            next_timer: 0,
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(),
             event_budget: u64::MAX,
@@ -161,7 +132,7 @@ impl<M: Payload> SimNet<M> {
             up: true,
         });
         self.schedule(
-            self.time,
+            self.wheel.now(),
             EventKind::Dispatch {
                 node: id,
                 event: NodeEvent::Start,
@@ -175,7 +146,7 @@ impl<M: Payload> SimNet<M> {
     }
 
     pub fn now(&self) -> Time {
-        self.time
+        self.wheel.now()
     }
 
     pub fn is_up(&self, node: NodeId) -> bool {
@@ -202,13 +173,13 @@ impl<M: Payload> SimNet<M> {
     /// Inject an event into a node from outside the simulation (the
     /// drivers use this to start application actions at chosen times).
     pub fn inject_at(&mut self, at: Time, node: NodeId, event: NodeEvent<M>) {
-        debug_assert!(at >= self.time, "cannot schedule in the past");
-        self.schedule(at.max(self.time), EventKind::Dispatch { node, event });
+        debug_assert!(at >= self.wheel.now(), "cannot schedule in the past");
+        self.schedule(at, EventKind::Dispatch { node, event });
     }
 
     /// Inject an event at the current time.
     pub fn inject(&mut self, node: NodeId, event: NodeEvent<M>) {
-        self.inject_at(self.time, node, event);
+        self.inject_at(self.wheel.now(), node, event);
     }
 
     /// Take a node down at `at`; messages to it and its pending timers
@@ -244,46 +215,39 @@ impl<M: Payload> SimNet<M> {
     /// Run until the queue is empty or `deadline` passes. Returns the
     /// virtual time reached.
     pub fn run_until(&mut self, deadline: Time) -> Time {
-        while let Some(next_at) = self.queue.peek().map(|s| s.at) {
+        while let Some(next_at) = self.wheel.next_time() {
             if next_at > deadline || self.events_dispatched >= self.event_budget {
                 break;
             }
             self.step();
         }
-        self.time = self
-            .time
-            .max(deadline.min(self.queue.peek().map(|s| s.at).unwrap_or(deadline)));
-        self.time
+        let rest = self.wheel.next_time().unwrap_or(deadline);
+        self.wheel.advance_to(deadline.min(rest));
+        self.wheel.now()
     }
 
     /// Run for a further `span` of virtual time.
     pub fn run_for(&mut self, span: Dur) -> Time {
-        let deadline = self.time + span;
+        let deadline = self.wheel.now() + span;
         self.run_until(deadline)
     }
 
     /// Drain every event (use only with behaviours that quiesce).
     pub fn run_to_quiescence(&mut self) -> Time {
-        while !self.queue.is_empty() && self.events_dispatched < self.event_budget {
-            self.step();
-        }
-        self.time
+        while self.events_dispatched < self.event_budget && self.step() {}
+        self.wheel.now()
     }
 
     /// Process one event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
-        let Some(scheduled) = self.queue.pop() else {
+        let Some((_, kind)) = self.wheel.pop() else {
             return false;
         };
-        debug_assert!(scheduled.at >= self.time, "time went backwards");
-        self.time = scheduled.at;
         self.events_dispatched += 1;
-        match scheduled.kind {
+        match kind {
             EventKind::Dispatch { node, event } => self.dispatch(node, event),
-            EventKind::Timer { node, id, tag } => {
-                if !self.cancelled_timers.remove(&id.0) {
-                    self.dispatch(node, NodeEvent::Timer { tag });
-                }
+            EventKind::Timer { node, tag } => {
+                self.dispatch(node, NodeEvent::Timer { tag });
             }
             EventKind::SetDown(node) => {
                 if self.is_up(node) {
@@ -328,7 +292,7 @@ impl<M: Payload> SimNet<M> {
         });
         match spec.sample(size, &mut self.rng) {
             Some(delay) => {
-                let at = self.time + delay;
+                let at = self.wheel.now() + delay;
                 self.schedule(
                     at,
                     EventKind::Dispatch {
@@ -346,26 +310,23 @@ impl<M: Payload> SimNet<M> {
 
     fn trace_event(&mut self, event: TraceEvent) {
         if let Some(trace) = &mut self.trace {
-            trace.record(self.time, event);
+            trace.record(self.wheel.now(), event);
         }
     }
 
     pub(crate) fn set_timer(&mut self, node: NodeId, delay: Dur, tag: u64) -> TimerId {
-        let id = TimerId(self.next_timer);
-        self.next_timer += 1;
-        let at = self.time + delay;
-        self.schedule(at, EventKind::Timer { node, id, tag });
-        id
+        let key = self
+            .wheel
+            .schedule_after(delay, EventKind::Timer { node, tag });
+        TimerId(key.0)
     }
 
     pub(crate) fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled_timers.insert(id.0);
+        self.wheel.cancel(EventKey(id.0));
     }
 
     fn schedule(&mut self, at: Time, kind: EventKind<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { at, seq, kind });
+        self.wheel.schedule_at(at, kind);
     }
 
     fn dispatch(&mut self, node: NodeId, event: NodeEvent<M>) {

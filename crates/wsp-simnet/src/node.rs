@@ -30,6 +30,14 @@ impl Payload for Vec<u8> {
     }
 }
 
+/// Word payloads, for tests and machine-driven scenarios that never
+/// serialise (mirrors `PeerMsg for u64` in the population front-end).
+impl Payload for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
 impl<T: Payload> Payload for std::rc::Rc<T> {
     fn wire_size(&self) -> usize {
         (**self).wire_size()

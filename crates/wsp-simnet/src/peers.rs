@@ -1,0 +1,530 @@
+//! The population-scale simulation front-end: 10^5–10^6 lightweight
+//! peers on one [`EventWheel`].
+//!
+//! [`crate::SimNet`] models a peer as `Box<dyn Node>` — one heap
+//! allocation, a vtable dispatch and an owned behaviour per peer.
+//! That is the right shape for the threaded-driver experiments (E1–E13)
+//! but it tops out around 10^3–10^4 peers. `PeerSim` is the
+//! process/node separation taken to its limit (the `dslab` shape): **one**
+//! [`PeerModel`] value owns the state of *every* peer in
+//! struct-of-arrays form, and the simulator calls it with a peer index.
+//! An idle peer costs a few bytes of state in the model's vectors plus
+//! one byte each in the up/class tables — no allocation, no box, no
+//! thread — which is what lets a flash crowd of 10^6 clients fit in
+//! memory and run in seconds.
+//!
+//! Peers are intended to be driven by the pure `Machine` transitions of
+//! PR 6 (`wsp-core::machines`): the model stores each peer's
+//! `Machine::State` inline and calls `step` on dispatch, so the same
+//! breaker/admission/correlation semantics that are exhaustively
+//! model-checked in `wsp-check` execute at population scale (see
+//! `wsp-bench::e14` for the flash-crowd / partition / straggler
+//! scenarios built this way).
+//!
+//! Links are modelled per *class*, not per pair: a per-pair map is
+//! O(n²) and unrepresentable at 10^6 peers, while real large-scale
+//! scenarios only distinguish a handful of populations (clients vs
+//! infrastructure, partition side A vs side B, fast vs straggler).
+//! Each peer carries a `u8` class; `LinkSpec`s live in a small
+//! class×class matrix, and fault windows (partitions, slow classes)
+//! are scheduled *through the wheel* as matrix updates, exactly like
+//! `SimNet`'s scheduled link changes.
+//!
+//! Determinism: one seeded [`StdRng`] samples every loss/jitter
+//! decision in dispatch order; the wheel fires simultaneous events in
+//! schedule order; and every dispatched event is folded into a
+//! [`TraceDigest`], so `(seed, model, schedule)` → digest is a pure
+//! function. Two runs with the same `WSP_FAULT_SEED` produce
+//! bit-identical digests — asserted, at 10^5 peers, by
+//! `tests/tests/sim_scale.rs`.
+
+use crate::digest::TraceDigest;
+use crate::link::LinkSpec;
+use crate::metrics::Metrics;
+use crate::node::NodeId;
+use crate::time::{Dur, Time};
+use crate::wheel::{EventKey, EventWheel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+
+/// Number of distinguishable link classes.
+pub const LINK_CLASSES: usize = 8;
+
+/// A message between lightweight peers.
+///
+/// `Copy` keeps wheel entries allocation-free; `digest` must be a pure
+/// function of the message content (it is folded into the run digest on
+/// every delivery and drop).
+pub trait PeerMsg: Copy + Debug {
+    /// Approximate wire size, for serialisation delay on per-byte links.
+    fn wire_size(&self) -> usize {
+        64
+    }
+    /// A stable 64-bit fingerprint of the message content.
+    fn digest(&self) -> u64;
+}
+
+impl PeerMsg for u64 {
+    fn digest(&self) -> u64 {
+        *self
+    }
+}
+
+/// Everything a lightweight peer can observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerEvent<Msg> {
+    /// A message arrived.
+    Message { from: NodeId, msg: Msg },
+    /// A timer set with [`PeerCtx::set_timer`] (or injected with
+    /// [`PeerSim::schedule_timer_at`]) fired.
+    Timer { tag: u64 },
+    /// The peer came back up after churn.
+    WentUp,
+    /// The peer went down (it receives nothing until `WentUp`).
+    WentDown,
+}
+
+/// The single behaviour object driving every peer.
+///
+/// Unlike [`crate::Node`] there is one model per *simulation*, not per
+/// peer: per-peer state lives inside the model (typically as
+/// struct-of-arrays `Vec`s indexed by `NodeId`), which is what keeps
+/// idle peers allocation-free.
+pub trait PeerModel {
+    type Msg: PeerMsg;
+    fn on_event(
+        &mut self,
+        ctx: &mut PeerCtx<'_, Self::Msg>,
+        peer: NodeId,
+        event: PeerEvent<Self::Msg>,
+    );
+}
+
+/// Wheel payload for the peer world. Compact and `Copy`.
+enum Fire<Msg> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Msg,
+    },
+    Timer {
+        peer: NodeId,
+        tag: u64,
+    },
+    Up(NodeId),
+    Down(NodeId),
+    /// Replace one cell of the class-link matrix (partition windows,
+    /// slow-class onsets — the peer-world analogue of
+    /// `SimNet::schedule_link`).
+    ClassLink {
+        from: u8,
+        to: u8,
+        spec: LinkSpec,
+    },
+}
+
+// Digest tags, folded ahead of each record.
+const D_DELIVER: u64 = 1;
+const D_TIMER: u64 = 2;
+const D_UP: u64 = 3;
+const D_DOWN: u64 = 4;
+const D_DROP_LOSS: u64 = 5;
+const D_DROP_DOWN: u64 = 6;
+const D_LINK: u64 = 7;
+
+/// The population-scale deterministic simulator.
+pub struct PeerSim<P: PeerModel> {
+    wheel: EventWheel<Fire<P::Msg>>,
+    model: P,
+    up: Vec<bool>,
+    class_of: Vec<u8>,
+    links: [[LinkSpec; LINK_CLASSES]; LINK_CLASSES],
+    rng: StdRng,
+    metrics: Metrics,
+    digest: TraceDigest,
+    events_dispatched: u64,
+    event_budget: u64,
+}
+
+impl<P: PeerModel> PeerSim<P> {
+    pub fn new(seed: u64, model: P) -> Self {
+        PeerSim {
+            wheel: EventWheel::new(),
+            model,
+            up: Vec::new(),
+            class_of: Vec::new(),
+            links: [[LinkSpec::lan(); LINK_CLASSES]; LINK_CLASSES],
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            digest: TraceDigest::new(),
+            events_dispatched: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Add `count` peers of link class `class`; returns the id of the
+    /// first (ids are dense and ascending). No events are scheduled —
+    /// kick peers off with [`PeerSim::schedule_timer_at`].
+    pub fn add_peers(&mut self, count: usize, class: u8) -> NodeId {
+        assert!((class as usize) < LINK_CLASSES, "link class out of range");
+        let first = self.up.len() as NodeId;
+        self.up.resize(self.up.len() + count, true);
+        self.class_of.resize(self.class_of.len() + count, class);
+        first
+    }
+
+    pub fn peer_count(&self) -> u32 {
+        self.up.len() as u32
+    }
+
+    pub fn now(&self) -> Time {
+        self.wheel.now()
+    }
+
+    pub fn is_up(&self, peer: NodeId) -> bool {
+        self.up.get(peer as usize).copied().unwrap_or(false)
+    }
+
+    pub fn model(&self) -> &P {
+        &self.model
+    }
+
+    pub fn model_mut(&mut self) -> &mut P {
+        &mut self.model
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The rolling digest of everything dispatched so far.
+    pub fn digest(&self) -> TraceDigest {
+        self.digest
+    }
+
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Cap the total number of dispatched events (runaway guard).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Set the link spec for traffic from class `from` to class `to`.
+    pub fn set_class_link(&mut self, from: u8, to: u8, spec: LinkSpec) {
+        self.links[from as usize][to as usize] = spec;
+    }
+
+    /// Set both directions between two classes.
+    pub fn set_class_link_sym(&mut self, a: u8, b: u8, spec: LinkSpec) {
+        self.set_class_link(a, b, spec);
+        self.set_class_link(b, a, spec);
+    }
+
+    /// The link spec in effect from `from` to `to` right now.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkSpec {
+        self.links[self.class_of[from as usize] as usize][self.class_of[to as usize] as usize]
+    }
+
+    /// Replace one class-link cell at `at` (fault windows). Traffic
+    /// already in flight keeps its sampled delay, like `SimNet`.
+    pub fn schedule_class_link(&mut self, at: Time, from: u8, to: u8, spec: LinkSpec) {
+        self.wheel
+            .schedule_at(at, Fire::ClassLink { from, to, spec });
+    }
+
+    /// Replace both directions between two classes at `at`.
+    pub fn schedule_class_link_sym(&mut self, at: Time, a: u8, b: u8, spec: LinkSpec) {
+        self.schedule_class_link(at, a, b, spec);
+        self.schedule_class_link(at, b, a, spec);
+    }
+
+    /// Inject a timer event (scenario kickoffs, deadlines).
+    pub fn schedule_timer_at(&mut self, at: Time, peer: NodeId, tag: u64) -> EventKey {
+        self.wheel.schedule_at(at, Fire::Timer { peer, tag })
+    }
+
+    /// Take a peer down at `at`; messages to it and its timers are lost
+    /// until it comes back up.
+    pub fn schedule_down(&mut self, peer: NodeId, at: Time) {
+        self.wheel.schedule_at(at, Fire::Down(peer));
+    }
+
+    /// Bring a peer back up at `at`.
+    pub fn schedule_up(&mut self, peer: NodeId, at: Time) {
+        self.wheel.schedule_at(at, Fire::Up(peer));
+    }
+
+    /// Run until the wheel is dry or `deadline` passes; returns the
+    /// virtual time reached.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        while let Some(next_at) = self.wheel.next_time() {
+            if next_at > deadline || self.events_dispatched >= self.event_budget {
+                break;
+            }
+            self.step();
+        }
+        let rest = self.wheel.next_time().unwrap_or(deadline);
+        self.wheel.advance_to(deadline.min(rest));
+        self.wheel.now()
+    }
+
+    /// Drain every event (models must quiesce).
+    pub fn run_to_quiescence(&mut self) -> Time {
+        while self.events_dispatched < self.event_budget && self.step() {}
+        self.wheel.now()
+    }
+
+    /// Process one event. Returns `false` when the wheel is dry.
+    pub fn step(&mut self) -> bool {
+        let Some((at, fire)) = self.wheel.pop() else {
+            return false;
+        };
+        self.events_dispatched += 1;
+        let t = at.as_micros();
+        match fire {
+            Fire::Deliver { from, to, msg } => {
+                if !self.is_up(to) {
+                    self.metrics.incr("peers.dropped_down", 1);
+                    self.digest.fold_all(&[D_DROP_DOWN, t, to as u64]);
+                    return true;
+                }
+                self.metrics.incr("peers.delivered", 1);
+                self.digest
+                    .fold_all(&[D_DELIVER, t, from as u64, to as u64, msg.digest()]);
+                self.dispatch(to, PeerEvent::Message { from, msg });
+            }
+            Fire::Timer { peer, tag } => {
+                if !self.is_up(peer) {
+                    // Down peers lose their timers, as in SimNet.
+                    return true;
+                }
+                self.digest.fold_all(&[D_TIMER, t, peer as u64, tag]);
+                self.dispatch(peer, PeerEvent::Timer { tag });
+            }
+            Fire::Down(peer) => {
+                if self.is_up(peer) {
+                    self.metrics.incr("peers.node_down", 1);
+                    self.digest.fold_all(&[D_DOWN, t, peer as u64]);
+                    self.dispatch(peer, PeerEvent::WentDown);
+                    self.up[peer as usize] = false;
+                }
+            }
+            Fire::Up(peer) => {
+                if !self.is_up(peer) {
+                    self.up[peer as usize] = true;
+                    self.metrics.incr("peers.node_up", 1);
+                    self.digest.fold_all(&[D_UP, t, peer as u64]);
+                    self.dispatch(peer, PeerEvent::WentUp);
+                }
+            }
+            Fire::ClassLink { from, to, spec } => {
+                self.links[from as usize][to as usize] = spec;
+                self.metrics.incr("peers.link_change", 1);
+                self.digest.fold_all(&[D_LINK, t, from as u64, to as u64]);
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, peer: NodeId, event: PeerEvent<P::Msg>) {
+        let mut ctx = PeerCtx {
+            wheel: &mut self.wheel,
+            up: &self.up,
+            class_of: &self.class_of,
+            links: &self.links,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            digest: &mut self.digest,
+            peer,
+        };
+        self.model.on_event(&mut ctx, peer, event);
+    }
+}
+
+/// The API a [`PeerModel`] uses to act on the world during one dispatch.
+pub struct PeerCtx<'a, Msg: PeerMsg> {
+    wheel: &'a mut EventWheel<Fire<Msg>>,
+    up: &'a [bool],
+    class_of: &'a [u8],
+    links: &'a [[LinkSpec; LINK_CLASSES]; LINK_CLASSES],
+    rng: &'a mut StdRng,
+    metrics: &'a mut Metrics,
+    digest: &'a mut TraceDigest,
+    peer: NodeId,
+}
+
+impl<Msg: PeerMsg> PeerCtx<'_, Msg> {
+    /// The peer being dispatched.
+    pub fn id(&self) -> NodeId {
+        self.peer
+    }
+
+    pub fn now(&self) -> Time {
+        self.wheel.now()
+    }
+
+    pub fn peer_count(&self) -> u32 {
+        self.up.len() as u32
+    }
+
+    pub fn is_up(&self, peer: NodeId) -> bool {
+        self.up.get(peer as usize).copied().unwrap_or(false)
+    }
+
+    /// Send `msg` to `to` over the class link. Loss and latency are
+    /// sampled now (deterministically, in dispatch order); delivery is
+    /// asynchronous via the wheel.
+    pub fn send(&mut self, to: NodeId, msg: Msg) {
+        self.metrics.incr("peers.sent", 1);
+        let spec = self.links[self.class_of[self.peer as usize] as usize]
+            [self.class_of[to as usize] as usize];
+        match spec.sample(msg.wire_size(), self.rng) {
+            Some(delay) => {
+                let from = self.peer;
+                self.wheel
+                    .schedule_after(delay, Fire::Deliver { from, to, msg });
+            }
+            None => {
+                self.metrics.incr("peers.dropped_loss", 1);
+                self.digest.fold_all(&[
+                    D_DROP_LOSS,
+                    self.wheel.now().as_micros(),
+                    self.peer as u64,
+                    to as u64,
+                ]);
+            }
+        }
+    }
+
+    /// Arrange a [`PeerEvent::Timer`] with `tag` after `delay`.
+    pub fn set_timer(&mut self, delay: Dur, tag: u64) -> EventKey {
+        let peer = self.peer;
+        self.wheel.schedule_after(delay, Fire::Timer { peer, tag })
+    }
+
+    /// Cancel a timer if it has not fired yet.
+    pub fn cancel_timer(&mut self, key: EventKey) {
+        self.wheel.cancel(key);
+    }
+
+    /// Deterministic RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Increment a named experiment counter.
+    pub fn count(&mut self, key: &'static str) {
+        self.metrics.incr(key, 1);
+    }
+
+    /// Record a named sample (e.g. an observed latency in microseconds).
+    pub fn sample(&mut self, key: &'static str, value: u64) {
+        self.metrics.record(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo world: class-1 peers echo `msg + 1` back to the sender.
+    struct Echo {
+        seen: Vec<u64>,
+    }
+
+    impl PeerModel for Echo {
+        type Msg = u64;
+        fn on_event(&mut self, ctx: &mut PeerCtx<'_, u64>, _peer: NodeId, event: PeerEvent<u64>) {
+            match event {
+                PeerEvent::Message { from, msg } => {
+                    self.seen.push(msg);
+                    if msg % 2 == 0 {
+                        ctx.send(from, msg + 1);
+                    }
+                }
+                PeerEvent::Timer { tag } => {
+                    // Kickoff: peer 0 pings peer 1 with an even payload.
+                    ctx.send(1, tag * 2);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_and_metrics() {
+        let mut sim = PeerSim::new(1, Echo { seen: Vec::new() });
+        sim.add_peers(2, 0);
+        sim.schedule_timer_at(Time::ZERO, 0, 3);
+        sim.run_to_quiescence();
+        assert_eq!(sim.model().seen, vec![6, 7]);
+        assert_eq!(sim.metrics().counter("peers.sent"), 2);
+        assert_eq!(sim.metrics().counter("peers.delivered"), 2);
+    }
+
+    #[test]
+    fn same_seed_same_digest_different_seed_diverges() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim = PeerSim::new(seed, Echo { seen: Vec::new() });
+            sim.add_peers(50, 0);
+            sim.set_class_link(0, 0, LinkSpec::wan());
+            for i in 0..50 {
+                sim.schedule_timer_at(Time::millis(i as u64 % 7), i, i as u64);
+            }
+            sim.run_to_quiescence();
+            (sim.digest().value(), sim.digest().folded())
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn down_peers_lose_messages_and_timers() {
+        let mut sim = PeerSim::new(1, Echo { seen: Vec::new() });
+        sim.add_peers(2, 0);
+        sim.schedule_down(1, Time::ZERO);
+        sim.schedule_timer_at(Time::millis(1), 0, 4); // 0 sends 8 to 1
+        sim.schedule_timer_at(Time::millis(2), 1, 9); // lost: 1 is down
+        sim.schedule_up(1, Time::millis(10));
+        sim.run_to_quiescence();
+        assert!(sim.model().seen.is_empty());
+        assert_eq!(sim.metrics().counter("peers.dropped_down"), 1);
+        assert_eq!(sim.metrics().counter("peers.node_up"), 1);
+    }
+
+    #[test]
+    fn scheduled_class_link_partitions_then_heals() {
+        let mut sim = PeerSim::new(1, Echo { seen: Vec::new() });
+        sim.add_peers(1, 0);
+        sim.add_peers(1, 1);
+        let flat = LinkSpec::lan().with_jitter(Dur::ZERO);
+        for a in 0..2 {
+            for b in 0..2 {
+                sim.set_class_link(a, b, flat);
+            }
+        }
+        sim.schedule_class_link_sym(Time::millis(5), 0, 1, flat.with_loss(1.0));
+        sim.schedule_class_link_sym(Time::millis(15), 0, 1, flat);
+        sim.schedule_timer_at(Time::millis(7), 0, 1); // blackout: dropped
+        sim.schedule_timer_at(Time::millis(20), 0, 2); // healed: delivered
+        sim.run_to_quiescence();
+        // The healed probe (4) arrives and its echo (5) comes back; the
+        // blackout probe (2) was dropped on the floor.
+        assert_eq!(sim.model().seen, vec![4, 5]);
+        assert_eq!(sim.metrics().counter("peers.dropped_loss"), 1);
+        assert_eq!(sim.metrics().counter("peers.link_change"), 4);
+    }
+
+    #[test]
+    fn idle_peers_cost_no_events() {
+        // A million idle peers: adding them schedules nothing.
+        let mut sim = PeerSim::new(1, Echo { seen: Vec::new() });
+        sim.add_peers(1_000_000, 0);
+        assert_eq!(sim.peer_count(), 1_000_000);
+        sim.run_to_quiescence();
+        assert_eq!(sim.events_dispatched(), 0);
+    }
+}

@@ -10,15 +10,22 @@ pub struct Time(pub u64);
 impl Time {
     pub const ZERO: Time = Time(0);
 
-    pub fn micros(us: u64) -> Time {
+    /// The end of representable virtual time. Tick arithmetic saturates
+    /// here instead of overflowing: a `FaultPlan` that schedules an
+    /// event past `u64::MAX - now` (possible with large slow-link
+    /// multipliers at big populations) pins to `MAX` rather than
+    /// wrapping into the past and corrupting the event order.
+    pub const MAX: Time = Time(u64::MAX);
+
+    pub const fn micros(us: u64) -> Time {
         Time(us)
     }
 
-    pub fn millis(ms: u64) -> Time {
+    pub const fn millis(ms: u64) -> Time {
         Time(ms * 1_000)
     }
 
-    pub fn secs(s: u64) -> Time {
+    pub const fn secs(s: u64) -> Time {
         Time(s * 1_000_000)
     }
 
@@ -53,15 +60,15 @@ pub struct Dur(pub u64);
 impl Dur {
     pub const ZERO: Dur = Dur(0);
 
-    pub fn micros(us: u64) -> Dur {
+    pub const fn micros(us: u64) -> Dur {
         Dur(us)
     }
 
-    pub fn millis(ms: u64) -> Dur {
+    pub const fn millis(ms: u64) -> Dur {
         Dur(ms * 1_000)
     }
 
-    pub fn secs(s: u64) -> Dur {
+    pub const fn secs(s: u64) -> Dur {
         Dur(s * 1_000_000)
     }
 
@@ -88,20 +95,20 @@ impl fmt::Display for Dur {
 impl Add<Dur> for Time {
     type Output = Time;
     fn add(self, d: Dur) -> Time {
-        Time(self.0 + d.0)
+        Time(self.0.saturating_add(d.0))
     }
 }
 
 impl AddAssign<Dur> for Time {
     fn add_assign(&mut self, d: Dur) {
-        self.0 += d.0;
+        self.0 = self.0.saturating_add(d.0);
     }
 }
 
 impl Add for Dur {
     type Output = Dur;
     fn add(self, other: Dur) -> Dur {
-        Dur(self.0 + other.0)
+        Dur(self.0.saturating_add(other.0))
     }
 }
 
@@ -136,6 +143,22 @@ mod tests {
     fn jitter_scaling() {
         assert_eq!(Dur::micros(100).mul_f64(0.5), Dur::micros(50));
         assert_eq!(Dur::micros(100).mul_f64(0.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn tick_arithmetic_saturates_at_the_end_of_time() {
+        // A fault window scheduled past `u64::MAX - now` must pin to
+        // Time::MAX, not wrap around into the past.
+        assert_eq!(Time(u64::MAX - 5) + Dur::secs(1), Time::MAX);
+        assert_eq!(Time::MAX + Dur::micros(1), Time::MAX);
+        let mut t = Time(u64::MAX - 1);
+        t += Dur::millis(1);
+        assert_eq!(t, Time::MAX);
+        // Dur + Dur saturates too (slow-link "extra" stacking).
+        assert_eq!(Dur(u64::MAX) + Dur::secs(1), Dur(u64::MAX));
+        // Saturated times still order sanely.
+        assert!(Time::MAX > Time::secs(1));
+        assert_eq!(Time::MAX - Time::MAX, Dur::ZERO);
     }
 
     #[test]

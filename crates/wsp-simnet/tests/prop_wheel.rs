@@ -1,0 +1,134 @@
+//! Property tests for the event wheel — the determinism contract that
+//! every simulation front-end leans on.
+//!
+//! The wheel's guarantees are small enough to state exactly:
+//!
+//! 1. events pop in `(time, schedule-order)` order — ties fire in
+//!    insertion order, never heap order;
+//! 2. cancellation is exact — a key cancelled before its event fires
+//!    suppresses exactly that event, and a stale (already-fired) key
+//!    suppresses nothing;
+//! 3. virtual time is monotone under any interleaving of schedule,
+//!    pop, cancel and advance.
+//!
+//! Each property checks the wheel against a trivial model (a stably
+//! sorted vector), which is exactly the "simultaneous events fire in
+//! schedule order" clause that makes whole-run digests reproducible.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use wsp_simnet::{EventWheel, Time};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Equal timestamps pop in insertion order: the pop sequence equals
+    /// a stable sort of the schedule by time.
+    #[test]
+    fn pops_in_time_then_insertion_order(times in proptest::collection::vec(0u64..40, 1..120)) {
+        let mut w: EventWheel<usize> = EventWheel::new();
+        for (i, &t) in times.iter().enumerate() {
+            w.schedule_at(Time::micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, i)) = w.pop() {
+            popped.push((at.as_micros(), i));
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        // A stable sort by time alone is exactly (time, insertion) order.
+        expected.sort_by_key(|&(t, _)| t);
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Cancelled events never fire; everything else fires exactly once,
+    /// still in order.
+    #[test]
+    fn cancellation_suppresses_exactly_the_cancelled(
+        events in proptest::collection::vec((0u64..40, any::<bool>()), 1..120),
+    ) {
+        let mut w: EventWheel<usize> = EventWheel::new();
+        let keys: Vec<_> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, _))| w.schedule_at(Time::micros(t), i))
+            .collect();
+        for (i, &(_, cancel)) in events.iter().enumerate() {
+            if cancel {
+                w.cancel(keys[i]);
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((at, i)) = w.pop() {
+            popped.push((at.as_micros(), i));
+        }
+        let mut expected: Vec<(u64, usize)> = events
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, cancel))| !cancel)
+            .map(|(i, &(t, _))| (t, i))
+            .collect();
+        expected.sort_by_key(|&(t, _)| t);
+        prop_assert_eq!(popped, expected);
+        prop_assert_eq!(
+            w.fired() as usize,
+            events.iter().filter(|&&(_, c)| !c).count()
+        );
+    }
+
+    /// Under arbitrary interleavings of schedule / pop / cancel /
+    /// advance: time never rewinds, no popped event predates the clock,
+    /// and a cancel issued while its event was still pending never
+    /// yields a stale fire later.
+    #[test]
+    fn monotone_time_and_no_stale_fires(
+        ops in proptest::collection::vec((0u8..4, 0u64..60), 1..200),
+    ) {
+        let mut w: EventWheel<usize> = EventWheel::new();
+        let mut keys = Vec::new();
+        let mut fired: HashSet<usize> = HashSet::new();
+        let mut cancelled_pending: HashSet<usize> = HashSet::new();
+        let mut payload = 0usize;
+
+        for &(op, arg) in &ops {
+            let before = w.now();
+            match op {
+                0 => {
+                    keys.push((w.schedule_at(Time::micros(arg), payload), payload));
+                    payload += 1;
+                }
+                1 => {
+                    if let Some((at, p)) = w.pop() {
+                        prop_assert!(at >= before, "popped event predates the clock");
+                        prop_assert!(
+                            !cancelled_pending.contains(&p),
+                            "cancelled event {} fired anyway",
+                            p
+                        );
+                        prop_assert!(fired.insert(p), "event {} fired twice", p);
+                    }
+                }
+                2 => {
+                    if !keys.is_empty() {
+                        let (key, p) = keys[arg as usize % keys.len()];
+                        w.cancel(key);
+                        if !fired.contains(&p) {
+                            cancelled_pending.insert(p);
+                        }
+                    }
+                }
+                _ => w.advance_to(Time::micros(arg)),
+            }
+            prop_assert!(w.now() >= before, "wheel time went backwards");
+        }
+
+        // Drain: the live remainder must all fire, none of the
+        // cancelled-while-pending ones may.
+        while let Some((at, p)) = w.pop() {
+            prop_assert!(at >= Time::ZERO);
+            prop_assert!(!cancelled_pending.contains(&p));
+            prop_assert!(fired.insert(p));
+        }
+        prop_assert_eq!(fired.len() + cancelled_pending.len(), payload);
+    }
+}

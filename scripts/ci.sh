@@ -50,6 +50,21 @@ cargo test -q -p wsp-integration-tests --test wire_bytes --test bufpool
 echo "==> allocation-regression guard (release)"
 cargo test -q --release -p wsp-integration-tests --test alloc_guard
 
+# Population-scale smoke (PR 7): the seed-sweep tier's non-ignored
+# subset — a 100k-peer flash crowd asserted bit-identical across two
+# runs plus partition-heal and straggler smokes — under two fixed seeds
+# in release. The whole subset runs in seconds; `timeout` enforces the
+# 60 s wall-clock budget the E14 acceptance bar promises. The full
+# 8-seed sweeps are `#[ignore]`d (run with `-- --ignored`).
+echo "==> population-scale smoke (sim_scale, seed 2005 / seed 7, release)"
+WSP_FAULT_SEED=2005 timeout 300 cargo test -q --release -p wsp-integration-tests --test sim_scale
+WSP_FAULT_SEED=7 timeout 300 cargo test -q --release -p wsp-integration-tests --test sim_scale
+
+# E14 artifact: sim events/sec, peak peer count and per-scenario
+# digests, for the CI artifact trail (quick mode: 100k-peer ladder).
+echo "==> E14 artifact (BENCH_E14.json)"
+cargo run -q --release -p wsp-bench --bin e14 -- quick
+
 # Model checking (PR 6): exhaustively explore every pure protocol
 # machine (breaker, admission, correlation, drain, RPC routing) plus
 # the composed breaker×admission×correlation pipeline, checking the

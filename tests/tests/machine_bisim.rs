@@ -387,3 +387,274 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// SimNet (boxed-node front-end) ⇔ PeerSim (population front-end)
+// ---------------------------------------------------------------------------
+//
+// Both simulation front-ends now schedule through the same
+// `EventWheel`, but they reach it through very different machinery:
+// SimNet dispatches boxed `Node` behaviours with per-node timer ids,
+// PeerSim dispatches one struct-of-arrays model with raw wheel keys.
+// These properties drive the *same* timed op sequence through a
+// machine hosted in each world and assert the machine-observable
+// traces — (virtual time, effects) pairs — are identical. Any drift
+// between the two wheels' timer semantics (firing order, clamping,
+// cancellation) shows up as a trace mismatch.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use wsp_core::machines::breaker::BreakerState as MBreakerState;
+use wsp_simnet::{
+    Context, Dur, NodeEvent, PeerCtx, PeerEvent as SimPeerEvent, PeerModel, PeerSim, SimNet, Time,
+};
+
+type EffectTrace = Vec<(u64, Vec<u8>)>;
+
+fn breaker_event_for(op: u8, now_ms: u64) -> BreakerEvent {
+    match op {
+        0 => BreakerEvent::Acquire { now: now_ms },
+        1 => BreakerEvent::Success,
+        2 => BreakerEvent::Failure { now: now_ms },
+        _ => BreakerEvent::ProbeAborted { now: now_ms },
+    }
+}
+
+fn breaker_effect_code(e: &BreakerEffect) -> u8 {
+    match e {
+        BreakerEffect::Admit(Admit::Allowed) => 0,
+        BreakerEffect::Admit(Admit::Probe) => 1,
+        BreakerEffect::Admit(Admit::Rejected) => 2,
+        BreakerEffect::Tripped => 3,
+        BreakerEffect::Recovered => 4,
+        BreakerEffect::ProbeDiscarded => 5,
+    }
+}
+
+fn wheel_breaker_machine() -> BreakerMachine {
+    BreakerMachine {
+        failure_threshold: 2,
+        cooldown: 40, // ms — sequences of 1..30 ms steps straddle it
+    }
+}
+
+/// Drive `ops` through a breaker hosted in a boxed SimNet node: each op
+/// fires as a timer, steps the machine at the virtual-ms clock, and the
+/// next op's timer is set from inside the handler.
+fn simnet_breaker_trace(ops: &[(u8, u64)]) -> EffectTrace {
+    let trace: Rc<RefCell<EffectTrace>> = Rc::default();
+    let sink = Rc::clone(&trace);
+    let ops = ops.to_vec();
+    let machine = wheel_breaker_machine();
+    let mut state = machine.initial();
+    let mut net: SimNet<u64> = SimNet::new(1);
+    net.add_node(Box::new(
+        move |ctx: &mut Context<'_, u64>, ev: NodeEvent<u64>| match ev {
+            NodeEvent::Start => {
+                ctx.set_timer(Dur::millis(ops[0].1), 0);
+            }
+            NodeEvent::Timer { tag } => {
+                let i = tag as usize;
+                let now_ms = ctx.now().as_micros() / 1000;
+                let effects = step_mut(&machine, &mut state, &breaker_event_for(ops[i].0, now_ms));
+                sink.borrow_mut().push((
+                    ctx.now().as_micros(),
+                    effects.iter().map(breaker_effect_code).collect(),
+                ));
+                if i + 1 < ops.len() {
+                    ctx.set_timer(Dur::millis(ops[i + 1].1), (i + 1) as u64);
+                }
+            }
+            _ => {}
+        },
+    ));
+    net.run_to_quiescence();
+    let out = trace.borrow().clone();
+    out
+}
+
+struct WheelBreakerModel {
+    ops: Vec<(u8, u64)>,
+    machine: BreakerMachine,
+    state: MBreakerState,
+    trace: EffectTrace,
+}
+
+impl PeerModel for WheelBreakerModel {
+    type Msg = u64;
+
+    fn on_event(&mut self, ctx: &mut PeerCtx<'_, u64>, _peer: u32, event: SimPeerEvent<u64>) {
+        if let SimPeerEvent::Timer { tag } = event {
+            let i = tag as usize;
+            let now_ms = ctx.now().as_micros() / 1000;
+            let effects = step_mut(
+                &self.machine,
+                &mut self.state,
+                &breaker_event_for(self.ops[i].0, now_ms),
+            );
+            self.trace.push((
+                ctx.now().as_micros(),
+                effects.iter().map(breaker_effect_code).collect(),
+            ));
+            if i + 1 < self.ops.len() {
+                ctx.set_timer(Dur::millis(self.ops[i + 1].1), (i + 1) as u64);
+            }
+        }
+    }
+}
+
+/// The same schedule through the population front-end.
+fn peersim_breaker_trace(ops: &[(u8, u64)]) -> EffectTrace {
+    let machine = wheel_breaker_machine();
+    let state = machine.initial();
+    let mut sim = PeerSim::new(
+        1,
+        WheelBreakerModel {
+            ops: ops.to_vec(),
+            machine,
+            state,
+            trace: Vec::new(),
+        },
+    );
+    sim.add_peers(1, 0);
+    sim.schedule_timer_at(Time::millis(ops[0].1), 0, 0);
+    sim.run_to_quiescence();
+    sim.model().trace.clone()
+}
+
+fn admission_event_for(op: u8) -> AdmissionEvent {
+    match op {
+        0 => AdmissionEvent::Admit {
+            queue_depth: 0,
+            deadline_expired: false,
+            over_watermark: false,
+        },
+        1 => AdmissionEvent::Release,
+        2 => AdmissionEvent::BeginDrain,
+        _ => AdmissionEvent::EndDrain,
+    }
+}
+
+fn admission_effect_code(e: &AdmissionEffect) -> u8 {
+    match e {
+        AdmissionEffect::Admitted => 0,
+        AdmissionEffect::Shed(r) => 1 + *r as u8,
+        AdmissionEffect::Released => 10,
+        AdmissionEffect::PermitUnderflow => 11,
+    }
+}
+
+/// Admission machine under the boxed front-end.
+fn simnet_admission_trace(ops: &[(u8, u64)]) -> EffectTrace {
+    let trace: Rc<RefCell<EffectTrace>> = Rc::default();
+    let sink = Rc::clone(&trace);
+    let ops = ops.to_vec();
+    let machine = AdmissionMachine {
+        max_in_flight: 2,
+        max_queue_depth: u64::MAX,
+    };
+    let mut state = machine.initial();
+    let mut net: SimNet<u64> = SimNet::new(1);
+    net.add_node(Box::new(
+        move |ctx: &mut Context<'_, u64>, ev: NodeEvent<u64>| match ev {
+            NodeEvent::Start => {
+                ctx.set_timer(Dur::millis(ops[0].1), 0);
+            }
+            NodeEvent::Timer { tag } => {
+                let i = tag as usize;
+                let effects = step_mut(&machine, &mut state, &admission_event_for(ops[i].0));
+                sink.borrow_mut().push((
+                    ctx.now().as_micros(),
+                    effects.iter().map(admission_effect_code).collect(),
+                ));
+                if i + 1 < ops.len() {
+                    ctx.set_timer(Dur::millis(ops[i + 1].1), (i + 1) as u64);
+                }
+            }
+            _ => {}
+        },
+    ));
+    net.run_to_quiescence();
+    let out = trace.borrow().clone();
+    out
+}
+
+struct WheelAdmissionModel {
+    ops: Vec<(u8, u64)>,
+    machine: AdmissionMachine,
+    state: wsp_core::machines::admission::AdmissionState,
+    trace: EffectTrace,
+}
+
+impl PeerModel for WheelAdmissionModel {
+    type Msg = u64;
+
+    fn on_event(&mut self, ctx: &mut PeerCtx<'_, u64>, _peer: u32, event: SimPeerEvent<u64>) {
+        if let SimPeerEvent::Timer { tag } = event {
+            let i = tag as usize;
+            let effects = step_mut(
+                &self.machine,
+                &mut self.state,
+                &admission_event_for(self.ops[i].0),
+            );
+            self.trace.push((
+                ctx.now().as_micros(),
+                effects.iter().map(admission_effect_code).collect(),
+            ));
+            if i + 1 < self.ops.len() {
+                ctx.set_timer(Dur::millis(self.ops[i + 1].1), (i + 1) as u64);
+            }
+        }
+    }
+}
+
+/// Admission machine under the population front-end.
+fn peersim_admission_trace(ops: &[(u8, u64)]) -> EffectTrace {
+    let machine = AdmissionMachine {
+        max_in_flight: 2,
+        max_queue_depth: u64::MAX,
+    };
+    let state = machine.initial();
+    let mut sim = PeerSim::new(
+        1,
+        WheelAdmissionModel {
+            ops: ops.to_vec(),
+            machine,
+            state,
+            trace: Vec::new(),
+        },
+    );
+    sim.add_peers(1, 0);
+    sim.schedule_timer_at(Time::millis(ops[0].1), 0, 0);
+    sim.run_to_quiescence();
+    sim.model().trace.clone()
+}
+
+fn arb_timed_ops() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    // (op selector, inter-op delay in ms 1..30)
+    proptest::collection::vec((0u8..4, 1u64..30), 1..50)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Breaker: the boxed front-end and the population front-end
+    /// produce identical machine-observable traces for any timed op
+    /// sequence.
+    #[test]
+    fn breaker_traces_agree_across_front_ends(ops in arb_timed_ops()) {
+        let old = simnet_breaker_trace(&ops);
+        let new = peersim_breaker_trace(&ops);
+        prop_assert_eq!(old.len(), ops.len(), "every op must fire");
+        prop_assert_eq!(old, new);
+    }
+
+    /// Admission: same lockstep, same bar.
+    #[test]
+    fn admission_traces_agree_across_front_ends(ops in arb_timed_ops()) {
+        let old = simnet_admission_trace(&ops);
+        let new = peersim_admission_trace(&ops);
+        prop_assert_eq!(old.len(), ops.len(), "every op must fire");
+        prop_assert_eq!(old, new);
+    }
+}
