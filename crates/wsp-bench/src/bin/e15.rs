@@ -1,0 +1,160 @@
+//! E15 — keep-alive connection density: reactor vs thread-per-conn.
+//!
+//! `cargo run --release -p wsp-bench --bin e15 [-- quick]`
+//!
+//! Orchestrates one server subprocess per mode (see `e15::serve_mode`
+//! for the three-process protocol and why it exists), renders the
+//! comparison table, and writes `BENCH_E15.json`.
+//!
+//! Full mode holds 10 000 keep-alive connections on the reactor core
+//! and 1 000 on the thread-per-connection baseline (normalised
+//! per-connection in the verdict); `quick` shrinks both for CI.
+
+use wsp_bench::common::render_table;
+use wsp_bench::e15::{self, E15Row};
+
+fn run_subprocess_row(mode: &str, conns: usize, sample: usize) -> std::io::Result<E15Row> {
+    let exe = std::env::current_exe()?;
+    let output = std::process::Command::new(exe)
+        .args([
+            "--e15-server",
+            mode,
+            &conns.to_string(),
+            &sample.to_string(),
+        ])
+        .output()?;
+    if !output.status.success() {
+        return Err(std::io::Error::other(format!(
+            "e15 server subprocess ({mode}) failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        )));
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("ROW "))
+        .and_then(e15::row_from_line)
+        .ok_or_else(|| std::io::Error::other(format!("no ROW line from {mode} subprocess")))
+}
+
+fn row_json(row: &E15Row) -> String {
+    format!(
+        "    {{\"mode\": \"{}\", \"target_conns\": {}, \"held_conns\": {}, \"wave_ok\": {}, \"rss_before_kb\": {}, \"rss_after_kb\": {}, \"kb_per_conn\": {:.2}, \"p50_us\": {}, \"p99_us\": {}, \"wall_ms\": {}}}",
+        row.mode,
+        row.target_conns,
+        row.held_conns,
+        row.wave_ok,
+        row.rss_before_kb,
+        row.rss_after_kb,
+        row.kb_per_conn,
+        row.p50_us,
+        row.p99_us,
+        row.wall_ms,
+    )
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Subprocess entry points (spawned via current_exe, not for hand use).
+    if args.first().map(String::as_str) == Some("--e15-client") {
+        let addr = &args[1];
+        let conns: usize = args[2].parse().expect("conns");
+        let sample: usize = args[3].parse().expect("sample");
+        e15::client_main(addr, conns, sample);
+    }
+    if args.first().map(String::as_str) == Some("--e15-server") {
+        let mode = &args[1];
+        let conns: usize = args[2].parse().expect("conns");
+        let sample: usize = args[3].parse().expect("sample");
+        match e15::serve_mode(mode, conns, sample) {
+            Ok(row) => {
+                println!("{}", e15::row_to_line(&row));
+                return std::process::ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("e15 server ({mode}): {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let quick = args.iter().any(|a| a == "quick");
+    let (reactor_conns, threaded_conns, sample) = if quick {
+        (2_000usize, 200usize, 100usize)
+    } else {
+        (10_000, 1_000, 200)
+    };
+
+    let mut rows: Vec<E15Row> = Vec::new();
+    for (mode, conns) in [("reactor", reactor_conns), ("threaded", threaded_conns)] {
+        match run_subprocess_row(mode, conns, sample) {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                eprintln!("E15 {mode} run failed: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.target_conns.to_string(),
+                r.held_conns.to_string(),
+                r.wave_ok.to_string(),
+                format!("{:.2}", r.kb_per_conn),
+                r.p50_us.to_string(),
+                r.p99_us.to_string(),
+                r.wall_ms.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E15  keep-alive connection density (reactor vs thread-per-connection)",
+            &["mode", "target", "held", "wave ok", "KiB/conn", "p50 us", "p99 us", "wall ms"],
+            &table_rows,
+        )
+    );
+
+    let reactor = rows.iter().find(|r| r.mode == "reactor");
+    let threaded = rows.iter().find(|r| r.mode == "threaded");
+    let sustained = reactor.map(|r| r.held_conns >= r.target_conns && r.wave_ok >= r.target_conns);
+    let cheaper = match (reactor, threaded) {
+        (Some(r), Some(t)) => Some(r.kb_per_conn < t.kb_per_conn),
+        _ => None,
+    };
+    println!(
+        "reactor held {} connections ({} served); {:.2} KiB/conn vs {:.2} KiB/conn threaded",
+        reactor.map_or(0, |r| r.held_conns),
+        reactor.map_or(0, |r| r.wave_ok),
+        reactor.map_or(f64::NAN, |r| r.kb_per_conn),
+        threaded.map_or(f64::NAN, |r| r.kb_per_conn),
+    );
+
+    let body: Vec<String> = rows.iter().map(row_json).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"E15\",\n  \"quick\": {quick},\n  \"reactor_sustained_target\": {},\n  \"reactor_cheaper_per_conn\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        sustained.map_or("null".into(), |b| b.to_string()),
+        cheaper.map_or("null".into(), |b| b.to_string()),
+        body.join(",\n")
+    );
+    let path = "BENCH_E15.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    match (sustained, cheaper) {
+        (Some(true), Some(true)) => std::process::ExitCode::SUCCESS,
+        _ => {
+            eprintln!("E15 verdict failed: sustained={sustained:?} cheaper={cheaper:?}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

@@ -23,6 +23,7 @@ pub mod e11;
 pub mod e12;
 pub mod e12_legacy;
 pub mod e14;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;

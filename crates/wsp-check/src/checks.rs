@@ -7,7 +7,9 @@
 //! the `wsp-check` binary and the CI stage execute.
 
 use crate::composed::{ComposedEffect, ComposedEvent, ComposedMachine, ComposedState};
-use crate::mutations::{ComposedSkipHalfOpenReset, LeakSlotOnReject, SkipHalfOpenReset};
+use crate::mutations::{
+    ComposedSkipHalfOpenReset, LeakSlotOnReject, SkipHalfOpenReset, StickyHeadTimer,
+};
 use crate::{fault_seed, random_walk, Graph, Report, Violation};
 use wsp_core::machines::admission::{
     AdmissionEffect, AdmissionEvent, AdmissionMachine, AdmissionState, ShedReason,
@@ -17,6 +19,9 @@ use wsp_core::machines::breaker::{
 };
 use wsp_core::machines::correlation::{
     CallPhase, CorrelationEffect, CorrelationEvent, CorrelationMachine, CorrelationState,
+};
+use wsp_http::conn::{
+    ConnEffect, ConnEvent, ConnMachine, ConnState, Phase as ConnPhase, TimerKind,
 };
 use wsp_http::drain::{DrainEffect, DrainEvent, DrainMachine, DrainState, Lifecycle};
 use wsp_p2ps::rpc_machine::{RpcEffect, RpcEvent, RpcMachine, RpcState};
@@ -445,6 +450,148 @@ pub fn drain_mutation_counterexample() -> Option<Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// Reactor connection lifecycle
+// ---------------------------------------------------------------------------
+
+/// The events the reactor shell can actually deliver in each phase —
+/// readiness happenings are gated exactly the way epoll and the wheel
+/// gate them (no `HandlerDone` without a dispatched handler, no
+/// deadline for an unarmed timer). `Closed` gets the *full* alphabet:
+/// the shell can always race a late completion or flush into a dead
+/// connection, and the machine must shrug every one of them off.
+fn conn_events(state: &ConnState) -> Vec<ConnEvent> {
+    use ConnEvent as Ev;
+    if state.phase == ConnPhase::Closed {
+        return vec![
+            Ev::Open,
+            Ev::FirstByte,
+            Ev::HeadDone,
+            Ev::RequestDone,
+            Ev::BadRequest,
+            Ev::HandlerDone { close: false },
+            Ev::HandlerDone { close: true },
+            Ev::WriteFlushed,
+            Ev::Deadline(TimerKind::Head),
+            Ev::Deadline(TimerKind::Body),
+            Ev::Deadline(TimerKind::Idle),
+            Ev::Eof,
+            Ev::IoError,
+            Ev::DrainBegan,
+            Ev::Stopped,
+        ];
+    }
+    let mut events = match state.phase {
+        ConnPhase::New => return vec![Ev::Open],
+        ConnPhase::Idle => vec![Ev::FirstByte],
+        ConnPhase::ReadingHead => vec![Ev::HeadDone, Ev::RequestDone, Ev::BadRequest],
+        ConnPhase::ReadingBody => vec![Ev::RequestDone, Ev::BadRequest],
+        ConnPhase::Handling => vec![
+            Ev::HandlerDone { close: false },
+            Ev::HandlerDone { close: true },
+        ],
+        ConnPhase::Writing { .. } => vec![Ev::WriteFlushed],
+        ConnPhase::Closed => unreachable!("handled above"),
+    };
+    // The wheel only fires deadlines that are armed (exact
+    // cancellation), and only after registration.
+    for kind in [TimerKind::Head, TimerKind::Body, TimerKind::Idle] {
+        if state_timer(state, kind) {
+            events.push(Ev::Deadline(kind));
+        }
+    }
+    // The peer and the server lifecycle can interrupt any live phase.
+    events.push(Ev::Eof);
+    events.push(Ev::IoError);
+    if !state.draining {
+        events.push(Ev::DrainBegan);
+    }
+    events.push(Ev::Stopped);
+    events
+}
+
+/// `ConnState::timer` is private to wsp-http; mirror it here.
+fn state_timer(state: &ConnState, kind: TimerKind) -> bool {
+    match kind {
+        TimerKind::Head => state.head_timer,
+        TimerKind::Body => state.body_timer,
+        TimerKind::Idle => state.idle_timer,
+    }
+}
+
+fn conn_invariants(
+    graph: &Graph<impl Machine<State = ConnState, Event = ConnEvent, Effect = ConnEffect>>,
+) -> Result<(), Violation> {
+    use ConnEffect as Fx;
+    // Timers track phases exactly: a deadline armed for a stage the
+    // connection is not in would 408 (or reap) the wrong request.
+    graph.check_states("the header timer is armed iff reading the head", |s| {
+        s.head_timer == (s.phase == ConnPhase::ReadingHead)
+    })?;
+    graph.check_states("the body timer is armed iff reading the body", |s| {
+        s.body_timer == (s.phase == ConnPhase::ReadingBody)
+    })?;
+    graph.check_states("the idle timer is armed iff idle", |s| {
+        s.idle_timer == (s.phase == ConnPhase::Idle)
+    })?;
+    // Single dispatch: exactly one handler execution per request, on
+    // the edge into Handling.
+    graph.check_edges(
+        "dispatch happens exactly on the edge into Handling",
+        |from, _event, effects, to| {
+            effects.contains(&Fx::Dispatch)
+                == (from.phase != ConnPhase::Handling && to.phase == ConnPhase::Handling)
+        },
+    )?;
+    // Closed is terminal and silent: late completions, stale flushes
+    // and repeated stops against a dead connection do nothing.
+    graph.check_edges(
+        "a closed connection never moves or emits",
+        |from, _event, effects, to| {
+            from.phase != ConnPhase::Closed || (effects.is_empty() && to == from)
+        },
+    )?;
+    // Close is emitted exactly when the connection dies — never twice,
+    // never silently.
+    graph.check_edges(
+        "Close accompanies exactly the edges into Closed",
+        |from, _event, effects, to| {
+            effects.contains(&Fx::Close)
+                == (from.phase != ConnPhase::Closed && to.phase == ConnPhase::Closed)
+        },
+    )?;
+    // Timer bookkeeping is exact: never cancel what is not armed,
+    // never arm over an armed timer of the same kind.
+    graph.check_edges(
+        "timer arms and cancels are never mismatched",
+        |from, _event, effects, _to| {
+            effects.iter().all(|fx| match fx {
+                Fx::CancelTimer(kind) => state_timer(from, *kind),
+                Fx::ArmTimer(kind) => !state_timer(from, *kind),
+                _ => true,
+            })
+        },
+    )?;
+    graph.check_edges("drain latches", |from, _event, _effects, to| {
+        !from.draining || to.draining
+    })?;
+    graph.check_eventually("every connection can reach Closed", |s| {
+        s.phase == ConnPhase::Closed
+    })
+}
+
+pub fn check_conn() -> Result<Report, Violation> {
+    let graph = Graph::explore(ConnMachine, conn_events, MAX_STATES);
+    conn_invariants(&graph)?;
+    Ok(graph.report("conn"))
+}
+
+/// The sticky-header-timer mutation must produce a counterexample.
+pub fn conn_mutation_counterexample() -> Option<Violation> {
+    let graph = Graph::explore(StickyHeadTimer(ConnMachine), conn_events, MAX_STATES);
+    conn_invariants(&graph).err()
+}
+
+// ---------------------------------------------------------------------------
 // P2PS reply-pipe routing
 // ---------------------------------------------------------------------------
 
@@ -637,6 +784,7 @@ pub fn run_all() -> Result<Vec<Report>, Violation> {
         check_admission()?,
         check_correlation()?,
         check_drain()?,
+        check_conn()?,
         check_rpc()?,
         check_composed()?,
     ];
@@ -645,7 +793,7 @@ pub fn run_all() -> Result<Vec<Report>, Violation> {
 }
 
 /// DOT dump of a named machine's explored state graph (for docs and
-/// debugging): `breaker`, `admission`, `correlation`, `drain`, `rpc`.
+/// debugging): `breaker`, `admission`, `correlation`, `drain`, `conn`, `rpc`.
 pub fn dot_for(name: &str) -> Option<String> {
     match name {
         "breaker" => Some(
@@ -666,6 +814,7 @@ pub fn dot_for(name: &str) -> Option<String> {
             Graph::explore(CorrelationMachine, correlation_events, MAX_STATES).dot("correlation"),
         ),
         "drain" => Some(Graph::explore(drain_config(), drain_events, MAX_STATES).dot("drain")),
+        "conn" => Some(Graph::explore(ConnMachine, conn_events, MAX_STATES).dot("conn")),
         "rpc" => Some(Graph::explore(RpcMachine, rpc_events, MAX_STATES).dot("rpc")),
         _ => None,
     }
@@ -697,6 +846,30 @@ mod tests {
     fn drain_configuration_is_clean() {
         let report = check_drain().unwrap();
         assert!(report.states >= 12, "{report}");
+    }
+
+    #[test]
+    fn conn_configuration_is_clean() {
+        let report = check_conn().unwrap();
+        // Seven phases × the drain/half-close flags, minus the
+        // combinations the gated alphabet can never reach.
+        assert!(report.states >= 10, "{report}");
+    }
+
+    #[test]
+    fn seeded_conn_mutation_is_caught_with_a_trace() {
+        let violation = conn_mutation_counterexample()
+            .expect("the sticky-header-timer mutant must be condemned");
+        assert!(
+            violation.invariant.contains("header timer"),
+            "unexpected invariant: {}",
+            violation.invariant
+        );
+        assert!(
+            violation.trace.contains("RequestDone"),
+            "trace should include the fast-path dispatch:\n{}",
+            violation.trace
+        );
     }
 
     #[test]
@@ -757,7 +930,14 @@ mod tests {
 
     #[test]
     fn dot_dumps_exist_for_every_machine() {
-        for name in ["breaker", "admission", "correlation", "drain", "rpc"] {
+        for name in [
+            "breaker",
+            "admission",
+            "correlation",
+            "drain",
+            "conn",
+            "rpc",
+        ] {
             let dot = dot_for(name).unwrap();
             assert!(dot.starts_with(&format!("digraph {name}")), "{name}");
         }

@@ -4,7 +4,7 @@
 //! Exit status is nonzero on the first violation, with the
 //! counterexample trace on stderr. `wsp-check --dot <machine>` dumps a
 //! machine's explored state graph in Graphviz DOT form instead
-//! (`breaker`, `admission`, `correlation`, `drain`, `rpc`);
+//! (`breaker`, `admission`, `correlation`, `drain`, `conn`, `rpc`);
 //! `wsp-check --mutants` runs the deliberately sabotaged machines and
 //! prints the counterexample trace each one earns (failing if any
 //! mutant survives).
@@ -23,7 +23,7 @@ fn main() -> ExitCode {
                 }
                 None => {
                     eprintln!(
-                        "unknown machine {name:?}; try breaker, admission, correlation, drain, rpc"
+                        "unknown machine {name:?}; try breaker, admission, correlation, drain, conn, rpc"
                     );
                     ExitCode::FAILURE
                 }
@@ -43,6 +43,10 @@ fn main() -> ExitCode {
             (
                 "drain: leak slot on reject",
                 wsp_check::checks::drain_mutation_counterexample(),
+            ),
+            (
+                "conn: sticky header timer",
+                wsp_check::checks::conn_mutation_counterexample(),
             ),
         ];
         let mut all_condemned = true;

@@ -9,6 +9,7 @@
 
 use crate::composed::{ComposedEvent, ComposedMachine, ComposedState};
 use wsp_core::machines::breaker::{BreakerEvent, BreakerMachine, BreakerState};
+use wsp_http::conn::{ConnEffect, ConnEvent, ConnMachine, ConnState, Phase, TimerKind};
 use wsp_http::drain::{DrainEffect, DrainEvent, DrainMachine, DrainState};
 use wsp_simnet::Machine;
 
@@ -98,6 +99,34 @@ impl Machine for LeakSlotOnReject {
         if effects.contains(&DrainEffect::RejectAtCapacity) {
             // The bug: the reject path forgot it never took a slot.
             next.active += 1;
+        }
+        (next, effects)
+    }
+}
+
+/// Mutation: the fast path where a whole request frame lands in one
+/// read forgets to cancel the header deadline — the stale timer then
+/// 408s a request that is already executing. Exactly the bug exact
+/// wheel cancellation exists to prevent.
+#[derive(Debug, Clone)]
+pub struct StickyHeadTimer(pub ConnMachine);
+
+impl Machine for StickyHeadTimer {
+    type State = ConnState;
+    type Event = ConnEvent;
+    type Effect = ConnEffect;
+
+    fn initial(&self) -> ConnState {
+        self.0.initial()
+    }
+
+    fn step(&self, state: &ConnState, event: &ConnEvent) -> (ConnState, Vec<ConnEffect>) {
+        let (mut next, mut effects) = self.0.step(state, event);
+        if state.phase == Phase::ReadingHead && matches!(event, ConnEvent::RequestDone) {
+            // The bug: dispatch the request but leave the header
+            // deadline ticking on the wheel.
+            next.head_timer = true;
+            effects.retain(|fx| *fx != ConnEffect::CancelTimer(TimerKind::Head));
         }
         (next, effects)
     }

@@ -203,17 +203,93 @@ pub fn parse_response(input: &[u8]) -> Result<(Response, usize), HttpError> {
     ))
 }
 
+/// Incremental search for the end of an HTTP head (`\r\n\r\n`, or
+/// `\n\n` for bare-LF peers).
+///
+/// A connection read loop feeds the same growing buffer after every
+/// readiness event; remembering how far it already scanned makes a
+/// dripped header cost O(len) in total instead of the O(len²) the old
+/// whole-buffer rescan paid. The scanner resumes three bytes before
+/// the high-water mark so a terminator straddling two reads is still
+/// seen.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeadScan {
+    scanned: usize,
+}
+
+impl HeadScan {
+    pub fn new() -> HeadScan {
+        HeadScan::default()
+    }
+
+    /// Forget progress (call between requests on a keep-alive
+    /// connection, after draining the parsed frame from the buffer).
+    pub fn reset(&mut self) {
+        self.scanned = 0;
+    }
+
+    /// Scan any bytes not yet examined; returns the body offset (just
+    /// past the terminator) once the head is complete.
+    pub fn find(&mut self, buf: &[u8]) -> Option<usize> {
+        let start = self.scanned.saturating_sub(3);
+        for i in start..buf.len() {
+            if buf[i] != b'\n' {
+                continue;
+            }
+            // Earliest terminator of either flavour wins, so every
+            // parser that walks these bytes agrees where the body
+            // starts.
+            if (i >= 3 && &buf[i - 3..i] == b"\r\n\r") || (i >= 1 && buf[i - 1] == b'\n') {
+                return Some(i + 1);
+            }
+        }
+        self.scanned = buf.len();
+        None
+    }
+}
+
+/// Total frame length (head + declared body) of the message whose head
+/// ends at `body_start`, applying the same duplicate-`Content-Length`
+/// rules as the full parser. Lets a read loop that has just seen the
+/// head terminator wait for exactly the right byte count before paying
+/// for a full parse.
+pub fn frame_len(input: &[u8], body_start: usize) -> Result<usize, HttpError> {
+    let head = &input[..body_start.min(input.len())];
+    let mut length: Option<usize> = None;
+    for line in head.split(|&b| b == b'\n').skip(1).map(trim_cr) {
+        let Some(colon) = line.iter().position(|&b| b == b':') else {
+            continue;
+        };
+        if !line[..colon].eq_ignore_ascii_case(b"content-length") {
+            continue;
+        }
+        let value = std::str::from_utf8(&line[colon + 1..])
+            .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+        let parsed: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+        match length {
+            None => length = Some(parsed),
+            Some(existing) if existing == parsed => {}
+            Some(_) => {
+                return Err(HttpError::Malformed("conflicting Content-Length headers"));
+            }
+        }
+    }
+    Ok(body_start + length.unwrap_or(0))
+}
+
 /// Locate the end of the header section. Returns the head slice (without
 /// the blank line) and the offset where the body starts.
 fn split_head(input: &[u8]) -> Result<(&[u8], usize), HttpError> {
-    match find_subsequence(input, b"\r\n\r\n") {
-        Some(pos) => Ok((&input[..pos], pos + 4)),
-        // Tolerate bare-LF peers.
-        None => match find_subsequence(input, b"\n\n") {
-            Some(pos) => Ok((&input[..pos], pos + 2)),
-            None => Err(HttpError::Incomplete),
-        },
-    }
+    let body_start = HeadScan::new().find(input).ok_or(HttpError::Incomplete)?;
+    let head = &input[..body_start];
+    let head = head
+        .strip_suffix(b"\r\n\r\n")
+        .or_else(|| head.strip_suffix(b"\n\n"))
+        .unwrap_or(head);
+    Ok((head, body_start))
 }
 
 fn parse_headers<'a, I: Iterator<Item = &'a [u8]>>(lines: I) -> Result<Headers, HttpError> {
@@ -260,10 +336,6 @@ fn content_length(headers: &Headers) -> Result<usize, HttpError> {
 
 fn trim_cr(line: &[u8]) -> &[u8] {
     line.strip_suffix(b"\r").unwrap_or(line)
-}
-
-fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 #[cfg(test)]
@@ -421,6 +493,62 @@ mod tests {
         let (parsed, _) = parse_request(&bytes).unwrap();
         assert_eq!(parsed.headers.get("content-length"), Some("5"));
         assert_eq!(parsed.body, b"12345");
+    }
+
+    #[test]
+    fn head_scan_resumes_across_dripped_chunks() {
+        let wire = b"POST /s HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut scan = HeadScan::new();
+        let mut buf = Vec::new();
+        let mut found = None;
+        for &b in wire.iter() {
+            buf.push(b);
+            if let Some(body) = scan.find(&buf) {
+                found = Some((body, buf.len()));
+                break;
+            }
+        }
+        let (body_start, seen) = found.expect("terminator found");
+        assert_eq!(
+            &wire[..body_start],
+            b"POST /s HTTP/1.1\r\nContent-Length: 5\r\n\r\n"
+        );
+        assert_eq!(seen, body_start, "found on exactly the terminator byte");
+        assert_eq!(frame_len(wire, body_start).unwrap(), wire.len());
+    }
+
+    #[test]
+    fn head_scan_handles_bare_lf_and_reset() {
+        let mut scan = HeadScan::new();
+        let wire = b"GET /x HTTP/1.1\nHost: h\n\nGET";
+        let body = scan.find(wire).expect("bare-LF terminator");
+        assert_eq!(body, wire.len() - 3);
+        scan.reset();
+        assert_eq!(scan.find(b"GET / HTTP/1.1\r\nHo"), None);
+    }
+
+    #[test]
+    fn frame_len_applies_duplicate_content_length_rules() {
+        let ok = b"POST /s HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let body = HeadScan::new().find(ok).unwrap();
+        assert_eq!(frame_len(ok, body).unwrap(), ok.len());
+
+        let bad = b"POST /s HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 9\r\n\r\nhello";
+        let body = HeadScan::new().find(bad).unwrap();
+        assert_eq!(
+            frame_len(bad, body).unwrap_err(),
+            HttpError::Malformed("conflicting Content-Length headers")
+        );
+    }
+
+    #[test]
+    fn scan_and_parser_agree_on_the_frame() {
+        let req = Request::post("/Echo", "text/xml", "<env/>");
+        let wire = encode_request(&req);
+        let body_start = HeadScan::new().find(&wire).unwrap();
+        let total = frame_len(&wire, body_start).unwrap();
+        let (_, used) = parse_request(&wire).unwrap();
+        assert_eq!(total, used);
     }
 
     #[test]

@@ -16,20 +16,28 @@
 //! `TcpServer` implement exactly that contract.
 
 pub mod codec;
+pub mod conn;
 pub mod container;
 pub mod drain;
 pub mod httpg;
 pub mod message;
+pub mod reactor;
 pub mod router;
 pub mod sim;
 pub mod tcp;
 pub mod uri;
 
-pub use codec::{encode_request, encode_response, parse_request, parse_response, HttpError};
+pub use codec::{
+    encode_request, encode_response, frame_len, parse_request, parse_response, HeadScan, HttpError,
+};
+pub use conn::{ConnEffect, ConnEvent, ConnMachine, ConnState, Phase, TimerKind};
 pub use container::{ContainerModel, ContainerSimServer, DEPLOY_TAG};
 pub use drain::{DrainEffect, DrainEvent, DrainMachine, DrainState, Lifecycle};
 pub use httpg::{guard_router, guarded, HttpgCredential, HttpgError};
 pub use message::{Headers, Method, Request, Response};
+pub use reactor::{
+    Admit, ConnProtocol, Io, Job, JobResult, Listener, Reactor, ReactorConfig, ServerHooks,
+};
 pub use router::{HttpHandler, Interceptor, Router};
 pub use sim::{
     HttpSimServer, ResilientSimClient, RetrySchedule, SimCallOutcome, SimHttpClient,

@@ -4,16 +4,31 @@
 //! Per the paper, the server "is only launched once the application has
 //! deployed a service" — [`TcpServer::launch`] is called lazily by the
 //! WSPeer `Server` node on first deployment, binds an ephemeral port and
-//! serves the shared [`Router`]. One thread per connection,
-//! close-delimited exchanges: deliberately simple, matching the paper's
-//! minimal-host philosophy.
+//! serves the shared [`Router`].
+//!
+//! Two transport cores sit behind one `TcpServer` API:
+//!
+//! * [`ServerMode::Reactor`] (default) — the readiness-driven epoll
+//!   core ([`crate::reactor`]): the reactor thread parses requests and
+//!   flushes responses, a worker pool runs handlers, and every
+//!   per-connection decision is a pure [`ConnMachine`] transition with
+//!   header/body/idle deadlines on the shared [`EventWheel`]. One
+//!   thread + workers serve tens of thousands of keep-alive
+//!   connections (experiment E15).
+//! * [`ServerMode::Threaded`] — the historical thread-per-connection
+//!   core, kept as the E15 A/B baseline and as a fallback.
+//!
+//! Both cores share the [`DrainMachine`] lifecycle, the codec, and the
+//! `Router`, so overload/drain behaviour (E11) is identical.
 
 use crate::codec::{
-    encode_request_into, encode_response, encode_response_into, parse_request, parse_response,
-    HttpError,
+    encode_request_into, encode_response, encode_response_into, frame_len, parse_request,
+    parse_response, HeadScan, HttpError,
 };
+use crate::conn::{ConnEffect, ConnEvent, ConnMachine, ConnState, Phase, TimerKind};
 use crate::drain::{DrainEffect, DrainEvent, DrainMachine, DrainState};
 use crate::message::{Request, Response};
+use crate::reactor::{Admit, ConnProtocol, Io, JobResult, Listener, Reactor, ReactorConfig};
 use crate::router::Router;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -22,10 +37,19 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wsp_simnet::Machine;
 
-/// Tunables for [`TcpServer`]. `Default` reproduces the historical
-/// hard-coded behaviour (flat 10 s read deadlines, 250 ms read poll,
-/// 2 ms accept poll, no connection cap), so `launch` callers see no
-/// change.
+/// Which transport core serves the connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Readiness-driven epoll reactor + worker pool (default).
+    Reactor,
+    /// One blocking thread per connection (the pre-reactor core; the
+    /// E15 baseline).
+    Threaded,
+}
+
+/// Tunables for [`TcpServer`]. `Default` keeps the historical deadlines
+/// (flat 10 s header/body read budgets, no connection cap) on the
+/// reactor core.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Wall-clock budget for a connection to deliver a full request
@@ -34,12 +58,15 @@ pub struct ServerConfig {
     pub header_read_deadline: Duration,
     /// Additional budget for the body once the head is complete.
     /// Breach → `408 Request Timeout` and close. Staging the two stops
-    /// a drip-feeding client from holding a thread for the sum of both.
+    /// a drip-feeding client from holding a connection for the sum of
+    /// both.
     pub body_read_deadline: Duration,
-    /// Per-`read(2)` socket timeout: bounds how long a connection
-    /// thread can go without observing the stop/drain flags.
+    /// Threaded mode only: per-`read(2)` socket timeout bounding how
+    /// long a connection thread goes without observing the stop/drain
+    /// flags. The reactor observes them via its waker instead.
     pub read_poll: Duration,
-    /// Sleep between polls of the non-blocking listener.
+    /// Threaded mode only: sleep between polls of the non-blocking
+    /// listener. The reactor's listener is readiness-driven.
     pub accept_poll: Duration,
     /// Cap on concurrently served connections; accepts beyond it get an
     /// immediate `503` + `Retry-After` and are closed. `None` = no cap.
@@ -51,6 +78,15 @@ pub struct ServerConfig {
     /// rejections (rounded up to whole seconds on the wire, with the
     /// exact value in `X-WSP-Retry-After-Ms`).
     pub retry_after: Duration,
+    /// Transport core.
+    pub mode: ServerMode,
+    /// Reactor mode: handler worker threads (`0` = default of 4),
+    /// mirroring the dispatcher worker pool as the execution layer.
+    pub workers: usize,
+    /// Reactor mode: reap keep-alive connections idle longer than
+    /// this. `None` (default) keeps them until the peer closes or the
+    /// server drains, matching the threaded core.
+    pub idle_keepalive_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +99,9 @@ impl Default for ServerConfig {
             max_connections: None,
             drain_deadline: Duration::from_secs(5),
             retry_after: Duration::from_secs(1),
+            mode: ServerMode::Reactor,
+            workers: 0,
+            idle_keepalive_timeout: None,
         }
     }
 }
@@ -79,11 +118,18 @@ struct ServerState {
     config: ServerConfig,
     machine: DrainMachine,
     drain: parking_lot::Mutex<DrainState>,
+    /// Signalled on every drain-machine step, so
+    /// [`TcpServer::shutdown`] can sleep on connection-count changes
+    /// instead of busy-polling.
+    cv: parking_lot::Condvar,
 }
 
 impl ServerState {
     fn step(&self, event: DrainEvent) -> Vec<DrainEffect> {
-        wsp_simnet::step_mut(&self.machine, &mut self.drain.lock(), &event)
+        let mut drain = self.drain.lock();
+        let effects = wsp_simnet::step_mut(&self.machine, &mut drain, &event);
+        self.cv.notify_all();
+        effects
     }
 
     /// Hard stop observed: accept loop exits, connection threads bail
@@ -120,12 +166,18 @@ impl Drop for ActiveGuard {
     }
 }
 
+/// The running transport core behind a [`TcpServer`].
+enum Runtime {
+    Threaded(parking_lot::Mutex<Option<JoinHandle<()>>>),
+    Reactor(Reactor),
+}
+
 /// A running lightweight HTTP server.
 pub struct TcpServer {
     addr: SocketAddr,
     router: Router,
     state: Arc<ServerState>,
-    accept_thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
+    runtime: Runtime,
 }
 
 impl TcpServer {
@@ -144,6 +196,12 @@ impl TcpServer {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let mode = config.mode;
+        let workers = if config.workers == 0 {
+            4
+        } else {
+            config.workers
+        };
         let machine = DrainMachine {
             max_connections: config.max_connections.map(|cap| cap as u64),
         };
@@ -151,18 +209,38 @@ impl TcpServer {
             config,
             drain: parking_lot::Mutex::new(machine.initial()),
             machine,
+            cv: parking_lot::Condvar::new(),
         });
-        let accept_state = state.clone();
-        let accept_router = router.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("wsp-http-{}", addr.port()))
-            .spawn(move || accept_loop(listener, accept_router, accept_state))
-            .expect("spawn accept thread");
+        let runtime = match mode {
+            ServerMode::Reactor => {
+                let hooks = Arc::new(HttpHooks {
+                    state: Arc::clone(&state),
+                    router: router.clone(),
+                });
+                let reactor = Reactor::spawn(
+                    vec![Listener {
+                        socket: listener,
+                        hooks,
+                    }],
+                    ReactorConfig { workers },
+                )?;
+                Runtime::Reactor(reactor)
+            }
+            ServerMode::Threaded => {
+                let accept_state = state.clone();
+                let accept_router = router.clone();
+                let accept_thread = std::thread::Builder::new()
+                    .name(format!("wsp-http-{}", addr.port()))
+                    .spawn(move || accept_loop(listener, accept_router, accept_state))
+                    .expect("spawn accept thread");
+                Runtime::Threaded(parking_lot::Mutex::new(Some(accept_thread)))
+            }
+        };
         Ok(TcpServer {
             addr,
             router,
             state,
-            accept_thread: parking_lot::Mutex::new(Some(accept_thread)),
+            runtime,
         })
     }
 
@@ -203,23 +281,35 @@ impl TcpServer {
     /// would.
     pub fn shutdown(&self) -> bool {
         self.state.step(DrainEvent::BeginDrain);
+        // Reactor mode: wake the loop so idle keep-alive connections
+        // observe the drain now, not at their next readiness event.
+        if let Runtime::Reactor(reactor) = &self.runtime {
+            reactor.wake();
+        }
+        // Sleep on the drain condvar (signalled by every ConnClosed)
+        // instead of spinning on 1 ms polls.
         let deadline = Instant::now() + self.state.config.drain_deadline;
-        let drained = loop {
-            if self.state.active() == 0 {
-                break true;
+        let drained = {
+            let mut drain = self.state.drain.lock();
+            loop {
+                if drain.active == 0 {
+                    break true;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break false;
+                }
+                self.state.cv.wait_for(&mut drain, deadline - now);
             }
-            if Instant::now() >= deadline {
-                break false;
-            }
-            std::thread::sleep(Duration::from_millis(1));
         };
         self.stop_accepting();
         drained
     }
 
     /// Abrupt stop: no drain. Live connections are cut off as soon as
-    /// their threads observe the stop flag (within one read poll); this
-    /// is the only path that drops admitted work.
+    /// the core observes the stop flag (immediately in reactor mode,
+    /// within one read poll in threaded mode); this is the only path
+    /// that drops admitted work.
     pub fn shutdown_now(&self) {
         self.stop_accepting();
     }
@@ -228,8 +318,16 @@ impl TcpServer {
         // StopListening is the join below; a second Stop is a no-op and
         // returns no effects, so re-entry (shutdown → Drop) is safe.
         self.state.step(DrainEvent::Stop);
-        if let Some(handle) = self.accept_thread.lock().take() {
-            let _ = handle.join();
+        match &self.runtime {
+            Runtime::Threaded(thread) => {
+                if let Some(handle) = thread.lock().take() {
+                    let _ = handle.join();
+                }
+            }
+            Runtime::Reactor(reactor) => {
+                reactor.wake();
+                reactor.join();
+            }
         }
     }
 }
@@ -240,11 +338,8 @@ impl Drop for TcpServer {
     }
 }
 
-/// Tell a client we will not serve it right now: a canned `503` with
-/// `Retry-After`, then close. Written under a short timeout so a slow
-/// reader cannot stall the accept loop.
-fn reject_connection(stream: &mut TcpStream, config: &ServerConfig, why: &str) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+/// The canned `503` + `Retry-After` wire bytes for a shed connection.
+fn reject_bytes(config: &ServerConfig, why: &str) -> Vec<u8> {
     let mut response = Response::unavailable(why);
     response.headers.set(
         "Retry-After",
@@ -255,7 +350,294 @@ fn reject_connection(stream: &mut TcpStream, config: &ServerConfig, why: &str) {
         config.retry_after.as_millis().to_string(),
     );
     response.headers.set("Connection", "close");
-    let _ = stream.write_all(&encode_response(&response));
+    encode_response(&response)
+}
+
+/// Tell a client we will not serve it right now: a canned `503` with
+/// `Retry-After`, then close. Written under a short timeout so a slow
+/// reader cannot stall the accept loop (threaded mode; the reactor
+/// writes rejections under readiness like any other connection).
+fn reject_connection(stream: &mut TcpStream, config: &ServerConfig, why: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.write_all(&reject_bytes(config, why));
+}
+
+/// Admission policy for the reactor core: one `Accept` event into the
+/// drain machine decides serve/reject, exactly as the threaded accept
+/// loop does.
+struct HttpHooks {
+    state: Arc<ServerState>,
+    router: Router,
+}
+
+impl crate::reactor::ServerHooks for HttpHooks {
+    fn on_accept(&self) -> Admit {
+        match self.state.step(DrainEvent::Accept).first() {
+            Some(DrainEffect::Serve) => Admit::Serve {
+                proto: Box::new(HttpProto::new(self.router.clone(), Arc::clone(&self.state))),
+                counted: true,
+            },
+            Some(DrainEffect::RejectDraining) => {
+                Admit::Reject(reject_bytes(&self.state.config, "server draining"))
+            }
+            Some(DrainEffect::RejectAtCapacity) => {
+                Admit::Reject(reject_bytes(&self.state.config, "connection limit reached"))
+            }
+            // Stopped while this accept raced the flag: drop it.
+            _ => Admit::Drop,
+        }
+    }
+
+    fn on_conn_closed(&self) {
+        let effects = self.state.step(DrainEvent::ConnClosed);
+        debug_assert!(
+            !effects.contains(&DrainEffect::SlotUnderflow),
+            "reactor connection closed without a held slot"
+        );
+    }
+
+    fn stopped(&self) -> bool {
+        self.state.stopped()
+    }
+
+    fn drain_began(&self) -> bool {
+        self.state.drain_began()
+    }
+}
+
+/// A canned error response, always closing the connection.
+fn canned_close(mut response: Response) -> Vec<u8> {
+    response.headers.set("Connection", "close");
+    encode_response(&response)
+}
+
+/// One reactor-served HTTP connection: the byte-level shell around the
+/// pure [`ConnMachine`]. Readiness happenings become [`ConnEvent`]s;
+/// the returned [`ConnEffect`]s become timer/dispatch/write/close calls
+/// on the reactor [`Io`].
+struct HttpProto {
+    router: Router,
+    state: Arc<ServerState>,
+    conn: ConnState,
+    /// Incremental head-terminator scanner (satellite: the old
+    /// whole-buffer rescan made dripped headers O(n²)).
+    scan: HeadScan,
+    /// Body offset of the in-progress request, once scanned.
+    body_start: Option<usize>,
+    /// Total frame length (head + declared body), once known.
+    expected: Option<usize>,
+    /// Parsed request awaiting its `Dispatch` effect.
+    pending: Option<(Request, bool)>,
+}
+
+impl HttpProto {
+    fn new(router: Router, state: Arc<ServerState>) -> HttpProto {
+        HttpProto {
+            router,
+            state,
+            conn: ConnMachine.initial(),
+            scan: HeadScan::new(),
+            body_start: None,
+            expected: None,
+            pending: None,
+        }
+    }
+
+    fn deadline(&self, kind: TimerKind) -> Option<Duration> {
+        let config = &self.state.config;
+        match kind {
+            TimerKind::Head => Some(config.header_read_deadline),
+            TimerKind::Body => Some(config.body_read_deadline),
+            TimerKind::Idle => config.idle_keepalive_timeout,
+        }
+    }
+
+    /// Feed one event through the machine and execute its effects.
+    fn step(&mut self, io: &mut Io<'_>, event: ConnEvent) {
+        let effects = wsp_simnet::step_mut(&ConnMachine, &mut self.conn, &event);
+        for effect in effects {
+            match effect {
+                ConnEffect::ArmTimer(kind) => {
+                    if let Some(after) = self.deadline(kind) {
+                        io.arm_timer(kind, after);
+                    }
+                }
+                ConnEffect::CancelTimer(kind) => io.cancel_timer(kind),
+                ConnEffect::Dispatch => {
+                    let (request, client_close) = self
+                        .pending
+                        .take()
+                        .expect("Dispatch without a parsed request");
+                    let router = self.router.clone();
+                    let state = Arc::clone(&self.state);
+                    io.dispatch(Box::new(move || {
+                        run_handler(&router, &state, request, client_close)
+                    }));
+                }
+                ConnEffect::SendTimeout => io.queue_write(&canned_close(
+                    Response::request_timeout("request read deadline exceeded"),
+                )),
+                ConnEffect::SendBadRequest => {
+                    io.queue_write(&canned_close(Response::bad_request("unparseable request")))
+                }
+                // The reactor flushes whenever bytes are queued; no
+                // separate kick needed.
+                ConnEffect::StartWrite => {}
+                ConnEffect::Close => io.close(),
+            }
+        }
+    }
+
+    /// Drive the parse pipeline as far as the buffered bytes allow:
+    /// Idle → ReadingHead → (ReadingBody →) Handling. Also resumes
+    /// pipelined requests after a response flush.
+    fn pump(&mut self, io: &mut Io<'_>) {
+        loop {
+            match self.conn.phase {
+                Phase::Idle => {
+                    if io.read_buf.is_empty() {
+                        return;
+                    }
+                    self.step(io, ConnEvent::FirstByte);
+                }
+                Phase::ReadingHead => {
+                    if self.body_start.is_none() {
+                        self.body_start = self.scan.find(io.read_buf);
+                    }
+                    let Some(body_start) = self.body_start else {
+                        return; // head still incomplete
+                    };
+                    match frame_len(io.read_buf, body_start) {
+                        Ok(total) => {
+                            self.expected = Some(total);
+                            if io.read_buf.len() >= total {
+                                // Whole frame in the buffer: skip the
+                                // body stage (and its timer churn).
+                                if !self.finish_request(io, total) {
+                                    return;
+                                }
+                            } else {
+                                self.step(io, ConnEvent::HeadDone);
+                                return;
+                            }
+                        }
+                        Err(_) => {
+                            self.step(io, ConnEvent::BadRequest);
+                            return;
+                        }
+                    }
+                }
+                Phase::ReadingBody => {
+                    let total = self.expected.expect("frame length set with HeadDone");
+                    if io.read_buf.len() < total {
+                        return;
+                    }
+                    if !self.finish_request(io, total) {
+                        return;
+                    }
+                }
+                // Handling / Writing: pipelined bytes wait their turn.
+                _ => return,
+            }
+        }
+    }
+
+    /// Parse the complete frame and step `RequestDone` (true) or
+    /// `BadRequest` (false).
+    fn finish_request(&mut self, io: &mut Io<'_>, total: usize) -> bool {
+        match parse_request(&io.read_buf[..total]) {
+            Ok((request, used)) => {
+                io.read_buf.drain(..used);
+                self.scan.reset();
+                self.body_start = None;
+                self.expected = None;
+                let client_close = request
+                    .headers
+                    .get("connection")
+                    .map(|v| v.eq_ignore_ascii_case("close"))
+                    .unwrap_or(false);
+                self.pending = Some((request, client_close));
+                self.step(io, ConnEvent::RequestDone);
+                true
+            }
+            Err(_) => {
+                self.step(io, ConnEvent::BadRequest);
+                false
+            }
+        }
+    }
+}
+
+/// Worker-side handler execution: run the router, decide the
+/// `Connection` header at encode time (drain may have begun while the
+/// handler ran), serialise into a pooled buffer.
+fn run_handler(
+    router: &Router,
+    state: &ServerState,
+    request: Request,
+    client_close: bool,
+) -> JobResult {
+    let mut response = router.handle(&request);
+    let close = client_close || state.drain_began();
+    response
+        .headers
+        .set("Connection", if close { "close" } else { "keep-alive" });
+    let pool = wsp_xml::BufPool::global();
+    let mut wire = pool.take();
+    encode_response_into(&response, &mut wire);
+    pool.put(std::mem::take(&mut response.body));
+    JobResult { bytes: wire, close }
+}
+
+impl ConnProtocol for HttpProto {
+    fn on_open(&mut self, io: &mut Io<'_>) {
+        self.step(io, ConnEvent::Open);
+        if io.draining() {
+            // Admission raced the drain flag: close like an idle conn.
+            self.step(io, ConnEvent::DrainBegan);
+        }
+    }
+
+    fn on_data(&mut self, io: &mut Io<'_>) {
+        self.pump(io);
+    }
+
+    fn on_eof(&mut self, io: &mut Io<'_>) {
+        self.step(io, ConnEvent::Eof);
+    }
+
+    fn on_timer(&mut self, io: &mut Io<'_>, kind: TimerKind) {
+        self.step(io, ConnEvent::Deadline(kind));
+    }
+
+    fn on_job_done(&mut self, io: &mut Io<'_>, result: JobResult) {
+        if self.conn.closed() {
+            return; // late completion for a dead connection
+        }
+        io.queue_write(&result.bytes);
+        wsp_xml::BufPool::global().put(result.bytes);
+        self.step(
+            io,
+            ConnEvent::HandlerDone {
+                close: result.close,
+            },
+        );
+        if io.unflushed() == 0 {
+            // Nothing to write (panicked handler): the flush edge will
+            // never come from the reactor, so take it now.
+            self.step(io, ConnEvent::WriteFlushed);
+        }
+    }
+
+    fn on_write_flushed(&mut self, io: &mut Io<'_>) {
+        self.step(io, ConnEvent::WriteFlushed);
+        // Back to Idle: a pipelined request may already be buffered.
+        self.pump(io);
+    }
+
+    fn on_drain(&mut self, io: &mut Io<'_>) {
+        self.step(io, ConnEvent::DrainBegan);
+    }
 }
 
 fn accept_loop(listener: TcpListener, router: Router, state: Arc<ServerState>) {
@@ -300,12 +682,6 @@ fn accept_loop(listener: TcpListener, router: Router, state: Arc<ServerState>) {
     }
 }
 
-/// Is the request head (`…\r\n\r\n`) fully buffered? Marks the boundary
-/// between the header and body read deadlines.
-fn head_is_complete(buf: &[u8]) -> bool {
-    buf.windows(4).any(|w| w == b"\r\n\r\n")
-}
-
 fn serve_connection(mut stream: TcpStream, router: Router, state: &ServerState) {
     let config = &state.config;
     // Short read timeout so the loop can observe the stop/drain flags
@@ -326,6 +702,11 @@ fn serve_connection(mut stream: TcpStream, router: Router, state: &ServerState) 
             Some(Instant::now())
         };
         let mut head_done: Option<Instant> = None;
+        // Incremental terminator scan: each new chunk is scanned once,
+        // resuming where the last scan stopped, instead of rescanning
+        // the whole buffer per read (quadratic on dripped headers).
+        let mut scan = HeadScan::new();
+        let mut frame: Option<usize> = None;
         let (request, used) = loop {
             if state.stopped() {
                 return;
@@ -333,48 +714,63 @@ fn serve_connection(mut stream: TcpStream, router: Router, state: &ServerState) 
             if started.is_none() && state.drain_began() {
                 return; // draining and no request in flight: close now
             }
-            match parse_request(&buf) {
-                Ok(parsed) => break parsed,
-                Err(HttpError::Incomplete) => {
-                    if let Some(first_byte) = started {
-                        if head_done.is_none() && head_is_complete(&buf) {
-                            head_done = Some(Instant::now());
-                        }
-                        let (stage_start, budget) = match head_done {
-                            Some(at) => (at, config.body_read_deadline),
-                            None => (first_byte, config.header_read_deadline),
-                        };
-                        if stage_start.elapsed() >= budget {
-                            let _ = stream.write_all(&encode_response(&Response::request_timeout(
-                                "request read deadline exceeded",
+            if frame.is_none() {
+                if let Some(body_start) = scan.find(&buf) {
+                    if head_done.is_none() {
+                        head_done = Some(Instant::now());
+                    }
+                    match frame_len(&buf, body_start) {
+                        Ok(total) => frame = Some(total),
+                        Err(_) => {
+                            let _ = stream.write_all(&encode_response(&Response::bad_request(
+                                "unparseable request",
                             )));
                             return;
                         }
                     }
-                    let mut chunk = [0u8; 4096];
-                    match stream.read(&mut chunk) {
-                        Ok(0) => return, // peer went away
-                        Ok(n) => {
-                            if started.is_none() {
-                                started = Some(Instant::now());
-                            }
-                            buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+            if let Some(total) = frame {
+                if buf.len() >= total {
+                    match parse_request(&buf[..total]) {
+                        Ok(parsed) => break parsed,
+                        Err(_) => {
+                            let _ = stream.write_all(&encode_response(&Response::bad_request(
+                                "unparseable request",
+                            )));
+                            return;
                         }
-                        Err(e)
-                            if e.kind() == std::io::ErrorKind::WouldBlock
-                                || e.kind() == std::io::ErrorKind::TimedOut =>
-                        {
-                            continue; // idle: re-check the flags
-                        }
-                        Err(_) => return,
                     }
                 }
-                Err(_) => {
-                    let _ = stream.write_all(&encode_response(&Response::bad_request(
-                        "unparseable request",
+            }
+            if let Some(first_byte) = started {
+                let (stage_start, budget) = match head_done {
+                    Some(at) => (at, config.body_read_deadline),
+                    None => (first_byte, config.header_read_deadline),
+                };
+                if stage_start.elapsed() >= budget {
+                    let _ = stream.write_all(&encode_response(&Response::request_timeout(
+                        "request read deadline exceeded",
                     )));
                     return;
                 }
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return, // peer went away
+                Ok(n) => {
+                    if started.is_none() {
+                        started = Some(Instant::now());
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue; // idle: re-check the flags
+                }
+                Err(_) => return,
             }
         };
         buf.drain(..used);
@@ -443,18 +839,34 @@ pub fn http_call_with_timeout(
     pool.put(std::mem::take(&mut request.body));
     wrote.map_err(|e| HttpError::Io(e.to_string()))?;
     let mut buf = Vec::with_capacity(4096);
+    let (response, _) = read_response(&mut stream, &mut buf)?;
+    Ok(response)
+}
+
+/// Read one complete response frame from `stream` into `buf`, scanning
+/// each chunk for the head terminator exactly once.
+fn read_response(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> Result<(Response, usize), HttpError> {
+    let mut scan = HeadScan::new();
+    let mut frame: Option<usize> = None;
     loop {
-        match parse_response(&buf) {
-            Ok((response, _)) => return Ok(response),
-            Err(HttpError::Incomplete) => {
-                let mut chunk = [0u8; 4096];
-                match stream.read(&mut chunk) {
-                    Ok(0) => return Err(HttpError::Incomplete),
-                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
-                    Err(e) => return Err(HttpError::Io(e.to_string())),
-                }
+        if frame.is_none() {
+            if let Some(body_start) = scan.find(buf) {
+                frame = Some(frame_len(buf, body_start)?);
             }
-            Err(e) => return Err(e),
+        }
+        if let Some(total) = frame {
+            if buf.len() >= total {
+                return parse_response(&buf[..total]);
+            }
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Incomplete),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(HttpError::Io(e.to_string())),
         }
     }
 }
@@ -596,17 +1008,25 @@ impl ConnectionPool {
         request.headers.set("Connection", "keep-alive");
         let authority = format!("{host}:{port}");
         // A pooled connection may die between the liveness probe and
-        // the exchange (the race is unavoidable); retry exactly once on
-        // a fresh connection.
+        // the exchange (the race is unavoidable). Retry exactly once on
+        // a fresh connection — but only when the failure provably
+        // happened *before any response byte arrived* (stale-socket
+        // class). Once the server has started answering it may already
+        // have executed the request, and resending would duplicate a
+        // possibly non-idempotent call: those failures surface instead.
         if let Some(stream) = self.take(&authority) {
             match self.exchange(stream, &authority, &request) {
                 Ok(response) => {
                     self.hits.fetch_add(1, Relaxed);
                     return Ok(response);
                 }
-                Err(_) => {
+                Err(ExchangeError::Retriable(_)) => {
                     self.retired.fetch_add(1, Relaxed);
                     self.retries.fetch_add(1, Relaxed);
+                }
+                Err(ExchangeError::Fatal(e)) => {
+                    self.retired.fetch_add(1, Relaxed);
+                    return Err(e);
                 }
             }
         }
@@ -614,6 +1034,7 @@ impl ConnectionPool {
         let stream =
             TcpStream::connect((host, port)).map_err(|e| HttpError::Connect(e.to_string()))?;
         self.exchange(stream, &authority, &request)
+            .map_err(ExchangeError::into_inner)
     }
 
     fn exchange(
@@ -621,44 +1042,103 @@ impl ConnectionPool {
         mut stream: TcpStream,
         authority: &str,
         request: &Request,
-    ) -> Result<Response, HttpError> {
+    ) -> Result<Response, ExchangeError> {
         stream
             .set_read_timeout(Some(self.call_timeout))
-            .map_err(|e| HttpError::Io(e.to_string()))?;
+            .map_err(|e| ExchangeError::Fatal(HttpError::Io(e.to_string())))?;
         let buf_pool = wsp_xml::BufPool::global();
         let mut wire = buf_pool.take();
         encode_request_into(request, &mut wire);
         let wrote = stream.write_all(&wire);
         buf_pool.put(wire);
-        wrote.map_err(|e| HttpError::Io(e.to_string()))?;
+        // A write failure means the server never got the full request:
+        // always safe to retry on a fresh connection.
+        wrote.map_err(|e| ExchangeError::Retriable(HttpError::Io(e.to_string())))?;
+        let mut scan = HeadScan::new();
+        let mut frame: Option<usize> = None;
         let mut buf = Vec::with_capacity(4096);
         loop {
-            match parse_response(&buf) {
-                Ok((response, _)) => {
-                    // Reuse only an explicit keep-alive; `close` (or any
-                    // absent/unknown value) retires the connection.
-                    let connection = response.headers.get("connection").unwrap_or("");
-                    let close = connection.eq_ignore_ascii_case("close");
-                    if connection.eq_ignore_ascii_case("keep-alive") {
-                        self.put(authority, stream);
-                    } else if close {
-                        self.retired
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    }
+            if frame.is_none() {
+                if let Some(body_start) = scan.find(&buf) {
+                    frame = Some(frame_len(&buf, body_start).map_err(ExchangeError::Fatal)?);
+                }
+            }
+            if let Some(total) = frame {
+                if buf.len() >= total {
+                    let (response, _) =
+                        parse_response(&buf[..total]).map_err(ExchangeError::Fatal)?;
+                    self.settle(authority, stream, &buf, &response);
                     return Ok(response);
                 }
-                Err(HttpError::Incomplete) => {
-                    let mut chunk = [0u8; 4096];
-                    match stream.read(&mut chunk) {
-                        Ok(0) => return Err(HttpError::Incomplete),
-                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
-                        Err(e) => return Err(HttpError::Io(e.to_string())),
-                    }
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) if buf.is_empty() => {
+                    // Clean EOF before any response byte: the pooled
+                    // socket was already closed server-side.
+                    return Err(ExchangeError::Retriable(HttpError::Incomplete));
                 }
-                Err(e) => return Err(e),
+                Ok(0) => return Err(ExchangeError::Fatal(HttpError::Incomplete)),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if buf.is_empty() && is_stale_socket_error(&e) => {
+                    return Err(ExchangeError::Retriable(HttpError::Io(e.to_string())));
+                }
+                // Mid-response failures and timeouts are not provably
+                // pre-execution; surface them.
+                Err(e) => return Err(ExchangeError::Fatal(HttpError::Io(e.to_string()))),
             }
         }
     }
+
+    /// Decide whether `stream` goes back to the pool. HTTP/1.1 defaults
+    /// to persistent connections: an absent `Connection` header means
+    /// reuse unless the peer speaks HTTP/1.0 (whose default is close).
+    /// Explicit `close` — or any unrecognised token — retires it.
+    fn settle(&self, authority: &str, stream: TcpStream, raw: &[u8], response: &Response) {
+        let reuse = match response.headers.get("connection") {
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            Some(_) => false,
+            None => !raw.starts_with(b"HTTP/1.0"),
+        };
+        if reuse {
+            self.put(authority, stream);
+        } else {
+            self.retired
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+/// A pooled-exchange failure, split by whether a retry on a fresh
+/// connection could duplicate server-side work.
+#[derive(Debug)]
+enum ExchangeError {
+    /// The request provably never reached handler execution (connect or
+    /// write error, or EOF/reset before the first response byte).
+    Retriable(HttpError),
+    /// Anything after the first response byte — or a timeout, where the
+    /// request may still be executing.
+    Fatal(HttpError),
+}
+
+impl ExchangeError {
+    fn into_inner(self) -> HttpError {
+        match self {
+            ExchangeError::Retriable(e) | ExchangeError::Fatal(e) => e,
+        }
+    }
+}
+
+/// Error kinds that mean the pooled socket died while idle — the
+/// request never made it to the server.
+fn is_stale_socket_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+    )
 }
 
 #[cfg(test)]
@@ -943,6 +1423,157 @@ mod tests {
         }
         server.shutdown();
     }
+
+    /// A request dripped one byte per write, then two whole requests
+    /// pipelined in one write — the incremental head scan and the
+    /// machine's Writing → Idle re-pump must handle both.
+    #[test]
+    fn dripped_then_pipelined_requests_on_one_connection() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let request = b"POST /Echo HTTP/1.1\r\nContent-Length: 5\r\n\r\ndrip!";
+        for &byte in request.iter() {
+            stream.write_all(&[byte]).unwrap();
+            stream.flush().unwrap();
+        }
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let first = loop {
+            match parse_response(&buf) {
+                Ok((response, used)) => {
+                    buf.drain(..used);
+                    break response;
+                }
+                Err(HttpError::Incomplete) => {
+                    let n = stream.read(&mut chunk).unwrap();
+                    assert_ne!(n, 0, "server closed before answering the dripped request");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => panic!("{e}"),
+            }
+        };
+        assert_eq!(first.body_str(), "drip!");
+
+        // Two requests in one TCP segment; two responses must come back
+        // in order on the same connection.
+        let pipelined = b"POST /Echo HTTP/1.1\r\nContent-Length: 3\r\n\r\none\
+                          POST /Echo HTTP/1.1\r\nContent-Length: 3\r\n\r\ntwo";
+        stream.write_all(pipelined).unwrap();
+        let mut bodies = Vec::new();
+        while bodies.len() < 2 {
+            match parse_response(&buf) {
+                Ok((response, used)) => {
+                    buf.drain(..used);
+                    bodies.push(response.body_str().into_owned());
+                }
+                Err(HttpError::Incomplete) => {
+                    let n = stream.read(&mut chunk).unwrap();
+                    assert_ne!(n, 0, "server closed mid-pipeline");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(bodies, ["one", "two"]);
+        server.shutdown();
+    }
+
+    /// A client that reads its response slowly forces the reactor into
+    /// `EPOLLOUT` backpressure; every byte must still arrive, and other
+    /// connections must stay responsive meanwhile.
+    #[test]
+    fn slow_reader_gets_the_full_response_under_backpressure() {
+        let body: Vec<u8> = std::iter::repeat(b"wsp".iter().copied())
+            .flatten()
+            .take(1 << 20)
+            .collect();
+        let router = Router::new();
+        let served = body.clone();
+        router.deploy(
+            "Big",
+            Arc::new(move |_req: &Request| {
+                Response::ok("application/octet-stream", served.clone())
+            }),
+        );
+        let server = TcpServer::launch(0, router).unwrap();
+        let mut slow = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        slow.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        slow.write_all(b"GET /Big HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        // Give the write buffer time to fill so EPOLLOUT interest is
+        // genuinely exercised, then drain in small sips with pauses.
+        std::thread::sleep(Duration::from_millis(100));
+        let port = server.port();
+        let mut received = Vec::new();
+        let mut chunk = [0u8; 8192];
+        let mut sips = 0u32;
+        loop {
+            match slow.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    received.extend_from_slice(&chunk[..n]);
+                    sips += 1;
+                    if sips.is_multiple_of(8) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    // The reactor thread must not be wedged behind the
+                    // slow writer: a second client gets served mid-drain.
+                    if sips == 16 {
+                        let other = http_call("127.0.0.1", port, Request::get("/Big")).unwrap();
+                        assert!(other.is_success());
+                    }
+                }
+                Err(e) => panic!("read failed mid-backpressure: {e}"),
+            }
+        }
+        let (response, _) = parse_response(&received).unwrap();
+        assert_eq!(response.body.len(), body.len());
+        assert_eq!(response.body, body);
+        server.shutdown();
+    }
+
+    /// Drain completion is condvar-signalled: shutdown must return as
+    /// soon as the last connection closes, well before the deadline.
+    #[test]
+    fn shutdown_returns_as_soon_as_drain_completes() {
+        let router = Router::new();
+        router.deploy(
+            "Slow",
+            Arc::new(|_req: &Request| {
+                std::thread::sleep(Duration::from_millis(150));
+                Response::ok("text/plain", "done")
+            }),
+        );
+        let server = TcpServer::launch_with(
+            0,
+            router,
+            ServerConfig {
+                drain_deadline: Duration::from_secs(30),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let port = server.port();
+        let in_flight = std::thread::spawn(move || {
+            http_call("127.0.0.1", port, Request::get("/Slow")).unwrap()
+        });
+        while server.active_connections() == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let begun = Instant::now();
+        let drained = server.shutdown();
+        let waited = begun.elapsed();
+        assert!(drained);
+        assert!(
+            waited < Duration::from_secs(10),
+            "shutdown must track the connection close, not the 30 s deadline (took {waited:?})"
+        );
+        assert!(in_flight.join().unwrap().is_success());
+    }
 }
 
 #[cfg(test)]
@@ -1146,5 +1777,139 @@ mod pool_tests {
         }
         assert!(pool.idle_count() >= 1 && pool.idle_count() <= 4);
         server.shutdown();
+    }
+
+    /// A raw scripted server: answers each accepted connection with the
+    /// given canned responses in order (reading one request before
+    /// each), then closes. Returns the number of requests it received.
+    fn scripted_server(
+        scripts: Vec<Vec<&'static str>>,
+    ) -> (
+        u16,
+        Arc<std::sync::atomic::AtomicUsize>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let requests = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = requests.clone();
+        let join = std::thread::spawn(move || {
+            for script in scripts {
+                let Ok((mut conn, _)) = listener.accept() else {
+                    return;
+                };
+                for response in script {
+                    let mut buf = Vec::new();
+                    let mut chunk = [0u8; 1024];
+                    loop {
+                        match parse_request(&buf) {
+                            Ok(_) => break,
+                            Err(HttpError::Incomplete) => match conn.read(&mut chunk) {
+                                Ok(0) => return,
+                                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                                Err(_) => return,
+                            },
+                            Err(_) => return,
+                        }
+                    }
+                    seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    let _ = conn.write_all(response.as_bytes());
+                }
+                // Drop the connection between scripts.
+            }
+        });
+        (port, requests, join)
+    }
+
+    #[test]
+    fn absent_connection_header_defaults_to_reuse_on_http11() {
+        // HTTP/1.1 without any Connection header: persistent by
+        // default, so the pool must reuse the socket.
+        let (port, requests, join) = scripted_server(vec![vec![
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+        ]]);
+        let pool = ConnectionPool::new();
+        for _ in 0..2 {
+            let response = pool.call("127.0.0.1", port, Request::get("/")).unwrap();
+            assert_eq!(response.body_str(), "ok");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 1, "both calls on one connection: {stats:?}");
+        assert_eq!(requests.load(std::sync::atomic::Ordering::SeqCst), 2);
+        drop(join);
+    }
+
+    #[test]
+    fn http10_response_without_keep_alive_is_retired() {
+        // HTTP/1.0 defaults to close: absent header means retire.
+        let (port, _requests, join) = scripted_server(vec![
+            vec!["HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok"],
+            vec!["HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok"],
+        ]);
+        let pool = ConnectionPool::new();
+        for _ in 0..2 {
+            let response = pool.call("127.0.0.1", port, Request::get("/")).unwrap();
+            assert_eq!(response.body_str(), "ok");
+        }
+        let stats = pool.stats();
+        assert_eq!(pool.idle_count(), 0, "HTTP/1.0 must not pool");
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert_eq!(stats.retired, 2, "{stats:?}");
+        drop(join);
+    }
+
+    #[test]
+    fn pool_does_not_resend_after_partial_response() {
+        // First exchange pools the connection; the second gets a
+        // truncated response (head bytes, then close). The server may
+        // already have executed that request, so the pool must surface
+        // the failure rather than resend it on a fresh connection.
+        let (port, requests, join) = scripted_server(vec![
+            vec![
+                "HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 2\r\n\r\nok",
+                "HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 99\r\n\r\ntruncated",
+            ],
+            // A third connection would only be opened by the buggy
+            // retry; scripting it lets the duplicate show up in the
+            // request count instead of a client-side connect error.
+            vec!["HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 2\r\n\r\nok"],
+        ]);
+        let pool = ConnectionPool::new().with_call_timeout(Duration::from_millis(500));
+        pool.call("127.0.0.1", port, Request::get("/")).unwrap();
+        let err = pool.call("127.0.0.1", port, Request::get("/")).unwrap_err();
+        assert!(
+            matches!(err, HttpError::Incomplete | HttpError::Io(_)),
+            "mid-response death must surface: {err:?}"
+        );
+        let stats = pool.stats();
+        assert_eq!(stats.retries, 0, "no retry after response bytes: {stats:?}");
+        assert_eq!(
+            requests.load(std::sync::atomic::Ordering::SeqCst),
+            2,
+            "the possibly-executed request must not be resent"
+        );
+        drop(join);
+    }
+
+    #[test]
+    fn pool_retries_when_pooled_connection_dies_before_any_response_byte() {
+        // The pooled socket is closed server-side after the first
+        // exchange; the second write (or its first read) fails before
+        // any response byte, which IS provably safe to retry.
+        let (port, requests, join) = scripted_server(vec![
+            vec!["HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 2\r\n\r\nok"],
+            vec!["HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 2\r\n\r\nok"],
+        ]);
+        let pool = ConnectionPool::new().with_call_timeout(Duration::from_millis(500));
+        pool.call("127.0.0.1", port, Request::get("/")).unwrap();
+        // Let the server-side close land so the liveness probe (or the
+        // exchange) sees a dead socket rather than a live one.
+        std::thread::sleep(Duration::from_millis(100));
+        let response = pool.call("127.0.0.1", port, Request::get("/")).unwrap();
+        assert_eq!(response.body_str(), "ok");
+        assert_eq!(requests.load(std::sync::atomic::Ordering::SeqCst), 2);
+        drop(join);
     }
 }

@@ -26,6 +26,7 @@ pub mod cache;
 pub mod id;
 pub mod machine;
 pub mod message;
+pub mod pipe_tcp;
 pub mod query;
 pub mod resolver;
 pub mod rpc;
@@ -42,6 +43,7 @@ pub use cache::AdvertCache;
 pub use id::PeerId;
 pub use machine::{PeerConfig, PeerMachine, PeerOutput};
 pub use message::P2psMessage;
+pub use pipe_tcp::{pipe_call, read_frame, write_frame, PipeTcpConfig, PipeTcpServer};
 pub use query::P2psQuery;
 pub use resolver::{ChainResolver, EndpointResolver, TableResolver};
 pub use rpc::{decode_request, encode_response, ReceivedRequest, RpcCorrelator};

@@ -65,6 +65,23 @@ WSP_FAULT_SEED=7 timeout 300 cargo test -q --release -p wsp-integration-tests --
 echo "==> E14 artifact (BENCH_E14.json)"
 cargo run -q --release -p wsp-bench --bin e14 -- quick
 
+# Reactor core (PR 8): the default transport is now the epoll reactor,
+# so every socket-level suite above already ran on it. Re-pin the E11
+# admission/deadline/drain suite explicitly under both fixed seeds in
+# release (the reactor's timer wheel drives the staged deadlines), then
+# emit the E15 connection-density artifact in quick mode (2 000 held
+# keep-alive connections vs a 200-thread baseline; the full 10k-conn
+# table lives in EXPERIMENTS.md §E15). The e15 bin exits nonzero unless
+# the reactor holds every target connection AND is cheaper per
+# connection than the threaded baseline, so this stage is a gate, not
+# just an artifact.
+echo "==> reactor overload/drain matrix (seed 2005 / seed 7, release)"
+WSP_FAULT_SEED=2005 timeout 300 cargo test -q --release -p wsp-integration-tests --test overload
+WSP_FAULT_SEED=7 timeout 300 cargo test -q --release -p wsp-integration-tests --test overload
+
+echo "==> E15 artifact (BENCH_E15.json, quick)"
+timeout 300 cargo run -q --release -p wsp-bench --bin e15 -- quick
+
 # Model checking (PR 6): exhaustively explore every pure protocol
 # machine (breaker, admission, correlation, drain, RPC routing) plus
 # the composed breaker×admission×correlation pipeline, checking the
