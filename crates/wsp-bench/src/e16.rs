@@ -1,0 +1,373 @@
+//! E16 — discovery-plane robustness: sharded, lease-based,
+//! primary/backup-replicated registry vs the single-registry bottleneck
+//! of E1, under failure and churn.
+//!
+//! E1 measured the paper's centralised-UDDI ceiling in throughput
+//! terms; E16 measures what the paper's P2P argument actually hinges
+//! on: *availability*. One [`wsp_registry::RegistryCluster`] is driven
+//! through a seeded, wheel-scheduled event script — publishes, locate
+//! probes, crashes, restarts, lease refreshes — and the same script
+//! runs A/B against:
+//!
+//! * **single** — one node, one shard, replication 1 (the E1 topology);
+//! * **sharded** — six nodes, four shards, three replicas each, with a
+//!   [`wsp_registry::ShardedUddiClient`] failing over through the
+//!   shard map and its versioned redirects.
+//!
+//! Three scenarios per mode: the owning shard's **primary crash** (the
+//! acceptance gate: zero acked publishes lost, locate availability over
+//! the view-change window ≥ 99 %), a minority **partition** (one member
+//! of two different shards unreachable), and sustained **churn**
+//! (crash/restart cycling through the population while short-TTL leases
+//! grant, refresh and expire on the cluster's logical clock).
+//!
+//! Every run is a deterministic function of `WSP_FAULT_SEED`: the event
+//! script comes off one [`EventWheel`], virtual time drives lease
+//! expiry through [`RegistryCluster::advance_to`], and the outcome
+//! folds into a [`TraceDigest`] the seed-sweep tier can pin.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use wsp_registry::{ClusterConfig, RegistryCluster, ShardedUddiClient};
+use wsp_simnet::{Dur, EventWheel, TraceDigest};
+use wsp_uddi::{BusinessService, ServiceQuery};
+
+/// One measured `(mode, scenario)` cell.
+#[derive(Debug, Clone)]
+pub struct E16Row {
+    pub mode: String,
+    pub scenario: String,
+    pub seed: u64,
+    /// Client-acknowledged publishes (warm-up plus failure window).
+    pub acked: usize,
+    /// Acked registrations missing after every node is back: the
+    /// no-lost-commit gate. Must be zero.
+    pub lost: usize,
+    /// Locate probes issued while the failure condition held.
+    pub probes: usize,
+    pub probe_ok: usize,
+    /// `probe_ok / probes`, in percent.
+    pub availability_pct: f64,
+    /// Leases that expired on the logical clock during the run.
+    pub expired: usize,
+    /// Shard-map epoch observed by the client at the end of the run.
+    pub final_epoch: u64,
+    pub wall_ms: u64,
+    pub digest: String,
+}
+
+/// The wheel-scheduled script events.
+enum Ev {
+    /// Client `c` publishes (or lease-refreshes) service `svc-{i}`.
+    Publish {
+        i: usize,
+    },
+    /// Client probe: locate `svc-{i}` and count the outcome.
+    Probe {
+        i: usize,
+    },
+    Crash {
+        node: usize,
+    },
+    Restart {
+        node: usize,
+    },
+    /// End of the failure window: later probes are not counted.
+    WindowEnd,
+}
+
+fn cluster_for(mode: &str, ttl: Option<Dur>) -> RegistryCluster {
+    let cfg = match mode {
+        "single" => ClusterConfig {
+            nodes: 1,
+            shard_count: 1,
+            replication: 1,
+            default_ttl: ttl,
+        },
+        _ => ClusterConfig {
+            nodes: 6,
+            shard_count: 4,
+            replication: 3,
+            default_ttl: ttl,
+        },
+    };
+    RegistryCluster::new(cfg)
+}
+
+fn svc(i: usize) -> BusinessService {
+    BusinessService::new("", "uddi:wspeer:e16", format!("svc-{i:04}"))
+}
+
+/// Crash the primary of the shard owning `svc-0000` (single mode: the
+/// only node). Returns the crashed node.
+fn crash_primary(cluster: &RegistryCluster) -> usize {
+    let map = cluster.shard_map();
+    let shard = map.shard_of("svc-0000");
+    let node = map.shard(shard).primary();
+    cluster.crash(node);
+    node
+}
+
+/// Run one `(mode, scenario)` cell: `services` warm-up publishes, then
+/// a failure window of `probes` locate probes interleaved (churn only)
+/// with crash/restart cycling, then full recovery and the loss audit.
+pub fn run(mode: &str, scenario: &str, seed: u64, services: usize, probes: usize) -> E16Row {
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE16);
+    let mut digest = TraceDigest::new();
+
+    // Short TTLs so churn exercises expiry; the script refreshes the
+    // even-numbered services and lets the odd ones lapse.
+    let ttl = Dur::millis(400);
+    let cluster = cluster_for(mode, Some(ttl));
+    // Virtual-time run: a wall-clock breaker cooldown would leave the
+    // client locked out of nodes that revived an instant (of virtual
+    // time) ago, so breakers probe immediately.
+    let client = ShardedUddiClient::for_cluster(&cluster)
+        .expect("bootstrap shard map")
+        .with_breaker_config(wsp_core::health::BreakerConfig {
+            failure_threshold: 3,
+            cooldown: std::time::Duration::ZERO,
+        });
+
+    // Warm-up: every publish must be acked before the failure starts.
+    // The ack carries the cluster-minted key — that key is the receipt
+    // the loss audit holds the plane to.
+    let mut saved: Vec<Option<BusinessService>> = Vec::with_capacity(services);
+    let mut acked = 0usize;
+    for i in 0..services {
+        match client.publish(&svc(i)) {
+            Ok(record) => {
+                acked += 1;
+                digest.fold(i as u64);
+                saved.push(Some(record));
+            }
+            Err(_) => saved.push(None),
+        }
+    }
+
+    // Script the failure window on the wheel: probes every 1 ms of
+    // virtual time, lease refreshes riding along, churn cycling nodes.
+    let mut wheel: EventWheel<Ev> = EventWheel::default();
+    let step = Dur::millis(1);
+    // Probes target the refreshed (even) services only: availability
+    // measures whether the plane answers for a *live* registration —
+    // an odd service whose lease deliberately lapsed failing a locate
+    // is soft state working, not unavailability.
+    let refreshed = services.div_ceil(2);
+    for p in 0..probes {
+        let at = Dur(step.0 * (p as u64 + 1));
+        wheel.schedule_after(
+            at,
+            Ev::Probe {
+                i: (p % refreshed) * 2,
+            },
+        );
+        // Refresh even services well inside their TTL.
+        if p % 100 == 50 {
+            for i in (0..services).step_by(2) {
+                wheel.schedule_after(at, Ev::Publish { i });
+            }
+        }
+    }
+    let window_end = Dur(step.0 * (probes as u64 + 1));
+    match scenario {
+        "primary_crash" => {
+            // Crash now, restart only after the window: the whole probe
+            // run measures service through the view change.
+            crash_primary(&cluster);
+        }
+        "partition" => {
+            // A minority islanded: two nodes that share no shard, so
+            // every shard loses at most one replica and keeps quorum —
+            // the "partition the plane survives" case (single mode: the
+            // only node — total outage).
+            let map = cluster.shard_map();
+            let nodes = map.nodes().len();
+            let first = map.shard(0).primary();
+            cluster.crash(first);
+            let second = (0..nodes).find(|&v| {
+                v != first
+                    && (0..map.shard_count()).all(|s| {
+                        let members = &map.shard(s).members;
+                        !(members.contains(&v) && members.contains(&first))
+                    })
+            });
+            if let Some(victim) = second {
+                cluster.crash(victim);
+            }
+        }
+        _ => {
+            // Churn: seeded crash/restart pairs spread over the window,
+            // never more than one node down at a time so a 3-replica
+            // shard keeps its quorum.
+            let nodes = cluster.endpoints().len();
+            let cycles = (probes / 40).max(1);
+            for c in 0..cycles {
+                let node = rng.random_range(0..nodes);
+                let at = Dur(step.0 * ((c * probes / cycles) as u64 + 1));
+                wheel.schedule_after(at, Ev::Crash { node });
+                wheel.schedule_after(Dur(at.0 + step.0 * 20), Ev::Restart { node });
+            }
+        }
+    }
+    wheel.schedule_after(window_end, Ev::WindowEnd);
+
+    let mut probe_ok = 0usize;
+    let mut probed = 0usize;
+    let mut down: Option<usize> = None;
+    while let Some((at, ev)) = wheel.pop() {
+        cluster.advance_to(at);
+        match ev {
+            Ev::Publish { i } => {
+                // Lease refresh through whatever primary the map names
+                // now — republish of the same record, same key.
+                if let Some(record) = saved[i].clone() {
+                    if client.publish(&record).is_ok() {
+                        digest.fold(0x5EED ^ i as u64);
+                    }
+                }
+            }
+            Ev::Probe { i } => {
+                probed += 1;
+                let name = format!("svc-{i:04}");
+                let ok = matches!(
+                    client.locate(&ServiceQuery::by_name(&name)),
+                    Ok(found) if found.iter().any(|s| s.name == name)
+                );
+                probe_ok += ok as usize;
+                digest.fold((i as u64) << 1 | ok as u64);
+            }
+            Ev::Crash { node } => {
+                // One-at-a-time churn: restart any straggler first.
+                if let Some(prev) = down.take() {
+                    cluster.restart(prev);
+                }
+                cluster.crash(node);
+                down = Some(node);
+                digest.fold(0xC4A5 ^ node as u64);
+            }
+            Ev::Restart { node } => {
+                cluster.restart(node);
+                if down == Some(node) {
+                    down = None;
+                }
+                digest.fold(0x4E57 ^ node as u64);
+            }
+            Ev::WindowEnd => break,
+        }
+    }
+
+    // Full recovery, then the loss audit: every acked, still-leased
+    // registration must be locatable. Odd services may have expired
+    // (their leases were deliberately never refreshed under churn) —
+    // expiry is not loss.
+    for node in 0..cluster.endpoints().len() {
+        cluster.restart(node);
+    }
+    let mut expired = 0usize;
+    for shard in 0..cluster.shard_map().shard_count() {
+        expired += cluster
+            .lease_trace(shard)
+            .iter()
+            .filter(|t| matches!(t.action, wsp_registry::LeaseAction::Expired))
+            .count();
+    }
+    let mut lost = 0usize;
+    for (i, record) in saved.iter().enumerate() {
+        let Some(record) = record else { continue };
+        let name = format!("svc-{i:04}");
+        let found = client
+            .locate(&ServiceQuery::by_name(&name))
+            .map(|hits| hits.iter().any(|s| s.key == record.key))
+            .unwrap_or(false);
+        if found {
+            continue;
+        }
+        // An acked registration whose lease ran out is soft state doing
+        // its job, not loss; anything else is a dropped commit.
+        let shard = cluster.shard_map().shard_of(&name);
+        let lease_expired = cluster
+            .lease_trace(shard)
+            .iter()
+            .any(|t| t.key == record.key && matches!(t.action, wsp_registry::LeaseAction::Expired));
+        if !lease_expired {
+            lost += 1;
+            digest.fold(0xDEAD ^ i as u64);
+        }
+    }
+
+    let availability_pct = if probed == 0 {
+        100.0
+    } else {
+        probe_ok as f64 * 100.0 / probed as f64
+    };
+    digest.fold(acked as u64);
+    digest.fold(probe_ok as u64);
+    digest.fold(expired as u64);
+    E16Row {
+        mode: mode.to_owned(),
+        scenario: scenario.to_owned(),
+        seed,
+        acked,
+        lost,
+        probes: probed,
+        probe_ok,
+        availability_pct,
+        expired,
+        final_epoch: client.cached_epoch(),
+        wall_ms: started.elapsed().as_millis() as u64,
+        digest: digest.hex(),
+    }
+}
+
+/// The full A/B grid for one seed.
+pub fn grid(seed: u64, services: usize, probes: usize) -> Vec<E16Row> {
+    let mut rows = Vec::new();
+    for mode in ["single", "sharded"] {
+        for scenario in ["primary_crash", "partition", "churn"] {
+            rows.push(run(mode, scenario, seed, services, probes));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_primary_crash_meets_the_acceptance_gate() {
+        let row = run("sharded", "primary_crash", 2005, 8, 60);
+        assert_eq!(row.acked, 8, "every warm-up publish acked");
+        assert_eq!(row.lost, 0, "zero committed registrations lost");
+        assert!(
+            row.availability_pct >= 99.0,
+            "locate availability {:.1}% under view change",
+            row.availability_pct
+        );
+        assert!(row.final_epoch >= 1, "the view change bumped the map epoch");
+    }
+
+    #[test]
+    fn single_registry_goes_dark_when_its_node_dies() {
+        let row = run("single", "primary_crash", 2005, 8, 60);
+        assert_eq!(
+            row.probe_ok, 0,
+            "the E1 topology has nothing to fail over to"
+        );
+        assert_eq!(row.lost, 0, "the store survives the restart");
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible_under_the_same_seed() {
+        let a = run("sharded", "churn", 7, 6, 80);
+        let b = run("sharded", "churn", 7, 6, 80);
+        assert_eq!(a.digest, b.digest, "same seed, same trace");
+        assert_eq!(a.probe_ok, b.probe_ok);
+        assert_eq!(a.expired, b.expired);
+        let c = run("sharded", "churn", 8, 6, 80);
+        assert_ne!(a.digest, c.digest, "different seed, different churn");
+    }
+}

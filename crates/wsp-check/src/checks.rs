@@ -25,6 +25,11 @@ use wsp_http::conn::{
 };
 use wsp_http::drain::{DrainEffect, DrainEvent, DrainMachine, DrainState, Lifecycle};
 use wsp_p2ps::rpc_machine::{RpcEffect, RpcEvent, RpcMachine, RpcState};
+use wsp_registry::{
+    GroupEffect, GroupMachine, LeaseEffect, LeaseEvent, LeaseMachine, LeaseState, LeaseStatus,
+    ReplEffect, ReplEvent, ReplicaMachine, ReplicaState as ReplState, SkipLogCatchup,
+    Status as ReplStatus,
+};
 use wsp_simnet::Machine;
 
 /// Explosion guard: these configurations exhaust in well under this.
@@ -774,6 +779,175 @@ pub fn composed_random_walk() -> Result<(), Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// Registry replication group (VR-lite primary/backup)
+// ---------------------------------------------------------------------------
+
+/// Three replicas, two scripted ops, one crash, one view change — the
+/// smallest configuration in which a committed registration must
+/// survive the primary and a sabotaged log catch-up can lose it.
+fn replication_group() -> GroupMachine<ReplicaMachine> {
+    GroupMachine::genuine(3, vec![101, 202])
+}
+
+fn replication_invariants<R>(graph: &Graph<GroupMachine<R>>) -> Result<(), Violation>
+where
+    R: Machine<State = ReplState<u64>, Event = ReplEvent<u64>, Effect = ReplEffect<u64>>,
+{
+    graph.check_edges(
+        "no lost commit: every applied slot agrees with the committed sequence",
+        |_from, _event, effects, _to| {
+            !effects
+                .iter()
+                .any(|e| matches!(e, GroupEffect::CommitDiverged { .. }))
+        },
+    )?;
+    graph.check_edges(
+        "at most one primary per view",
+        |_from, _event, effects, _to| {
+            !effects
+                .iter()
+                .any(|e| matches!(e, GroupEffect::DuplicatePrimary { .. }))
+        },
+    )?;
+    graph.check_states("a replica never commits past its log", |s| {
+        s.replicas
+            .iter()
+            .all(|r| r.commit_num as usize <= r.log.len())
+    })?;
+    graph.check_states(
+        "every replica's committed prefix is a prefix of the ghost sequence",
+        |s| {
+            s.replicas.iter().all(|r| {
+                let n = r.commit_num as usize;
+                n <= s.committed.len() && r.log[..n] == s.committed[..n]
+            })
+        },
+    )?;
+    graph.check_edges(
+        "a client ack names a slot the group has committed",
+        |_from, _event, effects, to| {
+            effects.iter().all(|e| match e {
+                GroupEffect::At {
+                    effect: ReplEffect::ClientAck { op_num },
+                    ..
+                } => *op_num as usize <= to.committed.len(),
+                _ => true,
+            })
+        },
+    )?;
+    graph.check_eventually(
+        "the group can always converge on a live primary in Normal status",
+        |s| {
+            s.replicas.iter().enumerate().any(|(i, r)| {
+                !s.crashed[i]
+                    && r.status == ReplStatus::Normal
+                    && (r.view % s.replicas.len() as u32) as usize == i
+            })
+        },
+    )
+}
+
+pub fn check_replication() -> Result<Report, Violation> {
+    let machine = replication_group();
+    let graph = Graph::explore(
+        replication_group(),
+        move |state| machine.enabled(state),
+        REPL_MAX_STATES,
+    );
+    replication_invariants(&graph)?;
+    Ok(graph.report("replication(n=3, ops=2, crashes<=1, views<=1)"))
+}
+
+/// The replication graph is the largest in the suite: three logs plus a
+/// reordered network take more room than the single-machine configs.
+const REPL_MAX_STATES: usize = 3_000_000;
+
+/// The seeded skip-log-catch-up mutation: a new primary that keeps its
+/// own (possibly stale) log instead of adopting the best offer must
+/// lose a committed registration — condemned with a trace.
+pub fn replication_mutation_counterexample() -> Option<Violation> {
+    let n = 3;
+    let machine = GroupMachine {
+        n,
+        members: (0..n)
+            .map(|id| SkipLogCatchup(ReplicaMachine { n, id }))
+            .collect(),
+        ops: vec![101, 202],
+        max_crashes: 1,
+        max_view: 1,
+    };
+    let enabled = machine.clone();
+    let graph = Graph::explore(
+        machine,
+        move |state| enabled.enabled(state),
+        REPL_MAX_STATES,
+    );
+    replication_invariants(&graph).err()
+}
+
+// ---------------------------------------------------------------------------
+// Registry lease lifecycle
+// ---------------------------------------------------------------------------
+
+/// Bounded lease alphabet: the clock and generation caps keep the graph
+/// finite, refreshes may quote any generation the bound allows —
+/// including stale ones, which is the interesting case.
+fn lease_events(state: &LeaseState) -> Vec<LeaseEvent> {
+    let mut events = Vec::new();
+    if state.clock < 6 {
+        events.push(LeaseEvent::Tick);
+    }
+    if state.generation < 3 {
+        events.push(LeaseEvent::Grant);
+    }
+    for generation in 0..=state.generation {
+        events.push(LeaseEvent::Refresh { generation });
+    }
+    events.push(LeaseEvent::Cancel);
+    events
+}
+
+pub fn check_lease() -> Result<Report, Violation> {
+    let graph = Graph::explore(LeaseMachine { ttl: 2 }, lease_events, MAX_STATES);
+    graph.check_edges(
+        "an expired lease is never resurrected by a refresh",
+        |from, event, effects, to| {
+            !(from.status == LeaseStatus::Expired && matches!(event, LeaseEvent::Refresh { .. }))
+                || (to.status == LeaseStatus::Expired && effects == [LeaseEffect::RefreshRejected])
+        },
+    )?;
+    graph.check_edges(
+        "a stale-generation refresh never extends the deadline",
+        |from, event, effects, to| match event {
+            LeaseEvent::Refresh { generation } if *generation != from.generation => {
+                to.expires_at == from.expires_at && effects == [LeaseEffect::RefreshRejected]
+            }
+            _ => true,
+        },
+    )?;
+    graph.check_states(
+        "an active lease's deadline is still ahead of the clock",
+        |s| s.status != LeaseStatus::Active || s.clock < s.expires_at,
+    )?;
+    graph.check_edges(
+        "expiry fires exactly when an active lease's deadline passes",
+        |from, event, effects, to| {
+            let expired_now = from.status == LeaseStatus::Active
+                && matches!(event, LeaseEvent::Tick)
+                && to.clock >= from.expires_at;
+            expired_now
+                == effects
+                    .iter()
+                    .any(|e| matches!(e, LeaseEffect::Expired { .. }))
+        },
+    )?;
+    graph.check_eventually("a lease can always stop being active", |s| {
+        s.status != LeaseStatus::Active
+    })?;
+    Ok(graph.report("lease(ttl=2, clock<=6, generations<=3)"))
+}
+
+// ---------------------------------------------------------------------------
 // Suite
 // ---------------------------------------------------------------------------
 
@@ -787,6 +961,8 @@ pub fn run_all() -> Result<Vec<Report>, Violation> {
         check_conn()?,
         check_rpc()?,
         check_composed()?,
+        check_replication()?,
+        check_lease()?,
     ];
     composed_random_walk()?;
     Ok(reports)
@@ -816,6 +992,20 @@ pub fn dot_for(name: &str) -> Option<String> {
         "drain" => Some(Graph::explore(drain_config(), drain_events, MAX_STATES).dot("drain")),
         "conn" => Some(Graph::explore(ConnMachine, conn_events, MAX_STATES).dot("conn")),
         "rpc" => Some(Graph::explore(RpcMachine, rpc_events, MAX_STATES).dot("rpc")),
+        "lease" => {
+            Some(Graph::explore(LeaseMachine { ttl: 2 }, lease_events, MAX_STATES).dot("lease"))
+        }
+        "replication" => {
+            let machine = replication_group();
+            Some(
+                Graph::explore(
+                    replication_group(),
+                    move |state| machine.enabled(state),
+                    REPL_MAX_STATES,
+                )
+                .dot("replication"),
+            )
+        }
         _ => None,
     }
 }
@@ -924,6 +1114,35 @@ mod tests {
         assert!(
             violation.trace.contains("Succeed"),
             "trace should include the swallowed success:\n{}",
+            violation.trace
+        );
+    }
+
+    #[test]
+    fn replication_configuration_is_clean() {
+        let report = check_replication().unwrap();
+        assert!(report.states > 1_000, "{report}");
+    }
+
+    #[test]
+    fn lease_configuration_is_clean() {
+        let report = check_lease().unwrap();
+        assert!(report.states > 10, "{report}");
+    }
+
+    #[test]
+    fn seeded_replication_mutation_is_caught_with_a_trace() {
+        let violation = replication_mutation_counterexample()
+            .expect("the skip-log-catchup mutant must be condemned");
+        assert!(
+            violation.invariant.contains("no lost commit")
+                || violation.invariant.contains("committed prefix"),
+            "unexpected invariant: {}",
+            violation.invariant
+        );
+        assert!(
+            violation.trace.contains("Crash"),
+            "the counterexample crashes the primary:\n{}",
             violation.trace
         );
     }

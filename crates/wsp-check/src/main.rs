@@ -4,7 +4,8 @@
 //! Exit status is nonzero on the first violation, with the
 //! counterexample trace on stderr. `wsp-check --dot <machine>` dumps a
 //! machine's explored state graph in Graphviz DOT form instead
-//! (`breaker`, `admission`, `correlation`, `drain`, `conn`, `rpc`);
+//! (`breaker`, `admission`, `correlation`, `drain`, `conn`, `rpc`,
+//! `lease`, `replication`);
 //! `wsp-check --mutants` runs the deliberately sabotaged machines and
 //! prints the counterexample trace each one earns (failing if any
 //! mutant survives).
@@ -23,7 +24,7 @@ fn main() -> ExitCode {
                 }
                 None => {
                     eprintln!(
-                        "unknown machine {name:?}; try breaker, admission, correlation, drain, conn, rpc"
+                        "unknown machine {name:?}; try breaker, admission, correlation, drain, conn, rpc, lease, replication"
                     );
                     ExitCode::FAILURE
                 }
@@ -47,6 +48,10 @@ fn main() -> ExitCode {
             (
                 "conn: sticky header timer",
                 wsp_check::checks::conn_mutation_counterexample(),
+            ),
+            (
+                "replication: skip log catch-up on view change",
+                wsp_check::checks::replication_mutation_counterexample(),
             ),
         ];
         let mut all_condemned = true;

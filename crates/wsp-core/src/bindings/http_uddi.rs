@@ -8,8 +8,10 @@ use crate::dispatch::Dispatcher;
 use crate::endpoint::{BindingKind, DeployedService, LocatedService};
 use crate::error::WspError;
 use crate::events::{EventBus, ServerMessageEvent, ServerPhase};
+use crate::health::{Admission, BreakerConfig, BreakerState, EndpointHealth};
 use crate::overload::{self, AdmissionController, DeadlineScope, LoadShedPolicy};
 use crate::query::{properties_to_uddi_categories, ServiceQuery};
+use crate::resilience::ResiliencePolicy;
 use crate::telemetry::{self, CorrelationScope};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -49,6 +51,11 @@ pub struct HttpUddiConfig {
     /// Transport tunables for the lightweight host (read deadlines,
     /// connection cap, drain deadline).
     pub server: ServerConfig,
+    /// Retry/backoff policy for registry interactions (publish,
+    /// locate). Default is no retries, the historical behaviour; a
+    /// replicated discovery plane pairs this with `retrying(n)` so
+    /// transient registry faults fail over instead of failing.
+    pub registry_policy: ResiliencePolicy,
 }
 
 impl Default for HttpUddiConfig {
@@ -60,6 +67,7 @@ impl Default for HttpUddiConfig {
             keep_alive: false,
             load_shed: LoadShedPolicy::default(),
             server: ServerConfig::default(),
+            registry_policy: ResiliencePolicy::none(),
         }
     }
 }
@@ -79,6 +87,9 @@ struct Shared {
     /// The peer's shared dispatch core, installed by `on_attach`; used
     /// to fan WSDL retrieval out during discovery.
     dispatcher: RwLock<Option<Arc<Dispatcher>>>,
+    /// Per-registry-endpoint circuit breakers: a dead or flapping
+    /// registry stops being hammered while the breaker cools down.
+    registry_health: EndpointHealth,
 }
 
 impl Shared {
@@ -159,6 +170,69 @@ impl Shared {
     }
 }
 
+/// One resilient registry interaction: admission through the
+/// registry's circuit breaker, transient (transport) failures retried
+/// on the binding's [`ResiliencePolicy`], and the outcome recorded in
+/// the `registry.publish` / `registry.locate` telemetry series that
+/// `/metrics` exports.
+fn registry_call<T>(
+    shared: &Shared,
+    op: &'static str,
+    call: impl Fn() -> Result<T, wsp_uddi::UddiError>,
+) -> Result<T, WspError> {
+    let registry = telemetry::global();
+    let endpoint = shared
+        .uddi
+        .endpoint_hint()
+        .unwrap_or("uddi:anonymous")
+        .to_owned();
+    let breaker = shared.registry_health.breaker(&endpoint);
+    let started = Instant::now();
+    let mut attempt = 1u32;
+    loop {
+        if matches!(breaker.try_acquire(Instant::now()), Admission::Rejected) {
+            registry.counter(format!("{op}.errors")).incr();
+            return Err(WspError::Transport(format!(
+                "registry {endpoint} circuit breaker open"
+            )));
+        }
+        match call() {
+            Ok(value) => {
+                breaker.on_success(Instant::now());
+                registry.counter(op).incr();
+                registry
+                    .histogram(format!("{op}.rtt_us"))
+                    .record_micros(started.elapsed());
+                return Ok(value);
+            }
+            Err(wsp_uddi::UddiError::Transport(why)) => {
+                breaker.on_failure(Instant::now());
+                let error = WspError::Transport(why);
+                attempt += 1;
+                match shared.config.registry_policy.backoff_before(attempt) {
+                    Some(delay) if shared.config.registry_policy.is_retryable(&error) => {
+                        registry.counter(format!("{op}.retries")).incr();
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                    }
+                    _ => {
+                        registry.counter(format!("{op}.errors")).incr();
+                        return Err(error);
+                    }
+                }
+            }
+            Err(other) => {
+                // The registry answered; the error is semantic, not a
+                // liveness signal — the breaker records a success.
+                breaker.on_success(Instant::now());
+                registry.counter(format!("{op}.errors")).incr();
+                return Err(WspError::Invoke(other.to_string()));
+            }
+        }
+    }
+}
+
 /// The `/metrics` route: the process-wide telemetry registry rendered
 /// as plain text, followed by connection-pool and dispatcher gauges
 /// owned by this binding. Holds only a `Weak` so an undeployed binding
@@ -181,6 +255,13 @@ fn metrics_handler(shared: Weak<Shared>) -> wsp_http::HttpHandler {
                 "admission_draining {}\n",
                 shared.admission.is_draining() as u8
             ));
+            let open = shared
+                .registry_health
+                .snapshot(Instant::now())
+                .iter()
+                .filter(|(_, state)| *state != BreakerState::Closed)
+                .count();
+            extra.push_str(&format!("registry_breakers_open {open}\n"));
             let dispatcher = shared.dispatcher.read().clone();
             if let Some(dispatcher) = dispatcher {
                 let stats = dispatcher.stats();
@@ -241,6 +322,7 @@ impl HttpUddiBinding {
                 events,
                 admission,
                 dispatcher: RwLock::new(None),
+                registry_health: EndpointHealth::new(BreakerConfig::default()),
                 config,
             }),
         }
@@ -516,28 +598,25 @@ impl ServicePublisher for UddiPublisher {
         let endpoint = service
             .primary_endpoint()
             .ok_or_else(|| WspError::Publish("service has no endpoint".into()))?;
-        let tmodel = self
-            .shared
-            .uddi
-            .save_tmodel(
+        // The tmodel + service pair is one logical registry publish:
+        // retried together, counted once.
+        let saved = registry_call(&self.shared, "registry.publish", || {
+            let tmodel = self.shared.uddi.save_tmodel(
                 &TModel::new("", format!("{} WSDL", service.name()))
                     .with_overview(format!("{endpoint}?wsdl")),
-            )
-            .map_err(|e| WspError::Publish(e.to_string()))?;
-        let mut record =
-            BusinessService::new("", self.shared.config.business.clone(), service.name())
-                .with_binding(BindingTemplate::new("", endpoint).with_tmodel(tmodel.key));
-        if let Some(doc) = &service.descriptor.documentation {
-            record = record.with_description(doc.clone());
-        }
-        for category in properties_to_uddi_categories(&service.descriptor.properties) {
-            record = record.with_category(category);
-        }
-        let saved = self
-            .shared
-            .uddi
-            .save_service(&record)
-            .map_err(|e| WspError::Publish(e.to_string()))?;
+            )?;
+            let mut record =
+                BusinessService::new("", self.shared.config.business.clone(), service.name())
+                    .with_binding(BindingTemplate::new("", endpoint).with_tmodel(tmodel.key));
+            if let Some(doc) = &service.descriptor.documentation {
+                record = record.with_description(doc.clone());
+            }
+            for category in properties_to_uddi_categories(&service.descriptor.properties) {
+                record = record.with_category(category);
+            }
+            self.shared.uddi.save_service(&record)
+        })
+        .map_err(|e| WspError::Publish(e.to_string()))?;
         self.shared
             .published
             .write()
@@ -549,7 +628,10 @@ impl ServicePublisher for UddiPublisher {
         let Some(key) = self.shared.published.write().remove(service) else {
             return false;
         };
-        self.shared.uddi.delete_service(&key).unwrap_or(false)
+        registry_call(&self.shared, "registry.unpublish", || {
+            self.shared.uddi.delete_service(&key)
+        })
+        .unwrap_or(false)
     }
 
     fn kind(&self) -> &'static str {
@@ -591,11 +673,10 @@ impl ServiceLocator for UddiLocator {
         if registry.is_enabled() {
             registry.counter("uddi.locate.queries").incr();
         }
-        let records = self
-            .shared
-            .uddi
-            .locate(&query.to_uddi())
-            .map_err(|e| WspError::Locate(e.to_string()))?;
+        let records = registry_call(&self.shared, "registry.locate", || {
+            self.shared.uddi.locate(&query.to_uddi())
+        })
+        .map_err(|e| WspError::Locate(e.to_string()))?;
         let targets: Vec<String> = records
             .iter()
             .flat_map(|record| record.bindings.iter().map(|b| b.access_point.clone()))

@@ -1,0 +1,584 @@
+//! [`ShardedUddiClient`]: the consumer side of the replicated
+//! discovery plane.
+//!
+//! The client caches the version-stamped [`ShardMap`], routes every
+//! publish to the owning shard's primary and stamps the epoch it
+//! believes in on the request. Three things can go wrong, and each has
+//! a recovery path that needs no operator:
+//!
+//! * **stale map** — the node answers `wsp:staleShardMap` with the
+//!   fresh map in the fault detail; the client swaps its cache and
+//!   retries (`ShardMapChanged` invalidation);
+//! * **wrong primary** — `wsp:notPrimary` carries the same detail;
+//!   refresh and retry against the real primary;
+//! * **dead primary** — the transport errors; the per-endpoint circuit
+//!   breaker records the failure and the client fails over to the
+//!   shard's backups in preference order, whose write path runs the
+//!   view change server-side.
+//!
+//! Retry counts come from the session [`ResiliencePolicy`]; every
+//! publish/locate lands in the `registry.publish` / `registry.locate`
+//! telemetry series the `/metrics` endpoint exports.
+
+use crate::shard::ShardMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+use wsp_core::{telemetry, Admission, BreakerConfig, EndpointHealth, ResiliencePolicy};
+use wsp_soap::{Envelope, Fault};
+use wsp_uddi::{BusinessService, ServiceInfo, SoapTransport, UddiError, UDDI_NS};
+use wsp_xml::Element;
+
+/// Errors from the sharded discovery plane.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No quorum / no reachable replica for the shard after failover.
+    Unavailable(String),
+    /// The registry answered, but with a non-recoverable error.
+    Uddi(UddiError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Unavailable(why) => write!(f, "discovery plane unavailable: {why}"),
+            RegistryError::Uddi(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<UddiError> for RegistryError {
+    fn from(e: UddiError) -> Self {
+        RegistryError::Uddi(e)
+    }
+}
+
+/// What a routed call's fault told us to do next.
+enum Recovery {
+    /// Fresh map adopted; re-route and retry.
+    Rerouted,
+    /// Transport-level failure; try the next replica.
+    NextReplica,
+}
+
+enum CallError {
+    Recover(Recovery),
+    Fatal(RegistryError),
+}
+
+/// A UDDI client that speaks to the whole discovery plane.
+pub struct ShardedUddiClient {
+    transports: Vec<SoapTransport>,
+    endpoints: Vec<String>,
+    map: RwLock<Arc<ShardMap>>,
+    policy: ResiliencePolicy,
+    health: EndpointHealth,
+}
+
+impl ShardedUddiClient {
+    /// Connect over per-node transports, bootstrapping the shard map
+    /// from the first node that answers `get_shardMap`.
+    pub fn connect(transports: Vec<SoapTransport>) -> Result<ShardedUddiClient, RegistryError> {
+        assert!(!transports.is_empty(), "need at least one node transport");
+        let mut bootstrap = None;
+        for transport in &transports {
+            let request = Envelope::request(crate::cluster::get_shard_map_request());
+            if let Ok(response) = transport(&request) {
+                if let Some(map) = response.payload().and_then(ShardMap::from_element) {
+                    bootstrap = Some(map);
+                    break;
+                }
+            }
+        }
+        let map = bootstrap.ok_or_else(|| {
+            RegistryError::Unavailable("no node answered get_shardMap".to_owned())
+        })?;
+        let endpoints = map.nodes().to_vec();
+        Ok(ShardedUddiClient {
+            transports,
+            endpoints,
+            map: RwLock::new(Arc::new(map)),
+            policy: ResiliencePolicy::retrying(3),
+            health: EndpointHealth::new(BreakerConfig::default()),
+        })
+    }
+
+    /// Convenience: a client wired straight onto an in-process cluster.
+    pub fn for_cluster(
+        cluster: &crate::cluster::RegistryCluster,
+    ) -> Result<ShardedUddiClient, RegistryError> {
+        let transports = (0..cluster.endpoints().len())
+            .map(|n| cluster.node_transport(n))
+            .collect();
+        ShardedUddiClient::connect(transports)
+    }
+
+    pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_breaker_config(self, config: BreakerConfig) -> Self {
+        self.health.set_config(config);
+        self
+    }
+
+    /// The epoch of the currently cached map.
+    pub fn cached_epoch(&self) -> u64 {
+        self.map.read().epoch()
+    }
+
+    pub fn cached_map(&self) -> Arc<ShardMap> {
+        self.map.read().clone()
+    }
+
+    pub fn health(&self) -> &EndpointHealth {
+        &self.health
+    }
+
+    /// Fetch a fresh map from any answering node.
+    pub fn refresh_map(&self) -> Result<Arc<ShardMap>, RegistryError> {
+        for transport in &self.transports {
+            let request = Envelope::request(crate::cluster::get_shard_map_request());
+            if let Ok(response) = transport(&request) {
+                if let Some(map) = response.payload().and_then(ShardMap::from_element) {
+                    return Ok(self.adopt(map));
+                }
+            }
+        }
+        Err(RegistryError::Unavailable(
+            "no node answered get_shardMap".to_owned(),
+        ))
+    }
+
+    fn adopt(&self, map: ShardMap) -> Arc<ShardMap> {
+        let mut cached = self.map.write();
+        if map.epoch() >= cached.epoch() {
+            *cached = Arc::new(map);
+        }
+        cached.clone()
+    }
+
+    /// Publish (or lease-refresh: same record, same key) a service.
+    /// Routes to the owning shard's primary, failing over to backups on
+    /// transport errors and re-routing on versioned redirects.
+    pub fn publish(&self, service: &BusinessService) -> Result<BusinessService, RegistryError> {
+        if service.name.is_empty() {
+            return Err(RegistryError::Uddi(UddiError::Malformed(
+                "service needs a name to shard on".into(),
+            )));
+        }
+        let t = telemetry::global();
+        let started = Instant::now();
+        let result = self.routed_write(&service.name, |epoch| {
+            let mut save = Element::new(UDDI_NS, "save_service");
+            crate::cluster::stamp_epoch(&mut save, epoch);
+            save.push_element(service.to_element());
+            save
+        });
+        match &result {
+            Ok(_) => {
+                t.counter("registry.publish").incr();
+                t.histogram("registry.publish.rtt_us")
+                    .record_micros(started.elapsed());
+            }
+            Err(_) => t.counter("registry.publish.errors").incr(),
+        }
+        let detail = result?;
+        detail
+            .find(UDDI_NS, "businessService")
+            .and_then(BusinessService::from_element)
+            .ok_or_else(|| {
+                RegistryError::Uddi(UddiError::Malformed(
+                    "serviceDetail lacks businessService".into(),
+                ))
+            })
+    }
+
+    /// Unregister by key (cluster-minted keys embed their shard).
+    pub fn delete(&self, key: &str) -> Result<bool, RegistryError> {
+        let Some(shard) = crate::cluster::shard_of_key(key) else {
+            return Ok(false);
+        };
+        let key = key.to_owned();
+        let report = self.routed_write_to_shard(shard, move |epoch| {
+            let mut del = Element::new(UDDI_NS, "delete_service");
+            crate::cluster::stamp_epoch(&mut del, epoch);
+            del.push_element(
+                Element::build(UDDI_NS, "serviceKey")
+                    .text(key.clone())
+                    .finish(),
+            );
+            del
+        })?;
+        Ok(report.attribute_local("deleted") == Some("1"))
+    }
+
+    fn routed_write(
+        &self,
+        name: &str,
+        build: impl Fn(u64) -> Element,
+    ) -> Result<Element, RegistryError> {
+        let shard = self.map.read().shard_of(name);
+        self.routed_write_to_shard(shard, build)
+    }
+
+    /// The failover write loop: primary first, then backups; versioned
+    /// redirects refresh the cached map and restart the route.
+    fn routed_write_to_shard(
+        &self,
+        shard: u32,
+        build: impl Fn(u64) -> Element,
+    ) -> Result<Element, RegistryError> {
+        let t = telemetry::global();
+        let attempts = self.policy.schedule().len().max(1) + 1;
+        let mut last_err = "no replica reachable".to_owned();
+        for _ in 0..attempts {
+            let map = self.cached_map();
+            let order = map.shard(shard).failover_order();
+            let mut rerouted = false;
+            for (hop, node) in order.iter().copied().enumerate() {
+                if hop > 0 {
+                    t.counter("registry.publish.failovers").incr();
+                }
+                match self.call_node(node, build(map.epoch())) {
+                    Ok(body) => return Ok(body),
+                    Err(CallError::Recover(Recovery::Rerouted)) => {
+                        t.counter("registry.publish.redirects").incr();
+                        rerouted = true;
+                        break;
+                    }
+                    Err(CallError::Recover(Recovery::NextReplica)) => {
+                        last_err = format!("node {node} unreachable");
+                        continue;
+                    }
+                    Err(CallError::Fatal(e)) => return Err(e),
+                }
+            }
+            if !rerouted {
+                // Every replica refused at this epoch; one map refresh
+                // may reveal a new view before we give up.
+                if self.refresh_map().is_err() {
+                    break;
+                }
+            }
+        }
+        Err(RegistryError::Unavailable(last_err))
+    }
+
+    /// One SOAP call to `node`, classified for the failover loop.
+    fn call_node(&self, node: usize, payload: Element) -> Result<Element, CallError> {
+        let endpoint = &self.endpoints[node];
+        let breaker = self.health.breaker(endpoint);
+        let now = Instant::now();
+        if matches!(breaker.try_acquire(now), Admission::Rejected) {
+            return Err(CallError::Recover(Recovery::NextReplica));
+        }
+        let request = Envelope::request(payload);
+        match (self.transports[node])(&request) {
+            Err(_) => {
+                breaker.on_failure(Instant::now());
+                Err(CallError::Recover(Recovery::NextReplica))
+            }
+            Ok(response) => {
+                breaker.on_success(Instant::now());
+                if let Some(fault) = response.fault_body() {
+                    return Err(self.classify_fault(fault));
+                }
+                response.payload().cloned().ok_or_else(|| {
+                    CallError::Fatal(RegistryError::Uddi(UddiError::Malformed(
+                        "response body is empty".into(),
+                    )))
+                })
+            }
+        }
+    }
+
+    /// Versioned redirects carry the fresh map in the fault detail;
+    /// adopt it and re-route. Quorum loss is terminal for this call.
+    fn classify_fault(&self, fault: &Fault) -> CallError {
+        let redirect = fault.reason.contains("wsp:staleShardMap")
+            || fault.reason.contains("wsp:notPrimary")
+            || fault.reason.contains("wsp:notMember");
+        if redirect {
+            if let Some(map) = fault.detail.as_deref().and_then(ShardMap::from_element) {
+                self.adopt(map);
+            } else {
+                let _ = self.refresh_map();
+            }
+            return CallError::Recover(Recovery::Rerouted);
+        }
+        if fault.reason.contains("wsp:unavailable") {
+            return CallError::Fatal(RegistryError::Unavailable(fault.reason.clone()));
+        }
+        CallError::Fatal(RegistryError::Uddi(UddiError::Fault(Box::new(
+            fault.clone(),
+        ))))
+    }
+
+    /// Locate services matching `query` across the whole plane: a
+    /// scatter over a minimal live cover of the shards, results merged
+    /// by key.
+    pub fn locate(
+        &self,
+        query: &wsp_uddi::ServiceQuery,
+    ) -> Result<Vec<BusinessService>, RegistryError> {
+        let t = telemetry::global();
+        let started = Instant::now();
+        let result = self.locate_inner(query);
+        match &result {
+            Ok(_) => {
+                t.counter("registry.locate").incr();
+                t.histogram("registry.locate.rtt_us")
+                    .record_micros(started.elapsed());
+            }
+            Err(_) => t.counter("registry.locate.errors").incr(),
+        }
+        result
+    }
+
+    fn locate_inner(
+        &self,
+        query: &wsp_uddi::ServiceQuery,
+    ) -> Result<Vec<BusinessService>, RegistryError> {
+        for _ in 0..2 {
+            let map = self.cached_map();
+            // Greedy cover: one reachable node per shard, deduplicated —
+            // a node serves every shard it hosts from its local store.
+            let mut cover: Vec<usize> = Vec::new();
+            for s in 0..map.shard_count() {
+                let members = &map.shard(s).members;
+                if members.iter().any(|m| cover.contains(m)) {
+                    continue;
+                }
+                cover.push(map.shard(s).primary());
+            }
+            match self.scatter(query, &cover) {
+                Ok(found) => return Ok(found),
+                Err(CallError::Recover(_)) => {
+                    // A shard's cover node died or redirected: refresh
+                    // the map (new views move primaries) and rescatter.
+                    let _ = self.refresh_map();
+                }
+                Err(CallError::Fatal(e)) => return Err(e),
+            }
+        }
+        // Final attempt: walk every member per shard before giving up.
+        let map = self.cached_map();
+        let mut results: Vec<BusinessService> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..map.shard_count() {
+            let mut shard_ok = false;
+            for &node in &map.shard(s).failover_order() {
+                match self.find_and_fetch(query, node) {
+                    Ok(found) => {
+                        for svc in found {
+                            if seen.insert(svc.key.clone()) {
+                                results.push(svc);
+                            }
+                        }
+                        shard_ok = true;
+                        break;
+                    }
+                    Err(CallError::Recover(_)) => continue,
+                    Err(CallError::Fatal(e)) => return Err(e),
+                }
+            }
+            if !shard_ok {
+                return Err(RegistryError::Unavailable(format!(
+                    "no live replica for shard {s}"
+                )));
+            }
+        }
+        Ok(results)
+    }
+
+    fn scatter(
+        &self,
+        query: &wsp_uddi::ServiceQuery,
+        cover: &[usize],
+    ) -> Result<Vec<BusinessService>, CallError> {
+        let mut results: Vec<BusinessService> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &node in cover {
+            for svc in self.find_and_fetch(query, node)? {
+                if seen.insert(svc.key.clone()) {
+                    results.push(svc);
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// The classic two-step UDDI inquiry (find, then detail) against
+    /// one node.
+    fn find_and_fetch(
+        &self,
+        query: &wsp_uddi::ServiceQuery,
+        node: usize,
+    ) -> Result<Vec<BusinessService>, CallError> {
+        let epoch = self.cached_epoch();
+        let mut find = query.to_element();
+        crate::cluster::stamp_epoch(&mut find, epoch);
+        let list = self.call_node(node, find)?;
+        let infos: Vec<ServiceInfo> = list
+            .find(UDDI_NS, "serviceInfos")
+            .map(|i| {
+                i.find_all(UDDI_NS, "serviceInfo")
+                    .filter_map(ServiceInfo::from_element)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if infos.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut get = Element::new(UDDI_NS, "get_serviceDetail");
+        crate::cluster::stamp_epoch(&mut get, epoch);
+        for info in &infos {
+            get.push_element(
+                Element::build(UDDI_NS, "serviceKey")
+                    .text(info.key.clone())
+                    .finish(),
+            );
+        }
+        let detail = self.call_node(node, get)?;
+        Ok(detail
+            .find_all(UDDI_NS, "businessService")
+            .filter_map(BusinessService::from_element)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, RegistryCluster};
+    use wsp_uddi::{BindingTemplate, ServiceQuery};
+
+    fn plane() -> (RegistryCluster, ShardedUddiClient) {
+        let cluster = RegistryCluster::new(ClusterConfig {
+            nodes: 3,
+            shard_count: 4,
+            replication: 3,
+            default_ttl: None,
+        });
+        let client = ShardedUddiClient::for_cluster(&cluster).unwrap();
+        (cluster, client)
+    }
+
+    fn svc(name: &str) -> BusinessService {
+        BusinessService::new("", "biz", name)
+            .with_binding(BindingTemplate::new("", format!("http://h/{name}")))
+    }
+
+    #[test]
+    fn publish_then_locate_round_trip() {
+        let (_cluster, client) = plane();
+        let saved = client.publish(&svc("EchoService")).unwrap();
+        assert!(saved.key.starts_with("uuid:svc-s"));
+        let found = client
+            .locate(&ServiceQuery::by_name("EchoService"))
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, saved.key);
+    }
+
+    #[test]
+    fn scatter_locate_merges_across_shards() {
+        let (_cluster, client) = plane();
+        for i in 0..16 {
+            client.publish(&svc(&format!("Svc{i}"))).unwrap();
+        }
+        let found = client.locate(&ServiceQuery::by_name("Svc%")).unwrap();
+        assert_eq!(found.len(), 16, "every shard's records must merge");
+    }
+
+    #[test]
+    fn publish_fails_over_when_primary_dies() {
+        let (cluster, client) = plane();
+        let name = "FailoverService";
+        let saved = client.publish(&svc(name)).unwrap();
+        let route = cluster.shard_map().route(name);
+        let epoch_before = client.cached_epoch();
+
+        cluster.crash(route.primary);
+        // The client retries against backups; the server-side view
+        // change elects a new primary; the republish commits.
+        let refreshed = client.publish(&svc(name)).unwrap();
+        assert!(refreshed.key.starts_with("uuid:svc-s"));
+        assert!(
+            client.cached_epoch() > epoch_before,
+            "failover must teach the client a newer map"
+        );
+        // The original committed record survived on the survivors.
+        for &m in &route.backups {
+            assert!(cluster.node_registry(m).get_service(&saved.key).is_some());
+        }
+    }
+
+    #[test]
+    fn locate_survives_one_node_down() {
+        let (cluster, client) = plane();
+        for i in 0..8 {
+            client.publish(&svc(&format!("Wide{i}"))).unwrap();
+        }
+        cluster.crash(0);
+        let found = client.locate(&ServiceQuery::by_name("Wide%")).unwrap();
+        assert_eq!(found.len(), 8, "replication must cover the dead node");
+    }
+
+    #[test]
+    fn stale_client_is_rerouted_transparently() {
+        let (cluster, client) = plane();
+        let name = "StaleService";
+        let saved = client.publish(&svc(name)).unwrap();
+        // A second client with its own (soon stale) cache.
+        let other = ShardedUddiClient::for_cluster(&cluster).unwrap();
+        let route = cluster.shard_map().route(name);
+        cluster.crash(route.primary);
+        // First client fails over (refreshing its own lease: same key),
+        // bumping the server-side epoch.
+        client.publish(&saved).unwrap();
+        // The other client still quotes the old epoch: the versioned
+        // redirect must refresh it mid-call, without surfacing an error.
+        let found = other.locate(&ServiceQuery::by_name(name)).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(other.cached_epoch(), cluster.shard_map().epoch());
+    }
+
+    #[test]
+    fn delete_routes_by_key_embedded_shard() {
+        let (_cluster, client) = plane();
+        let saved = client.publish(&svc("Doomed")).unwrap();
+        assert!(client.delete(&saved.key).unwrap());
+        assert!(client
+            .locate(&ServiceQuery::by_name("Doomed"))
+            .unwrap()
+            .is_empty());
+        assert!(!client.delete(&saved.key).unwrap());
+    }
+
+    #[test]
+    fn unavailable_when_quorum_lost() {
+        let (cluster, client) = plane();
+        cluster.crash(1);
+        cluster.crash(2);
+        let err = client.publish(&svc("NoQuorum")).unwrap_err();
+        assert!(matches!(err, RegistryError::Unavailable(_)), "{err}");
+    }
+
+    #[test]
+    fn telemetry_counters_move() {
+        let t = telemetry::global();
+        let published = t.counter("registry.publish").get();
+        let located = t.counter("registry.locate").get();
+        let (_cluster, client) = plane();
+        client.publish(&svc("Counted")).unwrap();
+        client.locate(&ServiceQuery::by_name("Counted")).unwrap();
+        assert!(t.counter("registry.publish").get() > published);
+        assert!(t.counter("registry.locate").get() > located);
+    }
+}

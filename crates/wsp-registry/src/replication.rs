@@ -1,0 +1,1031 @@
+//! VR-lite primary/backup replication as a pure transition function.
+//!
+//! One [`ReplicaMachine`] per group member, in the exact mould of the
+//! viewstamped-replication simulator the roadmap points at: a view
+//! number names the primary (`view % n`), the primary appends client
+//! ops to its log and streams `Prepare`s, backups acknowledge with
+//! `PrepareOk`, and the primary commits a slot once a majority of the
+//! group (itself plus `f` backups, `f = (n-1)/2`) holds it. When
+//! backups suspect the primary they start a view change
+//! (`StartViewChange` → quorum → `DoViewChange` to the new primary →
+//! `StartView`), and the new primary adopts the *best* log offered —
+//! the log catch-up that makes a committed registration survive the
+//! crash. Skipping that catch-up is exactly the seeded mutation
+//! ([`SkipLogCatchup`]) `wsp-check` condemns.
+//!
+//! The machine is pure: no clocks, no sockets, no randomness. Time
+//! enters as [`ReplEvent::PrimaryTimeout`] (the shell's watchdog) and
+//! I/O leaves as [`ReplEffect`]s the shell executes. That is what lets
+//! `wsp-check` explore every interleaving of a bounded configuration
+//! via [`GroupMachine`], and lets the runtime shell in [`crate::cluster`]
+//! and the E16 simulation drive the *same* transitions.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+use wsp_simnet::Machine;
+
+pub type ReplicaId = u8;
+
+/// Where a replica is in the view-change protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    Normal,
+    ViewChange,
+}
+
+/// Protocol messages between group members.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ReplMsg<Op> {
+    Prepare {
+        view: u32,
+        op_num: u32,
+        op: Op,
+        commit_num: u32,
+    },
+    PrepareOk {
+        view: u32,
+        op_num: u32,
+        from: ReplicaId,
+    },
+    Commit {
+        view: u32,
+        commit_num: u32,
+    },
+    StartViewChange {
+        view: u32,
+        from: ReplicaId,
+    },
+    DoViewChange {
+        view: u32,
+        log: Vec<Op>,
+        last_normal: u32,
+        commit_num: u32,
+        from: ReplicaId,
+    },
+    StartView {
+        view: u32,
+        log: Vec<Op>,
+        commit_num: u32,
+    },
+    /// A backup noticed a log gap (a `Prepare` beyond its next slot):
+    /// ask the view's primary for a full state transfer (VR §5.2). The
+    /// primary answers with `StartView`, the same catch-up message an
+    /// election ends with.
+    NeedState {
+        view: u32,
+        from: ReplicaId,
+    },
+}
+
+/// One member's complete protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReplicaState<Op> {
+    pub id: ReplicaId,
+    pub status: Status,
+    pub view: u32,
+    /// The last view in which this replica was `Normal` — the
+    /// tiebreaker that picks the freshest log during view change.
+    pub last_normal: u32,
+    pub log: Vec<Op>,
+    /// How many leading log slots are committed (and applied).
+    pub commit_num: u32,
+    /// Primary-side `PrepareOk` tally: `(op_num, from)`, sorted.
+    pub acks: Vec<(u32, ReplicaId)>,
+    /// `StartViewChange` voters for `view` (self included), sorted.
+    pub svc_votes: Vec<ReplicaId>,
+    /// `DoViewChange` records collected by a would-be primary:
+    /// `(from, last_normal, commit_num, log)`, sorted by sender.
+    pub dvc: Vec<(ReplicaId, u32, u32, Vec<Op>)>,
+}
+
+/// Events the shell can feed a replica.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ReplEvent<Op> {
+    /// A client op arriving at this replica.
+    Client(Op),
+    /// A protocol message from a peer.
+    Recv { from: ReplicaId, msg: ReplMsg<Op> },
+    /// The shell's watchdog suspects the current primary.
+    PrimaryTimeout,
+}
+
+/// Effects the shell executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplEffect<Op> {
+    Send {
+        to: ReplicaId,
+        msg: ReplMsg<Op>,
+    },
+    /// Apply committed slot `op_num` (1-based) to the local store.
+    Apply {
+        op_num: u32,
+        op: Op,
+    },
+    /// Primary: the op at `op_num` is durable; answer the client.
+    ClientAck {
+        op_num: u32,
+    },
+    /// Not the primary: point the client at the view's primary.
+    Redirect {
+        view: u32,
+        primary: ReplicaId,
+    },
+    BecamePrimary {
+        view: u32,
+    },
+    AdoptedView {
+        view: u32,
+    },
+}
+
+/// The pure per-replica machine. `n` is the group size; `id` this
+/// member's index within it.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaMachine {
+    pub n: u8,
+    pub id: ReplicaId,
+}
+
+impl ReplicaMachine {
+    pub fn primary_of(&self, view: u32) -> ReplicaId {
+        (view % self.n as u32) as ReplicaId
+    }
+
+    /// Majority including self: `f + 1`.
+    pub fn quorum(&self) -> usize {
+        self.n as usize / 2 + 1
+    }
+
+    fn others(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        (0..self.n).filter(move |&r| r != self.id)
+    }
+
+    fn broadcast<Op: Clone>(&self, effects: &mut Vec<ReplEffect<Op>>, msg: &ReplMsg<Op>) {
+        for to in self.others() {
+            effects.push(ReplEffect::Send {
+                to,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Advance `commit_num` to `target`, emitting `Apply` per new slot.
+    fn apply_up_to<Op: Clone>(
+        state: &mut ReplicaState<Op>,
+        target: u32,
+        effects: &mut Vec<ReplEffect<Op>>,
+    ) {
+        let target = target.min(state.log.len() as u32);
+        while state.commit_num < target {
+            state.commit_num += 1;
+            effects.push(ReplEffect::Apply {
+                op_num: state.commit_num,
+                op: state.log[state.commit_num as usize - 1].clone(),
+            });
+        }
+    }
+
+    /// Start (or join) a view change towards `view`.
+    fn enter_view_change<Op: Clone + Eq>(
+        &self,
+        state: &mut ReplicaState<Op>,
+        view: u32,
+        also_from: Option<ReplicaId>,
+        effects: &mut Vec<ReplEffect<Op>>,
+    ) {
+        state.status = Status::ViewChange;
+        state.view = view;
+        state.acks.clear();
+        state.dvc.clear();
+        state.svc_votes = vec![self.id];
+        if let Some(from) = also_from {
+            if !state.svc_votes.contains(&from) {
+                state.svc_votes.push(from);
+            }
+        }
+        state.svc_votes.sort_unstable();
+        self.broadcast(
+            effects,
+            &ReplMsg::StartViewChange {
+                view,
+                from: self.id,
+            },
+        );
+        self.maybe_do_view_change(state, effects);
+    }
+
+    /// On reaching the `StartViewChange` quorum, offer our log to the
+    /// new primary (or, if that is us, collect our own offer).
+    fn maybe_do_view_change<Op: Clone + Eq>(
+        &self,
+        state: &mut ReplicaState<Op>,
+        effects: &mut Vec<ReplEffect<Op>>,
+    ) {
+        if state.status != Status::ViewChange || state.svc_votes.len() < self.quorum() {
+            return;
+        }
+        // Only offer once per view change: the dvc/send happens exactly
+        // when the quorum is first reached (votes only grow).
+        if state.svc_votes.len() > self.quorum() {
+            return;
+        }
+        let offer = (
+            self.id,
+            state.last_normal,
+            state.commit_num,
+            state.log.clone(),
+        );
+        let new_primary = self.primary_of(state.view);
+        if new_primary == self.id {
+            Self::record_dvc(state, offer);
+            self.maybe_start_view(state, effects);
+        } else {
+            effects.push(ReplEffect::Send {
+                to: new_primary,
+                msg: ReplMsg::DoViewChange {
+                    view: state.view,
+                    log: offer.3,
+                    last_normal: offer.1,
+                    commit_num: offer.2,
+                    from: self.id,
+                },
+            });
+        }
+    }
+
+    fn record_dvc<Op: Eq>(state: &mut ReplicaState<Op>, offer: (ReplicaId, u32, u32, Vec<Op>)) {
+        if !state.dvc.iter().any(|(from, ..)| *from == offer.0) {
+            state.dvc.push(offer);
+            state.dvc.sort_by_key(|(from, ..)| *from);
+        }
+    }
+
+    /// With a `DoViewChange` quorum, adopt the best offered log and
+    /// start the new view.
+    fn maybe_start_view<Op: Clone + Eq>(
+        &self,
+        state: &mut ReplicaState<Op>,
+        effects: &mut Vec<ReplEffect<Op>>,
+    ) {
+        if state.status != Status::ViewChange || state.dvc.len() < self.quorum() {
+            return;
+        }
+        // The freshest log wins: highest last-normal view, longest log
+        // as tiebreaker — any log containing a committed op is in a
+        // majority, and a DoViewChange quorum intersects it.
+        let (_, _, _, best_log) = state
+            .dvc
+            .iter()
+            .max_by_key(|(from, last_normal, _, log)| (*last_normal, log.len(), *from))
+            .expect("quorum is non-empty")
+            .clone();
+        let max_commit = state.dvc.iter().map(|(_, _, c, _)| *c).max().unwrap_or(0);
+        state.log = best_log;
+        state.status = Status::Normal;
+        state.last_normal = state.view;
+        state.dvc.clear();
+        state.svc_votes.clear();
+        state.acks.clear();
+        effects.push(ReplEffect::BecamePrimary { view: state.view });
+        Self::apply_up_to(state, max_commit, effects);
+        self.broadcast(
+            effects,
+            &ReplMsg::StartView {
+                view: state.view,
+                log: state.log.clone(),
+                commit_num: state.commit_num,
+            },
+        );
+    }
+
+    /// Primary-side: count `PrepareOk`s and advance the commit point.
+    fn advance_commits<Op: Clone + Eq>(
+        &self,
+        state: &mut ReplicaState<Op>,
+        effects: &mut Vec<ReplEffect<Op>>,
+    ) {
+        let mut advanced = false;
+        while state.commit_num < state.log.len() as u32 {
+            let slot = state.commit_num + 1;
+            let backers = state.acks.iter().filter(|(s, _)| *s == slot).count();
+            // Self plus `backers` distinct backups must reach quorum.
+            if backers + 1 < self.quorum() {
+                break;
+            }
+            Self::apply_up_to(state, slot, effects);
+            effects.push(ReplEffect::ClientAck { op_num: slot });
+            advanced = true;
+        }
+        if advanced {
+            self.broadcast(
+                effects,
+                &ReplMsg::Commit {
+                    view: state.view,
+                    commit_num: state.commit_num,
+                },
+            );
+        }
+    }
+}
+
+impl Machine for ReplicaMachine {
+    type State = ReplicaState<u64>;
+    type Event = ReplEvent<u64>;
+    type Effect = ReplEffect<u64>;
+
+    fn initial(&self) -> ReplicaState<u64> {
+        initial_replica(self.id)
+    }
+
+    fn step(
+        &self,
+        state: &ReplicaState<u64>,
+        event: &ReplEvent<u64>,
+    ) -> (ReplicaState<u64>, Vec<ReplEffect<u64>>) {
+        step_replica(self, state, event)
+    }
+}
+
+/// Initial state for member `id` (generic in `Op`; `Machine::initial`
+/// instantiates it at `u64`, the shell at [`crate::cluster::ClusterOp`]).
+pub fn initial_replica<Op>(id: ReplicaId) -> ReplicaState<Op> {
+    ReplicaState {
+        id,
+        status: Status::Normal,
+        view: 0,
+        last_normal: 0,
+        log: Vec::new(),
+        commit_num: 0,
+        acks: Vec::new(),
+        svc_votes: Vec::new(),
+        dvc: Vec::new(),
+    }
+}
+
+/// The transition function itself, generic over the op payload so the
+/// checker (compact `u64` ops) and the runtime shell (real registry
+/// ops) drive identical logic.
+pub fn step_replica<Op: Clone + Eq + Hash + Debug>(
+    m: &ReplicaMachine,
+    state: &ReplicaState<Op>,
+    event: &ReplEvent<Op>,
+) -> (ReplicaState<Op>, Vec<ReplEffect<Op>>) {
+    let mut next = state.clone();
+    let mut effects = Vec::new();
+    match event {
+        ReplEvent::Client(op) => {
+            if next.status == Status::Normal && m.primary_of(next.view) == m.id {
+                next.log.push(op.clone());
+                let op_num = next.log.len() as u32;
+                if m.n == 1 {
+                    // Degenerate single-node group: commit immediately.
+                    ReplicaMachine::apply_up_to(&mut next, op_num, &mut effects);
+                    effects.push(ReplEffect::ClientAck { op_num });
+                } else {
+                    m.broadcast(
+                        &mut effects,
+                        &ReplMsg::Prepare {
+                            view: next.view,
+                            op_num,
+                            op: op.clone(),
+                            commit_num: next.commit_num,
+                        },
+                    );
+                }
+            } else {
+                effects.push(ReplEffect::Redirect {
+                    view: next.view,
+                    primary: m.primary_of(next.view),
+                });
+            }
+        }
+        ReplEvent::PrimaryTimeout => {
+            // Can't suspect ourselves while we are the Normal primary.
+            let acting_primary = next.status == Status::Normal && m.primary_of(next.view) == m.id;
+            if !acting_primary {
+                let view = next.view + 1;
+                m.enter_view_change(&mut next, view, None, &mut effects);
+            }
+        }
+        ReplEvent::Recv { from, msg } => match msg {
+            ReplMsg::Prepare {
+                view,
+                op_num,
+                op,
+                commit_num,
+            } => {
+                let is_backup = next.status == Status::Normal
+                    && *view == next.view
+                    && m.primary_of(next.view) != m.id;
+                if is_backup {
+                    let expected = next.log.len() as u32 + 1;
+                    if *op_num == expected {
+                        next.log.push(op.clone());
+                    }
+                    if *op_num <= next.log.len() as u32 {
+                        // Appended now or already held (retransmit):
+                        // acknowledge idempotently.
+                        effects.push(ReplEffect::Send {
+                            to: *from,
+                            msg: ReplMsg::PrepareOk {
+                                view: *view,
+                                op_num: *op_num,
+                                from: m.id,
+                            },
+                        });
+                    } else {
+                        // A gap: this backup slept through earlier
+                        // Prepares (down, messages dropped) and can
+                        // never ack again without the missing slots —
+                        // with one other member down that silence
+                        // starves the commit quorum for good. Ask the
+                        // primary for a state transfer.
+                        effects.push(ReplEffect::Send {
+                            to: *from,
+                            msg: ReplMsg::NeedState {
+                                view: *view,
+                                from: m.id,
+                            },
+                        });
+                    }
+                    ReplicaMachine::apply_up_to(&mut next, *commit_num, &mut effects);
+                }
+            }
+            ReplMsg::PrepareOk { view, op_num, from } => {
+                let is_primary = next.status == Status::Normal
+                    && *view == next.view
+                    && m.primary_of(next.view) == m.id;
+                if is_primary {
+                    let ack = (*op_num, *from);
+                    if !next.acks.contains(&ack) {
+                        next.acks.push(ack);
+                        next.acks.sort_unstable();
+                    }
+                    let before = next.commit_num;
+                    m.advance_commits(&mut next, &mut effects);
+                    if next.commit_num == before && *op_num <= next.commit_num {
+                        // Stale ack for an already-committed slot: the
+                        // backup's Prepare outran the Commit broadcast
+                        // (reordering). Refresh its commit point so a
+                        // lone straggler still converges.
+                        effects.push(ReplEffect::Send {
+                            to: *from,
+                            msg: ReplMsg::Commit {
+                                view: next.view,
+                                commit_num: next.commit_num,
+                            },
+                        });
+                    }
+                }
+            }
+            ReplMsg::Commit { view, commit_num } => {
+                if next.status == Status::Normal && *view == next.view {
+                    ReplicaMachine::apply_up_to(&mut next, *commit_num, &mut effects);
+                }
+            }
+            ReplMsg::StartViewChange { view, from } => {
+                if *view > next.view {
+                    m.enter_view_change(&mut next, *view, Some(*from), &mut effects);
+                } else if *view == next.view && next.status == Status::ViewChange {
+                    let before = next.svc_votes.len();
+                    if !next.svc_votes.contains(from) {
+                        next.svc_votes.push(*from);
+                        next.svc_votes.sort_unstable();
+                    }
+                    if before < m.quorum() {
+                        m.maybe_do_view_change(&mut next, &mut effects);
+                    }
+                }
+            }
+            ReplMsg::DoViewChange {
+                view,
+                log,
+                last_normal,
+                commit_num,
+                from,
+            } => {
+                if m.primary_of(*view) == m.id {
+                    if *view > next.view {
+                        // Others are ahead of us: join the view change
+                        // we are supposed to lead.
+                        m.enter_view_change(&mut next, *view, None, &mut effects);
+                    }
+                    if *view == next.view && next.status == Status::ViewChange {
+                        ReplicaMachine::record_dvc(
+                            &mut next,
+                            (*from, *last_normal, *commit_num, log.clone()),
+                        );
+                        m.maybe_start_view(&mut next, &mut effects);
+                    }
+                }
+            }
+            ReplMsg::StartView {
+                view,
+                log,
+                commit_num,
+            } => {
+                // Same-view Normal backups adopt too: that is the
+                // state-transfer reply. The primary's log for its own
+                // view is authoritative (backups hold only what it
+                // prepared), so adoption can only extend, never lose.
+                let adopt = *view > next.view
+                    || (*view == next.view
+                        && (next.status == Status::ViewChange || m.primary_of(next.view) != m.id));
+                if adopt {
+                    next.status = Status::Normal;
+                    next.view = *view;
+                    next.last_normal = *view;
+                    next.log = log.clone();
+                    next.acks.clear();
+                    next.svc_votes.clear();
+                    next.dvc.clear();
+                    effects.push(ReplEffect::AdoptedView { view: *view });
+                    ReplicaMachine::apply_up_to(&mut next, *commit_num, &mut effects);
+                    // Per VR: acknowledge every op the adopted log holds
+                    // beyond the commit point. The new primary cleared
+                    // its ack table when the view started, so ops
+                    // prepared under the old view would otherwise never
+                    // gather a quorum again and the commit point would
+                    // stall at the gap forever.
+                    for op_num in next.commit_num + 1..=next.log.len() as u32 {
+                        effects.push(ReplEffect::Send {
+                            to: *from,
+                            msg: ReplMsg::PrepareOk {
+                                view: *view,
+                                op_num,
+                                from: m.id,
+                            },
+                        });
+                    }
+                }
+            }
+            ReplMsg::NeedState { view, from } => {
+                // State-transfer request from a gapped backup: answer
+                // with the same full-log StartView an election ends
+                // with. Only the Normal primary of that view may serve
+                // it — anyone else's log is not authoritative.
+                let is_primary = next.status == Status::Normal
+                    && *view == next.view
+                    && m.primary_of(next.view) == m.id;
+                if is_primary {
+                    effects.push(ReplEffect::Send {
+                        to: *from,
+                        msg: ReplMsg::StartView {
+                            view: next.view,
+                            log: next.log.clone(),
+                            commit_num: next.commit_num,
+                        },
+                    });
+                }
+            }
+        },
+    }
+    (next, effects)
+}
+
+// ---------------------------------------------------------------------------
+// The group: replicas × lossy network, explored by wsp-check
+// ---------------------------------------------------------------------------
+
+/// The whole replication group plus its in-flight network, as one
+/// machine: this is the configuration `wsp-check` exhausts. Ghost
+/// state (the globally committed op sequence, and which replica claimed
+/// each view) makes the safety invariants checkable per state/edge.
+#[derive(Debug, Clone)]
+pub struct GroupMachine<R> {
+    pub n: u8,
+    /// One (possibly sabotaged) machine per member.
+    pub members: Vec<R>,
+    /// Fixed op sequence submitted during exploration.
+    pub ops: Vec<u64>,
+    pub max_crashes: u8,
+    pub max_view: u32,
+}
+
+impl GroupMachine<ReplicaMachine> {
+    /// The genuine bounded configuration: 3 replicas, the given ops,
+    /// one crash, one full view change.
+    pub fn genuine(n: u8, ops: Vec<u64>) -> Self {
+        GroupMachine {
+            n,
+            members: (0..n).map(|id| ReplicaMachine { n, id }).collect(),
+            ops,
+            max_crashes: 1,
+            max_view: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupState<Op> {
+    pub replicas: Vec<ReplicaState<Op>>,
+    /// In-flight messages `(dst, src, msg)`, kept sorted so states
+    /// that differ only in arrival bookkeeping hash identically.
+    pub net: Vec<(ReplicaId, ReplicaId, ReplMsg<Op>)>,
+    pub crashed: Vec<bool>,
+    /// Ghost: the committed op sequence, in commit order.
+    pub committed: Vec<Op>,
+    /// Ghost: which replica claimed each view `(view, replica)`.
+    pub primaries: Vec<(u32, ReplicaId)>,
+    pub ops_submitted: u8,
+    pub crashes: u8,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupEvent {
+    /// Submit the next scripted op to replica `to`.
+    Submit {
+        to: ReplicaId,
+    },
+    /// Deliver in-flight message `net[index]`.
+    Deliver {
+        index: u8,
+    },
+    Crash {
+        replica: ReplicaId,
+    },
+    /// Replica `replica`'s watchdog suspects its primary.
+    Timeout {
+        replica: ReplicaId,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupEffect {
+    At {
+        replica: ReplicaId,
+        effect: ReplEffect<u64>,
+    },
+    /// A committed slot disagreed with (or skipped past) the ghost
+    /// committed sequence — the no-lost-commit invariant trips on this.
+    CommitDiverged { replica: ReplicaId, op_num: u32 },
+    /// Two distinct replicas claimed the same view.
+    DuplicatePrimary { view: u32 },
+}
+
+impl<R> GroupMachine<R>
+where
+    R: Machine<State = ReplicaState<u64>, Event = ReplEvent<u64>, Effect = ReplEffect<u64>>,
+{
+    fn dispatch(
+        &self,
+        state: &mut GroupState<u64>,
+        replica: ReplicaId,
+        event: &ReplEvent<u64>,
+        out: &mut Vec<GroupEffect>,
+    ) {
+        let (next, effects) =
+            self.members[replica as usize].step(&state.replicas[replica as usize], event);
+        state.replicas[replica as usize] = next;
+        for effect in effects {
+            match &effect {
+                // Messages to crashed members are pruned eagerly: they
+                // could never be delivered anyway, and keeping them out
+                // of `net` keeps the state space tight.
+                ReplEffect::Send { to, msg } if !state.crashed[*to as usize] => {
+                    state.net.push((*to, replica, msg.clone()));
+                }
+                ReplEffect::Apply { op_num, op } => {
+                    let slot = *op_num as usize;
+                    if slot == state.committed.len() + 1 {
+                        state.committed.push(*op);
+                    } else if slot <= state.committed.len() {
+                        if state.committed[slot - 1] != *op {
+                            out.push(GroupEffect::CommitDiverged {
+                                replica,
+                                op_num: *op_num,
+                            });
+                        }
+                    } else {
+                        out.push(GroupEffect::CommitDiverged {
+                            replica,
+                            op_num: *op_num,
+                        });
+                    }
+                }
+                ReplEffect::BecamePrimary { view } => {
+                    match state.primaries.iter().find(|(v, _)| v == view) {
+                        Some((_, claimed)) if *claimed != replica => {
+                            out.push(GroupEffect::DuplicatePrimary { view: *view });
+                        }
+                        Some(_) => {}
+                        None => state.primaries.push((*view, replica)),
+                    }
+                }
+                _ => {}
+            }
+            out.push(GroupEffect::At { replica, effect });
+        }
+    }
+
+    /// Events enabled in `state` — the alphabet `wsp-check` explores.
+    pub fn enabled(&self, state: &GroupState<u64>) -> Vec<GroupEvent> {
+        let mut events = Vec::new();
+        for index in 0..state.net.len().min(u8::MAX as usize) {
+            events.push(GroupEvent::Deliver { index: index as u8 });
+        }
+        for r in 0..self.n {
+            if state.crashed[r as usize] {
+                continue;
+            }
+            if (state.ops_submitted as usize) < self.ops.len() {
+                events.push(GroupEvent::Submit { to: r });
+            }
+            if state.crashes < self.max_crashes {
+                events.push(GroupEvent::Crash { replica: r });
+            }
+            // The watchdog only fires against a genuinely dead primary
+            // (the shell's heartbeat machinery vouches for live ones),
+            // and the view bound keeps the graph finite.
+            let rs = &state.replicas[r as usize];
+            let primary_dead = state.crashed[(rs.view % self.n as u32) as usize];
+            if primary_dead && rs.view < self.max_view {
+                events.push(GroupEvent::Timeout { replica: r });
+            }
+        }
+        events
+    }
+}
+
+impl<R> Machine for GroupMachine<R>
+where
+    R: Machine<State = ReplicaState<u64>, Event = ReplEvent<u64>, Effect = ReplEffect<u64>>,
+{
+    type State = GroupState<u64>;
+    type Event = GroupEvent;
+    type Effect = GroupEffect;
+
+    fn initial(&self) -> GroupState<u64> {
+        GroupState {
+            replicas: (0..self.n).map(initial_replica).collect(),
+            net: Vec::new(),
+            crashed: vec![false; self.n as usize],
+            committed: Vec::new(),
+            primaries: vec![(0, 0)],
+            ops_submitted: 0,
+            crashes: 0,
+        }
+    }
+
+    fn step(
+        &self,
+        state: &GroupState<u64>,
+        event: &GroupEvent,
+    ) -> (GroupState<u64>, Vec<GroupEffect>) {
+        let mut next = state.clone();
+        let mut out = Vec::new();
+        match event {
+            GroupEvent::Submit { to } => {
+                if !next.crashed[*to as usize] && (next.ops_submitted as usize) < self.ops.len() {
+                    let op = self.ops[next.ops_submitted as usize];
+                    next.ops_submitted += 1;
+                    self.dispatch(&mut next, *to, &ReplEvent::Client(op), &mut out);
+                }
+            }
+            GroupEvent::Deliver { index } => {
+                let index = *index as usize;
+                if index < next.net.len() {
+                    let (dst, src, msg) = next.net.remove(index);
+                    if !next.crashed[dst as usize] {
+                        self.dispatch(
+                            &mut next,
+                            dst,
+                            &ReplEvent::Recv { from: src, msg },
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            GroupEvent::Crash { replica } => {
+                if !next.crashed[*replica as usize] && next.crashes < self.max_crashes {
+                    next.crashed[*replica as usize] = true;
+                    next.crashes += 1;
+                    next.net.retain(|(dst, _, _)| dst != replica);
+                }
+            }
+            GroupEvent::Timeout { replica } => {
+                if !next.crashed[*replica as usize] {
+                    self.dispatch(&mut next, *replica, &ReplEvent::PrimaryTimeout, &mut out);
+                }
+            }
+        }
+        next.net
+            .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        (next, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The seeded mutation: a new primary that skips log catch-up
+// ---------------------------------------------------------------------------
+
+/// Sabotage: on winning a view change, keep our *own* log instead of
+/// adopting the best offered one — i.e. skip the catch-up that carries
+/// committed-but-not-locally-held ops across the view change. The
+/// no-lost-commit invariant must condemn this with a trace.
+#[derive(Debug, Clone, Copy)]
+pub struct SkipLogCatchup(pub ReplicaMachine);
+
+impl Machine for SkipLogCatchup {
+    type State = ReplicaState<u64>;
+    type Event = ReplEvent<u64>;
+    type Effect = ReplEffect<u64>;
+
+    fn initial(&self) -> ReplicaState<u64> {
+        self.0.initial()
+    }
+
+    fn step(
+        &self,
+        state: &ReplicaState<u64>,
+        event: &ReplEvent<u64>,
+    ) -> (ReplicaState<u64>, Vec<ReplEffect<u64>>) {
+        let (mut next, mut effects) = self.0.step(state, event);
+        let won = effects
+            .iter()
+            .any(|e| matches!(e, ReplEffect::BecamePrimary { .. }));
+        if won {
+            // Pretend our own log was the best offer: drop the adopted
+            // log and re-announce the view with ours.
+            next.log = state.log.clone();
+            next.commit_num = state.commit_num;
+            for effect in &mut effects {
+                if let ReplEffect::Send {
+                    msg:
+                        ReplMsg::StartView {
+                            log, commit_num, ..
+                        },
+                    ..
+                } = effect
+                {
+                    *log = next.log.clone();
+                    *commit_num = next.commit_num;
+                }
+            }
+            // The catch-up Applies never happen either.
+            effects.retain(|e| !matches!(e, ReplEffect::Apply { .. }));
+        }
+        (next, effects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_simnet::Machine;
+
+    fn group() -> GroupMachine<ReplicaMachine> {
+        GroupMachine::genuine(3, vec![101, 202])
+    }
+
+    /// Drive the group synchronously: deliver every message until the
+    /// network drains (depth-first on index 0 is fine for tests).
+    fn pump(g: &GroupMachine<ReplicaMachine>, state: &mut GroupState<u64>) -> Vec<GroupEffect> {
+        let mut all = Vec::new();
+        loop {
+            if state.net.is_empty() {
+                return all;
+            }
+            let (next, fx) = g.step(state, &GroupEvent::Deliver { index: 0 });
+            *state = next;
+            all.extend(fx);
+        }
+    }
+
+    fn acked(effects: &[GroupEffect]) -> bool {
+        effects.iter().any(|e| {
+            matches!(
+                e,
+                GroupEffect::At {
+                    effect: ReplEffect::ClientAck { .. },
+                    ..
+                }
+            )
+        })
+    }
+
+    #[test]
+    fn happy_path_commits_on_all_three() {
+        let g = group();
+        let mut s = g.initial();
+        let (next, _) = g.step(&s, &GroupEvent::Submit { to: 0 });
+        s = next;
+        let fx = pump(&g, &mut s);
+        assert!(acked(&fx), "primary should ack after quorum");
+        assert_eq!(s.committed, vec![101]);
+        for r in &s.replicas {
+            assert_eq!(r.log, vec![101]);
+            assert_eq!(r.commit_num, 1, "replica {} commit", r.id);
+        }
+    }
+
+    #[test]
+    fn committed_op_survives_primary_crash_and_view_change() {
+        let g = group();
+        let mut s = g.initial();
+        let (next, _) = g.step(&s, &GroupEvent::Submit { to: 0 });
+        s = next;
+        let fx = pump(&g, &mut s);
+        assert!(acked(&fx));
+        // Kill the primary, let a backup's watchdog fire.
+        let (next, _) = g.step(&s, &GroupEvent::Crash { replica: 0 });
+        s = next;
+        let (next, _) = g.step(&s, &GroupEvent::Timeout { replica: 1 });
+        s = next;
+        pump(&g, &mut s);
+        let new_primary = &s.replicas[1];
+        assert_eq!(new_primary.status, Status::Normal);
+        assert_eq!(new_primary.view, 1);
+        assert_eq!(new_primary.log, vec![101], "committed op survived");
+        // The new primary accepts new ops.
+        let (next, _) = g.step(&s, &GroupEvent::Submit { to: 1 });
+        s = next;
+        let fx = pump(&g, &mut s);
+        assert!(acked(&fx), "new primary commits with the one live backup");
+        assert_eq!(s.committed, vec![101, 202]);
+    }
+
+    #[test]
+    fn non_primary_redirects_clients() {
+        let g = group();
+        let s = g.initial();
+        let (_, fx) = g.step(&s, &GroupEvent::Submit { to: 2 });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            GroupEffect::At {
+                effect: ReplEffect::Redirect { primary: 0, .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn skip_log_catchup_mutant_loses_a_committed_op() {
+        // Commit op 101 with only backup 2 holding it (the Prepare to
+        // replica 1 stays in flight), crash the primary, and let the
+        // *mutant* replica 1 — whose log is empty — win view 1 while
+        // refusing to adopt replica 2's fuller log.
+        let n = 3;
+        let members: Vec<SkipLogCatchup> = (0..n)
+            .map(|id| SkipLogCatchup(ReplicaMachine { n, id }))
+            .collect();
+        let g = GroupMachine {
+            n,
+            members,
+            ops: vec![101, 202],
+            max_crashes: 1,
+            max_view: 1,
+        };
+        let mut s = g.initial();
+        let (next, _) = g.step(&s, &GroupEvent::Submit { to: 0 });
+        s = next;
+        // Deliver everything except messages addressed to replica 1:
+        // replica 2 appends + acks, the primary commits op 101.
+        while let Some(idx) = s.net.iter().position(|(dst, _, _)| *dst != 1) {
+            let (next, _) = g.step(&s, &GroupEvent::Deliver { index: idx as u8 });
+            s = next;
+        }
+        assert_eq!(s.committed, vec![101]);
+        assert_eq!(s.replicas[1].log.len(), 0, "replica 1 never saw op 101");
+        let (next, _) = g.step(&s, &GroupEvent::Crash { replica: 0 });
+        s = next;
+        // Drop the stale in-flight Prepare to replica 1 from view 0 by
+        // delivering it *after* the view change starts (it is ignored
+        // on view mismatch). Watchdog fires at replica 1.
+        let (next, _) = g.step(&s, &GroupEvent::Timeout { replica: 1 });
+        s = next;
+        let mut diverged = false;
+        while let Some(idx) = s
+            .net
+            .iter()
+            .position(|(_, _, msg)| !matches!(msg, ReplMsg::Prepare { .. }))
+        {
+            let (next, fx) = g.step(&s, &GroupEvent::Deliver { index: idx as u8 });
+            s = next;
+            diverged |= fx
+                .iter()
+                .any(|e| matches!(e, GroupEffect::CommitDiverged { .. }));
+        }
+        // Replica 1 is now primary of view 1 with an empty log: the
+        // committed registration is gone. Submitting the next op makes
+        // the divergence observable on the commit edge.
+        let winner = &s.replicas[1];
+        assert_eq!(winner.status, Status::Normal);
+        assert_eq!(winner.view, 1);
+        assert_eq!(winner.log.len(), 0, "mutant kept its own empty log");
+        let (next, _) = g.step(&s, &GroupEvent::Submit { to: 1 });
+        s = next;
+        while let Some(idx) = s
+            .net
+            .iter()
+            .position(|(_, _, msg)| !matches!(msg, ReplMsg::Prepare { view: 0, .. }))
+        {
+            let (next, fx) = g.step(&s, &GroupEvent::Deliver { index: idx as u8 });
+            s = next;
+            diverged |= fx
+                .iter()
+                .any(|e| matches!(e, GroupEffect::CommitDiverged { .. }));
+        }
+        assert!(diverged, "op 202 committed into slot 1 over ghost op 101");
+    }
+}

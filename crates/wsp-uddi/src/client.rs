@@ -40,21 +40,40 @@ impl std::error::Error for UddiError {}
 #[derive(Clone)]
 pub struct UddiClient {
     transport: SoapTransport,
+    /// Where this client's transport lands, for per-endpoint circuit
+    /// breakers and telemetry labels. `None` for anonymous transports.
+    endpoint: Option<String>,
 }
 
 impl UddiClient {
     pub fn new(transport: SoapTransport) -> Self {
-        UddiClient { transport }
+        UddiClient {
+            transport,
+            endpoint: None,
+        }
     }
 
     /// Client talking directly to an in-process registry (no wire).
     pub fn direct(registry: Registry) -> Self {
-        UddiClient::new(direct_transport(registry))
+        UddiClient::new(direct_transport(registry)).with_endpoint_hint("uddi:direct")
     }
 
     /// Client talking to a registry over HTTP at `uri`.
     pub fn http(uri: impl Into<String>) -> Self {
-        UddiClient::new(http_transport(uri.into()))
+        let uri = uri.into();
+        UddiClient::new(http_transport(uri.clone())).with_endpoint_hint(uri)
+    }
+
+    /// Label the endpoint this client reaches, keying its circuit
+    /// breaker and `/metrics` series in the hosting binding.
+    pub fn with_endpoint_hint(mut self, endpoint: impl Into<String>) -> Self {
+        self.endpoint = Some(endpoint.into());
+        self
+    }
+
+    /// The endpoint label, if one was supplied.
+    pub fn endpoint_hint(&self) -> Option<&str> {
+        self.endpoint.as_deref()
     }
 
     fn call(&self, payload: Element) -> Result<Element, UddiError> {

@@ -135,6 +135,11 @@ pub struct BusinessService {
     pub description: Option<String>,
     pub categories: Vec<KeyedReference>,
     pub bindings: Vec<BindingTemplate>,
+    /// Soft-state lease: how long this registration stays live without a
+    /// refresh, in milliseconds. `None` means a classic permanent UDDI
+    /// registration (and keeps the wire bytes of pre-lease documents
+    /// unchanged — the attribute is only emitted when present).
+    pub lease_ttl_ms: Option<u64>,
 }
 
 impl BusinessService {
@@ -150,11 +155,17 @@ impl BusinessService {
             description: None,
             categories: Vec::new(),
             bindings: Vec::new(),
+            lease_ttl_ms: None,
         }
     }
 
     pub fn with_description(mut self, d: impl Into<String>) -> Self {
         self.description = Some(d.into());
+        self
+    }
+
+    pub fn with_lease_ttl_ms(mut self, ttl_ms: u64) -> Self {
+        self.lease_ttl_ms = Some(ttl_ms);
         self
     }
 
@@ -172,6 +183,9 @@ impl BusinessService {
         let mut e = Element::new(UDDI_NS, "businessService");
         e.set_attribute(QName::local("serviceKey"), self.key.clone());
         e.set_attribute(QName::local("businessKey"), self.business_key.clone());
+        if let Some(ttl) = self.lease_ttl_ms {
+            e.set_attribute(QName::local("leaseTtlMs"), ttl.to_string());
+        }
         e.push_element(
             Element::build(UDDI_NS, "name")
                 .text(self.name.clone())
@@ -222,6 +236,7 @@ impl BusinessService {
                     .collect()
             })
             .unwrap_or_default();
+        let lease_ttl_ms = e.attribute_local("leaseTtlMs").and_then(|v| v.parse().ok());
         Some(BusinessService {
             key,
             business_key,
@@ -229,6 +244,7 @@ impl BusinessService {
             description,
             categories,
             bindings,
+            lease_ttl_ms,
         })
     }
 }
@@ -359,6 +375,18 @@ mod tests {
         let svc = BusinessService::new("s", "b", "Name only");
         let parsed = BusinessService::from_element(&svc.to_element()).unwrap();
         assert_eq!(parsed, svc);
+    }
+
+    #[test]
+    fn lease_ttl_round_trips_and_stays_off_the_wire_when_absent() {
+        let leased = sample_service().with_lease_ttl_ms(30_000);
+        let parsed = BusinessService::from_element(&leased.to_element()).unwrap();
+        assert_eq!(parsed.lease_ttl_ms, Some(30_000));
+        assert_eq!(parsed, leased);
+        // Permanent registrations serialize exactly as before the lease
+        // field existed — no attribute, identical bytes.
+        let permanent = sample_service();
+        assert!(!permanent.to_element().to_xml().contains("leaseTtlMs"));
     }
 
     #[test]

@@ -92,6 +92,27 @@ timeout 300 cargo run -q --release -p wsp-bench --bin e15 -- quick
 echo "==> wsp-check (exhaustive state-machine exploration)"
 cargo run -q --release -p wsp-check
 
+# Discovery plane (PR 9): the replicated registry. The wsp-check run
+# above already exhausts the VR-lite replication group and the lease
+# machine; the mutation pass below re-runs every seeded mutant (the
+# skip-log-catchup replica among them) and fails unless each one is
+# condemned with a counterexample trace. Then the failover matrix:
+# committed publishes must survive a primary crash, stale-epoch clients
+# must complete after the versioned shard-map redirect over BOTH real
+# bindings (HTTP and P2PS pipes), and lease-expiry traces must replay
+# bit-identically per seed. Finally the E16 A/B artifact — the e16 bin
+# exits nonzero if any committed publish is lost or sharded locate
+# availability drops below 99% during the view change, so it is a gate.
+echo "==> wsp-check mutation pass (seeded mutants must be condemned)"
+cargo run -q --release -p wsp-check -- --mutants
+
+echo "==> registry failover matrix (seed 2005 / seed 7)"
+WSP_FAULT_SEED=2005 timeout 300 cargo test -q -p wsp-integration-tests --test registry_failover
+WSP_FAULT_SEED=7 timeout 300 cargo test -q --release -p wsp-integration-tests --test registry_failover
+
+echo "==> E16 artifact (BENCH_E16.json, quick)"
+timeout 300 cargo run -q --release -p wsp-bench --bin e16 -- quick
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
