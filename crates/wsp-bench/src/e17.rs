@@ -1,0 +1,442 @@
+//! E17 — the mediation gateway vs direct invocation: cached goodput,
+//! tenant isolation under flood, and cache hit ratio vs TTL.
+//!
+//! The paper's interface argument is that mediation should cost
+//! nothing the application notices; this experiment measures where
+//! mediation *pays*: a shared gateway amortises discovery and — for
+//! idempotent operations — whole backend round-trips across tenants.
+//! Three scenarios, all against real TCP backends registered in the
+//! sharded registry:
+//!
+//! * **goodput** — the same cache-friendly request mix (a small hot set
+//!   of idempotent request bodies) pushed by a worker pool either
+//!   *direct* (every call pays the backend's service time) or through
+//!   the *gateway* (hits replay from the response cache). The
+//!   acceptance gate is gateway goodput ≥ 3× direct on this mix, with
+//!   every cache hit byte-identical to the backend reply.
+//! * **isolation** — a cold tenant's request latency is measured alone
+//!   (the isolated baseline), then again while a hot tenant floods the
+//!   gateway from a thread pool. Fair-share admission sheds the flood
+//!   at the edge, so the gate is cold p99 (flooded) ≤ 2× cold p99
+//!   (isolated).
+//! * **ttl sweep** — one idempotent request replayed at a fixed
+//!   inter-arrival against response TTLs from shorter-than-interval to
+//!   much longer; the observed hit ratio must grow monotonically (with
+//!   slack for scheduler jitter) toward ~1.
+//!
+//! Wall-clock timing is inherent here (real sockets, real threads), so
+//! the gates carry margins; the request *schedule* is seeded and the
+//! byte-identity checks are exact.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wsp_gateway::{Gateway, GatewayCacheConfig, GatewayConfig};
+use wsp_http::{http_call_uri, Request, Response, Router, TcpServer};
+use wsp_registry::{ClusterConfig, RegistryCluster, ShardedUddiClient};
+use wsp_soap::{constants::CONTENT_TYPE, Envelope};
+use wsp_uddi::{BindingTemplate, BusinessService};
+use wsp_xml::Element;
+
+/// One measured goodput cell.
+#[derive(Debug, Clone)]
+pub struct GoodputRow {
+    pub mode: String,
+    pub requests: usize,
+    pub ok: usize,
+    pub cache_hits: usize,
+    pub wall_ms: u64,
+    pub goodput_rps: f64,
+    /// Every cache hit compared byte-for-byte against the backend's
+    /// reply for the same request body. Must equal `cache_hits`.
+    pub identical_hits: usize,
+}
+
+/// One measured TTL-sweep cell.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    pub ttl_ms: u64,
+    pub requests: usize,
+    pub hits: usize,
+    pub hit_ratio: f64,
+}
+
+/// The isolation measurement: cold-tenant latency with and without the
+/// hot flood.
+#[derive(Debug, Clone)]
+pub struct IsolationRow {
+    pub samples: usize,
+    pub isolated_p50_us: u64,
+    pub isolated_p99_us: u64,
+    pub flooded_p50_us: u64,
+    pub flooded_p99_us: u64,
+    /// Hot-tenant requests shed at the edge during the flood phase.
+    pub hot_shed: u64,
+    /// `flooded_p99 / isolated_p99`.
+    pub p99_ratio: f64,
+}
+
+struct Fixture {
+    cluster: RegistryCluster,
+    server: TcpServer,
+    backend_uri: String,
+    service: String,
+}
+
+/// A backend whose handler costs `work` of service time per call and
+/// echoes a reply derived from the request bytes (so cache hits can be
+/// checked byte-for-byte against what the backend would say).
+fn fixture(service: &str, work: Duration) -> Fixture {
+    let cluster = RegistryCluster::new(ClusterConfig {
+        nodes: 6,
+        shard_count: 4,
+        replication: 3,
+        default_ttl: None,
+    });
+    let router = Router::new();
+    router.deploy(
+        service,
+        Arc::new(move |req: &Request| {
+            if !work.is_zero() {
+                std::thread::sleep(work);
+            }
+            Response::ok(CONTENT_TYPE, backend_reply(&req.body))
+        }),
+    );
+    let server = TcpServer::launch(0, router).expect("launch backend");
+    let backend_uri = server.service_uri(service);
+    let client = ShardedUddiClient::for_cluster(&cluster).expect("bootstrap");
+    client
+        .publish(
+            &BusinessService::new("", "uddi:wspeer:e17", service)
+                .with_binding(BindingTemplate::new("binding-0", backend_uri.clone())),
+        )
+        .expect("publish backend binding");
+    Fixture {
+        cluster,
+        server,
+        backend_uri,
+        service: service.to_owned(),
+    }
+}
+
+/// The reply the backend deterministically produces for a request —
+/// the reference for byte-identity checks on cache hits.
+fn backend_reply(request: &[u8]) -> String {
+    Envelope::request(
+        Element::build("urn:e17", "reply")
+            .text(format!("ack-{:016x}", wsp_gateway::fnv1a(request)))
+            .finish(),
+    )
+    .to_xml()
+}
+
+fn question(i: usize) -> Vec<u8> {
+    Envelope::request(
+        Element::build("urn:e17", "ask")
+            .text(format!("q-{i}"))
+            .finish(),
+    )
+    .to_xml()
+    .into_bytes()
+}
+
+fn gateway_for(fx: &Fixture, cfg: GatewayConfig) -> Gateway {
+    let client = ShardedUddiClient::for_cluster(&fx.cluster).expect("bootstrap");
+    Gateway::new(client, cfg)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+// ---------------------------------------------------------------------------
+// Goodput: gateway vs direct on a cache-friendly mix
+// ---------------------------------------------------------------------------
+
+/// Run the cache-friendly mix: `workers` threads, `per_worker` requests
+/// each, bodies drawn seeded from a hot set of `distinct` questions.
+pub fn goodput(
+    seed: u64,
+    workers: usize,
+    per_worker: usize,
+    distinct: usize,
+    work: Duration,
+) -> Vec<GoodputRow> {
+    let fx = fixture("Bulk", work);
+    let mut rows = Vec::new();
+
+    // Direct: every call is a full backend round-trip.
+    {
+        let started = Instant::now();
+        let ok = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let uri = fx.backend_uri.clone();
+                let ok = Arc::clone(&ok);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0xE17 ^ w as u64);
+                    for _ in 0..per_worker {
+                        let body = question(rng.random_range(0..distinct));
+                        if let Ok(resp) =
+                            http_call_uri(&uri, Request::post("/", CONTENT_TYPE, body))
+                        {
+                            ok.fetch_add(u64::from(resp.status == 200), Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("direct worker");
+        }
+        let wall = started.elapsed();
+        let requests = workers * per_worker;
+        let ok = ok.load(Ordering::Relaxed) as usize;
+        rows.push(GoodputRow {
+            mode: "direct".into(),
+            requests,
+            ok,
+            cache_hits: 0,
+            wall_ms: wall.as_millis() as u64,
+            goodput_rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+            identical_hits: 0,
+        });
+    }
+
+    // Gateway: the same seeded mix through the mediation pipeline.
+    {
+        let gw = gateway_for(&fx, GatewayConfig::default().idempotent(&fx.service, "*"));
+        let started = Instant::now();
+        let ok = Arc::new(AtomicU64::new(0));
+        let hits = Arc::new(AtomicU64::new(0));
+        let identical = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let gw = gw.clone();
+                let service = fx.service.clone();
+                let (ok, hits, identical) =
+                    (Arc::clone(&ok), Arc::clone(&hits), Arc::clone(&identical));
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0xE17 ^ w as u64);
+                    for _ in 0..per_worker {
+                        let body = question(rng.random_range(0..distinct));
+                        if let Ok(reply) = gw.invoke("bench", &service, &body, None) {
+                            ok.fetch_add(u64::from(reply.status == 200), Ordering::Relaxed);
+                            if reply.cached {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                                // The acceptance bar: a hit is the exact
+                                // bytes the backend would have sent.
+                                if reply.body == backend_reply(&body).as_bytes() {
+                                    identical.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("gateway worker");
+        }
+        let wall = started.elapsed();
+        let requests = workers * per_worker;
+        let ok = ok.load(Ordering::Relaxed) as usize;
+        rows.push(GoodputRow {
+            mode: "gateway".into(),
+            requests,
+            ok,
+            cache_hits: hits.load(Ordering::Relaxed) as usize,
+            wall_ms: wall.as_millis() as u64,
+            goodput_rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+            identical_hits: identical.load(Ordering::Relaxed) as usize,
+        });
+    }
+
+    fx.server.shutdown();
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Isolation: hot-tenant flood vs cold-tenant p99
+// ---------------------------------------------------------------------------
+
+/// Cold-tenant latency with and without a hot flood. Cold requests are
+/// deliberately *not* idempotent, so every sample pays the full
+/// mediation path; hot requests hammer from `flood_threads` threads and
+/// are mostly shed at the admission edge.
+pub fn isolation(seed: u64, samples: usize, flood_threads: usize, work: Duration) -> IsolationRow {
+    use wsp_core::KeyedLoadShedPolicy;
+    let fx = fixture("Tenants", work);
+    let gw = gateway_for(
+        &fx,
+        // A global cap of 2 with equal weights guarantees each tenant
+        // exactly one concurrent permit: the flood's second in-flight
+        // request sheds while the cold tenant's share stays reserved.
+        GatewayConfig::default().with_admission(
+            KeyedLoadShedPolicy::fair(2)
+                .with_weight("hot", 1)
+                .with_weight("cold", 1)
+                .with_counter_prefix("gateway.tenant"),
+        ),
+    );
+
+    let cold_pass = |n: usize, salt: u64| -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ salt);
+        let mut lat = Vec::with_capacity(n);
+        for _ in 0..n {
+            let body = question(rng.random_range(0..1_000_000));
+            let t0 = Instant::now();
+            let reply = gw.invoke("cold", &fx.service, &body, None);
+            if reply.is_ok() {
+                lat.push(t0.elapsed().as_micros() as u64);
+            }
+        }
+        lat.sort_unstable();
+        lat
+    };
+
+    // Phase 1: the isolated baseline.
+    let isolated = cold_pass(samples, 0xC01D);
+
+    // Phase 2: the flood. Hot threads hammer until told to stop; a shed
+    // costs them nothing but a yield, which is exactly the attack.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hot_shed = Arc::new(AtomicU64::new(0));
+    let flood: Vec<_> = (0..flood_threads)
+        .map(|w| {
+            let gw = gw.clone();
+            let service = fx.service.clone();
+            let stop = Arc::clone(&stop);
+            let shed = Arc::clone(&hot_shed);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x407 ^ w as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let body = question(rng.random_range(0..1_000_000));
+                    match gw.invoke("hot", &service, &body, None) {
+                        Ok(_) => {}
+                        Err(_) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let flooded = cold_pass(samples, 0xF100D);
+    stop.store(true, Ordering::Relaxed);
+    for h in flood {
+        h.join().expect("flood thread");
+    }
+    fx.server.shutdown();
+
+    let isolated_p99 = percentile(&isolated, 0.99).max(1);
+    let flooded_p99 = percentile(&flooded, 0.99).max(1);
+    IsolationRow {
+        samples,
+        isolated_p50_us: percentile(&isolated, 0.50),
+        isolated_p99_us: isolated_p99,
+        flooded_p50_us: percentile(&flooded, 0.50),
+        flooded_p99_us: flooded_p99,
+        hot_shed: hot_shed.load(Ordering::Relaxed),
+        p99_ratio: flooded_p99 as f64 / isolated_p99 as f64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TTL sweep: hit ratio vs response TTL
+// ---------------------------------------------------------------------------
+
+/// Replay one idempotent request every `interval` against each TTL and
+/// record the observed response-cache hit ratio.
+pub fn ttl_sweep(ttls_ms: &[u64], requests: usize, interval: Duration) -> Vec<SweepRow> {
+    let fx = fixture("Sweep", Duration::ZERO);
+    let mut rows = Vec::new();
+    for &ttl_ms in ttls_ms {
+        let gw = gateway_for(
+            &fx,
+            GatewayConfig::default()
+                .idempotent(&fx.service, "*")
+                .with_cache(GatewayCacheConfig {
+                    response_ttl: Duration::from_millis(ttl_ms),
+                    ..GatewayCacheConfig::default()
+                }),
+        );
+        let body = question(usize::try_from(ttl_ms).unwrap_or(0));
+        let mut hits = 0usize;
+        for _ in 0..requests {
+            if let Ok(reply) = gw.invoke("sweep", &fx.service, &body, None) {
+                hits += usize::from(reply.cached);
+            }
+            std::thread::sleep(interval);
+        }
+        rows.push(SweepRow {
+            ttl_ms,
+            requests,
+            hits,
+            hit_ratio: hits as f64 / requests.max(1) as f64,
+        });
+    }
+    fx.server.shutdown();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gateway_goodput_beats_direct_on_a_cache_friendly_mix() {
+        let rows = goodput(2005, 2, 40, 4, Duration::from_millis(2));
+        let direct = rows.iter().find(|r| r.mode == "direct").unwrap();
+        let gateway = rows.iter().find(|r| r.mode == "gateway").unwrap();
+        assert_eq!(direct.ok, direct.requests, "direct calls all succeed");
+        assert_eq!(gateway.ok, gateway.requests, "gateway calls all succeed");
+        assert!(gateway.cache_hits > 0, "the mix must actually hit");
+        assert_eq!(
+            gateway.identical_hits, gateway.cache_hits,
+            "every hit must be byte-identical to the backend reply"
+        );
+        assert!(
+            gateway.goodput_rps >= 3.0 * direct.goodput_rps,
+            "gateway {:.0} rps vs direct {:.0} rps",
+            gateway.goodput_rps,
+            direct.goodput_rps
+        );
+    }
+
+    #[test]
+    fn hot_flood_cannot_push_cold_p99_past_twice_the_baseline() {
+        let row = isolation(2005, 60, 2, Duration::from_millis(1));
+        assert!(row.hot_shed > 0, "the flood must actually be shed");
+        assert!(
+            row.p99_ratio <= 2.0,
+            "cold p99 {}us flooded vs {}us isolated (ratio {:.2})",
+            row.flooded_p99_us,
+            row.isolated_p99_us,
+            row.p99_ratio
+        );
+    }
+
+    #[test]
+    fn hit_ratio_grows_with_the_ttl() {
+        let rows = ttl_sweep(&[1, 50, 400], 40, Duration::from_millis(2));
+        assert!(
+            rows.last().unwrap().hit_ratio >= 0.8,
+            "a TTL far above the inter-arrival should mostly hit: {:?}",
+            rows
+        );
+        assert!(
+            rows[0].hit_ratio <= rows.last().unwrap().hit_ratio,
+            "hit ratio must not shrink as the TTL grows: {:?}",
+            rows
+        );
+    }
+}

@@ -25,6 +25,7 @@ pub mod e12_legacy;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -8,7 +8,7 @@
 
 use crate::composed::{ComposedEffect, ComposedEvent, ComposedMachine, ComposedState};
 use crate::mutations::{
-    ComposedSkipHalfOpenReset, LeakSlotOnReject, SkipHalfOpenReset, StickyHeadTimer,
+    ComposedSkipHalfOpenReset, IgnoreReserve, LeakSlotOnReject, SkipHalfOpenReset, StickyHeadTimer,
 };
 use crate::{fault_seed, random_walk, Graph, Report, Violation};
 use wsp_core::machines::admission::{
@@ -19,6 +19,10 @@ use wsp_core::machines::breaker::{
 };
 use wsp_core::machines::correlation::{
     CallPhase, CorrelationEffect, CorrelationEvent, CorrelationMachine, CorrelationState,
+};
+use wsp_core::machines::keyed_admission::{
+    KeyedAdmissionEffect, KeyedAdmissionEvent, KeyedAdmissionMachine, KeyedAdmissionState,
+    KeyedShedReason,
 };
 use wsp_http::conn::{
     ConnEffect, ConnEvent, ConnMachine, ConnState, Phase as ConnPhase, TimerKind,
@@ -321,6 +325,142 @@ pub fn check_admission() -> Result<Report, Violation> {
         s.in_flight == 0
     })?;
     Ok(graph.report("admission(cap=2, queue=1)"))
+}
+
+// ---------------------------------------------------------------------------
+// Keyed (per-tenant) fair-share admission
+// ---------------------------------------------------------------------------
+
+/// Two tenants with unequal weights and a tenant cap tight enough that
+/// every shed reason is reachable: guaranteed shares come out [3, 1],
+/// so tenant 0 can exercise the tenant cap and tenant 1 the reserve.
+fn keyed_admission_config() -> KeyedAdmissionMachine {
+    KeyedAdmissionMachine {
+        global_cap: 4,
+        weights: vec![2, 1],
+        tenant_cap: 3,
+    }
+}
+
+fn keyed_admission_events(state: &KeyedAdmissionState) -> Vec<KeyedAdmissionEvent> {
+    let mut events = Vec::new();
+    for tenant in 0..2 {
+        for deadline_expired in [false, true] {
+            for over_watermark in [false, true] {
+                events.push(KeyedAdmissionEvent::Admit {
+                    tenant,
+                    deadline_expired,
+                    over_watermark,
+                });
+            }
+        }
+        // Release pairs with a held permit (RAII in the shell).
+        if state.in_flight[tenant] > 0 {
+            events.push(KeyedAdmissionEvent::Release { tenant });
+        }
+    }
+    events.push(KeyedAdmissionEvent::BeginDrain);
+    events.push(KeyedAdmissionEvent::EndDrain);
+    events
+}
+
+/// The invariants, shared between the genuine machine and the mutants
+/// so a mutant is condemned by exactly the properties we quote.
+fn keyed_admission_invariants<M>(
+    graph: &Graph<M>,
+    cfg: &KeyedAdmissionMachine,
+) -> Result<(), Violation>
+where
+    M: Machine<
+        State = KeyedAdmissionState,
+        Event = KeyedAdmissionEvent,
+        Effect = KeyedAdmissionEffect,
+    >,
+{
+    let guaranteed = cfg.guaranteed();
+    graph.check_states("total permits never exceed the global cap", |s| {
+        s.total() <= cfg.global_cap
+    })?;
+    graph.check_states("no tenant exceeds the tenant cap", |s| {
+        s.in_flight.iter().all(|&f| f <= cfg.tenant_cap)
+    })?;
+    // The inductive heart of fair-share isolation: borrowed capacity
+    // never eats into the reserve held for unused guaranteed shares,
+    // so a below-share admit is *always* safe to grant unconditionally.
+    graph.check_states("borrows leave every unused guaranteed share covered", |s| {
+        let reserve: u64 = guaranteed
+            .iter()
+            .zip(&s.in_flight)
+            .map(|(&g, &f)| g.saturating_sub(f))
+            .sum();
+        s.total() + reserve <= cfg.global_cap
+    })?;
+    graph.check_edges("permit counts never go negative", |_f, _e, effects, _t| {
+        !effects.contains(&KeyedAdmissionEffect::PermitUnderflow)
+    })?;
+    graph.check_edges(
+        "nothing is admitted while draining",
+        |from, _e, effects, _t| {
+            !(from.draining
+                && effects
+                    .iter()
+                    .any(|fx| matches!(fx, KeyedAdmissionEffect::Admitted { .. })))
+        },
+    )?;
+    graph.check_edges(
+        "an expired deadline always sheds as DeadlineExpired",
+        |_from, event, effects, _to| match event {
+            KeyedAdmissionEvent::Admit {
+                tenant,
+                deadline_expired: true,
+                ..
+            } => {
+                effects
+                    == [KeyedAdmissionEffect::Shed {
+                        tenant: *tenant,
+                        reason: KeyedShedReason::DeadlineExpired,
+                    }]
+            }
+            _ => true,
+        },
+    )?;
+    // No starvation: a clean request from a tenant still under its
+    // guaranteed share is admitted no matter what the others hold.
+    graph.check_edges(
+        "a tenant below its guaranteed share is never shed for capacity",
+        |from, event, effects, _to| match event {
+            KeyedAdmissionEvent::Admit {
+                tenant,
+                deadline_expired: false,
+                over_watermark: false,
+            } if !from.draining && from.in_flight[*tenant] < guaranteed[*tenant] => {
+                effects == [KeyedAdmissionEffect::Admitted { tenant: *tenant }]
+            }
+            _ => true,
+        },
+    )?;
+    graph.check_eventually("in-flight work can always drain to zero", |s| {
+        s.total() == 0
+    })
+}
+
+pub fn check_keyed_admission() -> Result<Report, Violation> {
+    let cfg = keyed_admission_config();
+    let graph = Graph::explore(cfg.clone(), keyed_admission_events, MAX_STATES);
+    keyed_admission_invariants(&graph, &cfg)?;
+    Ok(graph.report("keyed_admission(cap=4, weights=[2,1], tenant_cap=3)"))
+}
+
+/// Mutation run: the borrow path that forgets the fair-share reserve
+/// must be condemned with a trace (see [`IgnoreReserve`]).
+pub fn keyed_admission_mutation_counterexample() -> Option<Violation> {
+    let cfg = keyed_admission_config();
+    let graph = Graph::explore(
+        IgnoreReserve(cfg.clone()),
+        keyed_admission_events,
+        MAX_STATES,
+    );
+    keyed_admission_invariants(&graph, &cfg).err()
 }
 
 // ---------------------------------------------------------------------------
@@ -956,6 +1096,7 @@ pub fn run_all() -> Result<Vec<Report>, Violation> {
     let reports = vec![
         check_breaker()?,
         check_admission()?,
+        check_keyed_admission()?,
         check_correlation()?,
         check_drain()?,
         check_conn()?,
@@ -1024,6 +1165,30 @@ mod tests {
     fn admission_configuration_is_clean() {
         let report = check_admission().unwrap();
         assert!(report.states >= 6, "{report}");
+    }
+
+    #[test]
+    fn keyed_admission_configuration_is_clean() {
+        let report = check_keyed_admission().unwrap();
+        // Reachable (f0, f1) pairs under the cap and reserve, x drain.
+        assert!(report.states >= 14, "{report}");
+    }
+
+    #[test]
+    fn keyed_admission_mutation_is_caught_with_a_trace() {
+        let violation = keyed_admission_mutation_counterexample()
+            .expect("the ignore-reserve mutant must be condemned");
+        assert!(
+            violation.invariant.contains("global cap")
+                || violation.invariant.contains("guaranteed share"),
+            "unexpected invariant: {}",
+            violation.invariant
+        );
+        assert!(
+            violation.trace.contains("Admit"),
+            "trace should show the over-borrowing admit:\n{}",
+            violation.trace
+        );
     }
 
     #[test]

@@ -53,6 +53,10 @@ fn main() -> ExitCode {
                 "replication: skip log catch-up on view change",
                 wsp_check::checks::replication_mutation_counterexample(),
             ),
+            (
+                "keyed admission: borrow ignores the fair-share reserve",
+                wsp_check::checks::keyed_admission_mutation_counterexample(),
+            ),
         ];
         let mut all_condemned = true;
         for (name, verdict) in mutants {

@@ -9,6 +9,10 @@
 
 use crate::composed::{ComposedEvent, ComposedMachine, ComposedState};
 use wsp_core::machines::breaker::{BreakerEvent, BreakerMachine, BreakerState};
+use wsp_core::machines::keyed_admission::{
+    KeyedAdmissionEffect, KeyedAdmissionEvent, KeyedAdmissionMachine, KeyedAdmissionState,
+    KeyedShedReason,
+};
 use wsp_http::conn::{ConnEffect, ConnEvent, ConnMachine, ConnState, Phase, TimerKind};
 use wsp_http::drain::{DrainEffect, DrainEvent, DrainMachine, DrainState};
 use wsp_simnet::Machine;
@@ -127,6 +131,45 @@ impl Machine for StickyHeadTimer {
             // deadline ticking on the wheel.
             next.head_timer = true;
             effects.retain(|fx| *fx != ConnEffect::CancelTimer(TimerKind::Head));
+        }
+        (next, effects)
+    }
+}
+
+/// Mutation: the borrow path of the keyed fair-share policy checks the
+/// global cap but forgets the reserve held for other tenants' unused
+/// guaranteed shares. A tenant over its share can then fill the budget,
+/// and a below-share tenant's unconditional admit blows the global cap.
+#[derive(Debug, Clone)]
+pub struct IgnoreReserve(pub KeyedAdmissionMachine);
+
+impl Machine for IgnoreReserve {
+    type State = KeyedAdmissionState;
+    type Event = KeyedAdmissionEvent;
+    type Effect = KeyedAdmissionEffect;
+
+    fn initial(&self) -> KeyedAdmissionState {
+        self.0.initial()
+    }
+
+    fn step(
+        &self,
+        state: &KeyedAdmissionState,
+        event: &KeyedAdmissionEvent,
+    ) -> (KeyedAdmissionState, Vec<KeyedAdmissionEffect>) {
+        let (next, effects) = self.0.step(state, event);
+        if let [KeyedAdmissionEffect::Shed {
+            tenant,
+            reason: KeyedShedReason::FairShareReserve,
+        }] = effects[..]
+        {
+            if state.total() < self.0.global_cap {
+                // The bug: "there's room under the cap" — admit the
+                // borrower without leaving the reserve intact.
+                let mut next = state.clone();
+                next.in_flight[tenant] += 1;
+                return (next, vec![KeyedAdmissionEffect::Admitted { tenant }]);
+            }
         }
         (next, effects)
     }

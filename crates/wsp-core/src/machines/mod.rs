@@ -18,3 +18,4 @@
 pub mod admission;
 pub mod breaker;
 pub mod correlation;
+pub mod keyed_admission;

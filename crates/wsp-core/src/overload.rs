@@ -31,9 +31,14 @@ use crate::error::WspError;
 use crate::machines::admission::{
     AdmissionEffect, AdmissionEvent, AdmissionMachine, AdmissionState, ShedReason,
 };
+use crate::machines::keyed_admission::{
+    KeyedAdmissionEffect, KeyedAdmissionEvent, KeyedAdmissionMachine, KeyedAdmissionState,
+    KeyedShedReason,
+};
 use crate::telemetry::{self, Counter};
 use parking_lot::Mutex;
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -43,6 +48,18 @@ use wsp_simnet::Machine;
 /// milliseconds. Relative (a duration) rather than absolute so clock
 /// skew between peers cannot manufacture or destroy budget.
 pub const DEADLINE_HEADER: &str = "X-WSP-Deadline";
+
+/// Request header naming the tenant a request belongs to, for keyed
+/// (per-tenant fair-share) admission. Requests without it fall into
+/// the [`ANONYMOUS_TENANT`] bucket.
+pub const TENANT_HEADER: &str = "X-WSP-Tenant";
+
+/// The tenant bucket for requests that do not identify themselves.
+pub const ANONYMOUS_TENANT: &str = "anonymous";
+
+/// SOAP header block (namespace-less local name) carrying the tenant
+/// id over bindings without transport headers (the P2PS pipes).
+pub const TENANT_SOAP_HEADER: &str = "Tenant";
 
 /// Response header carrying the server's retry hint in milliseconds —
 /// finer-grained companion to the standard whole-second `Retry-After`.
@@ -299,6 +316,328 @@ impl Drop for AdmissionPermit {
     }
 }
 
+// --- keyed (per-tenant fair-share) admission --------------------------------
+
+/// What a mediation tier is willing to accept, per tenant: the keyed
+/// generalisation of [`LoadShedPolicy`]. One global in-flight cap is
+/// split into guaranteed shares by tenant weight (largest-remainder
+/// apportionment, computed by the pure machine); tenants may borrow
+/// idle capacity beyond their share but never out of another tenant's
+/// unused guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedLoadShedPolicy {
+    /// Total in-flight permits across every tenant.
+    pub global_max_in_flight: usize,
+    /// Hard per-tenant burst ceiling (even with the rest of the host
+    /// idle, one tenant cannot exceed this).
+    pub tenant_max_in_flight: usize,
+    /// Weight applied to tenants not listed in `weights`.
+    pub default_weight: u64,
+    /// Explicitly weighted tenants, interned first (in this order).
+    pub weights: Vec<(String, u64)>,
+    /// Same early-smoke-signal watermark as [`LoadShedPolicy`].
+    pub queue_wait_watermark: Option<Duration>,
+    /// Base `Retry-After` hint; per-tenant hints scale it by how far
+    /// over its guaranteed share the tenant already is.
+    pub retry_after: Duration,
+    /// Telemetry prefix for the per-tenant shed counters
+    /// (`<prefix>.<tenant>.shed`).
+    pub counter_prefix: String,
+}
+
+impl KeyedLoadShedPolicy {
+    /// An equal-weight fair-share policy over `global_cap` permits.
+    pub fn fair(global_cap: usize) -> Self {
+        KeyedLoadShedPolicy {
+            global_max_in_flight: global_cap,
+            tenant_max_in_flight: global_cap,
+            default_weight: 1,
+            weights: Vec::new(),
+            queue_wait_watermark: None,
+            retry_after: Duration::from_millis(100),
+            counter_prefix: "admission.tenant".to_owned(),
+        }
+    }
+
+    pub fn with_weight(mut self, tenant: impl Into<String>, weight: u64) -> Self {
+        self.weights.push((tenant.into(), weight.max(1)));
+        self
+    }
+
+    pub fn with_tenant_cap(mut self, cap: usize) -> Self {
+        self.tenant_max_in_flight = cap;
+        self
+    }
+
+    pub fn with_retry_after(mut self, hint: Duration) -> Self {
+        self.retry_after = hint;
+        self
+    }
+
+    pub fn with_counter_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.counter_prefix = prefix.into();
+        self
+    }
+}
+
+/// All keyed protocol state, stepped under one mutex. The tenant
+/// interner lives inside the same lock: admitting a brand-new tenant
+/// atomically grows the machine's weight vector and the state's
+/// in-flight vector, so shares re-apportion on the very next decision.
+struct KeyedSync {
+    machine: KeyedAdmissionMachine,
+    state: KeyedAdmissionState,
+    tenants: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl KeyedSync {
+    fn intern(&mut self, tenant: &str, default_weight: u64) -> usize {
+        if let Some(&i) = self.index.get(tenant) {
+            return i;
+        }
+        let i = self.tenants.len();
+        self.tenants.push(tenant.to_owned());
+        self.index.insert(tenant.to_owned(), i);
+        self.machine.weights.push(default_weight.max(1));
+        self.state.in_flight.push(0);
+        i
+    }
+}
+
+struct KeyedInner {
+    policy: KeyedLoadShedPolicy,
+    sync: Mutex<KeyedSync>,
+    admissions: AtomicU64,
+    over_watermark: AtomicBool,
+    admitted: Arc<Counter>,
+    shed: Arc<Counter>,
+    shed_expired: Arc<Counter>,
+}
+
+/// Enforces a [`KeyedLoadShedPolicy`]: the runtime shell around the
+/// pure [`KeyedAdmissionMachine`]. Cheap to clone; a gateway's HTTP
+/// and P2PS fronts share one controller so the fair-share arithmetic
+/// spans both bindings.
+#[derive(Clone)]
+pub struct KeyedAdmissionController {
+    inner: Arc<KeyedInner>,
+}
+
+impl KeyedAdmissionController {
+    pub fn new(policy: KeyedLoadShedPolicy) -> Self {
+        let registry = telemetry::global();
+        let machine = KeyedAdmissionMachine {
+            global_cap: policy.global_max_in_flight as u64,
+            weights: Vec::new(),
+            tenant_cap: policy.tenant_max_in_flight as u64,
+        };
+        let mut sync = KeyedSync {
+            state: machine.initial(),
+            machine,
+            tenants: Vec::new(),
+            index: HashMap::new(),
+        };
+        // Intern configured tenants eagerly, in policy order, so their
+        // indices (and the bisimulation mirror's) are deterministic.
+        for (tenant, weight) in policy.weights.clone() {
+            let i = sync.intern(&tenant, weight);
+            sync.machine.weights[i] = weight.max(1);
+        }
+        let prefix = &policy.counter_prefix;
+        KeyedAdmissionController {
+            inner: Arc::new(KeyedInner {
+                admitted: registry.counter(format!("{prefix}.admitted")),
+                shed: registry.counter(format!("{prefix}.shed")),
+                shed_expired: registry.counter(format!("{prefix}.shed_expired")),
+                policy,
+                sync: Mutex::new(sync),
+                admissions: AtomicU64::new(0),
+                over_watermark: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    pub fn policy(&self) -> &KeyedLoadShedPolicy {
+        &self.inner.policy
+    }
+
+    /// In-flight permits held by `tenant` (0 for unknown tenants).
+    pub fn in_flight(&self, tenant: &str) -> usize {
+        let sync = self.inner.sync.lock();
+        sync.index
+            .get(tenant)
+            .map(|&i| sync.state.in_flight[i] as usize)
+            .unwrap_or(0)
+    }
+
+    pub fn total_in_flight(&self) -> usize {
+        self.inner.sync.lock().state.total() as usize
+    }
+
+    /// The guaranteed share currently apportioned to `tenant`.
+    pub fn guaranteed_share(&self, tenant: &str) -> usize {
+        let sync = self.inner.sync.lock();
+        sync.index
+            .get(tenant)
+            .map(|&i| sync.machine.guaranteed()[i] as usize)
+            .unwrap_or(0)
+    }
+
+    pub fn tenants(&self) -> Vec<String> {
+        self.inner.sync.lock().tenants.clone()
+    }
+
+    pub fn start_draining(&self) {
+        let mut sync = self.inner.sync.lock();
+        let (next, _) = sync
+            .machine
+            .step(&sync.state, &KeyedAdmissionEvent::BeginDrain);
+        sync.state = next;
+    }
+
+    pub fn stop_draining(&self) {
+        let mut sync = self.inner.sync.lock();
+        let (next, _) = sync
+            .machine
+            .step(&sync.state, &KeyedAdmissionEvent::EndDrain);
+        sync.state = next;
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.inner.sync.lock().state.draining
+    }
+
+    /// Same sampled-watermark scheme as the global controller: re-read
+    /// the p99 dispatch queue wait every 64 admissions, cache the
+    /// verdict, hand the machine a boolean observation.
+    fn observe_watermark(&self) -> bool {
+        let Some(watermark) = self.inner.policy.queue_wait_watermark else {
+            return false;
+        };
+        let n = self.inner.admissions.fetch_add(1, Ordering::Relaxed);
+        if n & ((1 << WATERMARK_SAMPLE_SHIFT) - 1) == 0 {
+            let p99_us = telemetry::global()
+                .histogram("dispatch.queue_wait_us")
+                .snapshot()
+                .p99();
+            let over = Duration::from_micros(p99_us) > watermark;
+            self.inner.over_watermark.store(over, Ordering::Relaxed);
+        }
+        self.inner.over_watermark.load(Ordering::Relaxed)
+    }
+
+    /// Admit one request for `tenant` or shed it with a per-tenant
+    /// retry hint: the base hint scaled by how far over its guaranteed
+    /// share the tenant already is, so a flooding tenant is told to
+    /// back off harder than one shed by transient global pressure.
+    pub fn try_admit(
+        &self,
+        tenant: &str,
+        deadline: Option<Instant>,
+    ) -> Result<KeyedAdmissionPermit, WspError> {
+        let event_expired = deadline.is_some_and(|d| Instant::now() >= d);
+        let over_watermark = self.observe_watermark();
+        let mut sync = self.inner.sync.lock();
+        let t = sync.intern(tenant, self.inner.policy.default_weight);
+        let event = KeyedAdmissionEvent::Admit {
+            tenant: t,
+            deadline_expired: event_expired,
+            over_watermark,
+        };
+        let (next, effects) = sync.machine.step(&sync.state, &event);
+        sync.state = next;
+        match effects.first() {
+            Some(KeyedAdmissionEffect::Admitted { .. }) => {
+                drop(sync);
+                self.inner.admitted.incr();
+                Ok(KeyedAdmissionPermit {
+                    controller: self.clone(),
+                    tenant: t,
+                })
+            }
+            Some(KeyedAdmissionEffect::Shed { reason, .. }) => {
+                let hint = self.retry_hint_locked(&sync, t, *reason);
+                drop(sync);
+                self.inner.shed.incr();
+                if *reason == KeyedShedReason::DeadlineExpired {
+                    self.inner.shed_expired.incr();
+                }
+                telemetry::global()
+                    .counter(format!(
+                        "{}.{tenant}.shed",
+                        self.inner.policy.counter_prefix
+                    ))
+                    .incr();
+                Err(WspError::Overloaded {
+                    retry_after_ms: Some(hint),
+                })
+            }
+            other => unreachable!("keyed Admit produced {other:?}"),
+        }
+    }
+
+    /// The per-tenant hint: `base * (1 + in_flight/guaranteed)` for
+    /// sheds the tenant caused itself (over its share or ceiling), the
+    /// plain base for global conditions. Monotone in tenant pressure.
+    fn retry_hint_locked(&self, sync: &KeyedSync, tenant: usize, reason: KeyedShedReason) -> u64 {
+        let base = self.inner.policy.retry_after.as_millis() as u64;
+        match reason {
+            KeyedShedReason::TenantCap | KeyedShedReason::FairShareReserve => {
+                let f = sync.state.in_flight[tenant];
+                let g = sync.machine.guaranteed()[tenant].max(1);
+                base * (1 + f / g).min(8)
+            }
+            _ => base,
+        }
+    }
+
+    fn release(&self, tenant: usize) {
+        let mut sync = self.inner.sync.lock();
+        let (next, effects) = sync
+            .machine
+            .step(&sync.state, &KeyedAdmissionEvent::Release { tenant });
+        sync.state = next;
+        debug_assert!(
+            !effects.contains(&KeyedAdmissionEffect::PermitUnderflow),
+            "keyed permit released with nothing in flight"
+        );
+    }
+
+    /// Block until every tenant's work has finished or `deadline`
+    /// passes; returns the total still in flight (0 on success).
+    pub fn await_idle(&self, deadline: Instant) -> usize {
+        loop {
+            let in_flight = self.total_in_flight();
+            if in_flight == 0 || Instant::now() >= deadline {
+                return in_flight;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// RAII proof of keyed admission: holds one of its tenant's in-flight
+/// slots, released on drop.
+pub struct KeyedAdmissionPermit {
+    controller: KeyedAdmissionController,
+    tenant: usize,
+}
+
+impl std::fmt::Debug for KeyedAdmissionPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedAdmissionPermit")
+            .field("tenant", &self.tenant)
+            .finish()
+    }
+}
+
+impl Drop for KeyedAdmissionPermit {
+    fn drop(&mut self) {
+        self.controller.release(self.tenant);
+    }
+}
+
 // --- deadline propagation ----------------------------------------------------
 
 thread_local! {
@@ -499,6 +838,153 @@ mod tests {
         assert!(rehydrated <= deadline + slop);
         let expired = Instant::now() - Duration::from_millis(1);
         assert_eq!(remaining_ms(expired), None);
+    }
+
+    #[test]
+    fn keyed_guaranteed_shares_are_always_admitted() {
+        let ctl = KeyedAdmissionController::new(
+            KeyedLoadShedPolicy::fair(4)
+                .with_weight("hot", 1)
+                .with_weight("cold", 1),
+        );
+        // Hot takes everything it can get.
+        let mut hot = Vec::new();
+        while let Ok(p) = ctl.try_admit("hot", None) {
+            hot.push(p);
+        }
+        assert_eq!(
+            ctl.in_flight("hot"),
+            2,
+            "hot stops at its share + 0 reserve"
+        );
+        // Cold's guarantee is untouched: both its permits admit.
+        let c1 = ctl.try_admit("cold", None).expect("cold share 1");
+        let _c2 = ctl.try_admit("cold", None).expect("cold share 2");
+        assert_eq!(ctl.total_in_flight(), 4);
+        assert!(ctl.try_admit("cold", None).is_err(), "global cap reached");
+        drop(c1);
+        assert!(ctl.try_admit("cold", None).is_ok(), "slot freed by drop");
+    }
+
+    #[test]
+    fn keyed_borrowing_uses_idle_capacity_but_not_the_reserve() {
+        let ctl = KeyedAdmissionController::new(
+            KeyedLoadShedPolicy::fair(6)
+                .with_weight("a", 1)
+                .with_weight("b", 1),
+        );
+        // b holds one of its three guaranteed permits; reserve is 2, so
+        // the total may grow to 6 - 2 = 4, leaving a room for three.
+        let _b = ctl.try_admit("b", None).unwrap();
+        let mut a = Vec::new();
+        while let Ok(p) = ctl.try_admit("a", None) {
+            a.push(p);
+        }
+        assert_eq!(ctl.in_flight("a"), 3);
+        assert_eq!(ctl.total_in_flight(), 4);
+        // Once b releases, the freed reserve is still b's: a remains
+        // capped until shares genuinely free up.
+        drop(_b);
+        assert!(ctl.try_admit("a", None).is_err());
+    }
+
+    #[test]
+    fn keyed_new_tenants_reapportion_shares() {
+        let ctl = KeyedAdmissionController::new(KeyedLoadShedPolicy::fair(6));
+        let _x = ctl.try_admit("x", None).unwrap();
+        assert_eq!(ctl.guaranteed_share("x"), 6, "alone, x owns the cap");
+        let _y = ctl.try_admit("y", None).unwrap();
+        assert_eq!(ctl.guaranteed_share("x"), 3, "a second tenant halves it");
+        assert_eq!(ctl.guaranteed_share("y"), 3);
+    }
+
+    #[test]
+    fn keyed_retry_hint_scales_with_tenant_pressure() {
+        let ctl = KeyedAdmissionController::new(
+            KeyedLoadShedPolicy::fair(4)
+                .with_weight("hog", 1)
+                .with_weight("meek", 3)
+                .with_retry_after(Duration::from_millis(50)),
+        );
+        let mut held = Vec::new();
+        loop {
+            match ctl.try_admit("hog", None) {
+                Ok(p) => held.push(p),
+                Err(WspError::Overloaded { retry_after_ms }) => {
+                    let hog_hint = retry_after_ms.unwrap();
+                    assert!(
+                        hog_hint >= 100,
+                        "an over-share tenant is told to back off harder: {hog_hint}"
+                    );
+                    break;
+                }
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        // A shed caused by global pressure keeps the base hint.
+        let mut meek = Vec::new();
+        while let Ok(p) = ctl.try_admit("meek", None) {
+            meek.push(p);
+        }
+        match ctl.try_admit("meek", None) {
+            Err(WspError::Overloaded { retry_after_ms }) => {
+                assert_eq!(retry_after_ms, Some(50));
+            }
+            other => panic!("expected global-cap shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyed_expired_deadline_sheds_and_draining_refuses() {
+        let ctl = KeyedAdmissionController::new(KeyedLoadShedPolicy::fair(8));
+        let expired = Instant::now() - Duration::from_millis(1);
+        assert!(ctl.try_admit("t", Some(expired)).is_err());
+        ctl.start_draining();
+        assert!(ctl.is_draining());
+        assert!(ctl.try_admit("t", None).is_err());
+        ctl.stop_draining();
+        let permit = ctl.try_admit("t", None).unwrap();
+        drop(permit);
+        assert_eq!(ctl.await_idle(Instant::now() + Duration::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn keyed_concurrent_floods_never_breach_either_cap() {
+        let ctl = KeyedAdmissionController::new(
+            KeyedLoadShedPolicy::fair(8)
+                .with_weight("a", 1)
+                .with_weight("b", 1)
+                .with_tenant_cap(6),
+        );
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let ctl = ctl.clone();
+                std::thread::spawn(move || {
+                    let tenant = if i % 2 == 0 { "a" } else { "b" };
+                    for _ in 0..300 {
+                        if let Ok(permit) = ctl.try_admit(tenant, None) {
+                            assert!(ctl.total_in_flight() <= 8);
+                            assert!(ctl.in_flight(tenant) <= 6);
+                            drop(permit);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ctl.total_in_flight(), 0);
+    }
+
+    #[test]
+    fn keyed_per_tenant_shed_counters_move() {
+        let t = telemetry::global();
+        let before = t.counter("admission.tenant.noisy.shed").get();
+        let ctl = KeyedAdmissionController::new(KeyedLoadShedPolicy::fair(1));
+        let _held = ctl.try_admit("noisy", None).unwrap();
+        assert!(ctl.try_admit("noisy", None).is_err());
+        assert!(t.counter("admission.tenant.noisy.shed").get() > before);
     }
 
     #[test]

@@ -616,6 +616,11 @@ pub fn render_metrics_with(registry: &Telemetry, extra: &str) -> String {
     out.push_str(&format!("bufpool_misses {}\n", bufs.misses));
     out.push_str(&format!("bufpool_returns {}\n", bufs.returns));
     out.push_str(&format!("bufpool_bytes_reused {}\n", bufs.bytes_reused));
+    let adverts = wsp_p2ps::AdvertCacheStats::global();
+    out.push_str(&format!("advert_cache_hits {}\n", adverts.hits()));
+    out.push_str(&format!("advert_cache_misses {}\n", adverts.misses()));
+    out.push_str(&format!("advert_cache_expired {}\n", adverts.expired()));
+    out.push_str(&format!("advert_cache_evicted {}\n", adverts.evicted()));
     out.push_str(&format!(
         "telemetry_trace_dropped {}\n",
         registry.dropped_spans()

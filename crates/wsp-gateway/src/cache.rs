@@ -1,0 +1,573 @@
+//! The gateway's three caches — locate results, WSDL documents,
+//! idempotent responses — behind one mutex and one [`EventWheel`].
+//!
+//! TTLs are enforced by wheel entries, not per-lookup timestamp
+//! comparisons: every insert schedules an `Expiry` event and remembers
+//! its [`EventKey`]; every replace or invalidation cancels the old key
+//! (the wheel's exactness contract means a cancelled key never fires),
+//! so any expiry event that *does* pop refers to a live entry and can
+//! drop it without re-checking. The wheel runs on gateway-relative
+//! virtual time (`Instant` elapsed since construction, in µs), advanced
+//! lazily at the top of every cache operation.
+//!
+//! TTL expiry is the backstop, not the invalidation path. Freshness
+//! comes from the registry's version stamps, piggybacked two ways:
+//!
+//! * **map epoch** — an epoch different from the one the routing
+//!   entries were filled at means placement changed (a failover moved
+//!   primaries); every locate and WSDL entry is flushed;
+//! * **per-shard data versions** — a bumped shard version means some
+//!   service on that shard was republished, deleted, or lease-expired;
+//!   only that shard's entries are dropped, so a republish reaches
+//!   gateway clients on the next revalidation probe instead of waiting
+//!   out the TTL.
+//!
+//! The response cache is bounded (FIFO eviction) and recycles its
+//! buffers through the wire-path [`BufPool`], so cache-hit responses
+//! are assembled from pooled buffers instead of fresh allocations.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+use wsp_core::telemetry;
+use wsp_registry::DataVersions;
+use wsp_simnet::{EventKey, EventWheel, Time};
+use wsp_xml::BufPool;
+
+/// FNV-1a, the same cheap stable hash the shard map places names with.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// TTLs and bounds for the three caches.
+#[derive(Debug, Clone)]
+pub struct GatewayCacheConfig {
+    pub locate_ttl: Duration,
+    pub wsdl_ttl: Duration,
+    pub response_ttl: Duration,
+    /// Max resident cached responses; FIFO eviction beyond it.
+    pub response_capacity: usize,
+}
+
+impl Default for GatewayCacheConfig {
+    fn default() -> Self {
+        GatewayCacheConfig {
+            locate_ttl: Duration::from_secs(5),
+            wsdl_ttl: Duration::from_secs(30),
+            response_ttl: Duration::from_secs(2),
+            response_capacity: 256,
+        }
+    }
+}
+
+/// Identity of a cached response: service + operation + request-body
+/// hash. The entry also stores the exact request bytes — a hit requires
+/// a byte-equal request, so a hash collision degrades to a miss, never
+/// to serving the wrong response.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResponseKey {
+    pub service: String,
+    pub operation: String,
+    pub body_hash: u64,
+}
+
+/// A cached backend response, ready to replay.
+#[derive(Debug, Clone)]
+pub struct CachedResponse {
+    pub status: u16,
+    pub content_type: String,
+    pub body: Vec<u8>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Expiry {
+    Locate(String),
+    Wsdl(String),
+    Response(ResponseKey),
+}
+
+struct LocateEntry {
+    endpoints: Vec<String>,
+    shard: u32,
+    key: EventKey,
+}
+
+struct WsdlEntry {
+    body: String,
+    key: EventKey,
+}
+
+struct ResponseEntry {
+    request: Vec<u8>,
+    status: u16,
+    content_type: String,
+    body: Vec<u8>,
+    key: EventKey,
+}
+
+struct CacheInner {
+    wheel: EventWheel<Expiry>,
+    locate: HashMap<String, LocateEntry>,
+    wsdl: HashMap<String, WsdlEntry>,
+    response: HashMap<ResponseKey, ResponseEntry>,
+    response_order: VecDeque<ResponseKey>,
+    /// The map epoch the routing entries were filled under.
+    epoch: u64,
+    /// Last adopted per-shard data versions.
+    versions: Vec<u64>,
+}
+
+pub struct GatewayCaches {
+    cfg: GatewayCacheConfig,
+    started: Instant,
+    inner: Mutex<CacheInner>,
+}
+
+fn bump(name: &str) {
+    telemetry::global().counter(name).incr();
+}
+
+impl GatewayCaches {
+    pub fn new(cfg: GatewayCacheConfig) -> GatewayCaches {
+        GatewayCaches {
+            cfg,
+            started: Instant::now(),
+            inner: Mutex::new(CacheInner {
+                wheel: EventWheel::new(),
+                locate: HashMap::new(),
+                wsdl: HashMap::new(),
+                response: HashMap::new(),
+                response_order: VecDeque::new(),
+                epoch: 0,
+                versions: Vec::new(),
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &GatewayCacheConfig {
+        &self.cfg
+    }
+
+    fn now(&self) -> Time {
+        Time(self.started.elapsed().as_micros() as u64)
+    }
+
+    fn dur(d: Duration) -> wsp_simnet::Dur {
+        wsp_simnet::Dur(d.as_micros() as u64)
+    }
+
+    /// Fire every expiry due by `now`. Popped events always refer to
+    /// live entries (replaced/invalidated entries cancelled theirs).
+    fn sweep(inner: &mut CacheInner, now: Time) {
+        while let Some(t) = inner.wheel.next_time() {
+            if t > now {
+                break;
+            }
+            let Some((_, expiry)) = inner.wheel.pop() else {
+                break;
+            };
+            match expiry {
+                Expiry::Locate(service) => {
+                    if inner.locate.remove(&service).is_some() {
+                        bump("gateway.cache.locate.evict");
+                    }
+                }
+                Expiry::Wsdl(service) => {
+                    if inner.wsdl.remove(&service).is_some() {
+                        bump("gateway.cache.wsdl.evict");
+                    }
+                }
+                Expiry::Response(key) => {
+                    if let Some(entry) = inner.response.remove(&key) {
+                        inner.response_order.retain(|k| k != &key);
+                        recycle(entry);
+                        bump("gateway.cache.response.evict");
+                    }
+                }
+            }
+        }
+        inner.wheel.advance_to(now);
+    }
+
+    // -- locate ------------------------------------------------------------
+
+    /// Cached backend endpoints for `service`, if still fresh.
+    pub fn get_locate(&self, service: &str) -> Option<(Vec<String>, u32)> {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.now());
+        match inner.locate.get(service) {
+            Some(entry) => {
+                bump("gateway.cache.locate.hit");
+                Some((entry.endpoints.clone(), entry.shard))
+            }
+            None => {
+                bump("gateway.cache.locate.miss");
+                None
+            }
+        }
+    }
+
+    pub fn put_locate(&self, service: &str, endpoints: Vec<String>, shard: u32) {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.now());
+        let key = inner.wheel.schedule_after(
+            Self::dur(self.cfg.locate_ttl),
+            Expiry::Locate(service.to_owned()),
+        );
+        if let Some(old) = inner.locate.insert(
+            service.to_owned(),
+            LocateEntry {
+                endpoints,
+                shard,
+                key,
+            },
+        ) {
+            inner.wheel.cancel(old.key);
+        }
+    }
+
+    // -- wsdl --------------------------------------------------------------
+
+    pub fn get_wsdl(&self, service: &str) -> Option<String> {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.now());
+        match inner.wsdl.get(service) {
+            Some(entry) => {
+                bump("gateway.cache.wsdl.hit");
+                Some(entry.body.clone())
+            }
+            None => {
+                bump("gateway.cache.wsdl.miss");
+                None
+            }
+        }
+    }
+
+    pub fn put_wsdl(&self, service: &str, body: String) {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.now());
+        let key = inner.wheel.schedule_after(
+            Self::dur(self.cfg.wsdl_ttl),
+            Expiry::Wsdl(service.to_owned()),
+        );
+        if let Some(old) = inner
+            .wsdl
+            .insert(service.to_owned(), WsdlEntry { body, key })
+        {
+            inner.wheel.cancel(old.key);
+        }
+    }
+
+    // -- responses ---------------------------------------------------------
+
+    /// A cached response for this exact request (byte-equal), if fresh.
+    /// The returned body is assembled from a pooled buffer.
+    pub fn get_response(&self, key: &ResponseKey, request: &[u8]) -> Option<CachedResponse> {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.now());
+        match inner.response.get(key) {
+            Some(entry) if entry.request == request => {
+                bump("gateway.cache.response.hit");
+                let mut body = BufPool::global().take();
+                body.extend_from_slice(&entry.body);
+                Some(CachedResponse {
+                    status: entry.status,
+                    content_type: entry.content_type.clone(),
+                    body,
+                })
+            }
+            _ => {
+                bump("gateway.cache.response.miss");
+                None
+            }
+        }
+    }
+
+    pub fn put_response(
+        &self,
+        key: ResponseKey,
+        request: Vec<u8>,
+        status: u16,
+        content_type: String,
+        body: Vec<u8>,
+    ) {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.now());
+        while inner.response.len() >= self.cfg.response_capacity.max(1) {
+            // FIFO victim; bounded cache, never grows past capacity.
+            let Some(victim) = inner.response_order.pop_front() else {
+                break;
+            };
+            if let Some(entry) = inner.response.remove(&victim) {
+                inner.wheel.cancel(entry.key);
+                recycle(entry);
+                bump("gateway.cache.response.evict");
+            }
+        }
+        let wheel_key = inner.wheel.schedule_after(
+            Self::dur(self.cfg.response_ttl),
+            Expiry::Response(key.clone()),
+        );
+        if let Some(old) = inner.response.insert(
+            key.clone(),
+            ResponseEntry {
+                request,
+                status,
+                content_type,
+                body,
+                key: wheel_key,
+            },
+        ) {
+            inner.wheel.cancel(old.key);
+            inner.response_order.retain(|k| k != &key);
+            recycle(old);
+        }
+        inner.response_order.push_back(key);
+    }
+
+    // -- invalidation ------------------------------------------------------
+
+    /// Drop the routing entry and every cached response for `service`
+    /// (used when every backend attempt failed — stale endpoints).
+    pub fn invalidate_service(&self, service: &str) {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.now());
+        Self::drop_service_locked(&mut inner, service);
+    }
+
+    fn drop_service_locked(inner: &mut CacheInner, service: &str) {
+        if let Some(entry) = inner.locate.remove(service) {
+            inner.wheel.cancel(entry.key);
+            bump("gateway.cache.locate.evict");
+        }
+        if let Some(entry) = inner.wsdl.remove(service) {
+            inner.wheel.cancel(entry.key);
+            bump("gateway.cache.wsdl.evict");
+        }
+        let doomed: Vec<ResponseKey> = inner
+            .response
+            .keys()
+            .filter(|k| k.service == service)
+            .cloned()
+            .collect();
+        for key in doomed {
+            if let Some(entry) = inner.response.remove(&key) {
+                inner.wheel.cancel(entry.key);
+                inner.response_order.retain(|k| k != &key);
+                recycle(entry);
+                bump("gateway.cache.response.evict");
+            }
+        }
+    }
+
+    /// Adopt a registry version snapshot: flush everything on an epoch
+    /// change (placement moved), or just the entries of shards whose
+    /// data version bumped (records changed). Returns how many routing
+    /// entries were dropped.
+    pub fn revalidate(&self, dv: &DataVersions) -> usize {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.now());
+        let mut dropped = 0;
+        if dv.epoch != inner.epoch {
+            let services: Vec<String> = inner
+                .locate
+                .keys()
+                .chain(inner.wsdl.keys())
+                .cloned()
+                .collect();
+            for service in services {
+                Self::drop_service_locked(&mut inner, &service);
+                dropped += 1;
+            }
+            inner.epoch = dv.epoch;
+        } else {
+            let changed: Vec<u32> = (0..dv.versions.len() as u32)
+                .filter(|&s| {
+                    let seen = inner.versions.get(s as usize).copied().unwrap_or(0);
+                    dv.versions[s as usize] != seen
+                })
+                .collect();
+            if !changed.is_empty() {
+                let stale: Vec<String> = inner
+                    .locate
+                    .iter()
+                    .filter(|(_, e)| changed.contains(&e.shard))
+                    .map(|(name, _)| name.clone())
+                    .collect();
+                for service in stale {
+                    Self::drop_service_locked(&mut inner, &service);
+                    dropped += 1;
+                }
+            }
+        }
+        inner.versions = dv.versions.clone();
+        dropped
+    }
+
+    /// The epoch routing entries are currently filled under.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Gauge lines for the `/metrics` splice.
+    pub fn metrics_lines(&self) -> String {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.now());
+        format!(
+            "gateway_locate_entries {}\ngateway_wsdl_entries {}\ngateway_response_entries {}\n",
+            inner.locate.len(),
+            inner.wsdl.len(),
+            inner.response.len()
+        )
+    }
+
+    pub fn locate_entries(&self) -> usize {
+        self.inner.lock().locate.len()
+    }
+
+    pub fn response_entries(&self) -> usize {
+        self.inner.lock().response.len()
+    }
+}
+
+/// Return an evicted entry's buffers to the wire-path pool.
+fn recycle(entry: ResponseEntry) {
+    BufPool::global().put(entry.body);
+    BufPool::global().put(entry.request);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caches(ttl_ms: u64, capacity: usize) -> GatewayCaches {
+        GatewayCaches::new(GatewayCacheConfig {
+            locate_ttl: Duration::from_millis(ttl_ms),
+            wsdl_ttl: Duration::from_millis(ttl_ms),
+            response_ttl: Duration::from_millis(ttl_ms),
+            response_capacity: capacity,
+        })
+    }
+
+    fn key(service: &str, body: &[u8]) -> ResponseKey {
+        ResponseKey {
+            service: service.to_owned(),
+            operation: "op".to_owned(),
+            body_hash: fnv1a(body),
+        }
+    }
+
+    #[test]
+    fn locate_round_trips_and_expires() {
+        let c = caches(30, 8);
+        assert!(c.get_locate("Echo").is_none());
+        c.put_locate("Echo", vec!["http://a/Echo".into()], 2);
+        let (eps, shard) = c.get_locate("Echo").unwrap();
+        assert_eq!(eps, vec!["http://a/Echo".to_owned()]);
+        assert_eq!(shard, 2);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(c.get_locate("Echo").is_none(), "TTL must expire the entry");
+    }
+
+    #[test]
+    fn response_hits_are_byte_identical_and_collision_safe() {
+        let c = caches(5_000, 8);
+        let req = b"<env>request</env>".to_vec();
+        let k = key("Echo", &req);
+        c.put_response(
+            k.clone(),
+            req.clone(),
+            200,
+            "text/xml".into(),
+            b"<env>reply</env>".to_vec(),
+        );
+        let hit = c.get_response(&k, &req).unwrap();
+        assert_eq!(hit.body, b"<env>reply</env>");
+        assert_eq!(hit.status, 200);
+        // Same key, different bytes (a forced collision): must miss.
+        assert!(c.get_response(&k, b"<env>other</env>").is_none());
+    }
+
+    #[test]
+    fn response_cache_is_bounded_fifo() {
+        let c = caches(60_000, 2);
+        for i in 0..3 {
+            let req = format!("<r>{i}</r>").into_bytes();
+            c.put_response(key(&format!("S{i}"), &req), req, 200, "t".into(), vec![i]);
+        }
+        assert_eq!(c.response_entries(), 2, "capacity bound must hold");
+        let req0 = b"<r>0</r>".to_vec();
+        assert!(
+            c.get_response(&key("S0", &req0), &req0).is_none(),
+            "the oldest entry is the FIFO victim"
+        );
+    }
+
+    #[test]
+    fn replacing_an_entry_cancels_the_old_expiry() {
+        let c = caches(40, 8);
+        c.put_locate("Echo", vec!["http://a/Echo".into()], 0);
+        std::thread::sleep(Duration::from_millis(25));
+        // Refresh: the original expiry (due at ~40ms) must not fire on
+        // the refreshed entry.
+        c.put_locate("Echo", vec!["http://b/Echo".into()], 0);
+        std::thread::sleep(Duration::from_millis(25));
+        let (eps, _) = c.get_locate("Echo").expect("refreshed entry still live");
+        assert_eq!(eps, vec!["http://b/Echo".to_owned()]);
+    }
+
+    #[test]
+    fn epoch_change_flushes_routing_entries() {
+        let c = caches(60_000, 8);
+        c.put_locate("A", vec!["http://a/A".into()], 0);
+        c.put_locate("B", vec!["http://b/B".into()], 1);
+        c.put_wsdl("A", "<wsdl/>".into());
+        let dropped = c.revalidate(&DataVersions {
+            epoch: 3,
+            versions: vec![0, 0],
+        });
+        assert!(dropped >= 2);
+        assert!(c.get_locate("A").is_none());
+        assert!(c.get_locate("B").is_none());
+        assert!(c.get_wsdl("A").is_none());
+        assert_eq!(c.epoch(), 3);
+    }
+
+    #[test]
+    fn shard_version_bump_drops_only_that_shard() {
+        let c = caches(60_000, 8);
+        c.revalidate(&DataVersions {
+            epoch: 0,
+            versions: vec![0, 0],
+        });
+        c.put_locate("A", vec!["http://a/A".into()], 0);
+        c.put_locate("B", vec!["http://b/B".into()], 1);
+        let req = b"<r/>".to_vec();
+        c.put_response(key("A", &req), req.clone(), 200, "t".into(), vec![1]);
+        c.revalidate(&DataVersions {
+            epoch: 0,
+            versions: vec![7, 0],
+        });
+        assert!(c.get_locate("A").is_none(), "shard 0 changed");
+        assert!(c.get_locate("B").is_some(), "shard 1 did not");
+        assert!(
+            c.get_response(&key("A", &req), &req).is_none(),
+            "responses for the changed service must go too"
+        );
+        // An identical snapshot is a no-op.
+        c.put_locate("A", vec!["http://a/A".into()], 0);
+        assert_eq!(
+            c.revalidate(&DataVersions {
+                epoch: 0,
+                versions: vec![7, 0],
+            }),
+            0
+        );
+        assert!(c.get_locate("A").is_some());
+    }
+}

@@ -1,0 +1,592 @@
+//! The mediation gateway: one ingress that fronts the whole service
+//! fabric for many tenants.
+//!
+//! One `invoke` runs the full mediation pipeline:
+//!
+//! 1. **revalidate** — if the probe interval elapsed, fetch the
+//!    registry's per-shard data versions and drop cache entries whose
+//!    shard changed (see [`GatewayCaches::revalidate`]);
+//! 2. **admit** — per-tenant fair-share admission via
+//!    [`KeyedAdmissionController`]; a shed carries a per-tenant
+//!    `Retry-After` hint and never reaches discovery or a backend;
+//! 3. **response cache** — for operations the deployer declared
+//!    idempotent, a byte-equal request replays the cached response
+//!    without touching a backend;
+//! 4. **route** — backend endpoints from the locate cache (filled from
+//!    [`ShardedUddiClient::locate`] on miss), content-addressed by
+//!    service + operation, least-loaded breaker-admitted pick with
+//!    failover across the remaining endpoints;
+//! 5. **store** — 200-responses to idempotent operations enter the
+//!    bounded response cache.
+//!
+//! Two fronts share the pipeline: HTTP ([`Gateway::launch_http`],
+//! tenant in the `X-WSP-Tenant` header) and P2PS pipes
+//! ([`Gateway::launch_pipe`], tenant in the `Tenant` SOAP header), both
+//! served by the reactor-backed servers underneath.
+
+use crate::cache::{fnv1a, CachedResponse, GatewayCacheConfig, GatewayCaches, ResponseKey};
+use crate::pool::BackendPools;
+use parking_lot::Mutex;
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wsp_core::overload::{
+    busy_fault_reason, deadline_in_ms, ANONYMOUS_TENANT, DEADLINE_HEADER, DEADLINE_SOAP_HEADER,
+    RETRY_AFTER_MS_HEADER, TENANT_HEADER, TENANT_SOAP_HEADER,
+};
+use wsp_core::{telemetry, KeyedAdmissionController, KeyedLoadShedPolicy, WspError};
+use wsp_http::{http_call_uri, Request, Response, Router, TcpServer};
+use wsp_p2ps::{P2psMessage, PipeTcpConfig, PipeTcpServer};
+use wsp_registry::{RegistryError, ShardedUddiClient};
+use wsp_soap::{constants::CONTENT_TYPE, Envelope, Fault};
+use wsp_uddi::ServiceQuery;
+
+/// Operations whose responses may be cached: exact `(service,
+/// operation)` pairs, or every operation of a service via `"*"`.
+#[derive(Debug, Clone, Default)]
+pub struct IdempotentSet {
+    entries: Vec<(String, String)>,
+}
+
+impl IdempotentSet {
+    pub fn add(&mut self, service: impl Into<String>, operation: impl Into<String>) {
+        self.entries.push((service.into(), operation.into()));
+    }
+
+    pub fn contains(&self, service: &str, operation: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(s, o)| s == service && (o == "*" || o == operation))
+    }
+}
+
+/// Everything tunable about the gateway.
+#[derive(Clone)]
+pub struct GatewayConfig {
+    pub cache: GatewayCacheConfig,
+    pub admission: KeyedLoadShedPolicy,
+    pub idempotent: IdempotentSet,
+    /// Distinct backends tried before a request is failed over to
+    /// `Unavailable`.
+    pub backend_attempts: usize,
+    /// How often the data-version probe runs (piggybacked on request
+    /// arrival; `ZERO` probes before every request).
+    pub revalidate_interval: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            cache: GatewayCacheConfig::default(),
+            admission: KeyedLoadShedPolicy::fair(64).with_counter_prefix("gateway.tenant"),
+            idempotent: IdempotentSet::default(),
+            backend_attempts: 3,
+            revalidate_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+impl GatewayConfig {
+    pub fn with_admission(mut self, policy: KeyedLoadShedPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    pub fn with_cache(mut self, cache: GatewayCacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    pub fn idempotent(mut self, service: impl Into<String>, operation: impl Into<String>) -> Self {
+        self.idempotent.add(service, operation);
+        self
+    }
+
+    pub fn with_backend_attempts(mut self, attempts: usize) -> Self {
+        self.backend_attempts = attempts.max(1);
+        self
+    }
+
+    pub fn with_revalidate_interval(mut self, interval: Duration) -> Self {
+        self.revalidate_interval = interval;
+        self
+    }
+}
+
+/// Why the gateway refused or failed a request.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// Per-tenant admission shed this request; retry after the hint.
+    Shed { retry_after_ms: u64 },
+    /// Discovery or every backend attempt failed.
+    Unavailable(String),
+    /// The request was not something the gateway can mediate.
+    BadRequest(String),
+}
+
+/// A mediated response, ready for either front to serialise.
+#[derive(Debug)]
+pub struct GatewayReply {
+    pub status: u16,
+    pub content_type: String,
+    pub body: Vec<u8>,
+    /// Served from the response cache without touching a backend.
+    pub cached: bool,
+}
+
+struct GwInner {
+    registry: ShardedUddiClient,
+    caches: GatewayCaches,
+    admission: KeyedAdmissionController,
+    pools: BackendPools,
+    idempotent: IdempotentSet,
+    backend_attempts: usize,
+    revalidate_interval: Duration,
+    last_revalidate: Mutex<Instant>,
+}
+
+/// The multi-tenant mediation gateway. Cheap to clone; all state is
+/// shared.
+#[derive(Clone)]
+pub struct Gateway {
+    inner: Arc<GwInner>,
+}
+
+impl Gateway {
+    pub fn new(registry: ShardedUddiClient, cfg: GatewayConfig) -> Gateway {
+        let caches = GatewayCaches::new(cfg.cache.clone());
+        // Seed the version baseline so the first revalidation does not
+        // spuriously flush an empty cache.
+        if let Ok(dv) = registry.data_versions() {
+            caches.revalidate(&dv);
+        }
+        Gateway {
+            inner: Arc::new(GwInner {
+                registry,
+                caches,
+                admission: KeyedAdmissionController::new(cfg.admission.clone()),
+                pools: BackendPools::default(),
+                idempotent: cfg.idempotent.clone(),
+                backend_attempts: cfg.backend_attempts,
+                revalidate_interval: cfg.revalidate_interval,
+                last_revalidate: Mutex::new(Instant::now()),
+            }),
+        }
+    }
+
+    pub fn caches(&self) -> &GatewayCaches {
+        &self.inner.caches
+    }
+
+    pub fn admission(&self) -> &KeyedAdmissionController {
+        &self.inner.admission
+    }
+
+    pub fn pools(&self) -> &BackendPools {
+        &self.inner.pools
+    }
+
+    pub fn registry(&self) -> &ShardedUddiClient {
+        &self.inner.registry
+    }
+
+    pub fn start_draining(&self) {
+        self.inner.admission.start_draining();
+    }
+
+    pub fn stop_draining(&self) {
+        self.inner.admission.stop_draining();
+    }
+
+    /// Probe the registry's data versions now and drop stale entries.
+    /// Returns routing entries dropped (0 when the plane is unreachable
+    /// — the TTLs then backstop freshness).
+    pub fn revalidate_now(&self) -> usize {
+        match self.inner.registry.data_versions() {
+            Ok(dv) => self.inner.caches.revalidate(&dv),
+            Err(_) => 0,
+        }
+    }
+
+    fn maybe_revalidate(&self) {
+        let due = {
+            let mut last = self.inner.last_revalidate.lock();
+            if last.elapsed() >= self.inner.revalidate_interval {
+                *last = Instant::now();
+                true
+            } else {
+                false
+            }
+        };
+        if due {
+            self.revalidate_now();
+        }
+    }
+
+    // -- the mediation pipeline --------------------------------------------
+
+    /// Mediate one SOAP request (`raw` is the envelope bytes) for
+    /// `tenant` against `service`.
+    pub fn invoke(
+        &self,
+        tenant: &str,
+        service: &str,
+        raw: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<GatewayReply, GatewayError> {
+        self.maybe_revalidate();
+        let _permit = self
+            .inner
+            .admission
+            .try_admit(tenant, deadline)
+            .map_err(shed_of)?;
+
+        let text = std::str::from_utf8(raw)
+            .map_err(|_| GatewayError::BadRequest("request is not UTF-8".into()))?;
+        let envelope = Envelope::from_xml(text)
+            .map_err(|e| GatewayError::BadRequest(format!("not a SOAP envelope: {e:?}")))?;
+        let operation = envelope
+            .payload()
+            .map(|p| p.name().local_name().to_owned())
+            .ok_or_else(|| GatewayError::BadRequest("envelope carries no operation".into()))?;
+
+        let cacheable = self.inner.idempotent.contains(service, &operation);
+        let key = ResponseKey {
+            service: service.to_owned(),
+            operation,
+            body_hash: fnv1a(raw),
+        };
+        if cacheable {
+            if let Some(hit) = self.inner.caches.get_response(&key, raw) {
+                return Ok(reply_of(hit, true));
+            }
+        }
+
+        let endpoints = self.resolve(service)?;
+        let (status, content_type, body) = self.call_backends(service, &endpoints, raw)?;
+        if cacheable && status == 200 {
+            self.inner.caches.put_response(
+                key,
+                raw.to_vec(),
+                status,
+                content_type.clone(),
+                body.clone(),
+            );
+        }
+        Ok(GatewayReply {
+            status,
+            content_type,
+            body,
+            cached: false,
+        })
+    }
+
+    /// Backend endpoints for `service`: locate cache, else a registry
+    /// scatter (cached on success).
+    fn resolve(&self, service: &str) -> Result<Vec<String>, GatewayError> {
+        if let Some((endpoints, _)) = self.inner.caches.get_locate(service) {
+            return Ok(endpoints);
+        }
+        let found = self
+            .inner
+            .registry
+            .locate(&ServiceQuery::by_name(service))
+            .map_err(unavailable_of)?;
+        let endpoints: Vec<String> = found
+            .iter()
+            .filter(|svc| svc.name == service)
+            .flat_map(|svc| svc.bindings.iter().map(|b| b.access_point.clone()))
+            .filter(|ap| !ap.is_empty())
+            .collect();
+        if endpoints.is_empty() {
+            return Err(GatewayError::Unavailable(format!(
+                "no backend registered for {service}"
+            )));
+        }
+        let shard = self.inner.registry.shard_of(service);
+        self.inner
+            .caches
+            .put_locate(service, endpoints.clone(), shard);
+        Ok(endpoints)
+    }
+
+    /// The failover loop: up to `backend_attempts` distinct endpoints,
+    /// least-loaded first, breaker outcomes recorded per call.
+    fn call_backends(
+        &self,
+        service: &str,
+        endpoints: &[String],
+        raw: &[u8],
+    ) -> Result<(u16, String, Vec<u8>), GatewayError> {
+        let t = telemetry::global();
+        let mut tried: Vec<String> = Vec::new();
+        for attempt in 0..self.inner.backend_attempts {
+            let Some(lease) = self.inner.pools.pick(endpoints, &tried) else {
+                break;
+            };
+            if attempt > 0 {
+                t.counter("gateway.backend.failovers").incr();
+            }
+            let request = Request::post("/", CONTENT_TYPE, raw.to_vec());
+            match http_call_uri(lease.endpoint(), request) {
+                Ok(response) => {
+                    lease.succeed();
+                    let content_type = response
+                        .headers
+                        .get("Content-Type")
+                        .unwrap_or(CONTENT_TYPE)
+                        .to_owned();
+                    return Ok((response.status, content_type, response.body));
+                }
+                Err(_) => {
+                    lease.fail();
+                    t.counter("gateway.backend.errors").incr();
+                    tried.push(lease.endpoint().to_owned());
+                }
+            }
+        }
+        // Every candidate failed: the cached endpoints are suspect.
+        self.inner.caches.invalidate_service(service);
+        Err(GatewayError::Unavailable(format!(
+            "no backend for {service} answered ({} tried)",
+            tried.len()
+        )))
+    }
+
+    /// Serve `service`'s WSDL: cache, else fetch `?wsdl` from a live
+    /// backend and cache the document.
+    pub fn wsdl(&self, tenant: &str, service: &str) -> Result<GatewayReply, GatewayError> {
+        self.maybe_revalidate();
+        let _permit = self
+            .inner
+            .admission
+            .try_admit(tenant, None)
+            .map_err(shed_of)?;
+        if let Some(body) = self.inner.caches.get_wsdl(service) {
+            return Ok(GatewayReply {
+                status: 200,
+                content_type: "text/xml; charset=utf-8".to_owned(),
+                body: body.into_bytes(),
+                cached: true,
+            });
+        }
+        let endpoints = self.resolve(service)?;
+        let mut tried: Vec<String> = Vec::new();
+        for _ in 0..self.inner.backend_attempts {
+            let Some(lease) = self.inner.pools.pick(&endpoints, &tried) else {
+                break;
+            };
+            let uri = format!("{}?wsdl", lease.endpoint());
+            match http_call_uri(&uri, Request::get("/")) {
+                Ok(response) if response.status == 200 => {
+                    lease.succeed();
+                    let body = String::from_utf8_lossy(&response.body).into_owned();
+                    self.inner.caches.put_wsdl(service, body.clone());
+                    return Ok(GatewayReply {
+                        status: 200,
+                        content_type: "text/xml; charset=utf-8".to_owned(),
+                        body: body.into_bytes(),
+                        cached: false,
+                    });
+                }
+                Ok(response) => {
+                    lease.succeed();
+                    return Ok(GatewayReply {
+                        status: response.status,
+                        content_type: "text/plain; charset=utf-8".to_owned(),
+                        body: response.body,
+                        cached: false,
+                    });
+                }
+                Err(_) => {
+                    lease.fail();
+                    tried.push(lease.endpoint().to_owned());
+                }
+            }
+        }
+        self.inner.caches.invalidate_service(service);
+        Err(GatewayError::Unavailable(format!(
+            "no backend for {service} served its WSDL"
+        )))
+    }
+
+    // -- HTTP front --------------------------------------------------------
+
+    /// Serve the gateway over HTTP on `port` (0 = ephemeral): any
+    /// `/Service` path is mediated, `/metrics` reports counters and
+    /// cache gauges.
+    pub fn launch_http(&self, port: u16) -> io::Result<TcpServer> {
+        let router = Router::new();
+        let gw = self.clone();
+        router.deploy_internal(
+            "metrics",
+            Arc::new(move |_req: &Request| {
+                Response::ok("text/plain; charset=utf-8", gw.render_metrics())
+            }),
+        );
+        let gw = self.clone();
+        router.set_interceptor(Some(Arc::new(move |req: &Request| gw.intercept(req))));
+        TcpServer::launch(port, router)
+    }
+
+    fn intercept(&self, req: &Request) -> Option<Response> {
+        let path = req.path().trim_matches('/');
+        if path.is_empty() || path == "metrics" {
+            return None; // fall through to listing / internal routes
+        }
+        Some(self.handle_http(path, req))
+    }
+
+    fn handle_http(&self, service: &str, req: &Request) -> Response {
+        let tenant = req
+            .headers
+            .get(TENANT_HEADER)
+            .filter(|t| !t.is_empty())
+            .unwrap_or(ANONYMOUS_TENANT)
+            .to_owned();
+        if req.query() == Some("wsdl") {
+            return to_http(self.wsdl(&tenant, service));
+        }
+        let deadline = req
+            .headers
+            .get(DEADLINE_HEADER)
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(deadline_in_ms);
+        to_http(self.invoke(&tenant, service, &req.body, deadline))
+    }
+
+    /// The `/metrics` body: registry counters/histograms plus the
+    /// gateway's cache and admission gauges.
+    pub fn render_metrics(&self) -> String {
+        let mut extra = self.inner.caches.metrics_lines();
+        extra.push_str(&format!(
+            "gateway_in_flight_total {}\n",
+            self.inner.admission.total_in_flight()
+        ));
+        for tenant in self.inner.admission.tenants() {
+            extra.push_str(&format!(
+                "gateway_tenant_in_flight{{tenant=\"{tenant}\"}} {}\n",
+                self.inner.admission.in_flight(&tenant)
+            ));
+        }
+        telemetry::render_metrics_with(telemetry::global(), &extra)
+    }
+
+    // -- P2PS front --------------------------------------------------------
+
+    /// Serve the gateway over P2PS pipes on `addr` (e.g.
+    /// `"127.0.0.1:0"`). The pipe advert's service (or name) routes;
+    /// the `Tenant` SOAP header identifies the tenant.
+    pub fn launch_pipe(&self, addr: &str) -> io::Result<PipeTcpServer> {
+        let gw = self.clone();
+        PipeTcpServer::launch(
+            addr,
+            move |msg| gw.handle_pipe(msg),
+            PipeTcpConfig::default(),
+        )
+    }
+
+    fn handle_pipe(&self, msg: P2psMessage) -> Option<P2psMessage> {
+        let P2psMessage::PipeData { to, payload } = msg else {
+            return None;
+        };
+        let service = to
+            .service
+            .clone()
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| to.name.clone());
+        let reply = match Envelope::from_xml(&payload) {
+            Err(_) => Envelope::fault(Fault::sender("not a SOAP envelope")).to_xml(),
+            Ok(envelope) => {
+                let tenant = envelope
+                    .find_header("", TENANT_SOAP_HEADER)
+                    .map(|h| h.element.text().trim().to_owned())
+                    .filter(|t| !t.is_empty())
+                    .unwrap_or_else(|| ANONYMOUS_TENANT.to_owned());
+                let deadline = envelope
+                    .find_header("", DEADLINE_SOAP_HEADER)
+                    .and_then(|h| h.element.text().trim().parse::<u64>().ok())
+                    .map(deadline_in_ms);
+                match self.invoke(&tenant, &service, payload.as_bytes(), deadline) {
+                    Ok(reply) => String::from_utf8_lossy(&reply.body).into_owned(),
+                    Err(GatewayError::Shed { retry_after_ms }) => Envelope::fault(Fault::receiver(
+                        busy_fault_reason(Duration::from_millis(retry_after_ms)),
+                    ))
+                    .to_xml(),
+                    Err(GatewayError::Unavailable(why)) => {
+                        Envelope::fault(Fault::receiver(format!("wsp:unavailable {why}"))).to_xml()
+                    }
+                    Err(GatewayError::BadRequest(why)) => {
+                        Envelope::fault(Fault::sender(why)).to_xml()
+                    }
+                }
+            }
+        };
+        Some(P2psMessage::PipeData { to, payload: reply })
+    }
+}
+
+fn shed_of(err: WspError) -> GatewayError {
+    match err {
+        WspError::Overloaded { retry_after_ms } => GatewayError::Shed {
+            retry_after_ms: retry_after_ms.unwrap_or(100),
+        },
+        other => GatewayError::Unavailable(other.to_string()),
+    }
+}
+
+fn unavailable_of(err: RegistryError) -> GatewayError {
+    GatewayError::Unavailable(err.to_string())
+}
+
+fn reply_of(hit: CachedResponse, cached: bool) -> GatewayReply {
+    GatewayReply {
+        status: hit.status,
+        content_type: hit.content_type,
+        body: hit.body,
+        cached,
+    }
+}
+
+fn to_http(result: Result<GatewayReply, GatewayError>) -> Response {
+    match result {
+        Ok(reply) => {
+            let mut r = Response::new(reply.status, reason_of(reply.status));
+            r.headers.set("Content-Type", reply.content_type);
+            if reply.cached {
+                r.headers.set("X-WSP-Cache", "hit");
+            }
+            r.body = reply.body;
+            r
+        }
+        Err(GatewayError::Shed { retry_after_ms }) => {
+            let mut r = Response::new(503, "Service Unavailable");
+            r.headers.set(
+                "Retry-After",
+                retry_after_ms.div_ceil(1000).max(1).to_string(),
+            );
+            r.headers
+                .set(RETRY_AFTER_MS_HEADER, retry_after_ms.to_string());
+            r.body = b"shed: per-tenant admission".to_vec();
+            r
+        }
+        Err(GatewayError::Unavailable(why)) => {
+            let mut r = Response::new(503, "Service Unavailable");
+            r.headers.set("Content-Type", "text/plain; charset=utf-8");
+            r.body = why.into_bytes();
+            r
+        }
+        Err(GatewayError::BadRequest(why)) => Response::bad_request(&why),
+    }
+}
+
+fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}

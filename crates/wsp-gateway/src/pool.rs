@@ -1,0 +1,168 @@
+//! Backend pools: per-endpoint in-flight accounting and circuit
+//! breakers, with a least-loaded, breaker-aware pick.
+//!
+//! The gateway resolves a service to a set of backend endpoints (from
+//! the cached locate result) and asks the pool for one. The pick is:
+//!
+//! * among endpoints whose breaker admits (closed, or half-open and
+//!   due a probe) and that the caller has not already tried this
+//!   request, the one with the fewest gateway-side in-flight calls —
+//!   ties break on candidate order, so a healthy, idle primary wins;
+//! * a [`BackendLease`] tracks the call: it bumps the endpoint's
+//!   in-flight count on pick, records the breaker outcome via
+//!   [`BackendLease::succeed`]/[`BackendLease::fail`], and decrements
+//!   the count on drop (RAII, shed-proof).
+//!
+//! Breaker state is shared across tenants on purpose: a backend that
+//! has fallen over is down for everyone, and the first tenant to trip
+//! the breaker spares the rest the timeout.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use wsp_core::{Admission, BreakerConfig, CircuitBreaker, EndpointHealth};
+
+struct PoolState {
+    active: HashMap<String, u64>,
+}
+
+/// Shared backend routing state: breakers + in-flight counts.
+#[derive(Clone)]
+pub struct BackendPools {
+    health: Arc<EndpointHealth>,
+    state: Arc<Mutex<PoolState>>,
+}
+
+impl Default for BackendPools {
+    fn default() -> Self {
+        BackendPools::new(BreakerConfig::default())
+    }
+}
+
+impl BackendPools {
+    pub fn new(config: BreakerConfig) -> BackendPools {
+        BackendPools {
+            health: Arc::new(EndpointHealth::new(config)),
+            state: Arc::new(Mutex::new(PoolState {
+                active: HashMap::new(),
+            })),
+        }
+    }
+
+    pub fn health(&self) -> &EndpointHealth {
+        &self.health
+    }
+
+    /// Gateway-side in-flight calls to `endpoint` right now.
+    pub fn active(&self, endpoint: &str) -> u64 {
+        self.state.lock().active.get(endpoint).copied().unwrap_or(0)
+    }
+
+    /// Least-loaded breaker-admitted candidate not in `exclude`, leased.
+    pub fn pick(&self, candidates: &[String], exclude: &[String]) -> Option<BackendLease> {
+        let now = Instant::now();
+        let mut state = self.state.lock();
+        let mut best: Option<(u64, usize)> = None;
+        for (i, endpoint) in candidates.iter().enumerate() {
+            if exclude.contains(endpoint) {
+                continue;
+            }
+            let breaker = self.health.breaker(endpoint);
+            if matches!(breaker.try_acquire(now), Admission::Rejected) {
+                continue;
+            }
+            let load = state.active.get(endpoint).copied().unwrap_or(0);
+            if best.map(|(l, _)| load < l).unwrap_or(true) {
+                best = Some((load, i));
+            }
+        }
+        let (_, i) = best?;
+        let endpoint = candidates[i].clone();
+        *state.active.entry(endpoint.clone()).or_insert(0) += 1;
+        Some(BackendLease {
+            endpoint,
+            breaker: self.health.breaker(&candidates[i]),
+            state: self.state.clone(),
+        })
+    }
+}
+
+/// RAII lease on one backend call (see [`BackendPools::pick`]).
+pub struct BackendLease {
+    endpoint: String,
+    breaker: Arc<CircuitBreaker>,
+    state: Arc<Mutex<PoolState>>,
+}
+
+impl BackendLease {
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    pub fn succeed(&self) {
+        self.breaker.on_success(Instant::now());
+    }
+
+    pub fn fail(&self) {
+        self.breaker.on_failure(Instant::now());
+    }
+}
+
+impl Drop for BackendLease {
+    fn drop(&mut self) {
+        let mut state = self.state.lock();
+        if let Some(n) = state.active.get_mut(&self.endpoint) {
+            *n = n.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn pick_prefers_the_least_loaded_endpoint() {
+        let pools = BackendPools::default();
+        let candidates = eps(&["http://a", "http://b"]);
+        let a1 = pools.pick(&candidates, &[]).unwrap();
+        assert_eq!(a1.endpoint(), "http://a", "ties break on order");
+        let b1 = pools.pick(&candidates, &[]).unwrap();
+        assert_eq!(b1.endpoint(), "http://b", "a is busier now");
+        assert_eq!(pools.active("http://a"), 1);
+        assert_eq!(pools.active("http://b"), 1);
+        drop(a1);
+        assert_eq!(pools.active("http://a"), 0, "lease drop releases");
+        drop(b1);
+    }
+
+    #[test]
+    fn exclude_skips_already_tried_endpoints() {
+        let pools = BackendPools::default();
+        let candidates = eps(&["http://a", "http://b"]);
+        let lease = pools.pick(&candidates, &["http://a".to_owned()]).unwrap();
+        assert_eq!(lease.endpoint(), "http://b");
+        assert!(pools.pick(&candidates, &candidates.to_vec()).is_none());
+    }
+
+    #[test]
+    fn tripped_breaker_removes_the_endpoint_from_rotation() {
+        let pools = BackendPools::default();
+        let candidates = eps(&["http://down", "http://up"]);
+        // Trip the breaker on the first endpoint.
+        for _ in 0..32 {
+            if let Some(lease) = pools.pick(&candidates[..1], &[]) {
+                lease.fail();
+            } else {
+                break;
+            }
+        }
+        let lease = pools.pick(&candidates, &[]).expect("the healthy one");
+        assert_eq!(lease.endpoint(), "http://up");
+    }
+}

@@ -39,7 +39,7 @@ pub use addressing::{
     advert_to_epr, epr_to_advert, reply_pipe_of, request_headers, target_pipe_of, with_reply_pipe,
 };
 pub use advert::{PipeAdvertisement, ServiceAdvertisement, DEFINITION_PIPE, P2PS_NS};
-pub use cache::AdvertCache;
+pub use cache::{AdvertCache, AdvertCacheStats};
 pub use id::PeerId;
 pub use machine::{PeerConfig, PeerMachine, PeerOutput};
 pub use message::P2psMessage;

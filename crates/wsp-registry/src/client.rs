@@ -20,7 +20,7 @@
 //! publish/locate lands in the `registry.publish` / `registry.locate`
 //! telemetry series the `/metrics` endpoint exports.
 
-use crate::shard::ShardMap;
+use crate::shard::{ShardMap, REGISTRY_NS};
 use parking_lot::RwLock;
 use std::fmt;
 use std::sync::Arc;
@@ -54,6 +54,36 @@ impl From<UddiError> for RegistryError {
     fn from(e: UddiError) -> Self {
         RegistryError::Uddi(e)
     }
+}
+
+/// Snapshot of the plane's per-shard data versions, stamped with the
+/// map epoch it was read at. A shard whose version is unchanged since
+/// the last snapshot has committed no save, delete, or lease expiry —
+/// cached locate results for it are still exact. This is what the
+/// mediation gateway polls on its revalidation interval instead of
+/// waiting out cache TTLs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataVersions {
+    pub epoch: u64,
+    /// Indexed by shard id.
+    pub versions: Vec<u64>,
+}
+
+fn parse_data_versions(body: &Element) -> Option<DataVersions> {
+    if body.name().local_name() != "dataVersions" {
+        return None;
+    }
+    let epoch = body.attribute_local("epoch")?.parse().ok()?;
+    let mut versions = Vec::new();
+    for shard in body.find_all(REGISTRY_NS, "shard") {
+        let id = shard.attribute_local("id")?.parse::<usize>().ok()?;
+        let version = shard.attribute_local("version")?.parse::<u64>().ok()?;
+        if versions.len() <= id {
+            versions.resize(id + 1, 0);
+        }
+        versions[id] = version;
+    }
+    Some(DataVersions { epoch, versions })
 }
 
 /// What a routed call's fault told us to do next.
@@ -151,6 +181,27 @@ impl ShardedUddiClient {
         }
         Err(RegistryError::Unavailable(
             "no node answered get_shardMap".to_owned(),
+        ))
+    }
+
+    /// The shard the cached map places `name` on.
+    pub fn shard_of(&self, name: &str) -> u32 {
+        self.map.read().shard_of(name)
+    }
+
+    /// Fetch the per-shard data versions from any answering node — the
+    /// cheap revalidation probe caching consumers run between TTLs.
+    pub fn data_versions(&self) -> Result<DataVersions, RegistryError> {
+        for transport in &self.transports {
+            let request = Envelope::request(crate::cluster::get_data_versions_request());
+            if let Ok(response) = transport(&request) {
+                if let Some(parsed) = response.payload().and_then(parse_data_versions) {
+                    return Ok(parsed);
+                }
+            }
+        }
+        Err(RegistryError::Unavailable(
+            "no node answered get_dataVersions".to_owned(),
         ))
     }
 
@@ -568,6 +619,138 @@ mod tests {
         cluster.crash(2);
         let err = client.publish(&svc("NoQuorum")).unwrap_err();
         assert!(matches!(err, RegistryError::Unavailable(_)), "{err}");
+    }
+
+    #[test]
+    fn data_versions_track_commits_and_lease_expiry() {
+        let (cluster, client) = plane();
+        let before = client.data_versions().unwrap();
+        assert!(before.versions.iter().all(|&v| v == 0));
+
+        let name = "VersionedService";
+        let shard = client.shard_of(name) as usize;
+        let saved = client.publish(&svc(name)).unwrap();
+        let after_save = client.data_versions().unwrap();
+        assert!(
+            after_save.versions[shard] > before.versions[shard],
+            "a committed save must bump its shard's data version"
+        );
+        let untouched: Vec<usize> = (0..after_save.versions.len())
+            .filter(|&s| s != shard)
+            .collect();
+        for s in untouched {
+            assert_eq!(
+                after_save.versions[s], before.versions[s],
+                "other shards' versions must not move"
+            );
+        }
+
+        client.delete(&saved.key).unwrap();
+        let after_delete = client.data_versions().unwrap();
+        assert!(after_delete.versions[shard] > after_save.versions[shard]);
+
+        // Lease expiry is a data change too: cached consumers must
+        // learn the record vanished.
+        let leased = BusinessService::new("", "biz", name).with_lease_ttl_ms(500);
+        client.publish(&leased).unwrap();
+        let at_grant = client.data_versions().unwrap();
+        cluster.advance_to(wsp_simnet::Time::millis(600));
+        let after_expiry = client.data_versions().unwrap();
+        assert!(
+            after_expiry.versions[shard] > at_grant.versions[shard],
+            "lease expiry must bump the shard's data version"
+        );
+    }
+
+    /// Regression for the redirect/refresh race: many writers receiving
+    /// `wsp:staleShardMap` faults (each carrying a fresh map) while
+    /// another thread hammers `refresh_map`. The cached epoch must be
+    /// monotone non-decreasing under the interleaving (an older map
+    /// adopted after a newer one would re-route writes to dead
+    /// primaries) and must settle at the newest epoch any node served.
+    #[test]
+    fn concurrent_redirects_racing_refresh_never_regress_the_epoch() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let endpoints = vec!["wsp://registry/0".to_owned()];
+        let server_epoch = Arc::new(AtomicU64::new(0));
+        let max_served = Arc::new(AtomicU64::new(0));
+
+        let transport: SoapTransport = {
+            let server_epoch = server_epoch.clone();
+            let max_served = max_served.clone();
+            let endpoints = endpoints.clone();
+            Arc::new(move |request: &Envelope| {
+                let map_at = |epoch: u64| ShardMap::build(endpoints.clone(), 2, 1, epoch);
+                let payload = request.payload().expect("request has a body");
+                match payload.name().local_name() {
+                    "get_shardMap" => {
+                        // Each refresh observes a (possibly) newer map.
+                        let e = server_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_served.fetch_max(e, Ordering::SeqCst);
+                        Ok(Envelope::request(map_at(e).to_element()))
+                    }
+                    "get_dataVersions" => Ok(Envelope::request(wsp_xml::Element::new(
+                        REGISTRY_NS,
+                        "dataVersions",
+                    ))),
+                    _ => {
+                        // Every write is refused with a stale-map
+                        // redirect quoting a bumped epoch in the detail.
+                        let e = server_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_served.fetch_max(e, Ordering::SeqCst);
+                        Ok(Envelope::fault(
+                            Fault::sender(format!("wsp:staleShardMap epoch={e}"))
+                                .with_detail(map_at(e).to_element()),
+                        ))
+                    }
+                }
+            })
+        };
+        // Bootstrap consumed epoch 1; reset the odometer's floor.
+        let client = Arc::new(ShardedUddiClient::connect(vec![transport]).unwrap());
+        assert_eq!(client.cached_epoch(), 1);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let monotone = {
+            let client = client.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                let mut ok = true;
+                while !stop.load(Ordering::SeqCst) {
+                    let seen = client.cached_epoch();
+                    ok &= seen >= last;
+                    last = seen;
+                    std::thread::yield_now();
+                }
+                ok
+            })
+        };
+        let mut workers = Vec::new();
+        for w in 0..4 {
+            let client = client.clone();
+            workers.push(std::thread::spawn(move || {
+                for i in 0..40 {
+                    // Writers chase redirects; refreshers race them.
+                    let _ = client.publish(&svc(&format!("Race{w}x{i}")));
+                    let _ = client.refresh_map();
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        assert!(
+            monotone.join().unwrap(),
+            "cached epoch regressed under concurrent redirect/refresh"
+        );
+        // One final refresh: the cache must land on the newest map any
+        // response carried — no adopted epoch bump may be dropped.
+        client.refresh_map().unwrap();
+        assert_eq!(client.cached_epoch(), max_served.load(Ordering::SeqCst));
     }
 
     #[test]

@@ -109,6 +109,13 @@ struct Inner {
     key_seqs: Vec<AtomicU64>,
     /// Mint for globally replicated records (tModels, businesses).
     global_seq: AtomicU64,
+    /// Per-shard *data* version: bumped once per committed Save/Delete
+    /// and per lease expiry sweep that dropped something. Orthogonal to
+    /// the map epoch (which versions *placement*): caching consumers
+    /// (the mediation gateway) poll these to learn that a shard's
+    /// records changed without waiting out their TTLs, while epoch
+    /// redirects keep handling placement changes.
+    data_versions: Vec<AtomicU64>,
 }
 
 /// The replicated discovery plane: `cfg.nodes` in-process registry
@@ -151,6 +158,7 @@ impl RegistryCluster {
             })
             .collect();
         let key_seqs = (0..cfg.shard_count).map(|_| AtomicU64::new(0)).collect();
+        let data_versions = (0..cfg.shard_count).map(|_| AtomicU64::new(0)).collect();
         RegistryCluster {
             inner: Arc::new(Inner {
                 nodes,
@@ -159,6 +167,7 @@ impl RegistryCluster {
                 clock_us: AtomicU64::new(0),
                 key_seqs,
                 global_seq: AtomicU64::new(0),
+                data_versions,
                 cfg,
             }),
         }
@@ -218,6 +227,9 @@ impl RegistryCluster {
         for group in &self.inner.groups {
             let mut g = group.lock();
             let expired = g.leases.advance_to(t);
+            if !expired.is_empty() {
+                self.bump_data_version(g.shard);
+            }
             for key in &expired {
                 for &m in &g.members {
                     self.inner.nodes[m].registry.delete_service(key);
@@ -228,6 +240,28 @@ impl RegistryCluster {
 
     pub fn now(&self) -> Time {
         Time(self.inner.clock_us.load(Ordering::SeqCst))
+    }
+
+    /// The current data version of one shard. Any committed write to
+    /// the shard (save, delete, lease expiry) makes this strictly
+    /// larger, so `version unchanged` ⇒ `cached locate results for the
+    /// shard are still exact` — the cheap revalidation handshake the
+    /// mediation gateway runs instead of waiting out its TTLs.
+    pub fn data_version(&self, shard: u32) -> u64 {
+        self.inner.data_versions[shard as usize].load(Ordering::SeqCst)
+    }
+
+    /// All shards' data versions, indexed by shard id.
+    pub fn data_versions(&self) -> Vec<u64> {
+        self.inner
+            .data_versions
+            .iter()
+            .map(|v| v.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    fn bump_data_version(&self, shard: u32) {
+        self.inner.data_versions[shard as usize].fetch_add(1, Ordering::SeqCst);
     }
 
     // -- the SOAP front ----------------------------------------------------
@@ -278,6 +312,7 @@ impl RegistryCluster {
         };
         let result = match payload.name().local_name() {
             "get_shardMap" => Ok(self.shard_map().to_element()),
+            "get_dataVersions" => Ok(self.data_versions_element()),
             "save_service" => self
                 .epoch_guard(payload)
                 .and_then(|()| self.save_service(node, payload)),
@@ -300,6 +335,23 @@ impl RegistryCluster {
             Ok(body) => Envelope::request(body),
             Err(fault) => Envelope::fault(fault),
         }
+    }
+
+    /// `get_dataVersions` response body: the map epoch plus one
+    /// `<shard id=… version=…/>` child per shard.
+    fn data_versions_element(&self) -> Element {
+        let mut root = Element::build(REGISTRY_NS, "dataVersions")
+            .attr_str("epoch", self.shard_map().epoch().to_string())
+            .finish();
+        for (shard, version) in self.data_versions().into_iter().enumerate() {
+            root.push_element(
+                Element::build(REGISTRY_NS, "shard")
+                    .attr_str("id", shard.to_string())
+                    .attr_str("version", version.to_string())
+                    .finish(),
+            );
+        }
+        root
     }
 
     /// The versioned redirect: a request quoting a stale map epoch is
@@ -590,6 +642,7 @@ impl RegistryCluster {
         let first_applier = op_num > group.group_applied;
         if first_applier {
             group.group_applied = op_num;
+            self.bump_data_version(group.shard);
         }
         match op {
             ClusterOp::Save {
@@ -641,6 +694,12 @@ pub fn shard_of_key(key: &str) -> Option<u32> {
 /// `get_shardMap` request body, understood by [`RegistryCluster::process`].
 pub fn get_shard_map_request() -> Element {
     Element::new(REGISTRY_NS, "get_shardMap")
+}
+
+/// `get_dataVersions` request body: asks a node for the per-shard data
+/// versions (plus the map epoch), the gateway's revalidation probe.
+pub fn get_data_versions_request() -> Element {
+    Element::new(REGISTRY_NS, "get_dataVersions")
 }
 
 /// Stamp a routed request with the epoch the client believes in.

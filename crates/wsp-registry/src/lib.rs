@@ -29,8 +29,11 @@ pub mod lease;
 pub mod replication;
 pub mod shard;
 
-pub use client::{RegistryError, ShardedUddiClient};
-pub use cluster::{ClusterConfig, ClusterOp, RegistryCluster};
+pub use client::{DataVersions, RegistryError, ShardedUddiClient};
+pub use cluster::{
+    get_data_versions_request, get_shard_map_request, shard_of_key, stamp_epoch, ClusterConfig,
+    ClusterOp, RegistryCluster,
+};
 pub use lease::{
     LeaseAction, LeaseEffect, LeaseEvent, LeaseMachine, LeaseState, LeaseStatus, LeaseTable,
     LeaseTrace,

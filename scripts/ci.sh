@@ -113,6 +113,24 @@ WSP_FAULT_SEED=7 timeout 300 cargo test -q --release -p wsp-integration-tests --
 echo "==> E16 artifact (BENCH_E16.json, quick)"
 timeout 300 cargo run -q --release -p wsp-bench --bin e16 -- quick
 
+# Mediation gateway (PR 10): the keyed (per-tenant) admission machine
+# is exhausted by the wsp-check run above and its ignore-the-reserve
+# mutant condemned by the mutation pass. The gateway fault matrix
+# re-runs the integration suite — byte-identical cache replays,
+# invalidation-on-republish without waiting out the TTL, backend
+# crash failover, total-loss route invalidation, registry view-change
+# under cached maps, hot-tenant flood isolation over both fronts —
+# under the two fixed seeds. The e17 bin exits nonzero unless the
+# gateway clears 3x direct goodput on the cache-friendly mix (every
+# hit byte-identical), the hot flood is shed at the edge, and the cold
+# tenant's p99 stays within 2x its isolated baseline, so it is a gate.
+echo "==> gateway fault matrix (seed 2005 / seed 7)"
+WSP_FAULT_SEED=2005 timeout 300 cargo test -q -p wsp-integration-tests --test gateway
+WSP_FAULT_SEED=7 timeout 300 cargo test -q --release -p wsp-integration-tests --test gateway
+
+echo "==> E17 artifact (BENCH_E17.json, quick)"
+timeout 300 cargo run -q --release -p wsp-bench --bin e17 -- quick
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -18,7 +18,13 @@ use wsp_core::health::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 use wsp_core::machines::admission::{AdmissionEffect, AdmissionEvent, AdmissionMachine};
 use wsp_core::machines::breaker::{Admit, BreakerEffect, BreakerEvent, BreakerMachine, Phase};
 use wsp_core::machines::correlation::{CallPhase, CorrelationEvent, CorrelationMachine};
-use wsp_core::overload::{AdmissionController, AdmissionPermit, LoadShedPolicy};
+use wsp_core::machines::keyed_admission::{
+    KeyedAdmissionEffect, KeyedAdmissionEvent, KeyedAdmissionMachine,
+};
+use wsp_core::overload::{
+    AdmissionController, AdmissionPermit, KeyedAdmissionController, KeyedAdmissionPermit,
+    KeyedLoadShedPolicy, LoadShedPolicy,
+};
 use wsp_p2ps::rpc::{decode_request, encode_response};
 use wsp_p2ps::{PeerId, PipeAdvertisement, RpcCorrelator};
 use wsp_simnet::{step_mut, Machine};
@@ -193,6 +199,157 @@ proptest! {
             }
             prop_assert_eq!(shell.in_flight() as u64, mirror.in_flight);
             prop_assert_eq!(shell.is_draining(), mirror.draining);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keyed admission controller ⇔ KeyedAdmissionMachine
+// ---------------------------------------------------------------------------
+
+fn arb_keyed_ops() -> impl Strategy<Value = Vec<(u8, u8, bool)>> {
+    // (op selector, tenant 0..3, deadline already expired?)
+    proptest::collection::vec((0u8..4, 0u8..3, any::<bool>()), 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The gateway's per-tenant controller is a thin shell over the
+    /// keyed machine: pre-seeding the policy weights pins the tenant
+    /// interning order, so a hand-stepped mirror with the same weight
+    /// vector must agree on every admit verdict and every counter.
+    #[test]
+    fn keyed_admission_controller_bisimulates_keyed_machine(ops in arb_keyed_ops()) {
+        let shell = KeyedAdmissionController::new(
+            KeyedLoadShedPolicy::fair(4)
+                .with_weight("alpha", 2)
+                .with_weight("beta", 1)
+                .with_weight("gamma", 1)
+                .with_tenant_cap(3),
+        );
+        let names = ["alpha", "beta", "gamma"];
+        let machine = KeyedAdmissionMachine {
+            global_cap: 4,
+            weights: vec![2, 1, 1],
+            tenant_cap: 3,
+        };
+        let mut mirror = machine.initial();
+        let mut permits: Vec<Vec<KeyedAdmissionPermit>> = vec![Vec::new(), Vec::new(), Vec::new()];
+
+        for (op, tenant, expired) in ops {
+            let t = tenant as usize;
+            match op {
+                0 => {
+                    // No watermark configured, so the shell's sampled
+                    // observation is always false.
+                    let deadline = if expired {
+                        Some(Instant::now())
+                    } else {
+                        Some(Instant::now() + Duration::from_secs(3600))
+                    };
+                    let got = shell.try_admit(names[t], deadline);
+                    let effects = step_mut(&machine, &mut mirror, &KeyedAdmissionEvent::Admit {
+                        tenant: t,
+                        deadline_expired: expired,
+                        over_watermark: false,
+                    });
+                    let admitted = effects
+                        .iter()
+                        .any(|e| matches!(e, KeyedAdmissionEffect::Admitted { .. }));
+                    prop_assert_eq!(
+                        got.is_ok(),
+                        admitted,
+                        "admit(tenant={}, expired={})", names[t], expired
+                    );
+                    match got {
+                        Ok(permit) => permits[t].push(permit),
+                        Err(err) => {
+                            // Sheds always carry a retry hint.
+                            prop_assert!(matches!(
+                                err,
+                                wsp_core::WspError::Overloaded { retry_after_ms: Some(_) }
+                            ));
+                        }
+                    }
+                }
+                1 => {
+                    // Release = drop a held permit (RAII), mirrored only
+                    // when the shell actually holds one for this tenant.
+                    if permits[t].pop().is_some() {
+                        step_mut(&machine, &mut mirror, &KeyedAdmissionEvent::Release { tenant: t });
+                    }
+                }
+                2 => {
+                    shell.start_draining();
+                    step_mut(&machine, &mut mirror, &KeyedAdmissionEvent::BeginDrain);
+                }
+                _ => {
+                    shell.stop_draining();
+                    step_mut(&machine, &mut mirror, &KeyedAdmissionEvent::EndDrain);
+                }
+            }
+            for (i, name) in names.iter().enumerate() {
+                prop_assert_eq!(shell.in_flight(name) as u64, mirror.in_flight[i]);
+            }
+            prop_assert_eq!(shell.total_in_flight() as u64, mirror.total());
+            prop_assert_eq!(shell.is_draining(), mirror.draining);
+            // With the population fixed up-front the fair-share reserve
+            // invariant is inductive, so it must hold at every step.
+            let guaranteed = machine.guaranteed();
+            let reserve: u64 = guaranteed
+                .iter()
+                .zip(&mirror.in_flight)
+                .map(|(&g, &f)| g.saturating_sub(f))
+                .sum();
+            prop_assert!(
+                mirror.total() + reserve <= 4,
+                "borrows ate the reserve: total={} reserve={}",
+                mirror.total(),
+                reserve
+            );
+        }
+    }
+
+    /// Permit conservation under random tenant traffic, including
+    /// tenants interned on the fly: the sum of granted permits never
+    /// exceeds the global cap and each tenant respects the tenant cap,
+    /// even while interning re-apportions every guaranteed share under
+    /// permits that were granted against the old apportionment. (The
+    /// stronger reserve invariant is only inductive over a *fixed*
+    /// population — asserted in the bisimulation property above.)
+    #[test]
+    fn keyed_permits_are_conserved_under_random_tenant_traffic(
+        ops in proptest::collection::vec((0u8..2, 0u8..4), 0..120),
+    ) {
+        let ctl = KeyedAdmissionController::new(
+            KeyedLoadShedPolicy::fair(5).with_tenant_cap(4),
+        );
+        let mut held: HashMap<String, Vec<KeyedAdmissionPermit>> = HashMap::new();
+        for (op, t) in ops {
+            let tenant = format!("tenant-{}", t % 4);
+            match op {
+                0 => {
+                    if let Ok(permit) = ctl.try_admit(&tenant, None) {
+                        held.entry(tenant.clone()).or_default().push(permit);
+                    }
+                }
+                _ => {
+                    if let Some(perms) = held.get_mut(&tenant) {
+                        perms.pop();
+                    }
+                }
+            }
+            // The controller's books equal the RAII ground truth…
+            let held_total: usize = held.values().map(Vec::len).sum();
+            prop_assert_eq!(ctl.total_in_flight(), held_total);
+            // …and never exceed the caps.
+            prop_assert!(ctl.total_in_flight() <= 5);
+            for name in ctl.tenants() {
+                let f = ctl.in_flight(&name);
+                prop_assert!(f <= 4, "tenant {} over its cap: {}", name, f);
+                prop_assert_eq!(f, held.get(&name).map(Vec::len).unwrap_or(0));
+            }
         }
     }
 }
