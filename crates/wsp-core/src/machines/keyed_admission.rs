@@ -95,6 +95,87 @@ impl KeyedAdmissionMachine {
         }
         shares
     }
+
+    /// [`Machine::step`] with the apportionment supplied by the caller.
+    /// `guaranteed` must equal [`Self::guaranteed`]`()` for the current
+    /// weight vector — the shell caches it and recomputes only when a
+    /// tenant is interned, so the per-admission work under its lock
+    /// stays O(tenants) instead of O(tenants log tenants).
+    pub fn step_apportioned(
+        &self,
+        guaranteed: &[u64],
+        state: &KeyedAdmissionState,
+        event: &KeyedAdmissionEvent,
+    ) -> (KeyedAdmissionState, Vec<KeyedAdmissionEffect>) {
+        use KeyedAdmissionEffect::*;
+        let mut next = state.clone();
+        match *event {
+            KeyedAdmissionEvent::Admit {
+                tenant,
+                deadline_expired,
+                over_watermark,
+            } => {
+                let f = state.in_flight[tenant];
+                let total = state.total();
+                let shed = if deadline_expired {
+                    Some(KeyedShedReason::DeadlineExpired)
+                } else if state.draining {
+                    Some(KeyedShedReason::Draining)
+                } else if over_watermark {
+                    Some(KeyedShedReason::OverWatermark)
+                } else if f >= self.tenant_cap {
+                    Some(KeyedShedReason::TenantCap)
+                } else if total >= self.global_cap {
+                    // The hard ceiling outranks the guaranteed share:
+                    // with a fixed population the reserve invariant
+                    // makes `f < guaranteed[tenant]` imply
+                    // `total < global_cap` so this branch never sheds a
+                    // below-share tenant, but re-apportionment (a new
+                    // tenant interned mid-flight) can shrink shares
+                    // under permits granted against the old ones.
+                    Some(KeyedShedReason::GlobalCap)
+                } else if f < guaranteed[tenant] {
+                    // Below the guaranteed share: admit unconditionally.
+                    None
+                } else {
+                    // Borrowing idle capacity: only what is not being
+                    // held in reserve for under-share tenants.
+                    let reserve: u64 = guaranteed
+                        .iter()
+                        .zip(&state.in_flight)
+                        .map(|(&g, &used)| g.saturating_sub(used))
+                        .sum();
+                    if total + reserve >= self.global_cap {
+                        Some(KeyedShedReason::FairShareReserve)
+                    } else {
+                        None
+                    }
+                };
+                match shed {
+                    Some(reason) => (next, vec![Shed { tenant, reason }]),
+                    None => {
+                        next.in_flight[tenant] += 1;
+                        (next, vec![Admitted { tenant }])
+                    }
+                }
+            }
+            KeyedAdmissionEvent::Release { tenant } => {
+                if state.in_flight[tenant] == 0 {
+                    return (next, vec![PermitUnderflow]);
+                }
+                next.in_flight[tenant] -= 1;
+                (next, vec![Released { tenant }])
+            }
+            KeyedAdmissionEvent::BeginDrain => {
+                next.draining = true;
+                (next, vec![])
+            }
+            KeyedAdmissionEvent::EndDrain => {
+                next.draining = false;
+                (next, vec![])
+            }
+        }
+    }
 }
 
 /// Stored state: in-flight permits per tenant, plus drain mode.
@@ -176,75 +257,7 @@ impl Machine for KeyedAdmissionMachine {
         state: &KeyedAdmissionState,
         event: &KeyedAdmissionEvent,
     ) -> (KeyedAdmissionState, Vec<KeyedAdmissionEffect>) {
-        use KeyedAdmissionEffect::*;
-        let mut next = state.clone();
-        match *event {
-            KeyedAdmissionEvent::Admit {
-                tenant,
-                deadline_expired,
-                over_watermark,
-            } => {
-                let guaranteed = self.guaranteed();
-                let f = state.in_flight[tenant];
-                let total = state.total();
-                let shed = if deadline_expired {
-                    Some(KeyedShedReason::DeadlineExpired)
-                } else if state.draining {
-                    Some(KeyedShedReason::Draining)
-                } else if over_watermark {
-                    Some(KeyedShedReason::OverWatermark)
-                } else if f >= self.tenant_cap {
-                    Some(KeyedShedReason::TenantCap)
-                } else if total >= self.global_cap {
-                    // The hard ceiling outranks the guaranteed share:
-                    // with a fixed population the reserve invariant
-                    // makes `f < guaranteed[tenant]` imply
-                    // `total < global_cap` so this branch never sheds a
-                    // below-share tenant, but re-apportionment (a new
-                    // tenant interned mid-flight) can shrink shares
-                    // under permits granted against the old ones.
-                    Some(KeyedShedReason::GlobalCap)
-                } else if f < guaranteed[tenant] {
-                    // Below the guaranteed share: admit unconditionally.
-                    None
-                } else {
-                    // Borrowing idle capacity: only what is not being
-                    // held in reserve for under-share tenants.
-                    let reserve: u64 = guaranteed
-                        .iter()
-                        .zip(&state.in_flight)
-                        .map(|(&g, &used)| g.saturating_sub(used))
-                        .sum();
-                    if total + reserve >= self.global_cap {
-                        Some(KeyedShedReason::FairShareReserve)
-                    } else {
-                        None
-                    }
-                };
-                match shed {
-                    Some(reason) => (next, vec![Shed { tenant, reason }]),
-                    None => {
-                        next.in_flight[tenant] += 1;
-                        (next, vec![Admitted { tenant }])
-                    }
-                }
-            }
-            KeyedAdmissionEvent::Release { tenant } => {
-                if state.in_flight[tenant] == 0 {
-                    return (next, vec![PermitUnderflow]);
-                }
-                next.in_flight[tenant] -= 1;
-                (next, vec![Released { tenant }])
-            }
-            KeyedAdmissionEvent::BeginDrain => {
-                next.draining = true;
-                (next, vec![])
-            }
-            KeyedAdmissionEvent::EndDrain => {
-                next.draining = false;
-                (next, vec![])
-            }
-        }
+        self.step_apportioned(&self.guaranteed(), state, event)
     }
 }
 

@@ -343,6 +343,16 @@ pub struct KeyedLoadShedPolicy {
     /// Telemetry prefix for the per-tenant shed counters
     /// (`<prefix>.<tenant>.shed`).
     pub counter_prefix: String,
+    /// Ceiling on the interned tenant population. Tenant ids arrive in
+    /// client-controlled headers, so without a bound an attacker
+    /// sending junk names would grow the interner, the per-tenant
+    /// counters and the `/metrics` cardinality without limit — and
+    /// each junk name's anti-starvation floor of 1 would dilute every
+    /// real tenant's guaranteed share. Once the population is full,
+    /// unseen tenants are bucketed into the shared
+    /// [`ANONYMOUS_TENANT`] slot instead of being interned.
+    /// Explicitly weighted tenants always intern, even past the cap.
+    pub max_tenants: usize,
 }
 
 impl KeyedLoadShedPolicy {
@@ -356,6 +366,7 @@ impl KeyedLoadShedPolicy {
             queue_wait_watermark: None,
             retry_after: Duration::from_millis(100),
             counter_prefix: "admission.tenant".to_owned(),
+            max_tenants: 64,
         }
     }
 
@@ -378,30 +389,62 @@ impl KeyedLoadShedPolicy {
         self.counter_prefix = prefix.into();
         self
     }
+
+    pub fn with_max_tenants(mut self, max: usize) -> Self {
+        self.max_tenants = max.max(1);
+        self
+    }
 }
 
 /// All keyed protocol state, stepped under one mutex. The tenant
 /// interner lives inside the same lock: admitting a brand-new tenant
 /// atomically grows the machine's weight vector and the state's
 /// in-flight vector, so shares re-apportion on the very next decision.
+///
+/// The apportionment is cached here and recomputed only when the
+/// weight vector changes (a tenant interned), so the steady-state
+/// admission path does no `O(n log n)` work under the lock.
 struct KeyedSync {
     machine: KeyedAdmissionMachine,
     state: KeyedAdmissionState,
     tenants: Vec<String>,
     index: HashMap<String, usize>,
+    /// `machine.guaranteed()` for the current weight vector.
+    guaranteed: Vec<u64>,
 }
 
 impl KeyedSync {
-    fn intern(&mut self, tenant: &str, default_weight: u64) -> usize {
+    fn intern(&mut self, tenant: &str, weight: u64) -> usize {
         if let Some(&i) = self.index.get(tenant) {
             return i;
         }
         let i = self.tenants.len();
         self.tenants.push(tenant.to_owned());
         self.index.insert(tenant.to_owned(), i);
-        self.machine.weights.push(default_weight.max(1));
+        self.machine.weights.push(weight.max(1));
         self.state.in_flight.push(0);
+        self.guaranteed = self.machine.guaranteed();
         i
+    }
+
+    /// The slot a request for `tenant` is accounted to. Known tenants
+    /// resolve directly; unseen ones intern while the population is
+    /// below [`KeyedLoadShedPolicy::max_tenants`] and share the
+    /// [`ANONYMOUS_TENANT`] bucket beyond it, bounding memory, metric
+    /// cardinality and share dilution against junk tenant floods.
+    fn tenant_index(&mut self, tenant: &str, policy: &KeyedLoadShedPolicy) -> usize {
+        if let Some(&i) = self.index.get(tenant) {
+            return i;
+        }
+        if self.tenants.len() < policy.max_tenants {
+            return self.intern(tenant, policy.default_weight);
+        }
+        // Population full: the overflow bucket (interned on first use;
+        // the population is thus bounded by `max_tenants + 1`).
+        if let Some(&i) = self.index.get(ANONYMOUS_TENANT) {
+            return i;
+        }
+        self.intern(ANONYMOUS_TENANT, policy.default_weight)
     }
 }
 
@@ -437,12 +480,18 @@ impl KeyedAdmissionController {
             machine,
             tenants: Vec::new(),
             index: HashMap::new(),
+            guaranteed: Vec::new(),
         };
         // Intern configured tenants eagerly, in policy order, so their
         // indices (and the bisimulation mirror's) are deterministic.
+        // Explicit weights always intern, even past `max_tenants`.
         for (tenant, weight) in policy.weights.clone() {
             let i = sync.intern(&tenant, weight);
-            sync.machine.weights[i] = weight.max(1);
+            if sync.machine.weights[i] != weight.max(1) {
+                // A tenant listed twice: the last weight wins.
+                sync.machine.weights[i] = weight.max(1);
+                sync.guaranteed = sync.machine.guaranteed();
+            }
         }
         let prefix = &policy.counter_prefix;
         KeyedAdmissionController {
@@ -480,7 +529,7 @@ impl KeyedAdmissionController {
         let sync = self.inner.sync.lock();
         sync.index
             .get(tenant)
-            .map(|&i| sync.machine.guaranteed()[i] as usize)
+            .map(|&i| sync.guaranteed[i] as usize)
             .unwrap_or(0)
     }
 
@@ -490,17 +539,21 @@ impl KeyedAdmissionController {
 
     pub fn start_draining(&self) {
         let mut sync = self.inner.sync.lock();
-        let (next, _) = sync
-            .machine
-            .step(&sync.state, &KeyedAdmissionEvent::BeginDrain);
+        let (next, _) = sync.machine.step_apportioned(
+            &sync.guaranteed,
+            &sync.state,
+            &KeyedAdmissionEvent::BeginDrain,
+        );
         sync.state = next;
     }
 
     pub fn stop_draining(&self) {
         let mut sync = self.inner.sync.lock();
-        let (next, _) = sync
-            .machine
-            .step(&sync.state, &KeyedAdmissionEvent::EndDrain);
+        let (next, _) = sync.machine.step_apportioned(
+            &sync.guaranteed,
+            &sync.state,
+            &KeyedAdmissionEvent::EndDrain,
+        );
         sync.state = next;
     }
 
@@ -539,13 +592,15 @@ impl KeyedAdmissionController {
         let event_expired = deadline.is_some_and(|d| Instant::now() >= d);
         let over_watermark = self.observe_watermark();
         let mut sync = self.inner.sync.lock();
-        let t = sync.intern(tenant, self.inner.policy.default_weight);
+        let t = sync.tenant_index(tenant, &self.inner.policy);
         let event = KeyedAdmissionEvent::Admit {
             tenant: t,
             deadline_expired: event_expired,
             over_watermark,
         };
-        let (next, effects) = sync.machine.step(&sync.state, &event);
+        let (next, effects) = sync
+            .machine
+            .step_apportioned(&sync.guaranteed, &sync.state, &event);
         sync.state = next;
         match effects.first() {
             Some(KeyedAdmissionEffect::Admitted { .. }) => {
@@ -558,6 +613,10 @@ impl KeyedAdmissionController {
             }
             Some(KeyedAdmissionEffect::Shed { reason, .. }) => {
                 let hint = self.retry_hint_locked(&sync, t, *reason);
+                // Counters are named by the *interned* slot, so junk
+                // tenant names beyond `max_tenants` all land on the
+                // anonymous bucket instead of minting fresh series.
+                let bucket = sync.tenants[t].clone();
                 drop(sync);
                 self.inner.shed.incr();
                 if *reason == KeyedShedReason::DeadlineExpired {
@@ -565,7 +624,7 @@ impl KeyedAdmissionController {
                 }
                 telemetry::global()
                     .counter(format!(
-                        "{}.{tenant}.shed",
+                        "{}.{bucket}.shed",
                         self.inner.policy.counter_prefix
                     ))
                     .incr();
@@ -585,7 +644,7 @@ impl KeyedAdmissionController {
         match reason {
             KeyedShedReason::TenantCap | KeyedShedReason::FairShareReserve => {
                 let f = sync.state.in_flight[tenant];
-                let g = sync.machine.guaranteed()[tenant].max(1);
+                let g = sync.guaranteed[tenant].max(1);
                 base * (1 + f / g).min(8)
             }
             _ => base,
@@ -594,9 +653,11 @@ impl KeyedAdmissionController {
 
     fn release(&self, tenant: usize) {
         let mut sync = self.inner.sync.lock();
-        let (next, effects) = sync
-            .machine
-            .step(&sync.state, &KeyedAdmissionEvent::Release { tenant });
+        let (next, effects) = sync.machine.step_apportioned(
+            &sync.guaranteed,
+            &sync.state,
+            &KeyedAdmissionEvent::Release { tenant },
+        );
         sync.state = next;
         debug_assert!(
             !effects.contains(&KeyedAdmissionEffect::PermitUnderflow),
@@ -985,6 +1046,68 @@ mod tests {
         let _held = ctl.try_admit("noisy", None).unwrap();
         assert!(ctl.try_admit("noisy", None).is_err());
         assert!(t.counter("admission.tenant.noisy.shed").get() > before);
+    }
+
+    #[test]
+    fn keyed_tenant_population_is_bounded_by_the_policy_cap() {
+        let ctl = KeyedAdmissionController::new(KeyedLoadShedPolicy::fair(8).with_max_tenants(2));
+        let _a = ctl.try_admit("a", None).unwrap();
+        let _b = ctl.try_admit("b", None).unwrap();
+        // A flood of junk tenant names must not grow the interner.
+        for i in 0..100 {
+            let _ = ctl.try_admit(&format!("junk-{i}"), None);
+        }
+        let tenants = ctl.tenants();
+        assert_eq!(
+            tenants.len(),
+            3,
+            "a, b and the overflow bucket only: {tenants:?}"
+        );
+        assert!(tenants.contains(&ANONYMOUS_TENANT.to_owned()));
+        // Junk names own no slot of their own, and the real tenants'
+        // guarantees are not diluted below the three-way split.
+        assert_eq!(ctl.guaranteed_share("junk-0"), 0);
+        assert!(ctl.guaranteed_share("a") >= 2);
+        assert!(ctl.guaranteed_share("b") >= 2);
+    }
+
+    #[test]
+    fn keyed_overflow_tenants_share_the_anonymous_slot() {
+        let ctl = KeyedAdmissionController::new(KeyedLoadShedPolicy::fair(4).with_max_tenants(1));
+        let _a = ctl.try_admit("a", None).unwrap();
+        let p = ctl.try_admit("flood-1", None).unwrap();
+        assert_eq!(
+            ctl.in_flight(ANONYMOUS_TENANT),
+            1,
+            "overflow permits are accounted to the shared bucket"
+        );
+        let _q = ctl.try_admit("flood-2", None).unwrap();
+        assert_eq!(ctl.in_flight(ANONYMOUS_TENANT), 2);
+        drop(p);
+        assert_eq!(ctl.in_flight(ANONYMOUS_TENANT), 1);
+    }
+
+    #[test]
+    fn keyed_junk_tenant_sheds_count_against_the_anonymous_bucket() {
+        let t = telemetry::global();
+        let prefix = "admission.bucket.test";
+        let ctl = KeyedAdmissionController::new(
+            KeyedLoadShedPolicy::fair(1)
+                .with_max_tenants(1)
+                .with_counter_prefix(prefix),
+        );
+        let _held = ctl.try_admit("real", None).unwrap();
+        let before = t.counter(format!("{prefix}.anonymous.shed")).get();
+        assert!(ctl.try_admit("junk-name", None).is_err());
+        assert!(
+            t.counter(format!("{prefix}.anonymous.shed")).get() > before,
+            "the shed series is named by the interned bucket"
+        );
+        assert_eq!(
+            t.counter(format!("{prefix}.junk-name.shed")).get(),
+            0,
+            "junk names must not mint fresh metric series"
+        );
     }
 
     #[test]

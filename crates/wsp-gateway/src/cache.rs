@@ -27,7 +27,7 @@
 //! are assembled from pooled buffers instead of fresh allocations.
 
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 use wsp_core::telemetry;
 use wsp_registry::DataVersions;
@@ -99,6 +99,7 @@ struct LocateEntry {
 
 struct WsdlEntry {
     body: String,
+    shard: u32,
     key: EventKey,
 }
 
@@ -107,6 +108,7 @@ struct ResponseEntry {
     status: u16,
     content_type: String,
     body: Vec<u8>,
+    shard: u32,
     key: EventKey,
 }
 
@@ -248,7 +250,7 @@ impl GatewayCaches {
         }
     }
 
-    pub fn put_wsdl(&self, service: &str, body: String) {
+    pub fn put_wsdl(&self, service: &str, body: String, shard: u32) {
         let mut inner = self.inner.lock();
         Self::sweep(&mut inner, self.now());
         let key = inner.wheel.schedule_after(
@@ -257,7 +259,7 @@ impl GatewayCaches {
         );
         if let Some(old) = inner
             .wsdl
-            .insert(service.to_owned(), WsdlEntry { body, key })
+            .insert(service.to_owned(), WsdlEntry { body, shard, key })
         {
             inner.wheel.cancel(old.key);
         }
@@ -295,18 +297,23 @@ impl GatewayCaches {
         status: u16,
         content_type: String,
         body: Vec<u8>,
+        shard: u32,
     ) {
         let mut inner = self.inner.lock();
         Self::sweep(&mut inner, self.now());
-        while inner.response.len() >= self.cfg.response_capacity.max(1) {
-            // FIFO victim; bounded cache, never grows past capacity.
-            let Some(victim) = inner.response_order.pop_front() else {
-                break;
-            };
-            if let Some(entry) = inner.response.remove(&victim) {
-                inner.wheel.cancel(entry.key);
-                recycle(entry);
-                bump("gateway.cache.response.evict");
+        // Replacing an existing key does not grow the cache, so only a
+        // genuinely new key may need to evict a FIFO victim.
+        if !inner.response.contains_key(&key) {
+            while inner.response.len() >= self.cfg.response_capacity.max(1) {
+                // FIFO victim; bounded cache, never grows past capacity.
+                let Some(victim) = inner.response_order.pop_front() else {
+                    break;
+                };
+                if let Some(entry) = inner.response.remove(&victim) {
+                    inner.wheel.cancel(entry.key);
+                    recycle(entry);
+                    bump("gateway.cache.response.evict");
+                }
             }
         }
         let wheel_key = inner.wheel.schedule_after(
@@ -320,6 +327,7 @@ impl GatewayCaches {
                 status,
                 content_type,
                 body,
+                shard,
                 key: wheel_key,
             },
         ) {
@@ -367,17 +375,18 @@ impl GatewayCaches {
 
     /// Adopt a registry version snapshot: flush everything on an epoch
     /// change (placement moved), or just the entries of shards whose
-    /// data version bumped (records changed). Returns how many routing
-    /// entries were dropped.
+    /// data version bumped (records changed). Returns how many distinct
+    /// services had entries dropped.
     pub fn revalidate(&self, dv: &DataVersions) -> usize {
         let mut inner = self.inner.lock();
         Self::sweep(&mut inner, self.now());
         let mut dropped = 0;
         if dv.epoch != inner.epoch {
-            let services: Vec<String> = inner
+            let services: HashSet<String> = inner
                 .locate
                 .keys()
                 .chain(inner.wsdl.keys())
+                .chain(inner.response.keys().map(|k| &k.service))
                 .cloned()
                 .collect();
             for service in services {
@@ -393,11 +402,29 @@ impl GatewayCaches {
                 })
                 .collect();
             if !changed.is_empty() {
-                let stale: Vec<String> = inner
+                // Every cached entry carries the shard it was filled
+                // from — the locate entries alone are not enough, since
+                // WSDL and response TTLs outlive the locate TTL and a
+                // republish must flush those too.
+                let stale: HashSet<String> = inner
                     .locate
                     .iter()
                     .filter(|(_, e)| changed.contains(&e.shard))
                     .map(|(name, _)| name.clone())
+                    .chain(
+                        inner
+                            .wsdl
+                            .iter()
+                            .filter(|(_, e)| changed.contains(&e.shard))
+                            .map(|(name, _)| name.clone()),
+                    )
+                    .chain(
+                        inner
+                            .response
+                            .iter()
+                            .filter(|(_, e)| changed.contains(&e.shard))
+                            .map(|(k, _)| k.service.clone()),
+                    )
                     .collect();
                 for service in stale {
                     Self::drop_service_locked(&mut inner, &service);
@@ -485,6 +512,7 @@ mod tests {
             200,
             "text/xml".into(),
             b"<env>reply</env>".to_vec(),
+            0,
         );
         let hit = c.get_response(&k, &req).unwrap();
         assert_eq!(hit.body, b"<env>reply</env>");
@@ -498,7 +526,14 @@ mod tests {
         let c = caches(60_000, 2);
         for i in 0..3 {
             let req = format!("<r>{i}</r>").into_bytes();
-            c.put_response(key(&format!("S{i}"), &req), req, 200, "t".into(), vec![i]);
+            c.put_response(
+                key(&format!("S{i}"), &req),
+                req,
+                200,
+                "t".into(),
+                vec![i],
+                0,
+            );
         }
         assert_eq!(c.response_entries(), 2, "capacity bound must hold");
         let req0 = b"<r>0</r>".to_vec();
@@ -526,7 +561,7 @@ mod tests {
         let c = caches(60_000, 8);
         c.put_locate("A", vec!["http://a/A".into()], 0);
         c.put_locate("B", vec!["http://b/B".into()], 1);
-        c.put_wsdl("A", "<wsdl/>".into());
+        c.put_wsdl("A", "<wsdl/>".into(), 0);
         let dropped = c.revalidate(&DataVersions {
             epoch: 3,
             versions: vec![0, 0],
@@ -548,7 +583,7 @@ mod tests {
         c.put_locate("A", vec!["http://a/A".into()], 0);
         c.put_locate("B", vec!["http://b/B".into()], 1);
         let req = b"<r/>".to_vec();
-        c.put_response(key("A", &req), req.clone(), 200, "t".into(), vec![1]);
+        c.put_response(key("A", &req), req.clone(), 200, "t".into(), vec![1], 0);
         c.revalidate(&DataVersions {
             epoch: 0,
             versions: vec![7, 0],
@@ -569,5 +604,70 @@ mod tests {
             0
         );
         assert!(c.get_locate("A").is_some());
+    }
+
+    #[test]
+    fn shard_version_bump_flushes_wsdl_and_responses_without_a_locate_entry() {
+        // Regression: with locate_ttl < wsdl_ttl the locate entry
+        // expires first; a republish after that must still flush the
+        // cached WSDL and responses, which carry their own shard tags.
+        let c = caches(60_000, 8);
+        c.revalidate(&DataVersions {
+            epoch: 0,
+            versions: vec![0, 0],
+        });
+        c.put_wsdl("A", "<wsdl old/>".into(), 0);
+        let req = b"<r/>".to_vec();
+        c.put_response(key("B", &req), req.clone(), 200, "t".into(), vec![9], 1);
+        // No locate entries at all — exactly the post-locate-expiry
+        // state — yet both shard bumps must reach their entries.
+        let dropped = c.revalidate(&DataVersions {
+            epoch: 0,
+            versions: vec![5, 5],
+        });
+        assert_eq!(dropped, 2, "one service per changed shard");
+        assert!(
+            c.get_wsdl("A").is_none(),
+            "stale WSDL flushed via its shard"
+        );
+        assert!(
+            c.get_response(&key("B", &req), &req).is_none(),
+            "stale response flushed via its shard"
+        );
+    }
+
+    #[test]
+    fn replacing_a_response_does_not_evict_an_unrelated_entry() {
+        let c = caches(60_000, 2);
+        let req0 = b"<r>0</r>".to_vec();
+        let req1 = b"<r>1</r>".to_vec();
+        c.put_response(key("S0", &req0), req0.clone(), 200, "t".into(), vec![0], 0);
+        c.put_response(key("S1", &req1), req1.clone(), 200, "t".into(), vec![1], 0);
+        // Replace S1 at capacity: no growth, so no victim is owed.
+        c.put_response(key("S1", &req1), req1.clone(), 200, "t".into(), vec![2], 0);
+        assert_eq!(c.response_entries(), 2);
+        assert!(
+            c.get_response(&key("S0", &req0), &req0).is_some(),
+            "a replacement must not evict an unrelated entry"
+        );
+        assert_eq!(
+            c.get_response(&key("S1", &req1), &req1).unwrap().body,
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn epoch_flush_counts_each_service_once() {
+        let c = caches(60_000, 8);
+        c.put_locate("A", vec!["http://a/A".into()], 0);
+        c.put_wsdl("A", "<wsdl/>".into(), 0);
+        let dropped = c.revalidate(&DataVersions {
+            epoch: 9,
+            versions: vec![0],
+        });
+        assert_eq!(
+            dropped, 1,
+            "a service in both maps is one flushed service, not two"
+        );
     }
 }

@@ -262,7 +262,7 @@ impl Gateway {
             }
         }
 
-        let endpoints = self.resolve(service)?;
+        let (endpoints, shard) = self.resolve(service)?;
         let (status, content_type, body) = self.call_backends(service, &endpoints, raw)?;
         if cacheable && status == 200 {
             self.inner.caches.put_response(
@@ -271,6 +271,7 @@ impl Gateway {
                 status,
                 content_type.clone(),
                 body.clone(),
+                shard,
             );
         }
         Ok(GatewayReply {
@@ -281,11 +282,11 @@ impl Gateway {
         })
     }
 
-    /// Backend endpoints for `service`: locate cache, else a registry
-    /// scatter (cached on success).
-    fn resolve(&self, service: &str) -> Result<Vec<String>, GatewayError> {
-        if let Some((endpoints, _)) = self.inner.caches.get_locate(service) {
-            return Ok(endpoints);
+    /// Backend endpoints for `service` plus the shard they were placed
+    /// on: locate cache, else a registry scatter (cached on success).
+    fn resolve(&self, service: &str) -> Result<(Vec<String>, u32), GatewayError> {
+        if let Some((endpoints, shard)) = self.inner.caches.get_locate(service) {
+            return Ok((endpoints, shard));
         }
         let found = self
             .inner
@@ -307,7 +308,7 @@ impl Gateway {
         self.inner
             .caches
             .put_locate(service, endpoints.clone(), shard);
-        Ok(endpoints)
+        Ok((endpoints, shard))
     }
 
     /// The failover loop: up to `backend_attempts` distinct endpoints,
@@ -370,7 +371,7 @@ impl Gateway {
                 cached: true,
             });
         }
-        let endpoints = self.resolve(service)?;
+        let (endpoints, shard) = self.resolve(service)?;
         let mut tried: Vec<String> = Vec::new();
         for _ in 0..self.inner.backend_attempts {
             let Some(lease) = self.inner.pools.pick(&endpoints, &tried) else {
@@ -381,7 +382,7 @@ impl Gateway {
                 Ok(response) if response.status == 200 => {
                     lease.succeed();
                     let body = String::from_utf8_lossy(&response.body).into_owned();
-                    self.inner.caches.put_wsdl(service, body.clone());
+                    self.inner.caches.put_wsdl(service, body.clone(), shard);
                     return Ok(GatewayReply {
                         status: 200,
                         content_type: "text/xml; charset=utf-8".to_owned(),

@@ -19,6 +19,7 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use wsp_core::{Admission, BreakerConfig, CircuitBreaker, EndpointHealth};
@@ -60,37 +61,55 @@ impl BackendPools {
     }
 
     /// Least-loaded breaker-admitted candidate not in `exclude`, leased.
+    ///
+    /// Candidates are ranked by load *first* and only then asked for a
+    /// breaker admission, in rank order, taking the first that admits.
+    /// `try_acquire` is stateful — on a half-open breaker it consumes
+    /// the single probe slot — so it must only ever be called on an
+    /// endpoint that will actually be leased; acquiring during the scan
+    /// would strand the probe slot of any candidate that then lost the
+    /// load comparison, removing a recovered backend from rotation
+    /// forever.
     pub fn pick(&self, candidates: &[String], exclude: &[String]) -> Option<BackendLease> {
         let now = Instant::now();
         let mut state = self.state.lock();
-        let mut best: Option<(u64, usize)> = None;
-        for (i, endpoint) in candidates.iter().enumerate() {
-            if exclude.contains(endpoint) {
-                continue;
-            }
+        let mut ranked: Vec<(u64, usize)> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, endpoint)| !exclude.contains(endpoint))
+            .map(|(i, endpoint)| (state.active.get(endpoint).copied().unwrap_or(0), i))
+            .collect();
+        // (load, index): ties break on candidate order.
+        ranked.sort_unstable();
+        for (_, i) in ranked {
+            let endpoint = &candidates[i];
             let breaker = self.health.breaker(endpoint);
-            if matches!(breaker.try_acquire(now), Admission::Rejected) {
+            let admission = breaker.try_acquire(now);
+            if matches!(admission, Admission::Rejected) {
                 continue;
             }
-            let load = state.active.get(endpoint).copied().unwrap_or(0);
-            if best.map(|(l, _)| load < l).unwrap_or(true) {
-                best = Some((load, i));
-            }
+            *state.active.entry(endpoint.clone()).or_insert(0) += 1;
+            return Some(BackendLease {
+                endpoint: endpoint.clone(),
+                probe: admission == Admission::Probe,
+                reported: AtomicBool::new(false),
+                breaker,
+                state: self.state.clone(),
+            });
         }
-        let (_, i) = best?;
-        let endpoint = candidates[i].clone();
-        *state.active.entry(endpoint.clone()).or_insert(0) += 1;
-        Some(BackendLease {
-            endpoint,
-            breaker: self.health.breaker(&candidates[i]),
-            state: self.state.clone(),
-        })
+        None
     }
 }
 
 /// RAII lease on one backend call (see [`BackendPools::pick`]).
 pub struct BackendLease {
     endpoint: String,
+    /// This lease holds the breaker's single half-open probe slot.
+    probe: bool,
+    /// Whether [`succeed`](BackendLease::succeed)/[`fail`](BackendLease::fail)
+    /// has been called; a probe lease dropped unreported must abort the
+    /// probe or the slot strands and the breaker rejects forever.
+    reported: AtomicBool,
     breaker: Arc<CircuitBreaker>,
     state: Arc<Mutex<PoolState>>,
 }
@@ -101,16 +120,21 @@ impl BackendLease {
     }
 
     pub fn succeed(&self) {
+        self.reported.store(true, Ordering::Relaxed);
         self.breaker.on_success(Instant::now());
     }
 
     pub fn fail(&self) {
+        self.reported.store(true, Ordering::Relaxed);
         self.breaker.on_failure(Instant::now());
     }
 }
 
 impl Drop for BackendLease {
     fn drop(&mut self) {
+        if self.probe && !self.reported.load(Ordering::Relaxed) {
+            self.breaker.on_probe_aborted(Instant::now());
+        }
         let mut state = self.state.lock();
         if let Some(n) = state.active.get_mut(&self.endpoint) {
             *n = n.saturating_sub(1);
@@ -148,6 +172,58 @@ mod tests {
         let lease = pools.pick(&candidates, &["http://a".to_owned()]).unwrap();
         assert_eq!(lease.endpoint(), "http://b");
         assert!(pools.pick(&candidates, &candidates.to_vec()).is_none());
+    }
+
+    fn quick_config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 1,
+            cooldown: std::time::Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn losing_the_pick_does_not_consume_a_half_open_probe_slot() {
+        let pools = BackendPools::new(quick_config());
+        // Trip "http://b" and let its cooldown elapse: half-open, one
+        // probe slot available.
+        let lease = pools.pick(&eps(&["http://b"]), &[]).unwrap();
+        lease.fail();
+        drop(lease);
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        // Both idle: "http://a" wins the tie on candidate order. The
+        // scan must not have burned b's probe slot on the way.
+        let candidates = eps(&["http://a", "http://b"]);
+        let a = pools.pick(&candidates, &[]).unwrap();
+        assert_eq!(a.endpoint(), "http://a");
+        let b = pools
+            .pick(&candidates, &[])
+            .expect("the half-open endpoint must still be probeable after losing a pick");
+        assert_eq!(b.endpoint(), "http://b", "b is least loaded now");
+        b.succeed();
+        drop(b);
+        drop(a);
+        // The successful probe closed b's breaker: it admits freely.
+        let again = pools.pick(&eps(&["http://b"]), &[]).unwrap();
+        assert_eq!(again.endpoint(), "http://b");
+    }
+
+    #[test]
+    fn probe_lease_dropped_without_an_outcome_frees_the_slot() {
+        let pools = BackendPools::new(quick_config());
+        let only = eps(&["http://flaky"]);
+        let lease = pools.pick(&only, &[]).unwrap();
+        lease.fail();
+        drop(lease);
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        // Take the probe and drop it unreported (e.g. the request was
+        // shed upstream): the slot must not strand.
+        let probe = pools.pick(&only, &[]).expect("half-open probe");
+        drop(probe);
+        // The abort re-opened for a fresh cooldown; after it, a new
+        // probe is admitted — the endpoint is not locked out forever.
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let retry = pools.pick(&only, &[]).expect("fresh probe after abort");
+        retry.succeed();
     }
 
     #[test]
